@@ -1,0 +1,190 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the region
+//! size target `R` / `LOOPPATHTHRESHOLD`, the 1% cold threshold, speculative
+//! lock elision, partial inlining policy, §7 post-dominance check
+//! elimination, and §7 adaptive recompilation. Each group prints its
+//! mini-study, then benchmarks a representative configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use hasp_core::RegionConfig;
+use hasp_experiments::adaptive::run_adaptive;
+use hasp_experiments::{profile_workload, run_workload};
+use hasp_hw::HwConfig;
+use hasp_opt::CompilerConfig;
+use hasp_workloads::{all_workloads, synthetic};
+
+fn small(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g
+}
+
+/// Sweep the target region size `R` (paper fixes R = LOOPPATHTHRESHOLD =
+/// 200 HIR ops).
+fn ablation_region_size(c: &mut Criterion) {
+    let ws = all_workloads();
+    let w = ws.iter().find(|w| w.name == "bloat").unwrap();
+    let profiled = profile_workload(w);
+    let base = run_workload(w, &profiled, &CompilerConfig::no_atomic(), &HwConfig::baseline());
+    println!("== ablation: region size target R (bloat) ==");
+    for r in [50u64, 100, 200, 400] {
+        let mut cfg = CompilerConfig::atomic();
+        cfg.region = RegionConfig::default().with_target_size(r);
+        let run = run_workload(w, &profiled, &cfg, &HwConfig::baseline());
+        println!(
+            "  R = {r:>3}: speedup {:+.1}%, avg region {:.0} uops, commits {}",
+            run.speedup_vs(&base),
+            run.stats.avg_region_size(),
+            run.stats.commits
+        );
+    }
+    println!();
+    let mut g = small(c);
+    g.bench_function("ablation_region_size_r200", |b| {
+        b.iter(|| run_workload(w, &profiled, &CompilerConfig::atomic(), &HwConfig::baseline()))
+    });
+    g.finish();
+}
+
+/// Sweep the cold-path bias threshold (paper: 1%).
+fn ablation_cold_threshold(c: &mut Criterion) {
+    let ws = all_workloads();
+    let w = ws.iter().find(|w| w.name == "bloat").unwrap();
+    let profiled = profile_workload(w);
+    let base = run_workload(w, &profiled, &CompilerConfig::no_atomic(), &HwConfig::baseline());
+    println!("== ablation: cold-path threshold (bloat) ==");
+    for t in [0.001, 0.01, 0.05] {
+        let mut cfg = CompilerConfig::atomic();
+        cfg.region = RegionConfig::default().with_cold_threshold(t);
+        let run = run_workload(w, &profiled, &cfg, &HwConfig::baseline());
+        println!(
+            "  threshold {:>5.1}%: speedup {:+.1}%, abort rate {:.2}%",
+            t * 100.0,
+            run.speedup_vs(&base),
+            run.stats.abort_rate() * 100.0
+        );
+    }
+    println!();
+    let mut g = small(c);
+    g.bench_function("ablation_cold_threshold_1pct", |b| {
+        b.iter(|| run_workload(w, &profiled, &CompilerConfig::atomic(), &HwConfig::baseline()))
+    });
+    g.finish();
+}
+
+/// Speculative lock elision on/off (hsqldb is monitor-bound).
+fn ablation_sle(c: &mut Criterion) {
+    let ws = all_workloads();
+    let w = ws.iter().find(|w| w.name == "hsqldb").unwrap();
+    let profiled = profile_workload(w);
+    let base = run_workload(w, &profiled, &CompilerConfig::no_atomic(), &HwConfig::baseline());
+    let with = run_workload(w, &profiled, &CompilerConfig::atomic(), &HwConfig::baseline());
+    let mut cfg = CompilerConfig::atomic();
+    cfg.sle = false;
+    cfg.name = "atomic-no-sle";
+    let without = run_workload(w, &profiled, &cfg, &HwConfig::baseline());
+    println!(
+        "== ablation: speculative lock elision (hsqldb) ==\n  with SLE   : {:+.1}%\n  without SLE: {:+.1}%\n",
+        with.speedup_vs(&base),
+        without.speedup_vs(&base)
+    );
+    let mut g = small(c);
+    g.bench_function("ablation_sle_on", |b| {
+        b.iter(|| run_workload(w, &profiled, &CompilerConfig::atomic(), &HwConfig::baseline()))
+    });
+    g.finish();
+}
+
+/// Partial-inlining policy: the jython pathology (reject polymorphic
+/// callees) vs the forced dominant-receiver override.
+fn ablation_partial_inline(c: &mut Criterion) {
+    let ws = all_workloads();
+    let w = ws.iter().find(|w| w.name == "jython").unwrap();
+    let profiled = profile_workload(w);
+    let base = run_workload(w, &profiled, &CompilerConfig::no_atomic(), &HwConfig::baseline());
+    println!("== ablation: partial-inlining policy (jython) ==");
+    for cfg in [
+        CompilerConfig::atomic(),
+        CompilerConfig::atomic_forced_mono(),
+        CompilerConfig::atomic_aggressive(),
+    ] {
+        let run = run_workload(w, &profiled, &cfg, &HwConfig::baseline());
+        println!(
+            "  {:<22}: speedup {:+.1}%, regions committed {}",
+            cfg.name,
+            run.speedup_vs(&base),
+            run.stats.commits
+        );
+    }
+    println!();
+    let mut g = small(c);
+    g.bench_function("ablation_partial_inline_forced_mono", |b| {
+        b.iter(|| {
+            run_workload(w, &profiled, &CompilerConfig::atomic_forced_mono(), &HwConfig::baseline())
+        })
+    });
+    g.finish();
+}
+
+/// §7 post-dominance bounds-check elimination inside regions.
+fn ablation_postdom_checkelim(c: &mut Criterion) {
+    let w = synthetic::postdom_checks(30_000);
+    let profiled = profile_workload(&w);
+    let off = run_workload(&w, &profiled, &CompilerConfig::atomic(), &HwConfig::baseline());
+    let mut cfg = CompilerConfig::atomic();
+    cfg.postdom_checkelim = true;
+    cfg.name = "atomic+postdom-ce";
+    let on = run_workload(&w, &profiled, &cfg, &HwConfig::baseline());
+    println!(
+        "== ablation: §7 post-dominance check elimination ==\n  off: {} uops\n  on : {} uops ({:+.2}%)\n",
+        off.stats.uops,
+        on.stats.uops,
+        (1.0 - on.stats.uops as f64 / off.stats.uops as f64) * 100.0
+    );
+    let mut g = small(c);
+    g.bench_function("ablation_postdom_checkelim_on", |b| {
+        b.iter(|| run_workload(&w, &profiled, &cfg, &HwConfig::baseline()))
+    });
+    g.finish();
+}
+
+/// §7 adaptive recompilation on the phase-flip stressor.
+fn ablation_adaptive(c: &mut Criterion) {
+    let w = synthetic::phase_flip(72_000, 60_000, 40);
+    let mut profiled = profile_workload(&w);
+    // First-pass profiling window: phase 2 has not happened yet.
+    {
+        let mut early = hasp_vm::Interp::new(&w.program).with_profiling();
+        early.set_fuel(900_000);
+        let _ = early.run(&[]);
+        profiled.profile = early.profile;
+    }
+    let outcome = run_adaptive(&w, &profiled, &CompilerConfig::atomic(), &HwConfig::baseline());
+    println!(
+        "== ablation: §7 adaptive recompilation (phase-flip) ==\n  \
+         speculative: {} cycles ({} aborts, {:.1}% of regions)\n  \
+         adaptive   : {} cycles ({} aborts) — {:+.1}%\n",
+        outcome.first.stats.cycles,
+        outcome.first.stats.total_aborts(),
+        outcome.first.stats.abort_rate() * 100.0,
+        outcome.second.stats.cycles,
+        outcome.second.stats.total_aborts(),
+        (outcome.first.stats.cycles as f64 / outcome.second.stats.cycles as f64 - 1.0) * 100.0,
+    );
+    let mut g = small(c);
+    g.bench_function("ablation_adaptive_recompile_cycle", |b| {
+        b.iter(|| run_adaptive(&w, &profiled, &CompilerConfig::atomic(), &HwConfig::baseline()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_region_size,
+    ablation_cold_threshold,
+    ablation_sle,
+    ablation_partial_inline,
+    ablation_postdom_checkelim,
+    ablation_adaptive,
+);
+criterion_main!(ablations);

@@ -1,0 +1,176 @@
+//! Criterion benches regenerating every table and figure of the paper's
+//! evaluation. Each bench group first prints the regenerated table (so
+//! `cargo bench` reproduces the paper's rows), then measures the underlying
+//! simulation so changes to the compiler or machine model are tracked.
+
+use std::sync::{Mutex, OnceLock};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use hasp_experiments::figures;
+use hasp_experiments::{profile_workload, run_workload, Suite};
+use hasp_hw::HwConfig;
+use hasp_opt::{compile_program, CompilerConfig};
+use hasp_workloads::all_workloads;
+
+fn suite() -> &'static Mutex<Suite> {
+    static SUITE: OnceLock<Mutex<Suite>> = OnceLock::new();
+    SUITE.get_or_init(|| Mutex::new(Suite::new()))
+}
+
+fn small(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+    g
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut s = suite().lock().unwrap();
+    let (_, table) = figures::fig1(&mut s);
+    println!("{table}");
+    drop(s);
+    let ws = all_workloads();
+    let w = ws.iter().find(|w| w.name == "jython").unwrap();
+    let profiled = profile_workload(w);
+    let mut g = small(c);
+    g.bench_function("fig1_jython_compile_atomic_aggr", |b| {
+        b.iter(|| {
+            compile_program(&w.program, &profiled.profile, &CompilerConfig::atomic_aggressive())
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig23(c: &mut Criterion) {
+    let w = hasp_workloads::synthetic::add_element(20_000);
+    let profiled = profile_workload(&w);
+    let base = run_workload(&w, &profiled, &CompilerConfig::no_atomic(), &HwConfig::baseline());
+    let atom = run_workload(&w, &profiled, &CompilerConfig::atomic(), &HwConfig::baseline());
+    println!(
+        "== Figures 2-3 — addElement ==\n\
+         no-atomic: {} uops / {} cycles; atomic regions: {} uops / {} cycles\n\
+         (speedup {:+.1}%, uop reduction {:+.1}%)\n",
+        base.stats.uops,
+        base.stats.cycles,
+        atom.stats.uops,
+        atom.stats.cycles,
+        atom.speedup_vs(&base),
+        atom.uop_reduction_vs(&base),
+    );
+    let mut g = small(c);
+    g.bench_function("fig23_addelement_atomic_run", |b| {
+        b.iter(|| run_workload(&w, &profiled, &CompilerConfig::atomic(), &HwConfig::baseline()))
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    // Region formation itself (Steps 2-5) on every benchmark entry method.
+    let ws = all_workloads();
+    let w = ws.iter().find(|w| w.name == "bloat").unwrap();
+    let profiled = profile_workload(w);
+    println!("== Figure 5 — region formation runs inside the atomic compile below ==\n");
+    let mut g = small(c);
+    g.bench_function("fig5_region_formation_bloat", |b| {
+        b.iter(|| {
+            hasp_opt::compile_method(
+                &w.program,
+                &profiled.profile,
+                w.program.entry(),
+                &CompilerConfig::atomic(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig7_fig8(c: &mut Criterion) {
+    {
+        let mut s = suite().lock().unwrap();
+        let (_, t7) = figures::fig7(&mut s);
+        println!("{t7}");
+        let (_, t8) = figures::fig8(&mut s);
+        println!("{t8}");
+    }
+    let ws = all_workloads();
+    let w = ws.iter().find(|w| w.name == "hsqldb").unwrap();
+    let profiled = profile_workload(w);
+    let mut g = small(c);
+    for cfg in CompilerConfig::paper_configs() {
+        g.bench_function(format!("fig7_hsqldb_{}", cfg.name), |b| {
+            b.iter(|| run_workload(w, &profiled, &cfg, &HwConfig::baseline()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    {
+        let mut s = suite().lock().unwrap();
+        let (_, t) = figures::table3(&mut s);
+        println!("{t}");
+    }
+    let ws = all_workloads();
+    let w = ws.iter().find(|w| w.name == "xalan").unwrap();
+    let profiled = profile_workload(w);
+    let mut g = small(c);
+    g.bench_function("table3_xalan_atomic_aggr", |b| {
+        b.iter(|| {
+            run_workload(w, &profiled, &CompilerConfig::atomic_aggressive(), &HwConfig::baseline())
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    {
+        let mut s = suite().lock().unwrap();
+        let (_, t) = figures::fig9(&mut s);
+        println!("{t}");
+    }
+    let ws = all_workloads();
+    let w = ws.iter().find(|w| w.name == "xalan").unwrap();
+    let profiled = profile_workload(w);
+    let cfg = CompilerConfig::atomic_aggressive();
+    let mut g = small(c);
+    for hw in [HwConfig::baseline(), HwConfig::with_begin_overhead(), HwConfig::single_inflight()]
+    {
+        g.bench_function(format!("fig9_xalan_{}", hw.name), |b| {
+            b.iter(|| run_workload(w, &profiled, &cfg, &hw))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sec62_sec63(c: &mut Criterion) {
+    {
+        let mut s = suite().lock().unwrap();
+        let (_, t62) = figures::sec62(&mut s);
+        println!("{t62}");
+        let (_, t63) = figures::sec63(&mut s);
+        println!("{t63}");
+        println!("{}", figures::table2(&s));
+    }
+    let ws = all_workloads();
+    let w = ws.iter().find(|w| w.name == "bloat").unwrap();
+    let profiled = profile_workload(w);
+    let mut g = small(c);
+    for hw in [HwConfig::two_wide(), HwConfig::two_wide_half()] {
+        g.bench_function(format!("sec63_bloat_{}", hw.name), |b| {
+            b.iter(|| run_workload(w, &profiled, &CompilerConfig::atomic_aggressive(), &hw))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    paper,
+    bench_fig1,
+    bench_fig23,
+    bench_fig5,
+    bench_fig7_fig8,
+    bench_table3,
+    bench_fig9,
+    bench_sec62_sec63,
+);
+criterion_main!(paper);

@@ -1,0 +1,7 @@
+//! # hasp-bench — the Criterion benchmark harness
+//!
+//! `cargo bench` regenerates every table and figure of the paper's
+//! evaluation (see `benches/paper.rs`) and runs the ablation studies for
+//! the design choices DESIGN.md calls out (`benches/ablations.rs`).
+
+#![warn(missing_docs)]

@@ -1,0 +1,40 @@
+//! # hasp-core — atomic-region formation (the paper's primary contribution)
+//!
+//! Implements the compiler side of *Hardware Atomicity for Reliable Software
+//! Speculation* (Neelakantam et al., ISCA 2007): forming single-entry,
+//! non-nested atomic regions around a program's hot paths so that ordinary
+//! non-speculative optimization passes perform speculative optimizations,
+//! with hardware (see `hasp-hw`) providing all-or-nothing execution and the
+//! recovery path.
+//!
+//! * [`config`] — the paper's parameters (1% cold threshold,
+//!   `LOOPPATHTHRESHOLD` = `R` = 200 HIR ops).
+//! * [`cold`] — cold-path classification and `HASCALLONWARMPATH`.
+//! * [`trace`] — Algorithm 2 (`TRACEDOMINANTPATH`, `LOOPWEIGHT`).
+//! * [`partition`] — Equation 1 boundary-subset selection.
+//! * [`boundaries`] — Algorithm 1 (`SELECTBOUNDARIES`).
+//! * [`replicate`] — Steps 3–4: flowgraph replication, `aregion_begin` /
+//!   `aregion_end` insertion, cold-edge → assert conversion.
+//! * [`site`] — inline-site records and `UNINLINEMETHOD` (Steps 2 & 5; the
+//!   heart of partial inlining).
+//! * [`form`] — the whole pipeline.
+//! * [`stats`] — static region statistics.
+
+#![warn(missing_docs)]
+
+pub mod boundaries;
+pub mod cold;
+pub mod config;
+pub mod form;
+pub mod normalize;
+pub mod partition;
+pub mod replicate;
+pub mod site;
+pub mod stats;
+pub mod trace;
+
+pub use boundaries::{select_boundaries, BoundarySelection};
+pub use config::RegionConfig;
+pub use form::{form_atomic_regions, FormationResult};
+pub use site::{uninline, InlineBudget, InlineSite, SiteDispatch};
+pub use stats::StaticRegionStats;

@@ -1,0 +1,95 @@
+//! Adaptive recompilation (§7 future work): monitor per-region abort rates
+//! via the hardware's abort-reason/abort-PC registers and recompile methods
+//! whose regions abort too often. The policy implemented here is the
+//! reactive fallback the paper cites [Zilles & Neelakantam, CGO'05]:
+//! de-speculate offending methods (compile them without atomic regions),
+//! which converts pmd-style post-profile behavior changes from a slowdown
+//! back to baseline performance.
+
+use std::collections::HashSet;
+
+use hasp_hw::{lower, CodeCache, HwConfig, Machine};
+use hasp_opt::{compile_method, CompilerConfig};
+use hasp_vm::bytecode::MethodId;
+use hasp_workloads::Workload;
+
+use crate::runner::{run_workload, ProfiledWorkload, WorkloadRun};
+
+/// Abort-rate threshold above which a method is recompiled without regions
+/// (the paper: "an abort rate of even a few percent can have a significant
+/// impact").
+pub const ABORT_RATE_THRESHOLD: f64 = 0.01;
+
+/// Result of the adaptive experiment.
+#[derive(Debug, Clone)]
+pub struct AdaptiveOutcome {
+    /// First (fully speculative) run.
+    pub first: WorkloadRun,
+    /// Second run after recompiling high-abort methods.
+    pub second: WorkloadRun,
+    /// Methods that were de-speculated.
+    pub recompiled: Vec<MethodId>,
+}
+
+/// Runs `w` under `ccfg`, identifies methods whose regions exceed the abort
+/// threshold, recompiles them without regions, and re-runs.
+///
+/// # Panics
+/// Panics if either run diverges from the interpreter's checksum.
+pub fn run_adaptive(
+    w: &Workload,
+    profiled: &ProfiledWorkload,
+    ccfg: &CompilerConfig,
+    hw: &HwConfig,
+) -> AdaptiveOutcome {
+    let first = run_workload(w, profiled, ccfg, hw);
+
+    // Diagnose: methods with any region whose abort rate exceeds the
+    // threshold (the hardware reports which region aborted, §3.2).
+    let mut offenders: HashSet<MethodId> = HashSet::new();
+    for ((method, _region), c) in &first.stats.per_region {
+        if c.entries > 0 && c.aborts as f64 / c.entries as f64 > ABORT_RATE_THRESHOLD {
+            offenders.insert(*method);
+        }
+    }
+
+    // Recompile: offenders fall back to the non-atomic pipeline.
+    let fallback = CompilerConfig::no_atomic();
+    let mut code = CodeCache::new();
+    for m in w.program.method_ids() {
+        let cfg = if offenders.contains(&m) { &fallback } else { ccfg };
+        let c = compile_method(&w.program, &profiled.profile, m, cfg);
+        code.install(m, lower(&c.func));
+    }
+    let mut mach = Machine::new(&w.program, &code, hw.clone());
+    mach.set_fuel(w.fuel.saturating_mul(4));
+    mach.run(&[]).unwrap_or_else(|e| panic!("adaptive rerun of {} failed: {e}", w.name));
+    assert_eq!(mach.env.checksum(), profiled.reference_checksum, "adaptive recompilation broke {}", w.name);
+
+    let stats = mach.stats().clone();
+    let samples = w
+        .samples
+        .iter()
+        .map(|s| {
+            let start = stats.markers.iter().find(|m| m.id == s.marker && m.ordinal == 1).unwrap();
+            let end = stats.markers.iter().find(|m| m.id == s.marker && m.ordinal == 2).unwrap();
+            crate::runner::SampleMeasure {
+                marker: s.marker,
+                weight: s.weight,
+                uops: end.uops - start.uops,
+                cycles: end.cycles - start.cycles,
+            }
+        })
+        .collect();
+    let second = WorkloadRun {
+        workload: first.workload,
+        compiler: "adaptive",
+        hardware: first.hardware,
+        stats,
+        samples,
+        static_uops: code.static_uops(),
+    };
+    let mut recompiled: Vec<MethodId> = offenders.into_iter().collect();
+    recompiled.sort();
+    AdaptiveOutcome { first, second, recompiled }
+}

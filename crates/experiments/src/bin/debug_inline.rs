@@ -1,0 +1,41 @@
+//! Debug: inspect inlining/regions of a workload's main method.
+use hasp_experiments::profile_workload;
+use hasp_opt::{compile_method, CompilerConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "hsqldb".into());
+    let ws = hasp_workloads::all_workloads();
+    let w = ws.iter().find(|w| w.name == name).expect("workload");
+    let p = profile_workload(w);
+    let entry = w.program.entry();
+    let cfgname = std::env::args().nth(2).unwrap_or_else(|| "atomic".into());
+    let cfg = match cfgname.as_str() {
+        "aggr" => CompilerConfig::atomic_aggressive(),
+        "mono" => CompilerConfig::atomic_forced_mono(),
+        _ => CompilerConfig::atomic(),
+    };
+    let c = compile_method(&w.program, &p.profile, entry, &cfg);
+    println!("sites: {}", c.sites.len());
+    for s in &c.sites {
+        println!("  site callee={} budget={:?}", w.program.method(s.callee).name, s.budget);
+    }
+    if let Some(fm) = &c.formation {
+        println!("regions: {} pruned: {:?} despec: {:?}", fm.regions.len(), fm.pruned_sites, fm.despeculated_sites);
+    }
+    // remaining warm calls
+    let f = &c.func;
+    for b in f.block_ids() {
+        if f.block(b).freq == 0 { continue; }
+        for inst in &f.block(b).insts {
+            match &inst.op {
+                hasp_ir::Op::Call { method, .. } => println!("  warm call at {b} freq {} -> {}", f.block(b).freq, w.program.method(*method).name),
+                hasp_ir::Op::CallVirtual { .. } => println!("  warm vcall at {b} freq {}", f.block(b).freq),
+                _ => {}
+            }
+        }
+    }
+    println!("func size {}", f.size());
+    for (i, r) in f.regions.iter().enumerate() {
+        println!("  region {i}: begin {:?} size_est {}", r.begin, r.size_estimate);
+    }
+}

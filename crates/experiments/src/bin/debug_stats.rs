@@ -1,0 +1,32 @@
+//! Debug helper: per-config machine statistics for one workload.
+use hasp_experiments::{profile_workload, run_workload};
+use hasp_hw::HwConfig;
+use hasp_opt::CompilerConfig;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "hsqldb".into());
+    let ws = hasp_workloads::all_workloads();
+    let w = ws.iter().find(|w| w.name == name).expect("workload");
+    let p = profile_workload(w);
+    for cfg in [
+        CompilerConfig::no_atomic(),
+        CompilerConfig::atomic(),
+        CompilerConfig::no_atomic_aggressive(),
+        CompilerConfig::atomic_aggressive(),
+    ] {
+        let r = run_workload(w, &p, &cfg, &HwConfig::baseline());
+        let s = &r.stats;
+        println!(
+            "{:22} uops {:9} cyc {:9} | br {:8} miss {:7} ind {:7}/{:6} | l1 {:8} l2 {:6} mem {:6} | commits {:7} aborts {:5} cov {:.2} size {:.0} static {:6}",
+            cfg.name, s.uops, s.cycles, s.branches, s.mispredicts, s.indirects,
+            s.indirect_misses, s.l1_hits, s.l2_hits,
+            s.mem_accesses - s.l1_hits - s.l2_hits,
+            s.commits, s.total_aborts(), s.coverage(), s.avg_region_size(), r.static_uops,
+        );
+        let mut sites: Vec<_> = s.mispredict_sites.iter().collect();
+        sites.sort_by_key(|(_, n)| std::cmp::Reverse(**n));
+        for ((mth, pc), n) in sites.into_iter().take(4) {
+            println!("      miss site m{mth}:{pc} = {n}");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Dumps a workload method's optimized CFG as Graphviz, with atomic regions
+//! rendered as clusters (the Figure 1(d)/5(b) view).
+//!
+//! ```bash
+//! cargo run --release -p hasp-experiments --bin dump_cfg jython atomic > jython.dot
+//! dot -Tsvg jython.dot -o jython.svg
+//! ```
+
+use hasp_experiments::profile_workload;
+use hasp_opt::{compile_method, CompilerConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "xalan".into());
+    let cfgname = std::env::args().nth(2).unwrap_or_else(|| "atomic".into());
+    let ws = hasp_workloads::all_workloads();
+    let w = ws.iter().find(|w| w.name == name).unwrap_or_else(|| {
+        eprintln!("unknown workload {name}; one of: antlr bloat fop hsqldb jython pmd xalan");
+        std::process::exit(2);
+    });
+    let cfg = match cfgname.as_str() {
+        "no-atomic" => CompilerConfig::no_atomic(),
+        "aggr" => CompilerConfig::atomic_aggressive(),
+        "mono" => CompilerConfig::atomic_forced_mono(),
+        _ => CompilerConfig::atomic(),
+    };
+    let p = profile_workload(w);
+    let c = compile_method(&w.program, &p.profile, w.program.entry(), &cfg);
+    print!("{}", hasp_ir::dot::to_dot(&c.func));
+    eprintln!(
+        "// {} under {}: {} blocks, {} regions",
+        w.name,
+        cfg.name,
+        c.func.block_ids().len(),
+        c.func.regions.len()
+    );
+}

@@ -1,0 +1,25 @@
+//! # hasp-experiments — regenerating the paper's evaluation
+//!
+//! The §5 methodology (profile → compile → marker-bounded timing samples →
+//! weighted per-phase reporting) and regenerators for every table and figure
+//! of *Hardware Atomicity for Reliable Software Speculation* (ISCA 2007).
+//! Every experiment run asserts bit-exact checksum equivalence between the
+//! interpreter and the simulated machine, so the numbers can never come from
+//! broken speculation.
+//!
+//! Run the `experiments` binary to print all tables:
+//!
+//! ```bash
+//! cargo run --release -p hasp-experiments --bin experiments
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod figures;
+pub mod report;
+pub mod runner;
+pub mod suite;
+
+pub use runner::{profile_workload, run_workload, ProfiledWorkload, SampleMeasure, WorkloadRun};
+pub use suite::Suite;

@@ -1,0 +1,25 @@
+//! Prints every regenerated table and figure.
+
+use hasp_experiments::figures;
+use hasp_experiments::Suite;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mut suite = Suite::new();
+    println!("{}", figures::table2(&suite));
+    let (_, s) = figures::fig1(&mut suite);
+    println!("{s}");
+    let (_, s) = figures::fig7(&mut suite);
+    println!("{s}");
+    let (_, s) = figures::fig8(&mut suite);
+    println!("{s}");
+    let (_, s) = figures::table3(&mut suite);
+    println!("{s}");
+    let (_, s) = figures::fig9(&mut suite);
+    println!("{s}");
+    let (_, s) = figures::sec62(&mut suite);
+    println!("{s}");
+    let (_, s) = figures::sec63(&mut suite);
+    println!("{s}");
+    eprintln!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

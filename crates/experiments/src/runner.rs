@@ -1,0 +1,207 @@
+//! The evaluation driver (§5 methodology): profile with the interpreter,
+//! compile under a configuration, execute on the simulated machine, and
+//! extract marker-bounded samples. Every run cross-checks the machine's
+//! observable checksum against the interpreter's — a functional-equivalence
+//! assertion built into the experiment harness itself.
+
+use hasp_hw::{lower, CodeCache, HwConfig, Machine, RunStats};
+use hasp_opt::{compile_program, CompilerConfig};
+use hasp_vm::interp::Interp;
+use hasp_vm::profile::Profile;
+use hasp_workloads::Workload;
+
+/// Profiling results for one workload.
+#[derive(Debug)]
+pub struct ProfiledWorkload {
+    /// Interpreter-collected profile.
+    pub profile: Profile,
+    /// The reference checksum every compiled run must reproduce.
+    pub reference_checksum: i64,
+    /// Bytecode instructions the interpreter executed.
+    pub interp_steps: u64,
+}
+
+/// Runs the profiling interpretation pass.
+///
+/// # Panics
+/// Panics if the workload itself fails to execute.
+pub fn profile_workload(w: &Workload) -> ProfiledWorkload {
+    let mut interp = Interp::new(&w.program).with_profiling();
+    interp.set_fuel(w.fuel);
+    interp.run(&[]).unwrap_or_else(|e| panic!("workload {} failed to interpret: {e}", w.name));
+    ProfiledWorkload {
+        profile: interp.profile,
+        reference_checksum: interp.env.checksum(),
+        interp_steps: interp.steps,
+    }
+}
+
+/// One marker-bounded sample measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleMeasure {
+    /// Marker id bounding this sample.
+    pub marker: u32,
+    /// Phase weight.
+    pub weight: f64,
+    /// uops retired within the sample.
+    pub uops: u64,
+    /// Cycles within the sample.
+    pub cycles: u64,
+}
+
+/// Results of one (workload × compiler × hardware) execution.
+#[derive(Debug, Clone)]
+pub struct WorkloadRun {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Compiler configuration name.
+    pub compiler: &'static str,
+    /// Hardware configuration name.
+    pub hardware: &'static str,
+    /// Full-run machine statistics.
+    pub stats: RunStats,
+    /// Per-sample measurements.
+    pub samples: Vec<SampleMeasure>,
+    /// Static uops in the code cache (code-size signal).
+    pub static_uops: usize,
+}
+
+impl WorkloadRun {
+    /// Weighted sample cycles (the paper's per-benchmark execution time).
+    pub fn weighted_cycles(&self) -> f64 {
+        self.samples.iter().map(|s| s.weight * s.cycles as f64).sum()
+    }
+
+    /// Weighted sample uops.
+    pub fn weighted_uops(&self) -> f64 {
+        self.samples.iter().map(|s| s.weight * s.uops as f64).sum()
+    }
+
+    /// Weighted mean of per-sample speedups over a baseline run
+    /// (§5: samples weighted by phase contribution). Returns percent.
+    pub fn speedup_vs(&self, base: &WorkloadRun) -> f64 {
+        let mut acc = 0.0;
+        for (s, b) in self.samples.iter().zip(&base.samples) {
+            debug_assert_eq!(s.marker, b.marker);
+            if s.cycles > 0 {
+                acc += s.weight * (b.cycles as f64 / s.cycles as f64);
+            }
+        }
+        (acc - 1.0) * 100.0
+    }
+
+    /// Weighted uop reduction over a baseline run, in percent.
+    pub fn uop_reduction_vs(&self, base: &WorkloadRun) -> f64 {
+        let mut acc = 0.0;
+        for (s, b) in self.samples.iter().zip(&base.samples) {
+            if b.uops > 0 {
+                acc += s.weight * (s.uops as f64 / b.uops as f64);
+            }
+        }
+        (1.0 - acc) * 100.0
+    }
+}
+
+/// Compiles the workload under `ccfg` and executes it on `hw`.
+///
+/// # Panics
+/// Panics if the machine's checksum diverges from the interpreter's (a
+/// compiler or hardware-model bug) or if a sample marker is missing.
+pub fn run_workload(
+    w: &Workload,
+    profiled: &ProfiledWorkload,
+    ccfg: &CompilerConfig,
+    hw: &HwConfig,
+) -> WorkloadRun {
+    let compiled = compile_program(&w.program, &profiled.profile, ccfg);
+    let mut code = CodeCache::new();
+    for (m, c) in &compiled {
+        code.install(*m, lower(&c.func));
+    }
+    let mut mach = Machine::new(&w.program, &code, hw.clone());
+    mach.set_fuel(w.fuel.saturating_mul(4));
+    mach.run(&[])
+        .unwrap_or_else(|e| panic!("workload {} failed on {}/{}: {e}", w.name, ccfg.name, hw.name));
+    assert_eq!(
+        mach.env.checksum(),
+        profiled.reference_checksum,
+        "checksum divergence on {} under {}/{} — speculation broke semantics",
+        w.name,
+        ccfg.name,
+        hw.name
+    );
+
+    let stats = mach.stats().clone();
+    let samples = w
+        .samples
+        .iter()
+        .map(|s| {
+            let start = stats
+                .markers
+                .iter()
+                .find(|m| m.id == s.marker && m.ordinal == 1)
+                .unwrap_or_else(|| panic!("{}: marker {} start missing", w.name, s.marker));
+            let end = stats
+                .markers
+                .iter()
+                .find(|m| m.id == s.marker && m.ordinal == 2)
+                .unwrap_or_else(|| panic!("{}: marker {} end missing", w.name, s.marker));
+            SampleMeasure {
+                marker: s.marker,
+                weight: s.weight,
+                uops: end.uops - start.uops,
+                cycles: end.cycles - start.cycles,
+            }
+        })
+        .collect();
+
+    WorkloadRun {
+        workload: w.name,
+        compiler: ccfg.name,
+        hardware: hw.name,
+        stats,
+        samples,
+        static_uops: code.static_uops(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hasp_opt::CompilerConfig;
+    use hasp_workloads::synthetic;
+
+    #[test]
+    fn sample_extraction_and_weighted_metrics() {
+        let w = synthetic::add_element(1_000);
+        let profiled = profile_workload(&w);
+        assert!(profiled.interp_steps > 1_000);
+        let base = run_workload(&w, &profiled, &CompilerConfig::no_atomic(), &HwConfig::baseline());
+        assert_eq!(base.samples.len(), 1);
+        let s = base.samples[0];
+        assert_eq!(s.marker, 1);
+        assert!(s.uops > 0 && s.uops <= base.stats.uops);
+        assert!(s.cycles > 0 && s.cycles <= base.stats.cycles);
+        assert!((base.weighted_uops() - s.uops as f64).abs() < 1e-9);
+
+        // Self-comparison is exactly zero.
+        assert_eq!(base.speedup_vs(&base), 0.0);
+        assert_eq!(base.uop_reduction_vs(&base), 0.0);
+
+        // The atomic config's metrics are internally consistent.
+        let atom = run_workload(&w, &profiled, &CompilerConfig::atomic(), &HwConfig::baseline());
+        let speedup = atom.speedup_vs(&base);
+        let manual =
+            (base.samples[0].cycles as f64 / atom.samples[0].cycles as f64 - 1.0) * 100.0;
+        assert!((speedup - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profiling_is_repeatable() {
+        let w = synthetic::postdom_checks(1_000);
+        let a = profile_workload(&w);
+        let b = profile_workload(&w);
+        assert_eq!(a.reference_checksum, b.reference_checksum);
+        assert_eq!(a.interp_steps, b.interp_steps);
+    }
+}

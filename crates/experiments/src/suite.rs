@@ -1,0 +1,71 @@
+//! The experiment suite: memoized (workload × compiler × hardware) runs
+//! shared by all figure/table generators.
+
+use std::collections::HashMap;
+
+use hasp_hw::HwConfig;
+use hasp_opt::CompilerConfig;
+use hasp_workloads::{all_workloads, Workload};
+
+use crate::runner::{profile_workload, run_workload, ProfiledWorkload, WorkloadRun};
+
+/// Lazily-populated result cache over the benchmark suite.
+pub struct Suite {
+    workloads: Vec<Workload>,
+    profiles: Vec<ProfiledWorkload>,
+    runs: HashMap<(usize, &'static str, &'static str), WorkloadRun>,
+}
+
+impl Suite {
+    /// Profiles every workload (the expensive interpreter pass) once.
+    pub fn new() -> Self {
+        let workloads = all_workloads();
+        let profiles = workloads.iter().map(profile_workload).collect();
+        Suite { workloads, profiles, runs: HashMap::new() }
+    }
+
+    /// The workloads, in Table 2 order.
+    pub fn workloads(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    /// Profiling results for workload `i`.
+    pub fn profile(&self, i: usize) -> &ProfiledWorkload {
+        &self.profiles[i]
+    }
+
+    /// Returns (running and caching if needed) the run for workload index
+    /// `i` under the given configurations.
+    pub fn run(&mut self, i: usize, ccfg: &CompilerConfig, hw: &HwConfig) -> &WorkloadRun {
+        let key = (i, ccfg.name, hw.name);
+        if !self.runs.contains_key(&key) {
+            let run = run_workload(&self.workloads[i], &self.profiles[i], ccfg, hw);
+            self.runs.insert(key, run);
+        }
+        &self.runs[&key]
+    }
+
+    /// Convenience: run by workload name.
+    ///
+    /// # Panics
+    /// Panics if the name is unknown.
+    pub fn run_named(
+        &mut self,
+        name: &str,
+        ccfg: &CompilerConfig,
+        hw: &HwConfig,
+    ) -> &WorkloadRun {
+        let i = self
+            .workloads
+            .iter()
+            .position(|w| w.name == name)
+            .unwrap_or_else(|| panic!("unknown workload {name}"));
+        self.run(i, ccfg, hw)
+    }
+}
+
+impl Default for Suite {
+    fn default() -> Self {
+        Suite::new()
+    }
+}

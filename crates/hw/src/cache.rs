@@ -1,0 +1,267 @@
+//! Two-level data-cache model with per-line speculative read/write bits.
+//!
+//! Exactly the paper's §3.3 implementation sketch: "the data cache retains
+//! the data footprint of the atomic region ... Each cache line is extended
+//! with two bits for tracking which addresses have been read and written in
+//! the atomic region. These addresses are exposed to the coherency mechanism
+//! to observe invalidations. Flash clear operations are used to commit
+//! and/or abort speculative state." Evicting a speculatively-accessed line
+//! overflows the region (best-effort hardware → abort).
+
+use crate::config::HwConfig;
+
+/// Which level serviced an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitLevel {
+    /// L1 data cache hit.
+    L1,
+    /// L2 unified cache hit.
+    L2,
+    /// Miss to memory.
+    Memory,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    lru: u64,
+    spec_read: bool,
+    spec_write: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Level {
+    sets: u64,
+    ways: u64,
+    lines: Vec<Line>,
+    tick: u64,
+}
+
+impl Level {
+    fn new(sets: u64, ways: u64) -> Self {
+        Level { sets, ways, lines: vec![Line::default(); (sets * ways) as usize], tick: 0 }
+    }
+
+    fn set_range(&self, line_addr: u64) -> std::ops::Range<usize> {
+        let set = (line_addr % self.sets) as usize;
+        let w = self.ways as usize;
+        set * w..(set + 1) * w
+    }
+
+    fn lookup(&mut self, line_addr: u64) -> Option<usize> {
+        self.tick += 1;
+        let tick = self.tick;
+        let r = self.set_range(line_addr);
+        for i in r {
+            if self.lines[i].valid && self.lines[i].tag == line_addr {
+                self.lines[i].lru = tick;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Installs a line, returning the evicted line if it had speculative
+    /// bits set (overflow signal); prefers evicting non-speculative lines.
+    fn install(&mut self, line_addr: u64) -> (usize, bool) {
+        self.tick += 1;
+        let r = self.set_range(line_addr);
+        // Choose victim: invalid > non-speculative LRU > speculative LRU.
+        let mut victim = r.start;
+        let mut best = (2u8, u64::MAX); // (class, lru)
+        for i in r {
+            let l = &self.lines[i];
+            let class = if !l.valid {
+                0
+            } else if !l.spec_read && !l.spec_write {
+                1
+            } else {
+                2
+            };
+            if (class, l.lru) < best {
+                best = (class, l.lru);
+                victim = i;
+            }
+        }
+        let overflow = self.lines[victim].valid
+            && (self.lines[victim].spec_read || self.lines[victim].spec_write);
+        self.lines[victim] =
+            Line { tag: line_addr, valid: true, lru: self.tick, spec_read: false, spec_write: false };
+        (victim, overflow)
+    }
+}
+
+/// The simulated cache hierarchy.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    l1: Level,
+    l2: Level,
+    line_bytes: u64,
+}
+
+impl CacheSim {
+    /// Builds the hierarchy described by `cfg`.
+    pub fn new(cfg: &HwConfig) -> Self {
+        CacheSim {
+            l1: Level::new(cfg.l1_sets(), cfg.l1_ways),
+            l2: Level::new(cfg.l2_sets(), cfg.l2_ways),
+            line_bytes: cfg.line_bytes,
+        }
+    }
+
+    /// The cache line index of a byte address.
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr / self.line_bytes
+    }
+
+    /// Performs an access. When `speculative` (inside an atomic region) the
+    /// touched L1 line's read/write bit is set. Returns the servicing level
+    /// and whether installing the line evicted speculative state (region
+    /// overflow — the caller must abort).
+    pub fn access(&mut self, addr: u64, write: bool, speculative: bool) -> (HitLevel, bool) {
+        let line = self.line_of(addr);
+        let (level, idx, overflow) = match self.l1.lookup(line) {
+            Some(i) => (HitLevel::L1, i, false),
+            None => {
+                let level = if self.l2.lookup(line).is_some() {
+                    HitLevel::L2
+                } else {
+                    self.l2.install(line);
+                    HitLevel::Memory
+                };
+                let (i, ovf) = self.l1.install(line);
+                (level, i, ovf)
+            }
+        };
+        if speculative {
+            if write {
+                self.l1.lines[idx].spec_write = true;
+            } else {
+                self.l1.lines[idx].spec_read = true;
+            }
+        }
+        (level, overflow)
+    }
+
+    /// Commits the current region: flash-clears all speculative bits.
+    pub fn commit_region(&mut self) {
+        for l in &mut self.l1.lines {
+            l.spec_read = false;
+            l.spec_write = false;
+        }
+    }
+
+    /// Aborts the current region: speculatively-written lines are
+    /// invalidated (their data is rolled back architecturally by the undo
+    /// log); read bits are flash-cleared.
+    pub fn abort_region(&mut self) {
+        for l in &mut self.l1.lines {
+            if l.spec_write {
+                l.valid = false;
+            }
+            l.spec_read = false;
+            l.spec_write = false;
+        }
+    }
+
+    /// Number of L1 lines currently holding speculative state.
+    pub fn spec_lines(&self) -> usize {
+        self.l1.lines.iter().filter(|l| l.valid && (l.spec_read || l.spec_write)).count()
+    }
+
+    /// An external coherence invalidation for `addr`. Returns `true` if it
+    /// hit a line in the current region's read or write set (conflict —
+    /// the caller must abort the region).
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        let r = self.l1.set_range(line);
+        for i in r {
+            let l = &mut self.l1.lines[i];
+            if l.valid && l.tag == line {
+                let conflict = l.spec_read || l.spec_write;
+                l.valid = false;
+                l.spec_read = false;
+                l.spec_write = false;
+                return conflict;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> CacheSim {
+        CacheSim::new(&HwConfig::baseline())
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = sim();
+        assert_eq!(c.access(0x1000, false, false).0, HitLevel::Memory);
+        assert_eq!(c.access(0x1000, false, false).0, HitLevel::L1);
+        assert_eq!(c.access(0x1008, false, false).0, HitLevel::L1, "same line");
+        assert_eq!(c.access(0x1040, false, false).0, HitLevel::Memory, "next line");
+    }
+
+    #[test]
+    fn l2_backstop() {
+        let mut c = sim();
+        c.access(0x1000, false, false);
+        // Evict from L1 by filling its set (128 sets * 64B = 8KB stride).
+        for k in 1..=4 {
+            c.access(0x1000 + k * 8192, false, false);
+        }
+        // 0x1000 evicted from L1 but still in L2.
+        assert_eq!(c.access(0x1000, false, false).0, HitLevel::L2);
+    }
+
+    #[test]
+    fn speculative_bits_and_commit() {
+        let mut c = sim();
+        c.access(0x2000, false, true);
+        c.access(0x3000, true, true);
+        assert_eq!(c.spec_lines(), 2);
+        c.commit_region();
+        assert_eq!(c.spec_lines(), 0);
+        // Data survives commit.
+        assert_eq!(c.access(0x2000, false, false).0, HitLevel::L1);
+    }
+
+    #[test]
+    fn abort_invalidates_written_lines_only() {
+        let mut c = sim();
+        c.access(0x2000, false, true); // read set
+        c.access(0x3000, true, true); // write set
+        c.abort_region();
+        assert_eq!(c.spec_lines(), 0);
+        assert_eq!(c.access(0x2000, false, false).0, HitLevel::L1, "read line survives");
+        assert_ne!(c.access(0x3000, false, false).0, HitLevel::L1, "written line invalidated");
+    }
+
+    #[test]
+    fn overflow_when_set_full_of_speculative_lines() {
+        let mut c = sim();
+        // Fill one L1 set (4 ways) with speculative lines; the 5th evicts one.
+        for k in 0..4u64 {
+            let (_, ovf) = c.access(0x1000 + k * 8192, true, true);
+            assert!(!ovf);
+        }
+        let (_, ovf) = c.access(0x1000 + 4 * 8192, true, true);
+        assert!(ovf, "fifth speculative line in a 4-way set overflows");
+    }
+
+    #[test]
+    fn conflict_detection() {
+        let mut c = sim();
+        c.access(0x5000, false, true);
+        assert!(c.invalidate(0x5008), "invalidation of read-set line conflicts");
+        assert!(!c.invalidate(0x9000), "unrelated line: no conflict");
+        c.access(0x6000, false, false);
+        c.commit_region();
+        assert!(!c.invalidate(0x6000), "non-speculative line: no conflict");
+    }
+}

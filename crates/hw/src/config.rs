@@ -1,0 +1,159 @@
+//! Hardware configurations (Table 1 of the paper, plus the §6.3 sensitivity
+//! variants).
+
+/// Parameters of the simulated machine.
+///
+/// Defaults reproduce Table 1: a 4.0 GHz, 4-wide out-of-order core with a
+/// 128-entry instruction window, 20-cycle branch misprediction penalty,
+/// 32 KB 4-way L1 (4-cycle), 4 MB 8-way L2 (20-cycle), 64-byte lines, and
+/// 100 ns memory, executing atomic regions on a checkpoint substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HwConfig {
+    /// Display name for experiment reports.
+    pub name: &'static str,
+    /// Rename/issue/retire width.
+    pub width: u64,
+    /// Instruction window size (used by the §6.2 region/ROB analysis and the
+    /// single-in-flight drain estimate).
+    pub window: u64,
+    /// Branch misprediction penalty in cycles.
+    pub mispredict_penalty: u64,
+    /// L1 data cache size in bytes.
+    pub l1_bytes: u64,
+    /// L1 associativity.
+    pub l1_ways: u64,
+    /// L1 hit latency (cycles).
+    pub l1_latency: u64,
+    /// L2 size in bytes.
+    pub l2_bytes: u64,
+    /// L2 associativity.
+    pub l2_ways: u64,
+    /// L2 hit latency (cycles).
+    pub l2_latency: u64,
+    /// Memory latency in cycles (100 ns at 4 GHz = 400).
+    pub mem_latency: u64,
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+    /// Average overlap factor for long-latency misses (models MLP/stream
+    /// prefetching: stall cycles are `latency / mlp`).
+    pub mlp: u64,
+    /// Extra stall cycles charged at every `aregion_begin` (Figure 9's
+    /// "+ 20-cycle overhead" configuration; 0 for the checkpoint substrate).
+    pub begin_stall: u64,
+    /// Permit only one atomic region in flight: an `aregion_begin` stalls at
+    /// decode until the previous region commits (Figure 9's
+    /// "single-inflight" configuration).
+    pub single_inflight: bool,
+    /// Pipeline flush cycles charged on a region abort.
+    pub abort_penalty: u64,
+    /// Deterministic conflict injection: probability (per 1M in-region uops)
+    /// that a coherence invalidation hits the region's read/write set.
+    pub conflict_per_miljon: u64,
+    /// Interrupt interval in uops (0 disables); an interrupt inside a region
+    /// aborts it (best-effort hardware).
+    pub interrupt_interval: u64,
+    /// RNG seed for conflict injection.
+    pub seed: u64,
+}
+
+impl HwConfig {
+    /// Table 1's baseline 4-wide out-of-order processor with the
+    /// high-performance checkpoint substrate.
+    pub fn baseline() -> Self {
+        HwConfig {
+            name: "chkpt-4wide",
+            width: 4,
+            window: 128,
+            mispredict_penalty: 20,
+            l1_bytes: 32 * 1024,
+            l1_ways: 4,
+            l1_latency: 4,
+            l2_bytes: 4 * 1024 * 1024,
+            l2_ways: 8,
+            l2_latency: 20,
+            mem_latency: 400,
+            line_bytes: 64,
+            mlp: 4,
+            begin_stall: 0,
+            single_inflight: false,
+            abort_penalty: 20,
+            conflict_per_miljon: 0,
+            interrupt_interval: 0,
+            seed: 0x4a57,
+        }
+    }
+
+    /// Figure 9: 20-cycle pipeline stall at every `aregion_begin`.
+    pub fn with_begin_overhead() -> Self {
+        HwConfig { name: "chkpt+20-cycle", begin_stall: 20, ..HwConfig::baseline() }
+    }
+
+    /// Figure 9: a single atomic region in flight at a time.
+    pub fn single_inflight() -> Self {
+        HwConfig { name: "chkpt-single-inflight", single_inflight: true, ..HwConfig::baseline() }
+    }
+
+    /// §6.3: 2-wide OOO version of the baseline (widths halved).
+    pub fn two_wide() -> Self {
+        HwConfig { name: "chkpt-2wide", width: 2, ..HwConfig::baseline() }
+    }
+
+    /// §6.3: 2-wide with all structures halved ("many-core" style).
+    pub fn two_wide_half() -> Self {
+        HwConfig {
+            name: "chkpt-2wide-half",
+            width: 2,
+            window: 64,
+            l1_bytes: 16 * 1024,
+            l1_ways: 2,
+            l2_bytes: 2 * 1024 * 1024,
+            l2_ways: 4,
+            mlp: 2,
+            ..HwConfig::baseline()
+        }
+    }
+
+    /// Number of L1 sets.
+    pub fn l1_sets(&self) -> u64 {
+        self.l1_bytes / self.line_bytes / self.l1_ways
+    }
+
+    /// Number of L2 sets.
+    pub fn l2_sets(&self) -> u64 {
+        self.l2_bytes / self.line_bytes / self.l2_ways
+    }
+}
+
+impl Default for HwConfig {
+    fn default() -> Self {
+        HwConfig::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults() {
+        let c = HwConfig::baseline();
+        assert_eq!(c.width, 4);
+        assert_eq!(c.window, 128);
+        assert_eq!(c.mispredict_penalty, 20);
+        assert_eq!(c.l1_bytes, 32 * 1024);
+        assert_eq!(c.l2_bytes, 4 * 1024 * 1024);
+        assert_eq!(c.mem_latency, 400, "100ns at 4GHz");
+        assert_eq!(c.l1_sets(), 128);
+        assert_eq!(c.l2_sets(), 8192);
+    }
+
+    #[test]
+    fn sensitivity_variants() {
+        assert_eq!(HwConfig::with_begin_overhead().begin_stall, 20);
+        assert!(HwConfig::single_inflight().single_inflight);
+        assert_eq!(HwConfig::two_wide().width, 2);
+        let h = HwConfig::two_wide_half();
+        assert_eq!(h.l1_bytes, 16 * 1024);
+        assert_eq!(h.window, 64);
+    }
+}

@@ -1,0 +1,37 @@
+//! # hasp-hw — hardware atomicity substrate and timing simulator
+//!
+//! The hardware half of the HASP reproduction of *Hardware Atomicity for
+//! Reliable Software Speculation* (ISCA 2007): the three ISA primitives
+//! (`aregion_begin <alt>`, `aregion_end`, `aregion_abort`) implemented on a
+//! checkpoint execution substrate, exactly as §3 prescribes — register
+//! checkpoint at the recovery point, address tracking through per-line
+//! speculative read/write bits in the L1, buffered updates (undo log),
+//! conflict detection against coherence invalidations, flash-clear
+//! commit/abort — plus a Table 1 machine model for timing.
+//!
+//! * [`uop`] — the machine ISA and code cache.
+//! * [`lower()`](crate::lower::lower) — IR → uop lowering (phi elimination, assert/abort shapes,
+//!   reservation-lock and SLE expansions).
+//! * [`cache`] — two-level cache with speculative bits (overflow → abort).
+//! * [`bpred`] — tournament + indirect branch predictors.
+//! * [`machine`] — the functional executor with checkpoint/rollback and the
+//!   interval timing model, including the Figure 9 sensitivity knobs.
+//! * [`config`] — Table 1 parameters and §6.3 variants.
+//! * [`stats`] — uops/cycles/coverage/abort statistics (Tables 3, Fig. 8/9).
+
+#![warn(missing_docs)]
+
+pub mod bpred;
+pub mod cache;
+pub mod config;
+pub mod lower;
+pub mod machine;
+pub mod stats;
+pub mod uop;
+
+pub use cache::{CacheSim, HitLevel};
+pub use config::HwConfig;
+pub use lower::lower;
+pub use machine::Machine;
+pub use stats::{AbortReason, Histogram, MarkerSnap, RegionCounters, RunStats};
+pub use uop::{CodeCache, CompiledCode, MReg, Uop};

@@ -1,0 +1,256 @@
+//! Execution statistics: uop counts, cycles, atomic-region behavior
+//! (Table 3), region size and footprint distributions (§6.2), and marker
+//! snapshots for the §5 sampling methodology.
+
+use std::collections::HashMap;
+
+use hasp_vm::bytecode::MethodId;
+
+/// Why an atomic region aborted (reported to software through the abort
+/// reason register, §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// An assert fired (`aregion_abort` reached).
+    Explicit,
+    /// A safety check failed inside the region (exception).
+    Exception,
+    /// The region's footprint evicted speculative state from the L1.
+    Overflow,
+    /// A coherence invalidation hit the read/write set.
+    Conflict,
+    /// An interrupt arrived mid-region (best-effort hardware).
+    Interrupt,
+    /// An SLE lock-word check found the lock held by another thread.
+    Sle,
+}
+
+/// All abort reasons, for iteration.
+pub const ABORT_REASONS: [AbortReason; 6] = [
+    AbortReason::Explicit,
+    AbortReason::Exception,
+    AbortReason::Overflow,
+    AbortReason::Conflict,
+    AbortReason::Interrupt,
+    AbortReason::Sle,
+];
+
+/// A histogram over power-of-two-ish buckets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Bucket upper bounds.
+    pub bounds: Vec<u64>,
+    /// Counts per bucket (one extra for "above the last bound").
+    pub counts: Vec<u64>,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Number of samples.
+    pub n: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given bucket upper bounds.
+    pub fn new(bounds: &[u64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0,
+            n: 0,
+            max: 0,
+        }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.n += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.n as f64
+        }
+    }
+
+    /// Fraction of samples at or below `bound` (must be a bucket bound).
+    pub fn fraction_le(&self, bound: u64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let mut acc = 0;
+        for (i, &b) in self.bounds.iter().enumerate() {
+            if b <= bound {
+                acc += self.counts[i];
+            }
+        }
+        acc as f64 / self.n as f64
+    }
+}
+
+/// Per-static-region counters (keyed by method + region id).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionCounters {
+    /// Dynamic entries (`aregion_begin` executed).
+    pub entries: u64,
+    /// Aborts.
+    pub aborts: u64,
+}
+
+/// One marker snapshot: the machine state when a marker uop retired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarkerSnap {
+    /// Marker id.
+    pub id: u32,
+    /// 1-based hit ordinal for this id.
+    pub ordinal: u64,
+    /// Total uops retired so far.
+    pub uops: u64,
+    /// Cycles so far.
+    pub cycles: u64,
+}
+
+/// Aggregate statistics for one machine run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Total uops executed (committed and aborted work both flow through the
+    /// pipeline).
+    pub uops: u64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Uops executed inside atomic regions.
+    pub region_uops: u64,
+    /// Regions committed.
+    pub commits: u64,
+    /// Regions aborted, by reason.
+    pub aborts: HashMap<AbortReason, u64>,
+    /// Conditional branches executed / mispredicted.
+    pub branches: u64,
+    /// Mispredicted conditional branches.
+    pub mispredicts: u64,
+    /// Indirect branches executed / mispredicted.
+    pub indirects: u64,
+    /// Mispredicted indirect branches.
+    pub indirect_misses: u64,
+    /// Memory accesses hitting L1 / L2 / memory.
+    pub l1_hits: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// Memory accesses.
+    pub mem_accesses: u64,
+    /// Committed region sizes in uops (§6.2 ROB analysis).
+    pub region_sizes: Histogram,
+    /// Committed region footprints in distinct cache lines (§6.2).
+    pub region_footprint: Histogram,
+    /// Per-static-region entry/abort counters (adaptive recompilation input).
+    pub per_region: HashMap<(MethodId, u32), RegionCounters>,
+    /// Marker snapshots in hit order.
+    pub markers: Vec<MarkerSnap>,
+    /// Mispredicted-branch sites: (method id, pc) → miss count (diagnosis).
+    pub mispredict_sites: HashMap<(u32, usize), u64>,
+}
+
+impl Default for RunStats {
+    fn default() -> Self {
+        RunStats {
+            uops: 0,
+            cycles: 0,
+            region_uops: 0,
+            commits: 0,
+            aborts: HashMap::new(),
+            branches: 0,
+            mispredicts: 0,
+            indirects: 0,
+            indirect_misses: 0,
+            l1_hits: 0,
+            l2_hits: 0,
+            mem_accesses: 0,
+            region_sizes: Histogram::new(&[16, 32, 64, 128, 256, 512, 1024]),
+            region_footprint: Histogram::new(&[1, 2, 4, 8, 10, 16, 32, 50, 100, 128]),
+            per_region: HashMap::new(),
+            markers: Vec::new(),
+            mispredict_sites: HashMap::new(),
+        }
+    }
+}
+
+impl RunStats {
+    /// Total aborts across reasons.
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts.values().sum()
+    }
+
+    /// Fraction of dynamic uops inside atomic regions (Table 3 coverage).
+    pub fn coverage(&self) -> f64 {
+        if self.uops == 0 {
+            0.0
+        } else {
+            self.region_uops as f64 / self.uops as f64
+        }
+    }
+
+    /// Abort percentage over region entries (Table 3 "abort %").
+    pub fn abort_rate(&self) -> f64 {
+        let entries = self.commits + self.total_aborts();
+        if entries == 0 {
+            0.0
+        } else {
+            self.total_aborts() as f64 / entries as f64
+        }
+    }
+
+    /// Aborts per 1000 uops (Table 3).
+    pub fn aborts_per_kuop(&self) -> f64 {
+        if self.uops == 0 {
+            0.0
+        } else {
+            self.total_aborts() as f64 * 1000.0 / self.uops as f64
+        }
+    }
+
+    /// Number of unique static regions that executed (Table 3 "unique").
+    pub fn unique_regions(&self) -> usize {
+        self.per_region.len()
+    }
+
+    /// Average committed region size in uops (Table 3 "size").
+    pub fn avg_region_size(&self) -> f64 {
+        self.region_sizes.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new(&[10, 100]);
+        for v in [1, 5, 50, 500] {
+            h.record(v);
+        }
+        assert_eq!(h.counts, vec![2, 1, 1]);
+        assert_eq!(h.mean(), 139.0);
+        assert_eq!(h.max, 500);
+        assert_eq!(h.fraction_le(10), 0.5);
+        assert_eq!(h.fraction_le(100), 0.75);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let mut s = RunStats::default();
+        s.uops = 1000;
+        s.region_uops = 700;
+        s.commits = 97;
+        s.aborts.insert(AbortReason::Explicit, 3);
+        assert_eq!(s.coverage(), 0.7);
+        assert_eq!(s.abort_rate(), 0.03);
+        assert_eq!(s.aborts_per_kuop(), 3.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! The machine-level micro-operation ISA and compiled-code containers.
+//!
+//! The ISA is an abstract register machine extended with the paper's three
+//! atomicity primitives (`aregion_begin <alt>`, `aregion_end`,
+//! `aregion_abort`). Registers are per-frame and unbounded — a substitution
+//! for a real register allocator documented in `DESIGN.md`: every compiler
+//! configuration is lowered identically, so relative uop counts (the paper's
+//! efficiency metric) are preserved.
+
+use hasp_vm::bytecode::{BinOp, ClassId, CmpOp, Intrinsic, MethodId, SlotId};
+
+/// A machine register within a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MReg(pub u32);
+
+/// A resolved code offset within a method's uop stream.
+pub type CodePos = usize;
+
+/// One micro-operation.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // operand fields (dst/src/obj/...) are self-describing
+pub enum Uop {
+    /// `dst = imm`
+    Const { dst: MReg, imm: i64 },
+    /// `dst = null`
+    ConstNull { dst: MReg },
+    /// `dst = src`
+    Mov { dst: MReg, src: MReg },
+    /// ALU operation (Div/Rem must be guarded by `CheckDiv`).
+    Alu { op: BinOp, dst: MReg, a: MReg, b: MReg },
+    /// `dst = (a op b) ? 1 : 0`
+    CmpSet { op: CmpOp, dst: MReg, a: MReg, b: MReg },
+    /// Unconditional jump.
+    Jmp { target: CodePos },
+    /// Conditional branch: taken to `target` when `a op b` holds.
+    Br { op: CmpOp, a: MReg, b: MReg, target: CodePos },
+    /// Indirect table dispatch (Java `tableswitch`).
+    JmpInd { sel: MReg, table: Vec<CodePos>, default: CodePos },
+    /// Field load (null-checked separately).
+    LoadField { dst: MReg, obj: MReg, field: u16 },
+    /// Field store.
+    StoreField { obj: MReg, field: u16, src: MReg },
+    /// Array element load (checked separately).
+    LoadElem { dst: MReg, arr: MReg, idx: MReg },
+    /// Array element store.
+    StoreElem { arr: MReg, idx: MReg, src: MReg },
+    /// Array length load.
+    LoadLen { dst: MReg, arr: MReg },
+    /// Lock-word load (packed owner/count).
+    LoadLock { dst: MReg, obj: MReg },
+    /// Lock-word store.
+    StoreLock { obj: MReg, src: MReg },
+    /// Dynamic class-id load.
+    LoadClass { dst: MReg, obj: MReg },
+    /// Object allocation.
+    AllocObj { dst: MReg, class: ClassId },
+    /// Array allocation.
+    AllocArr { dst: MReg, len: MReg },
+    /// Trap (or in-region abort) if `v` is null.
+    CheckNull { v: MReg },
+    /// Trap (or in-region abort) unless `0 <= idx < len`.
+    CheckBounds { len: MReg, idx: MReg },
+    /// Trap (or in-region abort) if `v == 0`.
+    CheckDiv { v: MReg },
+    /// Trap (or in-region abort) unless `obj` is null or instance of `class`.
+    CheckCast { obj: MReg, class: ClassId },
+    /// `dst = (obj instanceof class) ? 1 : 0`.
+    InstOf { dst: MReg, obj: MReg, class: ClassId },
+    /// Direct call.
+    Call { dst: Option<MReg>, target: MethodId, args: Vec<MReg> },
+    /// Virtual call through the receiver's vtable.
+    CallVirt { dst: Option<MReg>, slot: SlotId, recv: MReg, args: Vec<MReg> },
+    /// Return from the frame.
+    Ret { src: Option<MReg> },
+    /// `aregion_begin <alt>`: checkpoint and start speculating; on abort,
+    /// control resumes at `alt`.
+    RegionBegin { region: u32, alt: CodePos },
+    /// `aregion_end`: commit the region atomically.
+    RegionEnd { region: u32 },
+    /// `aregion_abort`: unconditional rollback (target of assert branches).
+    Abort { assert_id: u32 },
+    /// GC safepoint poll (a load of the thread-local yield flag).
+    Poll,
+    /// Host intrinsic.
+    Intrin { kind: Intrinsic, dst: Option<MReg>, args: Vec<MReg> },
+    /// Simulation marker (§5 methodology); architecturally inert.
+    Marker { id: u32 },
+    /// Executing this uop is a VM bug (e.g. monitor contention path in the
+    /// single-mutator simulation).
+    Unreachable { why: &'static str },
+}
+
+impl Uop {
+    /// True for control-transfer uops that consult the branch predictor.
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Uop::Br { .. } | Uop::JmpInd { .. })
+    }
+
+    /// True for uops whose primary action is a data-memory access.
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Uop::LoadField { .. }
+                | Uop::StoreField { .. }
+                | Uop::LoadElem { .. }
+                | Uop::StoreElem { .. }
+                | Uop::LoadLen { .. }
+                | Uop::LoadLock { .. }
+                | Uop::StoreLock { .. }
+                | Uop::LoadClass { .. }
+                | Uop::Poll
+        )
+    }
+}
+
+/// A method's compiled code.
+#[derive(Debug, Clone)]
+pub struct CompiledCode {
+    /// Method name (diagnostics).
+    pub name: String,
+    /// The uop stream; execution starts at offset 0.
+    pub uops: Vec<Uop>,
+    /// Number of machine registers the frame needs.
+    pub regs: u32,
+    /// Map from assert id to provenance (for abort diagnosis, paper §3.2).
+    pub assert_origins: Vec<String>,
+    /// Number of atomic regions in the code.
+    pub region_count: u32,
+}
+
+/// The code cache: compiled code for every method.
+#[derive(Debug, Clone, Default)]
+pub struct CodeCache {
+    methods: std::collections::HashMap<MethodId, CompiledCode>,
+}
+
+impl CodeCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs compiled code for a method.
+    pub fn install(&mut self, m: MethodId, code: CompiledCode) {
+        self.methods.insert(m, code);
+    }
+
+    /// Fetches a method's code.
+    pub fn get(&self, m: MethodId) -> Option<&CompiledCode> {
+        self.methods.get(&m)
+    }
+
+    /// Total static uop count across all methods.
+    pub fn static_uops(&self) -> usize {
+        self.methods.values().map(|c| c.uops.len()).sum()
+    }
+
+    /// Number of compiled methods.
+    pub fn len(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// True if no methods are installed.
+    pub fn is_empty(&self) -> bool {
+        self.methods.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Uop::Br { op: CmpOp::Eq, a: MReg(0), b: MReg(1), target: 0 }.is_branch());
+        assert!(Uop::JmpInd { sel: MReg(0), table: vec![], default: 0 }.is_branch());
+        assert!(!Uop::Jmp { target: 0 }.is_branch(), "unconditional jumps don't predict");
+        assert!(Uop::LoadField { dst: MReg(0), obj: MReg(1), field: 0 }.is_memory());
+        assert!(Uop::Poll.is_memory());
+        assert!(!Uop::Const { dst: MReg(0), imm: 3 }.is_memory());
+    }
+
+    #[test]
+    fn code_cache_roundtrip() {
+        let mut cc = CodeCache::new();
+        assert!(cc.is_empty());
+        cc.install(
+            MethodId(3),
+            CompiledCode {
+                name: "m".into(),
+                uops: vec![Uop::Ret { src: None }],
+                regs: 1,
+                assert_origins: vec![],
+                region_count: 0,
+            },
+        );
+        assert_eq!(cc.len(), 1);
+        assert_eq!(cc.static_uops(), 1);
+        assert!(cc.get(MethodId(3)).is_some());
+        assert!(cc.get(MethodId(4)).is_none());
+    }
+}

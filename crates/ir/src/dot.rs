@@ -1,0 +1,91 @@
+//! Graphviz export of a function's CFG (atomic regions rendered as clusters).
+
+use std::fmt::Write as _;
+
+use crate::func::Func;
+use crate::instr::{Op, Term};
+
+/// Renders `f` as a Graphviz `digraph`. Speculative region blocks are grouped
+/// into clusters, mirroring the paper's Figure 1(d)/5(b) drawings.
+pub fn to_dot(f: &Func) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", f.name);
+    let _ = writeln!(s, "  node [shape=box fontname=monospace];");
+
+    // Group blocks by region.
+    let mut regions: Vec<(u32, Vec<_>)> = Vec::new();
+    for b in f.block_ids() {
+        if let Some(r) = f.block(b).region {
+            match regions.iter_mut().find(|(id, _)| *id == r.0) {
+                Some((_, v)) => v.push(b),
+                None => regions.push((r.0, vec![b])),
+            }
+        }
+    }
+    for (r, blocks) in &regions {
+        let _ = writeln!(s, "  subgraph cluster_r{r} {{");
+        let _ = writeln!(s, "    label=\"atomic region {r}\"; style=dashed;");
+        for b in blocks {
+            let _ = writeln!(s, "    {b};");
+        }
+        let _ = writeln!(s, "  }}");
+    }
+
+    for b in f.block_ids() {
+        let blk = f.block(b);
+        let mut label = format!("{b} (freq {})\\l", blk.freq);
+        for inst in blk.insts.iter().take(12) {
+            let line = match inst.dst {
+                Some(d) => format!("{d} = {:?}", short(&inst.op)),
+                None => format!("{:?}", short(&inst.op)),
+            };
+            let _ = write!(label, "{}\\l", line.replace('"', "'"));
+        }
+        if blk.insts.len() > 12 {
+            let _ = write!(label, "... ({} more)\\l", blk.insts.len() - 12);
+        }
+        let _ = writeln!(s, "  {b} [label=\"{label}\"];");
+        match &blk.term {
+            Term::Branch { t, f: fb, t_count, f_count, .. } => {
+                let _ = writeln!(s, "  {b} -> {t} [label=\"T {t_count}\"];");
+                let _ = writeln!(s, "  {b} -> {fb} [label=\"F {f_count}\"];");
+            }
+            Term::RegionBegin { body, abort, .. } => {
+                let _ = writeln!(s, "  {b} -> {body} [label=\"speculate\"];");
+                let _ = writeln!(s, "  {b} -> {abort} [label=\"abort\" style=dotted];");
+            }
+            _ => {
+                for t in blk.term.succs() {
+                    let _ = writeln!(s, "  {b} -> {t};");
+                }
+            }
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Trims verbose op debug output for labels.
+fn short(op: &Op) -> String {
+    let d = format!("{op:?}");
+    if d.len() > 60 {
+        format!("{}…", &d[..60])
+    } else {
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hasp_vm::bytecode::MethodId;
+
+    #[test]
+    fn emits_digraph() {
+        let f = Func::new("t", MethodId(0), 0);
+        let dot = to_dot(&f);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("b0"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Backward liveness analysis (used by lowering/register allocation and by
+//! dead-code elimination's treatment of phis).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::func::Func;
+use crate::instr::{BlockId, Op, VReg};
+
+/// Per-block live-in/live-out sets.
+#[derive(Debug, Clone, Default)]
+pub struct Liveness {
+    /// Values live at block entry (phi results included).
+    pub live_in: HashMap<BlockId, HashSet<VReg>>,
+    /// Values live at block exit.
+    pub live_out: HashMap<BlockId, HashSet<VReg>>,
+}
+
+impl Liveness {
+    /// Computes liveness for all reachable blocks.
+    ///
+    /// Phi semantics: a phi's operands are live-out of the corresponding
+    /// predecessor (not live-in of the phi's block); phi results are defined
+    /// at block entry.
+    pub fn compute(f: &Func) -> Liveness {
+        let blocks = f.rpo();
+        let preds = f.preds();
+
+        // Per-block upward-exposed uses and defs (phis excluded from uses).
+        let mut gen_: HashMap<BlockId, HashSet<VReg>> = HashMap::new();
+        let mut kill: HashMap<BlockId, HashSet<VReg>> = HashMap::new();
+        for &b in &blocks {
+            let mut g = HashSet::new();
+            let mut k = HashSet::new();
+            for inst in &f.block(b).insts {
+                if !matches!(inst.op, Op::Phi(_)) {
+                    for a in inst.op.args() {
+                        if !k.contains(&a) {
+                            g.insert(a);
+                        }
+                    }
+                }
+                if let Some(d) = inst.dst {
+                    k.insert(d);
+                }
+            }
+            for a in f.block(b).term.args() {
+                if !k.contains(&a) {
+                    g.insert(a);
+                }
+            }
+            gen_.insert(b, g);
+            kill.insert(b, k);
+        }
+
+        // Phi uses attach to predecessor ends.
+        let mut phi_uses: HashMap<BlockId, HashSet<VReg>> = HashMap::new();
+        for &b in &blocks {
+            for inst in f.block(b).phis() {
+                if let Op::Phi(ins) = &inst.op {
+                    for (p, v) in ins {
+                        phi_uses.entry(*p).or_default().insert(*v);
+                    }
+                }
+            }
+        }
+
+        let mut live_in: HashMap<BlockId, HashSet<VReg>> =
+            blocks.iter().map(|b| (*b, HashSet::new())).collect();
+        let mut live_out: HashMap<BlockId, HashSet<VReg>> =
+            blocks.iter().map(|b| (*b, HashSet::new())).collect();
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Reverse order converges faster for backward problems.
+            for &b in blocks.iter().rev() {
+                let mut out: HashSet<VReg> = phi_uses.get(&b).cloned().unwrap_or_default();
+                for s in f.succs(b) {
+                    if let Some(li) = live_in.get(&s) {
+                        out.extend(li.iter().copied());
+                    }
+                }
+                let mut inn: HashSet<VReg> = gen_[&b].clone();
+                for v in &out {
+                    if !kill[&b].contains(v) {
+                        inn.insert(*v);
+                    }
+                }
+                if out != live_out[&b] {
+                    live_out.insert(b, out);
+                    changed = true;
+                }
+                if inn != live_in[&b] {
+                    live_in.insert(b, inn);
+                    changed = true;
+                }
+            }
+        }
+        let _ = preds;
+        Liveness { live_in, live_out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Inst, Term};
+    use hasp_vm::bytecode::{BinOp, CmpOp, MethodId};
+
+    #[test]
+    fn loop_carried_value_live_around_loop() {
+        // entry: x0=0 -> head: x=phi(entry x0, body x1); branch -> body|exit
+        // body: x1 = x + p0 -> head; exit: return x
+        let mut f = Func::new("l", MethodId(0), 1);
+        let p = VReg(0);
+        let x0 = f.vreg();
+        let exit = f.add_block(Term::Return(None));
+        let head = f.add_block(Term::Return(None));
+        let body = f.add_block(Term::Jump(head));
+        let x = f.vreg();
+        let x1 = f.vreg();
+        f.block_mut(f.entry).insts.push(Inst::with_dst(x0, Op::Const(0)));
+        f.block_mut(f.entry).term = Term::Jump(head);
+        let entry = f.entry;
+        f.block_mut(head)
+            .insts
+            .push(Inst::with_dst(x, Op::Phi(vec![(entry, x0), (body, x1)])));
+        f.block_mut(head).term =
+            Term::Branch { op: CmpOp::Lt, a: x, b: p, t: body, f: exit, t_count: 5, f_count: 1 };
+        f.block_mut(body).insts.push(Inst::with_dst(x1, Op::Bin(BinOp::Add, x, p)));
+        f.block_mut(exit).term = Term::Return(Some(x));
+
+        let lv = Liveness::compute(&f);
+        // x1 is live out of body (consumed by head's phi).
+        assert!(lv.live_out[&body].contains(&x1));
+        // x is live into body and exit.
+        assert!(lv.live_in[&body].contains(&x));
+        assert!(lv.live_in[&exit].contains(&x));
+        // p (parameter) is live into head.
+        assert!(lv.live_in[&head].contains(&p));
+        // x0 is live out of entry (phi input) but not into body.
+        assert!(lv.live_out[&f.entry].contains(&x0));
+        assert!(!lv.live_in[&body].contains(&x0));
+    }
+}

@@ -1,0 +1,280 @@
+//! Natural-loop detection and loop utilities (headers, pre-headers, exits,
+//! nesting order) — Algorithm 1 processes "loops in post order" (innermost
+//! first).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::dom::DomTree;
+use crate::func::Func;
+use crate::instr::{BlockId, Term};
+
+/// One natural loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// The loop header (target of the back edge(s)).
+    pub header: BlockId,
+    /// All blocks in the loop, including the header.
+    pub blocks: HashSet<BlockId>,
+    /// Loops whose headers are strictly inside this loop.
+    pub depth: usize,
+}
+
+impl Loop {
+    /// Blocks outside the loop reachable by one edge from inside (loop
+    /// exits' *targets*).
+    pub fn exit_targets(&self, f: &Func) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        for &b in &self.blocks {
+            for s in f.succs(b) {
+                if !self.blocks.contains(&s) && !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Blocks inside the loop with an edge leaving the loop.
+    pub fn exiting_blocks(&self, f: &Func) -> Vec<BlockId> {
+        let mut out: Vec<BlockId> = self
+            .blocks
+            .iter()
+            .copied()
+            .filter(|&b| f.succs(b).iter().any(|s| !self.blocks.contains(s)))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Blocks inside the loop that branch back to the header.
+    pub fn latches(&self, f: &Func) -> Vec<BlockId> {
+        let mut out: Vec<BlockId> = self
+            .blocks
+            .iter()
+            .copied()
+            .filter(|&b| f.succs(b).contains(&self.header))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+/// All natural loops of a function.
+#[derive(Debug, Clone)]
+pub struct LoopForest {
+    loops: Vec<Loop>,
+}
+
+impl LoopForest {
+    /// Finds natural loops: for each back edge `t -> h` where `h` dominates
+    /// `t`, the loop body is everything that reaches `t` without passing
+    /// `h`. Back edges sharing a header are merged into one loop.
+    pub fn compute(f: &Func, dt: &DomTree) -> Self {
+        let preds = f.preds();
+        let mut by_header: HashMap<BlockId, HashSet<BlockId>> = HashMap::new();
+        for b in f.rpo() {
+            for s in f.succs(b) {
+                if dt.dominates(s, b) {
+                    // b -> s is a back edge.
+                    let body = by_header.entry(s).or_default();
+                    body.insert(s);
+                    // Walk predecessors from the latch up to the header.
+                    let mut stack = vec![b];
+                    while let Some(x) = stack.pop() {
+                        if body.insert(x) {
+                            for &p in preds.get(&x).into_iter().flatten() {
+                                if !body.contains(&p) {
+                                    stack.push(p);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut loops: Vec<Loop> = by_header
+            .into_iter()
+            .map(|(header, blocks)| Loop { header, blocks, depth: 0 })
+            .collect();
+        // Depth = number of other loops containing this loop's header.
+        let depths: Vec<usize> = loops
+            .iter()
+            .map(|l| {
+                loops
+                    .iter()
+                    .filter(|o| o.header != l.header && o.blocks.contains(&l.header))
+                    .count()
+            })
+            .collect();
+        for (l, d) in loops.iter_mut().zip(depths) {
+            l.depth = d;
+        }
+        // Post order: innermost (deepest) first; tie-break on header id for
+        // determinism.
+        loops.sort_by(|a, b| b.depth.cmp(&a.depth).then(a.header.cmp(&b.header)));
+        LoopForest { loops }
+    }
+
+    /// Loops innermost-first ("LoopsInPostOrder" of Algorithm 1).
+    pub fn post_order(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// The innermost loop containing `b`, if any.
+    pub fn innermost_containing(&self, b: BlockId) -> Option<&Loop> {
+        self.loops.iter().find(|l| l.blocks.contains(&b))
+    }
+
+    /// True if `b` is a loop header.
+    pub fn is_header(&self, b: BlockId) -> bool {
+        self.loops.iter().any(|l| l.header == b)
+    }
+
+    /// Number of loops.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// True if the function has no loops.
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+}
+
+/// Returns the unique pre-header of `loop_` (the single non-latch
+/// predecessor of the header that has the header as its only successor),
+/// or creates one by splitting the non-back edges into the header.
+pub fn ensure_preheader(f: &mut Func, l: &Loop) -> BlockId {
+    let preds = f.preds();
+    let outside: Vec<BlockId> = preds
+        .get(&l.header)
+        .into_iter()
+        .flatten()
+        .copied()
+        .filter(|p| !l.blocks.contains(p))
+        .collect();
+    if outside.len() == 1 {
+        let p = outside[0];
+        if f.succs(p) == vec![l.header] {
+            return p;
+        }
+    }
+    // Create a fresh pre-header and retarget all outside edges through it.
+    let ph = f.add_block(Term::Jump(l.header));
+    let mut freq = 0;
+    for p in &outside {
+        freq += f.edge_count(*p, l.header);
+    }
+    f.block_mut(ph).freq = freq;
+    for p in outside {
+        f.block_mut(p).term.retarget(l.header, ph);
+        // Phi inputs from p now flow through ph.
+        for inst in &mut f.block_mut(l.header).insts {
+            if let crate::instr::Op::Phi(ins) = &mut inst.op {
+                for (pb, _) in ins.iter_mut() {
+                    if *pb == p {
+                        *pb = ph;
+                    }
+                }
+            }
+        }
+    }
+    ph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hasp_vm::bytecode::{CmpOp, MethodId};
+
+    /// entry -> outer_head; outer: head -> inner_head -> inner_body -> inner_head | outer_latch; outer_latch -> outer_head | exit
+    fn nested() -> Func {
+        let mut f = Func::new("n", MethodId(0), 0);
+        let x = f.vreg();
+        let y = f.vreg();
+        let exit = f.add_block(Term::Return(None)); // b1
+        let outer_head = f.add_block(Term::Return(None)); // b2 patched below
+        let inner_head = f.add_block(Term::Return(None)); // b3 patched
+        let inner_body = f.add_block(Term::Jump(inner_head)); // b4
+        let outer_latch = f.add_block(Term::Branch {
+            op: CmpOp::Lt,
+            a: x,
+            b: y,
+            t: outer_head,
+            f: exit,
+            t_count: 10,
+            f_count: 1,
+        }); // b5
+        f.block_mut(outer_head).term = Term::Jump(inner_head);
+        f.block_mut(inner_head).term = Term::Branch {
+            op: CmpOp::Lt,
+            a: x,
+            b: y,
+            t: inner_body,
+            f: outer_latch,
+            t_count: 100,
+            f_count: 10,
+        };
+        f.block_mut(f.entry).term = Term::Jump(outer_head);
+        f
+    }
+
+    #[test]
+    fn finds_nested_loops_innermost_first() {
+        let f = nested();
+        let dt = DomTree::compute(&f);
+        let lf = LoopForest::compute(&f, &dt);
+        assert_eq!(lf.len(), 2);
+        let inner = &lf.post_order()[0];
+        let outer = &lf.post_order()[1];
+        assert_eq!(inner.header, BlockId(3));
+        assert_eq!(outer.header, BlockId(2));
+        assert!(inner.depth > outer.depth);
+        assert!(outer.blocks.contains(&BlockId(3)));
+        assert!(outer.blocks.contains(&BlockId(5)));
+        assert!(!inner.blocks.contains(&BlockId(5)));
+    }
+
+    #[test]
+    fn exits_and_latches() {
+        let f = nested();
+        let dt = DomTree::compute(&f);
+        let lf = LoopForest::compute(&f, &dt);
+        let outer = &lf.post_order()[1];
+        assert_eq!(outer.exit_targets(&f), vec![BlockId(1)]);
+        assert_eq!(outer.exiting_blocks(&f), vec![BlockId(5)]);
+        assert_eq!(outer.latches(&f), vec![BlockId(5)]);
+        let inner = &lf.post_order()[0];
+        assert_eq!(inner.latches(&f), vec![BlockId(4)]);
+    }
+
+    #[test]
+    fn preheader_created_once() {
+        let mut f = nested();
+        let dt = DomTree::compute(&f);
+        let lf = LoopForest::compute(&f, &dt);
+        let inner = lf.post_order()[0].clone();
+        let ph = ensure_preheader(&mut f, &inner);
+        // outer_head jumps straight to inner_head and is outside the inner
+        // loop, so it already is a valid pre-header.
+        assert_eq!(ph, BlockId(2));
+
+        let outer = lf.post_order()[1].clone();
+        let ph2 = ensure_preheader(&mut f, &outer);
+        // entry branches only to outer_head, so entry is the pre-header.
+        assert_eq!(ph2, f.entry);
+    }
+
+    #[test]
+    fn innermost_containing() {
+        let f = nested();
+        let dt = DomTree::compute(&f);
+        let lf = LoopForest::compute(&f, &dt);
+        assert_eq!(lf.innermost_containing(BlockId(4)).unwrap().header, BlockId(3));
+        assert_eq!(lf.innermost_containing(BlockId(5)).unwrap().header, BlockId(2));
+        assert!(lf.innermost_containing(BlockId(1)).is_none());
+        assert!(lf.is_header(BlockId(2)));
+        assert!(!lf.is_header(BlockId(4)));
+    }
+}

@@ -1,0 +1,294 @@
+//! SSA repair after code replication.
+//!
+//! Region replication (and any other duplication) creates several
+//! definitions of what was one SSA value: the original and its copies. Uses
+//! downstream of the duplicated code are then no longer dominated by any
+//! single definition. [`repair`] performs single-variable SSA
+//! reconstruction: it treats the group of definitions as assignments to one
+//! variable, inserts phis at the iterated dominance frontier of the
+//! definition sites, and rewrites every use to its nearest reaching
+//! definition (the classic SSA-updater algorithm).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::dom::DomTree;
+use crate::func::Func;
+use crate::instr::{BlockId, Inst, Op, VReg};
+
+/// Rewrites all uses of the values in `group` (the original definition and
+/// its replicas) to reaching definitions, inserting join phis as needed.
+///
+/// Preconditions: every member of `group` is defined at most once; on every
+/// path reaching a use, at least one member is defined (paths where none is
+/// defined get a synthesized zero — such paths cannot consume the value
+/// meaningfully, or the input was broken before replication).
+pub fn repair(f: &mut Func, group: &[VReg]) {
+    let dt = DomTree::compute(f);
+    let frontiers = dt.frontiers(f);
+    repair_with(f, group, &dt, &frontiers);
+}
+
+/// [`repair`] with precomputed dominator structures. Inserting phis does not
+/// change the CFG, so one `DomTree`/frontier computation can be shared across
+/// many groups after a single replication.
+pub fn repair_with(
+    f: &mut Func,
+    group: &[VReg],
+    dt: &DomTree,
+    frontiers: &std::collections::HashMap<BlockId, HashSet<BlockId>>,
+) {
+    let members: HashSet<VReg> = group.iter().copied().collect();
+    let reachable: Vec<BlockId> = f.rpo();
+    let reachable_set: HashSet<BlockId> = reachable.iter().copied().collect();
+
+    // Definition sites.
+    let mut def_blocks: HashSet<BlockId> = HashSet::new();
+    for &b in &reachable {
+        for inst in &f.block(b).insts {
+            if let Some(d) = inst.dst {
+                if members.contains(&d) {
+                    def_blocks.insert(b);
+                }
+            }
+        }
+    }
+    if def_blocks.len() <= 1 {
+        return; // a single def dominates all its uses already
+    }
+
+    // Iterated dominance frontier → join phi placement.
+    let mut phi_at: HashMap<BlockId, VReg> = HashMap::new();
+    let mut work: Vec<BlockId> = def_blocks.iter().copied().collect();
+    work.sort();
+    let mut placed: HashSet<BlockId> = HashSet::new();
+    while let Some(b) = work.pop() {
+        for &d in frontiers.get(&b).into_iter().flatten() {
+            if !reachable_set.contains(&d) || !placed.insert(d) {
+                continue;
+            }
+            let fresh = f.vreg();
+            f.block_mut(d).insts.insert(0, Inst::with_dst(fresh, Op::Phi(Vec::new())));
+            phi_at.insert(d, fresh);
+            if !def_blocks.contains(&d) {
+                work.push(d);
+            }
+        }
+    }
+
+    // Reaching-definition walk over the dominator tree.
+    let mut stack: Vec<VReg> = Vec::new();
+    walk(f, dt, dt.root(), &members, &phi_at, &mut stack);
+}
+
+fn walk(
+    f: &mut Func,
+    dt: &DomTree,
+    b: BlockId,
+    members: &HashSet<VReg>,
+    phi_at: &HashMap<BlockId, VReg>,
+    stack: &mut Vec<VReg>,
+) {
+    let mut pushed = 0usize;
+    if let Some(&pd) = phi_at.get(&b) {
+        stack.push(pd);
+        pushed += 1;
+    }
+    let n = f.block(b).insts.len();
+    for i in 0..n {
+        let inst = &mut f.block_mut(b).insts[i];
+        let is_phi = matches!(inst.op, Op::Phi(_));
+        if !is_phi {
+            for a in inst.op.args_mut() {
+                if members.contains(a) {
+                    *a = *stack.last().unwrap_or_else(|| {
+                        panic!("use of replicated value with no reaching def in {b}")
+                    });
+                }
+            }
+        }
+        if let Some(d) = inst.dst {
+            if members.contains(&d) {
+                stack.push(d);
+                pushed += 1;
+            }
+        }
+    }
+    {
+        let mut term = f.block(b).term.clone();
+        for a in term.args_mut() {
+            if members.contains(a) {
+                *a = *stack
+                    .last()
+                    .unwrap_or_else(|| panic!("terminator use with no reaching def in {b}"));
+            }
+        }
+        f.block_mut(b).term = term;
+    }
+
+    // Feed successors: fill join phis and rewrite existing phi inputs
+    // arriving from this block.
+    let mut succs = f.succs(b);
+    succs.sort();
+    succs.dedup();
+    for s in succs {
+        let reaching = stack.last().copied();
+        let sb = &mut f.block_mut(s).insts;
+        for inst in sb.iter_mut() {
+            let dst = inst.dst;
+            if let Op::Phi(ins) = &mut inst.op {
+                let is_join = phi_at.get(&s) == dst.as_ref();
+                if is_join {
+                    if !ins.iter().any(|(p, _)| *p == b) {
+                        // Paths without a def contribute a synthesized zero
+                        // (dead on such paths).
+                        ins.push((b, reaching.unwrap_or(VReg(u32::MAX))));
+                    }
+                } else {
+                    for (p, v) in ins.iter_mut() {
+                        if *p == b && members.contains(v) {
+                            *v = reaching
+                                .unwrap_or_else(|| panic!("phi input without reaching def at {b}"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for c in dt.children(b).to_vec() {
+        walk(f, dt, c, members, phi_at, stack);
+    }
+    for _ in 0..pushed {
+        stack.pop();
+    }
+}
+
+/// Post-pass: any join phi input left as the `VReg(u32::MAX)` placeholder is
+/// materialized as a zero constant in the predecessor. Returns the number of
+/// materializations.
+pub fn materialize_undef_inputs(f: &mut Func) -> usize {
+    let mut fixes: Vec<(BlockId, BlockId, usize)> = Vec::new(); // (pred, block, inst idx)
+    for b in f.block_ids() {
+        for (i, inst) in f.block(b).insts.iter().enumerate() {
+            if let Op::Phi(ins) = &inst.op {
+                for (p, v) in ins {
+                    if v.0 == u32::MAX {
+                        fixes.push((*p, b, i));
+                    }
+                }
+            }
+        }
+    }
+    let count = fixes.len();
+    for (p, b, i) in fixes {
+        let z = f.vreg();
+        let at = f.block(p).insts.len();
+        f.block_mut(p).insts.insert(at, Inst::with_dst(z, Op::Const(0)));
+        if let Op::Phi(ins) = &mut f.block_mut(b).insts[i].op {
+            for (pp, v) in ins.iter_mut() {
+                if *pp == p && v.0 == u32::MAX {
+                    *v = z;
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Term;
+    use crate::verify;
+    use hasp_vm::bytecode::{BinOp, CmpOp, MethodId};
+
+    /// entry -> {orig, copy} -> join -> use(v_orig)
+    /// The copy defines v2 (a replica of v1); the use in join must become a
+    /// phi of both.
+    #[test]
+    fn diamond_copy_gets_phi() {
+        let mut f = Func::new("t", MethodId(0), 1);
+        let p = VReg(0);
+        let join = f.add_block(Term::Return(None));
+        let orig = f.add_block(Term::Jump(join));
+        let copy = f.add_block(Term::Jump(join));
+        let v1 = f.vreg();
+        let v2 = f.vreg();
+        let z = f.vreg();
+        f.block_mut(orig).insts.push(Inst::with_dst(v1, Op::Const(10)));
+        f.block_mut(copy).insts.push(Inst::with_dst(v2, Op::Const(10)));
+        f.block_mut(f.entry).insts.push(Inst::with_dst(z, Op::Const(0)));
+        f.block_mut(f.entry).term = Term::Branch {
+            op: CmpOp::Eq,
+            a: p,
+            b: z,
+            t: orig,
+            f: copy,
+            t_count: 1,
+            f_count: 1,
+        };
+        let out = f.vreg();
+        f.block_mut(join).insts.push(Inst::with_dst(out, Op::Bin(BinOp::Add, v1, v1)));
+        f.block_mut(join).term = Term::Return(Some(out));
+        assert!(verify(&f).is_err(), "broken before repair");
+
+        repair(&mut f, &[v1, v2]);
+        materialize_undef_inputs(&mut f);
+        verify(&f).unwrap_or_else(|e| panic!("{e}\n{}", f.display()));
+        // join got a phi over (orig v1, copy v2).
+        match &f.block(join).insts[0].op {
+            Op::Phi(ins) => {
+                let mut vals: Vec<VReg> = ins.iter().map(|(_, v)| *v).collect();
+                vals.sort();
+                assert_eq!(vals, vec![v1, v2]);
+            }
+            other => panic!("expected join phi, got {other:?}"),
+        }
+    }
+
+    /// Loop-shaped repair: def before loop and def of the replica inside the
+    /// loop; use after the loop sees a header phi.
+    #[test]
+    fn loop_copy_gets_header_phi() {
+        let mut f = Func::new("t", MethodId(0), 1);
+        let p = VReg(0);
+        let exit = f.add_block(Term::Return(None));
+        let head = f.add_block(Term::Return(None));
+        let body = f.add_block(Term::Jump(head));
+        let v1 = f.vreg();
+        let v2 = f.vreg();
+        f.block_mut(f.entry).insts.push(Inst::with_dst(v1, Op::Const(1)));
+        f.block_mut(f.entry).term = Term::Jump(head);
+        f.block_mut(head).term = Term::Branch {
+            op: CmpOp::Lt,
+            a: p,
+            b: p,
+            t: body,
+            f: exit,
+            t_count: 5,
+            f_count: 1,
+        };
+        f.block_mut(body).insts.push(Inst::with_dst(v2, Op::Bin(BinOp::Add, v1, v1)));
+        f.block_mut(exit).term = Term::Return(Some(v1));
+
+        repair(&mut f, &[v1, v2]);
+        materialize_undef_inputs(&mut f);
+        verify(&f).unwrap_or_else(|e| panic!("{e}\n{}", f.display()));
+        assert!(
+            f.block(head).phi_count() >= 1,
+            "header needs a merge phi:\n{}",
+            f.display()
+        );
+    }
+
+    #[test]
+    fn single_def_untouched() {
+        let mut f = Func::new("t", MethodId(0), 0);
+        let v = f.vreg();
+        f.block_mut(f.entry).insts.push(Inst::with_dst(v, Op::Const(3)));
+        f.block_mut(f.entry).term = Term::Return(Some(v));
+        repair(&mut f, &[v, VReg(99)]);
+        verify(&f).unwrap();
+        assert_eq!(f.block(f.entry).insts.len(), 1);
+    }
+}

@@ -1,0 +1,772 @@
+//! Dominator-scoped global value numbering with redundancy elimination.
+//!
+//! This is the paper's workhorse: a *non-speculative* redundancy-elimination
+//! pass that, once cold edges have been converted into asserts, performs
+//! *speculative* optimization for free (§2, §4). It removes:
+//!
+//! * redundant pure expressions (`Bin`, `Cmp`, `ArrayLen`, `InstanceOf`,
+//!   `LoadClass`, constants),
+//! * redundant safety checks (a dominating equivalent check subsumes a later
+//!   one — null checks, bounds checks, div checks, cast checks),
+//! * redundant *asserts* ("redundant asserts are eliminated by existing
+//!   redundancy elimination passes such as global value numbering", §4),
+//! * redundant memory loads, with store-to-load forwarding, using a
+//!   memory-versioning discipline: every field (and the array-element space)
+//!   carries a version; stores, calls and monitor operations advance it, and
+//!   versions merge at control-flow joins — agreeing predecessors keep their
+//!   version, disagreeing ones (or back edges) get a fresh one. A load is
+//!   redundant only under an equal version, so availability flows through
+//!   store-free warm diamonds but dies at joins whose other arm clobbers —
+//!   which is exactly why converting cold edges into asserts widens the
+//!   optimization scope (Figure 3).
+//!
+//! Value equivalences are global SSA facts collected in a union-find-style
+//! leader table; expression availability is dominator-tree scoped.
+
+use std::collections::HashMap;
+
+use hasp_ir::{AssertKind, BlockId, DomTree, Func, Op, VReg};
+use hasp_vm::bytecode::{BinOp, CmpOp};
+
+/// Canonical expression key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Const(i64),
+    ConstNull,
+    Bin(BinOp, VReg, VReg),
+    Cmp(CmpOp, VReg, VReg),
+    ArrayLen(VReg),
+    InstanceOf(VReg, u32),
+    LoadClass(VReg),
+    NullCheck(VReg),
+    DivCheck(VReg),
+    BoundsCheck(VReg, VReg),
+    CastCheck(VReg, u32),
+    LoadField(VReg, u16, u64),
+    LoadElem(VReg, VReg, u64),
+    AssertCmp(CmpOp, VReg, VReg),
+    AssertNull(VReg),
+    AssertClassNe(VReg, u32),
+    AssertLockHeld(VReg),
+    AssertIntNe(VReg, i64),
+    SleCheck(VReg),
+}
+
+/// Statistics from one GVN run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GvnStats {
+    /// Pure expressions replaced by earlier values.
+    pub exprs: usize,
+    /// Safety checks removed as subsumed.
+    pub checks: usize,
+    /// Loads removed (redundant or store-forwarded).
+    pub loads: usize,
+    /// Asserts removed as redundant.
+    pub asserts: usize,
+    /// Copies propagated away.
+    pub copies: usize,
+}
+
+impl GvnStats {
+    /// Total eliminated instructions.
+    pub fn total(&self) -> usize {
+        self.exprs + self.checks + self.loads + self.asserts + self.copies
+    }
+}
+
+/// Per-program-point memory version state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct MemState {
+    /// Versions of fields that diverged from `default`.
+    fields: HashMap<u16, u64>,
+    /// Version of every field not in `fields`.
+    default: u64,
+    /// Version of the array-element space.
+    elems: u64,
+}
+
+impl MemState {
+    fn field(&self, f: u16) -> u64 {
+        self.fields.get(&f).copied().unwrap_or(self.default)
+    }
+
+    /// Joins predecessor states: agreeing components keep their version,
+    /// disagreeing ones take a fresh tick.
+    fn merge(states: &[&MemState], tick: &mut u64) -> MemState {
+        let first = states[0];
+        let mut out = MemState {
+            fields: HashMap::new(),
+            default: first.default,
+            elems: first.elems,
+        };
+        if states.iter().any(|s| s.default != out.default) {
+            *tick += 1;
+            out.default = *tick;
+        }
+        if states.iter().any(|s| s.elems != first.elems) {
+            *tick += 1;
+            out.elems = *tick;
+        } else {
+            out.elems = first.elems;
+        }
+        // Fields that diverge in any state.
+        let mut keys: Vec<u16> = Vec::new();
+        for s in states {
+            for &k in s.fields.keys() {
+                if !keys.contains(&k) {
+                    keys.push(k);
+                }
+            }
+        }
+        keys.sort_unstable();
+        for k in keys {
+            let v0 = first.field(k);
+            if states.iter().all(|s| s.field(k) == v0) {
+                out.fields.insert(k, v0);
+            } else {
+                *tick += 1;
+                out.fields.insert(k, *tick);
+            }
+        }
+        out
+    }
+}
+
+struct Gvn<'f> {
+    f: &'f mut Func,
+    dt: DomTree,
+    rpo_index: HashMap<BlockId, usize>,
+    preds: HashMap<BlockId, Vec<BlockId>>,
+    /// Global SSA value equivalences (path-compressed on lookup).
+    leader: HashMap<VReg, VReg>,
+    /// Scoped availability: stack of (key, Option<replacement value>).
+    /// Checks/asserts have no value; presence alone marks availability.
+    table: HashMap<Key, Vec<Option<VReg>>>,
+    scope_log: Vec<Vec<Key>>,
+    /// Memory state at each visited block's exit.
+    block_out: HashMap<BlockId, MemState>,
+    /// State while processing the current block.
+    mem: MemState,
+    version_tick: u64,
+    stats: GvnStats,
+}
+
+/// Runs GVN over `f` until the dominator walk completes. Returns statistics.
+pub fn run(f: &mut Func) -> GvnStats {
+    let dt = DomTree::compute(f);
+    let rpo_index: HashMap<BlockId, usize> =
+        f.rpo().into_iter().enumerate().map(|(i, b)| (b, i)).collect();
+    let preds = f.preds();
+    let mut g = Gvn {
+        f,
+        dt,
+        rpo_index,
+        preds,
+        leader: HashMap::new(),
+        table: HashMap::new(),
+        scope_log: Vec::new(),
+        block_out: HashMap::new(),
+        mem: MemState::default(),
+        version_tick: 0,
+        stats: GvnStats::default(),
+    };
+    let root = g.dt.root();
+    g.walk(root);
+    // Loop phis and any forward references pick up leaders in a final sweep.
+    g.rewrite_all();
+    g.stats
+}
+
+impl Gvn<'_> {
+    fn resolve(&mut self, v: VReg) -> VReg {
+        let mut cur = v;
+        let mut chain = Vec::new();
+        while let Some(&n) = self.leader.get(&cur) {
+            if n == cur {
+                break;
+            }
+            chain.push(cur);
+            cur = n;
+        }
+        for c in chain {
+            self.leader.insert(c, cur);
+        }
+        cur
+    }
+
+    fn bump_all_versions(&mut self) {
+        self.version_tick += 1;
+        self.mem.default = self.version_tick;
+        self.mem.fields.clear();
+        self.version_tick += 1;
+        self.mem.elems = self.version_tick;
+    }
+
+    fn field_ver(&mut self, field: u16) -> u64 {
+        self.mem.field(field)
+    }
+
+    fn bump_field(&mut self, field: u16) {
+        self.version_tick += 1;
+        self.mem.fields.insert(field, self.version_tick);
+    }
+
+    fn bump_elems(&mut self) {
+        self.version_tick += 1;
+        self.mem.elems = self.version_tick;
+    }
+
+    fn lookup(&self, k: &Key) -> Option<Option<VReg>> {
+        self.table.get(k).and_then(|v| v.last()).copied()
+    }
+
+    fn record(&mut self, k: Key, v: Option<VReg>) {
+        self.table.entry(k.clone()).or_default().push(v);
+        self.scope_log.last_mut().expect("in scope").push(k);
+    }
+
+    fn walk(&mut self, b: BlockId) {
+        self.scope_log.push(Vec::new());
+        // Memory state at block entry: the join of predecessor exit states.
+        // An unvisited predecessor (a back edge) contributes "unknown", which
+        // the merge turns into fresh versions.
+        {
+            let preds: Vec<BlockId> =
+                self.preds.get(&b).cloned().unwrap_or_default();
+            let unknown = MemState {
+                fields: HashMap::new(),
+                default: u64::MAX,
+                elems: u64::MAX,
+            };
+            let states: Vec<&MemState> = preds
+                .iter()
+                .map(|p| self.block_out.get(p).unwrap_or(&unknown))
+                .collect();
+            self.mem = if states.is_empty() {
+                MemState::default()
+            } else {
+                let mut tick = self.version_tick;
+                let merged = MemState::merge(&states, &mut tick);
+                self.version_tick = tick;
+                merged
+            };
+            // `u64::MAX` components (all-unknown joins) become fresh ticks.
+            if self.mem.default == u64::MAX {
+                self.version_tick += 1;
+                self.mem.default = self.version_tick;
+            }
+            if self.mem.elems == u64::MAX {
+                self.version_tick += 1;
+                self.mem.elems = self.version_tick;
+            }
+            let stale: Vec<u16> = self
+                .mem
+                .fields
+                .iter()
+                .filter(|(_, &v)| v == u64::MAX)
+                .map(|(&k, _)| k)
+                .collect();
+            for k in stale {
+                self.version_tick += 1;
+                self.mem.fields.insert(k, self.version_tick);
+            }
+        }
+
+        let n = self.f.block(b).insts.len();
+        let mut kill: Vec<usize> = Vec::new();
+        for i in 0..n {
+            // Substitute operands through the leader table.
+            let mut inst = self.f.block(b).insts[i].clone();
+            if !matches!(inst.op, Op::Phi(_)) {
+                for a in inst.op.args_mut() {
+                    *a = self.resolve(*a);
+                }
+            }
+            let verdict = self.visit(&inst.op, inst.dst);
+            match verdict {
+                Verdict::Keep => {
+                    self.f.block_mut(b).insts[i] = inst;
+                }
+                Verdict::Replace(lead) => {
+                    let dst = inst.dst.expect("replaced inst has a result");
+                    self.leader.insert(dst, lead);
+                    kill.push(i);
+                }
+                Verdict::Delete => {
+                    kill.push(i);
+                }
+            }
+        }
+        for &i in kill.iter().rev() {
+            self.f.block_mut(b).insts.remove(i);
+        }
+        // Terminator operands.
+        {
+            let mut term = self.f.block(b).term.clone();
+            let args: Vec<VReg> = term.args_mut().iter().map(|a| **a).collect();
+            let resolved: Vec<VReg> = args.into_iter().map(|a| self.resolve(a)).collect();
+            for (slot, r) in term.args_mut().into_iter().zip(resolved) {
+                *slot = r;
+            }
+            self.f.block_mut(b).term = term;
+        }
+
+        self.block_out.insert(b, self.mem.clone());
+
+        // Children in reverse postorder so a join's predecessors have their
+        // exit states recorded before the join is visited.
+        let mut children: Vec<BlockId> = self.dt.children(b).to_vec();
+        children.sort_by_key(|c| self.rpo_index.get(c).copied().unwrap_or(usize::MAX));
+        for c in children {
+            self.walk(c);
+        }
+
+        for k in self.scope_log.pop().expect("scope") {
+            let stack = self.table.get_mut(&k).expect("recorded");
+            stack.pop();
+            if stack.is_empty() {
+                self.table.remove(&k);
+            }
+        }
+    }
+
+    fn visit(&mut self, op: &Op, dst: Option<VReg>) -> Verdict {
+        match op {
+            Op::Copy(v) => {
+                let lead = self.resolve(*v);
+                self.stats.copies += 1;
+                Verdict::Replace(lead)
+            }
+            Op::Phi(ins) => {
+                // All-same phi collapses (inputs may reference later defs in
+                // loops, so resolve conservatively without mutating).
+                let mut vals = ins.iter().map(|(_, v)| *v);
+                if let Some(first) = vals.next() {
+                    if ins.len() >= 1 && vals.all(|v| v == first) {
+                        // Only collapse if the value dominates this block —
+                        // guaranteed when it came from all predecessors.
+                        self.stats.copies += 1;
+                        return Verdict::Replace(self.resolve(first));
+                    }
+                }
+                Verdict::Keep
+            }
+            Op::Const(c) => self.pure(Key::Const(*c), dst),
+            Op::ConstNull => self.pure(Key::ConstNull, dst),
+            Op::Bin(binop, a, b) => {
+                let (x, y) = canonical_commutative(*binop, *a, *b);
+                self.pure(Key::Bin(*binop, x, y), dst)
+            }
+            Op::Cmp(c, a, b) => {
+                let (c2, x, y) = canonical_cmp(*c, *a, *b);
+                self.pure(Key::Cmp(c2, x, y), dst)
+            }
+            Op::ArrayLen(a) => self.pure(Key::ArrayLen(*a), dst),
+            Op::InstanceOf { obj, class } => self.pure(Key::InstanceOf(*obj, class.0), dst),
+            Op::LoadClass(v) => self.pure(Key::LoadClass(*v), dst),
+
+            Op::NullCheck(v) => self.check(Key::NullCheck(*v)),
+            Op::DivCheck(v) => self.check(Key::DivCheck(*v)),
+            Op::BoundsCheck { len, idx } => self.check(Key::BoundsCheck(*len, *idx)),
+            Op::CastCheck { obj, class } => self.check(Key::CastCheck(*obj, class.0)),
+
+            Op::Assert { kind, .. } => {
+                let key = match kind {
+                    AssertKind::Cmp { op, a, b } => {
+                        let (c2, x, y) = canonical_cmp(*op, *a, *b);
+                        Key::AssertCmp(c2, x, y)
+                    }
+                    AssertKind::Null(v) => Key::AssertNull(*v),
+                    AssertKind::ClassNe { obj, class } => Key::AssertClassNe(*obj, class.0),
+                    AssertKind::LockHeld(v) => Key::AssertLockHeld(*v),
+                    AssertKind::IntNe { sel, expected } => Key::AssertIntNe(*sel, *expected),
+                };
+                if self.lookup(&key).is_some() {
+                    self.stats.asserts += 1;
+                    Verdict::Delete
+                } else {
+                    self.record(key, None);
+                    Verdict::Keep
+                }
+            }
+            Op::SleCheck(v) => self.check(Key::SleCheck(*v)),
+
+            Op::LoadField { obj, field } => {
+                let ver = self.field_ver(field.0);
+                let key = Key::LoadField(*obj, field.0, ver);
+                match self.lookup(&key) {
+                    Some(Some(lead)) => {
+                        self.stats.loads += 1;
+                        Verdict::Replace(lead)
+                    }
+                    _ => {
+                        self.record(key, dst);
+                        Verdict::Keep
+                    }
+                }
+            }
+            Op::LoadElem { arr, idx } => {
+                let key = Key::LoadElem(*arr, *idx, self.mem.elems);
+                match self.lookup(&key) {
+                    Some(Some(lead)) => {
+                        self.stats.loads += 1;
+                        Verdict::Replace(lead)
+                    }
+                    _ => {
+                        self.record(key, dst);
+                        Verdict::Keep
+                    }
+                }
+            }
+            Op::StoreField { obj, field, val } => {
+                self.bump_field(field.0);
+                let ver = self.field_ver(field.0);
+                // Store-to-load forwarding.
+                self.record(Key::LoadField(*obj, field.0, ver), Some(*val));
+                Verdict::Keep
+            }
+            Op::StoreElem { arr, idx, val } => {
+                self.bump_elems();
+                self.record(Key::LoadElem(*arr, *idx, self.mem.elems), Some(*val));
+                Verdict::Keep
+            }
+            Op::Call { .. } | Op::CallVirtual { .. } | Op::MonitorEnter(_) | Op::MonitorExit(_) => {
+                self.bump_all_versions();
+                Verdict::Keep
+            }
+            _ => Verdict::Keep,
+        }
+    }
+
+    fn pure(&mut self, key: Key, dst: Option<VReg>) -> Verdict {
+        match self.lookup(&key) {
+            Some(Some(lead)) => {
+                self.stats.exprs += 1;
+                Verdict::Replace(lead)
+            }
+            _ => {
+                self.record(key, dst);
+                Verdict::Keep
+            }
+        }
+    }
+
+    fn check(&mut self, key: Key) -> Verdict {
+        if self.lookup(&key).is_some() {
+            self.stats.checks += 1;
+            Verdict::Delete
+        } else {
+            self.record(key, None);
+            Verdict::Keep
+        }
+    }
+
+    /// Final substitution sweep: phi inputs (which may reference values only
+    /// resolved later in the walk) and everything else.
+    fn rewrite_all(&mut self) {
+        for b in self.f.block_ids() {
+            let n = self.f.block(b).insts.len();
+            for i in 0..n {
+                let mut inst = self.f.block(b).insts[i].clone();
+                for a in inst.op.args_mut() {
+                    *a = self.resolve(*a);
+                }
+                self.f.block_mut(b).insts[i] = inst;
+            }
+            let mut term = self.f.block(b).term.clone();
+            let args: Vec<VReg> = term.args_mut().iter().map(|a| **a).collect();
+            let resolved: Vec<VReg> = args.into_iter().map(|a| self.resolve(a)).collect();
+            for (slot, r) in term.args_mut().into_iter().zip(resolved) {
+                *slot = r;
+            }
+            self.f.block_mut(b).term = term;
+        }
+    }
+}
+
+enum Verdict {
+    Keep,
+    Replace(VReg),
+    Delete,
+}
+
+fn canonical_commutative(op: BinOp, a: VReg, b: VReg) -> (VReg, VReg) {
+    match op {
+        BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor if b < a => (b, a),
+        _ => (a, b),
+    }
+}
+
+fn canonical_cmp(op: CmpOp, a: VReg, b: VReg) -> (CmpOp, VReg, VReg) {
+    if b < a {
+        (op.swap(), b, a)
+    } else {
+        (op, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hasp_ir::{verify, Inst, Term};
+    use hasp_vm::bytecode::{FieldId, MethodId};
+
+    fn count_op(f: &Func, pred: impl Fn(&Op) -> bool) -> usize {
+        f.block_ids()
+            .iter()
+            .map(|b| f.block(*b).insts.iter().filter(|i| pred(&i.op)).count())
+            .sum()
+    }
+
+    #[test]
+    fn removes_redundant_checks_and_loads() {
+        // Two back-to-back field accesses on the same object: the second
+        // null check and load are redundant (Figure 3's optimization).
+        let mut f = Func::new("t", MethodId(0), 1);
+        let o = VReg(0);
+        let d1 = f.vreg();
+        let d2 = f.vreg();
+        let sum = f.vreg();
+        let e = f.block_mut(f.entry);
+        e.insts.push(Inst::effect(Op::NullCheck(o)));
+        e.insts.push(Inst::with_dst(d1, Op::LoadField { obj: o, field: FieldId(0) }));
+        e.insts.push(Inst::effect(Op::NullCheck(o)));
+        e.insts.push(Inst::with_dst(d2, Op::LoadField { obj: o, field: FieldId(0) }));
+        e.insts.push(Inst::with_dst(sum, Op::Bin(BinOp::Add, d1, d2)));
+        e.term = Term::Return(Some(sum));
+
+        let stats = run(&mut f);
+        verify(&f).unwrap_or_else(|e| panic!("{e}\n{}", f.display()));
+        assert_eq!(stats.checks, 1);
+        assert_eq!(stats.loads, 1);
+        assert_eq!(count_op(&f, |o| matches!(o, Op::NullCheck(_))), 1);
+        assert_eq!(count_op(&f, |o| matches!(o, Op::LoadField { .. })), 1);
+        // The Bin now adds d1 to itself.
+        let bin = f.block(f.entry).insts.last().unwrap();
+        assert_eq!(bin.op.args(), vec![d1, d1]);
+    }
+
+    #[test]
+    fn store_kills_load_availability_but_forwards() {
+        let mut f = Func::new("t", MethodId(0), 2);
+        let o = VReg(0);
+        let v = VReg(1);
+        let d1 = f.vreg();
+        let d2 = f.vreg();
+        let sum = f.vreg();
+        let e = f.block_mut(f.entry);
+        e.insts.push(Inst::with_dst(d1, Op::LoadField { obj: o, field: FieldId(0) }));
+        e.insts.push(Inst::effect(Op::StoreField { obj: o, field: FieldId(0), val: v }));
+        e.insts.push(Inst::with_dst(d2, Op::LoadField { obj: o, field: FieldId(0) }));
+        e.insts.push(Inst::with_dst(sum, Op::Bin(BinOp::Add, d1, d2)));
+        e.term = Term::Return(Some(sum));
+
+        let stats = run(&mut f);
+        verify(&f).unwrap();
+        // d2 is forwarded from the store (value v), not from d1.
+        assert_eq!(stats.loads, 1);
+        let bin = f
+            .block(f.entry)
+            .insts
+            .iter()
+            .find(|i| matches!(i.op, Op::Bin(..)))
+            .unwrap();
+        assert_eq!(bin.op.args(), vec![d1, v]);
+    }
+
+    #[test]
+    fn clobbering_merge_kills_availability() {
+        // load; diamond where ONE arm stores the field; load after the join
+        // — the reload must survive (the store arm changed the version).
+        let mut f = Func::new("t", MethodId(0), 2);
+        let (o, v) = (VReg(0), VReg(1));
+        let join = f.add_block(Term::Return(None));
+        let l = f.add_block(Term::Jump(join));
+        let r = f.add_block(Term::Jump(join));
+        f.block_mut(l)
+            .insts
+            .push(Inst::effect(Op::StoreField { obj: o, field: FieldId(0), val: v }));
+        let d1 = f.vreg();
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::with_dst(d1, Op::LoadField { obj: o, field: FieldId(0) }));
+        let z = f.vreg();
+        f.block_mut(f.entry).insts.push(Inst::with_dst(z, Op::Const(0)));
+        f.block_mut(f.entry).term = Term::Branch {
+            op: CmpOp::Eq,
+            a: d1,
+            b: z,
+            t: l,
+            f: r,
+            t_count: 1,
+            f_count: 1,
+        };
+        let d2 = f.vreg();
+        f.block_mut(join)
+            .insts
+            .push(Inst::with_dst(d2, Op::LoadField { obj: o, field: FieldId(0) }));
+        f.block_mut(join).term = Term::Return(Some(d2));
+
+        let stats = run(&mut f);
+        verify(&f).unwrap();
+        assert_eq!(stats.loads, 0, "clobbering merge must kill availability");
+        assert_eq!(count_op(&f, |o| matches!(o, Op::LoadField { .. })), 2);
+    }
+
+    #[test]
+    fn store_free_diamond_preserves_availability() {
+        // load; store-free diamond; load — versions agree at the join, so
+        // the reload is redundant (per-field memory versioning).
+        let mut f = Func::new("t", MethodId(0), 1);
+        let o = VReg(0);
+        let join = f.add_block(Term::Return(None));
+        let l = f.add_block(Term::Jump(join));
+        let r = f.add_block(Term::Jump(join));
+        let d1 = f.vreg();
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::with_dst(d1, Op::LoadField { obj: o, field: FieldId(0) }));
+        let z = f.vreg();
+        f.block_mut(f.entry).insts.push(Inst::with_dst(z, Op::Const(0)));
+        f.block_mut(f.entry).term = Term::Branch {
+            op: CmpOp::Eq,
+            a: d1,
+            b: z,
+            t: l,
+            f: r,
+            t_count: 1,
+            f_count: 1,
+        };
+        let d2 = f.vreg();
+        f.block_mut(join)
+            .insts
+            .push(Inst::with_dst(d2, Op::LoadField { obj: o, field: FieldId(0) }));
+        f.block_mut(join).term = Term::Return(Some(d2));
+
+        let stats = run(&mut f);
+        verify(&f).unwrap();
+        assert_eq!(stats.loads, 1, "store-free diamond must forward");
+        match f.block(join).term {
+            Term::Return(Some(ret)) => assert_eq!(ret, d1),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn straightline_chain_keeps_availability_across_blocks() {
+        // Single-pred chain: availability flows through.
+        let mut f = Func::new("t", MethodId(0), 1);
+        let o = VReg(0);
+        let b2 = f.add_block(Term::Return(None));
+        let d1 = f.vreg();
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::with_dst(d1, Op::LoadField { obj: o, field: FieldId(0) }));
+        f.block_mut(f.entry).term = Term::Jump(b2);
+        let d2 = f.vreg();
+        f.block_mut(b2)
+            .insts
+            .push(Inst::with_dst(d2, Op::LoadField { obj: o, field: FieldId(0) }));
+        f.block_mut(b2).term = Term::Return(Some(d2));
+
+        let stats = run(&mut f);
+        verify(&f).unwrap();
+        assert_eq!(stats.loads, 1);
+        match f.block(b2).term {
+            Term::Return(Some(v)) => assert_eq!(v, d1),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn redundant_asserts_removed() {
+        use hasp_ir::{RegionId, RegionInfo};
+        let mut f = Func::new("t", MethodId(0), 2);
+        let exit = f.add_block(Term::Return(None));
+        let body = f.add_block(Term::Jump(exit));
+        let abort = f.add_block(Term::Jump(exit));
+        let r = f.new_region(RegionInfo { begin: f.entry, abort_target: abort, size_estimate: 1 });
+        f.block_mut(f.entry).term = Term::RegionBegin { region: r, body, abort };
+        f.block_mut(body).region = Some(r);
+        let (a, b) = (VReg(0), VReg(1));
+        let id1 = f.new_assert(RegionId(0), "one");
+        let id2 = f.new_assert(RegionId(0), "two");
+        f.block_mut(body).insts.push(Inst::effect(Op::Assert {
+            kind: AssertKind::Cmp { op: CmpOp::Ge, a, b },
+            id: id1,
+        }));
+        f.block_mut(body).insts.push(Inst::effect(Op::Assert {
+            kind: AssertKind::Cmp { op: CmpOp::Ge, a, b },
+            id: id2,
+        }));
+        f.block_mut(body).insts.push(Inst::effect(Op::RegionEnd(r)));
+
+        let stats = run(&mut f);
+        verify(&f).unwrap();
+        assert_eq!(stats.asserts, 1);
+    }
+
+    #[test]
+    fn commutative_canonicalization() {
+        let mut f = Func::new("t", MethodId(0), 2);
+        let (a, b) = (VReg(0), VReg(1));
+        let d1 = f.vreg();
+        let d2 = f.vreg();
+        let s = f.vreg();
+        let e = f.block_mut(f.entry);
+        e.insts.push(Inst::with_dst(d1, Op::Bin(BinOp::Add, a, b)));
+        e.insts.push(Inst::with_dst(d2, Op::Bin(BinOp::Add, b, a)));
+        e.insts.push(Inst::with_dst(s, Op::Bin(BinOp::Sub, d1, d2)));
+        e.term = Term::Return(Some(s));
+        let stats = run(&mut f);
+        assert_eq!(stats.exprs, 1);
+        // Sub is not commutative: a-b != b-a must NOT merge.
+        let mut g = Func::new("t2", MethodId(0), 2);
+        let d1 = g.vreg();
+        let d2 = g.vreg();
+        let s = g.vreg();
+        let e = g.block_mut(g.entry);
+        e.insts.push(Inst::with_dst(d1, Op::Bin(BinOp::Sub, a, b)));
+        e.insts.push(Inst::with_dst(d2, Op::Bin(BinOp::Sub, b, a)));
+        e.insts.push(Inst::with_dst(s, Op::Bin(BinOp::Add, d1, d2)));
+        e.term = Term::Return(Some(s));
+        let stats = run(&mut g);
+        assert_eq!(stats.exprs, 0);
+    }
+
+    #[test]
+    fn loop_header_merge_prevents_cross_iteration_forwarding() {
+        // load in preheader; loop body stores; load in header must survive.
+        let mut f = Func::new("t", MethodId(0), 2);
+        let o = VReg(0);
+        let v = VReg(1);
+        let exit = f.add_block(Term::Return(None));
+        let head = f.add_block(Term::Return(None));
+        let body = f.add_block(Term::Jump(head));
+        let d0 = f.vreg();
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::with_dst(d0, Op::LoadField { obj: o, field: FieldId(0) }));
+        f.block_mut(f.entry).term = Term::Jump(head);
+        let d1 = f.vreg();
+        f.block_mut(head)
+            .insts
+            .push(Inst::with_dst(d1, Op::LoadField { obj: o, field: FieldId(0) }));
+        f.block_mut(head).term = Term::Branch {
+            op: CmpOp::Lt,
+            a: d1,
+            b: v,
+            t: body,
+            f: exit,
+            t_count: 10,
+            f_count: 1,
+        };
+        f.block_mut(body)
+            .insts
+            .push(Inst::effect(Op::StoreField { obj: o, field: FieldId(0), val: v }));
+
+        let stats = run(&mut f);
+        verify(&f).unwrap();
+        assert_eq!(stats.loads, 0, "header load must survive the loop store");
+    }
+}

@@ -1,0 +1,40 @@
+//! # hasp-opt — the optimizing JIT passes
+//!
+//! The optimization passes of the HASP reproduction of *Hardware Atomicity
+//! for Reliable Software Speculation* (ISCA 2007). The headline point of the
+//! paper is that every pass in this crate is a *non-speculative* formulation
+//! — yet, run after `hasp-core` converts cold paths into asserts inside
+//! atomic regions, they perform speculative optimizations with no
+//! compensation code:
+//!
+//! * [`gvn`] — dominator-scoped value numbering: redundant expressions,
+//!   safety checks, loads (with store forwarding), and asserts.
+//! * [`constprop`] — constant folding, algebraic identities, branch folding.
+//! * [`dce`] — assert-aware dead-code elimination.
+//! * [`simplify`] — CFG cleanup.
+//! * [`inline`] — profile-guided inlining with the baseline/aggressive
+//!   budget split that powers partial inlining.
+//! * [`sle`] — speculative lock elision within regions.
+//! * [`unroll`] — partial loop unrolling within regions.
+//! * [`safepoint`] — GC-poll elision for region-enclosed loops.
+//! * [`checkelim`] — the §7 post-dominance bounds-check elimination.
+//! * [`superblock`] — tail-duplication + compensation-code baseline used to
+//!   regenerate the paper's Figures 2–3 comparison.
+//! * [`pipeline`] — the four compiler configurations of the evaluation.
+
+#![warn(missing_docs)]
+
+pub mod checkelim;
+pub mod constprop;
+pub mod dce;
+pub mod gvn;
+pub mod inline;
+pub mod pipeline;
+pub mod safepoint;
+pub mod simplify;
+pub mod sle;
+pub mod superblock;
+pub mod unroll;
+
+pub use inline::InlineOptions;
+pub use pipeline::{compile_method, compile_program, CompiledMethod, CompilerConfig};

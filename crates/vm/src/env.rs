@@ -1,0 +1,129 @@
+//! Execution environment shared between the interpreter and compiled code:
+//! the observable checksum, the deterministic random source, and simulation
+//! markers.
+
+/// Observable side effects of a run.
+///
+/// Both the profiling interpreter and the hardware simulator thread their
+/// side effects through an `Env`, so a workload's result can be compared
+/// bit-for-bit across execution engines and compiler configurations — the
+/// backbone of the functional-equivalence test suite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Env {
+    checksum: i64,
+    rng: u64,
+    marker_hits: Vec<(u32, u64)>,
+}
+
+impl Env {
+    /// Creates an environment with the given random seed.
+    pub fn new(seed: u64) -> Self {
+        // Splitmix64-style scramble so nearby seeds produce unrelated streams.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        Env { checksum: 0, rng: z ^ (z >> 31), marker_hits: Vec::new() }
+    }
+
+    /// Folds a value into the checksum (`cs = cs * 31 + v`, wrapping).
+    pub fn checksum_push(&mut self, v: i64) {
+        self.checksum = self.checksum.wrapping_mul(31).wrapping_add(v);
+    }
+
+    /// The accumulated checksum.
+    pub fn checksum(&self) -> i64 {
+        self.checksum
+    }
+
+    /// Next value of the 64-bit LCG (Knuth MMIX constants).
+    pub fn next_random(&mut self) -> i64 {
+        self.rng = self
+            .rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.rng >> 17) as i64
+    }
+
+    /// Records a dynamic hit of marker `id`, tagged with the hit ordinal.
+    pub fn hit_marker(&mut self, id: u32) {
+        let n = self.marker_count(id);
+        self.marker_hits.push((id, n + 1));
+    }
+
+    /// Number of times marker `id` has fired so far.
+    pub fn marker_count(&self, id: u32) -> u64 {
+        self.marker_hits.iter().filter(|(m, _)| *m == id).count() as u64
+    }
+
+    /// All marker hits in order.
+    pub fn marker_hits(&self) -> &[(u32, u64)] {
+        &self.marker_hits
+    }
+
+    /// Captures the environment state for speculative execution (hardware
+    /// checkpoint support: side effects inside an aborted atomic region must
+    /// vanish).
+    pub fn snapshot(&self) -> EnvSnapshot {
+        EnvSnapshot { checksum: self.checksum, rng: self.rng, markers: self.marker_hits.len() }
+    }
+
+    /// Rolls the environment back to a snapshot.
+    pub fn restore(&mut self, s: &EnvSnapshot) {
+        self.checksum = s.checksum;
+        self.rng = s.rng;
+        self.marker_hits.truncate(s.markers);
+    }
+}
+
+/// A point-in-time capture of an [`Env`], used to roll back the observable
+/// side effects of an aborted atomic region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnvSnapshot {
+    checksum: i64,
+    rng: u64,
+    markers: usize,
+}
+
+impl Default for Env {
+    fn default() -> Self {
+        Env::new(0x5eed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_order_sensitive() {
+        let mut a = Env::new(1);
+        a.checksum_push(1);
+        a.checksum_push(2);
+        let mut b = Env::new(1);
+        b.checksum_push(2);
+        b.checksum_push(1);
+        assert_ne!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn rng_deterministic_per_seed() {
+        let mut a = Env::new(42);
+        let mut b = Env::new(42);
+        let seq_a: Vec<i64> = (0..5).map(|_| a.next_random()).collect();
+        let seq_b: Vec<i64> = (0..5).map(|_| b.next_random()).collect();
+        assert_eq!(seq_a, seq_b);
+        let mut c = Env::new(43);
+        assert_ne!(seq_a[0], c.next_random());
+    }
+
+    #[test]
+    fn markers_count() {
+        let mut e = Env::new(1);
+        e.hit_marker(7);
+        e.hit_marker(7);
+        e.hit_marker(3);
+        assert_eq!(e.marker_count(7), 2);
+        assert_eq!(e.marker_count(3), 1);
+        assert_eq!(e.marker_hits().len(), 3);
+    }
+}

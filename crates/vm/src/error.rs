@@ -1,0 +1,100 @@
+//! VM error and trap types.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::bytecode::MethodId;
+
+/// A runtime trap — the Java-like safety checks that "rarely fail" but whose
+/// presence shapes the code (paper §2).
+///
+/// In this VM a trap on the non-speculative path aborts execution with an
+/// error (workloads are written not to trap). Inside an atomic region a trap
+/// instead aborts the region and control transfers to the non-speculative
+/// version of the code, exactly as the paper's hardware does for exceptions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trap {
+    /// Dereference of a null reference.
+    NullPointer,
+    /// Array index out of bounds.
+    OutOfBounds,
+    /// Failed checked cast.
+    ClassCast,
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// `monitorexit` on a monitor the thread does not own.
+    IllegalMonitorState,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Trap::NullPointer => "null pointer dereference",
+            Trap::OutOfBounds => "array index out of bounds",
+            Trap::ClassCast => "checked cast failed",
+            Trap::DivByZero => "division by zero",
+            Trap::IllegalMonitorState => "illegal monitor state",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors produced while executing bytecode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// A safety check failed at `method`/`pc`.
+    Trap {
+        /// Trap kind.
+        trap: Trap,
+        /// Method in which the trap occurred.
+        method: MethodId,
+        /// Bytecode index of the trapping instruction.
+        pc: usize,
+    },
+    /// The step budget was exhausted (guards tests against runaway loops).
+    FuelExhausted,
+    /// Wrong value kind for an operation (ill-typed bytecode).
+    TypeMismatch {
+        /// Method in which the mismatch occurred.
+        method: MethodId,
+        /// Bytecode index of the offending instruction.
+        pc: usize,
+        /// Human-readable description.
+        what: &'static str,
+    },
+    /// The call stack exceeded its configured limit.
+    StackOverflow,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Trap { trap, method, pc } => {
+                write!(f, "{trap} at method {}:{pc}", method.0)
+            }
+            VmError::FuelExhausted => f.write_str("interpreter fuel exhausted"),
+            VmError::TypeMismatch { method, pc, what } => {
+                write!(f, "type mismatch ({what}) at method {}:{pc}", method.0)
+            }
+            VmError::StackOverflow => f.write_str("call stack overflow"),
+        }
+    }
+}
+
+impl Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let e = VmError::Trap {
+            trap: Trap::NullPointer,
+            method: MethodId(3),
+            pc: 7,
+        };
+        assert!(e.to_string().contains("null pointer"));
+        assert!(!VmError::FuelExhausted.to_string().is_empty());
+    }
+}

@@ -1,0 +1,312 @@
+//! The object heap.
+//!
+//! Every object gets a stable simulated byte address so the hardware crate
+//! can run a real cache model (64-byte lines, per-line speculative read/write
+//! bits) over heap traffic. Layout per object:
+//!
+//! ```text
+//! base + 0   class word            (not accessed by generated code)
+//! base + 8   lock word             (monitor enter/exit)
+//! base + 16  field 0 / array length
+//! base + 24  field 1 / element 0
+//! ...
+//! ```
+
+use crate::bytecode::ClassId;
+use crate::value::{ObjId, Value};
+
+/// Size in bytes of one heap word.
+pub const WORD: u64 = 8;
+/// Size in bytes of an object header (class word + lock word).
+pub const HEADER: u64 = 2 * WORD;
+
+/// A single mutable heap location, used by the hardware undo log to roll back
+/// speculative stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HeapCell {
+    /// `object.fields[index]`
+    Field(ObjId, u16),
+    /// `array[index]`
+    Elem(ObjId, u32),
+    /// The object's monitor lock word.
+    Lock(ObjId),
+}
+
+#[derive(Debug, Clone)]
+struct Object {
+    class: ClassId,
+    base: u64,
+    /// Lock word: 0 = free, otherwise the owning thread id.
+    lock: i64,
+    /// Monitor recursion depth.
+    lock_count: i64,
+    fields: Vec<Value>,
+    array: Option<Vec<Value>>,
+}
+
+/// The garbage-free object heap (allocation only; workloads are sized so
+/// collection is unnecessary, as in the paper's measured samples).
+#[derive(Debug, Clone, Default)]
+pub struct Heap {
+    objects: Vec<Object>,
+    next_addr: u64,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Heap { objects: Vec::new(), next_addr: 0x1000 }
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if no objects have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Allocates an instance of `class` with `nfields` zeroed fields.
+    pub fn alloc_object(&mut self, class: ClassId, nfields: usize) -> ObjId {
+        self.alloc(class, vec![Value::Int(0); nfields], None)
+    }
+
+    /// Allocates an integer array of `len` zeroed elements.
+    ///
+    /// Arrays carry a synthetic class id of `u32::MAX`.
+    pub fn alloc_array(&mut self, len: usize) -> ObjId {
+        self.alloc(ClassId(u32::MAX), Vec::new(), Some(vec![Value::Int(0); len]))
+    }
+
+    fn alloc(&mut self, class: ClassId, fields: Vec<Value>, array: Option<Vec<Value>>) -> ObjId {
+        let payload_words = fields.len() as u64 + array.as_ref().map_or(0, |a| a.len() as u64 + 1);
+        let size = HEADER + payload_words * WORD;
+        let base = self.next_addr;
+        // Keep objects line-aligned-ish: round size up to a word multiple and
+        // pad to avoid pathological false sharing between unrelated objects.
+        self.next_addr += size.next_multiple_of(16);
+        let id = ObjId(self.objects.len() as u32);
+        self.objects.push(Object { class, base, lock: 0, lock_count: 0, fields, array });
+        id
+    }
+
+    /// The dynamic class of an object.
+    ///
+    /// # Panics
+    /// Panics if `id` is stale (never happens for ids produced by this heap).
+    pub fn class_of(&self, id: ObjId) -> ClassId {
+        self.objects[id.0 as usize].class
+    }
+
+    /// Reads `obj.fields[field]`.
+    ///
+    /// # Panics
+    /// Panics if the field index is out of range for the object's layout
+    /// (ill-formed bytecode; the builder prevents this).
+    pub fn get_field(&self, id: ObjId, field: u16) -> Value {
+        self.objects[id.0 as usize].fields[field as usize]
+    }
+
+    /// Writes `obj.fields[field]`.
+    pub fn set_field(&mut self, id: ObjId, field: u16, v: Value) {
+        self.objects[id.0 as usize].fields[field as usize] = v;
+    }
+
+    /// Array length, or `None` if the object is not an array.
+    pub fn array_len(&self, id: ObjId) -> Option<usize> {
+        self.objects[id.0 as usize].array.as_ref().map(Vec::len)
+    }
+
+    /// Reads `arr[idx]`; the caller has already bounds-checked.
+    pub fn array_get(&self, id: ObjId, idx: u32) -> Value {
+        self.objects[id.0 as usize].array.as_ref().expect("not an array")[idx as usize]
+    }
+
+    /// Writes `arr[idx]`; the caller has already bounds-checked.
+    pub fn array_set(&mut self, id: ObjId, idx: u32, v: Value) {
+        self.objects[id.0 as usize].array.as_mut().expect("not an array")[idx as usize] = v;
+    }
+
+    /// Reads the monitor lock word (0 = free, else owner thread id).
+    pub fn lock_word(&self, id: ObjId) -> i64 {
+        self.objects[id.0 as usize].lock
+    }
+
+    /// Monitor recursion depth.
+    pub fn lock_count(&self, id: ObjId) -> i64 {
+        self.objects[id.0 as usize].lock_count
+    }
+
+    /// Acquires the monitor for `thread`. Returns `false` if held by another
+    /// thread (the single-mutator simulation never blocks; contention is
+    /// injected by the hardware crate as conflicts instead).
+    pub fn monitor_enter(&mut self, id: ObjId, thread: i64) -> bool {
+        let o = &mut self.objects[id.0 as usize];
+        if o.lock == 0 {
+            o.lock = thread;
+            o.lock_count = 1;
+            true
+        } else if o.lock == thread {
+            o.lock_count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases the monitor. Returns `false` on an illegal release.
+    pub fn monitor_exit(&mut self, id: ObjId, thread: i64) -> bool {
+        let o = &mut self.objects[id.0 as usize];
+        if o.lock != thread || o.lock_count <= 0 {
+            return false;
+        }
+        o.lock_count -= 1;
+        if o.lock_count == 0 {
+            o.lock = 0;
+        }
+        true
+    }
+
+    /// Generic read of a mutable heap location (undo-log support).
+    pub fn read_cell(&self, cell: HeapCell) -> i64 {
+        match cell {
+            HeapCell::Field(o, f) => self.get_field(o, f).encode(),
+            HeapCell::Elem(o, i) => self.array_get(o, i).encode(),
+            HeapCell::Lock(o) => {
+                // Pack lock word and count into one loggable word.
+                let obj = &self.objects[o.0 as usize];
+                (obj.lock << 32) | (obj.lock_count & 0xffff_ffff)
+            }
+        }
+    }
+
+    /// Generic write of a mutable heap location (undo-log support).
+    pub fn write_cell(&mut self, cell: HeapCell, bits: i64) {
+        match cell {
+            HeapCell::Field(o, f) => self.set_field(o, f, Value::decode(bits)),
+            HeapCell::Elem(o, i) => self.array_set(o, i, Value::decode(bits)),
+            HeapCell::Lock(o) => {
+                let obj = &mut self.objects[o.0 as usize];
+                obj.lock = bits >> 32;
+                obj.lock_count = bits & 0xffff_ffff;
+            }
+        }
+    }
+
+    /// Simulated byte address of a heap location (for the cache model).
+    pub fn addr_of(&self, cell: HeapCell) -> u64 {
+        let base = |o: ObjId| self.objects[o.0 as usize].base;
+        match cell {
+            HeapCell::Lock(o) => base(o) + WORD,
+            HeapCell::Field(o, f) => base(o) + HEADER + u64::from(f) * WORD,
+            // Element addresses skip the length word.
+            HeapCell::Elem(o, i) => base(o) + HEADER + WORD + u64::from(i) * WORD,
+        }
+    }
+
+    /// Simulated byte address of the array-length word.
+    pub fn addr_of_len(&self, id: ObjId) -> u64 {
+        self.objects[id.0 as usize].base + HEADER
+    }
+
+    /// Simulated byte address of the object header (for `New` traffic).
+    pub fn addr_of_header(&self, id: ObjId) -> u64 {
+        self.objects[id.0 as usize].base
+    }
+
+    /// Marks the current allocation frontier (hardware checkpoint support).
+    pub fn alloc_mark(&self) -> HeapMark {
+        HeapMark { objects: self.objects.len(), next_addr: self.next_addr }
+    }
+
+    /// Discards every object allocated after `mark` (rollback of an aborted
+    /// atomic region; such objects are only reachable from rolled-back
+    /// state).
+    ///
+    /// # Panics
+    /// Panics if the heap shrank below the mark since it was taken.
+    pub fn truncate(&mut self, mark: &HeapMark) {
+        assert!(self.objects.len() >= mark.objects, "heap shrank below mark");
+        self.objects.truncate(mark.objects);
+        self.next_addr = mark.next_addr;
+    }
+}
+
+/// A heap allocation frontier, used to roll back allocations performed
+/// inside an aborted atomic region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapMark {
+    objects: usize,
+    next_addr: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_access() {
+        let mut h = Heap::new();
+        let o = h.alloc_object(ClassId(0), 3);
+        h.set_field(o, 1, Value::Int(42));
+        assert_eq!(h.get_field(o, 1), Value::Int(42));
+        assert_eq!(h.get_field(o, 0), Value::Int(0));
+        assert_eq!(h.class_of(o), ClassId(0));
+
+        let a = h.alloc_array(4);
+        assert_eq!(h.array_len(a), Some(4));
+        h.array_set(a, 3, Value::from(o));
+        assert_eq!(h.array_get(a, 3), Value::from(o));
+        assert_eq!(h.array_len(o), None);
+    }
+
+    #[test]
+    fn addresses_distinct_and_stable() {
+        let mut h = Heap::new();
+        let o = h.alloc_object(ClassId(0), 2);
+        let a = h.alloc_array(8);
+        let f0 = h.addr_of(HeapCell::Field(o, 0));
+        let f1 = h.addr_of(HeapCell::Field(o, 1));
+        assert_eq!(f1 - f0, WORD);
+        assert_eq!(h.addr_of(HeapCell::Lock(o)), f0 - WORD);
+        let e0 = h.addr_of(HeapCell::Elem(a, 0));
+        assert_eq!(e0 - h.addr_of_len(a), WORD);
+        assert!(e0 > f1, "array allocated after object sits at higher addresses");
+    }
+
+    #[test]
+    fn monitors_nest() {
+        let mut h = Heap::new();
+        let o = h.alloc_object(ClassId(0), 0);
+        assert!(h.monitor_enter(o, 1));
+        assert!(h.monitor_enter(o, 1));
+        assert_eq!(h.lock_count(o), 2);
+        assert!(!h.monitor_enter(o, 2), "held by thread 1");
+        assert!(h.monitor_exit(o, 1));
+        assert!(h.monitor_exit(o, 1));
+        assert_eq!(h.lock_word(o), 0);
+        assert!(!h.monitor_exit(o, 1), "not held");
+    }
+
+    #[test]
+    fn cell_roundtrip() {
+        let mut h = Heap::new();
+        let o = h.alloc_object(ClassId(0), 1);
+        for cell in [HeapCell::Field(o, 0), HeapCell::Lock(o)] {
+            let old = h.read_cell(cell);
+            h.write_cell(cell, 0x1234_0005);
+            assert_eq!(h.read_cell(cell), 0x1234_0005);
+            h.write_cell(cell, old);
+            assert_eq!(h.read_cell(cell), old);
+        }
+        // Lock packing specifically.
+        assert!(h.monitor_enter(o, 1));
+        let packed = h.read_cell(HeapCell::Lock(o));
+        assert!(h.monitor_exit(o, 1));
+        h.write_cell(HeapCell::Lock(o), packed);
+        assert_eq!(h.lock_word(o), 1);
+        assert_eq!(h.lock_count(o), 1);
+    }
+}

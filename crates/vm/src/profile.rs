@@ -1,0 +1,134 @@
+//! Edge, call-site, and invocation profiles collected by the first-pass
+//! interpreter (paper §4: "region formation is fundamentally profile-driven").
+
+use std::collections::HashMap;
+
+use crate::bytecode::{ClassId, MethodId};
+
+/// Profile counters for one method, indexed by bytecode pc.
+#[derive(Debug, Clone, Default)]
+pub struct MethodProfile {
+    /// Times the method was invoked.
+    pub invocations: u64,
+    /// For each conditional branch pc: (taken, not-taken) counts.
+    pub branches: HashMap<usize, (u64, u64)>,
+    /// For each switch pc: per-case counts (`targets.len()` entries) plus the
+    /// default count in the last slot.
+    pub switches: HashMap<usize, Vec<u64>>,
+    /// For each virtual-call pc: receiver class histogram.
+    pub receivers: HashMap<usize, HashMap<ClassId, u64>>,
+    /// Times each instruction pc was executed (block counts are derived from
+    /// the counts of block-leader pcs).
+    pub exec: HashMap<usize, u64>,
+}
+
+impl MethodProfile {
+    /// Taken-bias of the branch at `pc` in [0, 1]; `None` if never executed.
+    pub fn branch_bias(&self, pc: usize) -> Option<f64> {
+        let (t, n) = *self.branches.get(&pc)?;
+        let total = t + n;
+        if total == 0 {
+            None
+        } else {
+            Some(t as f64 / total as f64)
+        }
+    }
+
+    /// Execution count of the instruction at `pc`.
+    pub fn exec_count(&self, pc: usize) -> u64 {
+        self.exec.get(&pc).copied().unwrap_or(0)
+    }
+
+    /// The single receiver class observed at a virtual call site, if the site
+    /// is monomorphic (exactly one class observed).
+    pub fn monomorphic_receiver(&self, pc: usize) -> Option<ClassId> {
+        let h = self.receivers.get(&pc)?;
+        if h.len() == 1 {
+            h.keys().next().copied()
+        } else {
+            None
+        }
+    }
+
+    /// The dominant receiver class and its frequency share, if any.
+    pub fn dominant_receiver(&self, pc: usize) -> Option<(ClassId, f64)> {
+        let h = self.receivers.get(&pc)?;
+        let total: u64 = h.values().sum();
+        let (&c, &n) = h.iter().max_by_key(|(_, &n)| n)?;
+        if total == 0 {
+            None
+        } else {
+            Some((c, n as f64 / total as f64))
+        }
+    }
+}
+
+/// Whole-program profile: one [`MethodProfile`] per method.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    methods: HashMap<MethodId, MethodProfile>,
+}
+
+impl Profile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The profile for `m`, if the method ever ran.
+    pub fn method(&self, m: MethodId) -> Option<&MethodProfile> {
+        self.methods.get(&m)
+    }
+
+    /// Mutable accessor, creating an empty per-method profile on first use.
+    pub fn method_mut(&mut self, m: MethodId) -> &mut MethodProfile {
+        self.methods.entry(m).or_default()
+    }
+
+    /// Methods sorted by invocation count, hottest first.
+    pub fn hottest_methods(&self) -> Vec<(MethodId, u64)> {
+        let mut v: Vec<_> = self.methods.iter().map(|(m, p)| (*m, p.invocations)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Clears all counters (used between profiling phases).
+    pub fn reset(&mut self) {
+        self.methods.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_bias() {
+        let mut p = MethodProfile::default();
+        p.branches.insert(4, (99, 1));
+        assert_eq!(p.branch_bias(4), Some(0.99));
+        assert_eq!(p.branch_bias(5), None);
+    }
+
+    #[test]
+    fn receiver_classification() {
+        let mut p = MethodProfile::default();
+        let h = p.receivers.entry(10).or_default();
+        h.insert(ClassId(1), 80);
+        h.insert(ClassId(2), 20);
+        assert_eq!(p.monomorphic_receiver(10), None);
+        assert_eq!(p.dominant_receiver(10), Some((ClassId(1), 0.8)));
+
+        let mut q = MethodProfile::default();
+        q.receivers.entry(10).or_default().insert(ClassId(3), 5);
+        assert_eq!(q.monomorphic_receiver(10), Some(ClassId(3)));
+    }
+
+    #[test]
+    fn hottest_sorted() {
+        let mut p = Profile::new();
+        p.method_mut(MethodId(0)).invocations = 5;
+        p.method_mut(MethodId(1)).invocations = 50;
+        assert_eq!(p.hottest_methods()[0].0, MethodId(1));
+    }
+}

@@ -1,0 +1,261 @@
+//! `antlr` — parser/lexer generation over four grammars.
+//!
+//! Preserved characteristics (§6.1, Table 3): *low* region coverage (~9%) —
+//! most uops run inside opaque classlib scanner methods that regions cannot
+//! span — but the regionable token-classification kernel is extremely
+//! redundant ("on average, two-thirds of the instructions in antlr's atomic
+//! regions get optimized away") and calls synchronized classlib methods
+//! whose monitor pairs SLE elides. Four samples (four grammars). Because
+//! regions are used sparingly, antlr is the benchmark least sensitive to
+//! `aregion_begin` overheads (Figure 9).
+
+use hasp_vm::builder::ProgramBuilder;
+use hasp_vm::bytecode::{BinOp, CmpOp, Intrinsic};
+
+use crate::classlib::string_buffer;
+use crate::workload::{Sample, Workload};
+
+/// Builds the antlr workload.
+pub fn antlr() -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let sb = string_buffer(&mut pb);
+
+    // Opaque "scanner" classlib: consumes most of the execution outside any
+    // region (the inliner and region formation treat it as a native method).
+    let scan = {
+        let mut m = pb.method("Scanner.nextToken", 2);
+        m.set_opaque();
+        let (buf, start) = (m.arg(0), m.arg(1));
+        // Scan ~24 characters: classify alpha/digit, accumulate a code.
+        let len = m.reg();
+        m.array_len(len, buf);
+        // Positions may come from accumulated hash codes: force nonnegative
+        // before the modular indexing below.
+        let i = m.reg();
+        let posmask = m.imm(0x7fff_ffff);
+        m.bin(BinOp::And, i, start, posmask);
+        let code = m.imm(0);
+        let steps = m.imm(0);
+        let k24 = m.imm(24);
+        let one = m.imm(1);
+        let k31 = m.imm(31);
+        let head = m.new_label();
+        let exit = m.new_label();
+        m.bind(head);
+        m.branch(CmpOp::Ge, steps, k24, exit);
+        let wrapped = m.reg();
+        m.bin(BinOp::Rem, wrapped, i, len);
+        let c = m.reg();
+        m.aload(c, buf, wrapped);
+        m.bin(BinOp::Mul, code, code, k31);
+        m.bin(BinOp::Add, code, code, c);
+        m.bin(BinOp::Add, i, i, one);
+        m.bin(BinOp::Add, steps, steps, one);
+        m.safepoint();
+        m.jump(head);
+        m.bind(exit);
+        m.ret(Some(code));
+        m.finish(&mut pb)
+    };
+
+    let mut m = pb.method("main", 0);
+    // Grammar input buffer.
+    let cap = m.imm(4096);
+    let buf = m.reg();
+    m.new_array(buf, cap);
+    {
+        let i = m.imm(0);
+        let one = m.imm(1);
+        let head = m.new_label();
+        let exit = m.new_label();
+        m.bind(head);
+        m.branch(CmpOp::Ge, i, cap, exit);
+        let r = m.reg();
+        m.intrin(Intrinsic::NextRandom, Some(r), &[]);
+        let k127 = m.imm(127);
+        let c = m.reg();
+        m.bin(BinOp::And, c, r, k127);
+        m.astore(buf, i, c);
+        m.bin(BinOp::Add, i, i, one);
+        m.jump(head);
+        m.bind(exit);
+    }
+    let out_cap = m.imm(1 << 15);
+    let out = m.reg();
+    m.call(Some(out), sb.new, &[out_cap]);
+
+    // Token-kind statistics table (fields re-loaded redundantly in the
+    // kernel — the in-region redundancy the paper measures).
+    let stats = pb.add_class("TokenStats", None, &["kinds", "total", "keywords"]);
+    let f_kinds = pb.field(stats, "kinds");
+    let f_total = pb.field(stats, "total");
+    let f_kw = pb.field(stats, "keywords");
+    let st = m.reg();
+    m.new_obj(st, stats);
+    let k64 = m.imm(64);
+    let kinds = m.reg();
+    m.new_array(kinds, k64);
+    m.put_field(st, f_kinds, kinds);
+    // The generated lexer's DFA transition table.
+    let k256d = m.imm(256);
+    let dfa = m.reg();
+    m.new_array(dfa, k256d);
+    {
+        let i = m.imm(0);
+        let one2 = m.imm(1);
+        let head = m.new_label();
+        let exit = m.new_label();
+        m.bind(head);
+        m.branch(CmpOp::Ge, i, k256d, exit);
+        let k17 = m.imm(17);
+        let v = m.reg();
+        m.bin(BinOp::Mul, v, i, k17);
+        let k255d = m.imm(255);
+        m.bin(BinOp::And, v, v, k255d);
+        m.astore(dfa, i, v);
+        m.bin(BinOp::Add, i, i, one2);
+        m.jump(head);
+        m.bind(exit);
+    }
+
+    // Four grammars = four phases/samples.
+    for (phase, tokens) in [(1u32, 1500i64), (2, 1200), (3, 900), (4, 600)] {
+        m.marker(phase);
+        let i = m.imm(0);
+        let n = m.imm(tokens);
+        let one = m.imm(1);
+        let head = m.new_label();
+        let exit = m.new_label();
+        m.bind(head);
+        m.branch(CmpOp::Ge, i, n, exit);
+        // Opaque scanning dominates execution (keeps coverage low).
+        let pos = m.reg();
+        let k13 = m.imm(13);
+        m.bin(BinOp::Mul, pos, i, k13);
+        let code = m.reg();
+        m.call(Some(code), scan, &[buf, pos]);
+        let code3 = m.reg();
+        m.call(Some(code3), scan, &[buf, code]);
+
+        // The regionable classification kernel: deliberately redundant field
+        // loads/checks in the style of generated parser code, plus a short
+        // DFA walk over the token code.
+        let kindmask = m.imm(63);
+        let k255k = m.imm(255);
+        let state = m.reg();
+        m.bin(BinOp::And, state, code3, k255k);
+        for _ in 0..5 {
+            let nxt = m.reg();
+            m.aload(nxt, dfa, state);
+            m.bin(BinOp::And, nxt, nxt, k255k);
+            m.mov(state, nxt);
+        }
+        let kind = m.reg();
+        m.bin(BinOp::And, kind, state, kindmask);
+        let ks1 = m.reg();
+        m.get_field(ks1, st, f_kinds);
+        let c1 = m.reg();
+        m.aload(c1, ks1, kind);
+        m.bin(BinOp::Add, c1, c1, one);
+        let ks2 = m.reg();
+        m.get_field(ks2, st, f_kinds); // redundant load
+        m.astore(ks2, kind, c1);
+        let tot = m.reg();
+        m.get_field(tot, st, f_total);
+        m.bin(BinOp::Add, tot, tot, one);
+        m.put_field(st, f_total, tot);
+        let kw_cold = m.new_label();
+        let after_kw = m.new_label();
+        let kzero = m.imm(0);
+        // "keyword" kind 0 is rare (~1.5% of 64 kinds... actually 1/64 ≈
+        // 1.6%, warm); kind equality with a *second* rare value is cold.
+        m.branch(CmpOp::Eq, kind, kzero, kw_cold);
+        m.jump(after_kw);
+        m.bind(kw_cold);
+        let kw = m.reg();
+        m.get_field(kw, st, f_kw);
+        m.bin(BinOp::Add, kw, kw, one);
+        m.put_field(st, f_kw, kw);
+        let ktot = m.reg();
+        m.get_field(ktot, st, f_total);
+        m.bin(BinOp::Add, ktot, ktot, one);
+        m.put_field(st, f_total, ktot);
+        let kk = m.reg();
+        m.get_field(kk, st, f_kinds);
+        let kcnt = m.reg();
+        m.aload(kcnt, kk, kind);
+        m.bin(BinOp::Add, kcnt, kcnt, one);
+        m.astore(kk, kind, kcnt);
+        m.jump(after_kw);
+        m.bind(after_kw);
+        // After the (cold) keyword join, the generated code re-queries the
+        // statistics it just updated: forwarded in-region, reloaded in the
+        // baseline.
+        let q_tot = m.reg();
+        m.get_field(q_tot, st, f_total);
+        let q_kw = m.reg();
+        m.get_field(q_kw, st, f_kw);
+        let ks2b = m.reg();
+        m.get_field(ks2b, st, f_kinds);
+        let c1b = m.reg();
+        m.aload(c1b, ks2b, kind);
+        let digest = m.reg();
+        m.bin(BinOp::Mul, digest, q_tot, one);
+        m.bin(BinOp::Add, digest, digest, q_kw);
+        m.bin(BinOp::Add, digest, digest, c1b);
+        m.checksum(digest);
+        // Synchronized classlib append (SLE target inside the region).
+        let k127b = m.imm(127);
+        let ch = m.reg();
+        m.bin(BinOp::And, ch, code3, k127b);
+        m.call(None, sb.append, &[out, ch]);
+        let ks3 = m.reg();
+        m.get_field(ks3, st, f_kinds); // redundant again
+        let c2 = m.reg();
+        m.aload(c2, ks3, kind); // reloads what we just stored
+        // A second round of the same statistics (generated-code repetition
+        // that regions let GVN collapse to nearly nothing).
+        let ks4 = m.reg();
+        m.get_field(ks4, st, f_kinds);
+        let c3 = m.reg();
+        m.aload(c3, ks4, kind);
+        let tot2 = m.reg();
+        m.get_field(tot2, st, f_total);
+        let mix = m.reg();
+        let k31m = m.imm(31);
+        m.bin(BinOp::Mul, mix, c3, k31m);
+        m.bin(BinOp::Add, mix, mix, tot2);
+        m.bin(BinOp::Xor, mix, mix, state);
+        m.checksum(c2);
+        m.bin(BinOp::Add, i, i, one);
+        m.safepoint();
+        m.jump(head);
+        m.bind(exit);
+        m.marker(phase);
+    }
+
+    let total = m.reg();
+    m.get_field(total, st, f_total);
+    m.checksum(total);
+    let h = m.reg();
+    m.call(Some(h), sb.hash, &[out]);
+    m.checksum(h);
+    m.ret(Some(total));
+    let entry = m.finish(&mut pb);
+
+    Workload {
+        name: "antlr",
+        description: "parser generation over 4 grammars: opaque scanner \
+                      dominates (low coverage), but the classification kernel \
+                      is ~2/3 redundant and calls synchronized classlib \
+                      methods (SLE)",
+        program: pb.finish(entry),
+        samples: vec![
+            Sample { marker: 1, weight: 0.4 },
+            Sample { marker: 2, weight: 0.3 },
+            Sample { marker: 3, weight: 0.2 },
+            Sample { marker: 4, weight: 0.1 },
+        ],
+        fuel: 120_000_000,
+    }
+}

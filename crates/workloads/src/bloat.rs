@@ -1,0 +1,331 @@
+//! `bloat` — bytecode analysis and optimization.
+//!
+//! Preserved characteristics (§6.1, Table 3): high region coverage (~69%),
+//! large regions (~128 uops), and a non-trivial abort rate concentrated in
+//! one of four samples — "almost all of bloat's aborts occur in one of its
+//! four execution samples — the one from the least dominant phase — and that
+//! sample incurs a slowdown", while the other phases win big.
+
+use hasp_vm::builder::ProgramBuilder;
+use hasp_vm::bytecode::{BinOp, CmpOp, Intrinsic};
+
+use crate::workload::{Sample, Workload};
+
+/// Builds the bloat workload.
+pub fn bloat() -> Workload {
+    let mut pb = ProgramBuilder::new();
+
+    // Analysis state: stack-depth simulation, def/use statistics, a bigram
+    // histogram of opcode transitions, and basic-block accounting — the kind
+    // of state a bytecode analyzer threads through every instruction visit.
+    let state = pb.add_class(
+        "FlowState",
+        None,
+        &[
+            "depths", "bigrams", "lines", "maxdepth", "insns", "wides", "defs", "uses",
+            "weight", "blocks",
+        ],
+    );
+    let f_depths = pb.field(state, "depths");
+    let f_bigrams = pb.field(state, "bigrams");
+    let f_lines = pb.field(state, "lines");
+    let f_max = pb.field(state, "maxdepth");
+    let f_insns = pb.field(state, "insns");
+    let f_wides = pb.field(state, "wides");
+    let f_defs = pb.field(state, "defs");
+    let f_uses = pb.field(state, "uses");
+    let f_weight = pb.field(state, "weight");
+    let f_blocks = pb.field(state, "blocks");
+
+    let mut m = pb.method("main", 0);
+    let st = m.reg();
+    m.new_obj(st, state);
+    let k256 = m.imm(256);
+    let depths = m.reg();
+    m.new_array(depths, k256);
+    m.put_field(st, f_depths, depths);
+    let k64b = m.imm(64);
+    let bigrams = m.reg();
+    m.new_array(bigrams, k64b);
+    m.put_field(st, f_bigrams, bigrams);
+    let k512 = m.imm(512);
+    let lines = m.reg();
+    m.new_array(lines, k512);
+    m.put_field(st, f_lines, lines);
+
+    const CODE_LEN: i64 = 512;
+    let code_len = m.imm(CODE_LEN);
+    let code = m.reg();
+    m.new_array(code, code_len);
+
+    let one = m.imm(1);
+
+    // Four phases: (marker, passes over the corpus, wide-op percentage).
+    for (phase, passes, wide_pct) in [(1u32, 5i64, 0i64), (2, 4, 0), (3, 4, 0), (4, 2, 8)] {
+        // (Re)generate the phase's corpus.
+        {
+            let j = m.imm(0);
+            let head = m.new_label();
+            let exit = m.new_label();
+            let wide = m.new_label();
+            let norm = m.new_label();
+            let store = m.new_label();
+            let k100 = m.imm(100);
+            let kwide = m.imm(wide_pct);
+            let k5 = m.imm(5);
+            let k900 = m.imm(900);
+            m.bind(head);
+            m.branch(CmpOp::Ge, j, code_len, exit);
+            let r = m.reg();
+            m.intrin(Intrinsic::NextRandom, Some(r), &[]);
+            let sel = m.reg();
+            m.bin(BinOp::Rem, sel, r, k100);
+            let op = m.reg();
+            m.branch(CmpOp::Lt, sel, kwide, wide);
+            m.jump(norm);
+            m.bind(norm);
+            m.bin(BinOp::Rem, op, r, k5); // opcodes 0..4: normal
+            m.jump(store);
+            m.bind(wide);
+            m.bin(BinOp::Rem, op, r, k5);
+            m.bin(BinOp::Add, op, op, k900); // 900..904: wide-prefixed
+            m.jump(store);
+            m.bind(store);
+            m.astore(code, j, op);
+            m.bin(BinOp::Add, j, j, one);
+            m.safepoint();
+            m.jump(head);
+            m.bind(exit);
+        }
+
+        m.marker(phase);
+        let pass = m.imm(0);
+        let npasses = m.imm(passes);
+        let phead = m.new_label();
+        let pexit = m.new_label();
+        m.bind(phead);
+        m.branch(CmpOp::Ge, pass, npasses, pexit);
+        {
+            // The analysis kernel: one pass over the opcode stream. No calls
+            // → the whole per-instruction visit runs inside one region. The
+            // visitor re-loads its state object's fields the way generated
+            // visitor code does — the redundancy regions let GVN remove.
+            let depth = m.imm(0);
+            let prev = m.imm(0);
+            let pc = m.imm(0);
+            let head = m.new_label();
+            let exit = m.new_label();
+            let is_wide = m.new_label();
+            let after = m.new_label();
+            let k899 = m.imm(899);
+            let k2 = m.imm(2);
+            let k3 = m.imm(3);
+            let k7 = m.imm(7);
+            let k31 = m.imm(31);
+            let kmask = m.imm(255);
+            let k63 = m.imm(63);
+            let k511 = m.imm(511);
+            m.bind(head);
+            m.branch(CmpOp::Ge, pc, code_len, exit);
+            let op = m.reg();
+            m.aload(op, code, pc);
+            // The cold path: wide-prefixed opcode handling.
+            m.branch(CmpOp::Gt, op, k899, is_wide);
+
+            // --- Hot per-instruction visit ---
+            // 1. Stack-depth simulation.
+            let delta = m.reg();
+            m.bin(BinOp::Rem, delta, op, k3);
+            m.bin(BinOp::Sub, delta, delta, one);
+            m.bin(BinOp::Add, depth, depth, delta);
+            let dslot = m.reg();
+            m.bin(BinOp::And, dslot, depth, kmask);
+            let d1 = m.reg();
+            m.get_field(d1, st, f_depths);
+            let cnt = m.reg();
+            m.aload(cnt, d1, dslot);
+            m.bin(BinOp::Add, cnt, cnt, one);
+            let d2 = m.reg();
+            m.get_field(d2, st, f_depths); // redundant load
+            m.astore(d2, dslot, cnt);
+            // 2. Max-depth watermark (biased but warm branch).
+            let mx = m.reg();
+            m.get_field(mx, st, f_max);
+            let skip = m.new_label();
+            m.branch(CmpOp::Le, depth, mx, skip);
+            m.put_field(st, f_max, depth);
+            m.jump(skip);
+            m.bind(skip);
+            // 3. Opcode-transition bigram histogram.
+            let bg = m.reg();
+            m.bin(BinOp::Mul, bg, prev, k7);
+            m.bin(BinOp::Add, bg, bg, op);
+            m.bin(BinOp::And, bg, bg, k63);
+            let b1 = m.reg();
+            m.get_field(b1, st, f_bigrams);
+            let bc = m.reg();
+            m.aload(bc, b1, bg);
+            m.bin(BinOp::Add, bc, bc, one);
+            let b2 = m.reg();
+            m.get_field(b2, st, f_bigrams); // redundant load
+            m.astore(b2, bg, bc);
+            m.mov(prev, op);
+            // 4. Def/use accounting by opcode class.
+            let cls = m.reg();
+            m.bin(BinOp::Rem, cls, op, k2);
+            let defs = m.reg();
+            m.get_field(defs, st, f_defs);
+            m.bin(BinOp::Add, defs, defs, cls);
+            m.put_field(st, f_defs, defs);
+            let uses = m.reg();
+            m.get_field(uses, st, f_uses);
+            let use_w = m.reg();
+            m.bin(BinOp::Sub, use_w, one, cls);
+            m.bin(BinOp::Add, uses, uses, use_w);
+            m.put_field(st, f_uses, uses);
+            // 5. Line-table update.
+            let lslot = m.reg();
+            m.bin(BinOp::And, lslot, pc, k511);
+            let l1 = m.reg();
+            m.get_field(l1, st, f_lines);
+            let lv = m.reg();
+            m.aload(lv, l1, lslot);
+            let lw = m.reg();
+            m.bin(BinOp::Mul, lw, depth, k31);
+            m.bin(BinOp::Xor, lv, lv, lw);
+            let l2 = m.reg();
+            m.get_field(l2, st, f_lines); // redundant load
+            m.astore(l2, lslot, lv);
+            // 6. Weighted instruction count + block boundary detection.
+            let w = m.reg();
+            m.get_field(w, st, f_weight);
+            let opw = m.reg();
+            m.bin(BinOp::Add, opw, op, one);
+            m.bin(BinOp::Add, w, w, opw);
+            m.put_field(st, f_weight, w);
+            let ins = m.reg();
+            m.get_field(ins, st, f_insns);
+            m.bin(BinOp::Add, ins, ins, one);
+            m.put_field(st, f_insns, ins);
+            let k5b = m.imm(5);
+            let is_branch = m.reg();
+            m.bin(BinOp::Rem, is_branch, op, k5b);
+            let nb = m.new_label();
+            let zero2 = m.imm(0);
+            m.branch(CmpOp::Ne, is_branch, zero2, nb);
+            let blocks = m.reg();
+            m.get_field(blocks, st, f_blocks);
+            m.bin(BinOp::Add, blocks, blocks, one);
+            m.put_field(st, f_blocks, blocks);
+            m.jump(nb);
+            m.bind(nb);
+            m.jump(after);
+
+            // --- Cold: wide opcode (phase 4 violates the phases-1-3 profile) ---
+            m.bind(is_wide);
+            let wd = m.reg();
+            m.get_field(wd, st, f_wides);
+            m.bin(BinOp::Add, wd, wd, one);
+            m.put_field(st, f_wides, wd);
+            // Wide handling rewrites the summary state too — which is what
+            // makes the post-join reloads non-redundant for the baseline.
+            let wins = m.reg();
+            m.get_field(wins, st, f_insns);
+            m.bin(BinOp::Add, wins, wins, k2);
+            m.put_field(st, f_insns, wins);
+            let ww = m.reg();
+            m.get_field(ww, st, f_weight);
+            m.bin(BinOp::Add, ww, ww, k2);
+            m.put_field(st, f_weight, ww);
+            let wdf = m.reg();
+            m.get_field(wdf, st, f_defs);
+            m.bin(BinOp::Add, wdf, wdf, one);
+            m.put_field(st, f_defs, wdf);
+            let wus = m.reg();
+            m.get_field(wus, st, f_uses);
+            m.bin(BinOp::Add, wus, wus, one);
+            m.put_field(st, f_uses, wus);
+            let wbl = m.reg();
+            m.get_field(wbl, st, f_blocks);
+            m.bin(BinOp::Add, wbl, wbl, one);
+            m.put_field(st, f_blocks, wbl);
+            let wzero = m.imm(0);
+            let wmx = m.reg();
+            m.get_field(wmx, st, f_max);
+            m.bin(BinOp::Add, wmx, wmx, wzero);
+            m.put_field(st, f_max, wmx);
+            m.bin(BinOp::Add, depth, depth, k2);
+            m.jump(after);
+
+            m.bind(after);
+            // Post-visit summary: reloads the state the visit just wrote.
+            // In the baseline the wide-opcode join kills load availability
+            // (the cold edge may have clobbered anything); inside an atomic
+            // region the join is gone — the cold edge is an assert — so
+            // value numbering forwards every one of these loads (Figure 3).
+            let s_defs = m.reg();
+            m.get_field(s_defs, st, f_defs);
+            let s_uses = m.reg();
+            m.get_field(s_uses, st, f_uses);
+            let s_w = m.reg();
+            m.get_field(s_w, st, f_weight);
+            let s_ins = m.reg();
+            m.get_field(s_ins, st, f_insns);
+            let s_blocks = m.reg();
+            m.get_field(s_blocks, st, f_blocks);
+            let s_max = m.reg();
+            m.get_field(s_max, st, f_max);
+            let summary = m.reg();
+            m.bin(BinOp::Add, summary, s_defs, s_uses);
+            m.bin(BinOp::Add, summary, summary, s_w);
+            m.bin(BinOp::Add, summary, summary, s_ins);
+            m.bin(BinOp::Add, summary, summary, s_blocks);
+            m.bin(BinOp::Add, summary, summary, s_max);
+            let d3 = m.reg();
+            m.get_field(d3, st, f_depths);
+            let c3 = m.reg();
+            m.aload(c3, d3, dslot);
+            m.bin(BinOp::Xor, summary, summary, c3);
+            let wsum = m.reg();
+            m.get_field(wsum, st, f_weight);
+            m.bin(BinOp::Add, wsum, wsum, summary);
+            m.put_field(st, f_weight, wsum);
+            m.bin(BinOp::Add, pc, pc, one);
+            m.safepoint();
+            m.jump(head);
+            m.bind(exit);
+            m.checksum(depth);
+        }
+        m.bin(BinOp::Add, pass, pass, one);
+        m.safepoint();
+        m.jump(phead);
+        m.bind(pexit);
+        m.marker(phase);
+    }
+
+    for f in [f_max, f_insns, f_wides, f_defs, f_uses, f_weight, f_blocks] {
+        let v = m.reg();
+        m.get_field(v, st, f);
+        m.checksum(v);
+    }
+    let out = m.reg();
+    m.get_field(out, st, f_insns);
+    m.ret(Some(out));
+    let entry = m.finish(&mut pb);
+
+    Workload {
+        name: "bloat",
+        description: "bytecode analysis: call-free per-instruction visitor in \
+                      large regions (high coverage); phase 4's wide opcodes \
+                      violate the phases-1-3 profile, concentrating aborts in \
+                      the least dominant sample",
+        program: pb.finish(entry),
+        samples: vec![
+            Sample { marker: 1, weight: 0.35 },
+            Sample { marker: 2, weight: 0.30 },
+            Sample { marker: 3, weight: 0.25 },
+            Sample { marker: 4, weight: 0.10 },
+        ],
+        fuel: 150_000_000,
+    }
+}

@@ -1,0 +1,591 @@
+//! A small synthetic "class library" shared by the benchmark programs:
+//! the Xalan-style `SuballocatedIntVector`, a synchronized `StringBuffer`,
+//! an open-addressing integer hash map, and boxed-value classes for the
+//! Jython-style interpreter. These provide the code shapes the paper's
+//! optimizations feed on — redundant checks, biased branches, monitor pairs
+//! on uncontended locks, and virtual dispatch.
+
+use hasp_vm::builder::ProgramBuilder;
+use hasp_vm::bytecode::{BinOp, ClassId, CmpOp, FieldId, MethodId, SlotId};
+
+/// The Figure 2 class: an extensible vector of integers maintaining an array
+/// of sub-arrays with a cached current chunk, so the 99.8%-biased fast path
+/// of `addElement` is check + store + increment.
+#[derive(Debug, Clone, Copy)]
+pub struct IntVector {
+    /// The vector class.
+    pub class: ClassId,
+    /// `new(blocksize) -> vec` (static factory).
+    pub new: MethodId,
+    /// `addElement(vec, value)`.
+    pub add: MethodId,
+    /// `elementAt(vec, index) -> value` (fast path through the cache).
+    pub get: MethodId,
+    /// `size(vec) -> n`.
+    pub size: MethodId,
+    /// Field: current insertion index.
+    pub f_first_free: FieldId,
+}
+
+/// Installs the `SuballocatedIntVector` class into `pb`.
+pub fn int_vector(pb: &mut ProgramBuilder) -> IntVector {
+    let class = pb.add_class(
+        "SuballocatedIntVector",
+        None,
+        &["m_map", "m_blocksize", "m_cachedChunk", "m_cachedBase", "m_firstFree"],
+    );
+    let f_map = pb.field(class, "m_map");
+    let f_bs = pb.field(class, "m_blocksize");
+    let f_chunk = pb.field(class, "m_cachedChunk");
+    let f_base = pb.field(class, "m_cachedBase");
+    let f_free = pb.field(class, "m_firstFree");
+
+    // new(blocksize): allocate the chunk map and the first chunk.
+    let new = {
+        let mut m = pb.method("SuballocatedIntVector.new", 1);
+        let v = m.reg();
+        m.new_obj(v, class);
+        m.put_field(v, f_bs, m.arg(0));
+        let map_cap = m.imm(64);
+        let map = m.reg();
+        m.new_array(map, map_cap);
+        m.put_field(v, f_map, map);
+        let chunk = m.reg();
+        m.new_array(chunk, m.arg(0));
+        let zero = m.imm(0);
+        m.astore(map, zero, chunk);
+        m.put_field(v, f_chunk, chunk);
+        m.put_field(v, f_base, zero);
+        m.put_field(v, f_free, zero);
+        m.ret(Some(v));
+        m.finish(pb)
+    };
+
+    // addElement(v, x): hot path hits the cached chunk.
+    let add = {
+        let mut m = pb.method("SuballocatedIntVector.addElement", 2);
+        let (v, x) = (m.arg(0), m.arg(1));
+        let slow = m.new_label();
+        let done = m.new_label();
+        let i = m.reg();
+        m.get_field(i, v, f_free);
+        let base = m.reg();
+        m.get_field(base, v, f_base);
+        let off = m.reg();
+        m.bin(BinOp::Sub, off, i, base);
+        let bs = m.reg();
+        m.get_field(bs, v, f_bs);
+        m.branch(CmpOp::Ge, off, bs, slow);
+        // fast path
+        let chunk = m.reg();
+        m.get_field(chunk, v, f_chunk);
+        m.astore(chunk, off, x);
+        let one = m.imm(1);
+        let i2 = m.reg();
+        m.bin(BinOp::Add, i2, i, one);
+        m.put_field(v, f_free, i2);
+        m.jump(done);
+        // slow path: allocate a new chunk and update the cache
+        m.bind(slow);
+        let map = m.reg();
+        m.get_field(map, v, f_map);
+        let ci = m.reg();
+        m.bin(BinOp::Div, ci, i, bs);
+        let nbase = m.reg();
+        m.bin(BinOp::Mul, nbase, ci, bs);
+        let nchunk = m.reg();
+        m.new_array(nchunk, bs);
+        m.astore(map, ci, nchunk);
+        m.put_field(v, f_chunk, nchunk);
+        m.put_field(v, f_base, nbase);
+        let noff = m.reg();
+        m.bin(BinOp::Sub, noff, i, nbase);
+        m.astore(nchunk, noff, x);
+        let one2 = m.imm(1);
+        let i3 = m.reg();
+        m.bin(BinOp::Add, i3, i, one2);
+        m.put_field(v, f_free, i3);
+        m.jump(done);
+        m.bind(done);
+        m.ret(None);
+        m.finish(pb)
+    };
+
+    // elementAt(v, idx): fast when idx is in the cached chunk.
+    let get = {
+        let mut m = pb.method("SuballocatedIntVector.elementAt", 2);
+        let (v, idx) = (m.arg(0), m.arg(1));
+        let slow = m.new_label();
+        let base = m.reg();
+        m.get_field(base, v, f_base);
+        let off = m.reg();
+        m.bin(BinOp::Sub, off, idx, base);
+        let zero = m.imm(0);
+        m.branch(CmpOp::Lt, off, zero, slow);
+        let bs = m.reg();
+        m.get_field(bs, v, f_bs);
+        m.branch(CmpOp::Ge, off, bs, slow);
+        let chunk = m.reg();
+        m.get_field(chunk, v, f_chunk);
+        let out = m.reg();
+        m.aload(out, chunk, off);
+        m.ret(Some(out));
+        m.bind(slow);
+        let map = m.reg();
+        m.get_field(map, v, f_map);
+        let ci = m.reg();
+        let bs2 = m.reg();
+        m.get_field(bs2, v, f_bs);
+        m.bin(BinOp::Div, ci, idx, bs2);
+        let ch = m.reg();
+        m.aload(ch, map, ci);
+        let o2 = m.reg();
+        m.bin(BinOp::Rem, o2, idx, bs2);
+        let out2 = m.reg();
+        m.aload(out2, ch, o2);
+        m.ret(Some(out2));
+        m.finish(pb)
+    };
+
+    let size = {
+        let mut m = pb.method("SuballocatedIntVector.size", 1);
+        let n = m.reg();
+        m.get_field(n, m.arg(0), f_free);
+        m.ret(Some(n));
+        m.finish(pb)
+    };
+
+    IntVector { class, new, add, get, size, f_first_free: f_free }
+}
+
+/// A synchronized string buffer, the classlib shape behind "elimination of
+/// monitor overhead of calls to synchronized classlib methods" (antlr, §6.1).
+#[derive(Debug, Clone, Copy)]
+pub struct StringBuffer {
+    /// The buffer class.
+    pub class: ClassId,
+    /// `new(capacity) -> sb`.
+    pub new: MethodId,
+    /// synchronized `append(sb, ch)`.
+    pub append: MethodId,
+    /// synchronized `length(sb) -> n`.
+    pub length: MethodId,
+    /// `hash(sb) -> h` (iterates the buffer; not synchronized).
+    pub hash: MethodId,
+}
+
+/// Installs the `StringBuffer` class into `pb`.
+pub fn string_buffer(pb: &mut ProgramBuilder) -> StringBuffer {
+    let class = pb.add_class("StringBuffer", None, &["buf", "len"]);
+    let f_buf = pb.field(class, "buf");
+    let f_len = pb.field(class, "len");
+
+    let new = {
+        let mut m = pb.method("StringBuffer.new", 1);
+        let sb = m.reg();
+        m.new_obj(sb, class);
+        let buf = m.reg();
+        m.new_array(buf, m.arg(0));
+        m.put_field(sb, f_buf, buf);
+        let zero = m.imm(0);
+        m.put_field(sb, f_len, zero);
+        m.ret(Some(sb));
+        m.finish(pb)
+    };
+
+    let append = {
+        let mut m = pb.method("StringBuffer.append", 2);
+        m.set_synchronized();
+        let (sb, ch) = (m.arg(0), m.arg(1));
+        let grow = m.new_label();
+        let store = m.new_label();
+        let len = m.reg();
+        m.get_field(len, sb, f_len);
+        let buf = m.reg();
+        m.get_field(buf, sb, f_buf);
+        let cap = m.reg();
+        m.array_len(cap, buf);
+        m.branch(CmpOp::Ge, len, cap, grow);
+        m.jump(store);
+        m.bind(grow);
+        // double the buffer (cold)
+        let two = m.imm(2);
+        let ncap = m.reg();
+        m.bin(BinOp::Mul, ncap, cap, two);
+        let nbuf = m.reg();
+        m.new_array(nbuf, ncap);
+        let i = m.imm(0);
+        let one = m.imm(1);
+        let copy = m.new_label();
+        let copied = m.new_label();
+        m.bind(copy);
+        m.branch(CmpOp::Ge, i, len, copied);
+        let t = m.reg();
+        m.aload(t, buf, i);
+        m.astore(nbuf, i, t);
+        m.bin(BinOp::Add, i, i, one);
+        m.jump(copy);
+        m.bind(copied);
+        m.put_field(sb, f_buf, nbuf);
+        m.mov(buf, nbuf);
+        m.jump(store);
+        m.bind(store);
+        m.astore(buf, len, ch);
+        let one2 = m.imm(1);
+        let len2 = m.reg();
+        m.bin(BinOp::Add, len2, len, one2);
+        m.put_field(sb, f_len, len2);
+        m.ret(None);
+        m.finish(pb)
+    };
+
+    let length = {
+        let mut m = pb.method("StringBuffer.length", 1);
+        m.set_synchronized();
+        let n = m.reg();
+        m.get_field(n, m.arg(0), f_len);
+        m.ret(Some(n));
+        m.finish(pb)
+    };
+
+    let hash = {
+        let mut m = pb.method("StringBuffer.hash", 1);
+        let sb = m.arg(0);
+        let buf = m.reg();
+        m.get_field(buf, sb, f_buf);
+        let len = m.reg();
+        m.get_field(len, sb, f_len);
+        let h = m.imm(0);
+        let i = m.imm(0);
+        let one = m.imm(1);
+        let k31 = m.imm(31);
+        let head = m.new_label();
+        let exit = m.new_label();
+        m.bind(head);
+        m.branch(CmpOp::Ge, i, len, exit);
+        let c = m.reg();
+        m.aload(c, buf, i);
+        m.bin(BinOp::Mul, h, h, k31);
+        m.bin(BinOp::Add, h, h, c);
+        m.bin(BinOp::Add, i, i, one);
+        m.safepoint();
+        m.jump(head);
+        m.bind(exit);
+        m.ret(Some(h));
+        m.finish(pb)
+    };
+
+    StringBuffer { class, new, append, length, hash }
+}
+
+/// An open-addressing integer hash map (power-of-two capacity). `get` on a
+/// present key usually probes once — a 95%+ biased loop exit.
+#[derive(Debug, Clone, Copy)]
+pub struct HashMapInt {
+    /// The map class.
+    pub class: ClassId,
+    /// `new(capacity_pow2) -> map`.
+    pub new: MethodId,
+    /// `put(map, key, value)` (keys must be nonzero; no growth — size maps
+    /// accordingly).
+    pub put: MethodId,
+    /// `get(map, key) -> value` (0 when absent).
+    pub get: MethodId,
+}
+
+/// Installs the hash map class into `pb`.
+pub fn hash_map_int(pb: &mut ProgramBuilder) -> HashMapInt {
+    let class = pb.add_class("HashMapInt", None, &["keys", "vals", "mask"]);
+    let f_keys = pb.field(class, "keys");
+    let f_vals = pb.field(class, "vals");
+    let f_mask = pb.field(class, "mask");
+
+    let new = {
+        let mut m = pb.method("HashMapInt.new", 1);
+        let map = m.reg();
+        m.new_obj(map, class);
+        let keys = m.reg();
+        m.new_array(keys, m.arg(0));
+        let vals = m.reg();
+        m.new_array(vals, m.arg(0));
+        m.put_field(map, f_keys, keys);
+        m.put_field(map, f_vals, vals);
+        let one = m.imm(1);
+        let mask = m.reg();
+        m.bin(BinOp::Sub, mask, m.arg(0), one);
+        m.put_field(map, f_mask, mask);
+        m.ret(Some(map));
+        m.finish(pb)
+    };
+
+    // Shared probe loop shape for put/get.
+    let put = {
+        let mut m = pb.method("HashMapInt.put", 3);
+        let (map, key, val) = (m.arg(0), m.arg(1), m.arg(2));
+        let keys = m.reg();
+        m.get_field(keys, map, f_keys);
+        let vals = m.reg();
+        m.get_field(vals, map, f_vals);
+        let mask = m.reg();
+        m.get_field(mask, map, f_mask);
+        let h = m.reg();
+        let k7 = m.imm(7);
+        m.bin(BinOp::Mul, h, key, k7);
+        m.bin(BinOp::And, h, h, mask);
+        let one = m.imm(1);
+        let zero = m.imm(0);
+        let probe = m.new_label();
+        let store = m.new_label();
+        let bump = m.new_label();
+        m.bind(probe);
+        let k = m.reg();
+        m.aload(k, keys, h);
+        m.branch(CmpOp::Eq, k, zero, store);
+        m.branch(CmpOp::Eq, k, key, store);
+        m.jump(bump);
+        m.bind(bump);
+        m.bin(BinOp::Add, h, h, one);
+        m.bin(BinOp::And, h, h, mask);
+        m.safepoint();
+        m.jump(probe);
+        m.bind(store);
+        m.astore(keys, h, key);
+        m.astore(vals, h, val);
+        m.ret(None);
+        m.finish(pb)
+    };
+
+    let get = {
+        let mut m = pb.method("HashMapInt.get", 2);
+        let (map, key) = (m.arg(0), m.arg(1));
+        let keys = m.reg();
+        m.get_field(keys, map, f_keys);
+        let vals = m.reg();
+        m.get_field(vals, map, f_vals);
+        let mask = m.reg();
+        m.get_field(mask, map, f_mask);
+        let h = m.reg();
+        let k7 = m.imm(7);
+        m.bin(BinOp::Mul, h, key, k7);
+        m.bin(BinOp::And, h, h, mask);
+        let one = m.imm(1);
+        let zero = m.imm(0);
+        let probe = m.new_label();
+        let found = m.new_label();
+        let miss = m.new_label();
+        m.bind(probe);
+        let k = m.reg();
+        m.aload(k, keys, h);
+        m.branch(CmpOp::Eq, k, key, found);
+        m.branch(CmpOp::Eq, k, zero, miss);
+        m.bin(BinOp::Add, h, h, one);
+        m.bin(BinOp::And, h, h, mask);
+        m.safepoint();
+        m.jump(probe);
+        m.bind(found);
+        let v = m.reg();
+        m.aload(v, vals, h);
+        m.ret(Some(v));
+        m.bind(miss);
+        m.ret(Some(zero));
+        m.finish(pb)
+    };
+
+    HashMapInt { class, new, put, get }
+}
+
+/// Boxed-value classes with a virtual `value()` method — the receiver-type
+/// pollution mechanism behind the jython `getitem` pathology (§6.1).
+#[derive(Debug, Clone, Copy)]
+pub struct Boxes {
+    /// Base class (abstract).
+    pub base: ClassId,
+    /// Box whose `value()` returns the payload.
+    pub int_box: ClassId,
+    /// Box whose `value()` returns a transformed payload.
+    pub alt_box: ClassId,
+    /// The virtual slot for `value()`.
+    pub slot: SlotId,
+    /// `IntBox.new(payload)`.
+    pub new_int: MethodId,
+    /// `AltBox.new(payload)`.
+    pub new_alt: MethodId,
+}
+
+/// Installs the box classes into `pb`.
+pub fn boxes(pb: &mut ProgramBuilder) -> Boxes {
+    let int_value = pb.declare("IntBox.value", 1);
+    let alt_value = pb.declare("AltBox.value", 1);
+    let base = pb.add_class("Box", None, &["payload"]);
+    let f_payload = pb.field(base, "payload");
+    let slot = pb.add_slot(base, int_value);
+    let int_box = pb.add_class("IntBox", Some(base), &[]);
+    let alt_box = pb.add_class("AltBox", Some(base), &[]);
+    pb.override_slot(int_box, slot, int_value);
+    pb.override_slot(alt_box, slot, alt_value);
+
+    {
+        let mut m = pb.method("IntBox.value", 1);
+        let v = m.reg();
+        m.get_field(v, m.arg(0), f_payload);
+        m.ret(Some(v));
+        m.finish(pb);
+    }
+    {
+        let mut m = pb.method("AltBox.value", 1);
+        let v = m.reg();
+        m.get_field(v, m.arg(0), f_payload);
+        let three = m.imm(3);
+        m.bin(BinOp::Mul, v, v, three);
+        m.ret(Some(v));
+        m.finish(pb);
+    }
+    let new_int = {
+        let mut m = pb.method("IntBox.new", 1);
+        let o = m.reg();
+        m.new_obj(o, int_box);
+        m.put_field(o, f_payload, m.arg(0));
+        m.ret(Some(o));
+        m.finish(pb)
+    };
+    let new_alt = {
+        let mut m = pb.method("AltBox.new", 1);
+        let o = m.reg();
+        m.new_obj(o, alt_box);
+        m.put_field(o, f_payload, m.arg(0));
+        m.ret(Some(o));
+        m.finish(pb)
+    };
+
+    Boxes { base, int_box, alt_box, slot, new_int, new_alt }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hasp_vm::interp::Interp;
+    use hasp_vm::value::Value;
+
+    #[test]
+    fn int_vector_add_get() {
+        let mut pb = ProgramBuilder::new();
+        let vec = int_vector(&mut pb);
+        let mut m = pb.method("main", 0);
+        let bs = m.imm(16);
+        let v = m.reg();
+        m.call(Some(v), vec.new, &[bs]);
+        let i = m.imm(0);
+        let n = m.imm(100); // crosses chunk boundaries
+        let one = m.imm(1);
+        let head = m.new_label();
+        let exit = m.new_label();
+        m.bind(head);
+        m.branch(CmpOp::Ge, i, n, exit);
+        m.call(None, vec.add, &[v, i]);
+        m.bin(BinOp::Add, i, i, one);
+        m.jump(head);
+        m.bind(exit);
+        let idx = m.imm(77);
+        let out = m.reg();
+        m.call(Some(out), vec.get, &[v, idx]);
+        let sz = m.reg();
+        m.call(Some(sz), vec.size, &[v]);
+        m.bin(BinOp::Mul, sz, sz, out);
+        m.ret(Some(sz));
+        let entry = m.finish(&mut pb);
+        let p = pb.finish(entry);
+        let mut interp = Interp::new(&p);
+        interp.set_fuel(10_000_000);
+        assert_eq!(interp.run(&[]).unwrap(), Some(Value::Int(100 * 77)));
+    }
+
+    #[test]
+    fn string_buffer_append_grow_hash() {
+        let mut pb = ProgramBuilder::new();
+        let sb = string_buffer(&mut pb);
+        let mut m = pb.method("main", 0);
+        let cap = m.imm(4);
+        let b = m.reg();
+        m.call(Some(b), sb.new, &[cap]);
+        for ch in [7i64, 11, 13, 17, 19, 23] {
+            let c = m.imm(ch);
+            m.call(None, sb.append, &[b, c]);
+        }
+        let len = m.reg();
+        m.call(Some(len), sb.length, &[b]);
+        let h = m.reg();
+        m.call(Some(h), sb.hash, &[b]);
+        m.bin(BinOp::Xor, h, h, len);
+        m.ret(Some(h));
+        let entry = m.finish(&mut pb);
+        let p = pb.finish(entry);
+        let mut interp = Interp::new(&p);
+        interp.set_fuel(1_000_000);
+        let expected = {
+            let mut h: i64 = 0;
+            for ch in [7i64, 11, 13, 17, 19, 23] {
+                h = h * 31 + ch;
+            }
+            h ^ 6
+        };
+        assert_eq!(interp.run(&[]).unwrap(), Some(Value::Int(expected)));
+    }
+
+    #[test]
+    fn hash_map_put_get() {
+        let mut pb = ProgramBuilder::new();
+        let map = hash_map_int(&mut pb);
+        let mut m = pb.method("main", 0);
+        let cap = m.imm(64);
+        let h = m.reg();
+        m.call(Some(h), map.new, &[cap]);
+        let i = m.imm(1);
+        let n = m.imm(30);
+        let one = m.imm(1);
+        let head = m.new_label();
+        let exit = m.new_label();
+        m.bind(head);
+        m.branch(CmpOp::Gt, i, n, exit);
+        let v = m.reg();
+        m.bin(BinOp::Mul, v, i, i);
+        m.call(None, map.put, &[h, i, v]);
+        m.bin(BinOp::Add, i, i, one);
+        m.jump(head);
+        m.bind(exit);
+        let k = m.imm(17);
+        let got = m.reg();
+        m.call(Some(got), map.get, &[h, k]);
+        let absent = m.imm(55);
+        let got2 = m.reg();
+        m.call(Some(got2), map.get, &[h, absent]);
+        m.bin(BinOp::Add, got, got, got2);
+        m.ret(Some(got));
+        let entry = m.finish(&mut pb);
+        let p = pb.finish(entry);
+        let mut interp = Interp::new(&p);
+        interp.set_fuel(10_000_000);
+        assert_eq!(interp.run(&[]).unwrap(), Some(Value::Int(17 * 17)));
+    }
+
+    #[test]
+    fn boxes_dispatch() {
+        let mut pb = ProgramBuilder::new();
+        let bx = boxes(&mut pb);
+        let mut m = pb.method("main", 0);
+        let five = m.imm(5);
+        let a = m.reg();
+        m.call(Some(a), bx.new_int, &[five]);
+        let b = m.reg();
+        m.call(Some(b), bx.new_alt, &[five]);
+        let va = m.reg();
+        m.call_virtual(Some(va), bx.slot, a, &[]);
+        let vb = m.reg();
+        m.call_virtual(Some(vb), bx.slot, b, &[]);
+        m.bin(BinOp::Add, va, va, vb);
+        m.ret(Some(va));
+        let entry = m.finish(&mut pb);
+        let p = pb.finish(entry);
+        let mut interp = Interp::new(&p);
+        assert_eq!(interp.run(&[]).unwrap(), Some(Value::Int(5 + 15)));
+    }
+}

@@ -1,0 +1,183 @@
+//! `fop` — XSL-FO to PDF formatting.
+//!
+//! Preserved characteristics (Table 3): modest region coverage (~20%), the
+//! smallest regions of the suite (~32 uops), near-zero aborts, small
+//! speedup. Two samples (parse + render phases). Most work happens in
+//! opaque glyph-metric lookups; the regionable kernel is a short line-break
+//! cost computation.
+
+use hasp_vm::builder::ProgramBuilder;
+use hasp_vm::bytecode::{BinOp, CmpOp, Intrinsic};
+
+use crate::workload::{Sample, Workload};
+
+/// Builds the fop workload.
+pub fn fop() -> Workload {
+    let mut pb = ProgramBuilder::new();
+
+    // Opaque glyph-metrics "native" method: dominates execution.
+    let metrics = {
+        let mut m = pb.method("FontMetrics.width", 2);
+        m.set_opaque();
+        let (table, ch) = (m.arg(0), m.arg(1));
+        let len = m.reg();
+        m.array_len(len, table);
+        let acc = m.imm(0);
+        let i = m.imm(0);
+        let k16 = m.imm(16);
+        let one = m.imm(1);
+        let head = m.new_label();
+        let exit = m.new_label();
+        m.bind(head);
+        m.branch(CmpOp::Ge, i, k16, exit);
+        let slot = m.reg();
+        m.bin(BinOp::Add, slot, ch, i);
+        m.bin(BinOp::Rem, slot, slot, len);
+        let w = m.reg();
+        m.aload(w, table, slot);
+        m.bin(BinOp::Add, acc, acc, w);
+        m.bin(BinOp::Add, i, i, one);
+        m.safepoint();
+        m.jump(head);
+        m.bind(exit);
+        m.ret(Some(acc));
+        m.finish(&mut pb)
+    };
+
+    let layout = pb.add_class("Layout", None, &["linewidth", "cursor", "lines", "overfull"]);
+    let f_lw = pb.field(layout, "linewidth");
+    let f_cur = pb.field(layout, "cursor");
+    let f_lines = pb.field(layout, "lines");
+    let f_over = pb.field(layout, "overfull");
+
+    let mut m = pb.method("main", 0);
+    let k512 = m.imm(512);
+    let table = m.reg();
+    m.new_array(table, k512);
+    {
+        let i = m.imm(0);
+        let one = m.imm(1);
+        let head = m.new_label();
+        let exit = m.new_label();
+        m.bind(head);
+        m.branch(CmpOp::Ge, i, k512, exit);
+        let r = m.reg();
+        m.intrin(Intrinsic::NextRandom, Some(r), &[]);
+        let k12 = m.imm(12);
+        let w = m.reg();
+        m.bin(BinOp::Rem, w, r, k12);
+        m.bin(BinOp::Add, w, w, one);
+        m.astore(table, i, w);
+        m.bin(BinOp::Add, i, i, one);
+        m.jump(head);
+        m.bind(exit);
+    }
+    let lay = m.reg();
+    m.new_obj(lay, layout);
+    let lw = m.imm(6000);
+    m.put_field(lay, f_lw, lw);
+
+    // Two phases: parse (more chars) and render (fewer, heavier).
+    for (phase, chars, lookups) in [(1u32, 2500i64, 2i64), (2, 1500, 3)] {
+        m.marker(phase);
+        let i = m.imm(0);
+        let n = m.imm(chars);
+        let one = m.imm(1);
+        let head = m.new_label();
+        let exit = m.new_label();
+        let brk = m.new_label();
+        let nobrk = m.new_label();
+        m.bind(head);
+        m.branch(CmpOp::Ge, i, n, exit);
+        let r = m.reg();
+        m.intrin(Intrinsic::NextRandom, Some(r), &[]);
+        let k127 = m.imm(127);
+        let ch = m.reg();
+        m.bin(BinOp::And, ch, r, k127);
+        // Opaque metric lookups dominate.
+        let w = m.imm(0);
+        for _ in 0..lookups {
+            let wi = m.reg();
+            m.call(Some(wi), metrics, &[table, ch]);
+            m.bin(BinOp::Add, w, w, wi);
+        }
+        // The small regionable kernel: advance the cursor, break lines.
+        let cur = m.reg();
+        m.get_field(cur, lay, f_cur);
+        m.bin(BinOp::Add, cur, cur, w);
+        let lwv = m.reg();
+        m.get_field(lwv, lay, f_lw);
+        m.branch(CmpOp::Gt, cur, lwv, brk);
+        m.put_field(lay, f_cur, cur);
+        m.jump(nobrk);
+        m.bind(brk);
+        let lines = m.reg();
+        m.get_field(lines, lay, f_lines);
+        m.bin(BinOp::Add, lines, lines, one);
+        m.put_field(lay, f_lines, lines);
+        let rem = m.reg();
+        m.bin(BinOp::Sub, rem, cur, lwv);
+        m.put_field(lay, f_cur, rem);
+        // Extremely wide "overfull" lines are the cold path.
+        let k3 = m.imm(3);
+        let wide3 = m.reg();
+        m.bin(BinOp::Mul, wide3, lwv, k3);
+        let overfull = m.new_label();
+        m.branch(CmpOp::Gt, rem, wide3, overfull);
+        m.jump(nobrk);
+        m.bind(overfull);
+        let ov = m.reg();
+        m.get_field(ov, lay, f_over);
+        m.bin(BinOp::Add, ov, ov, one);
+        m.put_field(lay, f_over, ov);
+        // Overfull recovery rewrites the layout cursor and line count.
+        let zero_c = m.imm(0);
+        m.put_field(lay, f_cur, zero_c);
+        let ol = m.reg();
+        m.get_field(ol, lay, f_lines);
+        m.bin(BinOp::Add, ol, ol, one);
+        m.put_field(lay, f_lines, ol);
+        m.jump(nobrk);
+        m.bind(nobrk);
+        // Layout audit after the overfull join: reloaded in the baseline,
+        // forwarded inside the region.
+        let a_cur = m.reg();
+        m.get_field(a_cur, lay, f_cur);
+        let a_lines = m.reg();
+        m.get_field(a_lines, lay, f_lines);
+        let a_lw = m.reg();
+        m.get_field(a_lw, lay, f_lw);
+        let a_ov = m.reg();
+        m.get_field(a_ov, lay, f_over);
+        let audit = m.reg();
+        m.bin(BinOp::Add, audit, a_cur, a_lines);
+        m.bin(BinOp::Add, audit, audit, a_lw);
+        m.bin(BinOp::Add, audit, audit, a_ov);
+        m.checksum(audit);
+        m.bin(BinOp::Add, i, i, one);
+        m.safepoint();
+        m.jump(head);
+        m.bind(exit);
+        m.marker(phase);
+    }
+
+    for f in [f_lines, f_cur, f_over] {
+        let v = m.reg();
+        m.get_field(v, lay, f);
+        m.checksum(v);
+    }
+    let out = m.reg();
+    m.get_field(out, lay, f_lines);
+    m.ret(Some(out));
+    let entry = m.finish(&mut pb);
+
+    Workload {
+        name: "fop",
+        description: "XSL-FO formatting: opaque glyph-metric lookups dominate \
+                      (modest coverage); the line-breaking kernel forms the \
+                      suite's smallest regions",
+        program: pb.finish(entry),
+        samples: vec![Sample { marker: 1, weight: 0.6 }, Sample { marker: 2, weight: 0.4 }],
+        fuel: 100_000_000,
+    }
+}

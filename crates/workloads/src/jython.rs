@@ -1,0 +1,269 @@
+//! `jython` — a Python-bytecode interpreter running a pybench-like loop.
+//!
+//! Preserved characteristics (§6.1, Table 3): the interpreter dispatch
+//! switch where only 2 of 9 opcodes are non-cold ("simplify an indirect
+//! branch to a conditional branch"); `getitem` called four times in the hot
+//! loop through a method containing an *apparently* polymorphic call site —
+//! the receiver histogram is polluted by the warm-up phase, so the partial
+//! inliner refuses it in the `atomic` configuration and a large number of
+//! small atomic regions form (a slowdown); forcing dominant-receiver
+//! devirtualization (the grey bar) or the 5× aggressive inlining threshold
+//! flips it into a win. Largest regions of the suite (~227 uops), single
+//! sample.
+
+use hasp_vm::builder::ProgramBuilder;
+use hasp_vm::bytecode::{BinOp, CmpOp};
+
+use crate::classlib::boxes;
+use crate::workload::{Sample, Workload};
+
+/// Builds the jython workload.
+pub fn jython() -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let bx = boxes(&mut pb);
+
+    // Frame: the interpreter's local-variable store, holding boxed values.
+    let frame = pb.add_class("Frame", None, &["locals", "nlocals", "hits"]);
+    let f_locals = pb.field(frame, "locals");
+    let f_nlocals = pb.field(frame, "nlocals");
+    let f_hits = pb.field(frame, "hits");
+
+    // getitem(frame, i) -> unboxed value. Contains the virtual `value()`
+    // call whose whole-run receiver histogram looks polymorphic, plus enough
+    // body to exceed the baseline inlining budget.
+    let getitem = {
+        let mut m = pb.method("Frame.getitem", 2);
+        let (fr, i) = (m.arg(0), m.arg(1));
+        let oob = m.new_label();
+        let ok = m.new_label();
+        let n = m.reg();
+        m.get_field(n, fr, f_nlocals);
+        m.branch(CmpOp::Ge, i, n, oob);
+        let zero = m.imm(0);
+        m.branch(CmpOp::Lt, i, zero, oob);
+        m.jump(ok);
+        m.bind(ok);
+        let locals = m.reg();
+        m.get_field(locals, fr, f_locals);
+        let cell = m.reg();
+        m.aload(cell, locals, i);
+        // The "polymorphic" call site.
+        let v = m.reg();
+        m.call_virtual(Some(v), bx.slot, cell, &[]);
+        // Access-statistics bookkeeping (pads the method past the baseline
+        // inlining budget, as the real getitem's refcounting does).
+        let hits = m.reg();
+        m.get_field(hits, fr, f_hits);
+        let one = m.imm(1);
+        m.bin(BinOp::Add, hits, hits, one);
+        m.put_field(fr, f_hits, hits);
+        let n2 = m.reg();
+        m.get_field(n2, fr, f_nlocals);
+        let scaled = m.reg();
+        m.bin(BinOp::Mul, scaled, v, one);
+        let k3 = m.imm(3);
+        let tag = m.reg();
+        m.bin(BinOp::And, tag, scaled, k3);
+        let adj = m.reg();
+        m.bin(BinOp::Sub, adj, scaled, tag);
+        m.bin(BinOp::Add, adj, adj, tag);
+        let _ = n2;
+        m.ret(Some(adj));
+        m.bind(oob);
+        // Cold wrap-around indexing path.
+        let n3 = m.reg();
+        m.get_field(n3, fr, f_nlocals);
+        let wrapped = m.reg();
+        m.bin(BinOp::Rem, wrapped, i, n3);
+        let locals2 = m.reg();
+        m.get_field(locals2, fr, f_locals);
+        let cell2 = m.reg();
+        m.aload(cell2, locals2, wrapped);
+        let v2 = m.reg();
+        m.call_virtual(Some(v2), bx.slot, cell2, &[]);
+        m.ret(Some(v2));
+        m.finish(&mut pb)
+    };
+
+    const NLOCALS: i64 = 16;
+    const OPS: i64 = 32;
+    let mut m = pb.method("main", 0);
+    // Build the frame with IntBox locals.
+    let fr = m.reg();
+    m.new_obj(fr, frame);
+    let nl = m.imm(NLOCALS);
+    let locals = m.reg();
+    m.new_array(locals, nl);
+    m.put_field(fr, f_locals, locals);
+    m.put_field(fr, f_nlocals, nl);
+    {
+        let i = m.imm(0);
+        let one = m.imm(1);
+        let head = m.new_label();
+        let exit = m.new_label();
+        m.bind(head);
+        m.branch(CmpOp::Ge, i, nl, exit);
+        let b = m.reg();
+        m.call(Some(b), bx.new_int, &[i]);
+        m.astore(locals, i, b);
+        m.bin(BinOp::Add, i, i, one);
+        m.jump(head);
+        m.bind(exit);
+    }
+
+    // The Python "program": opcode stream. Opcodes 0 (LOAD4) and 1 (ADD)
+    // dominate; 2..8 are rare error/housekeeping cases.
+    let nops = m.imm(OPS);
+    let code = m.reg();
+    m.new_array(code, nops);
+    {
+        // ops[j] = random 0/1 (LOAD4 vs ADD) — data-dependent dispatch that
+        // neither the indirect predictor nor gshare can fully learn, as in a
+        // real interpreter.
+        let j = m.imm(0);
+        let one = m.imm(1);
+        let two = m.imm(2);
+        let head = m.new_label();
+        let exit = m.new_label();
+        m.bind(head);
+        m.branch(CmpOp::Ge, j, nops, exit);
+        let r = m.reg();
+        m.intrin(hasp_vm::bytecode::Intrinsic::NextRandom, Some(r), &[]);
+        let op = m.reg();
+        m.bin(BinOp::Rem, op, r, two);
+        m.astore(code, j, op);
+        m.bin(BinOp::Add, j, j, one);
+        m.jump(head);
+        m.bind(exit);
+    }
+
+    // Warm-up: pollute getitem's receiver histogram with AltBox locals, then
+    // restore IntBox (the steady state is perfectly monomorphic).
+    {
+        let two = m.imm(2);
+        let slot2 = m.imm(5);
+        let alt = m.reg();
+        m.call(Some(alt), bx.new_alt, &[two]);
+        m.astore(locals, slot2, alt);
+        let i = m.imm(0);
+        let warm = m.imm(60);
+        let one = m.imm(1);
+        let head = m.new_label();
+        let exit = m.new_label();
+        m.bind(head);
+        m.branch(CmpOp::Ge, i, warm, exit);
+        let v = m.reg();
+        m.call(Some(v), getitem, &[fr, slot2]);
+        m.checksum(v);
+        m.bin(BinOp::Add, i, i, one);
+        m.safepoint();
+        m.jump(head);
+        m.bind(exit);
+        // Back to IntBox for the steady state.
+        let restored = m.reg();
+        m.call(Some(restored), bx.new_int, &[slot2]);
+        m.astore(locals, slot2, restored);
+    }
+
+    // The measured interpreter loop: dispatch over the opcode stream; the
+    // hot handlers each call getitem (4 calls per iteration total).
+    m.marker(1);
+    let acc = m.imm(0);
+    let iter = m.imm(0);
+    let iters = m.imm(2500);
+    let one = m.imm(1);
+    let head = m.new_label();
+    let exit = m.new_label();
+    m.bind(head);
+    m.branch(CmpOp::Ge, iter, iters, exit);
+    {
+        // Inner loop over the opcode stream.
+        let pc = m.imm(0);
+        let ihead = m.new_label();
+        let iexit = m.new_label();
+        let mut cases = Vec::new();
+        for _ in 0..8 {
+            cases.push(m.new_label());
+        }
+        let default = m.new_label();
+        let next = m.new_label();
+        m.bind(ihead);
+        m.branch(CmpOp::Ge, pc, nops, iexit);
+        let op = m.reg();
+        m.aload(op, code, pc);
+        m.switch(op, &cases, default);
+
+        // LOAD4: four getitem calls (the paper's "called four times in a hot
+        // loop").
+        m.bind(cases[0]);
+        let i0 = m.reg();
+        let k15 = m.imm(15);
+        m.bin(BinOp::And, i0, pc, k15);
+        let v0 = m.reg();
+        m.call(Some(v0), getitem, &[fr, i0]);
+        let v1 = m.reg();
+        m.call(Some(v1), getitem, &[fr, i0]);
+        let i1 = m.reg();
+        m.bin(BinOp::Add, i1, i0, one);
+        m.bin(BinOp::And, i1, i1, k15);
+        let v2 = m.reg();
+        m.call(Some(v2), getitem, &[fr, i1]);
+        let v3 = m.reg();
+        m.call(Some(v3), getitem, &[fr, i1]);
+        m.bin(BinOp::Add, acc, acc, v0);
+        m.bin(BinOp::Add, acc, acc, v1);
+        m.bin(BinOp::Add, acc, acc, v2);
+        m.bin(BinOp::Add, acc, acc, v3);
+        m.jump(next);
+
+        // ADD: arithmetic on the accumulator (hot).
+        m.bind(cases[1]);
+        let k13 = m.imm(13);
+        let tmp = m.reg();
+        m.bin(BinOp::Mul, tmp, acc, k13);
+        let k9999 = m.imm(99991);
+        m.bin(BinOp::Rem, acc, tmp, k9999);
+        m.jump(next);
+
+        // Cold opcodes 2..7 and default: housekeeping that never runs.
+        for case in cases.iter().skip(2) {
+            m.bind(*case);
+            let hits = m.reg();
+            m.get_field(hits, fr, f_hits);
+            m.bin(BinOp::Add, acc, acc, hits);
+            m.jump(next);
+        }
+        m.bind(default);
+        m.bin(BinOp::Sub, acc, acc, one);
+        m.jump(next);
+
+        m.bind(next);
+        m.bin(BinOp::Add, pc, pc, one);
+        m.safepoint();
+        m.jump(ihead);
+        m.bind(iexit);
+    }
+    m.bin(BinOp::Add, iter, iter, one);
+    m.safepoint();
+    m.jump(head);
+    m.bind(exit);
+    m.marker(1);
+
+    m.checksum(acc);
+    let hits = m.reg();
+    m.get_field(hits, fr, f_hits);
+    m.checksum(hits);
+    m.ret(Some(acc));
+    let entry = m.finish(&mut pb);
+
+    Workload {
+        name: "jython",
+        description: "pybench interpreter loop: 9-way dispatch with 2 warm \
+                      cases, getitem x4 per hot handler with a warm-up- \
+                      polluted receiver histogram (the partial-inlining \
+                      pathology and its forced-monomorphic fix)",
+        program: pb.finish(entry),
+        samples: vec![Sample { marker: 1, weight: 1.0 }],
+        fuel: 120_000_000,
+    }
+}

@@ -1,0 +1,38 @@
+//! # hasp-workloads — the DaCapo-style benchmark suite
+//!
+//! Seven synthetic benchmarks reproducing the *characteristics* of the
+//! DaCapo programs the paper evaluates (Table 2) — the code shapes that
+//! drive each benchmark's results in Figures 7–9 and Table 3. See each
+//! module's documentation and `DESIGN.md` §4 for the characteristic map.
+//!
+//! All workloads are deterministic (inputs come from the environment's
+//! seeded generator), produce an observable checksum, and mark their
+//! measured samples with marker pairs per the paper's §5 methodology.
+
+#![warn(missing_docs)]
+
+pub mod antlr;
+pub mod bloat;
+pub mod classlib;
+pub mod fop;
+pub mod hsqldb;
+pub mod jython;
+pub mod pmd;
+pub mod synthetic;
+pub mod workload;
+pub mod xalan;
+
+pub use workload::{Sample, Workload};
+
+/// All seven workloads in Table 2 order.
+pub fn all_workloads() -> Vec<Workload> {
+    vec![
+        antlr::antlr(),
+        bloat::bloat(),
+        fop::fop(),
+        hsqldb::hsqldb(),
+        jython::jython(),
+        pmd::pmd(),
+        xalan::xalan(),
+    ]
+}

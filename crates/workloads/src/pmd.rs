@@ -1,0 +1,372 @@
+//! `pmd` — static analysis of Java classes (rule matching over ASTs).
+//!
+//! Preserved characteristics (§6.1, Table 3): relatively low coverage
+//! (~32%) combined with a ~2% abort rate caused by a *behavior change* —
+//! rule-match paths that look cold in the profile become warm in the final
+//! phase — so the `atomic` configuration loses slightly: "the pmd benchmark
+//! actually slows down in the atomic configuration". Four samples.
+
+use hasp_vm::builder::ProgramBuilder;
+use hasp_vm::bytecode::{BinOp, CmpOp, Intrinsic};
+
+use crate::workload::{Sample, Workload};
+
+/// Builds the pmd workload.
+pub fn pmd() -> Workload {
+    let mut pb = ProgramBuilder::new();
+
+    // AST node classes for instanceof chains.
+    let node = pb.add_class("Node", None, &["kind", "arity", "line", "hash", "flags"]);
+    let f_kind = pb.field(node, "kind");
+    let f_arity = pb.field(node, "arity");
+    let f_line = pb.field(node, "line");
+    let f_hash = pb.field(node, "hash");
+    let f_flags = pb.field(node, "flags");
+    let expr = pb.add_class("ExprNode", Some(node), &[]);
+    let stmt = pb.add_class("StmtNode", Some(node), &[]);
+
+    // Opaque symbol-table resolution (keeps coverage moderate: a large share
+    // of every pass's uops happens in here, outside any region).
+    let resolve = {
+        let mut m = pb.method("SymbolTable.resolve", 2);
+        m.set_opaque();
+        let (syms, key) = (m.arg(0), m.arg(1));
+        let len = m.reg();
+        m.array_len(len, syms);
+        let h = m.reg();
+        let k7 = m.imm(7);
+        m.bin(BinOp::Mul, h, key, k7);
+        let posmask = m.imm(0x7fff_ffff);
+        m.bin(BinOp::And, h, h, posmask);
+        let acc = m.imm(0);
+        let i = m.imm(0);
+        let k24 = m.imm(24);
+        let one = m.imm(1);
+        let head = m.new_label();
+        let exit = m.new_label();
+        m.bind(head);
+        m.branch(CmpOp::Ge, i, k24, exit);
+        let slot = m.reg();
+        m.bin(BinOp::Add, slot, h, i);
+        m.bin(BinOp::Rem, slot, slot, len);
+        let v = m.reg();
+        m.aload(v, syms, slot);
+        m.bin(BinOp::Xor, acc, acc, v);
+        m.bin(BinOp::Add, i, i, one);
+        m.safepoint();
+        m.jump(head);
+        m.bind(exit);
+        m.ret(Some(acc));
+        m.finish(&mut pb)
+    };
+
+    let report = pb.add_class(
+        "Report",
+        None,
+        &["violations", "visited", "score", "bykind", "byarity", "flagsum", "depthsum"],
+    );
+    let f_viol = pb.field(report, "violations");
+    let f_visited = pb.field(report, "visited");
+    let f_score = pb.field(report, "score");
+    let f_bykind = pb.field(report, "bykind");
+    let f_byarity = pb.field(report, "byarity");
+    let f_flagsum = pb.field(report, "flagsum");
+    let f_depthsum = pb.field(report, "depthsum");
+
+    const NODES: i64 = 400;
+    let mut m = pb.method("main", 0);
+    let nn = m.imm(NODES);
+    let nodes = m.reg();
+    m.new_array(nodes, nn);
+    let syms_cap = m.imm(512);
+    let syms = m.reg();
+    m.new_array(syms, syms_cap);
+    {
+        let i = m.imm(0);
+        let one = m.imm(1);
+        let head = m.new_label();
+        let exit = m.new_label();
+        m.bind(head);
+        m.branch(CmpOp::Ge, i, syms_cap, exit);
+        let r = m.reg();
+        m.intrin(Intrinsic::NextRandom, Some(r), &[]);
+        m.astore(syms, i, r);
+        m.bin(BinOp::Add, i, i, one);
+        m.jump(head);
+        m.bind(exit);
+    }
+    let rep = m.reg();
+    m.new_obj(rep, report);
+    let k16 = m.imm(16);
+    let bykind = m.reg();
+    m.new_array(bykind, k16);
+    m.put_field(rep, f_bykind, bykind);
+    let byarity = m.reg();
+    m.new_array(byarity, k16);
+    m.put_field(rep, f_byarity, byarity);
+
+    // Four phases. The profile is dominated by phases 1-3 where rule matches
+    // are absent; phase 4's rules match ~8% of nodes — the post-profile
+    // behavior change (overall bias stays under the 1% cold threshold).
+    for (phase, passes, viol_pct) in [(1u32, 12i64, 0i64), (2, 11, 0), (3, 11, 0), (4, 2, 16)] {
+        // (Re)build the AST corpus for this phase.
+        {
+            let i = m.imm(0);
+            let one = m.imm(1);
+            let head = m.new_label();
+            let exit = m.new_label();
+            let mk_expr = m.new_label();
+            let mk_stmt = m.new_label();
+            let store = m.new_label();
+            let k100 = m.imm(100);
+            let kviol = m.imm(viol_pct);
+            let k2 = m.imm(2);
+            m.bind(head);
+            m.branch(CmpOp::Ge, i, nn, exit);
+            let r = m.reg();
+            m.intrin(Intrinsic::NextRandom, Some(r), &[]);
+            let which = m.reg();
+            m.bin(BinOp::Rem, which, r, k2);
+            let o = m.reg();
+            let zero = m.imm(0);
+            m.branch(CmpOp::Eq, which, zero, mk_expr);
+            m.jump(mk_stmt);
+            m.bind(mk_expr);
+            m.new_obj(o, expr);
+            m.jump(store);
+            m.bind(mk_stmt);
+            m.new_obj(o, stmt);
+            m.jump(store);
+            m.bind(store);
+            // kind: 0..4 normally; kind==13 marks a violating node.
+            let sel = m.reg();
+            m.bin(BinOp::Rem, sel, r, k100);
+            let k13 = m.imm(13);
+            let k5 = m.imm(5);
+            let kind = m.reg();
+            m.bin(BinOp::Rem, kind, r, k5);
+            let mark = m.new_label();
+            let keep = m.new_label();
+            m.branch(CmpOp::Lt, sel, kviol, mark);
+            m.jump(keep);
+            m.bind(mark);
+            m.mov(kind, k13);
+            m.jump(keep);
+            m.bind(keep);
+            m.put_field(o, f_kind, kind);
+            let ar = m.reg();
+            let k3 = m.imm(3);
+            m.bin(BinOp::Rem, ar, r, k3);
+            m.put_field(o, f_arity, ar);
+            m.put_field(o, f_line, i);
+            let hsh = m.reg();
+            let k31 = m.imm(31);
+            m.bin(BinOp::Mul, hsh, kind, k31);
+            m.bin(BinOp::Add, hsh, hsh, ar);
+            m.put_field(o, f_hash, hsh);
+            let fl = m.reg();
+            let k255 = m.imm(255);
+            m.bin(BinOp::And, fl, r, k255);
+            m.put_field(o, f_flags, fl);
+            m.astore(nodes, i, o);
+            m.bin(BinOp::Add, i, i, one);
+            m.safepoint();
+            m.jump(head);
+            m.bind(exit);
+        }
+
+        m.marker(phase);
+        let pass = m.imm(0);
+        let npasses = m.imm(passes);
+        let one = m.imm(1);
+        let phead = m.new_label();
+        let pexit = m.new_label();
+        m.bind(phead);
+        m.branch(CmpOp::Ge, pass, npasses, pexit);
+        {
+            // Rule-matching walk: instanceof dispatch, several rule
+            // predicates with the visitor's characteristic redundant state
+            // loads, per-kind and per-arity histograms.
+            let i = m.imm(0);
+            let head = m.new_label();
+            let exit = m.new_label();
+            let violated = m.new_label();
+            let next = m.new_label();
+            let k13 = m.imm(13);
+            let k15 = m.imm(15);
+            let k31 = m.imm(31);
+            let k255 = m.imm(255);
+            m.bind(head);
+            m.branch(CmpOp::Ge, i, nn, exit);
+            let o = m.reg();
+            m.aload(o, nodes, i);
+            // Rule 1: type dispatch via instanceof (the pmd visitor shape).
+            let is_expr = m.reg();
+            m.instance_of(is_expr, o, expr);
+            let is_stmt = m.reg();
+            m.instance_of(is_stmt, o, stmt);
+            let kind = m.reg();
+            m.get_field(kind, o, f_kind);
+            let ar = m.reg();
+            m.get_field(ar, o, f_arity);
+            // Rule 2: hash consistency check (field loads + arithmetic).
+            let hsh = m.reg();
+            m.get_field(hsh, o, f_hash);
+            let expect = m.reg();
+            m.bin(BinOp::Mul, expect, kind, k31);
+            m.bin(BinOp::Add, expect, expect, ar);
+            let consistent = m.reg();
+            m.cmp(CmpOp::Eq, consistent, hsh, expect);
+            // Rule 3: flags decomposition.
+            let fl = m.reg();
+            m.get_field(fl, o, f_flags);
+            let lo = m.reg();
+            m.bin(BinOp::And, lo, fl, k15);
+            let hi = m.reg();
+            let k4 = m.imm(4);
+            m.bin(BinOp::Shr, hi, fl, k4);
+            m.bin(BinOp::And, hi, hi, k15);
+            let fsum = m.reg();
+            m.get_field(fsum, rep, f_flagsum);
+            m.bin(BinOp::Add, fsum, fsum, lo);
+            m.bin(BinOp::Add, fsum, fsum, hi);
+            m.put_field(rep, f_flagsum, fsum);
+            // Histograms (with the redundant re-loads of the report object).
+            let bk1 = m.reg();
+            m.get_field(bk1, rep, f_bykind);
+            let kslot = m.reg();
+            m.bin(BinOp::And, kslot, kind, k15);
+            let kc = m.reg();
+            m.aload(kc, bk1, kslot);
+            m.bin(BinOp::Add, kc, kc, one);
+            let bk2 = m.reg();
+            m.get_field(bk2, rep, f_bykind); // redundant
+            m.astore(bk2, kslot, kc);
+            let ba1 = m.reg();
+            m.get_field(ba1, rep, f_byarity);
+            let ac = m.reg();
+            m.aload(ac, ba1, ar);
+            m.bin(BinOp::Add, ac, ac, one);
+            let ba2 = m.reg();
+            m.get_field(ba2, rep, f_byarity); // redundant
+            m.astore(ba2, ar, ac);
+            // Score + depth accumulation.
+            let score = m.reg();
+            m.get_field(score, rep, f_score);
+            let w = m.reg();
+            m.bin(BinOp::Mul, w, kind, ar);
+            m.bin(BinOp::Add, w, w, is_expr);
+            m.bin(BinOp::Add, w, w, is_stmt);
+            m.bin(BinOp::Add, w, w, consistent);
+            m.bin(BinOp::Add, score, score, w);
+            m.put_field(rep, f_score, score);
+            let ds = m.reg();
+            m.get_field(ds, rep, f_depthsum);
+            let lined = m.reg();
+            m.get_field(lined, o, f_line);
+            m.bin(BinOp::And, lined, lined, k255);
+            m.bin(BinOp::Add, ds, ds, lined);
+            m.put_field(rep, f_depthsum, ds);
+            let vis = m.reg();
+            m.get_field(vis, rep, f_visited);
+            m.bin(BinOp::Add, vis, vis, one);
+            m.put_field(rep, f_visited, vis);
+            // The behavior-changing branch: cold in the profile, warm in
+            // phase 4.
+            m.branch(CmpOp::Eq, kind, k13, violated);
+            m.jump(next);
+            m.bind(violated);
+            let line = m.reg();
+            m.get_field(line, o, f_line);
+            let sym = m.reg();
+            m.call(Some(sym), resolve, &[syms, line]);
+            let v = m.reg();
+            m.get_field(v, rep, f_viol);
+            m.bin(BinOp::Add, v, v, one);
+            m.put_field(rep, f_viol, v);
+            // Violations re-weight the report — clobbering the state the
+            // post-join digest reads.
+            let vs = m.reg();
+            m.get_field(vs, rep, f_score);
+            m.bin(BinOp::Add, vs, vs, k13);
+            m.put_field(rep, f_score, vs);
+            let vf = m.reg();
+            m.get_field(vf, rep, f_flagsum);
+            m.bin(BinOp::Add, vf, vf, one);
+            m.put_field(rep, f_flagsum, vf);
+            m.checksum(sym);
+            m.jump(next);
+            m.bind(next);
+            // Rule summary after the (profiled-cold) violation join: the
+            // baseline must reload everything; the region forwards it all.
+            let r_score = m.reg();
+            m.get_field(r_score, rep, f_score);
+            let r_vis = m.reg();
+            m.get_field(r_vis, rep, f_visited);
+            let r_fs = m.reg();
+            m.get_field(r_fs, rep, f_flagsum);
+            let r_ds = m.reg();
+            m.get_field(r_ds, rep, f_depthsum);
+            let n_kind = m.reg();
+            m.get_field(n_kind, o, f_kind);
+            let n_ar = m.reg();
+            m.get_field(n_ar, o, f_arity);
+            let n_fl = m.reg();
+            m.get_field(n_fl, o, f_flags);
+            let digest = m.reg();
+            m.bin(BinOp::Add, digest, r_score, r_vis);
+            m.bin(BinOp::Add, digest, digest, r_fs);
+            m.bin(BinOp::Add, digest, digest, r_ds);
+            m.bin(BinOp::Mul, digest, digest, k31);
+            m.bin(BinOp::Add, digest, digest, n_kind);
+            m.bin(BinOp::Add, digest, digest, n_ar);
+            m.bin(BinOp::Xor, digest, digest, n_fl);
+            let ds2 = m.reg();
+            m.get_field(ds2, rep, f_depthsum);
+            m.bin(BinOp::Xor, ds2, ds2, digest);
+            m.put_field(rep, f_depthsum, ds2);
+            m.bin(BinOp::Add, i, i, one);
+            m.safepoint();
+            m.jump(head);
+            m.bind(exit);
+        }
+        // Inter-pass symbol work (opaque; keeps coverage near the paper's
+        // 32%).
+        let sym2 = m.reg();
+        m.call(Some(sym2), resolve, &[syms, pass]);
+        m.checksum(sym2);
+        let sym3 = m.reg();
+        m.call(Some(sym3), resolve, &[syms, sym2]);
+        m.checksum(sym3);
+        m.bin(BinOp::Add, pass, pass, one);
+        m.safepoint();
+        m.jump(phead);
+        m.bind(pexit);
+        m.marker(phase);
+    }
+
+    for f in [f_viol, f_visited, f_score, f_flagsum, f_depthsum] {
+        let v = m.reg();
+        m.get_field(v, rep, f);
+        m.checksum(v);
+    }
+    let out = m.reg();
+    m.get_field(out, rep, f_visited);
+    m.ret(Some(out));
+    let entry = m.finish(&mut pb);
+
+    Workload {
+        name: "pmd",
+        description: "AST rule matching: instanceof-dispatch visitor with a \
+                      post-profile behavior change (phase 4 rule matches) \
+                      driving ~1-2% aborts against only modest region wins",
+        program: pb.finish(entry),
+        samples: vec![
+            Sample { marker: 1, weight: 0.3 },
+            Sample { marker: 2, weight: 0.3 },
+            Sample { marker: 3, weight: 0.3 },
+            Sample { marker: 4, weight: 0.1 },
+        ],
+        fuel: 150_000_000,
+    }
+}

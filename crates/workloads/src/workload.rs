@@ -1,0 +1,67 @@
+//! Workload metadata: the DaCapo-style benchmark descriptor and the Table 2
+//! sample structure.
+
+use hasp_vm::class::Program;
+
+/// One execution sample (§5 methodology): the region of execution between
+/// two dynamic hits of a marker method, weighted by its phase's contribution
+/// to overall execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Marker id bounding the sample (first hit = start, second = end).
+    pub marker: u32,
+    /// The phase's contribution to the overall execution (weights sum to 1).
+    pub weight: f64,
+}
+
+/// A benchmark: a complete program plus its sample structure.
+#[derive(Debug)]
+pub struct Workload {
+    /// DaCapo-style short name.
+    pub name: &'static str,
+    /// What the original benchmark does and which characteristics this
+    /// synthetic reproduction preserves.
+    pub description: &'static str,
+    /// The program.
+    pub program: Program,
+    /// Samples, per Table 2's per-benchmark sample counts.
+    pub samples: Vec<Sample>,
+    /// Interpreter/machine fuel adequate for the whole run.
+    pub fuel: u64,
+}
+
+impl Workload {
+    /// Number of samples (the `#` column of Table 2).
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::all_workloads;
+
+    #[test]
+    fn table2_sample_counts() {
+        // antlr 4, bloat 4, fop 2, hsqldb 1, jython 1, pmd 4, xalan 1.
+        let ws = all_workloads();
+        let counts: Vec<(&str, usize)> =
+            ws.iter().map(|w| (w.name, w.sample_count())).collect();
+        assert_eq!(
+            counts,
+            vec![
+                ("antlr", 4),
+                ("bloat", 4),
+                ("fop", 2),
+                ("hsqldb", 1),
+                ("jython", 1),
+                ("pmd", 4),
+                ("xalan", 1)
+            ]
+        );
+        for w in &ws {
+            let total: f64 = w.samples.iter().map(|s| s.weight).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{} weights sum to {total}", w.name);
+        }
+    }
+}

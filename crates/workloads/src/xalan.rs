@@ -1,0 +1,176 @@
+//! `xalan` — XML-to-HTML transformation.
+//!
+//! Preserved characteristics (paper §2, §6.1, Table 3): the
+//! `SuballocatedIntVector.addElement` hot/cold shape called *twice per
+//! element* at the hottest call site (`m_data.addElement(m_textPendingStart);
+//! m_data.addElement(length)`), synchronized classlib output buffering, high
+//! region coverage (~78%), near-zero abort rate, single sample.
+
+use hasp_vm::builder::ProgramBuilder;
+use hasp_vm::bytecode::{BinOp, CmpOp, Intrinsic};
+
+use crate::classlib::{int_vector, string_buffer};
+use crate::workload::{Sample, Workload};
+
+/// Builds the xalan workload.
+pub fn xalan() -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let vec = int_vector(&mut pb);
+    let sb = string_buffer(&mut pb);
+
+    let mut m = pb.method("main", 0);
+    // Setup: the record vector and the output buffer.
+    let bs = m.imm(2048);
+    let data = m.reg();
+    m.call(Some(data), vec.new, &[bs]);
+    let cap = m.imm(1 << 16);
+    let out = m.reg();
+    m.call(Some(out), sb.new, &[cap]);
+    // Entity-escape table (indexed by character).
+    let k128 = m.imm(128);
+    let escapes = m.reg();
+    m.new_array(escapes, k128);
+    {
+        let i = m.imm(0);
+        let one2 = m.imm(1);
+        let head = m.new_label();
+        let exit = m.new_label();
+        m.bind(head);
+        m.branch(CmpOp::Ge, i, k128, exit);
+        let k3 = m.imm(3);
+        let e = m.reg();
+        m.bin(BinOp::Mul, e, i, k3);
+        let k255 = m.imm(255);
+        m.bin(BinOp::And, e, e, k255);
+        m.astore(escapes, i, e);
+        m.bin(BinOp::Add, i, i, one2);
+        m.jump(head);
+        m.bind(exit);
+    }
+
+    let pending = m.imm(0); // m_textPendingStart
+    let one = m.imm(1);
+    let k100 = m.imm(100);
+    let k70 = m.imm(70);
+    let k95 = m.imm(95);
+    let mask = m.imm(0x7f);
+
+    // Warm-up events, then the measured event loop.
+    for (events, measured) in [(800i64, false), (6000, true)] {
+        if measured {
+            m.marker(1);
+        }
+        let i = m.imm(0);
+        let n = m.imm(events);
+        let head = m.new_label();
+        let exit = m.new_label();
+        let is_text = m.new_label();
+        let is_start = m.new_label();
+        let is_end = m.new_label();
+        let join = m.new_label();
+        m.bind(head);
+        m.branch(CmpOp::Ge, i, n, exit);
+        // Next event kind (deterministic pseudo-random).
+        let r = m.reg();
+        m.intrin(Intrinsic::NextRandom, Some(r), &[]);
+        let kind = m.reg();
+        m.bin(BinOp::Rem, kind, r, k100);
+        let ch = m.reg();
+        m.bin(BinOp::And, ch, r, mask);
+        m.branch(CmpOp::Lt, kind, k70, is_text);
+        m.branch(CmpOp::Lt, kind, k95, is_start);
+        m.jump(is_end);
+
+        // Text event (70%): escape the character, record the pending text
+        // segment — the paper's hottest call site, two sequential addElement
+        // calls on one object — and emit the escaped output.
+        m.bind(is_text);
+        let len = m.reg();
+        m.bin(BinOp::Add, len, ch, one);
+        // Entity escaping: table lookups with the checks the compiler loves
+        // to prove redundant.
+        let e1 = m.reg();
+        m.aload(e1, escapes, ch);
+        let e2 = m.reg();
+        m.aload(e2, escapes, ch); // redundant lookup (visitor idiom)
+        let esc = m.reg();
+        m.bin(BinOp::Add, esc, e1, e2);
+        let k255b = m.imm(255);
+        m.bin(BinOp::And, esc, esc, k255b);
+        let half = m.reg();
+        let two2 = m.imm(2);
+        m.bin(BinOp::Div, half, esc, two2);
+        m.call(None, vec.add, &[data, pending]);
+        m.call(None, vec.add, &[data, len]);
+        m.bin(BinOp::Add, pending, pending, len);
+        m.call(None, sb.append, &[out, half]);
+        m.call(None, sb.append, &[out, ch]);
+        m.jump(join);
+
+        // Start tag (25%): emit markup + attribute processing.
+        m.bind(is_start);
+        let lt = m.imm(60); // '<'
+        m.call(None, sb.append, &[out, lt]);
+        m.call(None, sb.append, &[out, ch]);
+        let a1 = m.reg();
+        m.aload(a1, escapes, ch);
+        let attr = m.reg();
+        let k31x = m.imm(31);
+        m.bin(BinOp::Mul, attr, a1, k31x);
+        m.bin(BinOp::Add, attr, attr, ch);
+        let k127x = m.imm(127);
+        m.bin(BinOp::And, attr, attr, k127x);
+        m.call(None, sb.append, &[out, attr]);
+        m.call(None, vec.add, &[data, ch]);
+        m.call(None, vec.add, &[data, attr]);
+        m.jump(join);
+
+        // End tag (5%).
+        m.bind(is_end);
+        let gt = m.imm(62); // '>'
+        m.call(None, sb.append, &[out, gt]);
+        m.jump(join);
+
+        m.bind(join);
+        m.bin(BinOp::Add, i, i, one);
+        m.safepoint();
+        m.jump(head);
+        m.bind(exit);
+        if measured {
+            m.marker(1);
+        }
+    }
+
+    // Observable output: vector size, a few sampled records, buffer hash.
+    let sz = m.reg();
+    m.call(Some(sz), vec.size, &[data]);
+    m.checksum(sz);
+    let step = m.imm(97);
+    let j = m.imm(0);
+    let probe_head = m.new_label();
+    let probe_exit = m.new_label();
+    m.bind(probe_head);
+    m.branch(CmpOp::Ge, j, sz, probe_exit);
+    let e = m.reg();
+    m.call(Some(e), vec.get, &[data, j]);
+    m.checksum(e);
+    m.bin(BinOp::Add, j, j, step);
+    m.safepoint();
+    m.jump(probe_head);
+    m.bind(probe_exit);
+    let h = m.reg();
+    m.call(Some(h), sb.hash, &[out]);
+    m.checksum(h);
+    m.ret(Some(h));
+    let entry = m.finish(&mut pb);
+
+    Workload {
+        name: "xalan",
+        description: "XML-to-HTML conversion: SuballocatedIntVector.addElement \
+                      called twice per text event, synchronized output buffer, \
+                      high region coverage, near-zero aborts",
+        program: pb.finish(entry),
+        samples: vec![Sample { marker: 1, weight: 1.0 }],
+        fuel: 60_000_000,
+    }
+}

@@ -1,0 +1,61 @@
+//! # hasp — Hardware Atomicity for Reliable Software Speculation
+//!
+//! A from-scratch Rust reproduction of Neelakantam et al., ISCA 2007: ISA
+//! primitives for atomic execution (`aregion_begin <alt>`, `aregion_end`,
+//! `aregion_abort`) that let a JIT compiler speculate on hot paths with the
+//! hardware providing all-or-nothing execution and recovery.
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! * [`vm`] — the Java-like virtual machine and profiling interpreter,
+//! * [`ir`] — the SSA compiler IR with first-class atomic regions,
+//! * [`core`] — atomic-region formation (the paper's contribution),
+//! * [`opt`] — the optimization passes and the four §6 compiler configs,
+//! * [`hw`] — the checkpoint-substrate machine and timing model,
+//! * [`workloads`] — the DaCapo-style benchmark suite,
+//! * [`experiments`] — the §5 methodology and per-figure regenerators.
+//!
+//! ## Example: the full pipeline in a dozen lines
+//!
+//! ```
+//! use hasp::prelude::*;
+//!
+//! // 1. A workload (any program built with hasp_vm's builders works).
+//! let w = hasp::workloads::synthetic::add_element(500);
+//!
+//! // 2. Profile with the interpreter.
+//! let profiled = hasp::experiments::profile_workload(&w);
+//!
+//! // 3. Compile with atomic regions and execute on the Table-1 machine.
+//! let run = hasp::experiments::run_workload(
+//!     &w,
+//!     &profiled,
+//!     &CompilerConfig::atomic(),
+//!     &HwConfig::baseline(),
+//! );
+//!
+//! // Speculation committed regions and preserved semantics (the runner
+//! // asserts checksum equality against the interpreter internally).
+//! assert!(run.stats.commits > 0);
+//! assert!(run.stats.coverage() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use hasp_core as core;
+pub use hasp_experiments as experiments;
+pub use hasp_hw as hw;
+pub use hasp_ir as ir;
+pub use hasp_opt as opt;
+pub use hasp_vm as vm;
+pub use hasp_workloads as workloads;
+
+/// The types most users need.
+pub mod prelude {
+    pub use hasp_core::RegionConfig;
+    pub use hasp_experiments::{profile_workload, run_workload, Suite};
+    pub use hasp_hw::{HwConfig, Machine};
+    pub use hasp_opt::{compile_program, CompilerConfig};
+    pub use hasp_vm::{Interp, Program, ProgramBuilder};
+    pub use hasp_workloads::{all_workloads, Workload};
+}

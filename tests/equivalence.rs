@@ -1,0 +1,73 @@
+//! The backbone guarantee of the reproduction: for every benchmark and every
+//! compiler configuration, execution on the simulated hardware produces the
+//! interpreter's exact observable checksum — through region commits, explicit
+//! aborts, exception aborts, overflow aborts, injected conflicts, and
+//! interrupts. `run_workload` asserts the checksum internally, so these
+//! tests pass exactly when speculation is semantically invisible.
+
+use hasp_experiments::{profile_workload, run_workload};
+use hasp_hw::HwConfig;
+use hasp_opt::CompilerConfig;
+use hasp_workloads::all_workloads;
+
+#[test]
+fn all_workloads_all_compiler_configs_match_interpreter() {
+    for w in all_workloads() {
+        let profiled = profile_workload(&w);
+        for cfg in CompilerConfig::paper_configs() {
+            let run = run_workload(&w, &profiled, &cfg, &HwConfig::baseline());
+            assert!(run.stats.uops > 0, "{}/{} ran no uops", w.name, cfg.name);
+            // Every sample must have been measured.
+            assert_eq!(run.samples.len(), w.samples.len(), "{}/{}", w.name, cfg.name);
+            for s in &run.samples {
+                assert!(s.uops > 0, "{}/{} empty sample {}", w.name, cfg.name, s.marker);
+            }
+        }
+    }
+}
+
+#[test]
+fn forced_monomorphic_config_matches_interpreter() {
+    let ws = all_workloads();
+    let w = ws.iter().find(|w| w.name == "jython").expect("jython");
+    let profiled = profile_workload(w);
+    let run = run_workload(w, &profiled, &CompilerConfig::atomic_forced_mono(), &HwConfig::baseline());
+    assert!(run.stats.commits > 0, "forced-mono must still speculate");
+}
+
+#[test]
+fn hardware_variants_match_interpreter() {
+    // One high-coverage workload across every hardware configuration,
+    // including the Figure 9 overhead models and the §6.3 narrow machines.
+    let ws = all_workloads();
+    let w = ws.iter().find(|w| w.name == "xalan").expect("xalan");
+    let profiled = profile_workload(w);
+    let cfg = CompilerConfig::atomic_aggressive();
+    for hw in [
+        HwConfig::baseline(),
+        HwConfig::with_begin_overhead(),
+        HwConfig::single_inflight(),
+        HwConfig::two_wide(),
+        HwConfig::two_wide_half(),
+    ] {
+        let run = run_workload(w, &profiled, &cfg, &hw);
+        assert!(run.stats.uops > 0, "{}", hw.name);
+    }
+}
+
+#[test]
+fn conflicts_and_interrupts_stay_transparent_on_real_workload() {
+    let ws = all_workloads();
+    let w = ws.iter().find(|w| w.name == "hsqldb").expect("hsqldb");
+    let profiled = profile_workload(w);
+    let mut hw = HwConfig::baseline();
+    hw.name = "chkpt+hostile";
+    hw.conflict_per_miljon = 300;
+    hw.interrupt_interval = 50_000;
+    let run = run_workload(w, &profiled, &CompilerConfig::atomic(), &hw);
+    assert!(
+        run.stats.total_aborts() > 0,
+        "hostile hardware must cause aborts: {:?}",
+        run.stats.aborts
+    );
+}

@@ -1,0 +1,171 @@
+//! Golden structural test for region formation on the paper's Figure 5 CFG:
+//! an outer loop with a 50%/50% diamond, a 99%-biased inner exit and <1%
+//! cold edges. After formation, the hot subgraph must be replicated behind
+//! an `aregion_begin`, the cold edges must be asserts, and the original
+//! blocks must survive as the abort path.
+
+use hasp_experiments::profile_workload;
+use hasp_opt::{compile_method, CompilerConfig};
+use hasp_vm::builder::ProgramBuilder;
+use hasp_vm::bytecode::{BinOp, CmpOp, Intrinsic};
+use hasp_workloads::{Sample, Workload};
+
+/// Figure 5's shape, expressed as a runnable program: `entry F; loop { B;
+/// if (50%) D else E; I (99% continue / 1% cold); } G exit` with a cold
+/// handler block C.
+fn figure5_workload() -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let st = pb.add_class("S", None, &["acc", "cold_hits", "d", "e"]);
+    let f_acc = pb.field(st, "acc");
+    let f_cold = pb.field(st, "cold_hits");
+    let f_d = pb.field(st, "d");
+    let f_e = pb.field(st, "e");
+
+    let mut m = pb.method("main", 0);
+    let s = m.reg();
+    m.new_obj(s, st);
+    let one = m.imm(1);
+    let k100 = m.imm(100);
+    let k50 = m.imm(50);
+    m.marker(1);
+    let i = m.imm(0);
+    let n = m.imm(30_000);
+    let head = m.new_label(); // B
+    let d_arm = m.new_label(); // D
+    let e_arm = m.new_label(); // E
+    let latch = m.new_label(); // I
+    let cold = m.new_label(); // C (cold)
+    let exit = m.new_label(); // G
+    m.bind(head);
+    m.branch(CmpOp::Ge, i, n, exit);
+    let r = m.reg();
+    m.intrin(Intrinsic::NextRandom, Some(r), &[]);
+    let sel = m.reg();
+    let posmask = m.imm(0x7fff_ffff);
+    m.bin(BinOp::And, sel, r, posmask);
+    m.bin(BinOp::Rem, sel, sel, k100);
+    // H: the 50/50 diamond.
+    m.branch(CmpOp::Lt, sel, k50, d_arm);
+    m.jump(e_arm);
+    m.bind(d_arm);
+    let dv = m.reg();
+    m.get_field(dv, s, f_d);
+    m.bin(BinOp::Add, dv, dv, one);
+    m.put_field(s, f_d, dv);
+    m.jump(latch);
+    m.bind(e_arm);
+    let ev = m.reg();
+    m.get_field(ev, s, f_e);
+    m.bin(BinOp::Add, ev, ev, sel);
+    m.put_field(s, f_e, ev);
+    m.jump(latch);
+    m.bind(latch);
+    let acc = m.reg();
+    m.get_field(acc, s, f_acc);
+    m.bin(BinOp::Add, acc, acc, sel);
+    m.put_field(s, f_acc, acc);
+    // I: the <1% cold edge.
+    let zero = m.imm(0);
+    let k199 = m.imm(199);
+    let coldsel = m.reg();
+    m.bin(BinOp::Rem, coldsel, r, k199);
+    m.bin(BinOp::And, coldsel, coldsel, posmask);
+    m.branch(CmpOp::Eq, coldsel, zero, cold);
+    m.bin(BinOp::Add, i, i, one);
+    m.safepoint();
+    m.jump(head);
+    m.bind(cold);
+    let cv = m.reg();
+    m.get_field(cv, s, f_cold);
+    m.bin(BinOp::Add, cv, cv, one);
+    m.put_field(s, f_cold, cv);
+    m.put_field(s, f_acc, cv); // the cold path clobbers state
+    m.bin(BinOp::Add, i, i, one);
+    m.safepoint();
+    m.jump(head);
+    m.bind(exit);
+    m.marker(1);
+    for f in [f_acc, f_cold, f_d, f_e] {
+        let v = m.reg();
+        m.get_field(v, s, f);
+        m.checksum(v);
+    }
+    m.ret(None);
+    let entry = m.finish(&mut pb);
+    Workload {
+        name: "figure5",
+        description: "the paper's Figure 5 region-formation shape",
+        program: pb.finish(entry),
+        samples: vec![Sample { marker: 1, weight: 1.0 }],
+        fuel: 50_000_000,
+    }
+}
+
+#[test]
+fn figure5_formation_structure() {
+    let w = figure5_workload();
+    let profiled = profile_workload(&w);
+    let c = compile_method(&w.program, &profiled.profile, w.program.entry(), &CompilerConfig::atomic());
+    let f = &c.func;
+    hasp_ir::verify(f).expect("formed function verifies");
+
+    let formation = c.formation.expect("atomic config forms regions");
+    assert!(
+        !formation.regions.is_empty(),
+        "the hot loop must get at least one region:\n{}",
+        f.display()
+    );
+
+    // Structure: begins exist with abort edges to live original blocks.
+    for &rid in &formation.regions {
+        let info = &f.regions[rid.0 as usize];
+        let begin = f.block(info.begin);
+        match begin.term {
+            hasp_ir::Term::RegionBegin { body, abort, .. } => {
+                assert_eq!(abort, info.abort_target);
+                assert_eq!(f.block(body).region, Some(rid), "body tagged");
+                assert!(f.block(abort).region.is_none(), "abort path is non-speculative");
+            }
+            ref other => panic!("begin has {other:?}"),
+        }
+    }
+    // The cold edge was converted: asserts exist inside regions, and the
+    // 50/50 diamond was NOT asserted (both arms are warm) — look for a real
+    // branch inside a region.
+    let mut in_region_asserts = 0;
+    let mut in_region_branches = 0;
+    for b in f.block_ids() {
+        if f.block(b).region.is_none() {
+            continue;
+        }
+        for i in &f.block(b).insts {
+            if matches!(i.op, hasp_ir::Op::Assert { .. }) {
+                in_region_asserts += 1;
+            }
+        }
+        if matches!(f.block(b).term, hasp_ir::Term::Branch { .. }) {
+            in_region_branches += 1;
+        }
+    }
+    assert!(in_region_asserts >= 1, "cold edge must become an assert:\n{}", f.display());
+    assert!(
+        in_region_branches >= 1,
+        "warm 50/50 diamond must stay a branch (regions allow arbitrary \
+         internal control flow):\n{}",
+        f.display()
+    );
+
+    // And it actually runs correctly with aborts happening.
+    let run = hasp_experiments::run_workload(
+        &w,
+        &profiled,
+        &CompilerConfig::atomic(),
+        &hasp_hw::HwConfig::baseline(),
+    );
+    assert!(run.stats.commits > 10_000);
+    assert!(
+        run.stats.total_aborts() > 50,
+        "the 0.5% cold path must abort: {:?}",
+        run.stats.aborts
+    );
+}

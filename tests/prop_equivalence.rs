@@ -1,0 +1,182 @@
+//! Property-based differential testing: randomly generated programs must
+//! produce identical observable checksums under the interpreter and under
+//! the simulated machine compiled with every paper configuration — the
+//! strongest single check of the whole compiler + hardware stack.
+
+use proptest::prelude::*;
+
+use hasp_hw::{lower, CodeCache, HwConfig, Machine};
+use hasp_opt::{compile_program, CompilerConfig};
+use hasp_vm::builder::ProgramBuilder;
+use hasp_vm::bytecode::{BinOp, CmpOp};
+use hasp_vm::interp::Interp;
+use hasp_vm::Program;
+
+/// One step of the random loop body.
+#[derive(Debug, Clone)]
+enum Step {
+    /// `r[dst] = r[a] op r[b]` (division guarded below).
+    Alu(BinOp, usize, usize, usize),
+    /// `obj.field[f] = r[src]`
+    StoreField(usize, usize),
+    /// `r[dst] = obj.field[f]`
+    LoadField(usize, usize),
+    /// `arr[r[idx] & mask] = r[src]`
+    StoreElem(usize, usize),
+    /// `r[dst] = arr[r[idx] & mask]`
+    LoadElem(usize, usize),
+    /// A biased diamond: if `r[a] % 100 < pct` run the rare arm, which
+    /// clobbers a field.
+    Diamond(usize, u8, usize),
+    /// Fold `r[src]` into the checksum.
+    Checksum(usize),
+}
+
+const NREGS: usize = 6;
+const NFIELDS: usize = 4;
+const ARR: i64 = 64;
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    let binop = prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Xor),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+    ];
+    prop_oneof![
+        (binop, 0..NREGS, 0..NREGS, 0..NREGS).prop_map(|(o, d, a, b)| Step::Alu(o, d, a, b)),
+        (0..NFIELDS, 0..NREGS).prop_map(|(f, s)| Step::StoreField(f, s)),
+        (0..NREGS, 0..NFIELDS).prop_map(|(d, f)| Step::LoadField(d, f)),
+        (0..NREGS, 0..NREGS).prop_map(|(i, s)| Step::StoreElem(i, s)),
+        (0..NREGS, 0..NREGS).prop_map(|(d, i)| Step::LoadElem(d, i)),
+        (0..NREGS, 0..30u8, 0..NFIELDS).prop_map(|(a, p, f)| Step::Diamond(a, p, f)),
+        (0..NREGS).prop_map(Step::Checksum),
+    ]
+}
+
+/// Builds a counted loop around the random body.
+fn build(steps: &[Step], iters: i64, seed: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let cls = pb.add_class("Obj", None, &["f0", "f1", "f2", "f3"]);
+    let fields: Vec<_> = (0..NFIELDS)
+        .map(|i| pb.field(cls, &format!("f{i}")))
+        .collect();
+    let mut m = pb.method("main", 0);
+    let obj = m.reg();
+    m.new_obj(obj, cls);
+    let arr_len = m.imm(ARR);
+    let arr = m.reg();
+    m.new_array(arr, arr_len);
+    let regs: Vec<_> = (0..NREGS as i64).map(|i| m.imm(seed.wrapping_add(i * 17))).collect();
+    let mask = m.imm(ARR - 1);
+    let one = m.imm(1);
+    let k100 = m.imm(100);
+    let posmask = m.imm(0x7fff_ffff);
+
+    let i = m.imm(0);
+    let n = m.imm(iters);
+    let head = m.new_label();
+    let exit = m.new_label();
+    m.bind(head);
+    m.branch(CmpOp::Ge, i, n, exit);
+    for (k, step) in steps.iter().enumerate() {
+        match step {
+            Step::Alu(op, d, a, b) => {
+                if matches!(op, BinOp::Div | BinOp::Rem) {
+                    // Guard the divisor: |b| | 1 is never zero.
+                    let g = m.reg();
+                    m.bin(BinOp::And, g, regs[*b], posmask);
+                    m.bin(BinOp::Or, g, g, one);
+                    m.bin(*op, regs[*d], regs[*a], g);
+                } else {
+                    m.bin(*op, regs[*d], regs[*a], regs[*b]);
+                }
+            }
+            Step::StoreField(f, s) => m.put_field(obj, fields[*f], regs[*s]),
+            Step::LoadField(d, f) => m.get_field(regs[*d], obj, fields[*f]),
+            Step::StoreElem(idx, s) => {
+                let j = m.reg();
+                m.bin(BinOp::And, j, regs[*idx], mask);
+                m.astore(arr, j, regs[*s]);
+            }
+            Step::LoadElem(d, idx) => {
+                let j = m.reg();
+                m.bin(BinOp::And, j, regs[*idx], mask);
+                m.aload(regs[*d], arr, j);
+            }
+            Step::Diamond(a, pct, f) => {
+                let sel = m.reg();
+                m.bin(BinOp::And, sel, regs[*a], posmask);
+                m.bin(BinOp::Rem, sel, sel, k100);
+                let thr = m.imm(i64::from(*pct));
+                let rare = m.new_label();
+                let join = m.new_label();
+                m.branch(CmpOp::Lt, sel, thr, rare);
+                m.jump(join);
+                m.bind(rare);
+                let t = m.reg();
+                m.get_field(t, obj, fields[*f]);
+                let kk = m.imm(k as i64 + 3);
+                m.bin(BinOp::Add, t, t, kk);
+                m.put_field(obj, fields[*f], t);
+                m.jump(join);
+                m.bind(join);
+            }
+            Step::Checksum(s) => m.checksum(regs[*s]),
+        }
+    }
+    m.bin(BinOp::Add, i, i, one);
+    m.safepoint();
+    m.jump(head);
+    m.bind(exit);
+    for f in &fields {
+        let v = m.reg();
+        m.get_field(v, obj, *f);
+        m.checksum(v);
+    }
+    for r in &regs {
+        m.checksum(*r);
+    }
+    m.ret(None);
+    let entry = m.finish(&mut pb);
+    pb.finish(entry)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_programs_execute_identically(
+        steps in prop::collection::vec(step_strategy(), 3..25),
+        iters in 50i64..400,
+        seed in any::<i64>(),
+    ) {
+        let program = build(&steps, iters, seed);
+        let mut interp = Interp::new(&program).with_profiling();
+        interp.set_fuel(50_000_000);
+        interp.run(&[]).expect("interp");
+        let reference = interp.env.checksum();
+
+        for cfg in CompilerConfig::paper_configs() {
+            let compiled = compile_program(&program, &interp.profile, &cfg);
+            let mut code = CodeCache::new();
+            for (mid, c) in &compiled {
+                code.install(*mid, lower(&c.func));
+            }
+            let mut machine = Machine::new(&program, &code, HwConfig::baseline());
+            machine.set_fuel(200_000_000);
+            machine.run(&[]).expect("machine");
+            prop_assert_eq!(
+                machine.env.checksum(),
+                reference,
+                "config {} diverged (steps {:?})",
+                cfg.name,
+                &steps
+            );
+        }
+    }
+}

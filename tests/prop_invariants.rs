@@ -1,0 +1,141 @@
+//! Property tests for the core data structures and algorithms:
+//! Equation-1 boundary partitioning against brute force, the cache model's
+//! speculative-bit state machine, the undo log, and histogram accounting.
+
+use proptest::prelude::*;
+
+use hasp_core::partition::{pi_term, select_boundaries, Candidate};
+use hasp_hw::{CacheSim, Histogram, HwConfig};
+use hasp_vm::bytecode::ClassId;
+use hasp_vm::heap::{Heap, HeapCell};
+use hasp_vm::value::Value;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The DP that minimizes Π (Equation 1) matches exhaustive search.
+    #[test]
+    fn equation1_dp_is_optimal(
+        gaps in prop::collection::vec(1u64..300, 1..10),
+        r_target in 20u64..400,
+    ) {
+        let mut prefix = 0;
+        let mut cands = vec![Candidate { path_index: 0, prefix_ops: 0 }];
+        for (i, g) in gaps.iter().enumerate() {
+            prefix += g;
+            cands.push(Candidate { path_index: i + 1, prefix_ops: prefix });
+        }
+        let chosen = select_boundaries(r_target, &cands);
+        let dp_cost: f64 = chosen
+            .windows(2)
+            .map(|w| pi_term(r_target, cands[w[1]].prefix_ops - cands[w[0]].prefix_ops))
+            .sum();
+        // Brute force over all subsets containing first and last.
+        let k = cands.len();
+        let mut best = f64::INFINITY;
+        for mask in 0u32..(1 << (k - 2)) {
+            let mut idx = vec![0usize];
+            for bit in 0..(k - 2) {
+                if mask & (1 << bit) != 0 {
+                    idx.push(bit + 1);
+                }
+            }
+            idx.push(k - 1);
+            let cost: f64 = idx
+                .windows(2)
+                .map(|w| pi_term(r_target, cands[w[1]].prefix_ops - cands[w[0]].prefix_ops))
+                .sum();
+            best = best.min(cost);
+        }
+        prop_assert!((dp_cost - best).abs() < 1e-6, "dp {dp_cost} vs brute {best}");
+    }
+
+    /// Commit clears all speculative bits; abort removes exactly the
+    /// speculatively written lines; reads survive aborts.
+    #[test]
+    fn cache_speculative_state_machine(
+        accesses in prop::collection::vec((0u64..64, any::<bool>()), 1..40),
+    ) {
+        let cfg = HwConfig::baseline();
+        let mut commit_side = CacheSim::new(&cfg);
+        let mut abort_side = CacheSim::new(&cfg);
+        let mut wrote = std::collections::HashSet::new();
+        let mut read_only = std::collections::HashSet::new();
+        for (slot, is_write) in &accesses {
+            let addr = 0x10_000 + slot * cfg.line_bytes;
+            commit_side.access(addr, *is_write, true);
+            abort_side.access(addr, *is_write, true);
+            if *is_write {
+                wrote.insert(addr);
+                read_only.remove(&addr);
+            } else if !wrote.contains(&addr) {
+                read_only.insert(addr);
+            }
+        }
+        commit_side.commit_region();
+        prop_assert_eq!(commit_side.spec_lines(), 0);
+        abort_side.abort_region();
+        prop_assert_eq!(abort_side.spec_lines(), 0);
+        // After an abort, written lines are gone; read-only lines remain.
+        for addr in &read_only {
+            let (level, _) = abort_side.access(*addr, false, false);
+            prop_assert_eq!(level, hasp_hw::HitLevel::L1, "read line evicted by abort");
+        }
+        for addr in &wrote {
+            let (level, _) = abort_side.access(*addr, false, false);
+            prop_assert_ne!(level, hasp_hw::HitLevel::L1, "written line must be invalidated");
+        }
+    }
+
+    /// Replaying an undo log in reverse restores every heap cell.
+    #[test]
+    fn undo_log_roundtrip(
+        writes in prop::collection::vec((0u16..4, any::<i64>()), 1..50),
+    ) {
+        let mut heap = Heap::new();
+        let obj = heap.alloc_object(ClassId(0), 4);
+        for f in 0..4 {
+            heap.set_field(obj, f, Value::Int(i64::from(f) * 1000));
+        }
+        let before: Vec<i64> =
+            (0..4).map(|f| heap.read_cell(HeapCell::Field(obj, f))).collect();
+        let mark = heap.alloc_mark();
+
+        let mut undo = Vec::new();
+        for (f, v) in &writes {
+            let cell = HeapCell::Field(obj, *f);
+            undo.push((cell, heap.read_cell(cell)));
+            heap.write_cell(cell, *v);
+        }
+        // Speculative allocations vanish with the rollback.
+        let _spec_obj = heap.alloc_object(ClassId(0), 2);
+        for (cell, old) in undo.iter().rev() {
+            heap.write_cell(*cell, *old);
+        }
+        heap.truncate(&mark);
+        let after: Vec<i64> =
+            (0..4).map(|f| heap.read_cell(HeapCell::Field(obj, f))).collect();
+        prop_assert_eq!(before, after);
+        prop_assert_eq!(heap.len(), 1);
+    }
+
+    /// Histogram totals are conserved and the mean is exact.
+    #[test]
+    fn histogram_accounting(samples in prop::collection::vec(0u64..5000, 1..100)) {
+        let mut h = Histogram::new(&[16, 64, 256, 1024]);
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.n, samples.len() as u64);
+        prop_assert_eq!(h.counts.iter().sum::<u64>(), h.n);
+        prop_assert_eq!(h.sum, samples.iter().sum::<u64>());
+        prop_assert_eq!(h.max, *samples.iter().max().unwrap());
+        let mean = h.sum as f64 / h.n as f64;
+        prop_assert!((h.mean() - mean).abs() < 1e-9);
+        // fraction_le is monotone in the bound.
+        let f16 = h.fraction_le(16);
+        let f64_ = h.fraction_le(64);
+        let f1024 = h.fraction_le(1024);
+        prop_assert!(f16 <= f64_ && f64_ <= f1024);
+    }
+}

@@ -1,0 +1,154 @@
+//! Differential tests for the type-system operations (instanceof chains,
+//! checked casts, monitor nesting) between the interpreter and the machine,
+//! plus trap behavior inside and outside atomic regions.
+
+use hasp_hw::{lower, CodeCache, HwConfig, Machine};
+use hasp_opt::{compile_program, CompilerConfig};
+use hasp_vm::builder::ProgramBuilder;
+use hasp_vm::bytecode::{BinOp, CmpOp};
+use hasp_vm::interp::Interp;
+use hasp_vm::{Program, Trap, VmError};
+
+fn run_both(p: &Program) -> (i64, i64) {
+    let mut interp = Interp::new(p).with_profiling();
+    interp.set_fuel(50_000_000);
+    interp.run(&[]).expect("interp");
+    let compiled = compile_program(p, &interp.profile, &CompilerConfig::atomic());
+    let mut cc = CodeCache::new();
+    for (m, c) in &compiled {
+        cc.install(*m, lower(&c.func));
+    }
+    let mut mach = Machine::new(p, &cc, HwConfig::baseline());
+    mach.set_fuel(200_000_000);
+    mach.run(&[]).expect("machine");
+    (interp.env.checksum(), mach.env.checksum())
+}
+
+#[test]
+fn instanceof_chains_and_casts() {
+    let mut pb = ProgramBuilder::new();
+    let animal = pb.add_class("Animal", None, &["legs"]);
+    let dog = pb.add_class("Dog", Some(animal), &[]);
+    let cat = pb.add_class("Cat", Some(animal), &[]);
+    let puppy = pb.add_class("Puppy", Some(dog), &[]);
+
+    let mut m = pb.method("main", 0);
+    let zoo_len = m.imm(4);
+    let zoo = m.reg();
+    m.new_array(zoo, zoo_len);
+    for (i, cls) in [animal, dog, cat, puppy].into_iter().enumerate() {
+        let o = m.reg();
+        m.new_obj(o, cls);
+        let idx = m.imm(i as i64);
+        m.astore(zoo, idx, o);
+    }
+    let i = m.imm(0);
+    let one = m.imm(1);
+    let n = m.imm(4);
+    let acc = m.imm(0);
+    let head = m.new_label();
+    let exit = m.new_label();
+    m.bind(head);
+    m.branch(CmpOp::Ge, i, n, exit);
+    let o = m.reg();
+    m.aload(o, zoo, i);
+    for (weight, cls) in [(1i64, animal), (10, dog), (100, cat), (1000, puppy)] {
+        let is = m.reg();
+        m.instance_of(is, o, cls);
+        let w = m.imm(weight);
+        let t = m.reg();
+        m.bin(BinOp::Mul, t, is, w);
+        m.bin(BinOp::Add, acc, acc, t);
+    }
+    // Upcasts always succeed; null casts always succeed.
+    m.check_cast(o, animal);
+    let nil = m.reg();
+    m.const_null(nil);
+    m.check_cast(nil, puppy);
+    m.bin(BinOp::Add, i, i, one);
+    m.jump(head);
+    m.bind(exit);
+    m.checksum(acc);
+    m.ret(Some(acc));
+    let entry = m.finish(&mut pb);
+    let p = pb.finish(entry);
+    let (a, b) = run_both(&p);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn downcast_failure_traps_identically() {
+    let mut pb = ProgramBuilder::new();
+    let animal = pb.add_class("Animal", None, &[]);
+    let dog = pb.add_class("Dog", Some(animal), &[]);
+    let mut m = pb.method("main", 0);
+    let o = m.reg();
+    m.new_obj(o, animal);
+    m.check_cast(o, dog); // Animal is not a Dog
+    m.ret(None);
+    let entry = m.finish(&mut pb);
+    let p = pb.finish(entry);
+
+    let mut interp = Interp::new(&p).with_profiling();
+    let ierr = interp.run(&[]).unwrap_err();
+    assert!(matches!(ierr, VmError::Trap { trap: Trap::ClassCast, .. }));
+
+    let compiled = compile_program(&p, &interp.profile, &CompilerConfig::no_atomic());
+    let mut cc = CodeCache::new();
+    for (mid, c) in &compiled {
+        cc.install(*mid, lower(&c.func));
+    }
+    let mut mach = Machine::new(&p, &cc, HwConfig::baseline());
+    let merr = mach.run(&[]).unwrap_err();
+    assert!(matches!(merr, VmError::Trap { trap: Trap::ClassCast, .. }));
+}
+
+#[test]
+fn nested_monitors_and_recursion() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("C", None, &["v"]);
+    let fv = pb.field(c, "v");
+    // Recursive synchronized method: locks the same receiver at each depth.
+    let rec = pb.declare("C.rec", 2);
+    let mut r = pb.method("C.rec", 2);
+    r.set_synchronized();
+    let base = r.new_label();
+    let zero = r.imm(0);
+    r.branch(CmpOp::Le, r.arg(1), zero, base);
+    let t = r.reg();
+    r.get_field(t, r.arg(0), fv);
+    let one = r.imm(1);
+    r.bin(BinOp::Add, t, t, one);
+    r.put_field(r.arg(0), fv, t);
+    let n1 = r.reg();
+    r.bin(BinOp::Sub, n1, r.arg(1), one);
+    r.call(None, rec, &[r.arg(0), n1]);
+    r.ret(None);
+    r.bind(base);
+    r.ret(None);
+    r.finish(&mut pb);
+
+    let mut m = pb.method("main", 0);
+    let o = m.reg();
+    m.new_obj(o, c);
+    let i = m.imm(0);
+    let n = m.imm(200);
+    let one = m.imm(1);
+    let depth = m.imm(5);
+    let head = m.new_label();
+    let exit = m.new_label();
+    m.bind(head);
+    m.branch(CmpOp::Ge, i, n, exit);
+    m.call(None, rec, &[o, depth]);
+    m.bin(BinOp::Add, i, i, one);
+    m.jump(head);
+    m.bind(exit);
+    let out = m.reg();
+    m.get_field(out, o, fv);
+    m.checksum(out);
+    m.ret(Some(out));
+    let entry = m.finish(&mut pb);
+    let p = pb.finish(entry);
+    let (a, b) = run_both(&p);
+    assert_eq!(a, b);
+}
