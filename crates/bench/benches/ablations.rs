@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use hasp_core::RegionConfig;
 use hasp_experiments::adaptive::run_adaptive;
-use hasp_experiments::{profile_workload, run_workload};
+use hasp_experiments::{compile_workload, execute_compiled, profile_workload, run_workload};
 use hasp_hw::HwConfig;
 use hasp_opt::CompilerConfig;
 use hasp_workloads::{all_workloads, synthetic};
@@ -25,7 +25,12 @@ fn ablation_region_size(c: &mut Criterion) {
     let ws = all_workloads();
     let w = ws.iter().find(|w| w.name == "bloat").unwrap();
     let profiled = profile_workload(w);
-    let base = run_workload(w, &profiled, &CompilerConfig::no_atomic(), &HwConfig::baseline());
+    let base = run_workload(
+        w,
+        &profiled,
+        &CompilerConfig::no_atomic(),
+        &HwConfig::baseline(),
+    );
     println!("== ablation: region size target R (bloat) ==");
     for r in [50u64, 100, 200, 400] {
         let mut cfg = CompilerConfig::atomic();
@@ -39,9 +44,10 @@ fn ablation_region_size(c: &mut Criterion) {
         );
     }
     println!();
+    let compiled = compile_workload(w, &profiled, &CompilerConfig::atomic());
     let mut g = small(c);
     g.bench_function("ablation_region_size_r200", |b| {
-        b.iter(|| run_workload(w, &profiled, &CompilerConfig::atomic(), &HwConfig::baseline()))
+        b.iter(|| execute_compiled(w, &profiled, &compiled, &HwConfig::baseline()))
     });
     g.finish();
 }
@@ -51,7 +57,12 @@ fn ablation_cold_threshold(c: &mut Criterion) {
     let ws = all_workloads();
     let w = ws.iter().find(|w| w.name == "bloat").unwrap();
     let profiled = profile_workload(w);
-    let base = run_workload(w, &profiled, &CompilerConfig::no_atomic(), &HwConfig::baseline());
+    let base = run_workload(
+        w,
+        &profiled,
+        &CompilerConfig::no_atomic(),
+        &HwConfig::baseline(),
+    );
     println!("== ablation: cold-path threshold (bloat) ==");
     for t in [0.001, 0.01, 0.05] {
         let mut cfg = CompilerConfig::atomic();
@@ -65,9 +76,10 @@ fn ablation_cold_threshold(c: &mut Criterion) {
         );
     }
     println!();
+    let compiled = compile_workload(w, &profiled, &CompilerConfig::atomic());
     let mut g = small(c);
     g.bench_function("ablation_cold_threshold_1pct", |b| {
-        b.iter(|| run_workload(w, &profiled, &CompilerConfig::atomic(), &HwConfig::baseline()))
+        b.iter(|| execute_compiled(w, &profiled, &compiled, &HwConfig::baseline()))
     });
     g.finish();
 }
@@ -77,8 +89,18 @@ fn ablation_sle(c: &mut Criterion) {
     let ws = all_workloads();
     let w = ws.iter().find(|w| w.name == "hsqldb").unwrap();
     let profiled = profile_workload(w);
-    let base = run_workload(w, &profiled, &CompilerConfig::no_atomic(), &HwConfig::baseline());
-    let with = run_workload(w, &profiled, &CompilerConfig::atomic(), &HwConfig::baseline());
+    let base = run_workload(
+        w,
+        &profiled,
+        &CompilerConfig::no_atomic(),
+        &HwConfig::baseline(),
+    );
+    let with = run_workload(
+        w,
+        &profiled,
+        &CompilerConfig::atomic(),
+        &HwConfig::baseline(),
+    );
     let mut cfg = CompilerConfig::atomic();
     cfg.sle = false;
     cfg.name = "atomic-no-sle";
@@ -88,9 +110,10 @@ fn ablation_sle(c: &mut Criterion) {
         with.speedup_vs(&base),
         without.speedup_vs(&base)
     );
+    let compiled = compile_workload(w, &profiled, &CompilerConfig::atomic());
     let mut g = small(c);
     g.bench_function("ablation_sle_on", |b| {
-        b.iter(|| run_workload(w, &profiled, &CompilerConfig::atomic(), &HwConfig::baseline()))
+        b.iter(|| execute_compiled(w, &profiled, &compiled, &HwConfig::baseline()))
     });
     g.finish();
 }
@@ -101,7 +124,12 @@ fn ablation_partial_inline(c: &mut Criterion) {
     let ws = all_workloads();
     let w = ws.iter().find(|w| w.name == "jython").unwrap();
     let profiled = profile_workload(w);
-    let base = run_workload(w, &profiled, &CompilerConfig::no_atomic(), &HwConfig::baseline());
+    let base = run_workload(
+        w,
+        &profiled,
+        &CompilerConfig::no_atomic(),
+        &HwConfig::baseline(),
+    );
     println!("== ablation: partial-inlining policy (jython) ==");
     for cfg in [
         CompilerConfig::atomic(),
@@ -117,11 +145,10 @@ fn ablation_partial_inline(c: &mut Criterion) {
         );
     }
     println!();
+    let compiled = compile_workload(w, &profiled, &CompilerConfig::atomic_forced_mono());
     let mut g = small(c);
     g.bench_function("ablation_partial_inline_forced_mono", |b| {
-        b.iter(|| {
-            run_workload(w, &profiled, &CompilerConfig::atomic_forced_mono(), &HwConfig::baseline())
-        })
+        b.iter(|| execute_compiled(w, &profiled, &compiled, &HwConfig::baseline()))
     });
     g.finish();
 }
@@ -130,7 +157,12 @@ fn ablation_partial_inline(c: &mut Criterion) {
 fn ablation_postdom_checkelim(c: &mut Criterion) {
     let w = synthetic::postdom_checks(30_000);
     let profiled = profile_workload(&w);
-    let off = run_workload(&w, &profiled, &CompilerConfig::atomic(), &HwConfig::baseline());
+    let off = run_workload(
+        &w,
+        &profiled,
+        &CompilerConfig::atomic(),
+        &HwConfig::baseline(),
+    );
     let mut cfg = CompilerConfig::atomic();
     cfg.postdom_checkelim = true;
     cfg.name = "atomic+postdom-ce";
@@ -141,9 +173,10 @@ fn ablation_postdom_checkelim(c: &mut Criterion) {
         on.stats.uops,
         (1.0 - on.stats.uops as f64 / off.stats.uops as f64) * 100.0
     );
+    let compiled = compile_workload(&w, &profiled, &cfg);
     let mut g = small(c);
     g.bench_function("ablation_postdom_checkelim_on", |b| {
-        b.iter(|| run_workload(&w, &profiled, &cfg, &HwConfig::baseline()))
+        b.iter(|| execute_compiled(&w, &profiled, &compiled, &HwConfig::baseline()))
     });
     g.finish();
 }
@@ -159,7 +192,12 @@ fn ablation_adaptive(c: &mut Criterion) {
         let _ = early.run(&[]);
         profiled.profile = early.profile;
     }
-    let outcome = run_adaptive(&w, &profiled, &CompilerConfig::atomic(), &HwConfig::baseline());
+    let outcome = run_adaptive(
+        &w,
+        &profiled,
+        &CompilerConfig::atomic(),
+        &HwConfig::baseline(),
+    );
     println!(
         "== ablation: §7 adaptive recompilation (phase-flip) ==\n  \
          speculative: {} cycles ({} aborts, {:.1}% of regions)\n  \
@@ -173,7 +211,14 @@ fn ablation_adaptive(c: &mut Criterion) {
     );
     let mut g = small(c);
     g.bench_function("ablation_adaptive_recompile_cycle", |b| {
-        b.iter(|| run_adaptive(&w, &profiled, &CompilerConfig::atomic(), &HwConfig::baseline()))
+        b.iter(|| {
+            run_adaptive(
+                &w,
+                &profiled,
+                &CompilerConfig::atomic(),
+                &HwConfig::baseline(),
+            )
+        })
     });
     g.finish();
 }

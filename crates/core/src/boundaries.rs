@@ -42,7 +42,12 @@ pub fn select_boundaries(
         let dt = DomTree::compute(f);
         let forest = LoopForest::compute(f, &dt);
         let preds = f.preds();
-        let max_freq = f.block_ids().iter().map(|b| f.block(*b).freq).max().unwrap_or(0);
+        let max_freq = f
+            .block_ids()
+            .iter()
+            .map(|b| f.block(*b).freq)
+            .max()
+            .unwrap_or(0);
         for l in forest.post_order() {
             let header = l.header;
             // Formation is profile-driven: loops that barely execute are not
@@ -129,9 +134,15 @@ pub fn select_boundaries(
 
         let mut blocks_by_freq: Vec<BlockId> = f.block_ids();
         blocks_by_freq.sort_by_key(|b| std::cmp::Reverse((f.block(*b).freq, u32::MAX - b.0)));
-        let max_freq = blocks_by_freq.first().map(|b| f.block(*b).freq).unwrap_or(0);
+        let max_freq = blocks_by_freq
+            .first()
+            .map(|b| f.block(*b).freq)
+            .unwrap_or(0);
         if max_freq == 0 {
-            return BoundarySelection { boundaries: selected, pruned_sites };
+            return BoundarySelection {
+                boundaries: selected,
+                pruned_sites,
+            };
         }
 
         let mut visited: HashSet<BlockId> = HashSet::new();
@@ -153,10 +164,12 @@ pub fn select_boundaries(
             let mut prefix = 0u64;
             let mut candidates: Vec<Candidate> = Vec::new();
             for (i, &b) in path.iter().enumerate() {
-                let is_candidate =
-                    i == 0 || i == path.len() - 1 || structural.contains(&b);
+                let is_candidate = i == 0 || i == path.len() - 1 || structural.contains(&b);
                 if is_candidate {
-                    candidates.push(Candidate { path_index: i, prefix_ops: prefix });
+                    candidates.push(Candidate {
+                        path_index: i,
+                        prefix_ops: prefix,
+                    });
                 }
                 let hopped_loop = forest
                     .post_order()
@@ -172,11 +185,9 @@ pub fn select_boundaries(
                             .filter(|p| !l.blocks.contains(*p))
                             .map(|p| f.edge_count(*p, b))
                             .sum();
-                        if entries == 0 {
-                            f.block(b).insts.len() as u64 + 1
-                        } else {
-                            (loop_weight(f, l) / entries).max(1)
-                        }
+                        loop_weight(f, l)
+                            .checked_div(entries)
+                            .map_or_else(|| f.block(b).insts.len() as u64 + 1, |w| w.max(1))
                     }
                     None => f.block(b).insts.len() as u64 + 1,
                 };
@@ -195,8 +206,8 @@ pub fn select_boundaries(
                 // A block whose dominant predecessor is already a region
                 // boundary is covered by that region; a second begin here
                 // would only fragment it.
-                let covered = crate::cold::dominant_pred(f, &preds, b)
-                    .is_some_and(|p| selected.contains(&p));
+                let covered =
+                    crate::cold::dominant_pred(f, &preds, b).is_some_and(|p| selected.contains(&p));
                 if !covered && usable_boundary(f, b) {
                     selected.insert(b);
                     trace_bounds.insert(b);
@@ -205,7 +216,10 @@ pub fn select_boundaries(
         }
     }
 
-    BoundarySelection { boundaries: selected, pruned_sites }
+    BoundarySelection {
+        boundaries: selected,
+        pruned_sites,
+    }
 }
 
 /// A block can host an `aregion_begin` unless it is a call block or an
@@ -214,7 +228,8 @@ fn usable_boundary(f: &Func, b: BlockId) -> bool {
     if is_call_block(f, b) {
         return false;
     }
-    if matches!(f.block(b).term, Term::Return(_)) && f.block(b).insts.len() <= f.block(b).phi_count()
+    if matches!(f.block(b).term, Term::Return(_))
+        && f.block(b).insts.len() <= f.block(b).phi_count()
     {
         return false;
     }
@@ -250,7 +265,9 @@ mod tests {
         };
         for _ in 0..body_ops {
             let d = f.vreg();
-            f.block_mut(body).insts.push(Inst::with_dst(d, Op::Bin(BinOp::Add, x, y)));
+            f.block_mut(body)
+                .insts
+                .push(Inst::with_dst(d, Op::Bin(BinOp::Add, x, y)));
         }
         f.block_mut(f.entry).term = Term::Jump(head);
         f.block_mut(f.entry).freq = entries;
@@ -295,9 +312,10 @@ mod tests {
     #[test]
     fn loop_with_warm_call_selected() {
         let mut f = loopy(5, 4, 1000);
-        f.block_mut(BlockId(3))
-            .insts
-            .push(Inst::effect(Op::Call { method: MethodId(1), args: vec![] }));
+        f.block_mut(BlockId(3)).insts.push(Inst::effect(Op::Call {
+            method: MethodId(1),
+            args: vec![],
+        }));
         let sel = select_boundaries(&mut f, &[], &RegionConfig::default());
         assert!(sel.boundaries.contains(&BlockId(2)), "{:?}", sel.boundaries);
     }
@@ -307,7 +325,10 @@ mod tests {
         let mut f = loopy(300, 10, 5);
         for b in f.block_ids() {
             f.block_mut(b).freq = 0;
-            if let Term::Branch { t_count, f_count, .. } = &mut f.block_mut(b).term {
+            if let Term::Branch {
+                t_count, f_count, ..
+            } = &mut f.block_mut(b).term
+            {
                 *t_count = 0;
                 *f_count = 0;
             }

@@ -101,8 +101,15 @@ mod tests {
         let cold = f.add_block(Term::Return(None));
         let a = f.vreg();
         let b = f.vreg();
-        f.block_mut(f.entry).term =
-            Term::Branch { op: CmpOp::Eq, a, b, t: cold, f: hot, t_count, f_count };
+        f.block_mut(f.entry).term = Term::Branch {
+            op: CmpOp::Eq,
+            a,
+            b,
+            t: cold,
+            f: hot,
+            t_count,
+            f_count,
+        };
         f.block_mut(f.entry).freq = t_count + f_count;
         f.block_mut(hot).freq = f_count;
         f.block_mut(cold).freq = t_count;
@@ -146,13 +153,19 @@ mod tests {
         // Put a call in the cold target: not reachable on warm paths.
         f.block_mut(BlockId(2))
             .insts
-            .push(hasp_ir::Inst::effect(hasp_ir::Op::Call { method: _MID(1), args: vec![] }));
+            .push(hasp_ir::Inst::effect(hasp_ir::Op::Call {
+                method: _MID(1),
+                args: vec![],
+            }));
         let blocks: HashSet<BlockId> = f.block_ids().into_iter().collect();
         assert!(!has_call_on_warm_path(&f, &cfg, f.entry, &blocks));
         // Put one in the hot target: reachable.
         f.block_mut(BlockId(1))
             .insts
-            .push(hasp_ir::Inst::effect(hasp_ir::Op::Call { method: _MID(1), args: vec![] }));
+            .push(hasp_ir::Inst::effect(hasp_ir::Op::Call {
+                method: _MID(1),
+                args: vec![],
+            }));
         assert!(has_call_on_warm_path(&f, &cfg, f.entry, &blocks));
     }
 }

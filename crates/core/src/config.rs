@@ -77,7 +77,9 @@ mod tests {
 
     #[test]
     fn builders() {
-        let c = RegionConfig::default().with_target_size(50).with_cold_threshold(0.05);
+        let c = RegionConfig::default()
+            .with_target_size(50)
+            .with_cold_threshold(0.05);
         assert_eq!(c.target_region_size, 50);
         assert_eq!(c.loop_path_threshold, 50.0);
         assert_eq!(c.cold_threshold, 0.05);

@@ -150,7 +150,10 @@ mod tests {
         let cfg = RegionConfig::default();
         let result = form_atomic_regions(&mut f, &[], &cfg);
         verify(&f).unwrap_or_else(|e| panic!("{e}\n{}", f.display()));
-        assert!(!result.regions.is_empty(), "hot loop must get at least one region");
+        assert!(
+            !result.regions.is_empty(),
+            "hot loop must get at least one region"
+        );
         // The cold overflow branch inside the region became an assert.
         let n_asserts: usize = f
             .block_ids()

@@ -84,9 +84,21 @@ mod tests {
         let d = f.vreg();
         let e = f.block_mut(f.entry);
         e.insts.push(Inst::with_dst(a, Op::Const(1)));
-        e.insts.push(Inst::with_dst(b, Op::Call { method: MethodId(1), args: vec![a] }));
+        e.insts.push(Inst::with_dst(
+            b,
+            Op::Call {
+                method: MethodId(1),
+                args: vec![a],
+            },
+        ));
         e.insts.push(Inst::with_dst(c, Op::Bin(BinOp::Add, a, b)));
-        e.insts.push(Inst::with_dst(d, Op::Call { method: MethodId(1), args: vec![c] }));
+        e.insts.push(Inst::with_dst(
+            d,
+            Op::Call {
+                method: MethodId(1),
+                args: vec![c],
+            },
+        ));
         e.term = Term::Return(Some(d));
 
         let n = split_at_calls(&mut f);
@@ -107,7 +119,9 @@ mod tests {
     fn call_free_function_untouched() {
         let mut f = Func::new("t", MethodId(0), 0);
         let a = f.vreg();
-        f.block_mut(f.entry).insts.push(Inst::with_dst(a, Op::Const(1)));
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::with_dst(a, Op::Const(1)));
         f.block_mut(f.entry).term = Term::Return(Some(a));
         assert_eq!(split_at_calls(&mut f), 0);
         assert_eq!(f.block_ids().len(), 1);

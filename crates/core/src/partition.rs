@@ -78,7 +78,10 @@ mod tests {
         prefixes
             .iter()
             .enumerate()
-            .map(|(i, &p)| Candidate { path_index: i, prefix_ops: p })
+            .map(|(i, &p)| Candidate {
+                path_index: i,
+                prefix_ops: p,
+            })
             .collect()
     }
 
@@ -136,10 +139,15 @@ mod tests {
                 }
             }
             idx.push(k - 1);
-            let cost: f64 =
-                idx.windows(2).map(|w| pi_term(200, prefixes[w[1]] - prefixes[w[0]])).sum();
+            let cost: f64 = idx
+                .windows(2)
+                .map(|w| pi_term(200, prefixes[w[1]] - prefixes[w[0]]))
+                .sum();
             best = best.min(cost);
         }
-        assert!((dp_cost - best).abs() < 1e-9, "dp {dp_cost} vs brute {best}");
+        assert!(
+            (dp_cost - best).abs() < 1e-9,
+            "dp {dp_cost} vs brute {best}"
+        );
     }
 }

@@ -11,9 +11,7 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-use hasp_ir::{
-    AssertKind, BlockId, Func, Inst, Op, RegionId, RegionInfo, Term, VReg,
-};
+use hasp_ir::{AssertKind, BlockId, Func, Inst, Op, RegionId, RegionInfo, Term, VReg};
 use hasp_vm::bytecode::CmpOp;
 
 use crate::config::RegionConfig;
@@ -26,8 +24,11 @@ pub fn form_regions(
     cfg: &RegionConfig,
 ) -> Vec<RegionId> {
     let live: HashSet<BlockId> = f.rpo().into_iter().collect();
-    let mut bounds: Vec<BlockId> =
-        boundaries.iter().copied().filter(|b| live.contains(b) && !f.block(*b).dead).collect();
+    let mut bounds: Vec<BlockId> = boundaries
+        .iter()
+        .copied()
+        .filter(|b| live.contains(b) && !f.block(*b).dead)
+        .collect();
 
     // Drop boundaries whose region would be too small to amortize the
     // begin/commit pair (estimated against the full boundary set).
@@ -151,11 +152,15 @@ pub fn form_regions(
 
 fn zero_counts(t: &mut Term) {
     match t {
-        Term::Branch { t_count, f_count, .. } => {
+        Term::Branch {
+            t_count, f_count, ..
+        } => {
             *t_count = 0;
             *f_count = 0;
         }
-        Term::Switch { targets, default, .. } => {
+        Term::Switch {
+            targets, default, ..
+        } => {
             for (_, c) in targets.iter_mut() {
                 *c = 0;
             }
@@ -178,8 +183,15 @@ fn replicate_one(
     begin: BlockId,
 ) -> (RegionId, HashMap<VReg, VReg>) {
     let body_set: HashSet<BlockId> = body.iter().copied().collect();
-    let size_estimate: u64 = body.iter().map(|&b| f.block(b).insts.len() as u64 + 1).sum();
-    let r = f.new_region(RegionInfo { begin, abort_target: s, size_estimate });
+    let size_estimate: u64 = body
+        .iter()
+        .map(|&b| f.block(b).insts.len() as u64 + 1)
+        .sum();
+    let r = f.new_region(RegionInfo {
+        begin,
+        abort_target: s,
+        size_estimate,
+    });
 
     // Rename every value defined inside the body.
     let mut vmap: HashMap<VReg, VReg> = HashMap::new();
@@ -268,7 +280,11 @@ fn replicate_one(
     }
 
     // Arm the begin block.
-    f.block_mut(begin).term = Term::RegionBegin { region: r, body: bmap[&s], abort: s };
+    f.block_mut(begin).term = Term::RegionBegin {
+        region: r,
+        body: bmap[&s],
+        abort: s,
+    };
     (r, vmap)
 }
 
@@ -295,7 +311,15 @@ fn rewrite_copy_term(
         Term::Return(v) => {
             f.block_mut(c2).term = Term::Return(v);
         }
-        Term::Branch { op, a, b, t, f: fb, t_count, f_count } => {
+        Term::Branch {
+            op,
+            a,
+            b,
+            t,
+            f: fb,
+            t_count,
+            f_count,
+        } => {
             let total = f.block(c).freq.max(t_count + f_count);
             let t_cold = is_cold_count(cfg, t_count, total);
             let f_cold = is_cold_count(cfg, f_count, total);
@@ -303,22 +327,34 @@ fn rewrite_copy_term(
                 (false, false) => {
                     let nt = map_target(f, r, c, t, body, bmap, vmap);
                     let nf = map_target(f, r, c, fb, body, bmap, vmap);
-                    f.block_mut(c2).term =
-                        Term::Branch { op, a, b, t: nt, f: nf, t_count, f_count };
+                    f.block_mut(c2).term = Term::Branch {
+                        op,
+                        a,
+                        b,
+                        t: nt,
+                        f: nf,
+                        t_count,
+                        f_count,
+                    };
                 }
                 (true, false) => {
                     // Taken side is cold: abort if the condition holds.
                     let id = f.new_assert(r, format!("cold-branch {c} taken"));
-                    f.block_mut(c2)
-                        .insts
-                        .push(Inst::effect(Op::Assert { kind: AssertKind::Cmp { op, a, b }, id }));
+                    f.block_mut(c2).insts.push(Inst::effect(Op::Assert {
+                        kind: AssertKind::Cmp { op, a, b },
+                        id,
+                    }));
                     let nf = map_target(f, r, c, fb, body, bmap, vmap);
                     f.block_mut(c2).term = Term::Jump(nf);
                 }
                 (false, true) => {
                     let id = f.new_assert(r, format!("cold-branch {c} fallthrough"));
                     f.block_mut(c2).insts.push(Inst::effect(Op::Assert {
-                        kind: AssertKind::Cmp { op: op.negate(), a, b },
+                        kind: AssertKind::Cmp {
+                            op: op.negate(),
+                            a,
+                            b,
+                        },
                         id,
                     }));
                     let nt = map_target(f, r, c, t, body, bmap, vmap);
@@ -326,8 +362,11 @@ fn rewrite_copy_term(
                 }
                 (true, true) => {
                     // Stale profile: keep the hotter side as the path.
-                    let (warm, cold_op) =
-                        if t_count >= f_count { (t, op.negate()) } else { (fb, op) };
+                    let (warm, cold_op) = if t_count >= f_count {
+                        (t, op.negate())
+                    } else {
+                        (fb, op)
+                    };
                     let id = f.new_assert(r, format!("stale-branch {c}"));
                     f.block_mut(c2).insts.push(Inst::effect(Op::Assert {
                         kind: AssertKind::Cmp { op: cold_op, a, b },
@@ -338,7 +377,11 @@ fn rewrite_copy_term(
                 }
             }
         }
-        Term::Switch { sel, targets, default } => {
+        Term::Switch {
+            sel,
+            targets,
+            default,
+        } => {
             rewrite_switch(f, cfg, r, c, c2, sel, targets, default, body, bmap, vmap);
         }
         Term::RegionBegin { .. } => unreachable!("no nested regions in a body"),
@@ -369,8 +412,7 @@ fn rewrite_switch(
     bmap: &HashMap<BlockId, BlockId>,
     vmap: &HashMap<VReg, VReg>,
 ) {
-    let total: u64 =
-        targets.iter().map(|(_, n)| *n).sum::<u64>() + default.1;
+    let total: u64 = targets.iter().map(|(_, n)| *n).sum::<u64>() + default.1;
     let warm_cases: Vec<(i64, BlockId, u64)> = targets
         .iter()
         .enumerate()
@@ -389,9 +431,10 @@ fn rewrite_switch(
             .max_by_key(|(_, _, n)| *n)
             .unwrap_or((-1, default.0, default.1));
         let id = f.new_assert(r, format!("stale-switch {c}"));
-        f.block_mut(c2)
-            .insts
-            .push(Inst::effect(Op::Assert { kind: AssertKind::IntNe { sel, expected: k }, id }));
+        f.block_mut(c2).insts.push(Inst::effect(Op::Assert {
+            kind: AssertKind::IntNe { sel, expected: k },
+            id,
+        }));
         let nt = map_target(f, r, c, t, body, bmap, vmap);
         f.block_mut(c2).term = Term::Jump(nt);
         return;
@@ -401,9 +444,10 @@ fn rewrite_switch(
         // The common shape: exactly one hot case.
         let (k, t, _) = warm_cases[0];
         let id = f.new_assert(r, format!("cold-switch {c} (1 warm case)"));
-        f.block_mut(c2)
-            .insts
-            .push(Inst::effect(Op::Assert { kind: AssertKind::IntNe { sel, expected: k }, id }));
+        f.block_mut(c2).insts.push(Inst::effect(Op::Assert {
+            kind: AssertKind::IntNe { sel, expected: k },
+            id,
+        }));
         let nt = map_target(f, r, c, t, body, bmap, vmap);
         f.block_mut(c2).term = Term::Jump(nt);
         return;
@@ -426,7 +470,9 @@ fn rewrite_switch(
             return;
         }
         let kc = f.vreg();
-        f.block_mut(cur).insts.push(Inst::with_dst(kc, Op::Const(*k)));
+        f.block_mut(cur)
+            .insts
+            .push(Inst::with_dst(kc, Op::Const(*k)));
         let next = f.add_block(Term::Return(None));
         f.block_mut(next).region = Some(r);
         f.block_mut(next).freq = f.block(cur).freq.saturating_sub(*n);
@@ -445,10 +491,16 @@ fn rewrite_switch(
     for (k, (_, n)) in targets.iter().enumerate() {
         if is_cold_count(cfg, *n, total) {
             let kc = f.vreg();
-            f.block_mut(cur).insts.push(Inst::with_dst(kc, Op::Const(k as i64)));
+            f.block_mut(cur)
+                .insts
+                .push(Inst::with_dst(kc, Op::Const(k as i64)));
             let id = f.new_assert(r, format!("cold-switch {c} case {k}"));
             f.block_mut(cur).insts.push(Inst::effect(Op::Assert {
-                kind: AssertKind::Cmp { op: CmpOp::Eq, a: sel, b: kc },
+                kind: AssertKind::Cmp {
+                    op: CmpOp::Eq,
+                    a: sel,
+                    b: kc,
+                },
                 id,
             }));
         }
@@ -533,7 +585,10 @@ mod tests {
     }
 
     fn test_cfg() -> RegionConfig {
-        RegionConfig { min_region_ops: 1, ..RegionConfig::default() }
+        RegionConfig {
+            min_region_ops: 1,
+            ..RegionConfig::default()
+        }
     }
 
     #[test]
@@ -567,7 +622,10 @@ mod tests {
         assert!(has_end, "{}", f.display());
         // The original cold block is still reachable (via the abort path).
         let reach: HashSet<BlockId> = f.rpo().into_iter().collect();
-        assert!(reach.contains(&BlockId(2)), "cold path must survive for aborts");
+        assert!(
+            reach.contains(&BlockId(2)),
+            "cold path must survive for aborts"
+        );
     }
 
     #[test]
@@ -582,7 +640,9 @@ mod tests {
         let i1 = f.vreg();
         let iphi = f.vreg();
         let one = f.vreg();
-        f.block_mut(f.entry).insts.push(Inst::with_dst(i0, Op::Const(0)));
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::with_dst(i0, Op::Const(0)));
         f.block_mut(f.entry).term = Term::Jump(head);
         let entry = f.entry;
         f.block_mut(head)
@@ -597,8 +657,12 @@ mod tests {
             t_count: 10_000,
             f_count: 10,
         };
-        f.block_mut(body).insts.push(Inst::with_dst(one, Op::Const(1)));
-        f.block_mut(body).insts.push(Inst::with_dst(i1, Op::Bin(BinOp::Add, iphi, one)));
+        f.block_mut(body)
+            .insts
+            .push(Inst::with_dst(one, Op::Const(1)));
+        f.block_mut(body)
+            .insts
+            .push(Inst::with_dst(i1, Op::Bin(BinOp::Add, iphi, one)));
         f.block_mut(f.entry).freq = 10;
         f.block_mut(head).freq = 10_010;
         f.block_mut(body).freq = 10_000;

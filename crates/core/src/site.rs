@@ -110,7 +110,10 @@ pub fn uninline(f: &mut Func, site: &InlineSite) {
     let call_inst = match &site.dispatch {
         SiteDispatch::Direct => Inst {
             dst: res,
-            op: Op::Call { method: site.callee, args: site.args.clone() },
+            op: Op::Call {
+                method: site.callee,
+                args: site.args.clone(),
+            },
         },
         SiteDispatch::Virtual { slot } => Inst {
             dst: res,
@@ -208,12 +211,20 @@ mod tests {
         f.block_mut(f.entry).term = Term::Jump(body);
         let two = f.vreg();
         let r = f.vreg();
-        f.block_mut(body).insts.push(Inst::with_dst(two, Op::Const(2)));
-        f.block_mut(body).insts.push(Inst::with_dst(r, Op::Bin(BinOp::Mul, a, two)));
+        f.block_mut(body)
+            .insts
+            .push(Inst::with_dst(two, Op::Const(2)));
+        f.block_mut(body)
+            .insts
+            .push(Inst::with_dst(r, Op::Bin(BinOp::Mul, a, two)));
         let x = f.vreg();
         let out = f.vreg();
-        f.block_mut(cont).insts.push(Inst::with_dst(x, Op::Phi(vec![(body, r)])));
-        f.block_mut(cont).insts.push(Inst::with_dst(out, Op::Bin(BinOp::Add, x, a)));
+        f.block_mut(cont)
+            .insts
+            .push(Inst::with_dst(x, Op::Phi(vec![(body, r)])));
+        f.block_mut(cont)
+            .insts
+            .push(Inst::with_dst(out, Op::Bin(BinOp::Add, x, a)));
         f.block_mut(cont).term = Term::Return(Some(out));
         f.block_mut(f.entry).freq = 100;
         f.block_mut(body).freq = 100;
@@ -240,10 +251,12 @@ mod tests {
         verify(&f).unwrap_or_else(|e| panic!("{e}\n{}", f.display()));
         // The body block is gone; a call block exists.
         assert!(f.block(site.entry).dead);
-        let has_call = f
-            .block_ids()
-            .iter()
-            .any(|b| f.block(*b).insts.iter().any(|i| matches!(i.op, Op::Call { method, .. } if method == MethodId(7))));
+        let has_call = f.block_ids().iter().any(|b| {
+            f.block(*b)
+                .insts
+                .iter()
+                .any(|i| matches!(i.op, Op::Call { method, .. } if method == MethodId(7)))
+        });
         assert!(has_call, "{}", f.display());
         // The result phi degenerated to a copy of the call's result.
         let x_def_is_copy = f
@@ -261,10 +274,15 @@ mod tests {
         uninline(&mut f, &site);
         verify(&f).unwrap_or_else(|e| panic!("{e}\n{}", f.display()));
         let has_vcall = f.block_ids().iter().any(|b| {
-            f.block(*b)
-                .insts
-                .iter()
-                .any(|i| matches!(i.op, Op::CallVirtual { slot: SlotId(3), .. }))
+            f.block(*b).insts.iter().any(|i| {
+                matches!(
+                    i.op,
+                    Op::CallVirtual {
+                        slot: SlotId(3),
+                        ..
+                    }
+                )
+            })
         });
         assert!(has_vcall, "{}", f.display());
     }

@@ -23,7 +23,10 @@ pub struct StaticRegionStats {
 impl StaticRegionStats {
     /// Collects statistics from a formed function.
     pub fn collect(f: &Func) -> Self {
-        let mut s = StaticRegionStats { regions: f.regions.len(), ..Default::default() };
+        let mut s = StaticRegionStats {
+            regions: f.regions.len(),
+            ..Default::default()
+        };
         for b in f.block_ids() {
             let blk = f.block(b);
             let ops = blk.insts.len() as u64 + 1;

@@ -132,7 +132,14 @@ mod tests {
         }); // b4
         let a = f.add_block(Term::Jump(b)); // b5
         f.block_mut(f.entry).term = Term::Jump(a);
-        for (blk, fr) in [(f.entry, 100), (a, 100), (b, 100), (c, 100), (ret, 100), (cold, 0)] {
+        for (blk, fr) in [
+            (f.entry, 100),
+            (a, 100),
+            (b, 100),
+            (c, 100),
+            (ret, 100),
+            (cold, 0),
+        ] {
             f.block_mut(blk).freq = fr;
         }
         f

@@ -57,22 +57,40 @@ pub fn run_adaptive(
     let fallback = CompilerConfig::no_atomic();
     let mut code = CodeCache::new();
     for m in w.program.method_ids() {
-        let cfg = if offenders.contains(&m) { &fallback } else { ccfg };
+        let cfg = if offenders.contains(&m) {
+            &fallback
+        } else {
+            ccfg
+        };
         let c = compile_method(&w.program, &profiled.profile, m, cfg);
         code.install(m, lower(&c.func));
     }
     let mut mach = Machine::new(&w.program, &code, hw.clone());
     mach.set_fuel(w.fuel.saturating_mul(4));
-    mach.run(&[]).unwrap_or_else(|e| panic!("adaptive rerun of {} failed: {e}", w.name));
-    assert_eq!(mach.env.checksum(), profiled.reference_checksum, "adaptive recompilation broke {}", w.name);
+    mach.run(&[])
+        .unwrap_or_else(|e| panic!("adaptive rerun of {} failed: {e}", w.name));
+    assert_eq!(
+        mach.env.checksum(),
+        profiled.reference_checksum,
+        "adaptive recompilation broke {}",
+        w.name
+    );
 
     let stats = mach.stats().clone();
     let samples = w
         .samples
         .iter()
         .map(|s| {
-            let start = stats.markers.iter().find(|m| m.id == s.marker && m.ordinal == 1).unwrap();
-            let end = stats.markers.iter().find(|m| m.id == s.marker && m.ordinal == 2).unwrap();
+            let start = stats
+                .markers
+                .iter()
+                .find(|m| m.id == s.marker && m.ordinal == 1)
+                .unwrap();
+            let end = stats
+                .markers
+                .iter()
+                .find(|m| m.id == s.marker && m.ordinal == 2)
+                .unwrap();
             crate::runner::SampleMeasure {
                 marker: s.marker,
                 weight: s.weight,
@@ -91,5 +109,9 @@ pub fn run_adaptive(
     };
     let mut recompiled: Vec<MethodId> = offenders.into_iter().collect();
     recompiled.sort();
-    AdaptiveOutcome { first, second, recompiled }
+    AdaptiveOutcome {
+        first,
+        second,
+        recompiled,
+    }
 }

@@ -17,25 +17,45 @@ fn main() {
     let c = compile_method(&w.program, &p.profile, entry, &cfg);
     println!("sites: {}", c.sites.len());
     for s in &c.sites {
-        println!("  site callee={} budget={:?}", w.program.method(s.callee).name, s.budget);
+        println!(
+            "  site callee={} budget={:?}",
+            w.program.method(s.callee).name,
+            s.budget
+        );
     }
     if let Some(fm) = &c.formation {
-        println!("regions: {} pruned: {:?} despec: {:?}", fm.regions.len(), fm.pruned_sites, fm.despeculated_sites);
+        println!(
+            "regions: {} pruned: {:?} despec: {:?}",
+            fm.regions.len(),
+            fm.pruned_sites,
+            fm.despeculated_sites
+        );
     }
     // remaining warm calls
     let f = &c.func;
     for b in f.block_ids() {
-        if f.block(b).freq == 0 { continue; }
+        if f.block(b).freq == 0 {
+            continue;
+        }
         for inst in &f.block(b).insts {
             match &inst.op {
-                hasp_ir::Op::Call { method, .. } => println!("  warm call at {b} freq {} -> {}", f.block(b).freq, w.program.method(*method).name),
-                hasp_ir::Op::CallVirtual { .. } => println!("  warm vcall at {b} freq {}", f.block(b).freq),
+                hasp_ir::Op::Call { method, .. } => println!(
+                    "  warm call at {b} freq {} -> {}",
+                    f.block(b).freq,
+                    w.program.method(*method).name
+                ),
+                hasp_ir::Op::CallVirtual { .. } => {
+                    println!("  warm vcall at {b} freq {}", f.block(b).freq)
+                }
                 _ => {}
             }
         }
     }
     println!("func size {}", f.size());
     for (i, r) in f.regions.iter().enumerate() {
-        println!("  region {i}: begin {:?} size_est {}", r.begin, r.size_estimate);
+        println!(
+            "  region {i}: begin {:?} size_est {}",
+            r.begin, r.size_estimate
+        );
     }
 }

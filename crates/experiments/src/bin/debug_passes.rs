@@ -1,8 +1,8 @@
 //! Debug: per-pass verification for every method of a workload.
 use hasp_core::form_atomic_regions;
+use hasp_experiments::profile_workload;
 use hasp_ir::{translate, verify};
 use hasp_opt::{constprop, dce, gvn, safepoint, simplify, sle, unroll, CompilerConfig};
-use hasp_experiments::profile_workload;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "antlr".into());
@@ -18,9 +18,13 @@ fn main() {
     };
     for mid in w.program.method_ids() {
         let meth = w.program.method(mid);
-        if meth.opaque { continue; }
+        if meth.opaque {
+            continue;
+        }
         let mut f = translate(&w.program, mid, p.profile.method(mid));
-        gvn::run(&mut f); constprop::run(&mut f); dce::run(&mut f);
+        gvn::run(&mut f);
+        constprop::run(&mut f);
+        dce::run(&mut f);
         let sites = hasp_opt::inline::run(&mut f, &w.program, &p.profile, &cfg.inline);
         let check = |f: &hasp_ir::Func, stage: &str| {
             if let Err(e) = verify(f) {
@@ -35,15 +39,22 @@ fn main() {
         if cfg.atomic {
             form_atomic_regions(&mut f, &sites, &cfg.region);
             check(&f, "formation");
-            sle::run(&mut f); check(&f, "sle");
-            safepoint::run(&mut f); check(&f, "safepoint");
-            unroll::run(&mut f, &cfg.region); check(&f, "unroll");
+            sle::run(&mut f);
+            check(&f, "sle");
+            safepoint::run(&mut f);
+            check(&f, "safepoint");
+            unroll::run(&mut f, &cfg.region);
+            check(&f, "unroll");
         }
         for round in 0..3 {
-            gvn::run(&mut f); check(&f, &format!("gvn{round}"));
-            constprop::run(&mut f); check(&f, &format!("constprop{round}"));
-            dce::run(&mut f); check(&f, &format!("dce{round}"));
-            simplify::run(&mut f); check(&f, &format!("simplify{round}"));
+            gvn::run(&mut f);
+            check(&f, &format!("gvn{round}"));
+            constprop::run(&mut f);
+            check(&f, &format!("constprop{round}"));
+            dce::run(&mut f);
+            check(&f, &format!("dce{round}"));
+            simplify::run(&mut f);
+            check(&f, &format!("simplify{round}"));
         }
         println!("method {} ok", meth.name);
     }

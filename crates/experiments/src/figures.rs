@@ -5,7 +5,21 @@ use hasp_hw::HwConfig;
 use hasp_opt::CompilerConfig;
 
 use crate::report::{num, pct, Table};
-use crate::suite::Suite;
+use crate::suite::{MatrixCell, Suite};
+
+/// Prefetches the (all workloads × `compilers` × `hws`) block through the
+/// suite's parallel pipeline; the per-row `suite.run` calls below then hit
+/// the cache.
+fn prefetch(suite: &mut Suite, compilers: &[CompilerConfig], hws: &[HwConfig]) {
+    let cells: Vec<MatrixCell> = (0..suite.workloads().len())
+        .flat_map(|i| {
+            compilers
+                .iter()
+                .flat_map(move |c| hws.iter().map(move |h| (i, c.clone(), h.clone())))
+        })
+        .collect();
+    suite.run_all(&cells);
+}
 
 /// The benchmarks in Table 2 order with the paper's sample counts.
 pub const BENCHMARKS: [(&str, usize); 7] = [
@@ -62,15 +76,37 @@ pub struct Fig7Row {
 pub fn fig7(suite: &mut Suite) -> (Vec<Fig7Row>, String) {
     let base_cfg = CompilerConfig::no_atomic();
     let hw = HwConfig::baseline();
+    prefetch(
+        suite,
+        &[
+            CompilerConfig::no_atomic(),
+            CompilerConfig::atomic(),
+            CompilerConfig::no_atomic_aggressive(),
+            CompilerConfig::atomic_aggressive(),
+        ],
+        std::slice::from_ref(&hw),
+    );
+    let jython = suite.index_of("jython");
+    suite.run_all(&[(jython, CompilerConfig::atomic_forced_mono(), hw.clone())]);
     let mut rows = Vec::new();
     for i in 0..suite.workloads().len() {
         let name = suite.workloads()[i].name;
         let base = suite.run(i, &base_cfg, &hw).clone();
-        let atomic = suite.run(i, &CompilerConfig::atomic(), &hw).speedup_vs(&base);
-        let na = suite.run(i, &CompilerConfig::no_atomic_aggressive(), &hw).speedup_vs(&base);
-        let aa = suite.run(i, &CompilerConfig::atomic_aggressive(), &hw).speedup_vs(&base);
+        let atomic = suite
+            .run(i, &CompilerConfig::atomic(), &hw)
+            .speedup_vs(&base);
+        let na = suite
+            .run(i, &CompilerConfig::no_atomic_aggressive(), &hw)
+            .speedup_vs(&base);
+        let aa = suite
+            .run(i, &CompilerConfig::atomic_aggressive(), &hw)
+            .speedup_vs(&base);
         let forced = if name == "jython" {
-            Some(suite.run(i, &CompilerConfig::atomic_forced_mono(), &hw).speedup_vs(&base))
+            Some(
+                suite
+                    .run(i, &CompilerConfig::atomic_forced_mono(), &hw)
+                    .speedup_vs(&base),
+            )
         } else {
             None
         };
@@ -84,7 +120,14 @@ pub fn fig7(suite: &mut Suite) -> (Vec<Fig7Row>, String) {
     }
     let mut t = Table::new(
         "Figure 7 — speedup over no-atomic (measured | paper≈)",
-        &["bench", "atomic", "noatom+aggr", "atomic+aggr", "forced-mono", "paper a/na/aa"],
+        &[
+            "bench",
+            "atomic",
+            "noatom+aggr",
+            "atomic+aggr",
+            "forced-mono",
+            "paper a/na/aa",
+        ],
     );
     for r in &rows {
         let paper = PAPER_FIG7.iter().find(|p| p.0 == r.workload).unwrap();
@@ -127,12 +170,24 @@ pub struct Fig8Row {
 pub fn fig8(suite: &mut Suite) -> (Vec<Fig8Row>, String) {
     let base_cfg = CompilerConfig::no_atomic();
     let hw = HwConfig::baseline();
+    prefetch(
+        suite,
+        &[
+            CompilerConfig::no_atomic(),
+            CompilerConfig::atomic(),
+            CompilerConfig::no_atomic_aggressive(),
+            CompilerConfig::atomic_aggressive(),
+        ],
+        std::slice::from_ref(&hw),
+    );
     let mut rows = Vec::new();
     for i in 0..suite.workloads().len() {
         let base = suite.run(i, &base_cfg, &hw).clone();
         rows.push(Fig8Row {
             workload: suite.workloads()[i].name,
-            atomic: suite.run(i, &CompilerConfig::atomic(), &hw).uop_reduction_vs(&base),
+            atomic: suite
+                .run(i, &CompilerConfig::atomic(), &hw)
+                .uop_reduction_vs(&base),
             no_atomic_aggr: suite
                 .run(i, &CompilerConfig::no_atomic_aggressive(), &hw)
                 .uop_reduction_vs(&base),
@@ -146,7 +201,12 @@ pub fn fig8(suite: &mut Suite) -> (Vec<Fig8Row>, String) {
         &["bench", "atomic", "noatom+aggr", "atomic+aggr"],
     );
     for r in &rows {
-        t.row(&[r.workload.to_string(), pct(r.atomic), pct(r.no_atomic_aggr), pct(r.atomic_aggr)]);
+        t.row(&[
+            r.workload.to_string(),
+            pct(r.atomic),
+            pct(r.no_atomic_aggr),
+            pct(r.atomic_aggr),
+        ]);
     }
     let n = rows.len() as f64;
     t.row(&[
@@ -179,6 +239,7 @@ pub struct Table3Row {
 pub fn table3(suite: &mut Suite) -> (Vec<Table3Row>, String) {
     let cfg = CompilerConfig::atomic_aggressive();
     let hw = HwConfig::baseline();
+    prefetch(suite, std::slice::from_ref(&cfg), std::slice::from_ref(&hw));
     let mut rows = Vec::new();
     for i in 0..suite.workloads().len() {
         let run = suite.run(i, &cfg, &hw);
@@ -193,7 +254,15 @@ pub fn table3(suite: &mut Suite) -> (Vec<Table3Row>, String) {
     }
     let mut t = Table::new(
         "Table 3 — atomic region statistics (measured | paper)",
-        &["bench", "coverage", "unique", "size", "abort%", "/1k-uop", "paper cov/size/abort%"],
+        &[
+            "bench",
+            "coverage",
+            "unique",
+            "size",
+            "abort%",
+            "/1k-uop",
+            "paper cov/size/abort%",
+        ],
     );
     for r in &rows {
         let p = PAPER_TABLE3.iter().find(|p| p.0 == r.workload).unwrap();
@@ -229,12 +298,30 @@ pub fn fig9(suite: &mut Suite) -> (Vec<Fig9Row>, String) {
     let base_cfg = CompilerConfig::no_atomic();
     let cfg = CompilerConfig::atomic_aggressive();
     let base_hw = HwConfig::baseline();
+    prefetch(
+        suite,
+        std::slice::from_ref(&base_cfg),
+        std::slice::from_ref(&base_hw),
+    );
+    prefetch(
+        suite,
+        std::slice::from_ref(&cfg),
+        &[
+            base_hw.clone(),
+            HwConfig::with_begin_overhead(),
+            HwConfig::single_inflight(),
+        ],
+    );
     let mut rows = Vec::new();
     for i in 0..suite.workloads().len() {
         let base = suite.run(i, &base_cfg, &base_hw).clone();
         let chkpt = suite.run(i, &cfg, &base_hw).speedup_vs(&base);
-        let stall = suite.run(i, &cfg, &HwConfig::with_begin_overhead()).speedup_vs(&base);
-        let single = suite.run(i, &cfg, &HwConfig::single_inflight()).speedup_vs(&base);
+        let stall = suite
+            .run(i, &cfg, &HwConfig::with_begin_overhead())
+            .speedup_vs(&base);
+        let single = suite
+            .run(i, &cfg, &HwConfig::single_inflight())
+            .speedup_vs(&base);
         rows.push(Fig9Row {
             workload: suite.workloads()[i].name,
             chkpt,
@@ -288,6 +375,7 @@ pub struct Sec62 {
 pub fn sec62(suite: &mut Suite) -> (Sec62, String) {
     let cfg = CompilerConfig::atomic_aggressive();
     let hw = HwConfig::baseline();
+    prefetch(suite, std::slice::from_ref(&cfg), std::slice::from_ref(&hw));
     let mut sizes = hasp_hw::Histogram::new(&[16, 32, 64, 128, 256, 512, 1024]);
     let mut feet = hasp_hw::Histogram::new(&[1, 2, 4, 8, 10, 16, 32, 50, 100, 128]);
     let mut overflows = 0;
@@ -296,24 +384,27 @@ pub fn sec62(suite: &mut Suite) -> (Sec62, String) {
         let s = &run.stats.region_sizes;
         for (bi, c) in s.counts.iter().enumerate() {
             // Merge by replaying bucket midpoints (bounds are identical).
-            let v = if bi < s.bounds.len() { s.bounds[bi] } else { s.max.max(2048) };
+            let v = if bi < s.bounds.len() {
+                s.bounds[bi]
+            } else {
+                s.max.max(2048)
+            };
             for _ in 0..*c {
                 sizes.record(v);
             }
         }
         let f = &run.stats.region_footprint;
         for (bi, c) in f.counts.iter().enumerate() {
-            let v = if bi < f.bounds.len() { f.bounds[bi] } else { f.max.max(256) };
+            let v = if bi < f.bounds.len() {
+                f.bounds[bi]
+            } else {
+                f.max.max(256)
+            };
             for _ in 0..*c {
                 feet.record(v);
             }
         }
-        overflows += run
-            .stats
-            .aborts
-            .get(&hasp_hw::AbortReason::Overflow)
-            .copied()
-            .unwrap_or(0);
+        overflows += run.stats.aborts.get(hasp_hw::AbortReason::Overflow);
     }
     let data = Sec62 {
         frac_over_window: 1.0 - sizes.fraction_le(128),
@@ -329,10 +420,22 @@ pub fn sec62(suite: &mut Suite) -> (Sec62, String) {
          1.7M regions)",
         &["metric", "measured"],
     );
-    t.row(&[">128-uop regions".into(), format!("{:.1}%", data.frac_over_window * 100.0)]);
-    t.row(&["largest region (uops)".into(), data.max_region_uops.to_string()]);
-    t.row(&["footprint ≤10 lines".into(), format!("{:.1}%", data.frac_le_10_lines * 100.0)]);
-    t.row(&["footprint ≤50 lines".into(), format!("{:.1}%", data.frac_le_50_lines * 100.0)]);
+    t.row(&[
+        ">128-uop regions".into(),
+        format!("{:.1}%", data.frac_over_window * 100.0),
+    ]);
+    t.row(&[
+        "largest region (uops)".into(),
+        data.max_region_uops.to_string(),
+    ]);
+    t.row(&[
+        "footprint ≤10 lines".into(),
+        format!("{:.1}%", data.frac_le_10_lines * 100.0),
+    ]);
+    t.row(&[
+        "footprint ≤50 lines".into(),
+        format!("{:.1}%", data.frac_le_50_lines * 100.0),
+    ]);
     t.row(&["overflow aborts".into(), data.overflows.to_string()]);
     t.row(&["committed regions".into(), data.regions.to_string()]);
     (data, t.render())
@@ -356,13 +459,25 @@ pub struct Sec63Row {
 pub fn sec63(suite: &mut Suite) -> (Vec<Sec63Row>, String) {
     let base_cfg = CompilerConfig::no_atomic();
     let cfg = CompilerConfig::atomic_aggressive();
+    prefetch(
+        suite,
+        &[base_cfg.clone(), cfg.clone()],
+        &[
+            HwConfig::baseline(),
+            HwConfig::two_wide(),
+            HwConfig::two_wide_half(),
+        ],
+    );
     let mut rows = Vec::new();
     for i in 0..suite.workloads().len() {
         let mut per_hw = [0.0f64; 3];
-        for (k, hw) in
-            [HwConfig::baseline(), HwConfig::two_wide(), HwConfig::two_wide_half()]
-                .into_iter()
-                .enumerate()
+        for (k, hw) in [
+            HwConfig::baseline(),
+            HwConfig::two_wide(),
+            HwConfig::two_wide_half(),
+        ]
+        .into_iter()
+        .enumerate()
         {
             let base = suite.run(i, &base_cfg, &hw).clone();
             per_hw[k] = suite.run(i, &cfg, &hw).speedup_vs(&base);
@@ -379,7 +494,12 @@ pub fn sec63(suite: &mut Suite) -> (Vec<Sec63Row>, String) {
         &["bench", "4-wide", "2-wide", "2-wide-half"],
     );
     for r in &rows {
-        t.row(&[r.workload.to_string(), pct(r.four_wide), pct(r.two_wide), pct(r.two_wide_half)]);
+        t.row(&[
+            r.workload.to_string(),
+            pct(r.four_wide),
+            pct(r.two_wide),
+            pct(r.two_wide_half),
+        ]);
     }
     (rows, t.render())
 }
@@ -412,15 +532,22 @@ pub fn fig1(suite: &mut Suite) -> (Fig1, String) {
     let profile = &suite.profile(i).profile;
 
     let count_hot = |f: &hasp_ir::Func| -> (u64, usize) {
-        let max = f.block_ids().iter().map(|b| f.block(*b).freq).max().unwrap_or(0);
+        let max = f
+            .block_ids()
+            .iter()
+            .map(|b| f.block(*b).freq)
+            .max()
+            .unwrap_or(0);
         let mut ops = 0;
         let mut branches = 0;
         for b in f.block_ids() {
             let blk = f.block(b);
             if max > 0 && blk.freq >= max / 100 {
                 ops += blk.insts.len() as u64 + 1;
-                if matches!(blk.term, hasp_ir::Term::Branch { .. } | hasp_ir::Term::Switch { .. })
-                {
+                if matches!(
+                    blk.term,
+                    hasp_ir::Term::Branch { .. } | hasp_ir::Term::Switch { .. }
+                ) {
                     branches += 1;
                 }
             }
@@ -432,8 +559,12 @@ pub fn fig1(suite: &mut Suite) -> (Fig1, String) {
     let base = hasp_opt::compile_method(&w.program, profile, entry, &CompilerConfig::no_atomic());
     let (base_ops, base_branches) = count_hot(&base.func);
 
-    let atom =
-        hasp_opt::compile_method(&w.program, profile, entry, &CompilerConfig::atomic_aggressive());
+    let atom = hasp_opt::compile_method(
+        &w.program,
+        profile,
+        entry,
+        &CompilerConfig::atomic_aggressive(),
+    );
     let stats = hasp_core::StaticRegionStats::collect(&atom.func);
 
     let data = Fig1 {
@@ -464,7 +595,10 @@ pub fn fig1(suite: &mut Suite) -> (Fig1, String) {
 
 /// Table 2: the benchmark roster.
 pub fn table2(suite: &Suite) -> String {
-    let mut t = Table::new("Table 2 — DaCapo benchmarks", &["bench", "#samples", "description"]);
+    let mut t = Table::new(
+        "Table 2 — DaCapo benchmarks",
+        &["bench", "#samples", "description"],
+    );
     for w in suite.workloads() {
         let desc: String = w.description.chars().take(60).collect();
         t.row(&[w.name.to_string(), w.sample_count().to_string(), desc]);

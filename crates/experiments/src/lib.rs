@@ -21,5 +21,8 @@ pub mod report;
 pub mod runner;
 pub mod suite;
 
-pub use runner::{profile_workload, run_workload, ProfiledWorkload, SampleMeasure, WorkloadRun};
-pub use suite::Suite;
+pub use runner::{
+    compile_workload, execute_compiled, profile_workload, run_workload, CompiledWorkload,
+    ProfiledWorkload, SampleMeasure, WorkloadRun,
+};
+pub use suite::{hw_sweep, MatrixCell, Suite};

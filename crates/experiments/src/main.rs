@@ -1,11 +1,30 @@
-//! Prints every regenerated table and figure.
+//! Experiment driver: prints every regenerated table and figure, or — with
+//! the `bench-suite` subcommand — benchmarks the serial vs parallel
+//! experiment pipeline over the full evaluation matrix and writes
+//! `BENCH_suite.json`.
 
 use hasp_experiments::figures;
+use hasp_experiments::report::JsonObj;
 use hasp_experiments::Suite;
 
 fn main() {
+    match std::env::args().nth(1).as_deref() {
+        None => print_figures(),
+        Some("bench-suite") => bench_suite(),
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}` (expected no argument or `bench-suite`)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_figures() {
     let t0 = std::time::Instant::now();
     let mut suite = Suite::new();
+    // Fill the whole matrix through the parallel pipeline up front; the
+    // figure generators below then read from cache.
+    let cells = suite.full_matrix();
+    suite.run_all(&cells);
     println!("{}", figures::table2(&suite));
     let (_, s) = figures::fig1(&mut suite);
     println!("{s}");
@@ -21,5 +40,87 @@ fn main() {
     println!("{s}");
     let (_, s) = figures::sec63(&mut suite);
     println!("{s}");
-    eprintln!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "total wall time: {:.1}s ({} worker threads)",
+        t0.elapsed().as_secs_f64(),
+        suite.threads()
+    );
+}
+
+/// Times one full-matrix fill at `threads` workers on a fresh suite.
+/// Returns (suite, wall seconds, total retired uops across cells).
+fn timed_fill(cells_threads: usize) -> (Suite, f64, u64) {
+    // Profiling happens before the clock starts: the benchmark measures the
+    // compile + execute pipeline, which is what `run_all` parallelizes.
+    let mut suite = Suite::with_threads(cells_threads);
+    let cells = suite.full_matrix();
+    let t0 = std::time::Instant::now();
+    suite.run_all_on(&cells, cells_threads);
+    let wall = t0.elapsed().as_secs_f64();
+    let uops: u64 = cells
+        .iter()
+        .map(|(i, c, h)| suite.run(*i, c, h).stats.uops)
+        .sum();
+    (suite, wall, uops)
+}
+
+fn bench_suite() {
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let n_cells = {
+        let probe = Suite::with_threads(1);
+        probe.full_matrix().len()
+    };
+    eprintln!("bench-suite: {n_cells} cells, serial then {threads}-thread parallel");
+
+    let (serial_suite, serial_s, serial_uops) = timed_fill(1);
+    eprintln!("  serial  : {serial_s:.2}s");
+    let (parallel_suite, parallel_s, parallel_uops) = timed_fill(threads);
+    eprintln!("  parallel: {parallel_s:.2}s");
+
+    // Bit-identical determinism across thread counts.
+    let cells = serial_suite.full_matrix();
+    let mut deterministic = serial_uops == parallel_uops;
+    for (i, c, h) in &cells {
+        let a = serial_suite.cached(*i, c.name, h.name);
+        let b = parallel_suite.cached(*i, c.name, h.name);
+        if a != b {
+            deterministic = false;
+            eprintln!(
+                "  NONDETERMINISTIC cell: workload {i} {}/{}",
+                c.name, h.name
+            );
+        }
+    }
+
+    let leg = |wall: f64, uops: u64| {
+        JsonObj::new()
+            .num("wall_s", wall)
+            .num("cells_per_s", n_cells as f64 / wall)
+            .num("retired_uops_per_s", uops as f64 / wall)
+            .int("retired_uops", uops)
+    };
+    let json = JsonObj::new()
+        .str("schema", "hasp-bench-suite-v1")
+        .int("cores", threads as u64)
+        .int("threads", threads as u64)
+        .int("cells", n_cells as u64)
+        .int(
+            "compiled_products",
+            parallel_suite.compiled_products() as u64,
+        )
+        .obj("serial", leg(serial_s, serial_uops))
+        .obj("parallel", leg(parallel_s, parallel_uops))
+        .num("speedup", serial_s / parallel_s)
+        .bool("deterministic", deterministic)
+        .finish();
+    std::fs::write("BENCH_suite.json", &json).expect("write BENCH_suite.json");
+    println!("{json}");
+    eprintln!(
+        "wrote BENCH_suite.json (speedup {:.2}x on {threads} cores)",
+        serial_s / parallel_s
+    );
+    assert!(
+        deterministic,
+        "parallel run_all must be bit-identical to serial"
+    );
 }

@@ -59,6 +59,89 @@ impl Table {
     }
 }
 
+/// A minimal JSON object writer for benchmark artifacts (`BENCH_suite.json`
+/// and friends) — no external serialization dependency.
+#[derive(Debug, Clone)]
+pub struct JsonObj {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObj {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        let _ = write!(self.buf, "\n  \"{k}\": ");
+    }
+
+    /// Adds a string field (escapes quotes and backslashes).
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        let escaped: String = v
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                '\n' => vec!['\\', 'n'],
+                _ => vec![c],
+            })
+            .collect();
+        let _ = write!(self.buf, "\"{escaped}\"");
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds a float field with 6 significant decimals.
+    pub fn num(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v:.6}");
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds a nested object field.
+    pub fn obj(mut self, k: &str, v: JsonObj) -> Self {
+        self.key(k);
+        // Indent the nested object's lines one level.
+        let nested = v.finish().replace('\n', "\n  ");
+        self.buf.push_str(&nested);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push_str("\n}");
+        self.buf
+    }
+}
+
+impl Default for JsonObj {
+    fn default() -> Self {
+        JsonObj::new()
+    }
+}
+
 /// Formats a percentage with one decimal.
 pub fn pct(v: f64) -> String {
     format!("{v:+.1}%")
@@ -90,5 +173,20 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn json_obj_renders_nested_fields() {
+        let inner = JsonObj::new().num("wall_s", 1.25).int("cells", 3);
+        let out = JsonObj::new()
+            .str("schema", "demo \"v1\"")
+            .bool("ok", true)
+            .obj("serial", inner)
+            .finish();
+        assert!(out.starts_with('{') && out.ends_with('}'));
+        assert!(out.contains("\"schema\": \"demo \\\"v1\\\"\""));
+        assert!(out.contains("\"ok\": true"));
+        assert!(out.contains("\"wall_s\": 1.250000"));
+        assert!(out.contains("\"cells\": 3"));
     }
 }

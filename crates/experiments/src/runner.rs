@@ -28,7 +28,9 @@ pub struct ProfiledWorkload {
 pub fn profile_workload(w: &Workload) -> ProfiledWorkload {
     let mut interp = Interp::new(&w.program).with_profiling();
     interp.set_fuel(w.fuel);
-    interp.run(&[]).unwrap_or_else(|e| panic!("workload {} failed to interpret: {e}", w.name));
+    interp
+        .run(&[])
+        .unwrap_or_else(|e| panic!("workload {} failed to interpret: {e}", w.name));
     ProfiledWorkload {
         profile: interp.profile,
         reference_checksum: interp.env.checksum(),
@@ -50,7 +52,10 @@ pub struct SampleMeasure {
 }
 
 /// Results of one (workload × compiler × hardware) execution.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is derived so parallel pipeline output can be asserted
+/// bit-identical to a serial run.
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadRun {
     /// Workload name.
     pub workload: &'static str,
@@ -69,7 +74,10 @@ pub struct WorkloadRun {
 impl WorkloadRun {
     /// Weighted sample cycles (the paper's per-benchmark execution time).
     pub fn weighted_cycles(&self) -> f64 {
-        self.samples.iter().map(|s| s.weight * s.cycles as f64).sum()
+        self.samples
+            .iter()
+            .map(|s| s.weight * s.cycles as f64)
+            .sum()
     }
 
     /// Weighted sample uops.
@@ -102,32 +110,65 @@ impl WorkloadRun {
     }
 }
 
-/// Compiles the workload under `ccfg` and executes it on `hw`.
+/// A workload compiled and lowered under one compiler configuration.
 ///
-/// # Panics
-/// Panics if the machine's checksum diverges from the interpreter's (a
-/// compiler or hardware-model bug) or if a sample marker is missing.
-pub fn run_workload(
+/// Compilation depends only on (workload, compiler), so one product is
+/// shared across every hardware configuration — and, being immutable, across
+/// worker threads.
+#[derive(Debug, Clone)]
+pub struct CompiledWorkload {
+    /// Compiler configuration name this product was built under.
+    pub compiler: &'static str,
+    /// Lowered machine code for every method.
+    pub code: CodeCache,
+    /// Static uops in the code cache (code-size signal).
+    pub static_uops: usize,
+}
+
+/// Runs the compile + lower pipeline for one (workload × compiler) pair.
+pub fn compile_workload(
     w: &Workload,
     profiled: &ProfiledWorkload,
     ccfg: &CompilerConfig,
-    hw: &HwConfig,
-) -> WorkloadRun {
+) -> CompiledWorkload {
     let compiled = compile_program(&w.program, &profiled.profile, ccfg);
     let mut code = CodeCache::new();
     for (m, c) in &compiled {
         code.install(*m, lower(&c.func));
     }
-    let mut mach = Machine::new(&w.program, &code, hw.clone());
+    let static_uops = code.static_uops();
+    CompiledWorkload {
+        compiler: ccfg.name,
+        code,
+        static_uops,
+    }
+}
+
+/// Executes an already-compiled workload on `hw`.
+///
+/// # Panics
+/// Panics if the machine's checksum diverges from the interpreter's (a
+/// compiler or hardware-model bug) or if a sample marker is missing.
+pub fn execute_compiled(
+    w: &Workload,
+    profiled: &ProfiledWorkload,
+    compiled: &CompiledWorkload,
+    hw: &HwConfig,
+) -> WorkloadRun {
+    let mut mach = Machine::new(&w.program, &compiled.code, hw.clone());
     mach.set_fuel(w.fuel.saturating_mul(4));
-    mach.run(&[])
-        .unwrap_or_else(|e| panic!("workload {} failed on {}/{}: {e}", w.name, ccfg.name, hw.name));
+    mach.run(&[]).unwrap_or_else(|e| {
+        panic!(
+            "workload {} failed on {}/{}: {e}",
+            w.name, compiled.compiler, hw.name
+        )
+    });
     assert_eq!(
         mach.env.checksum(),
         profiled.reference_checksum,
         "checksum divergence on {} under {}/{} — speculation broke semantics",
         w.name,
-        ccfg.name,
+        compiled.compiler,
         hw.name
     );
 
@@ -157,12 +198,30 @@ pub fn run_workload(
 
     WorkloadRun {
         workload: w.name,
-        compiler: ccfg.name,
+        compiler: compiled.compiler,
         hardware: hw.name,
         stats,
         samples,
-        static_uops: code.static_uops(),
+        static_uops: compiled.static_uops,
     }
+}
+
+/// Compiles the workload under `ccfg` and executes it on `hw`.
+///
+/// One-shot convenience over [`compile_workload`] + [`execute_compiled`];
+/// matrix sweeps should compile once and execute per hardware configuration
+/// instead (see `Suite::run_all`).
+///
+/// # Panics
+/// Panics if the machine's checksum diverges from the interpreter's or if a
+/// sample marker is missing.
+pub fn run_workload(
+    w: &Workload,
+    profiled: &ProfiledWorkload,
+    ccfg: &CompilerConfig,
+    hw: &HwConfig,
+) -> WorkloadRun {
+    execute_compiled(w, profiled, &compile_workload(w, profiled, ccfg), hw)
 }
 
 #[cfg(test)]
@@ -176,7 +235,12 @@ mod tests {
         let w = synthetic::add_element(1_000);
         let profiled = profile_workload(&w);
         assert!(profiled.interp_steps > 1_000);
-        let base = run_workload(&w, &profiled, &CompilerConfig::no_atomic(), &HwConfig::baseline());
+        let base = run_workload(
+            &w,
+            &profiled,
+            &CompilerConfig::no_atomic(),
+            &HwConfig::baseline(),
+        );
         assert_eq!(base.samples.len(), 1);
         let s = base.samples[0];
         assert_eq!(s.marker, 1);
@@ -189,10 +253,14 @@ mod tests {
         assert_eq!(base.uop_reduction_vs(&base), 0.0);
 
         // The atomic config's metrics are internally consistent.
-        let atom = run_workload(&w, &profiled, &CompilerConfig::atomic(), &HwConfig::baseline());
+        let atom = run_workload(
+            &w,
+            &profiled,
+            &CompilerConfig::atomic(),
+            &HwConfig::baseline(),
+        );
         let speedup = atom.speedup_vs(&base);
-        let manual =
-            (base.samples[0].cycles as f64 / atom.samples[0].cycles as f64 - 1.0) * 100.0;
+        let manual = (base.samples[0].cycles as f64 / atom.samples[0].cycles as f64 - 1.0) * 100.0;
         assert!((speedup - manual).abs() < 1e-9);
     }
 

@@ -73,8 +73,8 @@ impl Predictor {
     /// target table, ITTAGE-style in spirit). Returns `true` if the
     /// prediction was correct.
     pub fn indirect(&mut self, pc: u64, target: u64) -> bool {
-        let idx = ((pc ^ (self.history.wrapping_mul(0x9e3779b9))) & ((1 << ITARGET_BITS) - 1))
-            as usize;
+        let idx =
+            ((pc ^ (self.history.wrapping_mul(0x9e3779b9))) & ((1 << ITARGET_BITS) - 1)) as usize;
         let correct = self.itargets[idx] == target;
         self.itargets[idx] = target;
         // Fold the target into the global history so correlated dispatch
@@ -103,7 +103,10 @@ mod tests {
                 wrong += 1;
             }
         }
-        assert!(wrong <= 2, "a monomorphic branch must be learned, wrong={wrong}");
+        assert!(
+            wrong <= 2,
+            "a monomorphic branch must be learned, wrong={wrong}"
+        );
     }
 
     #[test]
@@ -118,7 +121,10 @@ mod tests {
                 wrong_tail += 1;
             }
         }
-        assert!(wrong_tail < 100, "history predictor should learn alternation, wrong={wrong_tail}");
+        assert!(
+            wrong_tail < 100,
+            "history predictor should learn alternation, wrong={wrong_tail}"
+        );
     }
 
     #[test]

@@ -40,7 +40,12 @@ struct Level {
 
 impl Level {
     fn new(sets: u64, ways: u64) -> Self {
-        Level { sets, ways, lines: vec![Line::default(); (sets * ways) as usize], tick: 0 }
+        Level {
+            sets,
+            ways,
+            lines: vec![Line::default(); (sets * ways) as usize],
+            tick: 0,
+        }
     }
 
     fn set_range(&self, line_addr: u64) -> std::ops::Range<usize> {
@@ -86,8 +91,13 @@ impl Level {
         }
         let overflow = self.lines[victim].valid
             && (self.lines[victim].spec_read || self.lines[victim].spec_write);
-        self.lines[victim] =
-            Line { tag: line_addr, valid: true, lru: self.tick, spec_read: false, spec_write: false };
+        self.lines[victim] = Line {
+            tag: line_addr,
+            valid: true,
+            lru: self.tick,
+            spec_read: false,
+            spec_write: false,
+        };
         (victim, overflow)
     }
 }
@@ -167,7 +177,11 @@ impl CacheSim {
 
     /// Number of L1 lines currently holding speculative state.
     pub fn spec_lines(&self) -> usize {
-        self.l1.lines.iter().filter(|l| l.valid && (l.spec_read || l.spec_write)).count()
+        self.l1
+            .lines
+            .iter()
+            .filter(|l| l.valid && (l.spec_read || l.spec_write))
+            .count()
     }
 
     /// An external coherence invalidation for `addr`. Returns `true` if it
@@ -204,7 +218,11 @@ mod tests {
         assert_eq!(c.access(0x1000, false, false).0, HitLevel::Memory);
         assert_eq!(c.access(0x1000, false, false).0, HitLevel::L1);
         assert_eq!(c.access(0x1008, false, false).0, HitLevel::L1, "same line");
-        assert_eq!(c.access(0x1040, false, false).0, HitLevel::Memory, "next line");
+        assert_eq!(
+            c.access(0x1040, false, false).0,
+            HitLevel::Memory,
+            "next line"
+        );
     }
 
     #[test]
@@ -238,8 +256,16 @@ mod tests {
         c.access(0x3000, true, true); // write set
         c.abort_region();
         assert_eq!(c.spec_lines(), 0);
-        assert_eq!(c.access(0x2000, false, false).0, HitLevel::L1, "read line survives");
-        assert_ne!(c.access(0x3000, false, false).0, HitLevel::L1, "written line invalidated");
+        assert_eq!(
+            c.access(0x2000, false, false).0,
+            HitLevel::L1,
+            "read line survives"
+        );
+        assert_ne!(
+            c.access(0x3000, false, false).0,
+            HitLevel::L1,
+            "written line invalidated"
+        );
     }
 
     #[test]
@@ -258,7 +284,10 @@ mod tests {
     fn conflict_detection() {
         let mut c = sim();
         c.access(0x5000, false, true);
-        assert!(c.invalidate(0x5008), "invalidation of read-set line conflicts");
+        assert!(
+            c.invalidate(0x5008),
+            "invalidation of read-set line conflicts"
+        );
         assert!(!c.invalidate(0x9000), "unrelated line: no conflict");
         c.access(0x6000, false, false);
         c.commit_region();

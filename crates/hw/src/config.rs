@@ -85,17 +85,29 @@ impl HwConfig {
 
     /// Figure 9: 20-cycle pipeline stall at every `aregion_begin`.
     pub fn with_begin_overhead() -> Self {
-        HwConfig { name: "chkpt+20-cycle", begin_stall: 20, ..HwConfig::baseline() }
+        HwConfig {
+            name: "chkpt+20-cycle",
+            begin_stall: 20,
+            ..HwConfig::baseline()
+        }
     }
 
     /// Figure 9: a single atomic region in flight at a time.
     pub fn single_inflight() -> Self {
-        HwConfig { name: "chkpt-single-inflight", single_inflight: true, ..HwConfig::baseline() }
+        HwConfig {
+            name: "chkpt-single-inflight",
+            single_inflight: true,
+            ..HwConfig::baseline()
+        }
     }
 
     /// §6.3: 2-wide OOO version of the baseline (widths halved).
     pub fn two_wide() -> Self {
-        HwConfig { name: "chkpt-2wide", width: 2, ..HwConfig::baseline() }
+        HwConfig {
+            name: "chkpt-2wide",
+            width: 2,
+            ..HwConfig::baseline()
+        }
     }
 
     /// §6.3: 2-wide with all structures halved ("many-core" style).

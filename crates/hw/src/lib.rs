@@ -24,6 +24,7 @@
 pub mod bpred;
 pub mod cache;
 pub mod config;
+pub mod lineset;
 pub mod lower;
 pub mod machine;
 pub mod stats;

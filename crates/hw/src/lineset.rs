@@ -1,0 +1,111 @@
+//! A dense, sorted small-vector set of cache-line indices.
+//!
+//! Atomic-region footprints are tiny — §6.2 measures most regions under 10
+//! distinct lines and 50 lines covering 99% — so the per-uop cost of
+//! tracking the footprint is dominated by data-structure constants, not
+//! asymptotics. A sorted `Vec<u64>` with binary-search insertion beats a
+//! `HashSet<u64>` here: no hashing, no buckets, one contiguous allocation
+//! that the machine recycles across regions (see `Machine`'s scratch
+//! buffers), and cache-friendly membership probes.
+
+/// A sorted set of cache-line indices backed by a small vector.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LineSet {
+    lines: Vec<u64>,
+}
+
+impl LineSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        LineSet::default()
+    }
+
+    /// An empty set reusing `buf`'s allocation (cleared first).
+    pub fn from_buffer(mut buf: Vec<u64>) -> Self {
+        buf.clear();
+        LineSet { lines: buf }
+    }
+
+    /// Inserts a line index; returns `true` if it was not already present.
+    pub fn insert(&mut self, line: u64) -> bool {
+        match self.lines.binary_search(&line) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.lines.insert(pos, line);
+                true
+            }
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, line: u64) -> bool {
+        self.lines.binary_search(&line).is_ok()
+    }
+
+    /// Number of distinct lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True when no lines are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The sorted line indices.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.lines
+    }
+
+    /// Consumes the set, returning the backing buffer for reuse.
+    pub fn into_buffer(self) -> Vec<u64> {
+        self.lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_dedupes_and_sorts() {
+        let mut s = LineSet::new();
+        assert!(s.insert(5));
+        assert!(s.insert(1));
+        assert!(s.insert(9));
+        assert!(!s.insert(5), "duplicate rejected");
+        assert_eq!(s.as_slice(), &[1, 5, 9]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(9));
+        assert!(!s.contains(2));
+    }
+
+    #[test]
+    fn buffer_reuse_round_trip() {
+        let mut s = LineSet::new();
+        for v in 0..32 {
+            s.insert(v * 3);
+        }
+        let buf = s.into_buffer();
+        let cap = buf.capacity();
+        let s2 = LineSet::from_buffer(buf);
+        assert!(s2.is_empty());
+        assert_eq!(s2.into_buffer().capacity(), cap, "allocation preserved");
+    }
+
+    #[test]
+    fn matches_hashset_semantics() {
+        // Differential check against the structure it replaced.
+        let mut dense = LineSet::new();
+        let mut reference = std::collections::HashSet::new();
+        let mut x: u64 = 0x1234_5678;
+        for _ in 0..500 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let line = (x >> 33) % 64;
+            assert_eq!(dense.insert(line), reference.insert(line));
+        }
+        assert_eq!(dense.len(), reference.len());
+    }
+}

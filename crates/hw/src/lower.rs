@@ -84,7 +84,13 @@ impl<'f> Lowering<'f> {
         let mut si = 0;
         while si < self.stubs.len() {
             stub_pos.push(self.uops.len());
-            let stub = std::mem::replace(&mut self.stubs[si], Stub { uops: vec![], cont: None });
+            let stub = std::mem::replace(
+                &mut self.stubs[si],
+                Stub {
+                    uops: vec![],
+                    cont: None,
+                },
+            );
             let base = self.uops.len();
             let n = stub.uops.len();
             self.uops.extend(stub.uops);
@@ -165,7 +171,12 @@ impl<'f> Lowering<'f> {
 
     fn emit_br(&mut self, op: CmpOp, a: MReg, b: MReg, label: Label) {
         let at = self.uops.len();
-        self.emit(Uop::Br { op, a, b, target: usize::MAX });
+        self.emit(Uop::Br {
+            op,
+            a,
+            b,
+            target: usize::MAX,
+        });
         self.patches.push((at, 0, label));
     }
 
@@ -180,8 +191,14 @@ impl<'f> Lowering<'f> {
             Label::Block(t)
         } else {
             let seq = self.sequentialize(moves);
-            let uops = seq.into_iter().map(|(dst, src)| Uop::Mov { dst, src }).collect();
-            self.stubs.push(Stub { uops, cont: Some(Label::Block(t)) });
+            let uops = seq
+                .into_iter()
+                .map(|(dst, src)| Uop::Mov { dst, src })
+                .collect();
+            self.stubs.push(Stub {
+                uops,
+                cont: Some(Label::Block(t)),
+            });
             Label::Stub(self.stubs.len() - 1)
         };
         self.edge_stubs.insert((p, t), label);
@@ -254,15 +271,25 @@ impl<'f> Lowering<'f> {
                 }
                 self.emit_jmp(Label::Block(t), next);
             }
-            Term::Branch { op, a, b: y, t, f: fb, .. } => {
+            Term::Branch {
+                op,
+                a,
+                b: y,
+                t,
+                f: fb,
+                ..
+            } => {
                 let lt = self.edge(b, t);
                 self.emit_br(op, mreg(a), mreg(y), lt);
                 let lf = self.edge(b, fb);
                 self.emit_jmp(lf, next);
             }
-            Term::Switch { sel, targets, default } => {
-                let labels: Vec<Label> =
-                    targets.iter().map(|(t, _)| self.edge(b, *t)).collect();
+            Term::Switch {
+                sel,
+                targets,
+                default,
+            } => {
+                let labels: Vec<Label> = targets.iter().map(|(t, _)| self.edge(b, *t)).collect();
                 let dl = self.edge(b, default.0);
                 let at = self.uops.len();
                 self.emit(Uop::JmpInd {
@@ -282,11 +309,18 @@ impl<'f> Lowering<'f> {
             Term::Return(v) => {
                 self.emit(Uop::Ret { src: v.map(mreg) });
             }
-            Term::RegionBegin { region, body, abort } => {
+            Term::RegionBegin {
+                region,
+                body,
+                abort,
+            } => {
                 debug_assert!(self.phi_moves(b, body).is_empty());
                 debug_assert!(self.phi_moves(b, abort).is_empty());
                 let at = self.uops.len();
-                self.emit(Uop::RegionBegin { region: region.0, alt: usize::MAX });
+                self.emit(Uop::RegionBegin {
+                    region: region.0,
+                    alt: usize::MAX,
+                });
                 self.patches.push((at, 0, Label::Block(abort)));
                 self.emit_jmp(Label::Block(body), next);
             }
@@ -296,49 +330,87 @@ impl<'f> Lowering<'f> {
     fn emit_inst(&mut self, inst: &hasp_ir::Inst) {
         let d = inst.dst.map(mreg);
         match &inst.op {
-            Op::Const(c) => self.emit(Uop::Const { dst: d.unwrap(), imm: *c }),
+            Op::Const(c) => self.emit(Uop::Const {
+                dst: d.unwrap(),
+                imm: *c,
+            }),
             Op::ConstNull => self.emit(Uop::ConstNull { dst: d.unwrap() }),
-            Op::Copy(v) => self.emit(Uop::Mov { dst: d.unwrap(), src: mreg(*v) }),
+            Op::Copy(v) => self.emit(Uop::Mov {
+                dst: d.unwrap(),
+                src: mreg(*v),
+            }),
             Op::Phi(_) => unreachable!("phis lowered as edge moves"),
-            Op::Bin(op, a, b) => {
-                self.emit(Uop::Alu { op: *op, dst: d.unwrap(), a: mreg(*a), b: mreg(*b) })
-            }
-            Op::Cmp(op, a, b) => {
-                self.emit(Uop::CmpSet { op: *op, dst: d.unwrap(), a: mreg(*a), b: mreg(*b) })
-            }
+            Op::Bin(op, a, b) => self.emit(Uop::Alu {
+                op: *op,
+                dst: d.unwrap(),
+                a: mreg(*a),
+                b: mreg(*b),
+            }),
+            Op::Cmp(op, a, b) => self.emit(Uop::CmpSet {
+                op: *op,
+                dst: d.unwrap(),
+                a: mreg(*a),
+                b: mreg(*b),
+            }),
             Op::NullCheck(v) => self.emit(Uop::CheckNull { v: mreg(*v) }),
-            Op::BoundsCheck { len, idx } => {
-                self.emit(Uop::CheckBounds { len: mreg(*len), idx: mreg(*idx) })
-            }
+            Op::BoundsCheck { len, idx } => self.emit(Uop::CheckBounds {
+                len: mreg(*len),
+                idx: mreg(*idx),
+            }),
             Op::DivCheck(v) => self.emit(Uop::CheckDiv { v: mreg(*v) }),
-            Op::CastCheck { obj, class } => {
-                self.emit(Uop::CheckCast { obj: mreg(*obj), class: *class })
-            }
-            Op::New(class) => self.emit(Uop::AllocObj { dst: d.unwrap(), class: *class }),
-            Op::NewArray(len) => self.emit(Uop::AllocArr { dst: d.unwrap(), len: mreg(*len) }),
-            Op::LoadField { obj, field } => {
-                self.emit(Uop::LoadField { dst: d.unwrap(), obj: mreg(*obj), field: field.0 })
-            }
-            Op::StoreField { obj, field, val } => {
-                self.emit(Uop::StoreField { obj: mreg(*obj), field: field.0, src: mreg(*val) })
-            }
-            Op::LoadElem { arr, idx } => {
-                self.emit(Uop::LoadElem { dst: d.unwrap(), arr: mreg(*arr), idx: mreg(*idx) })
-            }
-            Op::StoreElem { arr, idx, val } => {
-                self.emit(Uop::StoreElem { arr: mreg(*arr), idx: mreg(*idx), src: mreg(*val) })
-            }
-            Op::ArrayLen(arr) => self.emit(Uop::LoadLen { dst: d.unwrap(), arr: mreg(*arr) }),
-            Op::LoadClass(obj) => self.emit(Uop::LoadClass { dst: d.unwrap(), obj: mreg(*obj) }),
-            Op::InstanceOf { obj, class } => {
-                self.emit(Uop::InstOf { dst: d.unwrap(), obj: mreg(*obj), class: *class })
-            }
+            Op::CastCheck { obj, class } => self.emit(Uop::CheckCast {
+                obj: mreg(*obj),
+                class: *class,
+            }),
+            Op::New(class) => self.emit(Uop::AllocObj {
+                dst: d.unwrap(),
+                class: *class,
+            }),
+            Op::NewArray(len) => self.emit(Uop::AllocArr {
+                dst: d.unwrap(),
+                len: mreg(*len),
+            }),
+            Op::LoadField { obj, field } => self.emit(Uop::LoadField {
+                dst: d.unwrap(),
+                obj: mreg(*obj),
+                field: field.0,
+            }),
+            Op::StoreField { obj, field, val } => self.emit(Uop::StoreField {
+                obj: mreg(*obj),
+                field: field.0,
+                src: mreg(*val),
+            }),
+            Op::LoadElem { arr, idx } => self.emit(Uop::LoadElem {
+                dst: d.unwrap(),
+                arr: mreg(*arr),
+                idx: mreg(*idx),
+            }),
+            Op::StoreElem { arr, idx, val } => self.emit(Uop::StoreElem {
+                arr: mreg(*arr),
+                idx: mreg(*idx),
+                src: mreg(*val),
+            }),
+            Op::ArrayLen(arr) => self.emit(Uop::LoadLen {
+                dst: d.unwrap(),
+                arr: mreg(*arr),
+            }),
+            Op::LoadClass(obj) => self.emit(Uop::LoadClass {
+                dst: d.unwrap(),
+                obj: mreg(*obj),
+            }),
+            Op::InstanceOf { obj, class } => self.emit(Uop::InstOf {
+                dst: d.unwrap(),
+                obj: mreg(*obj),
+                class: *class,
+            }),
             Op::Call { method, args } => self.emit(Uop::Call {
                 dst: d,
                 target: *method,
                 args: args.iter().map(|a| mreg(*a)).collect(),
             }),
-            Op::CallVirtual { slot, recv, args, .. } => self.emit(Uop::CallVirt {
+            Op::CallVirtual {
+                slot, recv, args, ..
+            } => self.emit(Uop::CallVirt {
                 dst: d,
                 slot: *slot,
                 recv: mreg(*recv),
@@ -370,7 +442,10 @@ impl<'f> Lowering<'f> {
     /// Conditional branch to an out-of-line unconditional abort (Figure 4).
     fn emit_assert(&mut self, kind: &AssertKind, id: u32) {
         let abort = {
-            self.stubs.push(Stub { uops: vec![Uop::Abort { assert_id: id }], cont: None });
+            self.stubs.push(Stub {
+                uops: vec![Uop::Abort { assert_id: id }],
+                cont: None,
+            });
             Label::Stub(self.stubs.len() - 1)
         };
         match kind {
@@ -382,22 +457,34 @@ impl<'f> Lowering<'f> {
             }
             AssertKind::ClassNe { obj, class } => {
                 let cls = self.temp();
-                self.emit(Uop::LoadClass { dst: cls, obj: mreg(*obj) });
+                self.emit(Uop::LoadClass {
+                    dst: cls,
+                    obj: mreg(*obj),
+                });
                 let k = self.temp();
-                self.emit(Uop::Const { dst: k, imm: i64::from(class.0) });
+                self.emit(Uop::Const {
+                    dst: k,
+                    imm: i64::from(class.0),
+                });
                 self.emit_br(CmpOp::Ne, cls, k, abort);
             }
             AssertKind::LockHeld(v) => {
                 // Same shape as the SLE check but with an explicit assert id.
                 let t = self.temp();
-                self.emit(Uop::LoadLock { dst: t, obj: mreg(*v) });
+                self.emit(Uop::LoadLock {
+                    dst: t,
+                    obj: mreg(*v),
+                });
                 let z = self.temp();
                 self.emit(Uop::Const { dst: z, imm: 0 });
                 self.emit_br(CmpOp::Ne, t, z, abort);
             }
             AssertKind::IntNe { sel, expected } => {
                 let k = self.temp();
-                self.emit(Uop::Const { dst: k, imm: *expected });
+                self.emit(Uop::Const {
+                    dst: k,
+                    imm: *expected,
+                });
                 self.emit_br(CmpOp::Ne, mreg(*sel), k, abort);
             }
         }
@@ -410,30 +497,61 @@ impl<'f> Lowering<'f> {
         let z = self.temp();
         self.emit(Uop::Const { dst: z, imm: 0 });
         // Slow path: recursive acquire (owner must be us).
-        let (n2, c32, ow, tid, one) =
-            (self.temp(), self.temp(), self.temp(), self.temp(), self.temp());
+        let (n2, c32, ow, tid, one) = (
+            self.temp(),
+            self.temp(),
+            self.temp(),
+            self.temp(),
+            self.temp(),
+        );
         let slow_uops = vec![
             Uop::Const { dst: c32, imm: 32 },
-            Uop::Alu { op: BinOp::Shr, dst: ow, a: t, b: c32 },
-            Uop::Const { dst: tid, imm: MUTATOR_THREAD },
-            Uop::Br { op: CmpOp::Ne, a: ow, b: tid, target: usize::MAX },
+            Uop::Alu {
+                op: BinOp::Shr,
+                dst: ow,
+                a: t,
+                b: c32,
+            },
+            Uop::Const {
+                dst: tid,
+                imm: MUTATOR_THREAD,
+            },
+            Uop::Br {
+                op: CmpOp::Ne,
+                a: ow,
+                b: tid,
+                target: usize::MAX,
+            },
             Uop::Const { dst: one, imm: 1 },
-            Uop::Alu { op: BinOp::Add, dst: n2, a: t, b: one },
+            Uop::Alu {
+                op: BinOp::Add,
+                dst: n2,
+                a: t,
+                b: one,
+            },
             Uop::StoreLock { obj, src: n2 },
         ];
         // The contention branch inside the stub targets an Unreachable stub.
         self.stubs.push(Stub {
-            uops: vec![Uop::Unreachable { why: "monitor contention in single-mutator sim" }],
+            uops: vec![Uop::Unreachable {
+                why: "monitor contention in single-mutator sim",
+            }],
             cont: None,
         });
         let contend = self.stubs.len() - 1;
-        self.stubs.push(Stub { uops: slow_uops, cont: None });
+        self.stubs.push(Stub {
+            uops: slow_uops,
+            cont: None,
+        });
         let slow = self.stubs.len() - 1;
         self.stub_patches.push((slow, 3, 0, Label::Stub(contend)));
         // Fast path continues inline.
         self.emit_br(CmpOp::Ne, t, z, Label::Stub(slow));
         let n1 = self.temp();
-        self.emit(Uop::Const { dst: n1, imm: (MUTATOR_THREAD << 32) | 1 });
+        self.emit(Uop::Const {
+            dst: n1,
+            imm: (MUTATOR_THREAD << 32) | 1,
+        });
         self.emit(Uop::StoreLock { obj, src: n1 });
         // The slow stub resumes right after the fast path.
         self.fixup_stub_cont(slow);
@@ -444,14 +562,25 @@ impl<'f> Lowering<'f> {
         let t = self.temp();
         self.emit(Uop::LoadLock { dst: t, obj });
         let k1 = self.temp();
-        self.emit(Uop::Const { dst: k1, imm: (MUTATOR_THREAD << 32) | 1 });
+        self.emit(Uop::Const {
+            dst: k1,
+            imm: (MUTATOR_THREAD << 32) | 1,
+        });
         let (one, n) = (self.temp(), self.temp());
         let nested_uops = vec![
             Uop::Const { dst: one, imm: 1 },
-            Uop::Alu { op: BinOp::Sub, dst: n, a: t, b: one },
+            Uop::Alu {
+                op: BinOp::Sub,
+                dst: n,
+                a: t,
+                b: one,
+            },
             Uop::StoreLock { obj, src: n },
         ];
-        self.stubs.push(Stub { uops: nested_uops, cont: None });
+        self.stubs.push(Stub {
+            uops: nested_uops,
+            cont: None,
+        });
         let nested = self.stubs.len() - 1;
         self.emit_br(CmpOp::Ne, t, k1, Label::Stub(nested));
         let z = self.temp();
@@ -468,15 +597,36 @@ impl<'f> Lowering<'f> {
         self.emit(Uop::Const { dst: z, imm: 0 });
         // Cold: lock word nonzero — abort unless it is our own reservation.
         let (c32, ow, tid) = (self.temp(), self.temp(), self.temp());
-        self.stubs.push(Stub { uops: vec![Uop::Abort { assert_id: u32::MAX }], cont: None });
+        self.stubs.push(Stub {
+            uops: vec![Uop::Abort {
+                assert_id: u32::MAX,
+            }],
+            cont: None,
+        });
         let abort = self.stubs.len() - 1;
         let cold_uops = vec![
             Uop::Const { dst: c32, imm: 32 },
-            Uop::Alu { op: BinOp::Shr, dst: ow, a: t, b: c32 },
-            Uop::Const { dst: tid, imm: MUTATOR_THREAD },
-            Uop::Br { op: CmpOp::Ne, a: ow, b: tid, target: usize::MAX },
+            Uop::Alu {
+                op: BinOp::Shr,
+                dst: ow,
+                a: t,
+                b: c32,
+            },
+            Uop::Const {
+                dst: tid,
+                imm: MUTATOR_THREAD,
+            },
+            Uop::Br {
+                op: CmpOp::Ne,
+                a: ow,
+                b: tid,
+                target: usize::MAX,
+            },
         ];
-        self.stubs.push(Stub { uops: cold_uops, cont: None });
+        self.stubs.push(Stub {
+            uops: cold_uops,
+            cont: None,
+        });
         let cold = self.stubs.len() - 1;
         self.stub_patches.push((cold, 3, 0, Label::Stub(abort)));
         self.emit_br(CmpOp::Ne, t, z, Label::Stub(cold));
@@ -525,39 +675,72 @@ mod tests {
         // path; exit likewise; SLE check: load, const, branch = 3.
         let mut f = Func::new("t", MethodId(0), 1);
         let lock = VReg(0);
-        f.block_mut(f.entry).insts.push(Inst::effect(Op::MonitorEnter(lock)));
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::effect(Op::MonitorEnter(lock)));
         f.block_mut(f.entry).term = Term::Return(None);
         let enter = lower(&f);
         // Fast path = uops before the Ret, excluding out-of-line stubs.
-        let ret_at = enter.uops.iter().position(|u| matches!(u, Uop::Ret { .. })).unwrap();
+        let ret_at = enter
+            .uops
+            .iter()
+            .position(|u| matches!(u, Uop::Ret { .. }))
+            .unwrap();
         assert_eq!(ret_at, 5, "{:?}", &enter.uops[..ret_at]);
 
         let mut g = Func::new("t2", MethodId(0), 1);
-        g.block_mut(g.entry).insts.push(Inst::effect(Op::MonitorExit(lock)));
+        g.block_mut(g.entry)
+            .insts
+            .push(Inst::effect(Op::MonitorExit(lock)));
         g.block_mut(g.entry).term = Term::Return(None);
         let exit = lower(&g);
-        let ret_at = exit.uops.iter().position(|u| matches!(u, Uop::Ret { .. })).unwrap();
+        let ret_at = exit
+            .uops
+            .iter()
+            .position(|u| matches!(u, Uop::Ret { .. }))
+            .unwrap();
         assert_eq!(ret_at, 5, "{:?}", &exit.uops[..ret_at]);
 
         let mut h = Func::new("t3", MethodId(0), 1);
         let exit_b = h.add_block(Term::Return(None));
         let body = h.add_block(Term::Jump(exit_b));
         let abort = h.add_block(Term::Jump(exit_b));
-        let r = h.new_region(RegionInfo { begin: h.entry, abort_target: abort, size_estimate: 2 });
-        h.block_mut(h.entry).term = Term::RegionBegin { region: r, body, abort };
+        let r = h.new_region(RegionInfo {
+            begin: h.entry,
+            abort_target: abort,
+            size_estimate: 2,
+        });
+        h.block_mut(h.entry).term = Term::RegionBegin {
+            region: r,
+            body,
+            abort,
+        };
         h.block_mut(body).region = Some(r);
-        h.block_mut(body).insts.push(Inst::effect(Op::SleCheck(lock)));
+        h.block_mut(body)
+            .insts
+            .push(Inst::effect(Op::SleCheck(lock)));
         h.block_mut(body).insts.push(Inst::effect(Op::RegionEnd(r)));
         let sle = lower(&h);
         // Body layout: RegionBegin, (jump), LoadLock, Const, Br, RegionEnd...
-        let begin_at =
-            sle.uops.iter().position(|u| matches!(u, Uop::RegionBegin { .. })).unwrap();
-        let end_at = sle.uops.iter().position(|u| matches!(u, Uop::RegionEnd { .. })).unwrap();
+        let begin_at = sle
+            .uops
+            .iter()
+            .position(|u| matches!(u, Uop::RegionBegin { .. }))
+            .unwrap();
+        let end_at = sle
+            .uops
+            .iter()
+            .position(|u| matches!(u, Uop::RegionEnd { .. }))
+            .unwrap();
         let fast: Vec<&Uop> = sle.uops[begin_at + 1..end_at]
             .iter()
             .filter(|u| !matches!(u, Uop::Jmp { .. }))
             .collect();
-        assert_eq!(fast.len(), 3, "SLE fast path is load+const+branch: {fast:?}");
+        assert_eq!(
+            fast.len(),
+            3,
+            "SLE fast path is load+const+branch: {fast:?}"
+        );
     }
 
     #[test]
@@ -567,12 +750,24 @@ mod tests {
         let exit = f.add_block(Term::Return(None));
         let body = f.add_block(Term::Jump(exit));
         let abort = f.add_block(Term::Jump(exit));
-        let r = f.new_region(RegionInfo { begin: f.entry, abort_target: abort, size_estimate: 2 });
-        f.block_mut(f.entry).term = Term::RegionBegin { region: r, body, abort };
+        let r = f.new_region(RegionInfo {
+            begin: f.entry,
+            abort_target: abort,
+            size_estimate: 2,
+        });
+        f.block_mut(f.entry).term = Term::RegionBegin {
+            region: r,
+            body,
+            abort,
+        };
         f.block_mut(body).region = Some(r);
         let id = f.new_assert(RegionId(0), "test");
         f.block_mut(body).insts.push(Inst::effect(Op::Assert {
-            kind: AssertKind::Cmp { op: CmpOp::Ge, a, b },
+            kind: AssertKind::Cmp {
+                op: CmpOp::Ge,
+                a,
+                b,
+            },
             id,
         }));
         f.block_mut(body).insts.push(Inst::effect(Op::RegionEnd(r)));
@@ -602,8 +797,12 @@ mod tests {
         let y = f.vreg();
         f.block_mut(f.entry).term = Term::Jump(head);
         let entry = f.entry;
-        f.block_mut(head).insts.push(Inst::with_dst(x, Op::Phi(vec![(entry, a), (head, y)])));
-        f.block_mut(head).insts.push(Inst::with_dst(y, Op::Phi(vec![(entry, b), (head, x)])));
+        f.block_mut(head)
+            .insts
+            .push(Inst::with_dst(x, Op::Phi(vec![(entry, a), (head, y)])));
+        f.block_mut(head)
+            .insts
+            .push(Inst::with_dst(y, Op::Phi(vec![(entry, b), (head, x)])));
         f.block_mut(head).term = Term::Branch {
             op: CmpOp::Lt,
             a: x,
@@ -616,7 +815,11 @@ mod tests {
         let code = lower(&f);
         // The back-edge move set {x<-y, y<-x} is cyclic: at least 3 moves.
         let moves = count(&code, |u| matches!(u, Uop::Mov { .. }));
-        assert!(moves >= 3, "cyclic phi moves need a temporary: {:?}", code.uops);
+        assert!(
+            moves >= 3,
+            "cyclic phi moves need a temporary: {:?}",
+            code.uops
+        );
     }
 
     #[test]
@@ -626,8 +829,11 @@ mod tests {
         let t0 = f.add_block(Term::Return(None));
         let t1 = f.add_block(Term::Return(None));
         let d = f.add_block(Term::Return(None));
-        f.block_mut(f.entry).term =
-            Term::Switch { sel, targets: vec![(t0, 5), (t1, 5)], default: (d, 1) };
+        f.block_mut(f.entry).term = Term::Switch {
+            sel,
+            targets: vec![(t0, 5), (t1, 5)],
+            default: (d, 1),
+        };
         let code = lower(&f);
         assert_eq!(count(&code, |u| matches!(u, Uop::JmpInd { .. })), 1);
     }

@@ -6,6 +6,8 @@ use std::collections::HashMap;
 
 use hasp_vm::bytecode::MethodId;
 
+use crate::uop::{UopClass, UOP_CLASSES};
+
 /// Why an atomic region aborted (reported to software through the abort
 /// reason register, §3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -33,6 +35,82 @@ pub const ABORT_REASONS: [AbortReason; 6] = [
     AbortReason::Interrupt,
     AbortReason::Sle,
 ];
+
+/// Dense per-reason abort counters.
+///
+/// Aborts are counted on the machine's rollback path; a flat array indexed
+/// by [`AbortReason`] keeps that path free of hashing. (The per-static-region
+/// aggregation stays in a `HashMap` — it is touched once per region, not per
+/// uop, and its key space is program-dependent.)
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+pub struct AbortCounts([u64; ABORT_REASONS.len()]);
+
+impl AbortCounts {
+    /// Records one abort for `reason`.
+    pub fn record(&mut self, reason: AbortReason) {
+        self.0[reason as usize] += 1;
+    }
+
+    /// The count for `reason`.
+    pub fn get(&self, reason: AbortReason) -> u64 {
+        self.0[reason as usize]
+    }
+
+    /// Total aborts across all reasons.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// `(reason, count)` pairs for every reason with a nonzero count.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (AbortReason, u64)> + '_ {
+        ABORT_REASONS
+            .iter()
+            .map(move |&r| (r, self.get(r)))
+            .filter(|&(_, n)| n > 0)
+    }
+}
+
+impl std::fmt::Debug for AbortCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter_nonzero()).finish()
+    }
+}
+
+/// Dense per-class retired-uop counters (indexed by [`UopClass`]).
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+pub struct UopClassCounts([u64; UOP_CLASSES.len()]);
+
+impl UopClassCounts {
+    /// Records one retired uop of `class`.
+    #[inline]
+    pub fn record(&mut self, class: UopClass) {
+        self.0[class as usize] += 1;
+    }
+
+    /// The count for `class`.
+    pub fn get(&self, class: UopClass) -> u64 {
+        self.0[class as usize]
+    }
+
+    /// Total across all classes.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// `(class, count)` pairs for every class with a nonzero count.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (UopClass, u64)> + '_ {
+        UOP_CLASSES
+            .iter()
+            .map(move |&c| (c, self.get(c)))
+            .filter(|&(_, n)| n > 0)
+    }
+}
+
+impl std::fmt::Debug for UopClassCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter_nonzero()).finish()
+    }
+}
 
 /// A histogram over power-of-two-ish buckets.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -63,7 +141,11 @@ impl Histogram {
 
     /// Records a sample.
     pub fn record(&mut self, v: u64) {
-        let idx = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
         self.counts[idx] += 1;
         self.sum += v;
         self.n += 1;
@@ -117,7 +199,7 @@ pub struct MarkerSnap {
 }
 
 /// Aggregate statistics for one machine run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
     /// Total uops executed (committed and aborted work both flow through the
     /// pipeline).
@@ -126,10 +208,12 @@ pub struct RunStats {
     pub cycles: u64,
     /// Uops executed inside atomic regions.
     pub region_uops: u64,
+    /// Retired uops by class (dense; bumped once per retired uop).
+    pub uop_classes: UopClassCounts,
     /// Regions committed.
     pub commits: u64,
-    /// Regions aborted, by reason.
-    pub aborts: HashMap<AbortReason, u64>,
+    /// Regions aborted, by reason (dense; bumped on the rollback path).
+    pub aborts: AbortCounts,
     /// Conditional branches executed / mispredicted.
     pub branches: u64,
     /// Mispredicted conditional branches.
@@ -162,8 +246,9 @@ impl Default for RunStats {
             uops: 0,
             cycles: 0,
             region_uops: 0,
+            uop_classes: UopClassCounts::default(),
             commits: 0,
-            aborts: HashMap::new(),
+            aborts: AbortCounts::default(),
             branches: 0,
             mispredicts: 0,
             indirects: 0,
@@ -183,7 +268,7 @@ impl Default for RunStats {
 impl RunStats {
     /// Total aborts across reasons.
     pub fn total_aborts(&self) -> u64 {
-        self.aborts.values().sum()
+        self.aborts.total()
     }
 
     /// Fraction of dynamic uops inside atomic regions (Table 3 coverage).
@@ -244,13 +329,53 @@ mod tests {
 
     #[test]
     fn derived_rates() {
-        let mut s = RunStats::default();
-        s.uops = 1000;
-        s.region_uops = 700;
-        s.commits = 97;
-        s.aborts.insert(AbortReason::Explicit, 3);
+        let mut s = RunStats {
+            uops: 1000,
+            region_uops: 700,
+            commits: 97,
+            ..RunStats::default()
+        };
+        for _ in 0..3 {
+            s.aborts.record(AbortReason::Explicit);
+        }
         assert_eq!(s.coverage(), 0.7);
         assert_eq!(s.abort_rate(), 0.03);
         assert_eq!(s.aborts_per_kuop(), 3.0);
+    }
+
+    #[test]
+    fn dense_abort_counts() {
+        let mut a = AbortCounts::default();
+        a.record(AbortReason::Conflict);
+        a.record(AbortReason::Conflict);
+        a.record(AbortReason::Overflow);
+        assert_eq!(a.get(AbortReason::Conflict), 2);
+        assert_eq!(a.get(AbortReason::Overflow), 1);
+        assert_eq!(a.get(AbortReason::Sle), 0);
+        assert_eq!(a.total(), 3);
+        let nz: Vec<_> = a.iter_nonzero().collect();
+        assert_eq!(
+            nz,
+            vec![(AbortReason::Overflow, 1), (AbortReason::Conflict, 2)]
+        );
+        assert!(format!("{a:?}").contains("Conflict"));
+    }
+
+    #[test]
+    fn dense_uop_class_counts() {
+        use crate::uop::{MReg, Uop};
+        let mut c = UopClassCounts::default();
+        c.record(
+            Uop::Const {
+                dst: MReg(0),
+                imm: 1,
+            }
+            .class(),
+        );
+        c.record(Uop::Poll.class());
+        c.record(Uop::Poll.class());
+        assert_eq!(c.get(UopClass::Alu), 1);
+        assert_eq!(c.get(UopClass::Memory), 2);
+        assert_eq!(c.total(), 3);
     }
 }

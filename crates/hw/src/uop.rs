@@ -27,15 +27,34 @@ pub enum Uop {
     /// `dst = src`
     Mov { dst: MReg, src: MReg },
     /// ALU operation (Div/Rem must be guarded by `CheckDiv`).
-    Alu { op: BinOp, dst: MReg, a: MReg, b: MReg },
+    Alu {
+        op: BinOp,
+        dst: MReg,
+        a: MReg,
+        b: MReg,
+    },
     /// `dst = (a op b) ? 1 : 0`
-    CmpSet { op: CmpOp, dst: MReg, a: MReg, b: MReg },
+    CmpSet {
+        op: CmpOp,
+        dst: MReg,
+        a: MReg,
+        b: MReg,
+    },
     /// Unconditional jump.
     Jmp { target: CodePos },
     /// Conditional branch: taken to `target` when `a op b` holds.
-    Br { op: CmpOp, a: MReg, b: MReg, target: CodePos },
+    Br {
+        op: CmpOp,
+        a: MReg,
+        b: MReg,
+        target: CodePos,
+    },
     /// Indirect table dispatch (Java `tableswitch`).
-    JmpInd { sel: MReg, table: Vec<CodePos>, default: CodePos },
+    JmpInd {
+        sel: MReg,
+        table: Vec<CodePos>,
+        default: CodePos,
+    },
     /// Field load (null-checked separately).
     LoadField { dst: MReg, obj: MReg, field: u16 },
     /// Field store.
@@ -65,11 +84,24 @@ pub enum Uop {
     /// Trap (or in-region abort) unless `obj` is null or instance of `class`.
     CheckCast { obj: MReg, class: ClassId },
     /// `dst = (obj instanceof class) ? 1 : 0`.
-    InstOf { dst: MReg, obj: MReg, class: ClassId },
+    InstOf {
+        dst: MReg,
+        obj: MReg,
+        class: ClassId,
+    },
     /// Direct call.
-    Call { dst: Option<MReg>, target: MethodId, args: Vec<MReg> },
+    Call {
+        dst: Option<MReg>,
+        target: MethodId,
+        args: Vec<MReg>,
+    },
     /// Virtual call through the receiver's vtable.
-    CallVirt { dst: Option<MReg>, slot: SlotId, recv: MReg, args: Vec<MReg> },
+    CallVirt {
+        dst: Option<MReg>,
+        slot: SlotId,
+        recv: MReg,
+        args: Vec<MReg>,
+    },
     /// Return from the frame.
     Ret { src: Option<MReg> },
     /// `aregion_begin <alt>`: checkpoint and start speculating; on abort,
@@ -82,7 +114,11 @@ pub enum Uop {
     /// GC safepoint poll (a load of the thread-local yield flag).
     Poll,
     /// Host intrinsic.
-    Intrin { kind: Intrinsic, dst: Option<MReg>, args: Vec<MReg> },
+    Intrin {
+        kind: Intrinsic,
+        dst: Option<MReg>,
+        args: Vec<MReg>,
+    },
     /// Simulation marker (§5 methodology); architecturally inert.
     Marker { id: u32 },
     /// Executing this uop is a VM bug (e.g. monitor contention path in the
@@ -90,7 +126,74 @@ pub enum Uop {
     Unreachable { why: &'static str },
 }
 
+/// Coarse uop classification for dense per-class retirement tallies.
+///
+/// The simulator bumps one of these counters on every retired uop, so the
+/// representation must be an index into a flat array — never a hash key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum UopClass {
+    /// Constants, moves, ALU and compare-set operations.
+    Alu,
+    /// Conditional, unconditional, and indirect control transfer.
+    Branch,
+    /// Data-memory loads and stores (including lock words and polls).
+    Memory,
+    /// Object and array allocation.
+    Alloc,
+    /// Safety checks (null/bounds/div/cast) and `instanceof`.
+    Check,
+    /// Call and return linkage.
+    Call,
+    /// Atomic-region primitives (`aregion_begin/end/abort`).
+    Region,
+    /// Host intrinsics, markers, and everything else.
+    Other,
+}
+
+/// All uop classes, in index order (for iteration and display).
+pub const UOP_CLASSES: [UopClass; 8] = [
+    UopClass::Alu,
+    UopClass::Branch,
+    UopClass::Memory,
+    UopClass::Alloc,
+    UopClass::Check,
+    UopClass::Call,
+    UopClass::Region,
+    UopClass::Other,
+];
+
 impl Uop {
+    /// The dense class index used for retirement tallies.
+    pub fn class(&self) -> UopClass {
+        match self {
+            Uop::Const { .. }
+            | Uop::ConstNull { .. }
+            | Uop::Mov { .. }
+            | Uop::Alu { .. }
+            | Uop::CmpSet { .. } => UopClass::Alu,
+            Uop::Jmp { .. } | Uop::Br { .. } | Uop::JmpInd { .. } => UopClass::Branch,
+            Uop::LoadField { .. }
+            | Uop::StoreField { .. }
+            | Uop::LoadElem { .. }
+            | Uop::StoreElem { .. }
+            | Uop::LoadLen { .. }
+            | Uop::LoadLock { .. }
+            | Uop::StoreLock { .. }
+            | Uop::LoadClass { .. }
+            | Uop::Poll => UopClass::Memory,
+            Uop::AllocObj { .. } | Uop::AllocArr { .. } => UopClass::Alloc,
+            Uop::CheckNull { .. }
+            | Uop::CheckBounds { .. }
+            | Uop::CheckDiv { .. }
+            | Uop::CheckCast { .. }
+            | Uop::InstOf { .. } => UopClass::Check,
+            Uop::Call { .. } | Uop::CallVirt { .. } | Uop::Ret { .. } => UopClass::Call,
+            Uop::RegionBegin { .. } | Uop::RegionEnd { .. } | Uop::Abort { .. } => UopClass::Region,
+            Uop::Intrin { .. } | Uop::Marker { .. } | Uop::Unreachable { .. } => UopClass::Other,
+        }
+    }
+
     /// True for control-transfer uops that consult the branch predictor.
     pub fn is_branch(&self) -> bool {
         matches!(self, Uop::Br { .. } | Uop::JmpInd { .. })
@@ -172,12 +275,35 @@ mod tests {
 
     #[test]
     fn classification() {
-        assert!(Uop::Br { op: CmpOp::Eq, a: MReg(0), b: MReg(1), target: 0 }.is_branch());
-        assert!(Uop::JmpInd { sel: MReg(0), table: vec![], default: 0 }.is_branch());
-        assert!(!Uop::Jmp { target: 0 }.is_branch(), "unconditional jumps don't predict");
-        assert!(Uop::LoadField { dst: MReg(0), obj: MReg(1), field: 0 }.is_memory());
+        assert!(Uop::Br {
+            op: CmpOp::Eq,
+            a: MReg(0),
+            b: MReg(1),
+            target: 0
+        }
+        .is_branch());
+        assert!(Uop::JmpInd {
+            sel: MReg(0),
+            table: vec![],
+            default: 0
+        }
+        .is_branch());
+        assert!(
+            !Uop::Jmp { target: 0 }.is_branch(),
+            "unconditional jumps don't predict"
+        );
+        assert!(Uop::LoadField {
+            dst: MReg(0),
+            obj: MReg(1),
+            field: 0
+        }
+        .is_memory());
         assert!(Uop::Poll.is_memory());
-        assert!(!Uop::Const { dst: MReg(0), imm: 3 }.is_memory());
+        assert!(!Uop::Const {
+            dst: MReg(0),
+            imm: 3
+        }
+        .is_memory());
     }
 
     #[test]

@@ -80,11 +80,7 @@ impl DomTree {
         Self::build(f.entry, &rpo, &preds)
     }
 
-    fn build(
-        root: BlockId,
-        rpo: &[BlockId],
-        preds: &HashMap<BlockId, Vec<BlockId>>,
-    ) -> Self {
+    fn build(root: BlockId, rpo: &[BlockId], preds: &HashMap<BlockId, Vec<BlockId>>) -> Self {
         let idom = compute_idoms(rpo, preds);
         let mut children: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
         for (&b, &d) in &idom {
@@ -104,7 +100,12 @@ impl DomTree {
                 queue.push(c);
             }
         }
-        DomTree { idom, children, root, depth }
+        DomTree {
+            idom,
+            children,
+            root,
+            depth,
+        }
     }
 
     /// The tree root (function entry).
@@ -131,7 +132,9 @@ impl DomTree {
             return false;
         };
         loop {
-            let Some(&dc) = self.depth.get(&cur) else { return false };
+            let Some(&dc) = self.depth.get(&cur) else {
+                return false;
+            };
             if dc <= da {
                 return cur == a;
             }
@@ -260,7 +263,11 @@ impl PostDomTree {
             depth_of(b, &idom, &mut depth);
         }
         let ipdom = idom.into_iter().filter(|(b, _)| *b != virt).collect();
-        PostDomTree { ipdom, depth, exits }
+        PostDomTree {
+            ipdom,
+            depth,
+            exits,
+        }
     }
 
     /// Immediate post-dominator (`None` if it is the virtual exit).
@@ -274,10 +281,14 @@ impl PostDomTree {
         if a == b {
             return true;
         }
-        let Some(&da) = self.depth.get(&a) else { return false };
+        let Some(&da) = self.depth.get(&a) else {
+            return false;
+        };
         let mut cur = b;
         loop {
-            let Some(&dc) = self.depth.get(&cur) else { return false };
+            let Some(&dc) = self.depth.get(&cur) else {
+                return false;
+            };
             if dc <= da {
                 return cur == a;
             }
@@ -368,8 +379,15 @@ mod tests {
         let y = f.vreg();
         let head = f.add_block(Term::Return(None));
         let body = f.add_block(Term::Jump(head));
-        f.block_mut(head).term =
-            Term::Branch { op: CmpOp::Lt, a: x, b: y, t: body, f: exit, t_count: 9, f_count: 1 };
+        f.block_mut(head).term = Term::Branch {
+            op: CmpOp::Lt,
+            a: x,
+            b: y,
+            t: body,
+            f: exit,
+            t_count: 9,
+            f_count: 1,
+        };
         f.block_mut(f.entry).term = Term::Jump(head);
         let dt = DomTree::compute(&f);
         assert_eq!(dt.idom(body), Some(head));

@@ -46,7 +46,13 @@ pub fn to_dot(f: &Func) -> String {
         }
         let _ = writeln!(s, "  {b} [label=\"{label}\"];");
         match &blk.term {
-            Term::Branch { t, f: fb, t_count, f_count, .. } => {
+            Term::Branch {
+                t,
+                f: fb,
+                t_count,
+                f_count,
+                ..
+            } => {
                 let _ = writeln!(s, "  {b} -> {t} [label=\"T {t_count}\"];");
                 let _ = writeln!(s, "  {b} -> {fb} [label=\"F {f_count}\"];");
             }

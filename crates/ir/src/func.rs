@@ -24,7 +24,13 @@ pub struct Block {
 
 impl Block {
     fn new(term: Term) -> Self {
-        Block { insts: Vec::new(), term, freq: 0, region: None, dead: false }
+        Block {
+            insts: Vec::new(),
+            term,
+            freq: 0,
+            region: None,
+            dead: false,
+        }
     }
 
     /// Iterator over the phi instructions at the head of the block.
@@ -34,7 +40,10 @@ impl Block {
 
     /// Number of leading phi instructions.
     pub fn phi_count(&self) -> usize {
-        self.insts.iter().take_while(|i| matches!(i.op, Op::Phi(_))).count()
+        self.insts
+            .iter()
+            .take_while(|i| matches!(i.op, Op::Phi(_)))
+            .count()
     }
 }
 
@@ -157,7 +166,7 @@ impl Func {
     pub fn rpo(&self) -> Vec<BlockId> {
         let mut order = Vec::new();
         let mut state = vec![0u8; self.blocks.len()]; // 0 unvisited, 1 on stack, 2 done
-        // Iterative DFS computing postorder.
+                                                      // Iterative DFS computing postorder.
         let mut stack = vec![(self.entry, 0usize)];
         state[self.entry.0 as usize] = 1;
         while let Some(&mut (b, ref mut i)) = stack.last_mut() {
@@ -242,7 +251,13 @@ impl Func {
                     0
                 }
             }
-            Term::Branch { t, f, t_count, f_count, .. } => {
+            Term::Branch {
+                t,
+                f,
+                t_count,
+                f_count,
+                ..
+            } => {
                 let mut n = 0;
                 if *t == to {
                     n += t_count;
@@ -252,7 +267,9 @@ impl Func {
                 }
                 n
             }
-            Term::Switch { targets, default, .. } => {
+            Term::Switch {
+                targets, default, ..
+            } => {
                 let mut n = 0;
                 for (b, c) in targets {
                     if *b == to {
@@ -278,12 +295,18 @@ impl Func {
     /// Total static instruction count over live blocks (HIR ops; used for
     /// the paper's R = 200 region-size budget).
     pub fn size(&self) -> u64 {
-        self.block_ids().iter().map(|b| self.block(*b).insts.len() as u64 + 1).sum()
+        self.block_ids()
+            .iter()
+            .map(|b| self.block(*b).insts.len() as u64 + 1)
+            .sum()
     }
 
     /// Registers a new assert and returns its id.
     pub fn new_assert(&mut self, region: RegionId, origin: impl Into<String>) -> AssertId {
-        self.asserts.push(AssertInfo { region, origin: origin.into() });
+        self.asserts.push(AssertInfo {
+            region,
+            origin: origin.into(),
+        });
         AssertId((self.asserts.len() - 1) as u32)
     }
 
@@ -297,7 +320,11 @@ impl Func {
     pub fn display(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        let _ = writeln!(s, "func {} (params {}) entry {}", self.name, self.params, self.entry);
+        let _ = writeln!(
+            s,
+            "func {} (params {}) entry {}",
+            self.name, self.params, self.entry
+        );
         for b in self.block_ids() {
             let blk = self.block(b);
             let region = blk
@@ -392,9 +419,10 @@ mod tests {
         let v2 = f.vreg();
         let v3 = f.vreg();
         let d = f.vreg();
-        f.block_mut(BlockId(1))
-            .insts
-            .push(Inst::with_dst(d, Op::Phi(vec![(BlockId(2), v2), (BlockId(3), v3)])));
+        f.block_mut(BlockId(1)).insts.push(Inst::with_dst(
+            d,
+            Op::Phi(vec![(BlockId(2), v2), (BlockId(3), v3)]),
+        ));
         let mid = f.split_edge(BlockId(2), BlockId(1));
         assert_eq!(f.succs(BlockId(2)), vec![mid]);
         match &f.block(BlockId(1)).insts[0].op {
@@ -411,6 +439,9 @@ mod tests {
         let f = diamond();
         assert_eq!(f.edge_count(f.entry, BlockId(2)), 30);
         assert_eq!(f.edge_count(f.entry, BlockId(3)), 70);
-        assert_eq!(f.edge_count(BlockId(2), BlockId(1)), f.block(BlockId(2)).freq);
+        assert_eq!(
+            f.edge_count(BlockId(2), BlockId(1)),
+            f.block(BlockId(2)).freq
+        );
     }
 }

@@ -239,7 +239,11 @@ impl Op {
     /// Operand values read by this op.
     pub fn args(&self) -> Vec<VReg> {
         match self {
-            Op::Const(_) | Op::ConstNull | Op::New(_) | Op::Safepoint | Op::Marker(_)
+            Op::Const(_)
+            | Op::ConstNull
+            | Op::New(_)
+            | Op::Safepoint
+            | Op::Marker(_)
             | Op::RegionEnd(_) => vec![],
             Op::Phi(ins) => ins.iter().map(|(_, v)| *v).collect(),
             Op::Copy(v)
@@ -272,7 +276,11 @@ impl Op {
     /// Mutable references to every operand (for renaming).
     pub fn args_mut(&mut self) -> Vec<&mut VReg> {
         match self {
-            Op::Const(_) | Op::ConstNull | Op::New(_) | Op::Safepoint | Op::Marker(_)
+            Op::Const(_)
+            | Op::ConstNull
+            | Op::New(_)
+            | Op::Safepoint
+            | Op::Marker(_)
             | Op::RegionEnd(_) => vec![],
             Op::Phi(ins) => ins.iter_mut().map(|(_, v)| v).collect(),
             Op::Copy(v)
@@ -435,7 +443,9 @@ impl Term {
         match self {
             Term::Jump(b) => vec![*b],
             Term::Branch { t, f, .. } => vec![*t, *f],
-            Term::Switch { targets, default, .. } => {
+            Term::Switch {
+                targets, default, ..
+            } => {
                 let mut v: Vec<BlockId> = targets.iter().map(|(b, _)| *b).collect();
                 v.push(default.0);
                 v
@@ -458,7 +468,9 @@ impl Term {
                 patch(t);
                 patch(f);
             }
-            Term::Switch { targets, default, .. } => {
+            Term::Switch {
+                targets, default, ..
+            } => {
                 for (b, _) in targets.iter_mut() {
                     patch(b);
                 }
@@ -510,10 +522,23 @@ mod tests {
     #[test]
     fn side_effects() {
         assert!(!Op::Const(3).has_side_effect());
-        assert!(!Op::LoadField { obj: VReg(0), field: FieldId(0) }.has_side_effect());
-        assert!(Op::StoreField { obj: VReg(0), field: FieldId(0), val: VReg(1) }.has_side_effect());
+        assert!(!Op::LoadField {
+            obj: VReg(0),
+            field: FieldId(0)
+        }
+        .has_side_effect());
+        assert!(Op::StoreField {
+            obj: VReg(0),
+            field: FieldId(0),
+            val: VReg(1)
+        }
+        .has_side_effect());
         assert!(Op::NullCheck(VReg(0)).has_side_effect());
-        assert!(Op::Assert { kind: AssertKind::Null(VReg(0)), id: AssertId(0) }.has_side_effect());
+        assert!(Op::Assert {
+            kind: AssertKind::Null(VReg(0)),
+            id: AssertId(0)
+        }
+        .has_side_effect());
         assert!(Op::RegionEnd(RegionId(0)).has_side_effect());
     }
 
@@ -535,13 +560,21 @@ mod tests {
 
     #[test]
     fn region_begin_has_two_succs() {
-        let t = Term::RegionBegin { region: RegionId(0), body: BlockId(1), abort: BlockId(2) };
+        let t = Term::RegionBegin {
+            region: RegionId(0),
+            body: BlockId(1),
+            abort: BlockId(2),
+        };
         assert_eq!(t.succs(), vec![BlockId(1), BlockId(2)]);
     }
 
     #[test]
     fn assert_kinds_args() {
-        let k = AssertKind::Cmp { op: CmpOp::Ge, a: VReg(4), b: VReg(5) };
+        let k = AssertKind::Cmp {
+            op: CmpOp::Ge,
+            a: VReg(4),
+            b: VReg(5),
+        };
         assert_eq!(k.args(), vec![VReg(4), VReg(5)]);
         assert_eq!(AssertKind::LockHeld(VReg(9)).args(), vec![VReg(9)]);
     }

@@ -119,15 +119,26 @@ mod tests {
         let body = f.add_block(Term::Jump(head));
         let x = f.vreg();
         let x1 = f.vreg();
-        f.block_mut(f.entry).insts.push(Inst::with_dst(x0, Op::Const(0)));
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::with_dst(x0, Op::Const(0)));
         f.block_mut(f.entry).term = Term::Jump(head);
         let entry = f.entry;
         f.block_mut(head)
             .insts
             .push(Inst::with_dst(x, Op::Phi(vec![(entry, x0), (body, x1)])));
-        f.block_mut(head).term =
-            Term::Branch { op: CmpOp::Lt, a: x, b: p, t: body, f: exit, t_count: 5, f_count: 1 };
-        f.block_mut(body).insts.push(Inst::with_dst(x1, Op::Bin(BinOp::Add, x, p)));
+        f.block_mut(head).term = Term::Branch {
+            op: CmpOp::Lt,
+            a: x,
+            b: p,
+            t: body,
+            f: exit,
+            t_count: 5,
+            f_count: 1,
+        };
+        f.block_mut(body)
+            .insts
+            .push(Inst::with_dst(x1, Op::Bin(BinOp::Add, x, p)));
         f.block_mut(exit).term = Term::Return(Some(x));
 
         let lv = Liveness::compute(&f);

@@ -95,7 +95,11 @@ impl LoopForest {
         }
         let mut loops: Vec<Loop> = by_header
             .into_iter()
-            .map(|(header, blocks)| Loop { header, blocks, depth: 0 })
+            .map(|(header, blocks)| Loop {
+                header,
+                blocks,
+                depth: 0,
+            })
             .collect();
         // Depth = number of other loops containing this loop's header.
         let depths: Vec<usize> = loops
@@ -271,8 +275,14 @@ mod tests {
         let f = nested();
         let dt = DomTree::compute(&f);
         let lf = LoopForest::compute(&f, &dt);
-        assert_eq!(lf.innermost_containing(BlockId(4)).unwrap().header, BlockId(3));
-        assert_eq!(lf.innermost_containing(BlockId(5)).unwrap().header, BlockId(2));
+        assert_eq!(
+            lf.innermost_containing(BlockId(4)).unwrap().header,
+            BlockId(3)
+        );
+        assert_eq!(
+            lf.innermost_containing(BlockId(5)).unwrap().header,
+            BlockId(2)
+        );
         assert!(lf.innermost_containing(BlockId(1)).is_none());
         assert!(lf.is_header(BlockId(2)));
         assert!(!lf.is_header(BlockId(4)));

@@ -36,7 +36,10 @@ pub fn construct(f: &mut Func, num_vars: u32) {
     }
     // Parameters are defined at entry.
     for i in 0..f.params {
-        def_sites.entry(VReg(u32::from(i))).or_default().insert(f.entry);
+        def_sites
+            .entry(VReg(u32::from(i)))
+            .or_default()
+            .insert(f.entry);
     }
 
     // Insert phi placeholders at iterated dominance frontiers.
@@ -49,12 +52,19 @@ pub fn construct(f: &mut Func, num_vars: u32) {
         work.sort();
         let mut has_phi: HashSet<BlockId> = HashSet::new();
         while let Some(b) = work.pop() {
-            for &d in frontiers.get(&b).map(|s| s as &HashSet<BlockId>).into_iter().flatten() {
+            for &d in frontiers
+                .get(&b)
+                .map(|s| s as &HashSet<BlockId>)
+                .into_iter()
+                .flatten()
+            {
                 if !reachable.contains(&d) || !has_phi.insert(d) {
                     continue;
                 }
                 let slot = f.block(d).phi_count();
-                f.block_mut(d).insts.insert(slot, Inst::with_dst(v, Op::Phi(Vec::new())));
+                f.block_mut(d)
+                    .insts
+                    .insert(slot, Inst::with_dst(v, Op::Phi(Vec::new())));
                 // Re-key any phis recorded after this slot in the same block.
                 let mut rekey: Vec<((BlockId, usize), VReg)> = Vec::new();
                 for (&(bb, s), &vv) in &phi_var {
@@ -62,7 +72,7 @@ pub fn construct(f: &mut Func, num_vars: u32) {
                         rekey.push(((bb, s), vv));
                     }
                 }
-                rekey.sort_by(|a, b| b.0 .1.cmp(&a.0 .1));
+                rekey.sort_by_key(|&((_, s), _)| std::cmp::Reverse(s));
                 for ((bb, s), vv) in rekey {
                     phi_var.remove(&(bb, s));
                     phi_var.insert((bb, s + 1), vv);
@@ -147,7 +157,9 @@ fn rename(
         }
         let phi_count = f.block(s).phi_count();
         for slot in 0..phi_count {
-            let Some(&v) = phi_var.get(&(s, slot)) else { continue };
+            let Some(&v) = phi_var.get(&(s, slot)) else {
+                continue;
+            };
             let cur = stacks
                 .get(&v)
                 .and_then(|st| st.last())
@@ -192,15 +204,32 @@ mod tests {
         let exit = f.add_block(Term::Return(Some(x)));
         let head = f.add_block(Term::Return(None));
         let body = f.add_block(Term::Jump(head));
-        f.block_mut(f.entry).insts.push(Inst::with_dst(x, Op::Const(0)));
-        f.block_mut(f.entry).insts.push(Inst::with_dst(i, Op::Const(0)));
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::with_dst(x, Op::Const(0)));
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::with_dst(i, Op::Const(0)));
         f.block_mut(f.entry).term = Term::Jump(head);
-        f.block_mut(head).term =
-            Term::Branch { op: CmpOp::Lt, a: i, b: n, t: body, f: exit, t_count: 10, f_count: 1 };
-        f.block_mut(body).insts.push(Inst::with_dst(x, Op::Bin(BinOp::Add, x, i)));
+        f.block_mut(head).term = Term::Branch {
+            op: CmpOp::Lt,
+            a: i,
+            b: n,
+            t: body,
+            f: exit,
+            t_count: 10,
+            f_count: 1,
+        };
+        f.block_mut(body)
+            .insts
+            .push(Inst::with_dst(x, Op::Bin(BinOp::Add, x, i)));
         let one = f.vreg();
-        f.block_mut(body).insts.insert(0, Inst::with_dst(one, Op::Const(1)));
-        f.block_mut(body).insts.push(Inst::with_dst(i, Op::Bin(BinOp::Add, i, one)));
+        f.block_mut(body)
+            .insts
+            .insert(0, Inst::with_dst(one, Op::Const(1)));
+        f.block_mut(body)
+            .insts
+            .push(Inst::with_dst(i, Op::Bin(BinOp::Add, i, one)));
         f
     }
 
@@ -211,7 +240,12 @@ mod tests {
         verify::verify(&f).unwrap_or_else(|e| panic!("{e}\n{}", f.display()));
         let head = BlockId(2);
         let phis = f.block(head).phi_count();
-        assert_eq!(phis, 2, "x and i need phis at the loop header:\n{}", f.display());
+        assert_eq!(
+            phis,
+            2,
+            "x and i need phis at the loop header:\n{}",
+            f.display()
+        );
         // Each phi has two inputs: entry and body.
         for inst in f.block(head).phis() {
             if let Op::Phi(ins) = &inst.op {
@@ -225,8 +259,12 @@ mod tests {
         let mut f = Func::new("s", MethodId(0), 1);
         let v = VReg(1);
         f.vreg();
-        f.block_mut(f.entry).insts.push(Inst::with_dst(v, Op::Const(5)));
-        f.block_mut(f.entry).insts.push(Inst::with_dst(v, Op::Bin(BinOp::Add, v, VReg(0))));
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::with_dst(v, Op::Const(5)));
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::with_dst(v, Op::Bin(BinOp::Add, v, VReg(0))));
         f.block_mut(f.entry).term = Term::Return(Some(v));
         construct(&mut f, 2);
         verify::verify(&f).unwrap();
@@ -254,8 +292,12 @@ mod tests {
         f.block_mut(t).insts.push(Inst::with_dst(v, Op::Const(1)));
         f.block_mut(e).insts.push(Inst::with_dst(v, Op::Const(2)));
         let zero = f.vreg();
-        f.block_mut(f.entry).insts.push(Inst::with_dst(zero, Op::Const(0)));
-        f.block_mut(f.entry).insts.push(Inst::with_dst(v, Op::Const(0)));
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::with_dst(zero, Op::Const(0)));
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::with_dst(v, Op::Const(0)));
         f.block_mut(f.entry).term = Term::Branch {
             op: CmpOp::Ne,
             a: VReg(0),

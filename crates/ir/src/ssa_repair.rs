@@ -67,7 +67,9 @@ pub fn repair_with(
                 continue;
             }
             let fresh = f.vreg();
-            f.block_mut(d).insts.insert(0, Inst::with_dst(fresh, Op::Phi(Vec::new())));
+            f.block_mut(d)
+                .insts
+                .insert(0, Inst::with_dst(fresh, Op::Phi(Vec::new())));
             phi_at.insert(d, fresh);
             if !def_blocks.contains(&d) {
                 work.push(d);
@@ -183,7 +185,9 @@ pub fn materialize_undef_inputs(f: &mut Func) -> usize {
     for (p, b, i) in fixes {
         let z = f.vreg();
         let at = f.block(p).insts.len();
-        f.block_mut(p).insts.insert(at, Inst::with_dst(z, Op::Const(0)));
+        f.block_mut(p)
+            .insts
+            .insert(at, Inst::with_dst(z, Op::Const(0)));
         if let Op::Phi(ins) = &mut f.block_mut(b).insts[i].op {
             for (pp, v) in ins.iter_mut() {
                 if *pp == p && v.0 == u32::MAX {
@@ -215,9 +219,15 @@ mod tests {
         let v1 = f.vreg();
         let v2 = f.vreg();
         let z = f.vreg();
-        f.block_mut(orig).insts.push(Inst::with_dst(v1, Op::Const(10)));
-        f.block_mut(copy).insts.push(Inst::with_dst(v2, Op::Const(10)));
-        f.block_mut(f.entry).insts.push(Inst::with_dst(z, Op::Const(0)));
+        f.block_mut(orig)
+            .insts
+            .push(Inst::with_dst(v1, Op::Const(10)));
+        f.block_mut(copy)
+            .insts
+            .push(Inst::with_dst(v2, Op::Const(10)));
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::with_dst(z, Op::Const(0)));
         f.block_mut(f.entry).term = Term::Branch {
             op: CmpOp::Eq,
             a: p,
@@ -228,7 +238,9 @@ mod tests {
             f_count: 1,
         };
         let out = f.vreg();
-        f.block_mut(join).insts.push(Inst::with_dst(out, Op::Bin(BinOp::Add, v1, v1)));
+        f.block_mut(join)
+            .insts
+            .push(Inst::with_dst(out, Op::Bin(BinOp::Add, v1, v1)));
         f.block_mut(join).term = Term::Return(Some(out));
         assert!(verify(&f).is_err(), "broken before repair");
 
@@ -257,7 +269,9 @@ mod tests {
         let body = f.add_block(Term::Jump(head));
         let v1 = f.vreg();
         let v2 = f.vreg();
-        f.block_mut(f.entry).insts.push(Inst::with_dst(v1, Op::Const(1)));
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::with_dst(v1, Op::Const(1)));
         f.block_mut(f.entry).term = Term::Jump(head);
         f.block_mut(head).term = Term::Branch {
             op: CmpOp::Lt,
@@ -268,7 +282,9 @@ mod tests {
             t_count: 5,
             f_count: 1,
         };
-        f.block_mut(body).insts.push(Inst::with_dst(v2, Op::Bin(BinOp::Add, v1, v1)));
+        f.block_mut(body)
+            .insts
+            .push(Inst::with_dst(v2, Op::Bin(BinOp::Add, v1, v1)));
         f.block_mut(exit).term = Term::Return(Some(v1));
 
         repair(&mut f, &[v1, v2]);
@@ -285,7 +301,9 @@ mod tests {
     fn single_def_untouched() {
         let mut f = Func::new("t", MethodId(0), 0);
         let v = f.vreg();
-        f.block_mut(f.entry).insts.push(Inst::with_dst(v, Op::Const(3)));
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::with_dst(v, Op::Const(3)));
         f.block_mut(f.entry).term = Term::Return(Some(v));
         repair(&mut f, &[v, VReg(99)]);
         verify(&f).unwrap();

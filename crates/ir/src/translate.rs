@@ -32,10 +32,9 @@ pub fn translate(program: &Program, method: MethodId, profile: Option<&MethodPro
         for t in instr.targets() {
             leaders.insert(t);
         }
-        if matches!(instr, Instr::Branch { .. }) || instr.is_terminator() {
-            if pc + 1 < m.code.len() {
-                leaders.insert(pc + 1);
-            }
+        if (matches!(instr, Instr::Branch { .. }) || instr.is_terminator()) && pc + 1 < m.code.len()
+        {
+            leaders.insert(pc + 1);
         }
     }
 
@@ -63,8 +62,12 @@ pub fn translate(program: &Program, method: MethodId, profile: Option<&MethodPro
                 .push(Inst::with_dst(VReg(u32::from(i)), Op::Const(0)));
         }
         if m.synchronized {
-            f.block_mut(entry).insts.push(Inst::effect(Op::NullCheck(VReg(0))));
-            f.block_mut(entry).insts.push(Inst::effect(Op::MonitorEnter(VReg(0))));
+            f.block_mut(entry)
+                .insts
+                .push(Inst::effect(Op::NullCheck(VReg(0))));
+            f.block_mut(entry)
+                .insts
+                .push(Inst::effect(Op::MonitorEnter(VReg(0))));
         }
         f.block_mut(entry).term = Term::Jump(pc_block[&0]);
         f.block_mut(entry).freq = prof.invocations;
@@ -80,17 +83,25 @@ pub fn translate(program: &Program, method: MethodId, profile: Option<&MethodPro
             let instr = &m.code[pc];
             match instr {
                 Instr::Const { dst, value } => {
-                    f.block_mut(bid).insts.push(Inst::with_dst(var(*dst), Op::Const(*value)));
+                    f.block_mut(bid)
+                        .insts
+                        .push(Inst::with_dst(var(*dst), Op::Const(*value)));
                 }
                 Instr::ConstNull { dst } => {
-                    f.block_mut(bid).insts.push(Inst::with_dst(var(*dst), Op::ConstNull));
+                    f.block_mut(bid)
+                        .insts
+                        .push(Inst::with_dst(var(*dst), Op::ConstNull));
                 }
                 Instr::Move { dst, src } => {
-                    f.block_mut(bid).insts.push(Inst::with_dst(var(*dst), Op::Copy(var(*src))));
+                    f.block_mut(bid)
+                        .insts
+                        .push(Inst::with_dst(var(*dst), Op::Copy(var(*src))));
                 }
                 Instr::Bin { op, dst, a, b } => {
                     if matches!(op, BinOp::Div | BinOp::Rem) {
-                        f.block_mut(bid).insts.push(Inst::effect(Op::DivCheck(var(*b))));
+                        f.block_mut(bid)
+                            .insts
+                            .push(Inst::effect(Op::DivCheck(var(*b))));
                     }
                     f.block_mut(bid)
                         .insts
@@ -118,7 +129,11 @@ pub fn translate(program: &Program, method: MethodId, profile: Option<&MethodPro
                     f.block_mut(bid).term = Term::Jump(pc_block[target]);
                     fell_through = false;
                 }
-                Instr::Switch { src, targets, default } => {
+                Instr::Switch {
+                    src,
+                    targets,
+                    default,
+                } => {
                     let counts = prof
                         .switches
                         .get(&pc)
@@ -136,7 +151,9 @@ pub fn translate(program: &Program, method: MethodId, profile: Option<&MethodPro
                     fell_through = false;
                 }
                 Instr::New { dst, class } => {
-                    f.block_mut(bid).insts.push(Inst::with_dst(var(*dst), Op::New(*class)));
+                    f.block_mut(bid)
+                        .insts
+                        .push(Inst::with_dst(var(*dst), Op::New(*class)));
                 }
                 Instr::NewArray { dst, len } => {
                     f.block_mut(bid)
@@ -144,14 +161,21 @@ pub fn translate(program: &Program, method: MethodId, profile: Option<&MethodPro
                         .push(Inst::with_dst(var(*dst), Op::NewArray(var(*len))));
                 }
                 Instr::GetField { dst, obj, field } => {
-                    f.block_mut(bid).insts.push(Inst::effect(Op::NullCheck(var(*obj))));
+                    f.block_mut(bid)
+                        .insts
+                        .push(Inst::effect(Op::NullCheck(var(*obj))));
                     f.block_mut(bid).insts.push(Inst::with_dst(
                         var(*dst),
-                        Op::LoadField { obj: var(*obj), field: *field },
+                        Op::LoadField {
+                            obj: var(*obj),
+                            field: *field,
+                        },
                     ));
                 }
                 Instr::PutField { obj, field, src } => {
-                    f.block_mut(bid).insts.push(Inst::effect(Op::NullCheck(var(*obj))));
+                    f.block_mut(bid)
+                        .insts
+                        .push(Inst::effect(Op::NullCheck(var(*obj))));
                     f.block_mut(bid).insts.push(Inst::effect(Op::StoreField {
                         obj: var(*obj),
                         field: *field,
@@ -163,10 +187,16 @@ pub fn translate(program: &Program, method: MethodId, profile: Option<&MethodPro
                     let b = f.block_mut(bid);
                     b.insts.push(Inst::effect(Op::NullCheck(var(*arr))));
                     b.insts.push(Inst::with_dst(len, Op::ArrayLen(var(*arr))));
-                    b.insts.push(Inst::effect(Op::BoundsCheck { len, idx: var(*idx) }));
+                    b.insts.push(Inst::effect(Op::BoundsCheck {
+                        len,
+                        idx: var(*idx),
+                    }));
                     b.insts.push(Inst::with_dst(
                         var(*dst),
-                        Op::LoadElem { arr: var(*arr), idx: var(*idx) },
+                        Op::LoadElem {
+                            arr: var(*arr),
+                            idx: var(*idx),
+                        },
                     ));
                 }
                 Instr::AStore { arr, idx, src } => {
@@ -174,7 +204,10 @@ pub fn translate(program: &Program, method: MethodId, profile: Option<&MethodPro
                     let b = f.block_mut(bid);
                     b.insts.push(Inst::effect(Op::NullCheck(var(*arr))));
                     b.insts.push(Inst::with_dst(len, Op::ArrayLen(var(*arr))));
-                    b.insts.push(Inst::effect(Op::BoundsCheck { len, idx: var(*idx) }));
+                    b.insts.push(Inst::effect(Op::BoundsCheck {
+                        len,
+                        idx: var(*idx),
+                    }));
                     b.insts.push(Inst::effect(Op::StoreElem {
                         arr: var(*arr),
                         idx: var(*idx),
@@ -182,18 +215,32 @@ pub fn translate(program: &Program, method: MethodId, profile: Option<&MethodPro
                     }));
                 }
                 Instr::ArrayLen { dst, arr } => {
-                    f.block_mut(bid).insts.push(Inst::effect(Op::NullCheck(var(*arr))));
-                    f.block_mut(bid).insts.push(Inst::with_dst(var(*dst), Op::ArrayLen(var(*arr))));
+                    f.block_mut(bid)
+                        .insts
+                        .push(Inst::effect(Op::NullCheck(var(*arr))));
+                    f.block_mut(bid)
+                        .insts
+                        .push(Inst::with_dst(var(*dst), Op::ArrayLen(var(*arr))));
                 }
                 Instr::Call { dst, method, args } => {
                     let argv = args.iter().map(|r| var(*r)).collect();
                     f.block_mut(bid).insts.push(Inst {
                         dst: dst.map(var),
-                        op: Op::Call { method: *method, args: argv },
+                        op: Op::Call {
+                            method: *method,
+                            args: argv,
+                        },
                     });
                 }
-                Instr::CallVirtual { dst, slot, recv, args } => {
-                    f.block_mut(bid).insts.push(Inst::effect(Op::NullCheck(var(*recv))));
+                Instr::CallVirtual {
+                    dst,
+                    slot,
+                    recv,
+                    args,
+                } => {
+                    f.block_mut(bid)
+                        .insts
+                        .push(Inst::effect(Op::NullCheck(var(*recv))));
                     let argv = args.iter().map(|r| var(*r)).collect();
                     f.block_mut(bid).insts.push(Inst {
                         dst: dst.map(var),
@@ -207,38 +254,56 @@ pub fn translate(program: &Program, method: MethodId, profile: Option<&MethodPro
                 }
                 Instr::Return { src } => {
                     if m.synchronized {
-                        f.block_mut(bid).insts.push(Inst::effect(Op::MonitorExit(VReg(0))));
+                        f.block_mut(bid)
+                            .insts
+                            .push(Inst::effect(Op::MonitorExit(VReg(0))));
                     }
                     f.block_mut(bid).term = Term::Return(src.map(var));
                     fell_through = false;
                 }
                 Instr::MonitorEnter { obj } => {
-                    f.block_mut(bid).insts.push(Inst::effect(Op::NullCheck(var(*obj))));
-                    f.block_mut(bid).insts.push(Inst::effect(Op::MonitorEnter(var(*obj))));
+                    f.block_mut(bid)
+                        .insts
+                        .push(Inst::effect(Op::NullCheck(var(*obj))));
+                    f.block_mut(bid)
+                        .insts
+                        .push(Inst::effect(Op::MonitorEnter(var(*obj))));
                 }
                 Instr::MonitorExit { obj } => {
-                    f.block_mut(bid).insts.push(Inst::effect(Op::NullCheck(var(*obj))));
-                    f.block_mut(bid).insts.push(Inst::effect(Op::MonitorExit(var(*obj))));
+                    f.block_mut(bid)
+                        .insts
+                        .push(Inst::effect(Op::NullCheck(var(*obj))));
+                    f.block_mut(bid)
+                        .insts
+                        .push(Inst::effect(Op::MonitorExit(var(*obj))));
                 }
                 Instr::InstanceOf { dst, obj, class } => {
                     f.block_mut(bid).insts.push(Inst::with_dst(
                         var(*dst),
-                        Op::InstanceOf { obj: var(*obj), class: *class },
+                        Op::InstanceOf {
+                            obj: var(*obj),
+                            class: *class,
+                        },
                     ));
                 }
                 Instr::CheckCast { obj, class } => {
-                    f.block_mut(bid)
-                        .insts
-                        .push(Inst::effect(Op::CastCheck { obj: var(*obj), class: *class }));
+                    f.block_mut(bid).insts.push(Inst::effect(Op::CastCheck {
+                        obj: var(*obj),
+                        class: *class,
+                    }));
                 }
                 Instr::Safepoint => {
                     f.block_mut(bid).insts.push(Inst::effect(Op::Safepoint));
                 }
                 Instr::Intrin { kind, dst, args } => {
                     let argv = args.iter().map(|r| var(*r)).collect();
-                    f.block_mut(bid)
-                        .insts
-                        .push(Inst { dst: dst.map(var), op: Op::Intrin { kind: *kind, args: argv } });
+                    f.block_mut(bid).insts.push(Inst {
+                        dst: dst.map(var),
+                        op: Op::Intrin {
+                            kind: *kind,
+                            args: argv,
+                        },
+                    });
                 }
                 Instr::Marker { id } => {
                     f.block_mut(bid).insts.push(Inst::effect(Op::Marker(*id)));
@@ -300,12 +365,20 @@ mod tests {
             .block_ids()
             .iter()
             .any(|b| f.block(*b).insts.iter().any(|i| matches!(i.op, Op::Phi(_))));
-        assert!(has_phi, "loop-carried variables need phis:\n{}", f.display());
+        assert!(
+            has_phi,
+            "loop-carried variables need phis:\n{}",
+            f.display()
+        );
         // Branch profile carried over: not-taken 50, taken 1.
         let found = f.block_ids().iter().any(|b| {
             matches!(
                 f.block(*b).term,
-                Term::Branch { t_count: 1, f_count: 50, .. }
+                Term::Branch {
+                    t_count: 1,
+                    f_count: 50,
+                    ..
+                }
             )
         });
         assert!(found, "profile counts attached:\n{}", f.display());
@@ -338,7 +411,10 @@ mod tests {
                     .count()
             })
             .sum();
-        assert_eq!(n_checks, 2, "each GetField carries its own NullCheck pre-GVN");
+        assert_eq!(
+            n_checks, 2,
+            "each GetField carries its own NullCheck pre-GVN"
+        );
     }
 
     #[test]

@@ -86,7 +86,9 @@ pub fn verify(f: &Func) -> Result<(), String> {
                 for (p, v) in ins {
                     // Phi input must dominate the end of the predecessor.
                     if !dominates_use(*v, *p, usize::MAX) {
-                        return Err(format!("phi input {v} (edge {p}->{b}) not dominated by def"));
+                        return Err(format!(
+                            "phi input {v} (edge {p}->{b}) not dominated by def"
+                        ));
                     }
                 }
             } else {
@@ -152,16 +154,14 @@ fn verify_regions(
                 }
                 // Exits commit: an edge leaving the region must come from a
                 // block containing RegionEnd.
-                let leaves_region =
-                    f.succs(b).iter().any(|s| f.block(*s).region != Some(r));
+                let leaves_region = f.succs(b).iter().any(|s| f.block(*s).region != Some(r));
                 if leaves_region {
-                    let has_end =
-                        blk.insts.iter().any(|i| matches!(i.op, Op::RegionEnd(re) if re == r));
+                    let has_end = blk
+                        .insts
+                        .iter()
+                        .any(|i| matches!(i.op, Op::RegionEnd(re) if re == r));
                     if !has_end {
-                        return Err(format!(
-                            "region r{} exits at {b} without aregion_end",
-                            r.0
-                        ));
+                        return Err(format!("region r{} exits at {b} without aregion_end", r.0));
                     }
                 }
             }
@@ -175,7 +175,12 @@ fn verify_regions(
                         return Err(format!("RegionEnd outside any region at {b}"));
                     }
                 }
-                if let Term::RegionBegin { region, body, abort } = &blk.term {
+                if let Term::RegionBegin {
+                    region,
+                    body,
+                    abort,
+                } = &blk.term
+                {
                     if f.block(*body).region != Some(*region) {
                         return Err(format!(
                             "RegionBegin at {b}: body {body} not tagged r{}",
@@ -185,7 +190,7 @@ fn verify_regions(
                     if f.block(*abort).region.is_some() {
                         return Err(format!(
                             "RegionBegin at {b}: abort target {abort} is inside a region",
-                            ));
+                        ));
                     }
                 }
             }
@@ -211,8 +216,12 @@ mod tests {
     fn rejects_double_def() {
         let mut f = Func::new("t", MethodId(0), 0);
         let v = f.vreg();
-        f.block_mut(f.entry).insts.push(Inst::with_dst(v, Op::Const(1)));
-        f.block_mut(f.entry).insts.push(Inst::with_dst(v, Op::Const(2)));
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::with_dst(v, Op::Const(1)));
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::with_dst(v, Op::Const(2)));
         assert!(verify(&f).unwrap_err().contains("defined twice"));
     }
 
@@ -222,9 +231,15 @@ mod tests {
         let a = f.vreg();
         let b = f.vreg();
         let c = f.vreg();
-        f.block_mut(f.entry).insts.push(Inst::with_dst(c, Op::Bin(BinOp::Add, a, b)));
-        f.block_mut(f.entry).insts.push(Inst::with_dst(a, Op::Const(1)));
-        f.block_mut(f.entry).insts.push(Inst::with_dst(b, Op::Const(2)));
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::with_dst(c, Op::Bin(BinOp::Add, a, b)));
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::with_dst(a, Op::Const(1)));
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::with_dst(b, Op::Const(2)));
         assert!(verify(&f).unwrap_err().contains("not dominated"));
     }
 
@@ -234,16 +249,30 @@ mod tests {
         let exit = f.add_block(Term::Return(None));
         let body = f.add_block(Term::Jump(exit));
         let abort = f.add_block(Term::Jump(exit));
-        let r = f.new_region(RegionInfo { begin: f.entry, abort_target: abort, size_estimate: 1 });
-        f.block_mut(f.entry).term = Term::RegionBegin { region: r, body, abort };
+        let r = f.new_region(RegionInfo {
+            begin: f.entry,
+            abort_target: abort,
+            size_estimate: 1,
+        });
+        f.block_mut(f.entry).term = Term::RegionBegin {
+            region: r,
+            body,
+            abort,
+        };
         f.block_mut(body).region = Some(r);
         f.block_mut(body).insts.push(Inst::effect(Op::RegionEnd(r)));
         verify(&f).unwrap();
 
-        f.block_mut(body)
-            .insts
-            .insert(0, Inst::effect(Op::Call { method: MethodId(1), args: vec![] }));
-        assert!(verify(&f).unwrap_err().contains("call inside atomic region"));
+        f.block_mut(body).insts.insert(
+            0,
+            Inst::effect(Op::Call {
+                method: MethodId(1),
+                args: vec![],
+            }),
+        );
+        assert!(verify(&f)
+            .unwrap_err()
+            .contains("call inside atomic region"));
     }
 
     #[test]
@@ -252,8 +281,16 @@ mod tests {
         let exit = f.add_block(Term::Return(None));
         let body = f.add_block(Term::Jump(exit));
         let abort = f.add_block(Term::Jump(exit));
-        let r = f.new_region(RegionInfo { begin: f.entry, abort_target: abort, size_estimate: 1 });
-        f.block_mut(f.entry).term = Term::RegionBegin { region: r, body, abort };
+        let r = f.new_region(RegionInfo {
+            begin: f.entry,
+            abort_target: abort,
+            size_estimate: 1,
+        });
+        f.block_mut(f.entry).term = Term::RegionBegin {
+            region: r,
+            body,
+            abort,
+        };
         f.block_mut(body).region = Some(r);
         assert!(verify(&f).unwrap_err().contains("without aregion_end"));
     }
@@ -262,11 +299,14 @@ mod tests {
     fn rejects_assert_outside_region() {
         let mut f = Func::new("t", MethodId(0), 0);
         let v = f.vreg();
-        f.block_mut(f.entry).insts.push(Inst::with_dst(v, Op::Const(0)));
-        let id = f.new_assert(RegionId(0), "test");
         f.block_mut(f.entry)
             .insts
-            .push(Inst::effect(Op::Assert { kind: AssertKind::Null(v), id }));
+            .push(Inst::with_dst(v, Op::Const(0)));
+        let id = f.new_assert(RegionId(0), "test");
+        f.block_mut(f.entry).insts.push(Inst::effect(Op::Assert {
+            kind: AssertKind::Null(v),
+            id,
+        }));
         assert!(verify(&f).unwrap_err().contains("assert outside"));
     }
 
@@ -276,8 +316,16 @@ mod tests {
         let exit = f.add_block(Term::Return(None));
         let body = f.add_block(Term::Jump(exit));
         let abort = f.add_block(Term::Jump(body)); // illegal: jumps into region
-        let r = f.new_region(RegionInfo { begin: f.entry, abort_target: abort, size_estimate: 1 });
-        f.block_mut(f.entry).term = Term::RegionBegin { region: r, body, abort };
+        let r = f.new_region(RegionInfo {
+            begin: f.entry,
+            abort_target: abort,
+            size_estimate: 1,
+        });
+        f.block_mut(f.entry).term = Term::RegionBegin {
+            region: r,
+            body,
+            abort,
+        };
         f.block_mut(body).region = Some(r);
         f.block_mut(body).insts.push(Inst::effect(Op::RegionEnd(r)));
         assert!(verify(&f).unwrap_err().contains("entered from outside"));

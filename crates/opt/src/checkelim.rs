@@ -109,16 +109,27 @@ mod tests {
         let ret = f.add_block(Term::Return(None));
         let body = f.add_block(Term::Jump(ret));
         let abort = f.add_block(Term::Jump(ret));
-        let r = f.new_region(RegionInfo { begin: f.entry, abort_target: abort, size_estimate: 8 });
-        f.block_mut(f.entry).term = Term::RegionBegin { region: r, body, abort };
+        let r = f.new_region(RegionInfo {
+            begin: f.entry,
+            abort_target: abort,
+            size_estimate: 8,
+        });
+        f.block_mut(f.entry).term = Term::RegionBegin {
+            region: r,
+            body,
+            abort,
+        };
         f.block_mut(body).region = Some(r);
         let one = f.vreg();
         let ip1 = f.vreg();
         let blk = f.block_mut(body);
-        blk.insts.push(Inst::effect(Op::BoundsCheck { len, idx: i }));
+        blk.insts
+            .push(Inst::effect(Op::BoundsCheck { len, idx: i }));
         blk.insts.push(Inst::with_dst(one, Op::Const(1)));
-        blk.insts.push(Inst::with_dst(ip1, Op::Bin(BinOp::Add, i, one)));
-        blk.insts.push(Inst::effect(Op::BoundsCheck { len, idx: ip1 }));
+        blk.insts
+            .push(Inst::with_dst(ip1, Op::Bin(BinOp::Add, i, one)));
+        blk.insts
+            .push(Inst::effect(Op::BoundsCheck { len, idx: ip1 }));
         blk.insts.push(Inst::effect(Op::RegionEnd(r)));
         (f, body)
     }
@@ -157,8 +168,10 @@ mod tests {
         let e = f.block_mut(f.entry);
         e.insts.push(Inst::effect(Op::BoundsCheck { len, idx: i }));
         e.insts.push(Inst::with_dst(one, Op::Const(1)));
-        e.insts.push(Inst::with_dst(ip1, Op::Bin(BinOp::Add, i, one)));
-        e.insts.push(Inst::effect(Op::BoundsCheck { len, idx: ip1 }));
+        e.insts
+            .push(Inst::with_dst(ip1, Op::Bin(BinOp::Add, i, one)));
+        e.insts
+            .push(Inst::effect(Op::BoundsCheck { len, idx: ip1 }));
         e.term = Term::Return(None);
         assert_eq!(run(&mut f), 0);
     }

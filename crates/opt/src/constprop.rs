@@ -43,7 +43,17 @@ pub fn run(f: &mut Func) -> ConstPropStats {
             let new_op = match &inst.op {
                 Op::Bin(op, x, y) => match (consts.get(x), consts.get(y)) {
                     (Some(&cx), Some(&cy)) => op.eval(cx, cy).map(Op::Const),
-                    (_, Some(0)) if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr) => {
+                    (_, Some(0))
+                        if matches!(
+                            op,
+                            BinOp::Add
+                                | BinOp::Sub
+                                | BinOp::Or
+                                | BinOp::Xor
+                                | BinOp::Shl
+                                | BinOp::Shr
+                        ) =>
+                    {
                         Some(Op::Copy(*x))
                     }
                     (Some(0), _) if matches!(op, BinOp::Add | BinOp::Or | BinOp::Xor) => {
@@ -62,7 +72,10 @@ pub fn run(f: &mut Func) -> ConstPropStats {
                 },
                 // Div checks against nonzero constants are removed in the
                 // retain pass below.
-                Op::Assert { kind: AssertKind::Cmp { op, a, b: y }, .. } => {
+                Op::Assert {
+                    kind: AssertKind::Cmp { op, a, b: y },
+                    ..
+                } => {
                     match (consts.get(a), consts.get(y)) {
                         (Some(&ca), Some(&cb)) if !op.eval_int(ca, cb) => {
                             stats.asserts += 1;
@@ -72,16 +85,17 @@ pub fn run(f: &mut Func) -> ConstPropStats {
                         _ => None,
                     }
                 }
-                Op::Assert { kind: AssertKind::IntNe { sel, expected }, .. } => {
-                    match consts.get(sel) {
-                        Some(&c) if c == *expected => {
-                            stats.asserts += 1;
-                            f.block_mut(b).insts[i].op = Op::Marker(u32::MAX);
-                            None
-                        }
-                        _ => None,
+                Op::Assert {
+                    kind: AssertKind::IntNe { sel, expected },
+                    ..
+                } => match consts.get(sel) {
+                    Some(&c) if c == *expected => {
+                        stats.asserts += 1;
+                        f.block_mut(b).insts[i].op = Op::Marker(u32::MAX);
+                        None
                     }
-                }
+                    _ => None,
+                },
                 _ => None,
             };
             if let Some(op) = new_op {
@@ -108,7 +122,14 @@ pub fn run(f: &mut Func) -> ConstPropStats {
     for b in f.block_ids() {
         let term = f.block(b).term.clone();
         match term {
-            Term::Branch { op, a, b: y, t, f: fb, .. } => {
+            Term::Branch {
+                op,
+                a,
+                b: y,
+                t,
+                f: fb,
+                ..
+            } => {
                 let known = match (consts.get(&a), consts.get(&y)) {
                     (Some(&ca), Some(&cb)) => Some(op.eval_int(ca, cb)),
                     _ if a == y => Some(op.eval_int(0, 0)),
@@ -123,7 +144,11 @@ pub fn run(f: &mut Func) -> ConstPropStats {
                     }
                 }
             }
-            Term::Switch { sel, ref targets, default } => {
+            Term::Switch {
+                sel,
+                ref targets,
+                default,
+            } => {
                 if let Some(&c) = consts.get(&sel) {
                     let chosen = if c >= 0 && (c as usize) < targets.len() {
                         targets[c as usize].0
@@ -202,8 +227,12 @@ mod tests {
         let e = f.add_block(Term::Jump(join));
         let c1 = f.vreg();
         let c2 = f.vreg();
-        f.block_mut(f.entry).insts.push(Inst::with_dst(c1, Op::Const(1)));
-        f.block_mut(f.entry).insts.push(Inst::with_dst(c2, Op::Const(2)));
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::with_dst(c1, Op::Const(1)));
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::with_dst(c2, Op::Const(2)));
         f.block_mut(f.entry).term = Term::Branch {
             op: CmpOp::Lt,
             a: c1,
@@ -240,16 +269,32 @@ mod tests {
         let exit = f.add_block(Term::Return(None));
         let body = f.add_block(Term::Jump(exit));
         let abort = f.add_block(Term::Jump(exit));
-        let r = f.new_region(RegionInfo { begin: f.entry, abort_target: abort, size_estimate: 1 });
-        f.block_mut(f.entry).term = Term::RegionBegin { region: r, body, abort };
+        let r = f.new_region(RegionInfo {
+            begin: f.entry,
+            abort_target: abort,
+            size_estimate: 1,
+        });
+        f.block_mut(f.entry).term = Term::RegionBegin {
+            region: r,
+            body,
+            abort,
+        };
         f.block_mut(body).region = Some(r);
         let c1 = f.vreg();
         let c2 = f.vreg();
-        f.block_mut(body).insts.push(Inst::with_dst(c1, Op::Const(1)));
-        f.block_mut(body).insts.push(Inst::with_dst(c2, Op::Const(2)));
+        f.block_mut(body)
+            .insts
+            .push(Inst::with_dst(c1, Op::Const(1)));
+        f.block_mut(body)
+            .insts
+            .push(Inst::with_dst(c2, Op::Const(2)));
         let id = f.new_assert(RegionId(0), "x");
         f.block_mut(body).insts.push(Inst::effect(Op::Assert {
-            kind: AssertKind::Cmp { op: CmpOp::Gt, a: c1, b: c2 },
+            kind: AssertKind::Cmp {
+                op: CmpOp::Gt,
+                a: c1,
+                b: c2,
+            },
             id,
         }));
         f.block_mut(body).insts.push(Inst::effect(Op::RegionEnd(r)));
@@ -263,7 +308,9 @@ mod tests {
         let mut f = Func::new("t", MethodId(0), 1);
         let x = VReg(0);
         let d = f.vreg();
-        f.block_mut(f.entry).insts.push(Inst::with_dst(d, Op::Cmp(CmpOp::Eq, x, x)));
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::with_dst(d, Op::Cmp(CmpOp::Eq, x, x)));
         f.block_mut(f.entry).term = Term::Return(Some(d));
         run(&mut f);
         assert!(matches!(f.block(f.entry).insts[0].op, Op::Const(1)));

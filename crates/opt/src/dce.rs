@@ -55,9 +55,9 @@ pub fn run(f: &mut Func) -> usize {
     let mut removed = 0;
     for &b in &blocks {
         let before = f.block(b).insts.len();
-        f.block_mut(b).insts.retain(|inst| {
-            inst.op.has_side_effect() || inst.dst.map_or(true, |d| live.contains(&d))
-        });
+        f.block_mut(b)
+            .insts
+            .retain(|inst| inst.op.has_side_effect() || inst.dst.is_none_or(|d| live.contains(&d)));
         removed += before - f.block(b).insts.len();
     }
     removed
@@ -79,7 +79,8 @@ mod tests {
         let e = f.block_mut(f.entry);
         e.insts.push(Inst::with_dst(a, Op::Const(5)));
         e.insts.push(Inst::with_dst(b, Op::Bin(BinOp::Add, a, a))); // dead chain
-        e.insts.push(Inst::with_dst(used, Op::Bin(BinOp::Add, x, x)));
+        e.insts
+            .push(Inst::with_dst(used, Op::Bin(BinOp::Add, x, x)));
         e.term = Term::Return(Some(used));
         let _ = b;
         let n = run(&mut f);
@@ -94,8 +95,18 @@ mod tests {
         let (o, v) = (VReg(0), VReg(1));
         let unused_load = f.vreg();
         let e = f.block_mut(f.entry);
-        e.insts.push(Inst::with_dst(unused_load, Op::LoadField { obj: o, field: FieldId(0) }));
-        e.insts.push(Inst::effect(Op::StoreField { obj: o, field: FieldId(0), val: v }));
+        e.insts.push(Inst::with_dst(
+            unused_load,
+            Op::LoadField {
+                obj: o,
+                field: FieldId(0),
+            },
+        ));
+        e.insts.push(Inst::effect(Op::StoreField {
+            obj: o,
+            field: FieldId(0),
+            val: v,
+        }));
         e.insts.push(Inst::effect(Op::NullCheck(o)));
         e.term = Term::Return(None);
         let n = run(&mut f);
@@ -130,7 +141,9 @@ mod tests {
             t_count: 1,
             f_count: 1,
         };
-        f.block_mut(body).insts.push(Inst::with_dst(nxt, Op::Bin(BinOp::Add, phi, p)));
+        f.block_mut(body)
+            .insts
+            .push(Inst::with_dst(nxt, Op::Bin(BinOp::Add, phi, p)));
         let n = run(&mut f);
         verify(&f).unwrap();
         assert_eq!(n, 2, "phi and add both dead");

@@ -154,8 +154,12 @@ struct Gvn<'f> {
 /// Runs GVN over `f` until the dominator walk completes. Returns statistics.
 pub fn run(f: &mut Func) -> GvnStats {
     let dt = DomTree::compute(f);
-    let rpo_index: HashMap<BlockId, usize> =
-        f.rpo().into_iter().enumerate().map(|(i, b)| (b, i)).collect();
+    let rpo_index: HashMap<BlockId, usize> = f
+        .rpo()
+        .into_iter()
+        .enumerate()
+        .map(|(i, b)| (b, i))
+        .collect();
     let preds = f.preds();
     let mut g = Gvn {
         f,
@@ -231,8 +235,7 @@ impl Gvn<'_> {
         // An unvisited predecessor (a back edge) contributes "unknown", which
         // the merge turns into fresh versions.
         {
-            let preds: Vec<BlockId> =
-                self.preds.get(&b).cloned().unwrap_or_default();
+            let preds: Vec<BlockId> = self.preds.get(&b).cloned().unwrap_or_default();
             let unknown = MemState {
                 fields: HashMap::new(),
                 default: u64::MAX,
@@ -342,7 +345,7 @@ impl Gvn<'_> {
                 // loops, so resolve conservatively without mutating).
                 let mut vals = ins.iter().map(|(_, v)| *v);
                 if let Some(first) = vals.next() {
-                    if ins.len() >= 1 && vals.all(|v| v == first) {
+                    if vals.all(|v| v == first) {
                         // Only collapse if the value dominates this block —
                         // guaranteed when it came from all predecessors.
                         self.stats.copies += 1;
@@ -529,10 +532,23 @@ mod tests {
         let sum = f.vreg();
         let e = f.block_mut(f.entry);
         e.insts.push(Inst::effect(Op::NullCheck(o)));
-        e.insts.push(Inst::with_dst(d1, Op::LoadField { obj: o, field: FieldId(0) }));
+        e.insts.push(Inst::with_dst(
+            d1,
+            Op::LoadField {
+                obj: o,
+                field: FieldId(0),
+            },
+        ));
         e.insts.push(Inst::effect(Op::NullCheck(o)));
-        e.insts.push(Inst::with_dst(d2, Op::LoadField { obj: o, field: FieldId(0) }));
-        e.insts.push(Inst::with_dst(sum, Op::Bin(BinOp::Add, d1, d2)));
+        e.insts.push(Inst::with_dst(
+            d2,
+            Op::LoadField {
+                obj: o,
+                field: FieldId(0),
+            },
+        ));
+        e.insts
+            .push(Inst::with_dst(sum, Op::Bin(BinOp::Add, d1, d2)));
         e.term = Term::Return(Some(sum));
 
         let stats = run(&mut f);
@@ -555,10 +571,27 @@ mod tests {
         let d2 = f.vreg();
         let sum = f.vreg();
         let e = f.block_mut(f.entry);
-        e.insts.push(Inst::with_dst(d1, Op::LoadField { obj: o, field: FieldId(0) }));
-        e.insts.push(Inst::effect(Op::StoreField { obj: o, field: FieldId(0), val: v }));
-        e.insts.push(Inst::with_dst(d2, Op::LoadField { obj: o, field: FieldId(0) }));
-        e.insts.push(Inst::with_dst(sum, Op::Bin(BinOp::Add, d1, d2)));
+        e.insts.push(Inst::with_dst(
+            d1,
+            Op::LoadField {
+                obj: o,
+                field: FieldId(0),
+            },
+        ));
+        e.insts.push(Inst::effect(Op::StoreField {
+            obj: o,
+            field: FieldId(0),
+            val: v,
+        }));
+        e.insts.push(Inst::with_dst(
+            d2,
+            Op::LoadField {
+                obj: o,
+                field: FieldId(0),
+            },
+        ));
+        e.insts
+            .push(Inst::with_dst(sum, Op::Bin(BinOp::Add, d1, d2)));
         e.term = Term::Return(Some(sum));
 
         let stats = run(&mut f);
@@ -583,15 +616,23 @@ mod tests {
         let join = f.add_block(Term::Return(None));
         let l = f.add_block(Term::Jump(join));
         let r = f.add_block(Term::Jump(join));
-        f.block_mut(l)
-            .insts
-            .push(Inst::effect(Op::StoreField { obj: o, field: FieldId(0), val: v }));
+        f.block_mut(l).insts.push(Inst::effect(Op::StoreField {
+            obj: o,
+            field: FieldId(0),
+            val: v,
+        }));
         let d1 = f.vreg();
+        f.block_mut(f.entry).insts.push(Inst::with_dst(
+            d1,
+            Op::LoadField {
+                obj: o,
+                field: FieldId(0),
+            },
+        ));
+        let z = f.vreg();
         f.block_mut(f.entry)
             .insts
-            .push(Inst::with_dst(d1, Op::LoadField { obj: o, field: FieldId(0) }));
-        let z = f.vreg();
-        f.block_mut(f.entry).insts.push(Inst::with_dst(z, Op::Const(0)));
+            .push(Inst::with_dst(z, Op::Const(0)));
         f.block_mut(f.entry).term = Term::Branch {
             op: CmpOp::Eq,
             a: d1,
@@ -602,9 +643,13 @@ mod tests {
             f_count: 1,
         };
         let d2 = f.vreg();
-        f.block_mut(join)
-            .insts
-            .push(Inst::with_dst(d2, Op::LoadField { obj: o, field: FieldId(0) }));
+        f.block_mut(join).insts.push(Inst::with_dst(
+            d2,
+            Op::LoadField {
+                obj: o,
+                field: FieldId(0),
+            },
+        ));
         f.block_mut(join).term = Term::Return(Some(d2));
 
         let stats = run(&mut f);
@@ -623,11 +668,17 @@ mod tests {
         let l = f.add_block(Term::Jump(join));
         let r = f.add_block(Term::Jump(join));
         let d1 = f.vreg();
+        f.block_mut(f.entry).insts.push(Inst::with_dst(
+            d1,
+            Op::LoadField {
+                obj: o,
+                field: FieldId(0),
+            },
+        ));
+        let z = f.vreg();
         f.block_mut(f.entry)
             .insts
-            .push(Inst::with_dst(d1, Op::LoadField { obj: o, field: FieldId(0) }));
-        let z = f.vreg();
-        f.block_mut(f.entry).insts.push(Inst::with_dst(z, Op::Const(0)));
+            .push(Inst::with_dst(z, Op::Const(0)));
         f.block_mut(f.entry).term = Term::Branch {
             op: CmpOp::Eq,
             a: d1,
@@ -638,9 +689,13 @@ mod tests {
             f_count: 1,
         };
         let d2 = f.vreg();
-        f.block_mut(join)
-            .insts
-            .push(Inst::with_dst(d2, Op::LoadField { obj: o, field: FieldId(0) }));
+        f.block_mut(join).insts.push(Inst::with_dst(
+            d2,
+            Op::LoadField {
+                obj: o,
+                field: FieldId(0),
+            },
+        ));
         f.block_mut(join).term = Term::Return(Some(d2));
 
         let stats = run(&mut f);
@@ -659,14 +714,22 @@ mod tests {
         let o = VReg(0);
         let b2 = f.add_block(Term::Return(None));
         let d1 = f.vreg();
-        f.block_mut(f.entry)
-            .insts
-            .push(Inst::with_dst(d1, Op::LoadField { obj: o, field: FieldId(0) }));
+        f.block_mut(f.entry).insts.push(Inst::with_dst(
+            d1,
+            Op::LoadField {
+                obj: o,
+                field: FieldId(0),
+            },
+        ));
         f.block_mut(f.entry).term = Term::Jump(b2);
         let d2 = f.vreg();
-        f.block_mut(b2)
-            .insts
-            .push(Inst::with_dst(d2, Op::LoadField { obj: o, field: FieldId(0) }));
+        f.block_mut(b2).insts.push(Inst::with_dst(
+            d2,
+            Op::LoadField {
+                obj: o,
+                field: FieldId(0),
+            },
+        ));
         f.block_mut(b2).term = Term::Return(Some(d2));
 
         let stats = run(&mut f);
@@ -685,18 +748,34 @@ mod tests {
         let exit = f.add_block(Term::Return(None));
         let body = f.add_block(Term::Jump(exit));
         let abort = f.add_block(Term::Jump(exit));
-        let r = f.new_region(RegionInfo { begin: f.entry, abort_target: abort, size_estimate: 1 });
-        f.block_mut(f.entry).term = Term::RegionBegin { region: r, body, abort };
+        let r = f.new_region(RegionInfo {
+            begin: f.entry,
+            abort_target: abort,
+            size_estimate: 1,
+        });
+        f.block_mut(f.entry).term = Term::RegionBegin {
+            region: r,
+            body,
+            abort,
+        };
         f.block_mut(body).region = Some(r);
         let (a, b) = (VReg(0), VReg(1));
         let id1 = f.new_assert(RegionId(0), "one");
         let id2 = f.new_assert(RegionId(0), "two");
         f.block_mut(body).insts.push(Inst::effect(Op::Assert {
-            kind: AssertKind::Cmp { op: CmpOp::Ge, a, b },
+            kind: AssertKind::Cmp {
+                op: CmpOp::Ge,
+                a,
+                b,
+            },
             id: id1,
         }));
         f.block_mut(body).insts.push(Inst::effect(Op::Assert {
-            kind: AssertKind::Cmp { op: CmpOp::Ge, a, b },
+            kind: AssertKind::Cmp {
+                op: CmpOp::Ge,
+                a,
+                b,
+            },
             id: id2,
         }));
         f.block_mut(body).insts.push(Inst::effect(Op::RegionEnd(r)));
@@ -744,14 +823,22 @@ mod tests {
         let head = f.add_block(Term::Return(None));
         let body = f.add_block(Term::Jump(head));
         let d0 = f.vreg();
-        f.block_mut(f.entry)
-            .insts
-            .push(Inst::with_dst(d0, Op::LoadField { obj: o, field: FieldId(0) }));
+        f.block_mut(f.entry).insts.push(Inst::with_dst(
+            d0,
+            Op::LoadField {
+                obj: o,
+                field: FieldId(0),
+            },
+        ));
         f.block_mut(f.entry).term = Term::Jump(head);
         let d1 = f.vreg();
-        f.block_mut(head)
-            .insts
-            .push(Inst::with_dst(d1, Op::LoadField { obj: o, field: FieldId(0) }));
+        f.block_mut(head).insts.push(Inst::with_dst(
+            d1,
+            Op::LoadField {
+                obj: o,
+                field: FieldId(0),
+            },
+        ));
         f.block_mut(head).term = Term::Branch {
             op: CmpOp::Lt,
             a: d1,
@@ -761,9 +848,11 @@ mod tests {
             t_count: 10,
             f_count: 1,
         };
-        f.block_mut(body)
-            .insts
-            .push(Inst::effect(Op::StoreField { obj: o, field: FieldId(0), val: v }));
+        f.block_mut(body).insts.push(Inst::effect(Op::StoreField {
+            obj: o,
+            field: FieldId(0),
+            val: v,
+        }));
 
         let stats = run(&mut f);
         verify(&f).unwrap();

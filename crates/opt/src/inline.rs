@@ -89,17 +89,22 @@ pub fn run(
             let inst = f.block(b).insts[i].clone();
             let site_freq = f.block(b).freq;
             let decision = match &inst.op {
-                Op::Call { method, args } => {
-                    decide_direct(f, program, profile, opts, *method, depth, site_freq)
-                        .map(|budget| Plan {
-                            callee: *method,
-                            args: args.clone(),
-                            dispatch: SiteDispatch::Direct,
-                            guard: None,
-                            budget,
-                        })
-                }
-                Op::CallVirtual { slot, recv, args, site } => {
+                Op::Call { method, args } => decide_direct(
+                    f, program, profile, opts, *method, depth, site_freq,
+                )
+                .map(|budget| Plan {
+                    callee: *method,
+                    args: args.clone(),
+                    dispatch: SiteDispatch::Direct,
+                    guard: None,
+                    budget,
+                }),
+                Op::CallVirtual {
+                    slot,
+                    recv,
+                    args,
+                    site,
+                } => {
                     let caller = origin.get(&b).copied().unwrap_or(f.method);
                     decide_virtual(
                         f, program, profile, opts, caller, *slot, *site, depth, site_freq,
@@ -192,7 +197,8 @@ fn decide_virtual(
     }
     let prof = profile.method(caller)?;
     let (class, share) = if opts.force_dominant_receiver {
-        prof.dominant_receiver(site as usize).filter(|(_, s)| *s >= 0.95)?
+        prof.dominant_receiver(site as usize)
+            .filter(|(_, s)| *s >= 0.95)?
     } else {
         (prof.monomorphic_receiver(site as usize)?, 1.0)
     };
@@ -255,8 +261,15 @@ fn splice(
 ) -> InlineSite {
     let callee_ir = translate(program, plan.callee, profile.method(plan.callee));
     let site_freq = f.block(b).freq;
-    let invocations = profile.method(plan.callee).map(|p| p.invocations).unwrap_or(0);
-    let scale = if invocations == 0 { 0.0 } else { site_freq as f64 / invocations as f64 };
+    let invocations = profile
+        .method(plan.callee)
+        .map(|p| p.invocations)
+        .unwrap_or(0);
+    let scale = if invocations == 0 {
+        0.0
+    } else {
+        site_freq as f64 / invocations as f64
+    };
 
     // 1. Split at the call; the call instruction itself disappears.
     let tail: Vec<Inst> = f.block_mut(b).insts.drain(idx..).collect();
@@ -365,9 +378,13 @@ fn splice(
         }
         Some((class, share, slot, site)) => {
             let cls = f.vreg();
-            f.block_mut(b).insts.push(Inst::with_dst(cls, Op::LoadClass(plan.args[0])));
+            f.block_mut(b)
+                .insts
+                .push(Inst::with_dst(cls, Op::LoadClass(plan.args[0])));
             let kc = f.vreg();
-            f.block_mut(b).insts.push(Inst::with_dst(kc, Op::Const(i64::from(class.0))));
+            f.block_mut(b)
+                .insts
+                .push(Inst::with_dst(kc, Op::Const(i64::from(class.0))));
             // Guard-miss path: the original virtual call.
             let slow = f.add_block(Term::Jump(cont));
             let slow_dst = call_dst.map(|_| f.vreg());
@@ -398,7 +415,9 @@ fn splice(
         }
     }
     if let Some(d) = call_dst {
-        f.block_mut(cont).insts.insert(0, Inst::with_dst(d, Op::Phi(result_inputs)));
+        f.block_mut(cont)
+            .insts
+            .insert(0, Inst::with_dst(d, Op::Phi(result_inputs)));
     }
 
     InlineSite {
@@ -417,11 +436,15 @@ fn splice(
 fn scale_counts(t: &mut Term, scale: f64) {
     let s = |c: &mut u64| *c = (*c as f64 * scale) as u64;
     match t {
-        Term::Branch { t_count, f_count, .. } => {
+        Term::Branch {
+            t_count, f_count, ..
+        } => {
             s(t_count);
             s(f_count);
         }
-        Term::Switch { targets, default, .. } => {
+        Term::Switch {
+            targets, default, ..
+        } => {
             for (_, c) in targets.iter_mut() {
                 s(c);
             }
@@ -523,14 +546,18 @@ mod tests {
             .sum();
         assert_eq!(hot_calls, 0, "{}", f.display());
         // A class guard exists.
-        let has_guard = f
-            .block_ids()
-            .iter()
-            .any(|b| f.block(*b).insts.iter().any(|i| matches!(i.op, Op::LoadClass(_))));
+        let has_guard = f.block_ids().iter().any(|b| {
+            f.block(*b)
+                .insts
+                .iter()
+                .any(|i| matches!(i.op, Op::LoadClass(_)))
+        });
         assert!(has_guard);
         // Sites carry correct dispatch kinds.
         assert!(sites.iter().any(|s| s.dispatch == SiteDispatch::Direct));
-        assert!(sites.iter().any(|s| matches!(s.dispatch, SiteDispatch::Virtual { .. })));
+        assert!(sites
+            .iter()
+            .any(|s| matches!(s.dispatch, SiteDispatch::Virtual { .. })));
     }
 
     #[test]
@@ -570,7 +597,10 @@ mod tests {
         let prof = profiled(&p);
         let entry = p.entry();
         let mut f = translate(&p, entry, prof.method(entry));
-        let opts = InlineOptions { max_depth: 3, ..Default::default() };
+        let opts = InlineOptions {
+            max_depth: 3,
+            ..Default::default()
+        };
         run(&mut f, &p, &prof, &opts);
         crate::gvn::run(&mut f);
         crate::constprop::run(&mut f);
@@ -617,7 +647,10 @@ mod tests {
         assert!(base.is_empty(), "callee exceeds baseline budget");
 
         let mut f2 = translate(&p, entry, prof.method(entry));
-        let opts = InlineOptions { aggressive: true, ..Default::default() };
+        let opts = InlineOptions {
+            aggressive: true,
+            ..Default::default()
+        };
         let aggr = run(&mut f2, &p, &prof, &opts);
         assert_eq!(aggr.len(), 1);
         assert_eq!(aggr[0].budget, InlineBudget::Aggressive);

@@ -65,7 +65,10 @@ impl CompilerConfig {
         CompilerConfig {
             name: "atomic",
             atomic: true,
-            inline: InlineOptions { aggressive: true, ..InlineOptions::default() },
+            inline: InlineOptions {
+                aggressive: true,
+                ..InlineOptions::default()
+            },
             sle: true,
             safepoint_elision: true,
             postdom_checkelim: false,
@@ -146,7 +149,12 @@ pub fn compile_method(
     } else {
         inline::run(&mut f, program, profile, &cfg.inline)
     };
-    debug_assert!(verify(&f).is_ok(), "inline: {:?}\n{}", verify(&f), f.display());
+    debug_assert!(
+        verify(&f).is_ok(),
+        "inline: {:?}\n{}",
+        verify(&f),
+        f.display()
+    );
 
     // NOTE: no cleanup passes may run between inlining and region formation.
     // The inline-site records anchor on result phis and block identities
@@ -155,7 +163,12 @@ pub fn compile_method(
 
     let formation = if cfg.atomic && !m.opaque {
         let res = form_atomic_regions(&mut f, &sites, &cfg.region);
-        debug_assert!(verify(&f).is_ok(), "formation: {:?}\n{}", verify(&f), f.display());
+        debug_assert!(
+            verify(&f).is_ok(),
+            "formation: {:?}\n{}",
+            verify(&f),
+            f.display()
+        );
         if cfg.sle {
             sle::run(&mut f);
         }
@@ -188,7 +201,11 @@ pub fn compile_method(
     }
     verify(&f).unwrap_or_else(|e| panic!("final verify ({}): {e}\n{}", cfg.name, f.display()));
 
-    CompiledMethod { func: f, sites, formation }
+    CompiledMethod {
+        func: f,
+        sites,
+        formation,
+    }
 }
 
 /// Compiles every method of the program under `cfg`.
@@ -216,7 +233,12 @@ mod tests {
         let names: Vec<_> = cs.iter().map(|c| c.name).collect();
         assert_eq!(
             names,
-            vec!["no-atomic", "atomic", "no-atomic+aggr-inline", "atomic+aggr-inline"]
+            vec![
+                "no-atomic",
+                "atomic",
+                "no-atomic+aggr-inline",
+                "atomic+aggr-inline"
+            ]
         );
     }
 }

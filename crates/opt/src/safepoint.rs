@@ -18,13 +18,17 @@ pub fn run(f: &mut Func) -> usize {
     let mut touched_regions = Vec::new();
     for l in forest.post_order() {
         // Fully inside one region?
-        let Some(region) = f.block(l.header).region else { continue };
+        let Some(region) = f.block(l.header).region else {
+            continue;
+        };
         if !l.blocks.iter().all(|b| f.block(*b).region == Some(region)) {
             continue;
         }
         for &b in &l.blocks {
             let before = f.block(b).insts.len();
-            f.block_mut(b).insts.retain(|i| !matches!(i.op, Op::Safepoint));
+            f.block_mut(b)
+                .insts
+                .retain(|i| !matches!(i.op, Op::Safepoint));
             removed += before - f.block(b).insts.len();
         }
         if !touched_regions.contains(&region) {
@@ -37,7 +41,10 @@ pub fn run(f: &mut Func) -> usize {
         let phi_count = f.block(begin).phi_count();
         f.block_mut(begin).insts.insert(
             phi_count,
-            Inst::effect(Op::Intrin { kind: Intrinsic::YieldFlag, args: vec![] }),
+            Inst::effect(Op::Intrin {
+                kind: Intrinsic::YieldFlag,
+                args: vec![],
+            }),
         );
     }
     removed
@@ -58,8 +65,16 @@ mod tests {
         let head = f.add_block(Term::Return(None));
         let body = f.add_block(Term::Jump(head));
         let abort = f.add_block(Term::Jump(ret));
-        let r = f.new_region(RegionInfo { begin: f.entry, abort_target: abort, size_estimate: 8 });
-        f.block_mut(f.entry).term = Term::RegionBegin { region: r, body: head, abort };
+        let r = f.new_region(RegionInfo {
+            begin: f.entry,
+            abort_target: abort,
+            size_estimate: 8,
+        });
+        f.block_mut(f.entry).term = Term::RegionBegin {
+            region: r,
+            body: head,
+            abort,
+        };
         for blk in [head, body, exit_helper] {
             f.block_mut(blk).region = Some(r);
         }
@@ -72,8 +87,12 @@ mod tests {
             t_count: 100,
             f_count: 10,
         };
-        f.block_mut(body).insts.push(hasp_ir::Inst::effect(Op::Safepoint));
-        f.block_mut(exit_helper).insts.push(hasp_ir::Inst::effect(Op::RegionEnd(r)));
+        f.block_mut(body)
+            .insts
+            .push(hasp_ir::Inst::effect(Op::Safepoint));
+        f.block_mut(exit_helper)
+            .insts
+            .push(hasp_ir::Inst::effect(Op::RegionEnd(r)));
         f
     }
 
@@ -85,11 +104,13 @@ mod tests {
         let body = BlockId(3);
         assert!(f.block(body).insts.is_empty());
         let begin = f.entry;
-        assert!(f
-            .block(begin)
-            .insts
-            .iter()
-            .any(|i| matches!(i.op, Op::Intrin { kind: Intrinsic::YieldFlag, .. })));
+        assert!(f.block(begin).insts.iter().any(|i| matches!(
+            i.op,
+            Op::Intrin {
+                kind: Intrinsic::YieldFlag,
+                ..
+            }
+        )));
     }
 
     #[test]

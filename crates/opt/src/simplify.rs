@@ -44,7 +44,9 @@ fn merge_chains(f: &mut Func) -> usize {
             if f.block(b).dead {
                 continue;
             }
-            let Term::Jump(c) = f.block(b).term else { continue };
+            let Term::Jump(c) = f.block(b).term else {
+                continue;
+            };
             if c == b
                 || c == f.entry
                 || preds.get(&c).map_or(0, Vec::len) != 1
@@ -89,7 +91,9 @@ fn merge_chains(f: &mut Func) -> usize {
 
 /// Blocks that region metadata points at must keep their identity.
 fn is_region_anchor(f: &Func, b: BlockId) -> bool {
-    f.regions.iter().any(|r| r.begin == b || r.abort_target == b)
+    f.regions
+        .iter()
+        .any(|r| r.begin == b || r.abort_target == b)
 }
 
 #[cfg(test)]
@@ -106,9 +110,13 @@ mod tests {
         let b = f.add_block(Term::Jump(c));
         f.block_mut(f.entry).term = Term::Jump(b);
         let d = f.vreg();
-        f.block_mut(b).insts.push(Inst::with_dst(d, Op::Bin(BinOp::Add, x, x)));
+        f.block_mut(b)
+            .insts
+            .push(Inst::with_dst(d, Op::Bin(BinOp::Add, x, x)));
         let e2 = f.vreg();
-        f.block_mut(c).insts.push(Inst::with_dst(e2, Op::Bin(BinOp::Add, d, x)));
+        f.block_mut(c)
+            .insts
+            .push(Inst::with_dst(e2, Op::Bin(BinOp::Add, d, x)));
         f.block_mut(c).term = Term::Return(Some(e2));
 
         let n = run(&mut f);
@@ -126,18 +134,30 @@ mod tests {
         let exit_helper = f.add_block(Term::Jump(out));
         let body = f.add_block(Term::Jump(exit_helper));
         let abort = f.add_block(Term::Jump(out));
-        let r = f.new_region(RegionInfo { begin: f.entry, abort_target: abort, size_estimate: 1 });
-        f.block_mut(f.entry).term = Term::RegionBegin { region: r, body, abort };
+        let r = f.new_region(RegionInfo {
+            begin: f.entry,
+            abort_target: abort,
+            size_estimate: 1,
+        });
+        f.block_mut(f.entry).term = Term::RegionBegin {
+            region: r,
+            body,
+            abort,
+        };
         f.block_mut(body).region = Some(r);
         f.block_mut(exit_helper).region = Some(r);
-        f.block_mut(exit_helper).insts.push(Inst::effect(Op::RegionEnd(r)));
+        f.block_mut(exit_helper)
+            .insts
+            .push(Inst::effect(Op::RegionEnd(r)));
 
         run(&mut f);
         verify(&f).unwrap_or_else(|e| panic!("{e}\n{}", f.display()));
         // body+exit_helper may merge (same region) but neither merges with
         // `out` (region None).
         let live = f.block_ids();
-        assert!(live.iter().any(|b| f.block(*b).region.is_none() && *b == out));
+        assert!(live
+            .iter()
+            .any(|b| f.block(*b).region.is_none() && *b == out));
     }
 
     #[test]

@@ -41,11 +41,14 @@ pub fn run(f: &mut Func) -> usize {
     // the exit post-dominates the enter — every region path acquires and
     // releases together. (For nested pairs this elides inner pairs first,
     // which is also correct.)
-    let rpo_index: HashMap<BlockId, usize> =
-        f.rpo().into_iter().enumerate().map(|(i, b)| (b, i)).collect();
-    let order_key = |(b, i): Site| -> (usize, usize) {
-        (rpo_index.get(&b).copied().unwrap_or(usize::MAX), i)
-    };
+    let rpo_index: HashMap<BlockId, usize> = f
+        .rpo()
+        .into_iter()
+        .enumerate()
+        .map(|(i, b)| (b, i))
+        .collect();
+    let order_key =
+        |(b, i): Site| -> (usize, usize) { (rpo_index.get(&b).copied().unwrap_or(usize::MAX), i) };
     let mut rewrites: Vec<(Site, Site, VReg)> = Vec::new();
     for (key, ens) in &enters {
         let Some(exs) = exits.get(key) else { continue };
@@ -101,12 +104,24 @@ mod tests {
         let exit = f.add_block(Term::Return(None));
         let body = f.add_block(Term::Return(None));
         let abort = f.add_block(Term::Jump(exit));
-        let r = f.new_region(RegionInfo { begin: f.entry, abort_target: abort, size_estimate: 4 });
-        f.block_mut(f.entry).term = Term::RegionBegin { region: r, body, abort };
+        let r = f.new_region(RegionInfo {
+            begin: f.entry,
+            abort_target: abort,
+            size_estimate: 4,
+        });
+        f.block_mut(f.entry).term = Term::RegionBegin {
+            region: r,
+            body,
+            abort,
+        };
         f.block_mut(body).region = Some(r);
-        f.block_mut(body).insts.push(Inst::effect(Op::MonitorEnter(lock)));
+        f.block_mut(body)
+            .insts
+            .push(Inst::effect(Op::MonitorEnter(lock)));
         if balanced {
-            f.block_mut(body).insts.push(Inst::effect(Op::MonitorExit(lock)));
+            f.block_mut(body)
+                .insts
+                .push(Inst::effect(Op::MonitorExit(lock)));
         }
         f.block_mut(body).insts.push(Inst::effect(Op::RegionEnd(r)));
         f.block_mut(body).term = Term::Jump(exit);
@@ -120,7 +135,9 @@ mod tests {
         verify(&f).unwrap();
         let ops: Vec<&Op> = f.block(body).insts.iter().map(|i| &i.op).collect();
         assert!(matches!(ops[0], Op::SleCheck(_)));
-        assert!(!ops.iter().any(|o| matches!(o, Op::MonitorExit(_) | Op::MonitorEnter(_))));
+        assert!(!ops
+            .iter()
+            .any(|o| matches!(o, Op::MonitorExit(_) | Op::MonitorEnter(_))));
     }
 
     #[test]
@@ -138,8 +155,12 @@ mod tests {
     fn monitors_outside_regions_untouched() {
         let mut f = Func::new("t", MethodId(0), 1);
         let lock = hasp_ir::VReg(0);
-        f.block_mut(f.entry).insts.push(Inst::effect(Op::MonitorEnter(lock)));
-        f.block_mut(f.entry).insts.push(Inst::effect(Op::MonitorExit(lock)));
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::effect(Op::MonitorEnter(lock)));
+        f.block_mut(f.entry)
+            .insts
+            .push(Inst::effect(Op::MonitorExit(lock)));
         f.block_mut(f.entry).term = Term::Return(None);
         assert_eq!(run(&mut f), 0);
         assert_eq!(f.block(f.entry).insts.len(), 2);
@@ -158,12 +179,22 @@ mod tests {
         let right = f.add_block(Term::Jump(join));
         let body = f.add_block(Term::Return(None));
         let abort = f.add_block(Term::Jump(ret));
-        let r = f.new_region(RegionInfo { begin: f.entry, abort_target: abort, size_estimate: 8 });
-        f.block_mut(f.entry).term = Term::RegionBegin { region: r, body, abort };
+        let r = f.new_region(RegionInfo {
+            begin: f.entry,
+            abort_target: abort,
+            size_estimate: 8,
+        });
+        f.block_mut(f.entry).term = Term::RegionBegin {
+            region: r,
+            body,
+            abort,
+        };
         for b in [body, left, right, join] {
             f.block_mut(b).region = Some(r);
         }
-        f.block_mut(body).insts.push(Inst::effect(Op::MonitorEnter(lock)));
+        f.block_mut(body)
+            .insts
+            .push(Inst::effect(Op::MonitorEnter(lock)));
         f.block_mut(body).term = Term::Branch {
             op: CmpOp::Eq,
             a: cond,
@@ -173,7 +204,9 @@ mod tests {
             t_count: 1,
             f_count: 1,
         };
-        f.block_mut(left).insts.push(Inst::effect(Op::MonitorExit(lock)));
+        f.block_mut(left)
+            .insts
+            .push(Inst::effect(Op::MonitorExit(lock)));
         f.block_mut(join).insts.push(Inst::effect(Op::RegionEnd(r)));
         f.block_mut(join).term = Term::Jump(ret);
         assert_eq!(run(&mut f), 0, "exit must post-dominate enter");

@@ -21,7 +21,12 @@ pub fn run(f: &mut Func) -> usize {
     let dt = DomTree::compute(f);
     let forest = LoopForest::compute(f, &dt);
     let preds = f.preds();
-    let max_freq = f.block_ids().iter().map(|b| f.block(*b).freq).max().unwrap_or(0);
+    let max_freq = f
+        .block_ids()
+        .iter()
+        .map(|b| f.block(*b).freq)
+        .max()
+        .unwrap_or(0);
     if max_freq == 0 {
         return 0;
     }
@@ -50,7 +55,6 @@ pub fn run(f: &mut Func) -> usize {
     }
     duplicated
 }
-
 
 /// Copies `b` so that `from` (and only `from`) enters the copy; other
 /// predecessors keep the original. Phis in the copy collapse to the
@@ -169,8 +173,18 @@ mod tests {
         }); // b6
         f.block_mut(f.entry).term = Term::Jump(a1);
         let d = f.vreg();
-        f.block_mut(a2).insts.push(Inst::with_dst(d, Op::Bin(BinOp::Add, x, y)));
-        for (blk, fr) in [(f.entry, 1000), (a1, 1000), (b1, 998), (c1, 2), (a2, 1000), (b2, 1000), (ret, 1000)] {
+        f.block_mut(a2)
+            .insts
+            .push(Inst::with_dst(d, Op::Bin(BinOp::Add, x, y)));
+        for (blk, fr) in [
+            (f.entry, 1000),
+            (a1, 1000),
+            (b1, 998),
+            (c1, 2),
+            (a2, 1000),
+            (b2, 1000),
+            (ret, 1000),
+        ] {
             f.block_mut(blk).freq = fr;
         }
         f

@@ -30,7 +30,15 @@ pub fn run(f: &mut Func, cfg: &RegionConfig) -> usize {
     let candidates: Vec<_> = forest
         .post_order()
         .iter()
-        .filter(|l| l.depth == forest.post_order().iter().map(|x| x.depth).max().unwrap_or(0))
+        .filter(|l| {
+            l.depth
+                == forest
+                    .post_order()
+                    .iter()
+                    .map(|x| x.depth)
+                    .max()
+                    .unwrap_or(0)
+        })
         .cloned()
         .collect();
     for l in candidates {
@@ -45,24 +53,36 @@ fn try_unroll(f: &mut Func, cfg: &RegionConfig, l: &hasp_ir::Loop) -> bool {
     let trace = std::env::var("HASP_TRACE_UNROLL").is_ok();
     // Fully inside one region.
     let Some(region) = f.block(l.header).region else {
-        if trace { eprintln!("unroll {:?}: header not in region", l.header); }
+        if trace {
+            eprintln!("unroll {:?}: header not in region", l.header);
+        }
         return false;
     };
     if !l.blocks.iter().all(|b| f.block(*b).region == Some(region)) {
-        if trace { eprintln!("unroll {:?}: straddles region", l.header); }
+        if trace {
+            eprintln!("unroll {:?}: straddles region", l.header);
+        }
         return false;
     }
     // Single latch.
     let latches = l.latches(f);
     if latches.len() != 1 {
-        if trace { eprintln!("unroll {:?}: {} latches", l.header, latches.len()); }
+        if trace {
+            eprintln!("unroll {:?}: {} latches", l.header, latches.len());
+        }
         return false;
     }
     let latch = latches[0];
     // Size budget: doubling must stay within the region cap.
-    let loop_ops: u64 = l.blocks.iter().map(|&b| f.block(b).insts.len() as u64 + 1).sum();
+    let loop_ops: u64 = l
+        .blocks
+        .iter()
+        .map(|&b| f.block(b).insts.len() as u64 + 1)
+        .sum();
     if loop_ops * 2 > cfg.max_region_ops {
-        if trace { eprintln!("unroll {:?}: too big ({loop_ops})", l.header); }
+        if trace {
+            eprintln!("unroll {:?}: too big ({loop_ops})", l.header);
+        }
         return false;
     }
     let _ = trace;
@@ -94,7 +114,9 @@ fn try_unroll(f: &mut Func, cfg: &RegionConfig, l: &hasp_ir::Loop) -> bool {
         .block(l.header)
         .phis()
         .map(|inst| {
-            let Op::Phi(ins) = &inst.op else { unreachable!() };
+            let Op::Phi(ins) = &inst.op else {
+                unreachable!()
+            };
             let latch_val = ins
                 .iter()
                 .find(|(p, _)| *p == latch)
@@ -222,8 +244,16 @@ mod tests {
         let head = f.add_block(Term::Return(None));
         let body = f.add_block(Term::Jump(head));
         let abort = f.add_block(Term::Jump(ret));
-        let r = f.new_region(RegionInfo { begin: f.entry, abort_target: abort, size_estimate: 9 });
-        f.block_mut(f.entry).term = Term::RegionBegin { region: r, body: head, abort };
+        let r = f.new_region(RegionInfo {
+            begin: f.entry,
+            abort_target: abort,
+            size_estimate: 9,
+        });
+        f.block_mut(f.entry).term = Term::RegionBegin {
+            region: r,
+            body: head,
+            abort,
+        };
         for b in [head, body, ehelp] {
             f.block_mut(b).region = Some(r);
         }
@@ -232,7 +262,9 @@ mod tests {
         let i1 = f.vreg();
         let one = f.vreg();
         let begin = f.entry;
-        f.block_mut(begin).insts.push(Inst::with_dst(i0, Op::Const(0)));
+        f.block_mut(begin)
+            .insts
+            .push(Inst::with_dst(i0, Op::Const(0)));
         f.block_mut(head)
             .insts
             .push(Inst::with_dst(iphi, Op::Phi(vec![(begin, i0), (body, i1)])));
@@ -245,19 +277,27 @@ mod tests {
             t_count: 1000,
             f_count: 10,
         };
-        f.block_mut(body).insts.push(Inst::with_dst(one, Op::Const(1)));
         f.block_mut(body)
             .insts
-            .push(Inst::effect(Op::StoreField { obj, field: FieldId(0), val: iphi }));
-        f.block_mut(body).insts.push(Inst::with_dst(i1, Op::Bin(BinOp::Add, iphi, one)));
-        f.block_mut(ehelp).insts.push(Inst::effect(Op::RegionEnd(r)));
+            .push(Inst::with_dst(one, Op::Const(1)));
+        f.block_mut(body).insts.push(Inst::effect(Op::StoreField {
+            obj,
+            field: FieldId(0),
+            val: iphi,
+        }));
+        f.block_mut(body)
+            .insts
+            .push(Inst::with_dst(i1, Op::Bin(BinOp::Add, iphi, one)));
+        f.block_mut(ehelp)
+            .insts
+            .push(Inst::effect(Op::RegionEnd(r)));
         f.block_mut(head).freq = 1010;
         f.block_mut(body).freq = 1000;
         f
     }
 
     #[test]
-    fn unrolls_store_loop_by_two()  {
+    fn unrolls_store_loop_by_two() {
         let mut f = enclosed_store_loop();
         // RegionBegin terminators put phis at the header via formation in
         // real flows; here the begin block itself carries the init.
@@ -288,20 +328,31 @@ mod tests {
         let head = BlockId(3);
         let iphi = f.block(head).phis().next().and_then(|i| i.dst).unwrap();
         let ehelp = BlockId(2);
-        f.block_mut(ehelp)
-            .insts
-            .push(Inst::effect(Op::StoreField { obj: VReg(1), field: FieldId(1), val: iphi }));
+        f.block_mut(ehelp).insts.push(Inst::effect(Op::StoreField {
+            obj: VReg(1),
+            field: FieldId(1),
+            val: iphi,
+        }));
         assert_eq!(run(&mut f, &RegionConfig::default()), 1);
-        verify(&f).unwrap_or_else(|e| panic!("{e}
-{}", f.display()));
+        verify(&f).unwrap_or_else(|e| {
+            panic!(
+                "{e}
+{}",
+                f.display()
+            )
+        });
         // The escaping use was rewritten (to a join phi or reaching def).
         let still_direct = f
             .block(ehelp)
             .insts
             .iter()
             .any(|i| !matches!(i.op, Op::Phi(_)) && i.op.args().contains(&iphi));
-        assert!(!still_direct, "escaping use must go through the repair:
-{}", f.display());
+        assert!(
+            !still_direct,
+            "escaping use must go through the repair:
+{}",
+            f.display()
+        );
     }
 
     #[test]

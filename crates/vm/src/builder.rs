@@ -29,7 +29,12 @@ impl ProgramBuilder {
     /// so layouts stay prefix-compatible; the vtable starts as a copy of the
     /// superclass's (override with [`ProgramBuilder::set_vtable`] /
     /// [`ProgramBuilder::override_slot`]).
-    pub fn add_class(&mut self, name: &str, superclass: Option<ClassId>, own_fields: &[&str]) -> ClassId {
+    pub fn add_class(
+        &mut self,
+        name: &str,
+        superclass: Option<ClassId>,
+        own_fields: &[&str],
+    ) -> ClassId {
         let (mut fields, vtable) = match superclass {
             Some(s) => {
                 let sc = &self.classes[s.0 as usize];
@@ -39,7 +44,12 @@ impl ProgramBuilder {
         };
         fields.extend(own_fields.iter().map(|s| s.to_string()));
         let id = ClassId(self.classes.len() as u32);
-        self.classes.push(Class { name: name.to_string(), superclass, fields, vtable });
+        self.classes.push(Class {
+            name: name.to_string(),
+            superclass,
+            fields,
+            vtable,
+        });
         id
     }
 
@@ -178,7 +188,12 @@ impl MethodBuilder {
 
     /// The `i`-th argument register.
     pub fn arg(&self, i: u16) -> Reg {
-        assert!(i < self.argc, "method {} has only {} args", self.name, self.argc);
+        assert!(
+            i < self.argc,
+            "method {} has only {} args",
+            self.name,
+            self.argc
+        );
         Reg(i)
     }
 
@@ -257,7 +272,12 @@ impl MethodBuilder {
     /// `if a <op> b goto target`
     pub fn branch(&mut self, op: CmpOp, a: Reg, b: Reg, target: Label) {
         let idx = self.code.len();
-        self.emit(Instr::Branch { op, a, b, target: usize::MAX });
+        self.emit(Instr::Branch {
+            op,
+            a,
+            b,
+            target: usize::MAX,
+        });
         self.patches.push((idx, 0, target));
     }
 
@@ -319,12 +339,21 @@ impl MethodBuilder {
 
     /// Direct call.
     pub fn call(&mut self, dst: Option<Reg>, method: MethodId, args: &[Reg]) {
-        self.emit(Instr::Call { dst, method, args: args.to_vec() });
+        self.emit(Instr::Call {
+            dst,
+            method,
+            args: args.to_vec(),
+        });
     }
 
     /// Virtual call through `slot` on `recv`.
     pub fn call_virtual(&mut self, dst: Option<Reg>, slot: SlotId, recv: Reg, args: &[Reg]) {
-        self.emit(Instr::CallVirtual { dst, slot, recv, args: args.to_vec() });
+        self.emit(Instr::CallVirtual {
+            dst,
+            slot,
+            recv,
+            args: args.to_vec(),
+        });
     }
 
     /// Return, optionally with a value.
@@ -359,7 +388,11 @@ impl MethodBuilder {
 
     /// Host intrinsic.
     pub fn intrin(&mut self, kind: Intrinsic, dst: Option<Reg>, args: &[Reg]) {
-        self.emit(Instr::Intrin { kind, dst, args: args.to_vec() });
+        self.emit(Instr::Intrin {
+            kind,
+            dst,
+            args: args.to_vec(),
+        });
     }
 
     /// Pushes `src` into the observable checksum.
@@ -382,7 +415,9 @@ impl MethodBuilder {
                 .unwrap_or_else(|| panic!("unbound label in {}", self.name));
             match &mut self.code[idx] {
                 Instr::Branch { target: t, .. } | Instr::Jump { target: t } => *t = target,
-                Instr::Switch { targets, default, .. } => {
+                Instr::Switch {
+                    targets, default, ..
+                } => {
                     if slot < targets.len() {
                         targets[slot] = target;
                     } else {

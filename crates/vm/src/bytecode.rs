@@ -217,12 +217,21 @@ pub enum Instr {
     /// `dst = (a <op> b) ? 1 : 0`
     Cmp { op: CmpOp, dst: Reg, a: Reg, b: Reg },
     /// `if a <op> b goto target`
-    Branch { op: CmpOp, a: Reg, b: Reg, target: usize },
+    Branch {
+        op: CmpOp,
+        a: Reg,
+        b: Reg,
+        target: usize,
+    },
     /// `goto target`
     Jump { target: usize },
     /// `goto targets[src]` if `0 <= src < targets.len()`, else `default`.
     /// Models Java's `tableswitch` (an indirect branch to hardware).
-    Switch { src: Reg, targets: Vec<usize>, default: usize },
+    Switch {
+        src: Reg,
+        targets: Vec<usize>,
+        default: usize,
+    },
     /// Allocate an instance of `class`; fields are zero/null initialized.
     New { dst: Reg, class: ClassId },
     /// Allocate an array of `len` (register) elements of `Value::Int(0)`.
@@ -238,10 +247,19 @@ pub enum Instr {
     /// `dst = arr.length` — implicit null check.
     ArrayLen { dst: Reg, arr: Reg },
     /// Direct (static / non-virtual) call.
-    Call { dst: Option<Reg>, method: MethodId, args: Vec<Reg> },
+    Call {
+        dst: Option<Reg>,
+        method: MethodId,
+        args: Vec<Reg>,
+    },
     /// Virtual call through the receiver's vtable `slot` — implicit null
     /// check on the receiver, which is passed as the callee's first argument.
-    CallVirtual { dst: Option<Reg>, slot: SlotId, recv: Reg, args: Vec<Reg> },
+    CallVirtual {
+        dst: Option<Reg>,
+        slot: SlotId,
+        recv: Reg,
+        args: Vec<Reg>,
+    },
     /// Return from the method, optionally with a value.
     Return { src: Option<Reg> },
     /// Acquire the object's monitor (reservation-style lock word).
@@ -256,7 +274,11 @@ pub enum Instr {
     /// GC safepoint poll (placed on loop back-edges by the builder).
     Safepoint,
     /// Host intrinsic.
-    Intrin { kind: Intrinsic, dst: Option<Reg>, args: Vec<Reg> },
+    Intrin {
+        kind: Intrinsic,
+        dst: Option<Reg>,
+        args: Vec<Reg>,
+    },
     /// Simulation marker (§5 methodology): bounds equal work across compiler
     /// configurations. Has no architectural effect.
     Marker { id: u32 },
@@ -306,9 +328,9 @@ impl Instr {
             | Instr::ALoad { dst, .. }
             | Instr::ArrayLen { dst, .. }
             | Instr::InstanceOf { dst, .. } => Some(*dst),
-            Instr::Call { dst, .. } | Instr::CallVirtual { dst, .. } | Instr::Intrin { dst, .. } => {
-                *dst
-            }
+            Instr::Call { dst, .. }
+            | Instr::CallVirtual { dst, .. }
+            | Instr::Intrin { dst, .. } => *dst,
             _ => None,
         }
     }
@@ -327,7 +349,9 @@ impl Instr {
     pub fn targets(&self) -> Vec<usize> {
         match self {
             Instr::Branch { target, .. } | Instr::Jump { target } => vec![*target],
-            Instr::Switch { targets, default, .. } => {
+            Instr::Switch {
+                targets, default, ..
+            } => {
                 let mut t = targets.clone();
                 t.push(*default);
                 t
@@ -355,7 +379,14 @@ mod tests {
 
     #[test]
     fn cmp_negate_swap() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             for (a, b) in [(1, 2), (2, 1), (3, 3)] {
                 assert_eq!(op.eval_int(a, b), !op.negate().eval_int(a, b));
                 assert_eq!(op.eval_int(a, b), op.swap().eval_int(b, a));
@@ -365,18 +396,32 @@ mod tests {
 
     #[test]
     fn uses_and_defs() {
-        let i = Instr::Bin { op: BinOp::Add, dst: Reg(0), a: Reg(1), b: Reg(2) };
+        let i = Instr::Bin {
+            op: BinOp::Add,
+            dst: Reg(0),
+            a: Reg(1),
+            b: Reg(2),
+        };
         assert_eq!(i.uses(), vec![Reg(1), Reg(2)]);
         assert_eq!(i.def(), Some(Reg(0)));
 
-        let c = Instr::CallVirtual { dst: None, slot: SlotId(0), recv: Reg(5), args: vec![Reg(6)] };
+        let c = Instr::CallVirtual {
+            dst: None,
+            slot: SlotId(0),
+            recv: Reg(5),
+            args: vec![Reg(6)],
+        };
         assert_eq!(c.uses(), vec![Reg(5), Reg(6)]);
         assert_eq!(c.def(), None);
     }
 
     #[test]
     fn switch_targets_include_default() {
-        let s = Instr::Switch { src: Reg(0), targets: vec![3, 4], default: 9 };
+        let s = Instr::Switch {
+            src: Reg(0),
+            targets: vec![3, 4],
+            default: 9,
+        };
         assert_eq!(s.targets(), vec![3, 4, 9]);
         assert!(s.is_terminator());
         assert!(!Instr::Safepoint.is_terminator());

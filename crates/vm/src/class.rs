@@ -70,7 +70,13 @@ impl Program {
             .enumerate()
             .map(|(i, c)| (c.name.clone(), ClassId(i as u32)))
             .collect();
-        Program { classes, methods, entry, method_names, class_names }
+        Program {
+            classes,
+            methods,
+            entry,
+            method_names,
+            class_names,
+        }
     }
 
     /// The entry method executed by [`Interp::run`](crate::interp::Interp::run).

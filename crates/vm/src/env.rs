@@ -22,7 +22,11 @@ impl Env {
         let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        Env { checksum: 0, rng: z ^ (z >> 31), marker_hits: Vec::new() }
+        Env {
+            checksum: 0,
+            rng: z ^ (z >> 31),
+            marker_hits: Vec::new(),
+        }
     }
 
     /// Folds a value into the checksum (`cs = cs * 31 + v`, wrapping).
@@ -64,7 +68,11 @@ impl Env {
     /// checkpoint support: side effects inside an aborted atomic region must
     /// vanish).
     pub fn snapshot(&self) -> EnvSnapshot {
-        EnvSnapshot { checksum: self.checksum, rng: self.rng, markers: self.marker_hits.len() }
+        EnvSnapshot {
+            checksum: self.checksum,
+            rng: self.rng,
+            markers: self.marker_hits.len(),
+        }
     }
 
     /// Rolls the environment back to a snapshot.

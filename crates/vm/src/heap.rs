@@ -55,7 +55,10 @@ pub struct Heap {
 impl Heap {
     /// Creates an empty heap.
     pub fn new() -> Self {
-        Heap { objects: Vec::new(), next_addr: 0x1000 }
+        Heap {
+            objects: Vec::new(),
+            next_addr: 0x1000,
+        }
     }
 
     /// Number of live objects.
@@ -77,7 +80,11 @@ impl Heap {
     ///
     /// Arrays carry a synthetic class id of `u32::MAX`.
     pub fn alloc_array(&mut self, len: usize) -> ObjId {
-        self.alloc(ClassId(u32::MAX), Vec::new(), Some(vec![Value::Int(0); len]))
+        self.alloc(
+            ClassId(u32::MAX),
+            Vec::new(),
+            Some(vec![Value::Int(0); len]),
+        )
     }
 
     fn alloc(&mut self, class: ClassId, fields: Vec<Value>, array: Option<Vec<Value>>) -> ObjId {
@@ -88,7 +95,14 @@ impl Heap {
         // pad to avoid pathological false sharing between unrelated objects.
         self.next_addr += size.next_multiple_of(16);
         let id = ObjId(self.objects.len() as u32);
-        self.objects.push(Object { class, base, lock: 0, lock_count: 0, fields, array });
+        self.objects.push(Object {
+            class,
+            base,
+            lock: 0,
+            lock_count: 0,
+            fields,
+            array,
+        });
         id
     }
 
@@ -121,12 +135,18 @@ impl Heap {
 
     /// Reads `arr[idx]`; the caller has already bounds-checked.
     pub fn array_get(&self, id: ObjId, idx: u32) -> Value {
-        self.objects[id.0 as usize].array.as_ref().expect("not an array")[idx as usize]
+        self.objects[id.0 as usize]
+            .array
+            .as_ref()
+            .expect("not an array")[idx as usize]
     }
 
     /// Writes `arr[idx]`; the caller has already bounds-checked.
     pub fn array_set(&mut self, id: ObjId, idx: u32, v: Value) {
-        self.objects[id.0 as usize].array.as_mut().expect("not an array")[idx as usize] = v;
+        self.objects[id.0 as usize]
+            .array
+            .as_mut()
+            .expect("not an array")[idx as usize] = v;
     }
 
     /// Reads the monitor lock word (0 = free, else owner thread id).
@@ -218,7 +238,10 @@ impl Heap {
 
     /// Marks the current allocation frontier (hardware checkpoint support).
     pub fn alloc_mark(&self) -> HeapMark {
-        HeapMark { objects: self.objects.len(), next_addr: self.next_addr }
+        HeapMark {
+            objects: self.objects.len(),
+            next_addr: self.next_addr,
+        }
     }
 
     /// Discards every object allocated after `mark` (rollback of an aborted
@@ -273,7 +296,10 @@ mod tests {
         assert_eq!(h.addr_of(HeapCell::Lock(o)), f0 - WORD);
         let e0 = h.addr_of(HeapCell::Elem(a, 0));
         assert_eq!(e0 - h.addr_of_len(a), WORD);
-        assert!(e0 > f1, "array allocated after object sits at higher addresses");
+        assert!(
+            e0 > f1,
+            "array allocated after object sits at higher addresses"
+        );
     }
 
     #[test]

@@ -74,12 +74,22 @@ impl<'p> Interp<'p> {
     ///
     /// # Errors
     /// Same conditions as [`Interp::run`].
-    pub fn call(&mut self, m: MethodId, args: &[Value], depth: usize) -> Result<Option<Value>, VmError> {
+    pub fn call(
+        &mut self,
+        m: MethodId,
+        args: &[Value],
+        depth: usize,
+    ) -> Result<Option<Value>, VmError> {
         if depth >= self.max_depth {
             return Err(VmError::StackOverflow);
         }
         let method = self.program.method(m);
-        assert_eq!(args.len(), method.argc as usize, "arity mismatch calling {}", method.name);
+        assert_eq!(
+            args.len(),
+            method.argc as usize,
+            "arity mismatch calling {}",
+            method.name
+        );
         let mut regs = vec![Value::Int(0); method.regs as usize];
         regs[..args.len()].copy_from_slice(args);
 
@@ -142,7 +152,12 @@ impl<'p> Interp<'p> {
                     let taken =
                         self.eval_cmp(*op, regs[a.0 as usize], regs[b.0 as usize], m, pc)?;
                     if self.profiling {
-                        let e = self.profile.method_mut(m).branches.entry(pc).or_insert((0, 0));
+                        let e = self
+                            .profile
+                            .method_mut(m)
+                            .branches
+                            .entry(pc)
+                            .or_insert((0, 0));
                         if taken {
                             e.0 += 1;
                         } else {
@@ -158,10 +173,17 @@ impl<'p> Interp<'p> {
                     pc = *target;
                     continue;
                 }
-                Instr::Switch { src, targets, default } => {
+                Instr::Switch {
+                    src,
+                    targets,
+                    default,
+                } => {
                     let v = self.require_int(regs[src.0 as usize], m, pc)?;
-                    let case =
-                        if v >= 0 && (v as usize) < targets.len() { v as usize } else { targets.len() };
+                    let case = if v >= 0 && (v as usize) < targets.len() {
+                        v as usize
+                    } else {
+                        targets.len()
+                    };
                     if self.profiling {
                         let counts = self
                             .profile
@@ -171,7 +193,11 @@ impl<'p> Interp<'p> {
                             .or_insert_with(|| vec![0; targets.len() + 1]);
                         counts[case] += 1;
                     }
-                    pc = if case < targets.len() { targets[case] } else { *default };
+                    pc = if case < targets.len() {
+                        targets[case]
+                    } else {
+                        *default
+                    };
                     continue;
                 }
                 Instr::New { dst, class } => {
@@ -182,7 +208,11 @@ impl<'p> Interp<'p> {
                 Instr::NewArray { dst, len } => {
                     let n = self.require_int(regs[len.0 as usize], m, pc)?;
                     if n < 0 {
-                        return Err(VmError::Trap { trap: Trap::OutOfBounds, method: m, pc });
+                        return Err(VmError::Trap {
+                            trap: Trap::OutOfBounds,
+                            method: m,
+                            pc,
+                        });
                     }
                     let o = self.heap.alloc_array(n as usize);
                     regs[dst.0 as usize] = Value::from(o);
@@ -196,11 +226,13 @@ impl<'p> Interp<'p> {
                     self.heap.set_field(o, field.0, regs[src.0 as usize]);
                 }
                 Instr::ALoad { dst, arr, idx } => {
-                    let (o, i) = self.check_array(regs[arr.0 as usize], regs[idx.0 as usize], m, pc)?;
+                    let (o, i) =
+                        self.check_array(regs[arr.0 as usize], regs[idx.0 as usize], m, pc)?;
                     regs[dst.0 as usize] = self.heap.array_get(o, i);
                 }
                 Instr::AStore { arr, idx, src } => {
-                    let (o, i) = self.check_array(regs[arr.0 as usize], regs[idx.0 as usize], m, pc)?;
+                    let (o, i) =
+                        self.check_array(regs[arr.0 as usize], regs[idx.0 as usize], m, pc)?;
                     self.heap.array_set(o, i, regs[src.0 as usize]);
                 }
                 Instr::ArrayLen { dst, arr } => {
@@ -212,14 +244,23 @@ impl<'p> Interp<'p> {
                     })?;
                     regs[dst.0 as usize] = Value::Int(n as i64);
                 }
-                Instr::Call { dst, method: callee, args } => {
+                Instr::Call {
+                    dst,
+                    method: callee,
+                    args,
+                } => {
                     let argv: Vec<Value> = args.iter().map(|r| regs[r.0 as usize]).collect();
                     let ret = self.call(*callee, &argv, depth + 1)?;
                     if let Some(d) = dst {
                         regs[d.0 as usize] = ret.unwrap_or(Value::Int(0));
                     }
                 }
-                Instr::CallVirtual { dst, slot, recv, args } => {
+                Instr::CallVirtual {
+                    dst,
+                    slot,
+                    recv,
+                    args,
+                } => {
                     let o = self.check_null(regs[recv.0 as usize], m, pc)?;
                     let class = self.heap.class_of(o);
                     if self.profiling {
@@ -277,7 +318,11 @@ impl<'p> Interp<'p> {
                     Value::Ref(None) => {}
                     Value::Ref(Some(o)) => {
                         if !self.program.is_subclass(self.heap.class_of(o), *class) {
-                            return Err(VmError::Trap { trap: Trap::ClassCast, method: m, pc });
+                            return Err(VmError::Trap {
+                                trap: Trap::ClassCast,
+                                method: m,
+                                pc,
+                            });
                         }
                     }
                     Value::Int(_) => {
@@ -327,16 +372,28 @@ impl<'p> Interp<'p> {
             (Value::Ref(x), Value::Ref(y)) => match op {
                 CmpOp::Eq => Ok(x == y),
                 CmpOp::Ne => Ok(x != y),
-                _ => Err(VmError::TypeMismatch { method: m, pc, what: "ordered cmp on refs" }),
+                _ => Err(VmError::TypeMismatch {
+                    method: m,
+                    pc,
+                    what: "ordered cmp on refs",
+                }),
             },
-            _ => Err(VmError::TypeMismatch { method: m, pc, what: "cmp int vs ref" }),
+            _ => Err(VmError::TypeMismatch {
+                method: m,
+                pc,
+                what: "cmp int vs ref",
+            }),
         }
     }
 
     fn require_int(&self, v: Value, m: MethodId, pc: usize) -> Result<i64, VmError> {
         match v {
             Value::Int(x) => Ok(x),
-            Value::Ref(_) => Err(VmError::TypeMismatch { method: m, pc, what: "expected int" }),
+            Value::Ref(_) => Err(VmError::TypeMismatch {
+                method: m,
+                pc,
+                what: "expected int",
+            }),
         }
     }
 
@@ -347,8 +404,16 @@ impl<'p> Interp<'p> {
     fn check_null(&self, v: Value, m: MethodId, pc: usize) -> Result<ObjId, VmError> {
         match v {
             Value::Ref(Some(o)) => Ok(o),
-            Value::Ref(None) => Err(VmError::Trap { trap: Trap::NullPointer, method: m, pc }),
-            Value::Int(_) => Err(VmError::TypeMismatch { method: m, pc, what: "expected ref" }),
+            Value::Ref(None) => Err(VmError::Trap {
+                trap: Trap::NullPointer,
+                method: m,
+                pc,
+            }),
+            Value::Int(_) => Err(VmError::TypeMismatch {
+                method: m,
+                pc,
+                what: "expected ref",
+            }),
         }
     }
 
@@ -367,7 +432,11 @@ impl<'p> Interp<'p> {
             what: "array op on non-array",
         })?;
         if i < 0 || i as usize >= len {
-            return Err(VmError::Trap { trap: Trap::OutOfBounds, method: m, pc });
+            return Err(VmError::Trap {
+                trap: Trap::OutOfBounds,
+                method: m,
+                pc,
+            });
         }
         Ok((o, i as u32))
     }
@@ -495,7 +564,13 @@ mod tests {
         let p = pb.finish(entry);
         let mut i = Interp::new(&p);
         let err = i.run(&[]).unwrap_err();
-        assert!(matches!(err, VmError::Trap { trap: Trap::NullPointer, .. }));
+        assert!(matches!(
+            err,
+            VmError::Trap {
+                trap: Trap::NullPointer,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -513,7 +588,13 @@ mod tests {
         let p = pb.finish(entry);
         let mut i = Interp::new(&p);
         let err = i.run(&[]).unwrap_err();
-        assert!(matches!(err, VmError::Trap { trap: Trap::OutOfBounds, .. }));
+        assert!(matches!(
+            err,
+            VmError::Trap {
+                trap: Trap::OutOfBounds,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -87,7 +87,11 @@ impl Profile {
 
     /// Methods sorted by invocation count, hottest first.
     pub fn hottest_methods(&self) -> Vec<(MethodId, u64)> {
-        let mut v: Vec<_> = self.methods.iter().map(|(m, p)| (*m, p.invocations)).collect();
+        let mut v: Vec<_> = self
+            .methods
+            .iter()
+            .map(|(m, p)| (*m, p.invocations))
+            .collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }

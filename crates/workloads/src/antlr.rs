@@ -213,8 +213,8 @@ pub fn antlr() -> Workload {
         m.get_field(ks3, st, f_kinds); // redundant again
         let c2 = m.reg();
         m.aload(c2, ks3, kind); // reloads what we just stored
-        // A second round of the same statistics (generated-code repetition
-        // that regions let GVN collapse to nearly nothing).
+                                // A second round of the same statistics (generated-code repetition
+                                // that regions let GVN collapse to nearly nothing).
         let ks4 = m.reg();
         m.get_field(ks4, st, f_kinds);
         let c3 = m.reg();
@@ -251,10 +251,22 @@ pub fn antlr() -> Workload {
                       methods (SLE)",
         program: pb.finish(entry),
         samples: vec![
-            Sample { marker: 1, weight: 0.4 },
-            Sample { marker: 2, weight: 0.3 },
-            Sample { marker: 3, weight: 0.2 },
-            Sample { marker: 4, weight: 0.1 },
+            Sample {
+                marker: 1,
+                weight: 0.4,
+            },
+            Sample {
+                marker: 2,
+                weight: 0.3,
+            },
+            Sample {
+                marker: 3,
+                weight: 0.2,
+            },
+            Sample {
+                marker: 4,
+                weight: 0.1,
+            },
         ],
         fuel: 120_000_000,
     }

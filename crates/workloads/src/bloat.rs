@@ -22,8 +22,8 @@ pub fn bloat() -> Workload {
         "FlowState",
         None,
         &[
-            "depths", "bigrams", "lines", "maxdepth", "insns", "wides", "defs", "uses",
-            "weight", "blocks",
+            "depths", "bigrams", "lines", "maxdepth", "insns", "wides", "defs", "uses", "weight",
+            "blocks",
         ],
     );
     let f_depths = pb.field(state, "depths");
@@ -321,10 +321,22 @@ pub fn bloat() -> Workload {
                       the least dominant sample",
         program: pb.finish(entry),
         samples: vec![
-            Sample { marker: 1, weight: 0.35 },
-            Sample { marker: 2, weight: 0.30 },
-            Sample { marker: 3, weight: 0.25 },
-            Sample { marker: 4, weight: 0.10 },
+            Sample {
+                marker: 1,
+                weight: 0.35,
+            },
+            Sample {
+                marker: 2,
+                weight: 0.30,
+            },
+            Sample {
+                marker: 3,
+                weight: 0.25,
+            },
+            Sample {
+                marker: 4,
+                weight: 0.10,
+            },
         ],
         fuel: 150_000_000,
     }

@@ -32,7 +32,13 @@ pub fn int_vector(pb: &mut ProgramBuilder) -> IntVector {
     let class = pb.add_class(
         "SuballocatedIntVector",
         None,
-        &["m_map", "m_blocksize", "m_cachedChunk", "m_cachedBase", "m_firstFree"],
+        &[
+            "m_map",
+            "m_blocksize",
+            "m_cachedChunk",
+            "m_cachedBase",
+            "m_firstFree",
+        ],
     );
     let f_map = pb.field(class, "m_map");
     let f_bs = pb.field(class, "m_blocksize");
@@ -155,7 +161,14 @@ pub fn int_vector(pb: &mut ProgramBuilder) -> IntVector {
         m.finish(pb)
     };
 
-    IntVector { class, new, add, get, size, f_first_free: f_free }
+    IntVector {
+        class,
+        new,
+        add,
+        get,
+        size,
+        f_first_free: f_free,
+    }
 }
 
 /// A synchronized string buffer, the classlib shape behind "elimination of
@@ -275,7 +288,13 @@ pub fn string_buffer(pb: &mut ProgramBuilder) -> StringBuffer {
         m.finish(pb)
     };
 
-    StringBuffer { class, new, append, length, hash }
+    StringBuffer {
+        class,
+        new,
+        append,
+        length,
+        hash,
+    }
 }
 
 /// An open-addressing integer hash map (power-of-two capacity). `get` on a
@@ -391,7 +410,12 @@ pub fn hash_map_int(pb: &mut ProgramBuilder) -> HashMapInt {
         m.finish(pb)
     };
 
-    HashMapInt { class, new, put, get }
+    HashMapInt {
+        class,
+        new,
+        put,
+        get,
+    }
 }
 
 /// Boxed-value classes with a virtual `value()` method — the receiver-type
@@ -457,7 +481,14 @@ pub fn boxes(pb: &mut ProgramBuilder) -> Boxes {
         m.finish(pb)
     };
 
-    Boxes { base, int_box, alt_box, slot, new_int, new_alt }
+    Boxes {
+        base,
+        int_box,
+        alt_box,
+        slot,
+        new_int,
+        new_alt,
+    }
 }
 
 #[cfg(test)]

@@ -44,7 +44,11 @@ pub fn fop() -> Workload {
         m.finish(&mut pb)
     };
 
-    let layout = pb.add_class("Layout", None, &["linewidth", "cursor", "lines", "overfull"]);
+    let layout = pb.add_class(
+        "Layout",
+        None,
+        &["linewidth", "cursor", "lines", "overfull"],
+    );
     let f_lw = pb.field(layout, "linewidth");
     let f_cur = pb.field(layout, "cursor");
     let f_lines = pb.field(layout, "lines");
@@ -177,7 +181,16 @@ pub fn fop() -> Workload {
                       (modest coverage); the line-breaking kernel forms the \
                       suite's smallest regions",
         program: pb.finish(entry),
-        samples: vec![Sample { marker: 1, weight: 0.6 }, Sample { marker: 2, weight: 0.4 }],
+        samples: vec![
+            Sample {
+                marker: 1,
+                weight: 0.6,
+            },
+            Sample {
+                marker: 2,
+                weight: 0.4,
+            },
+        ],
         fuel: 100_000_000,
     }
 }

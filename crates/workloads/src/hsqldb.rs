@@ -61,7 +61,9 @@ pub fn hsqldb() -> Workload {
     let table = pb.add_class(
         "Table",
         None,
-        &["balances", "counts", "stamps", "flags", "nrows", "index", "checksum"],
+        &[
+            "balances", "counts", "stamps", "flags", "nrows", "index", "checksum",
+        ],
     );
     let f_bal = pb.field(table, "balances");
     let f_cnt = pb.field(table, "counts");
@@ -339,7 +341,10 @@ pub fn hsqldb() -> Workload {
                       4-column row updates with redundant loads (GVN), rare \
                       early-abort rollbacks",
         program: pb.finish(entry),
-        samples: vec![Sample { marker: 1, weight: 1.0 }],
+        samples: vec![Sample {
+            marker: 1,
+            weight: 1.0,
+        }],
         fuel: 100_000_000,
     }
 }

@@ -263,7 +263,10 @@ pub fn jython() -> Workload {
                       polluted receiver histogram (the partial-inlining \
                       pathology and its forced-monomorphic fix)",
         program: pb.finish(entry),
-        samples: vec![Sample { marker: 1, weight: 1.0 }],
+        samples: vec![Sample {
+            marker: 1,
+            weight: 1.0,
+        }],
         fuel: 120_000_000,
     }
 }

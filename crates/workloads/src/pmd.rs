@@ -63,7 +63,15 @@ pub fn pmd() -> Workload {
     let report = pb.add_class(
         "Report",
         None,
-        &["violations", "visited", "score", "bykind", "byarity", "flagsum", "depthsum"],
+        &[
+            "violations",
+            "visited",
+            "score",
+            "bykind",
+            "byarity",
+            "flagsum",
+            "depthsum",
+        ],
     );
     let f_viol = pb.field(report, "violations");
     let f_visited = pb.field(report, "visited");
@@ -362,10 +370,22 @@ pub fn pmd() -> Workload {
                       driving ~1-2% aborts against only modest region wins",
         program: pb.finish(entry),
         samples: vec![
-            Sample { marker: 1, weight: 0.3 },
-            Sample { marker: 2, weight: 0.3 },
-            Sample { marker: 3, weight: 0.3 },
-            Sample { marker: 4, weight: 0.1 },
+            Sample {
+                marker: 1,
+                weight: 0.3,
+            },
+            Sample {
+                marker: 2,
+                weight: 0.3,
+            },
+            Sample {
+                marker: 3,
+                weight: 0.3,
+            },
+            Sample {
+                marker: 4,
+                weight: 0.1,
+            },
         ],
         fuel: 150_000_000,
     }

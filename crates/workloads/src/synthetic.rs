@@ -51,7 +51,10 @@ pub fn add_element(iters: i64) -> Workload {
         name: "addelement",
         description: "Figures 2-3: the Xalan addElement hot/cold call site",
         program: pb.finish(entry),
-        samples: vec![Sample { marker: 1, weight: 1.0 }],
+        samples: vec![Sample {
+            marker: 1,
+            weight: 1.0,
+        }],
         fuel: 200_000_000,
     }
 }
@@ -127,7 +130,10 @@ pub fn phase_flip(total: i64, flip_at: i64, late_pct: i64) -> Workload {
         name: "phase-flip",
         description: "a hot branch flips bias after the profiling window",
         program: pb.finish(entry),
-        samples: vec![Sample { marker: 1, weight: 1.0 }],
+        samples: vec![Sample {
+            marker: 1,
+            weight: 1.0,
+        }],
         fuel: 200_000_000,
     }
 }
@@ -171,7 +177,10 @@ pub fn postdom_checks(iters: i64) -> Workload {
         name: "postdom-checks",
         description: "§7: check(len,i) post-dominated by check(len,i+1)",
         program: pb.finish(entry),
-        samples: vec![Sample { marker: 1, weight: 1.0 }],
+        samples: vec![Sample {
+            marker: 1,
+            weight: 1.0,
+        }],
         fuel: 200_000_000,
     }
 }
@@ -183,10 +192,16 @@ mod tests {
 
     #[test]
     fn synthetics_run_clean() {
-        for w in [add_element(2000), phase_flip(5000, 4000, 40), postdom_checks(2000)] {
+        for w in [
+            add_element(2000),
+            phase_flip(5000, 4000, 40),
+            postdom_checks(2000),
+        ] {
             let mut interp = Interp::new(&w.program);
             interp.set_fuel(w.fuel);
-            interp.run(&[]).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            interp
+                .run(&[])
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         }
     }
 }

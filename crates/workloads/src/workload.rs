@@ -45,8 +45,7 @@ mod tests {
     fn table2_sample_counts() {
         // antlr 4, bloat 4, fop 2, hsqldb 1, jython 1, pmd 4, xalan 1.
         let ws = all_workloads();
-        let counts: Vec<(&str, usize)> =
-            ws.iter().map(|w| (w.name, w.sample_count())).collect();
+        let counts: Vec<(&str, usize)> = ws.iter().map(|w| (w.name, w.sample_count())).collect();
         assert_eq!(
             counts,
             vec![
@@ -61,7 +60,11 @@ mod tests {
         );
         for w in &ws {
             let total: f64 = w.samples.iter().map(|s| s.weight).sum();
-            assert!((total - 1.0).abs() < 1e-9, "{} weights sum to {total}", w.name);
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "{} weights sum to {total}",
+                w.name
+            );
         }
     }
 }

@@ -170,7 +170,10 @@ pub fn xalan() -> Workload {
                       called twice per text event, synchronized output buffer, \
                       high region coverage, near-zero aborts",
         program: pb.finish(entry),
-        samples: vec![Sample { marker: 1, weight: 1.0 }],
+        samples: vec![Sample {
+            marker: 1,
+            weight: 1.0,
+        }],
         fuel: 60_000_000,
     }
 }

@@ -89,7 +89,10 @@ fn phase_flip_workload() -> Workload {
         name: "phase-flip",
         description: "hot branch flips from 0% to 40% after profiling",
         program: pb.finish(entry),
-        samples: vec![Sample { marker: 1, weight: 1.0 }],
+        samples: vec![Sample {
+            marker: 1,
+            weight: 1.0,
+        }],
         fuel: 100_000_000,
     }
 }
@@ -109,17 +112,32 @@ fn main() {
         profiled.profile = early.profile;
     }
 
-    let baseline = run_workload(&w, &profiled, &CompilerConfig::no_atomic(), &HwConfig::baseline());
+    let baseline = run_workload(
+        &w,
+        &profiled,
+        &CompilerConfig::no_atomic(),
+        &HwConfig::baseline(),
+    );
 
     println!("running speculative → diagnosing → recompiling → re-running ...");
-    let outcome = run_adaptive(&w, &profiled, &CompilerConfig::atomic(), &HwConfig::baseline());
+    let outcome = run_adaptive(
+        &w,
+        &profiled,
+        &CompilerConfig::atomic(),
+        &HwConfig::baseline(),
+    );
 
     let f = &outcome.first.stats;
     let s = &outcome.second.stats;
-    println!("\nbaseline  (no-atomic) : cycles {:>9}", baseline.stats.cycles);
+    println!(
+        "\nbaseline  (no-atomic) : cycles {:>9}",
+        baseline.stats.cycles
+    );
     println!(
         "first run (atomic)    : cycles {:>9}  aborts {:>6} ({:.2}% of regions)",
-        f.cycles, f.total_aborts(), f.abort_rate() * 100.0
+        f.cycles,
+        f.total_aborts(),
+        f.abort_rate() * 100.0
     );
     println!(
         "methods over the {:.0}% abort threshold: {:?}",
@@ -132,7 +150,9 @@ fn main() {
     );
     println!(
         "second run (adaptive) : cycles {:>9}  aborts {:>6} ({:.2}% of regions)",
-        s.cycles, s.total_aborts(), s.abort_rate() * 100.0
+        s.cycles,
+        s.total_aborts(),
+        s.abort_rate() * 100.0
     );
 
     let d = (f.cycles as f64 / s.cycles as f64 - 1.0) * 100.0;

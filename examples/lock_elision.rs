@@ -103,8 +103,8 @@ fn main() {
             s.uops,
             s.cycles,
             s.commits,
-            s.aborts.get(&AbortReason::Sle).copied().unwrap_or(0),
-            s.aborts.get(&AbortReason::Conflict).copied().unwrap_or(0),
+            s.aborts.get(AbortReason::Sle),
+            s.aborts.get(AbortReason::Conflict),
         );
     }
     println!(

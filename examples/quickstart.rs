@@ -18,7 +18,11 @@ use hasp_vm::Program;
 
 fn build_program() -> Program {
     let mut pb = ProgramBuilder::new();
-    let cls = pb.add_class("Counter", None, &["value", "total", "checkmod", "overflows"]);
+    let cls = pb.add_class(
+        "Counter",
+        None,
+        &["value", "total", "checkmod", "overflows"],
+    );
     let f_value = pb.field(cls, "value");
     let f_total = pb.field(cls, "total");
     let f_mod = pb.field(cls, "checkmod");
@@ -111,12 +115,13 @@ fn main() {
         let mut machine = Machine::new(&program, &code, HwConfig::baseline());
         machine.set_fuel(500_000_000);
         let mresult = machine.run(&[]).expect("machine run failed");
-        assert_eq!(machine.env.checksum(), reference, "speculation broke semantics!");
-        let s = machine.stats();
-        println!(
-            "\n[{}] result = {mresult:?} (checksum verified)",
-            cfg.name
+        assert_eq!(
+            machine.env.checksum(),
+            reference,
+            "speculation broke semantics!"
         );
+        let s = machine.stats();
+        println!("\n[{}] result = {mresult:?} (checksum verified)", cfg.name);
         println!("  uops          : {}", s.uops);
         println!("  cycles        : {}", s.cycles);
         println!("  regions commit: {}", s.commits);

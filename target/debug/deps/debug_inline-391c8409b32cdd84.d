@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_inline-391c8409b32cdd84.d: crates/experiments/src/bin/debug_inline.rs
+
+/root/repo/target/debug/deps/debug_inline-391c8409b32cdd84: crates/experiments/src/bin/debug_inline.rs
+
+crates/experiments/src/bin/debug_inline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_inline-5910c255996fd946.d: crates/experiments/src/bin/debug_inline.rs
+
+/root/repo/target/debug/deps/debug_inline-5910c255996fd946: crates/experiments/src/bin/debug_inline.rs
+
+crates/experiments/src/bin/debug_inline.rs:

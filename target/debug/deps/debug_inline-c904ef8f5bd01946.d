@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_inline-c904ef8f5bd01946.d: crates/experiments/src/bin/debug_inline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_inline-c904ef8f5bd01946.rmeta: crates/experiments/src/bin/debug_inline.rs Cargo.toml
+
+crates/experiments/src/bin/debug_inline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

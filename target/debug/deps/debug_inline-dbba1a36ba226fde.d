@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_inline-dbba1a36ba226fde.d: crates/experiments/src/bin/debug_inline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_inline-dbba1a36ba226fde.rmeta: crates/experiments/src/bin/debug_inline.rs Cargo.toml
+
+crates/experiments/src/bin/debug_inline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_passes-5969da05dbb83cd8.d: crates/experiments/src/bin/debug_passes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_passes-5969da05dbb83cd8.rmeta: crates/experiments/src/bin/debug_passes.rs Cargo.toml
+
+crates/experiments/src/bin/debug_passes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

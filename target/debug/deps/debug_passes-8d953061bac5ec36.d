@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_passes-8d953061bac5ec36.d: crates/experiments/src/bin/debug_passes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_passes-8d953061bac5ec36.rmeta: crates/experiments/src/bin/debug_passes.rs Cargo.toml
+
+crates/experiments/src/bin/debug_passes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

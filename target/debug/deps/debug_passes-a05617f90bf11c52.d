@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_passes-a05617f90bf11c52.d: crates/experiments/src/bin/debug_passes.rs
+
+/root/repo/target/debug/deps/debug_passes-a05617f90bf11c52: crates/experiments/src/bin/debug_passes.rs
+
+crates/experiments/src/bin/debug_passes.rs:

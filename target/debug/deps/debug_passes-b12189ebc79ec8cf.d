@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_passes-b12189ebc79ec8cf.d: crates/experiments/src/bin/debug_passes.rs
+
+/root/repo/target/debug/deps/debug_passes-b12189ebc79ec8cf: crates/experiments/src/bin/debug_passes.rs
+
+crates/experiments/src/bin/debug_passes.rs:

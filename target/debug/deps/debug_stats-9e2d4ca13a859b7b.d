@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_stats-9e2d4ca13a859b7b.d: crates/experiments/src/bin/debug_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_stats-9e2d4ca13a859b7b.rmeta: crates/experiments/src/bin/debug_stats.rs Cargo.toml
+
+crates/experiments/src/bin/debug_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_stats-b09eaf266bcd0767.d: crates/experiments/src/bin/debug_stats.rs
+
+/root/repo/target/debug/deps/debug_stats-b09eaf266bcd0767: crates/experiments/src/bin/debug_stats.rs
+
+crates/experiments/src/bin/debug_stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_stats-ddec2e6739ef4055.d: crates/experiments/src/bin/debug_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_stats-ddec2e6739ef4055.rmeta: crates/experiments/src/bin/debug_stats.rs Cargo.toml
+
+crates/experiments/src/bin/debug_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_stats-de2a0774d5874d5b.d: crates/experiments/src/bin/debug_stats.rs
+
+/root/repo/target/debug/deps/debug_stats-de2a0774d5874d5b: crates/experiments/src/bin/debug_stats.rs
+
+crates/experiments/src/bin/debug_stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-0be9634b81b98bcd.d: crates/experiments/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-0be9634b81b98bcd.rmeta: crates/experiments/tests/determinism.rs Cargo.toml
+
+crates/experiments/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

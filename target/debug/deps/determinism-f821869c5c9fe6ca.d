@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-f821869c5c9fe6ca.d: crates/experiments/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-f821869c5c9fe6ca: crates/experiments/tests/determinism.rs
+
+crates/experiments/tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dump_cfg-73018462783abbaf.d: crates/experiments/src/bin/dump_cfg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdump_cfg-73018462783abbaf.rmeta: crates/experiments/src/bin/dump_cfg.rs Cargo.toml
+
+crates/experiments/src/bin/dump_cfg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

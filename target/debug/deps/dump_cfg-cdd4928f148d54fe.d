@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dump_cfg-cdd4928f148d54fe.d: crates/experiments/src/bin/dump_cfg.rs
+
+/root/repo/target/debug/deps/dump_cfg-cdd4928f148d54fe: crates/experiments/src/bin/dump_cfg.rs
+
+crates/experiments/src/bin/dump_cfg.rs:

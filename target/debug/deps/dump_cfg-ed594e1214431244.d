@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dump_cfg-ed594e1214431244.d: crates/experiments/src/bin/dump_cfg.rs
+
+/root/repo/target/debug/deps/dump_cfg-ed594e1214431244: crates/experiments/src/bin/dump_cfg.rs
+
+crates/experiments/src/bin/dump_cfg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-10796c14e36b917d.d: tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-10796c14e36b917d.rmeta: tests/equivalence.rs Cargo.toml
+
+tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

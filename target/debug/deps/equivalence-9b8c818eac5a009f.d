@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-9b8c818eac5a009f.d: tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-9b8c818eac5a009f: tests/equivalence.rs
+
+tests/equivalence.rs:

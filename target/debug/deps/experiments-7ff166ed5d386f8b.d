@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-7ff166ed5d386f8b.d: crates/experiments/src/main.rs
+
+/root/repo/target/debug/deps/experiments-7ff166ed5d386f8b: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-ab501d02b8e4d507.d: crates/experiments/src/main.rs
+
+/root/repo/target/debug/deps/experiments-ab501d02b8e4d507: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/formation_golden-6625d66a22fa9e79.d: tests/formation_golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libformation_golden-6625d66a22fa9e79.rmeta: tests/formation_golden.rs Cargo.toml
+
+tests/formation_golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/formation_golden-eccead70299102d5.d: tests/formation_golden.rs
+
+/root/repo/target/debug/deps/formation_golden-eccead70299102d5: tests/formation_golden.rs
+
+tests/formation_golden.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hasp-30ee6d5992c36046.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhasp-30ee6d5992c36046.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhasp-30ee6d5992c36046.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hasp-4fcfbf8ceb8e6de8.d: src/lib.rs
+
+/root/repo/target/debug/deps/hasp-4fcfbf8ceb8e6de8: src/lib.rs
+
+src/lib.rs:

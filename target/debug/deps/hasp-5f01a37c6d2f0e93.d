@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hasp-5f01a37c6d2f0e93.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhasp-5f01a37c6d2f0e93.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hasp-aa3c88564f8e0a07.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhasp-aa3c88564f8e0a07.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hasp_bench-2fe037912d3dcb55.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/hasp_bench-2fe037912d3dcb55: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hasp_bench-3177709fa3107cbb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhasp_bench-3177709fa3107cbb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhasp_bench-3177709fa3107cbb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hasp_bench-582e4523192c5bd4.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhasp_bench-582e4523192c5bd4.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/hasp_core-867fbd9f516dbb6e.d: crates/core/src/lib.rs crates/core/src/boundaries.rs crates/core/src/cold.rs crates/core/src/config.rs crates/core/src/form.rs crates/core/src/normalize.rs crates/core/src/partition.rs crates/core/src/replicate.rs crates/core/src/site.rs crates/core/src/stats.rs crates/core/src/trace.rs
+
+/root/repo/target/debug/deps/libhasp_core-867fbd9f516dbb6e.rlib: crates/core/src/lib.rs crates/core/src/boundaries.rs crates/core/src/cold.rs crates/core/src/config.rs crates/core/src/form.rs crates/core/src/normalize.rs crates/core/src/partition.rs crates/core/src/replicate.rs crates/core/src/site.rs crates/core/src/stats.rs crates/core/src/trace.rs
+
+/root/repo/target/debug/deps/libhasp_core-867fbd9f516dbb6e.rmeta: crates/core/src/lib.rs crates/core/src/boundaries.rs crates/core/src/cold.rs crates/core/src/config.rs crates/core/src/form.rs crates/core/src/normalize.rs crates/core/src/partition.rs crates/core/src/replicate.rs crates/core/src/site.rs crates/core/src/stats.rs crates/core/src/trace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/boundaries.rs:
+crates/core/src/cold.rs:
+crates/core/src/config.rs:
+crates/core/src/form.rs:
+crates/core/src/normalize.rs:
+crates/core/src/partition.rs:
+crates/core/src/replicate.rs:
+crates/core/src/site.rs:
+crates/core/src/stats.rs:
+crates/core/src/trace.rs:

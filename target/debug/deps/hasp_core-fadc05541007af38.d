@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/hasp_core-fadc05541007af38.d: crates/core/src/lib.rs crates/core/src/boundaries.rs crates/core/src/cold.rs crates/core/src/config.rs crates/core/src/form.rs crates/core/src/normalize.rs crates/core/src/partition.rs crates/core/src/replicate.rs crates/core/src/site.rs crates/core/src/stats.rs crates/core/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhasp_core-fadc05541007af38.rmeta: crates/core/src/lib.rs crates/core/src/boundaries.rs crates/core/src/cold.rs crates/core/src/config.rs crates/core/src/form.rs crates/core/src/normalize.rs crates/core/src/partition.rs crates/core/src/replicate.rs crates/core/src/site.rs crates/core/src/stats.rs crates/core/src/trace.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/boundaries.rs:
+crates/core/src/cold.rs:
+crates/core/src/config.rs:
+crates/core/src/form.rs:
+crates/core/src/normalize.rs:
+crates/core/src/partition.rs:
+crates/core/src/replicate.rs:
+crates/core/src/site.rs:
+crates/core/src/stats.rs:
+crates/core/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

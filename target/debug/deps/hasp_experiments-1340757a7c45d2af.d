@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hasp_experiments-1340757a7c45d2af.d: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhasp_experiments-1340757a7c45d2af.rmeta: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/adaptive.rs:
+crates/experiments/src/figures.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/runner.rs:
+crates/experiments/src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

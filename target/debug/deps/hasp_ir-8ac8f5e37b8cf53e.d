@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hasp_ir-8ac8f5e37b8cf53e.d: crates/ir/src/lib.rs crates/ir/src/dom.rs crates/ir/src/dot.rs crates/ir/src/func.rs crates/ir/src/instr.rs crates/ir/src/liveness.rs crates/ir/src/loops.rs crates/ir/src/ssa.rs crates/ir/src/ssa_repair.rs crates/ir/src/translate.rs crates/ir/src/verify.rs
+
+/root/repo/target/debug/deps/hasp_ir-8ac8f5e37b8cf53e: crates/ir/src/lib.rs crates/ir/src/dom.rs crates/ir/src/dot.rs crates/ir/src/func.rs crates/ir/src/instr.rs crates/ir/src/liveness.rs crates/ir/src/loops.rs crates/ir/src/ssa.rs crates/ir/src/ssa_repair.rs crates/ir/src/translate.rs crates/ir/src/verify.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/dom.rs:
+crates/ir/src/dot.rs:
+crates/ir/src/func.rs:
+crates/ir/src/instr.rs:
+crates/ir/src/liveness.rs:
+crates/ir/src/loops.rs:
+crates/ir/src/ssa.rs:
+crates/ir/src/ssa_repair.rs:
+crates/ir/src/translate.rs:
+crates/ir/src/verify.rs:

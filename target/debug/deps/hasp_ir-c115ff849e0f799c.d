@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/hasp_ir-c115ff849e0f799c.d: crates/ir/src/lib.rs crates/ir/src/dom.rs crates/ir/src/dot.rs crates/ir/src/func.rs crates/ir/src/instr.rs crates/ir/src/liveness.rs crates/ir/src/loops.rs crates/ir/src/ssa.rs crates/ir/src/ssa_repair.rs crates/ir/src/translate.rs crates/ir/src/verify.rs
+
+/root/repo/target/debug/deps/libhasp_ir-c115ff849e0f799c.rlib: crates/ir/src/lib.rs crates/ir/src/dom.rs crates/ir/src/dot.rs crates/ir/src/func.rs crates/ir/src/instr.rs crates/ir/src/liveness.rs crates/ir/src/loops.rs crates/ir/src/ssa.rs crates/ir/src/ssa_repair.rs crates/ir/src/translate.rs crates/ir/src/verify.rs
+
+/root/repo/target/debug/deps/libhasp_ir-c115ff849e0f799c.rmeta: crates/ir/src/lib.rs crates/ir/src/dom.rs crates/ir/src/dot.rs crates/ir/src/func.rs crates/ir/src/instr.rs crates/ir/src/liveness.rs crates/ir/src/loops.rs crates/ir/src/ssa.rs crates/ir/src/ssa_repair.rs crates/ir/src/translate.rs crates/ir/src/verify.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/dom.rs:
+crates/ir/src/dot.rs:
+crates/ir/src/func.rs:
+crates/ir/src/instr.rs:
+crates/ir/src/liveness.rs:
+crates/ir/src/loops.rs:
+crates/ir/src/ssa.rs:
+crates/ir/src/ssa_repair.rs:
+crates/ir/src/translate.rs:
+crates/ir/src/verify.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/hasp_opt-90c0cf22207306ff.d: crates/opt/src/lib.rs crates/opt/src/checkelim.rs crates/opt/src/constprop.rs crates/opt/src/dce.rs crates/opt/src/gvn.rs crates/opt/src/inline.rs crates/opt/src/pipeline.rs crates/opt/src/safepoint.rs crates/opt/src/simplify.rs crates/opt/src/sle.rs crates/opt/src/superblock.rs crates/opt/src/unroll.rs
+
+/root/repo/target/debug/deps/libhasp_opt-90c0cf22207306ff.rlib: crates/opt/src/lib.rs crates/opt/src/checkelim.rs crates/opt/src/constprop.rs crates/opt/src/dce.rs crates/opt/src/gvn.rs crates/opt/src/inline.rs crates/opt/src/pipeline.rs crates/opt/src/safepoint.rs crates/opt/src/simplify.rs crates/opt/src/sle.rs crates/opt/src/superblock.rs crates/opt/src/unroll.rs
+
+/root/repo/target/debug/deps/libhasp_opt-90c0cf22207306ff.rmeta: crates/opt/src/lib.rs crates/opt/src/checkelim.rs crates/opt/src/constprop.rs crates/opt/src/dce.rs crates/opt/src/gvn.rs crates/opt/src/inline.rs crates/opt/src/pipeline.rs crates/opt/src/safepoint.rs crates/opt/src/simplify.rs crates/opt/src/sle.rs crates/opt/src/superblock.rs crates/opt/src/unroll.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/checkelim.rs:
+crates/opt/src/constprop.rs:
+crates/opt/src/dce.rs:
+crates/opt/src/gvn.rs:
+crates/opt/src/inline.rs:
+crates/opt/src/pipeline.rs:
+crates/opt/src/safepoint.rs:
+crates/opt/src/simplify.rs:
+crates/opt/src/sle.rs:
+crates/opt/src/superblock.rs:
+crates/opt/src/unroll.rs:

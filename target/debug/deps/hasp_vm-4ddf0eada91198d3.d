@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hasp_vm-4ddf0eada91198d3.d: crates/vm/src/lib.rs crates/vm/src/builder.rs crates/vm/src/bytecode.rs crates/vm/src/class.rs crates/vm/src/env.rs crates/vm/src/error.rs crates/vm/src/heap.rs crates/vm/src/interp.rs crates/vm/src/profile.rs crates/vm/src/value.rs
+
+/root/repo/target/debug/deps/hasp_vm-4ddf0eada91198d3: crates/vm/src/lib.rs crates/vm/src/builder.rs crates/vm/src/bytecode.rs crates/vm/src/class.rs crates/vm/src/env.rs crates/vm/src/error.rs crates/vm/src/heap.rs crates/vm/src/interp.rs crates/vm/src/profile.rs crates/vm/src/value.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/builder.rs:
+crates/vm/src/bytecode.rs:
+crates/vm/src/class.rs:
+crates/vm/src/env.rs:
+crates/vm/src/error.rs:
+crates/vm/src/heap.rs:
+crates/vm/src/interp.rs:
+crates/vm/src/profile.rs:
+crates/vm/src/value.rs:

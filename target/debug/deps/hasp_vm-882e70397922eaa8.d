@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/hasp_vm-882e70397922eaa8.d: crates/vm/src/lib.rs crates/vm/src/builder.rs crates/vm/src/bytecode.rs crates/vm/src/class.rs crates/vm/src/env.rs crates/vm/src/error.rs crates/vm/src/heap.rs crates/vm/src/interp.rs crates/vm/src/profile.rs crates/vm/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhasp_vm-882e70397922eaa8.rmeta: crates/vm/src/lib.rs crates/vm/src/builder.rs crates/vm/src/bytecode.rs crates/vm/src/class.rs crates/vm/src/env.rs crates/vm/src/error.rs crates/vm/src/heap.rs crates/vm/src/interp.rs crates/vm/src/profile.rs crates/vm/src/value.rs Cargo.toml
+
+crates/vm/src/lib.rs:
+crates/vm/src/builder.rs:
+crates/vm/src/bytecode.rs:
+crates/vm/src/class.rs:
+crates/vm/src/env.rs:
+crates/vm/src/error.rs:
+crates/vm/src/heap.rs:
+crates/vm/src/interp.rs:
+crates/vm/src/profile.rs:
+crates/vm/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

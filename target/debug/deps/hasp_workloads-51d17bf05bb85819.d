@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/hasp_workloads-51d17bf05bb85819.d: crates/workloads/src/lib.rs crates/workloads/src/antlr.rs crates/workloads/src/bloat.rs crates/workloads/src/classlib.rs crates/workloads/src/fop.rs crates/workloads/src/hsqldb.rs crates/workloads/src/jython.rs crates/workloads/src/pmd.rs crates/workloads/src/synthetic.rs crates/workloads/src/workload.rs crates/workloads/src/xalan.rs
+
+/root/repo/target/debug/deps/libhasp_workloads-51d17bf05bb85819.rlib: crates/workloads/src/lib.rs crates/workloads/src/antlr.rs crates/workloads/src/bloat.rs crates/workloads/src/classlib.rs crates/workloads/src/fop.rs crates/workloads/src/hsqldb.rs crates/workloads/src/jython.rs crates/workloads/src/pmd.rs crates/workloads/src/synthetic.rs crates/workloads/src/workload.rs crates/workloads/src/xalan.rs
+
+/root/repo/target/debug/deps/libhasp_workloads-51d17bf05bb85819.rmeta: crates/workloads/src/lib.rs crates/workloads/src/antlr.rs crates/workloads/src/bloat.rs crates/workloads/src/classlib.rs crates/workloads/src/fop.rs crates/workloads/src/hsqldb.rs crates/workloads/src/jython.rs crates/workloads/src/pmd.rs crates/workloads/src/synthetic.rs crates/workloads/src/workload.rs crates/workloads/src/xalan.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/antlr.rs:
+crates/workloads/src/bloat.rs:
+crates/workloads/src/classlib.rs:
+crates/workloads/src/fop.rs:
+crates/workloads/src/hsqldb.rs:
+crates/workloads/src/jython.rs:
+crates/workloads/src/pmd.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/workload.rs:
+crates/workloads/src/xalan.rs:

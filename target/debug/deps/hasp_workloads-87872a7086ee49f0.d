@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/hasp_workloads-87872a7086ee49f0.d: crates/workloads/src/lib.rs crates/workloads/src/antlr.rs crates/workloads/src/bloat.rs crates/workloads/src/classlib.rs crates/workloads/src/fop.rs crates/workloads/src/hsqldb.rs crates/workloads/src/jython.rs crates/workloads/src/pmd.rs crates/workloads/src/synthetic.rs crates/workloads/src/workload.rs crates/workloads/src/xalan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhasp_workloads-87872a7086ee49f0.rmeta: crates/workloads/src/lib.rs crates/workloads/src/antlr.rs crates/workloads/src/bloat.rs crates/workloads/src/classlib.rs crates/workloads/src/fop.rs crates/workloads/src/hsqldb.rs crates/workloads/src/jython.rs crates/workloads/src/pmd.rs crates/workloads/src/synthetic.rs crates/workloads/src/workload.rs crates/workloads/src/xalan.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/antlr.rs:
+crates/workloads/src/bloat.rs:
+crates/workloads/src/classlib.rs:
+crates/workloads/src/fop.rs:
+crates/workloads/src/hsqldb.rs:
+crates/workloads/src/jython.rs:
+crates/workloads/src/pmd.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/workload.rs:
+crates/workloads/src/xalan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hasp_workloads-e5e66cb4e956735c.d: crates/workloads/src/lib.rs crates/workloads/src/antlr.rs crates/workloads/src/bloat.rs crates/workloads/src/classlib.rs crates/workloads/src/fop.rs crates/workloads/src/hsqldb.rs crates/workloads/src/jython.rs crates/workloads/src/pmd.rs crates/workloads/src/synthetic.rs crates/workloads/src/workload.rs crates/workloads/src/xalan.rs
+
+/root/repo/target/debug/deps/hasp_workloads-e5e66cb4e956735c: crates/workloads/src/lib.rs crates/workloads/src/antlr.rs crates/workloads/src/bloat.rs crates/workloads/src/classlib.rs crates/workloads/src/fop.rs crates/workloads/src/hsqldb.rs crates/workloads/src/jython.rs crates/workloads/src/pmd.rs crates/workloads/src/synthetic.rs crates/workloads/src/workload.rs crates/workloads/src/xalan.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/antlr.rs:
+crates/workloads/src/bloat.rs:
+crates/workloads/src/classlib.rs:
+crates/workloads/src/fop.rs:
+crates/workloads/src/hsqldb.rs:
+crates/workloads/src/jython.rs:
+crates/workloads/src/pmd.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/workload.rs:
+crates/workloads/src/xalan.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper-04994fbc32db802e.d: crates/bench/benches/paper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper-04994fbc32db802e.rmeta: crates/bench/benches/paper.rs Cargo.toml
+
+crates/bench/benches/paper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_analyses-296c6d0ec1be6a17.d: tests/prop_analyses.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_analyses-296c6d0ec1be6a17.rmeta: tests/prop_analyses.rs Cargo.toml
+
+tests/prop_analyses.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_analyses-342af5ed487b4205.d: tests/prop_analyses.rs
+
+/root/repo/target/debug/deps/prop_analyses-342af5ed487b4205: tests/prop_analyses.rs
+
+tests/prop_analyses.rs:

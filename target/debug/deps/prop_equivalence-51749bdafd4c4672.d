@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_equivalence-51749bdafd4c4672.d: tests/prop_equivalence.rs
+
+/root/repo/target/debug/deps/prop_equivalence-51749bdafd4c4672: tests/prop_equivalence.rs
+
+tests/prop_equivalence.rs:

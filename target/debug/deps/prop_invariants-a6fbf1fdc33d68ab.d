@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_invariants-a6fbf1fdc33d68ab.d: tests/prop_invariants.rs
+
+/root/repo/target/debug/deps/prop_invariants-a6fbf1fdc33d68ab: tests/prop_invariants.rs
+
+tests/prop_invariants.rs:

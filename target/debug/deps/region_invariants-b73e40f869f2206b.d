@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/region_invariants-b73e40f869f2206b.d: tests/region_invariants.rs
+
+/root/repo/target/debug/deps/region_invariants-b73e40f869f2206b: tests/region_invariants.rs
+
+tests/region_invariants.rs:

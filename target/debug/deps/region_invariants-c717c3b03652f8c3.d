@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/region_invariants-c717c3b03652f8c3.d: tests/region_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libregion_invariants-c717c3b03652f8c3.rmeta: tests/region_invariants.rs Cargo.toml
+
+tests/region_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

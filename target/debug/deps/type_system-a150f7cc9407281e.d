@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/type_system-a150f7cc9407281e.d: tests/type_system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtype_system-a150f7cc9407281e.rmeta: tests/type_system.rs Cargo.toml
+
+tests/type_system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/type_system-e7a5ed7aa963e888.d: tests/type_system.rs
+
+/root/repo/target/debug/deps/type_system-e7a5ed7aa963e888: tests/type_system.rs
+
+tests/type_system.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload_smoke-0da5e883483a7fe0.d: tests/workload_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload_smoke-0da5e883483a7fe0.rmeta: tests/workload_smoke.rs Cargo.toml
+
+tests/workload_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_smoke-b48c46a038e10b82.d: tests/workload_smoke.rs
+
+/root/repo/target/debug/deps/workload_smoke-b48c46a038e10b82: tests/workload_smoke.rs
+
+tests/workload_smoke.rs:

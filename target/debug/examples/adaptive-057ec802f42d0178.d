@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive-057ec802f42d0178.d: examples/adaptive.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive-057ec802f42d0178.rmeta: examples/adaptive.rs Cargo.toml
+
+examples/adaptive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

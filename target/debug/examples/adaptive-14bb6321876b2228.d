@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive-14bb6321876b2228.d: examples/adaptive.rs
+
+/root/repo/target/debug/examples/adaptive-14bb6321876b2228: examples/adaptive.rs
+
+examples/adaptive.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/addelement-c35418914328c9fc.d: examples/addelement.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaddelement-c35418914328c9fc.rmeta: examples/addelement.rs Cargo.toml
+
+examples/addelement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

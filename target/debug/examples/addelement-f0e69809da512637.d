@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/addelement-f0e69809da512637.d: examples/addelement.rs
+
+/root/repo/target/debug/examples/addelement-f0e69809da512637: examples/addelement.rs
+
+examples/addelement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lock_elision-0fce4e59e0d9f5d9.d: examples/lock_elision.rs
+
+/root/repo/target/debug/examples/lock_elision-0fce4e59e0d9f5d9: examples/lock_elision.rs
+
+examples/lock_elision.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lock_elision-7618d05ca89e0f12.d: examples/lock_elision.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblock_elision-7618d05ca89e0f12.rmeta: examples/lock_elision.rs Cargo.toml
+
+examples/lock_elision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-18e231c08a05143d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-18e231c08a05143d: examples/quickstart.rs
+
+examples/quickstart.rs:

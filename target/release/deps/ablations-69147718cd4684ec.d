@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-69147718cd4684ec.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-69147718cd4684ec: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

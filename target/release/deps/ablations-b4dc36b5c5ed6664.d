@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablations-b4dc36b5c5ed6664.d: crates/bench/benches/ablations.rs Cargo.toml
+
+/root/repo/target/release/deps/libablations-b4dc36b5c5ed6664.rmeta: crates/bench/benches/ablations.rs Cargo.toml
+
+crates/bench/benches/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-2eb9e972e3fcb647.d: third_party/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-2eb9e972e3fcb647.rmeta: third_party/criterion/src/lib.rs Cargo.toml
+
+third_party/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-de80eb840f059c11.d: third_party/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-de80eb840f059c11.rmeta: third_party/criterion/src/lib.rs Cargo.toml
+
+third_party/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-ec1b520959b5d780.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-ec1b520959b5d780: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

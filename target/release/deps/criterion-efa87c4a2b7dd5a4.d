@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-efa87c4a2b7dd5a4.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-efa87c4a2b7dd5a4.rlib: third_party/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-efa87c4a2b7dd5a4.rmeta: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

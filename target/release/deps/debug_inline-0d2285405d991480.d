@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/debug_inline-0d2285405d991480.d: crates/experiments/src/bin/debug_inline.rs
+
+/root/repo/target/release/deps/debug_inline-0d2285405d991480: crates/experiments/src/bin/debug_inline.rs
+
+crates/experiments/src/bin/debug_inline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/debug_inline-170ad93560920191.d: crates/experiments/src/bin/debug_inline.rs
+
+/root/repo/target/release/deps/debug_inline-170ad93560920191: crates/experiments/src/bin/debug_inline.rs
+
+crates/experiments/src/bin/debug_inline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/debug_inline-8eef15a77912422b.d: crates/experiments/src/bin/debug_inline.rs Cargo.toml
+
+/root/repo/target/release/deps/libdebug_inline-8eef15a77912422b.rmeta: crates/experiments/src/bin/debug_inline.rs Cargo.toml
+
+crates/experiments/src/bin/debug_inline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

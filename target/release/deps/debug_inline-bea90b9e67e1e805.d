@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/debug_inline-bea90b9e67e1e805.d: crates/experiments/src/bin/debug_inline.rs Cargo.toml
+
+/root/repo/target/release/deps/libdebug_inline-bea90b9e67e1e805.rmeta: crates/experiments/src/bin/debug_inline.rs Cargo.toml
+
+crates/experiments/src/bin/debug_inline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

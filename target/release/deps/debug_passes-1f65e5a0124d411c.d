@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/debug_passes-1f65e5a0124d411c.d: crates/experiments/src/bin/debug_passes.rs Cargo.toml
+
+/root/repo/target/release/deps/libdebug_passes-1f65e5a0124d411c.rmeta: crates/experiments/src/bin/debug_passes.rs Cargo.toml
+
+crates/experiments/src/bin/debug_passes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/debug_passes-866399dfe4cdc92a.d: crates/experiments/src/bin/debug_passes.rs
+
+/root/repo/target/release/deps/debug_passes-866399dfe4cdc92a: crates/experiments/src/bin/debug_passes.rs
+
+crates/experiments/src/bin/debug_passes.rs:

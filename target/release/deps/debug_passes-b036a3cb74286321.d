@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/debug_passes-b036a3cb74286321.d: crates/experiments/src/bin/debug_passes.rs Cargo.toml
+
+/root/repo/target/release/deps/libdebug_passes-b036a3cb74286321.rmeta: crates/experiments/src/bin/debug_passes.rs Cargo.toml
+
+crates/experiments/src/bin/debug_passes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

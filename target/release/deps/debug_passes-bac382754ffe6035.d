@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/debug_passes-bac382754ffe6035.d: crates/experiments/src/bin/debug_passes.rs
+
+/root/repo/target/release/deps/debug_passes-bac382754ffe6035: crates/experiments/src/bin/debug_passes.rs
+
+crates/experiments/src/bin/debug_passes.rs:

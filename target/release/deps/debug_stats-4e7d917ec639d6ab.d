@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/debug_stats-4e7d917ec639d6ab.d: crates/experiments/src/bin/debug_stats.rs
+
+/root/repo/target/release/deps/debug_stats-4e7d917ec639d6ab: crates/experiments/src/bin/debug_stats.rs
+
+crates/experiments/src/bin/debug_stats.rs:

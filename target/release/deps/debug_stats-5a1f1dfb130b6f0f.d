@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/debug_stats-5a1f1dfb130b6f0f.d: crates/experiments/src/bin/debug_stats.rs
+
+/root/repo/target/release/deps/debug_stats-5a1f1dfb130b6f0f: crates/experiments/src/bin/debug_stats.rs
+
+crates/experiments/src/bin/debug_stats.rs:

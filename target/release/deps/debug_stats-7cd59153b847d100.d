@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/debug_stats-7cd59153b847d100.d: crates/experiments/src/bin/debug_stats.rs Cargo.toml
+
+/root/repo/target/release/deps/libdebug_stats-7cd59153b847d100.rmeta: crates/experiments/src/bin/debug_stats.rs Cargo.toml
+
+crates/experiments/src/bin/debug_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

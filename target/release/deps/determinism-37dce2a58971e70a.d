@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-37dce2a58971e70a.d: crates/experiments/tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-37dce2a58971e70a: crates/experiments/tests/determinism.rs
+
+crates/experiments/tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/determinism-e2e40d4b830b8d10.d: crates/experiments/tests/determinism.rs Cargo.toml
+
+/root/repo/target/release/deps/libdeterminism-e2e40d4b830b8d10.rmeta: crates/experiments/tests/determinism.rs Cargo.toml
+
+crates/experiments/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

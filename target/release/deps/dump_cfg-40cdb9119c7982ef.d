@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dump_cfg-40cdb9119c7982ef.d: crates/experiments/src/bin/dump_cfg.rs
+
+/root/repo/target/release/deps/dump_cfg-40cdb9119c7982ef: crates/experiments/src/bin/dump_cfg.rs
+
+crates/experiments/src/bin/dump_cfg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dump_cfg-88038fd29666d89e.d: crates/experiments/src/bin/dump_cfg.rs Cargo.toml
+
+/root/repo/target/release/deps/libdump_cfg-88038fd29666d89e.rmeta: crates/experiments/src/bin/dump_cfg.rs Cargo.toml
+
+crates/experiments/src/bin/dump_cfg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

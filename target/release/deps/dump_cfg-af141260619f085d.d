@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dump_cfg-af141260619f085d.d: crates/experiments/src/bin/dump_cfg.rs
+
+/root/repo/target/release/deps/dump_cfg-af141260619f085d: crates/experiments/src/bin/dump_cfg.rs
+
+crates/experiments/src/bin/dump_cfg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dump_cfg-bbed3027b08c03ed.d: crates/experiments/src/bin/dump_cfg.rs Cargo.toml
+
+/root/repo/target/release/deps/libdump_cfg-bbed3027b08c03ed.rmeta: crates/experiments/src/bin/dump_cfg.rs Cargo.toml
+
+crates/experiments/src/bin/dump_cfg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

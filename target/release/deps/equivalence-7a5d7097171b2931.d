@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/equivalence-7a5d7097171b2931.d: tests/equivalence.rs Cargo.toml
+
+/root/repo/target/release/deps/libequivalence-7a5d7097171b2931.rmeta: tests/equivalence.rs Cargo.toml
+
+tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/equivalence-b184e84d9c2538a4.d: tests/equivalence.rs
+
+/root/repo/target/release/deps/equivalence-b184e84d9c2538a4: tests/equivalence.rs
+
+tests/equivalence.rs:

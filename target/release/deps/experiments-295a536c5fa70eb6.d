@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/experiments-295a536c5fa70eb6.d: crates/experiments/src/main.rs Cargo.toml
+
+/root/repo/target/release/deps/libexperiments-295a536c5fa70eb6.rmeta: crates/experiments/src/main.rs Cargo.toml
+
+crates/experiments/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/experiments-6af7abc58590bb62.d: crates/experiments/src/main.rs Cargo.toml
+
+/root/repo/target/release/deps/libexperiments-6af7abc58590bb62.rmeta: crates/experiments/src/main.rs Cargo.toml
+
+crates/experiments/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-8eca1d5aff41d73b.d: crates/experiments/src/main.rs
+
+/root/repo/target/release/deps/experiments-8eca1d5aff41d73b: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-99d24b23dea5bba9.d: crates/experiments/src/main.rs
+
+/root/repo/target/release/deps/experiments-99d24b23dea5bba9: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

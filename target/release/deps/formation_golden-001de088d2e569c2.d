@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/formation_golden-001de088d2e569c2.d: tests/formation_golden.rs Cargo.toml
+
+/root/repo/target/release/deps/libformation_golden-001de088d2e569c2.rmeta: tests/formation_golden.rs Cargo.toml
+
+tests/formation_golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

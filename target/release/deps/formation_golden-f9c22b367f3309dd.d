@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/formation_golden-f9c22b367f3309dd.d: tests/formation_golden.rs
+
+/root/repo/target/release/deps/formation_golden-f9c22b367f3309dd: tests/formation_golden.rs
+
+tests/formation_golden.rs:

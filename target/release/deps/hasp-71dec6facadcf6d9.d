@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hasp-71dec6facadcf6d9.d: src/lib.rs
+
+/root/repo/target/release/deps/libhasp-71dec6facadcf6d9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhasp-71dec6facadcf6d9.rmeta: src/lib.rs
+
+src/lib.rs:

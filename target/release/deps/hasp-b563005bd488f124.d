@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hasp-b563005bd488f124.d: src/lib.rs
+
+/root/repo/target/release/deps/hasp-b563005bd488f124: src/lib.rs
+
+src/lib.rs:

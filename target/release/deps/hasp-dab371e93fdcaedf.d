@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hasp-dab371e93fdcaedf.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libhasp-dab371e93fdcaedf.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hasp-f883a2777e8db909.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libhasp-f883a2777e8db909.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

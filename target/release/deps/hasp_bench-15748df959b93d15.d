@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hasp_bench-15748df959b93d15.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhasp_bench-15748df959b93d15.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhasp_bench-15748df959b93d15.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hasp_bench-4acadccc871825a8.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libhasp_bench-4acadccc871825a8.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

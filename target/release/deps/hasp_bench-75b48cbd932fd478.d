@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hasp_bench-75b48cbd932fd478.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/hasp_bench-75b48cbd932fd478: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hasp_bench-c6469cc70c3562d6.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libhasp_bench-c6469cc70c3562d6.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/hasp_core-8579532d968f84e3.d: crates/core/src/lib.rs crates/core/src/boundaries.rs crates/core/src/cold.rs crates/core/src/config.rs crates/core/src/form.rs crates/core/src/normalize.rs crates/core/src/partition.rs crates/core/src/replicate.rs crates/core/src/site.rs crates/core/src/stats.rs crates/core/src/trace.rs
+
+/root/repo/target/release/deps/hasp_core-8579532d968f84e3: crates/core/src/lib.rs crates/core/src/boundaries.rs crates/core/src/cold.rs crates/core/src/config.rs crates/core/src/form.rs crates/core/src/normalize.rs crates/core/src/partition.rs crates/core/src/replicate.rs crates/core/src/site.rs crates/core/src/stats.rs crates/core/src/trace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/boundaries.rs:
+crates/core/src/cold.rs:
+crates/core/src/config.rs:
+crates/core/src/form.rs:
+crates/core/src/normalize.rs:
+crates/core/src/partition.rs:
+crates/core/src/replicate.rs:
+crates/core/src/site.rs:
+crates/core/src/stats.rs:
+crates/core/src/trace.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/hasp_core-ddb8eb4c7cd1fb92.d: crates/core/src/lib.rs crates/core/src/boundaries.rs crates/core/src/cold.rs crates/core/src/config.rs crates/core/src/form.rs crates/core/src/normalize.rs crates/core/src/partition.rs crates/core/src/replicate.rs crates/core/src/site.rs crates/core/src/stats.rs crates/core/src/trace.rs
+
+/root/repo/target/release/deps/libhasp_core-ddb8eb4c7cd1fb92.rlib: crates/core/src/lib.rs crates/core/src/boundaries.rs crates/core/src/cold.rs crates/core/src/config.rs crates/core/src/form.rs crates/core/src/normalize.rs crates/core/src/partition.rs crates/core/src/replicate.rs crates/core/src/site.rs crates/core/src/stats.rs crates/core/src/trace.rs
+
+/root/repo/target/release/deps/libhasp_core-ddb8eb4c7cd1fb92.rmeta: crates/core/src/lib.rs crates/core/src/boundaries.rs crates/core/src/cold.rs crates/core/src/config.rs crates/core/src/form.rs crates/core/src/normalize.rs crates/core/src/partition.rs crates/core/src/replicate.rs crates/core/src/site.rs crates/core/src/stats.rs crates/core/src/trace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/boundaries.rs:
+crates/core/src/cold.rs:
+crates/core/src/config.rs:
+crates/core/src/form.rs:
+crates/core/src/normalize.rs:
+crates/core/src/partition.rs:
+crates/core/src/replicate.rs:
+crates/core/src/site.rs:
+crates/core/src/stats.rs:
+crates/core/src/trace.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hasp_experiments-08f2fc3b2134f97a.d: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs Cargo.toml
+
+/root/repo/target/release/deps/libhasp_experiments-08f2fc3b2134f97a.rmeta: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/adaptive.rs:
+crates/experiments/src/figures.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/runner.rs:
+crates/experiments/src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

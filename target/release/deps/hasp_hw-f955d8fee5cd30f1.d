@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/hasp_hw-f955d8fee5cd30f1.d: crates/hw/src/lib.rs crates/hw/src/bpred.rs crates/hw/src/cache.rs crates/hw/src/config.rs crates/hw/src/lineset.rs crates/hw/src/lower.rs crates/hw/src/machine.rs crates/hw/src/stats.rs crates/hw/src/uop.rs Cargo.toml
+
+/root/repo/target/release/deps/libhasp_hw-f955d8fee5cd30f1.rmeta: crates/hw/src/lib.rs crates/hw/src/bpred.rs crates/hw/src/cache.rs crates/hw/src/config.rs crates/hw/src/lineset.rs crates/hw/src/lower.rs crates/hw/src/machine.rs crates/hw/src/stats.rs crates/hw/src/uop.rs Cargo.toml
+
+crates/hw/src/lib.rs:
+crates/hw/src/bpred.rs:
+crates/hw/src/cache.rs:
+crates/hw/src/config.rs:
+crates/hw/src/lineset.rs:
+crates/hw/src/lower.rs:
+crates/hw/src/machine.rs:
+crates/hw/src/stats.rs:
+crates/hw/src/uop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/hasp_ir-218a00d03306c1ed.d: crates/ir/src/lib.rs crates/ir/src/dom.rs crates/ir/src/dot.rs crates/ir/src/func.rs crates/ir/src/instr.rs crates/ir/src/liveness.rs crates/ir/src/loops.rs crates/ir/src/ssa.rs crates/ir/src/ssa_repair.rs crates/ir/src/translate.rs crates/ir/src/verify.rs
+
+/root/repo/target/release/deps/hasp_ir-218a00d03306c1ed: crates/ir/src/lib.rs crates/ir/src/dom.rs crates/ir/src/dot.rs crates/ir/src/func.rs crates/ir/src/instr.rs crates/ir/src/liveness.rs crates/ir/src/loops.rs crates/ir/src/ssa.rs crates/ir/src/ssa_repair.rs crates/ir/src/translate.rs crates/ir/src/verify.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/dom.rs:
+crates/ir/src/dot.rs:
+crates/ir/src/func.rs:
+crates/ir/src/instr.rs:
+crates/ir/src/liveness.rs:
+crates/ir/src/loops.rs:
+crates/ir/src/ssa.rs:
+crates/ir/src/ssa_repair.rs:
+crates/ir/src/translate.rs:
+crates/ir/src/verify.rs:

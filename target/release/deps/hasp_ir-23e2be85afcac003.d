@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/hasp_ir-23e2be85afcac003.d: crates/ir/src/lib.rs crates/ir/src/dom.rs crates/ir/src/dot.rs crates/ir/src/func.rs crates/ir/src/instr.rs crates/ir/src/liveness.rs crates/ir/src/loops.rs crates/ir/src/ssa.rs crates/ir/src/ssa_repair.rs crates/ir/src/translate.rs crates/ir/src/verify.rs Cargo.toml
+
+/root/repo/target/release/deps/libhasp_ir-23e2be85afcac003.rmeta: crates/ir/src/lib.rs crates/ir/src/dom.rs crates/ir/src/dot.rs crates/ir/src/func.rs crates/ir/src/instr.rs crates/ir/src/liveness.rs crates/ir/src/loops.rs crates/ir/src/ssa.rs crates/ir/src/ssa_repair.rs crates/ir/src/translate.rs crates/ir/src/verify.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/dom.rs:
+crates/ir/src/dot.rs:
+crates/ir/src/func.rs:
+crates/ir/src/instr.rs:
+crates/ir/src/liveness.rs:
+crates/ir/src/loops.rs:
+crates/ir/src/ssa.rs:
+crates/ir/src/ssa_repair.rs:
+crates/ir/src/translate.rs:
+crates/ir/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/hasp_opt-0b8faab61f0eb74f.d: crates/opt/src/lib.rs crates/opt/src/checkelim.rs crates/opt/src/constprop.rs crates/opt/src/dce.rs crates/opt/src/gvn.rs crates/opt/src/inline.rs crates/opt/src/pipeline.rs crates/opt/src/safepoint.rs crates/opt/src/simplify.rs crates/opt/src/sle.rs crates/opt/src/superblock.rs crates/opt/src/unroll.rs
+
+/root/repo/target/release/deps/libhasp_opt-0b8faab61f0eb74f.rlib: crates/opt/src/lib.rs crates/opt/src/checkelim.rs crates/opt/src/constprop.rs crates/opt/src/dce.rs crates/opt/src/gvn.rs crates/opt/src/inline.rs crates/opt/src/pipeline.rs crates/opt/src/safepoint.rs crates/opt/src/simplify.rs crates/opt/src/sle.rs crates/opt/src/superblock.rs crates/opt/src/unroll.rs
+
+/root/repo/target/release/deps/libhasp_opt-0b8faab61f0eb74f.rmeta: crates/opt/src/lib.rs crates/opt/src/checkelim.rs crates/opt/src/constprop.rs crates/opt/src/dce.rs crates/opt/src/gvn.rs crates/opt/src/inline.rs crates/opt/src/pipeline.rs crates/opt/src/safepoint.rs crates/opt/src/simplify.rs crates/opt/src/sle.rs crates/opt/src/superblock.rs crates/opt/src/unroll.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/checkelim.rs:
+crates/opt/src/constprop.rs:
+crates/opt/src/dce.rs:
+crates/opt/src/gvn.rs:
+crates/opt/src/inline.rs:
+crates/opt/src/pipeline.rs:
+crates/opt/src/safepoint.rs:
+crates/opt/src/simplify.rs:
+crates/opt/src/sle.rs:
+crates/opt/src/superblock.rs:
+crates/opt/src/unroll.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/hasp_opt-599744c7a9cf170e.d: crates/opt/src/lib.rs crates/opt/src/checkelim.rs crates/opt/src/constprop.rs crates/opt/src/dce.rs crates/opt/src/gvn.rs crates/opt/src/inline.rs crates/opt/src/pipeline.rs crates/opt/src/safepoint.rs crates/opt/src/simplify.rs crates/opt/src/sle.rs crates/opt/src/superblock.rs crates/opt/src/unroll.rs
+
+/root/repo/target/release/deps/hasp_opt-599744c7a9cf170e: crates/opt/src/lib.rs crates/opt/src/checkelim.rs crates/opt/src/constprop.rs crates/opt/src/dce.rs crates/opt/src/gvn.rs crates/opt/src/inline.rs crates/opt/src/pipeline.rs crates/opt/src/safepoint.rs crates/opt/src/simplify.rs crates/opt/src/sle.rs crates/opt/src/superblock.rs crates/opt/src/unroll.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/checkelim.rs:
+crates/opt/src/constprop.rs:
+crates/opt/src/dce.rs:
+crates/opt/src/gvn.rs:
+crates/opt/src/inline.rs:
+crates/opt/src/pipeline.rs:
+crates/opt/src/safepoint.rs:
+crates/opt/src/simplify.rs:
+crates/opt/src/sle.rs:
+crates/opt/src/superblock.rs:
+crates/opt/src/unroll.rs:

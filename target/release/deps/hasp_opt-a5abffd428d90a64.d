@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/hasp_opt-a5abffd428d90a64.d: crates/opt/src/lib.rs crates/opt/src/checkelim.rs crates/opt/src/constprop.rs crates/opt/src/dce.rs crates/opt/src/gvn.rs crates/opt/src/inline.rs crates/opt/src/pipeline.rs crates/opt/src/safepoint.rs crates/opt/src/simplify.rs crates/opt/src/sle.rs crates/opt/src/superblock.rs crates/opt/src/unroll.rs Cargo.toml
+
+/root/repo/target/release/deps/libhasp_opt-a5abffd428d90a64.rmeta: crates/opt/src/lib.rs crates/opt/src/checkelim.rs crates/opt/src/constprop.rs crates/opt/src/dce.rs crates/opt/src/gvn.rs crates/opt/src/inline.rs crates/opt/src/pipeline.rs crates/opt/src/safepoint.rs crates/opt/src/simplify.rs crates/opt/src/sle.rs crates/opt/src/superblock.rs crates/opt/src/unroll.rs Cargo.toml
+
+crates/opt/src/lib.rs:
+crates/opt/src/checkelim.rs:
+crates/opt/src/constprop.rs:
+crates/opt/src/dce.rs:
+crates/opt/src/gvn.rs:
+crates/opt/src/inline.rs:
+crates/opt/src/pipeline.rs:
+crates/opt/src/safepoint.rs:
+crates/opt/src/simplify.rs:
+crates/opt/src/sle.rs:
+crates/opt/src/superblock.rs:
+crates/opt/src/unroll.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/hasp_vm-3f3c8b20cabece1e.d: crates/vm/src/lib.rs crates/vm/src/builder.rs crates/vm/src/bytecode.rs crates/vm/src/class.rs crates/vm/src/env.rs crates/vm/src/error.rs crates/vm/src/heap.rs crates/vm/src/interp.rs crates/vm/src/profile.rs crates/vm/src/value.rs Cargo.toml
+
+/root/repo/target/release/deps/libhasp_vm-3f3c8b20cabece1e.rmeta: crates/vm/src/lib.rs crates/vm/src/builder.rs crates/vm/src/bytecode.rs crates/vm/src/class.rs crates/vm/src/env.rs crates/vm/src/error.rs crates/vm/src/heap.rs crates/vm/src/interp.rs crates/vm/src/profile.rs crates/vm/src/value.rs Cargo.toml
+
+crates/vm/src/lib.rs:
+crates/vm/src/builder.rs:
+crates/vm/src/bytecode.rs:
+crates/vm/src/class.rs:
+crates/vm/src/env.rs:
+crates/vm/src/error.rs:
+crates/vm/src/heap.rs:
+crates/vm/src/interp.rs:
+crates/vm/src/profile.rs:
+crates/vm/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hasp_vm-81c4abda287b229e.d: crates/vm/src/lib.rs crates/vm/src/builder.rs crates/vm/src/bytecode.rs crates/vm/src/class.rs crates/vm/src/env.rs crates/vm/src/error.rs crates/vm/src/heap.rs crates/vm/src/interp.rs crates/vm/src/profile.rs crates/vm/src/value.rs
+
+/root/repo/target/release/deps/hasp_vm-81c4abda287b229e: crates/vm/src/lib.rs crates/vm/src/builder.rs crates/vm/src/bytecode.rs crates/vm/src/class.rs crates/vm/src/env.rs crates/vm/src/error.rs crates/vm/src/heap.rs crates/vm/src/interp.rs crates/vm/src/profile.rs crates/vm/src/value.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/builder.rs:
+crates/vm/src/bytecode.rs:
+crates/vm/src/class.rs:
+crates/vm/src/env.rs:
+crates/vm/src/error.rs:
+crates/vm/src/heap.rs:
+crates/vm/src/interp.rs:
+crates/vm/src/profile.rs:
+crates/vm/src/value.rs:

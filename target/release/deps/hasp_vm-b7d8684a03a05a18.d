@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/hasp_vm-b7d8684a03a05a18.d: crates/vm/src/lib.rs crates/vm/src/builder.rs crates/vm/src/bytecode.rs crates/vm/src/class.rs crates/vm/src/env.rs crates/vm/src/error.rs crates/vm/src/heap.rs crates/vm/src/interp.rs crates/vm/src/profile.rs crates/vm/src/value.rs
+
+/root/repo/target/release/deps/libhasp_vm-b7d8684a03a05a18.rlib: crates/vm/src/lib.rs crates/vm/src/builder.rs crates/vm/src/bytecode.rs crates/vm/src/class.rs crates/vm/src/env.rs crates/vm/src/error.rs crates/vm/src/heap.rs crates/vm/src/interp.rs crates/vm/src/profile.rs crates/vm/src/value.rs
+
+/root/repo/target/release/deps/libhasp_vm-b7d8684a03a05a18.rmeta: crates/vm/src/lib.rs crates/vm/src/builder.rs crates/vm/src/bytecode.rs crates/vm/src/class.rs crates/vm/src/env.rs crates/vm/src/error.rs crates/vm/src/heap.rs crates/vm/src/interp.rs crates/vm/src/profile.rs crates/vm/src/value.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/builder.rs:
+crates/vm/src/bytecode.rs:
+crates/vm/src/class.rs:
+crates/vm/src/env.rs:
+crates/vm/src/error.rs:
+crates/vm/src/heap.rs:
+crates/vm/src/interp.rs:
+crates/vm/src/profile.rs:
+crates/vm/src/value.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper-346831210c43e862.d: crates/bench/benches/paper.rs
+
+/root/repo/target/release/deps/paper-346831210c43e862: crates/bench/benches/paper.rs
+
+crates/bench/benches/paper.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/paper-e96edcf5fe5ccef5.d: crates/bench/benches/paper.rs Cargo.toml
+
+/root/repo/target/release/deps/libpaper-e96edcf5fe5ccef5.rmeta: crates/bench/benches/paper.rs Cargo.toml
+
+crates/bench/benches/paper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

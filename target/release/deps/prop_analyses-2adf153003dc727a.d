@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_analyses-2adf153003dc727a.d: tests/prop_analyses.rs
+
+/root/repo/target/release/deps/prop_analyses-2adf153003dc727a: tests/prop_analyses.rs
+
+tests/prop_analyses.rs:

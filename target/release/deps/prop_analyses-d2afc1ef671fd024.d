@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop_analyses-d2afc1ef671fd024.d: tests/prop_analyses.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop_analyses-d2afc1ef671fd024.rmeta: tests/prop_analyses.rs Cargo.toml
+
+tests/prop_analyses.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_equivalence-453665de3265a1ad.d: tests/prop_equivalence.rs
+
+/root/repo/target/release/deps/prop_equivalence-453665de3265a1ad: tests/prop_equivalence.rs
+
+tests/prop_equivalence.rs:

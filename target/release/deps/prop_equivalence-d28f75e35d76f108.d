@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop_equivalence-d28f75e35d76f108.d: tests/prop_equivalence.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop_equivalence-d28f75e35d76f108.rmeta: tests/prop_equivalence.rs Cargo.toml
+
+tests/prop_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

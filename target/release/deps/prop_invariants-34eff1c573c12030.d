@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop_invariants-34eff1c573c12030.d: tests/prop_invariants.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop_invariants-34eff1c573c12030.rmeta: tests/prop_invariants.rs Cargo.toml
+
+tests/prop_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

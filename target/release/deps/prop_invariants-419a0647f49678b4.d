@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_invariants-419a0647f49678b4.d: tests/prop_invariants.rs
+
+/root/repo/target/release/deps/prop_invariants-419a0647f49678b4: tests/prop_invariants.rs
+
+tests/prop_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-068aad693a5d2b4d.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-068aad693a5d2b4d: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-65946cb746a5d43c.d: third_party/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-65946cb746a5d43c.rmeta: third_party/proptest/src/lib.rs Cargo.toml
+
+third_party/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

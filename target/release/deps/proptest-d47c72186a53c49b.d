@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-d47c72186a53c49b.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d47c72186a53c49b.rlib: third_party/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d47c72186a53c49b.rmeta: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-dc2cc1f2904975b2.d: third_party/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-dc2cc1f2904975b2.rmeta: third_party/proptest/src/lib.rs Cargo.toml
+
+third_party/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/region_invariants-85cf2846973ca40e.d: tests/region_invariants.rs
+
+/root/repo/target/release/deps/region_invariants-85cf2846973ca40e: tests/region_invariants.rs
+
+tests/region_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/region_invariants-b3269149629cc537.d: tests/region_invariants.rs Cargo.toml
+
+/root/repo/target/release/deps/libregion_invariants-b3269149629cc537.rmeta: tests/region_invariants.rs Cargo.toml
+
+tests/region_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

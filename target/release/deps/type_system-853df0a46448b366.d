@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/type_system-853df0a46448b366.d: tests/type_system.rs Cargo.toml
+
+/root/repo/target/release/deps/libtype_system-853df0a46448b366.rmeta: tests/type_system.rs Cargo.toml
+
+tests/type_system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/type_system-bc0ba135acb55f11.d: tests/type_system.rs
+
+/root/repo/target/release/deps/type_system-bc0ba135acb55f11: tests/type_system.rs
+
+tests/type_system.rs:

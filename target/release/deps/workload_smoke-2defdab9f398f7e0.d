@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/workload_smoke-2defdab9f398f7e0.d: tests/workload_smoke.rs Cargo.toml
+
+/root/repo/target/release/deps/libworkload_smoke-2defdab9f398f7e0.rmeta: tests/workload_smoke.rs Cargo.toml
+
+tests/workload_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/workload_smoke-9c7ebb1e9521f40b.d: tests/workload_smoke.rs
+
+/root/repo/target/release/deps/workload_smoke-9c7ebb1e9521f40b: tests/workload_smoke.rs
+
+tests/workload_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/adaptive-22f50a9fa3cef5e8.d: examples/adaptive.rs Cargo.toml
+
+/root/repo/target/release/examples/libadaptive-22f50a9fa3cef5e8.rmeta: examples/adaptive.rs Cargo.toml
+
+examples/adaptive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

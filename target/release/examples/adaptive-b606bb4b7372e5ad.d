@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adaptive-b606bb4b7372e5ad.d: examples/adaptive.rs
+
+/root/repo/target/release/examples/adaptive-b606bb4b7372e5ad: examples/adaptive.rs
+
+examples/adaptive.rs:

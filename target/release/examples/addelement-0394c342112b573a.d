@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/addelement-0394c342112b573a.d: examples/addelement.rs
+
+/root/repo/target/release/examples/addelement-0394c342112b573a: examples/addelement.rs
+
+examples/addelement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/addelement-e8e4a832990cac64.d: examples/addelement.rs Cargo.toml
+
+/root/repo/target/release/examples/libaddelement-e8e4a832990cac64.rmeta: examples/addelement.rs Cargo.toml
+
+examples/addelement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

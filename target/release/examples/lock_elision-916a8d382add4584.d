@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/lock_elision-916a8d382add4584.d: examples/lock_elision.rs Cargo.toml
+
+/root/repo/target/release/examples/liblock_elision-916a8d382add4584.rmeta: examples/lock_elision.rs Cargo.toml
+
+examples/lock_elision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

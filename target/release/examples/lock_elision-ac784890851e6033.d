@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/lock_elision-ac784890851e6033.d: examples/lock_elision.rs
+
+/root/repo/target/release/examples/lock_elision-ac784890851e6033: examples/lock_elision.rs
+
+examples/lock_elision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-4058b0560b5e30cb.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-4058b0560b5e30cb: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-714f27fbbf132d10.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-714f27fbbf132d10.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

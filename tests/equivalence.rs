@@ -18,9 +18,21 @@ fn all_workloads_all_compiler_configs_match_interpreter() {
             let run = run_workload(&w, &profiled, &cfg, &HwConfig::baseline());
             assert!(run.stats.uops > 0, "{}/{} ran no uops", w.name, cfg.name);
             // Every sample must have been measured.
-            assert_eq!(run.samples.len(), w.samples.len(), "{}/{}", w.name, cfg.name);
+            assert_eq!(
+                run.samples.len(),
+                w.samples.len(),
+                "{}/{}",
+                w.name,
+                cfg.name
+            );
             for s in &run.samples {
-                assert!(s.uops > 0, "{}/{} empty sample {}", w.name, cfg.name, s.marker);
+                assert!(
+                    s.uops > 0,
+                    "{}/{} empty sample {}",
+                    w.name,
+                    cfg.name,
+                    s.marker
+                );
             }
         }
     }
@@ -31,7 +43,12 @@ fn forced_monomorphic_config_matches_interpreter() {
     let ws = all_workloads();
     let w = ws.iter().find(|w| w.name == "jython").expect("jython");
     let profiled = profile_workload(w);
-    let run = run_workload(w, &profiled, &CompilerConfig::atomic_forced_mono(), &HwConfig::baseline());
+    let run = run_workload(
+        w,
+        &profiled,
+        &CompilerConfig::atomic_forced_mono(),
+        &HwConfig::baseline(),
+    );
     assert!(run.stats.commits > 0, "forced-mono must still speculate");
 }
 

@@ -96,7 +96,10 @@ fn figure5_workload() -> Workload {
         name: "figure5",
         description: "the paper's Figure 5 region-formation shape",
         program: pb.finish(entry),
-        samples: vec![Sample { marker: 1, weight: 1.0 }],
+        samples: vec![Sample {
+            marker: 1,
+            weight: 1.0,
+        }],
         fuel: 50_000_000,
     }
 }
@@ -105,7 +108,12 @@ fn figure5_workload() -> Workload {
 fn figure5_formation_structure() {
     let w = figure5_workload();
     let profiled = profile_workload(&w);
-    let c = compile_method(&w.program, &profiled.profile, w.program.entry(), &CompilerConfig::atomic());
+    let c = compile_method(
+        &w.program,
+        &profiled.profile,
+        w.program.entry(),
+        &CompilerConfig::atomic(),
+    );
     let f = &c.func;
     hasp_ir::verify(f).expect("formed function verifies");
 
@@ -124,7 +132,10 @@ fn figure5_formation_structure() {
             hasp_ir::Term::RegionBegin { body, abort, .. } => {
                 assert_eq!(abort, info.abort_target);
                 assert_eq!(f.block(body).region, Some(rid), "body tagged");
-                assert!(f.block(abort).region.is_none(), "abort path is non-speculative");
+                assert!(
+                    f.block(abort).region.is_none(),
+                    "abort path is non-speculative"
+                );
             }
             ref other => panic!("begin has {other:?}"),
         }
@@ -147,7 +158,11 @@ fn figure5_formation_structure() {
             in_region_branches += 1;
         }
     }
-    assert!(in_region_asserts >= 1, "cold edge must become an assert:\n{}", f.display());
+    assert!(
+        in_region_asserts >= 1,
+        "cold edge must become an assert:\n{}",
+        f.display()
+    );
     assert!(
         in_region_branches >= 1,
         "warm 50/50 diamond must stay a branch (regions allow arbitrary \

@@ -71,7 +71,9 @@ fn build(steps: &[Step], iters: i64, seed: i64) -> Program {
     let arr_len = m.imm(ARR);
     let arr = m.reg();
     m.new_array(arr, arr_len);
-    let regs: Vec<_> = (0..NREGS as i64).map(|i| m.imm(seed.wrapping_add(i * 17))).collect();
+    let regs: Vec<_> = (0..NREGS as i64)
+        .map(|i| m.imm(seed.wrapping_add(i * 17)))
+        .collect();
     let mask = m.imm(ARR - 1);
     let one = m.imm(1);
     let k100 = m.imm(100);

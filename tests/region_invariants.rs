@@ -21,9 +21,8 @@ fn compiled_ir_verifies_and_respects_caps() {
         for cfg in CompilerConfig::paper_configs() {
             let compiled = compile_program(&w.program, &profiled.profile, &cfg);
             for (mid, c) in &compiled {
-                hasp_ir::verify(&c.func).unwrap_or_else(|e| {
-                    panic!("{}/{} method {}: {e}", w.name, cfg.name, mid.0)
-                });
+                hasp_ir::verify(&c.func)
+                    .unwrap_or_else(|e| panic!("{}/{} method {}: {e}", w.name, cfg.name, mid.0));
                 for (ri, info) in c.func.regions.iter().enumerate() {
                     assert!(
                         info.size_estimate <= cfg.region.max_region_ops,
@@ -39,7 +38,12 @@ fn compiled_ir_verifies_and_respects_caps() {
                     assert!(!a.origin.is_empty());
                 }
                 if !cfg.atomic {
-                    assert!(c.func.regions.is_empty(), "{}: no regions in {}", w.name, cfg.name);
+                    assert!(
+                        c.func.regions.is_empty(),
+                        "{}: no regions in {}",
+                        w.name,
+                        cfg.name
+                    );
                 }
             }
         }

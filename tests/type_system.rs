@@ -91,7 +91,13 @@ fn downcast_failure_traps_identically() {
 
     let mut interp = Interp::new(&p).with_profiling();
     let ierr = interp.run(&[]).unwrap_err();
-    assert!(matches!(ierr, VmError::Trap { trap: Trap::ClassCast, .. }));
+    assert!(matches!(
+        ierr,
+        VmError::Trap {
+            trap: Trap::ClassCast,
+            ..
+        }
+    ));
 
     let compiled = compile_program(&p, &interp.profile, &CompilerConfig::no_atomic());
     let mut cc = CodeCache::new();
@@ -100,7 +106,13 @@ fn downcast_failure_traps_identically() {
     }
     let mut mach = Machine::new(&p, &cc, HwConfig::baseline());
     let merr = mach.run(&[]).unwrap_err();
-    assert!(matches!(merr, VmError::Trap { trap: Trap::ClassCast, .. }));
+    assert!(matches!(
+        merr,
+        VmError::Trap {
+            trap: Trap::ClassCast,
+            ..
+        }
+    ));
 }
 
 #[test]

@@ -14,8 +14,18 @@ fn every_workload_interprets_deterministically() {
         let mut b = Interp::new(&w.program);
         b.set_fuel(w.fuel);
         b.run(&[]).unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        assert_eq!(a.env.checksum(), b.env.checksum(), "{} must be deterministic", w.name);
-        assert_ne!(a.env.checksum(), 0, "{} must produce observable output", w.name);
+        assert_eq!(
+            a.env.checksum(),
+            b.env.checksum(),
+            "{} must be deterministic",
+            w.name
+        );
+        assert_ne!(
+            a.env.checksum(),
+            0,
+            "{} must produce observable output",
+            w.name
+        );
 
         // Marker contract: each sample's marker fires exactly twice.
         for s in &w.samples {

@@ -1,0 +1,144 @@
+//! Minimal wall-clock stand-in for the `criterion` crate.
+//!
+//! Covers the subset of the criterion 0.5 API the bench crate uses:
+//! groups, `sample_size`, `bench_function`, `Bencher::iter`, `black_box`,
+//! and the `criterion_group!`/`criterion_main!` macros. Each benchmark
+//! runs `sample_size` timed iterations (after one warm-up) and prints the
+//! mean wall time per iteration — no statistics, plots, or baselines.
+
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub mod measurement {
+    /// Wall-clock measurement (the only measurement the stand-in has).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _parent: PhantomData,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    sample_size: usize,
+    _parent: PhantomData<(&'a mut Criterion, M)>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark: a warm-up call, then `sample_size` timed
+    /// iterations, reporting the mean.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            total: Duration::ZERO,
+            timed: 0,
+        };
+        f(&mut b);
+        let mean = if b.timed == 0 {
+            Duration::ZERO
+        } else {
+            b.total / b.timed as u32
+        };
+        println!(
+            "bench {}/{id}: {mean:?}/iter ({} iters)",
+            self.name, b.timed
+        );
+        self
+    }
+
+    /// Ends the group (for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the hot callable.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    timed: u64,
+}
+
+impl Bencher {
+    /// Runs `f` once untimed (warm-up), then `iters` timed times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(f());
+            self.total += t0.elapsed();
+            self.timed += 1;
+        }
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_iters() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut calls = 0u32;
+        g.bench_function("count", |b| b.iter(|| calls += 1));
+        g.finish();
+        // one warm-up + three timed
+        assert_eq!(calls, 4);
+    }
+}
