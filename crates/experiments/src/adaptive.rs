@@ -1,19 +1,51 @@
-//! Adaptive recompilation (§7 future work): monitor per-region abort rates
-//! via the hardware's abort-reason/abort-PC registers and recompile methods
-//! whose regions abort too often. The policy implemented here is the
-//! reactive fallback the paper cites [Zilles & Neelakantam, CGO'05]:
-//! de-speculate offending methods (compile them without atomic regions),
-//! which converts pmd-style post-profile behavior changes from a slowdown
-//! back to baseline performance.
+//! Abort-recovery policies layered above the raw speculative run.
+//!
+//! Two policies live here:
+//!
+//! * [`run_governed`] — the *online* governor (the default policy): the
+//!   machine itself tracks per-region consecutive-abort streaks and patches
+//!   `aregion_begin` into a branch-to-alt past a retry budget, with
+//!   exponential-backoff re-enable. One run, no recompilation.
+//! * [`run_adaptive`] — the offline two-pass ablation (§7 future work,
+//!   [Zilles & Neelakantam, CGO'05]): run once, diagnose methods whose
+//!   regions exceed an abort-rate threshold via the hardware's
+//!   abort-reason/abort-PC registers, recompile them without atomic
+//!   regions, and re-run. Kept as the comparison point the governor is
+//!   measured against.
+//!
+//! Both convert pmd-style post-profile behavior changes from a slowdown
+//! back to ≈ baseline performance; the governor does it within a single
+//! run.
 
 use std::collections::HashSet;
 
-use hasp_hw::{lower, CodeCache, HwConfig, Machine};
+use hasp_hw::{lower, CodeCache, GovernorConfig, HwConfig, Machine};
 use hasp_opt::{compile_method, CompilerConfig};
 use hasp_vm::bytecode::MethodId;
 use hasp_workloads::Workload;
 
-use crate::runner::{run_workload, ProfiledWorkload, WorkloadRun};
+use crate::runner::{extract_samples, run_workload, ProfiledWorkload, WorkloadRun};
+
+/// Runs `w` under `ccfg` with the online abort-recovery governor enabled:
+/// the single-run replacement for the two-pass [`run_adaptive`] policy.
+///
+/// The returned run is labeled `"governed"` so it can sit beside the
+/// ungoverned run in the same table.
+///
+/// # Panics
+/// Panics if the run diverges from the interpreter's checksum.
+pub fn run_governed(
+    w: &Workload,
+    profiled: &ProfiledWorkload,
+    ccfg: &CompilerConfig,
+    hw: &HwConfig,
+) -> WorkloadRun {
+    let mut hw = hw.clone();
+    hw.governor = GovernorConfig::online();
+    let mut run = run_workload(w, profiled, ccfg, &hw);
+    run.compiler = "governed";
+    run
+}
 
 /// Abort-rate threshold above which a method is recompiled without regions
 /// (the paper: "an abort rate of even a few percent can have a significant
@@ -77,28 +109,8 @@ pub fn run_adaptive(
     );
 
     let stats = mach.stats().clone();
-    let samples = w
-        .samples
-        .iter()
-        .map(|s| {
-            let start = stats
-                .markers
-                .iter()
-                .find(|m| m.id == s.marker && m.ordinal == 1)
-                .unwrap();
-            let end = stats
-                .markers
-                .iter()
-                .find(|m| m.id == s.marker && m.ordinal == 2)
-                .unwrap();
-            crate::runner::SampleMeasure {
-                marker: s.marker,
-                weight: s.weight,
-                uops: end.uops - start.uops,
-                cycles: end.cycles - start.cycles,
-            }
-        })
-        .collect();
+    let samples =
+        extract_samples(w, &stats).unwrap_or_else(|e| panic!("adaptive rerun of {}: {e}", w.name));
     let second = WorkloadRun {
         workload: first.workload,
         compiler: "adaptive",

@@ -1,0 +1,315 @@
+//! The fault-injection campaign: workload × fault kind × rate, with every
+//! cell executed in validation mode (post-abort/post-commit invariant
+//! checks on) and the online abort-recovery governor enabled.
+//!
+//! The campaign operationalizes the paper's reliability claim (§3, §6.1):
+//! under *any* abort cause — coherence conflict, interrupt, cache-line
+//! overflow, spurious hardware abort, or a targeted abort at a precise
+//! region entry — the machine must roll back to bit-exact architectural
+//! state and still produce the interpreter's checksum. A cell that
+//! diverges, faults, or trips the invariant validator is recorded as a
+//! failure value ([`CellError`]) rather than a panic, so the resilience
+//! report always covers the full matrix.
+
+use hasp_hw::{FaultKind, FaultPlan, GovernorConfig, HwConfig, FAULT_KINDS};
+use hasp_opt::CompilerConfig;
+use hasp_workloads::{all_workloads, Workload};
+
+use crate::report::{num, JsonArr, JsonObj, Table};
+use crate::runner::{
+    compile_workload, profile_workload, try_execute_compiled, CellError, WorkloadRun,
+};
+use crate::suite::parallel_map;
+
+/// The swept rates for each fault kind, mild → harsh. The rate's meaning is
+/// kind-specific: per-1M-in-region-uop probability (conflict, spurious),
+/// retired-uop interval (interrupt), speculative line budget (overflow), or
+/// dynamic entry ordinal (targeted).
+pub fn sweep_rates(kind: FaultKind) -> [u64; 3] {
+    match kind {
+        FaultKind::Conflict => [100, 1_000, 10_000],
+        FaultKind::Interrupt => [100_000, 10_000, 1_000],
+        FaultKind::Overflow => [32, 8, 2],
+        FaultKind::Spurious => [100, 1_000, 10_000],
+        FaultKind::Targeted => [1, 100, 10_000],
+    }
+}
+
+/// The hardware configuration every campaign cell runs under: baseline
+/// timing, the cell's injection plan, invariant validation on, governor
+/// online.
+pub fn campaign_hw(plan: FaultPlan) -> HwConfig {
+    let mut hw = HwConfig::baseline();
+    hw.faults = plan;
+    hw.validate = true;
+    hw.governor = GovernorConfig::online();
+    hw
+}
+
+/// The measurements extracted from one passing cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// Total cycles under injection.
+    pub cycles: u64,
+    /// Cycles relative to the same workload's clean (no-injection) run.
+    pub slowdown: f64,
+    /// Regions committed.
+    pub commits: u64,
+    /// Regions aborted (all reasons).
+    pub aborts: u64,
+    /// Aborts recorded under the injected kind's reason register value.
+    pub injected: u64,
+    /// Invariant validations that ran (and passed).
+    pub validations: u64,
+    /// Region entries the governor de-speculated.
+    pub governor_skips: u64,
+    /// Times the governor patched a region out (streak hit the budget).
+    pub governor_disables: u64,
+}
+
+/// One (workload × fault kind × rate) campaign cell.
+#[derive(Debug, Clone)]
+pub struct FaultCell {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Injected fault family.
+    pub kind: FaultKind,
+    /// Kind-specific rate (see [`sweep_rates`]).
+    pub rate: u64,
+    /// The cell's outcome, or why it failed.
+    pub result: Result<CellOutcome, CellError>,
+}
+
+/// The full campaign result: every cell plus the clean reference runs.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Per-workload clean-run cycles (the slowdown denominator).
+    pub clean_cycles: Vec<(&'static str, u64)>,
+    /// Every campaign cell, in (workload, kind, rate) order.
+    pub cells: Vec<FaultCell>,
+}
+
+impl CampaignReport {
+    /// True when every cell reproduced the interpreter checksum under
+    /// injection (no faults, divergences, or invariant violations).
+    pub fn all_passed(&self) -> bool {
+        self.cells.iter().all(|c| c.result.is_ok())
+    }
+
+    /// The failed cells, if any.
+    pub fn failures(&self) -> Vec<&FaultCell> {
+        self.cells.iter().filter(|c| c.result.is_err()).collect()
+    }
+
+    /// Renders the resilience table.
+    pub fn table(&self) -> String {
+        let mut t = Table::new(
+            "Fault-injection campaign (checksum-equivalent under every abort cause)",
+            &[
+                "workload",
+                "fault",
+                "rate",
+                "slowdown",
+                "commits",
+                "aborts",
+                "injected",
+                "validated",
+                "gov-skips",
+                "status",
+            ],
+        );
+        for c in &self.cells {
+            match &c.result {
+                Ok(o) => t.row(&[
+                    c.workload.into(),
+                    c.kind.name().into(),
+                    c.rate.to_string(),
+                    format!("{}x", num(o.slowdown, 2)),
+                    o.commits.to_string(),
+                    o.aborts.to_string(),
+                    o.injected.to_string(),
+                    o.validations.to_string(),
+                    o.governor_skips.to_string(),
+                    "ok".into(),
+                ]),
+                Err(e) => t.row(&[
+                    c.workload.into(),
+                    c.kind.name().into(),
+                    c.rate.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("FAIL: {e}"),
+                ]),
+            }
+        }
+        t.render()
+    }
+
+    /// Serializes the report as the `BENCH_faults.json` artifact.
+    pub fn json(&self, smoke: bool, threads: usize, wall_s: f64) -> String {
+        let mut cells = JsonArr::new();
+        for c in &self.cells {
+            let mut o = JsonObj::new()
+                .str("workload", c.workload)
+                .str("fault", c.kind.name())
+                .int("rate", c.rate)
+                .bool("ok", c.result.is_ok());
+            match &c.result {
+                Ok(out) => {
+                    o = o
+                        .int("cycles", out.cycles)
+                        .num("slowdown", out.slowdown)
+                        .int("commits", out.commits)
+                        .int("aborts", out.aborts)
+                        .int("injected", out.injected)
+                        .int("validations", out.validations)
+                        .int("governor_skips", out.governor_skips)
+                        .int("governor_disables", out.governor_disables);
+                }
+                Err(e) => {
+                    o = o.str("error", &e.to_string());
+                }
+            }
+            cells = cells.obj(o);
+        }
+        JsonObj::new()
+            .str("schema", "hasp-faults-v1")
+            .bool("smoke", smoke)
+            .int("threads", threads as u64)
+            .num("wall_s", wall_s)
+            .int("cells", self.cells.len() as u64)
+            .int("failed", self.failures().len() as u64)
+            .bool("all_passed", self.all_passed())
+            .arr("matrix", cells)
+            .finish()
+    }
+}
+
+/// Runs the campaign over the Table 2 workload suite. Smoke mode restricts
+/// to two representative workloads (fop, pmd) at each kind's middle rate —
+/// the CI-sized slice `scripts/check.sh` runs.
+pub fn run_campaign(smoke: bool, threads: usize) -> CampaignReport {
+    let mut workloads = all_workloads();
+    if smoke {
+        workloads.retain(|w| w.name == "fop" || w.name == "pmd");
+    }
+    run_campaign_on(&workloads, smoke, threads)
+}
+
+/// Runs the campaign over an explicit workload set (test entry point).
+/// `smoke` selects middle-rate-only sweeps.
+pub fn run_campaign_on(workloads: &[Workload], smoke: bool, threads: usize) -> CampaignReport {
+    let ccfg = CompilerConfig::atomic_aggressive();
+    let idx: Vec<usize> = (0..workloads.len()).collect();
+    let profiles = parallel_map(workloads, threads, profile_workload);
+    let compiled = parallel_map(&idx, threads, |&i| {
+        compile_workload(&workloads[i], &profiles[i], &ccfg)
+    });
+
+    // Clean reference runs: same code, same validation-mode hardware, no
+    // injection. A failure here is a harness bug, not a campaign finding.
+    let clean: Vec<WorkloadRun> = parallel_map(&idx, threads, |&i| {
+        try_execute_compiled(
+            &workloads[i],
+            &profiles[i],
+            &compiled[i],
+            &campaign_hw(FaultPlan::none()),
+        )
+        .unwrap_or_else(|e| panic!("clean campaign run of {} failed: {e}", workloads[i].name))
+    });
+
+    let mut specs: Vec<(usize, FaultKind, u64)> = Vec::new();
+    for &i in &idx {
+        for kind in FAULT_KINDS {
+            let rates = sweep_rates(kind);
+            let rates: &[u64] = if smoke { &rates[1..2] } else { &rates };
+            for &rate in rates {
+                specs.push((i, kind, rate));
+            }
+        }
+    }
+
+    let results = parallel_map(&specs, threads, |&(i, kind, rate)| {
+        try_execute_compiled(
+            &workloads[i],
+            &profiles[i],
+            &compiled[i],
+            &campaign_hw(kind.plan(rate)),
+        )
+    });
+
+    let cells = specs
+        .iter()
+        .zip(results)
+        .map(|(&(i, kind, rate), result)| FaultCell {
+            workload: workloads[i].name,
+            kind,
+            rate,
+            result: result.map(|run| CellOutcome {
+                cycles: run.stats.cycles,
+                slowdown: run.stats.cycles as f64 / clean[i].stats.cycles.max(1) as f64,
+                commits: run.stats.commits,
+                aborts: run.stats.total_aborts(),
+                injected: run.stats.aborts.get(kind.reason()),
+                validations: run.stats.validations,
+                governor_skips: run.stats.governor_skips,
+                governor_disables: run.stats.governor_disables,
+            }),
+        })
+        .collect();
+
+    CampaignReport {
+        clean_cycles: idx
+            .iter()
+            .map(|&i| (workloads[i].name, clean[i].stats.cycles))
+            .collect(),
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hasp_workloads::synthetic;
+
+    #[test]
+    fn smoke_campaign_on_synthetic_workload_passes_every_cell() {
+        let w = synthetic::add_element(2_000);
+        let report = run_campaign_on(&[w], true, 2);
+        assert_eq!(report.cells.len(), FAULT_KINDS.len());
+        assert!(report.all_passed(), "failed cells: {:?}", report.failures());
+        for c in &report.cells {
+            let o = c.result.as_ref().unwrap();
+            assert!(
+                o.validations >= o.commits + o.aborts,
+                "{}: every commit and abort must be validated",
+                c.kind.name()
+            );
+        }
+        // At least one kind actually injected aborts at the smoke rates.
+        let injected: u64 = report
+            .cells
+            .iter()
+            .map(|c| c.result.as_ref().unwrap().injected)
+            .sum();
+        assert!(injected > 0, "smoke rates must inject something");
+        // The report renders and serializes.
+        assert!(report.table().contains("ok"));
+        let json = report.json(true, 2, 0.5);
+        assert!(json.contains("\"all_passed\": true"));
+    }
+
+    #[test]
+    fn full_sweep_covers_kinds_times_rates() {
+        // Shape-only: spec construction, no execution.
+        let n_kinds = FAULT_KINDS.len();
+        for kind in FAULT_KINDS {
+            assert_eq!(sweep_rates(kind).len(), 3);
+        }
+        assert_eq!(n_kinds, 5);
+    }
+}

@@ -1,7 +1,7 @@
 //! Regenerators for every table and figure in the paper's evaluation,
 //! rendered alongside the paper's reported values.
 
-use hasp_hw::HwConfig;
+use hasp_hw::{HwConfig, UOP_CLASSES};
 use hasp_opt::CompilerConfig;
 
 use crate::report::{num, pct, Table};
@@ -591,6 +591,57 @@ pub fn fig1(suite: &mut Suite) -> (Fig1, String) {
     ]);
     t.row(&["asserts".into(), "0".into(), data.asserts.to_string()]);
     (data, t.render())
+}
+
+/// One benchmark's retired-uop instruction mix (% of retired uops per
+/// class, in [`UOP_CLASSES`] order).
+#[derive(Debug, Clone, Copy)]
+pub struct UopMixRow {
+    /// Benchmark name.
+    pub workload: &'static str,
+    /// Per-class share of retired uops, percent, in [`UOP_CLASSES`] order.
+    pub shares: [f64; UOP_CLASSES.len()],
+    /// Total retired uops.
+    pub total: u64,
+}
+
+/// Instruction-mix table: retired uops by class under atomic+aggressive
+/// inlining (the paper-style dynamic-instruction breakdown backing the
+/// Figure 8 uop-reduction discussion).
+pub fn uop_mix(suite: &mut Suite) -> (Vec<UopMixRow>, String) {
+    let cfg = CompilerConfig::atomic_aggressive();
+    let hw = HwConfig::baseline();
+    prefetch(suite, std::slice::from_ref(&cfg), std::slice::from_ref(&hw));
+    let mut rows = Vec::new();
+    for i in 0..suite.workloads().len() {
+        let run = suite.run(i, &cfg, &hw);
+        let total = run.stats.uop_classes.total();
+        let mut shares = [0.0f64; UOP_CLASSES.len()];
+        for (k, &class) in UOP_CLASSES.iter().enumerate() {
+            if total > 0 {
+                shares[k] = run.stats.uop_classes.get(class) as f64 * 100.0 / total as f64;
+            }
+        }
+        rows.push(UopMixRow {
+            workload: run.workload,
+            shares,
+            total,
+        });
+    }
+    let mut header: Vec<&str> = vec!["bench"];
+    header.extend(UOP_CLASSES.iter().map(|c| c.name()));
+    header.push("uops");
+    let mut t = Table::new(
+        "Instruction mix — retired uops by class (atomic+aggr-inline)",
+        &header,
+    );
+    for r in &rows {
+        let mut cells = vec![r.workload.to_string()];
+        cells.extend(r.shares.iter().map(|&s| format!("{s:.1}%")));
+        cells.push(r.total.to_string());
+        t.row(&cells);
+    }
+    (rows, t.render())
 }
 
 /// Table 2: the benchmark roster.

@@ -16,13 +16,15 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod faults;
 pub mod figures;
 pub mod report;
 pub mod runner;
 pub mod suite;
 
+pub use faults::{run_campaign, CampaignReport, FaultCell};
 pub use runner::{
-    compile_workload, execute_compiled, profile_workload, run_workload, CompiledWorkload,
-    ProfiledWorkload, SampleMeasure, WorkloadRun,
+    compile_workload, execute_compiled, profile_workload, run_workload, try_execute_compiled,
+    CellError, CompiledWorkload, ProfiledWorkload, SampleMeasure, WorkloadRun,
 };
 pub use suite::{hw_sweep, MatrixCell, Suite};

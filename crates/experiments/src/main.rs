@@ -1,20 +1,59 @@
 //! Experiment driver: prints every regenerated table and figure, or — with
 //! the `bench-suite` subcommand — benchmarks the serial vs parallel
 //! experiment pipeline over the full evaluation matrix and writes
-//! `BENCH_suite.json`.
+//! `BENCH_suite.json`, or — with the `faults` subcommand — runs the
+//! fault-injection campaign and writes the `BENCH_faults.json` resilience
+//! report (`faults --smoke` for the CI-sized slice).
 
 use hasp_experiments::figures;
 use hasp_experiments::report::JsonObj;
-use hasp_experiments::Suite;
+use hasp_experiments::{faults, Suite};
 
 fn main() {
     match std::env::args().nth(1).as_deref() {
         None => print_figures(),
         Some("bench-suite") => bench_suite(),
+        Some("faults") => {
+            let smoke = std::env::args().any(|a| a == "--smoke");
+            fault_campaign(smoke);
+        }
         Some(other) => {
-            eprintln!("unknown subcommand `{other}` (expected no argument or `bench-suite`)");
+            eprintln!(
+                "unknown subcommand `{other}` (expected no argument, `bench-suite`, \
+                 or `faults [--smoke]`)"
+            );
             std::process::exit(2);
         }
+    }
+}
+
+fn fault_campaign(smoke: bool) {
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    eprintln!(
+        "fault campaign: {} sweep on {threads} threads",
+        if smoke { "smoke" } else { "full" }
+    );
+    let t0 = std::time::Instant::now();
+    let report = faults::run_campaign(smoke, threads);
+    let wall = t0.elapsed().as_secs_f64();
+    print!("{}", report.table());
+    let json = report.json(smoke, threads, wall);
+    std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
+    eprintln!(
+        "wrote BENCH_faults.json ({} cells in {wall:.1}s)",
+        report.cells.len()
+    );
+    if !report.all_passed() {
+        for c in report.failures() {
+            eprintln!(
+                "FAILED cell: {} / {} @ {}: {}",
+                c.workload,
+                c.kind.name(),
+                c.rate,
+                c.result.as_ref().unwrap_err()
+            );
+        }
+        std::process::exit(1);
     }
 }
 
@@ -39,6 +78,8 @@ fn print_figures() {
     let (_, s) = figures::sec62(&mut suite);
     println!("{s}");
     let (_, s) = figures::sec63(&mut suite);
+    println!("{s}");
+    let (_, s) = figures::uop_mix(&mut suite);
     println!("{s}");
     eprintln!(
         "total wall time: {:.1}s ({} worker threads)",

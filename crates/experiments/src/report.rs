@@ -129,6 +129,14 @@ impl JsonObj {
         self
     }
 
+    /// Adds a nested array field.
+    pub fn arr(mut self, k: &str, v: JsonArr) -> Self {
+        self.key(k);
+        let nested = v.finish().replace('\n', "\n  ");
+        self.buf.push_str(&nested);
+        self
+    }
+
     /// Closes the object and returns the JSON text.
     pub fn finish(mut self) -> String {
         self.buf.push_str("\n}");
@@ -139,6 +147,52 @@ impl JsonObj {
 impl Default for JsonObj {
     fn default() -> Self {
         JsonObj::new()
+    }
+}
+
+/// A minimal JSON array writer of objects, pairing with [`JsonObj`] (for
+/// campaign-cell lists in benchmark artifacts).
+#[derive(Debug, Clone)]
+pub struct JsonArr {
+    buf: String,
+    first: bool,
+}
+
+impl JsonArr {
+    /// Starts an empty array.
+    pub fn new() -> Self {
+        JsonArr {
+            buf: String::from("["),
+            first: true,
+        }
+    }
+
+    /// Appends an object element.
+    pub fn obj(mut self, v: JsonObj) -> Self {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push_str("\n  ");
+        let nested = v.finish().replace('\n', "\n  ");
+        self.buf.push_str(&nested);
+        self
+    }
+
+    /// Closes the array and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        if self.first {
+            self.buf.push(']');
+        } else {
+            self.buf.push_str("\n]");
+        }
+        self.buf
+    }
+}
+
+impl Default for JsonArr {
+    fn default() -> Self {
+        JsonArr::new()
     }
 }
 
@@ -173,6 +227,21 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn json_arr_renders_elements() {
+        assert_eq!(JsonArr::new().finish(), "[]");
+        let arr = JsonArr::new()
+            .obj(JsonObj::new().int("a", 1))
+            .obj(JsonObj::new().int("a", 2));
+        let out = JsonObj::new().arr("cells", arr).finish();
+        assert!(out.contains("\"cells\": ["));
+        assert!(out.contains("\"a\": 1"));
+        assert!(out.contains("\"a\": 2"));
+        // Balanced brackets/braces.
+        assert_eq!(out.matches('[').count(), out.matches(']').count());
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
     }
 
     #[test]

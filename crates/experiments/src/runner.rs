@@ -4,11 +4,60 @@
 //! observable checksum against the interpreter's — a functional-equivalence
 //! assertion built into the experiment harness itself.
 
-use hasp_hw::{lower, CodeCache, HwConfig, Machine, RunStats};
+use hasp_hw::{lower, CodeCache, HwConfig, Machine, MachineFault, RunStats};
 use hasp_opt::{compile_program, CompilerConfig};
 use hasp_vm::interp::Interp;
 use hasp_vm::profile::Profile;
 use hasp_workloads::Workload;
+
+/// Why one (workload × compiler × hardware) cell failed.
+///
+/// Cells fail as *values* so one malformed configuration degrades to a
+/// recorded failure instead of killing its `Suite::run_all` worker thread.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellError {
+    /// The machine faulted (VM trap, hardware misuse, invariant violation).
+    Machine(MachineFault),
+    /// The run completed but its checksum diverged from the interpreter's —
+    /// speculation broke semantics.
+    ChecksumDivergence {
+        /// The interpreter's reference checksum.
+        expected: i64,
+        /// The machine's observed checksum.
+        got: i64,
+    },
+    /// A sample's bounding marker never retired (ordinal 1 or 2 missing).
+    MarkerMissing {
+        /// The sample's marker id.
+        marker: u32,
+        /// Which hit ordinal was absent.
+        ordinal: u64,
+    },
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellError::Machine(e) => write!(f, "machine fault: {e}"),
+            CellError::ChecksumDivergence { expected, got } => write!(
+                f,
+                "checksum divergence: expected {expected}, got {got} — \
+                 speculation broke semantics"
+            ),
+            CellError::MarkerMissing { marker, ordinal } => {
+                write!(f, "marker {marker} hit #{ordinal} missing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CellError {}
+
+impl From<MachineFault> for CellError {
+    fn from(e: MachineFault) -> Self {
+        CellError::Machine(e)
+    }
+}
 
 /// Profiling results for one workload.
 #[derive(Debug)]
@@ -144,6 +193,70 @@ pub fn compile_workload(
     }
 }
 
+/// Extracts the marker-bounded sample measurements from a run's statistics.
+///
+/// # Errors
+/// Returns [`CellError::MarkerMissing`] when a sample's bounding marker
+/// never retired.
+pub fn extract_samples(w: &Workload, stats: &RunStats) -> Result<Vec<SampleMeasure>, CellError> {
+    w.samples
+        .iter()
+        .map(|s| {
+            let snap = |ordinal: u64| {
+                stats
+                    .markers
+                    .iter()
+                    .find(|m| m.id == s.marker && m.ordinal == ordinal)
+                    .ok_or(CellError::MarkerMissing {
+                        marker: s.marker,
+                        ordinal,
+                    })
+            };
+            let start = snap(1)?;
+            let end = snap(2)?;
+            Ok(SampleMeasure {
+                marker: s.marker,
+                weight: s.weight,
+                uops: end.uops - start.uops,
+                cycles: end.cycles - start.cycles,
+            })
+        })
+        .collect()
+}
+
+/// Executes an already-compiled workload on `hw`, returning failures as
+/// values.
+///
+/// # Errors
+/// Returns a [`CellError`] when the machine faults, the checksum diverges
+/// from the interpreter's, or a sample marker is missing.
+pub fn try_execute_compiled(
+    w: &Workload,
+    profiled: &ProfiledWorkload,
+    compiled: &CompiledWorkload,
+    hw: &HwConfig,
+) -> Result<WorkloadRun, CellError> {
+    let mut mach = Machine::new(&w.program, &compiled.code, hw.clone());
+    mach.set_fuel(w.fuel.saturating_mul(4));
+    mach.run(&[])?;
+    if mach.env.checksum() != profiled.reference_checksum {
+        return Err(CellError::ChecksumDivergence {
+            expected: profiled.reference_checksum,
+            got: mach.env.checksum(),
+        });
+    }
+    let stats = mach.stats().clone();
+    let samples = extract_samples(w, &stats)?;
+    Ok(WorkloadRun {
+        workload: w.name,
+        compiler: compiled.compiler,
+        hardware: hw.name,
+        stats,
+        samples,
+        static_uops: compiled.static_uops,
+    })
+}
+
 /// Executes an already-compiled workload on `hw`.
 ///
 /// # Panics
@@ -155,55 +268,12 @@ pub fn execute_compiled(
     compiled: &CompiledWorkload,
     hw: &HwConfig,
 ) -> WorkloadRun {
-    let mut mach = Machine::new(&w.program, &compiled.code, hw.clone());
-    mach.set_fuel(w.fuel.saturating_mul(4));
-    mach.run(&[]).unwrap_or_else(|e| {
+    try_execute_compiled(w, profiled, compiled, hw).unwrap_or_else(|e| {
         panic!(
             "workload {} failed on {}/{}: {e}",
             w.name, compiled.compiler, hw.name
         )
-    });
-    assert_eq!(
-        mach.env.checksum(),
-        profiled.reference_checksum,
-        "checksum divergence on {} under {}/{} — speculation broke semantics",
-        w.name,
-        compiled.compiler,
-        hw.name
-    );
-
-    let stats = mach.stats().clone();
-    let samples = w
-        .samples
-        .iter()
-        .map(|s| {
-            let start = stats
-                .markers
-                .iter()
-                .find(|m| m.id == s.marker && m.ordinal == 1)
-                .unwrap_or_else(|| panic!("{}: marker {} start missing", w.name, s.marker));
-            let end = stats
-                .markers
-                .iter()
-                .find(|m| m.id == s.marker && m.ordinal == 2)
-                .unwrap_or_else(|| panic!("{}: marker {} end missing", w.name, s.marker));
-            SampleMeasure {
-                marker: s.marker,
-                weight: s.weight,
-                uops: end.uops - start.uops,
-                cycles: end.cycles - start.cycles,
-            }
-        })
-        .collect();
-
-    WorkloadRun {
-        workload: w.name,
-        compiler: compiled.compiler,
-        hardware: hw.name,
-        stats,
-        samples,
-        static_uops: compiled.static_uops,
-    }
+    })
 }
 
 /// Compiles the workload under `ccfg` and executes it on `hw`.

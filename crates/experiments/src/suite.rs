@@ -17,8 +17,8 @@ use hasp_opt::CompilerConfig;
 use hasp_workloads::{all_workloads, Workload};
 
 use crate::runner::{
-    compile_workload, execute_compiled, profile_workload, CompiledWorkload, ProfiledWorkload,
-    WorkloadRun,
+    compile_workload, execute_compiled, profile_workload, try_execute_compiled, CellError,
+    CompiledWorkload, ProfiledWorkload, WorkloadRun,
 };
 
 /// One cell of the evaluation matrix: workload index × compiler × hardware.
@@ -27,7 +27,7 @@ pub type MatrixCell = (usize, CompilerConfig, HwConfig);
 /// Runs `f` over `items` on up to `threads` scoped worker threads pulling
 /// from a shared atomic cursor, returning results in item order (so the
 /// output is independent of scheduling).
-fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+pub(crate) fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -75,6 +75,9 @@ pub struct Suite {
     /// reused by every hardware configuration that executes it.
     compiled: HashMap<(usize, &'static str), CompiledWorkload>,
     runs: HashMap<(usize, &'static str, &'static str), WorkloadRun>,
+    /// Cells that failed during [`Suite::run_all`], recorded instead of
+    /// killing the worker thread that hit them.
+    failures: Vec<((usize, &'static str, &'static str), CellError)>,
     threads: usize,
 }
 
@@ -96,6 +99,7 @@ impl Suite {
             profiles,
             compiled: HashMap::new(),
             runs: HashMap::new(),
+            failures: Vec::new(),
             threads: threads.max(1),
         }
     }
@@ -118,6 +122,11 @@ impl Suite {
     /// Number of distinct compile + lower products built so far.
     pub fn compiled_products(&self) -> usize {
         self.compiled.len()
+    }
+
+    /// Cells that failed during [`Suite::run_all`], in matrix order.
+    pub fn failures(&self) -> &[((usize, &'static str, &'static str), CellError)] {
+        &self.failures
     }
 
     /// The cached run for a cell, if it has been executed.
@@ -211,12 +220,19 @@ impl Suite {
         }
 
         // Phase 2: execute every pending cell against the shared products.
+        // Failures come back as values so one bad cell degrades to a
+        // recorded failure instead of tearing down its worker thread.
         let compiled = &self.compiled;
         let runs = parallel_map(&pending, threads, |&&(i, ref c, ref h)| {
-            execute_compiled(&workloads[i], &profiles[i], &compiled[&(i, c.name)], h)
+            try_execute_compiled(&workloads[i], &profiles[i], &compiled[&(i, c.name)], h)
         });
         for (&&(i, ref c, ref h), run) in pending.iter().zip(&runs) {
-            self.runs.insert((i, c.name, h.name), run.clone());
+            match run {
+                Ok(run) => {
+                    self.runs.insert((i, c.name, h.name), run.clone());
+                }
+                Err(e) => self.failures.push(((i, c.name, h.name), e.clone())),
+            }
         }
     }
 
@@ -278,6 +294,7 @@ mod tests {
             profiles: Vec::new(),
             compiled: HashMap::new(),
             runs: HashMap::new(),
+            failures: Vec::new(),
             threads: 1,
         };
         let cells = suite.full_matrix();

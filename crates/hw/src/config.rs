@@ -1,6 +1,8 @@
 //! Hardware configurations (Table 1 of the paper, plus the §6.3 sensitivity
 //! variants).
 
+use crate::fault::{FaultPlan, GovernorConfig};
+
 /// Parameters of the simulated machine.
 ///
 /// Defaults reproduce Table 1: a 4.0 GHz, 4-wide out-of-order core with a
@@ -46,14 +48,16 @@ pub struct HwConfig {
     pub single_inflight: bool,
     /// Pipeline flush cycles charged on a region abort.
     pub abort_penalty: u64,
-    /// Deterministic conflict injection: probability (per 1M in-region uops)
-    /// that a coherence invalidation hits the region's read/write set.
-    pub conflict_per_miljon: u64,
-    /// Interrupt interval in uops (0 disables); an interrupt inside a region
-    /// aborts it (best-effort hardware).
-    pub interrupt_interval: u64,
-    /// RNG seed for conflict injection.
-    pub seed: u64,
+    /// Deterministic fault-injection plan (conflicts, interrupts, spurious
+    /// aborts, footprint budget, targeted entry aborts).
+    pub faults: FaultPlan,
+    /// Run the post-abort/post-commit invariant validator (undo log drained,
+    /// speculative bits flash-cleared, checkpoint fully restored, region
+    /// counters consistent). Architecturally free; intended for tests and
+    /// fault campaigns.
+    pub validate: bool,
+    /// The online abort-recovery governor policy.
+    pub governor: GovernorConfig,
 }
 
 impl HwConfig {
@@ -77,9 +81,9 @@ impl HwConfig {
             begin_stall: 0,
             single_inflight: false,
             abort_penalty: 20,
-            conflict_per_miljon: 0,
-            interrupt_interval: 0,
-            seed: 0x4a57,
+            faults: FaultPlan::none(),
+            validate: false,
+            governor: GovernorConfig::off(),
         }
     }
 
@@ -157,6 +161,14 @@ mod tests {
         assert_eq!(c.mem_latency, 400, "100ns at 4GHz");
         assert_eq!(c.l1_sets(), 128);
         assert_eq!(c.l2_sets(), 8192);
+    }
+
+    #[test]
+    fn baseline_has_no_faults_and_no_governor() {
+        let c = HwConfig::baseline();
+        assert_eq!(c.faults, FaultPlan::none());
+        assert!(!c.validate);
+        assert!(!c.governor.enabled);
     }
 
     #[test]

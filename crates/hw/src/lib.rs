@@ -18,12 +18,16 @@
 //!   interval timing model, including the Figure 9 sensitivity knobs.
 //! * [`config`] — Table 1 parameters and §6.3 variants.
 //! * [`stats`] — uops/cycles/coverage/abort statistics (Tables 3, Fig. 8/9).
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`]), the online
+//!   abort-recovery governor policy ([`GovernorConfig`]), and structured
+//!   machine errors ([`MachineFault`]).
 
 #![warn(missing_docs)]
 
 pub mod bpred;
 pub mod cache;
 pub mod config;
+pub mod fault;
 pub mod lineset;
 pub mod lower;
 pub mod machine;
@@ -32,7 +36,8 @@ pub mod uop;
 
 pub use cache::{CacheSim, HitLevel};
 pub use config::HwConfig;
+pub use fault::{FaultKind, FaultPlan, GovernorConfig, MachineFault, FAULT_KINDS};
 pub use lower::lower;
 pub use machine::Machine;
-pub use stats::{AbortReason, Histogram, MarkerSnap, RegionCounters, RunStats};
-pub use uop::{CodeCache, CompiledCode, MReg, Uop};
+pub use stats::{AbortReason, Histogram, MarkerSnap, RegionCounters, RunStats, ABORT_REASONS};
+pub use uop::{CodeCache, CompiledCode, MReg, Uop, UopClass, UOP_CLASSES};

@@ -13,6 +13,8 @@
 //! cycles from a real cache simulation (MLP-discounted), plus the region
 //! overheads of the Figure 9 sensitivity configurations.
 
+use std::collections::HashMap;
+
 use hasp_vm::bytecode::{Intrinsic, MethodId};
 use hasp_vm::class::Program;
 use hasp_vm::env::{Env, EnvSnapshot};
@@ -23,6 +25,7 @@ use hasp_vm::value::{ObjId, Value};
 use crate::bpred::Predictor;
 use crate::cache::{CacheSim, HitLevel};
 use crate::config::HwConfig;
+use crate::fault::MachineFault;
 use crate::lineset::LineSet;
 use crate::stats::{AbortReason, MarkerSnap, RunStats};
 use crate::uop::{CodeCache, CompiledCode, MReg, Uop};
@@ -53,6 +56,26 @@ struct RegionCtx {
     undo: Vec<(HeapCell, i64)>,
     lines: LineSet,
     start_uops: u64,
+    /// Independent copy of the checkpointed register file, captured only in
+    /// validation mode so the post-abort validator can verify restoration
+    /// without trusting the rollback path it is checking.
+    shadow_regs: Vec<i64>,
+}
+
+/// Per-static-region governor state (consecutive-abort streaks and the
+/// exponential-backoff cooldown).
+#[derive(Debug, Clone, Copy)]
+struct GovState {
+    /// Consecutive aborts since the last commit or de-speculation.
+    streak: u32,
+    /// Consecutive commits since the last abort (the calm streak gating
+    /// cooldown decay).
+    calm: u64,
+    /// Entries still to be patched straight to the alternate PC.
+    skips_remaining: u64,
+    /// Next de-speculation's cooldown length (doubles per de-speculation,
+    /// halves per calm streak, bounded by the policy).
+    cooldown: u64,
 }
 
 /// The machine.
@@ -74,7 +97,14 @@ pub struct Machine<'p> {
     cxw: u64,
     last_commit_cxw: u64,
     fuel: u64,
-    conflict_rng: u64,
+    fault_rng: u64,
+    /// Precomputed `cfg.faults.any_per_uop()` so the per-uop hot path pays
+    /// one branch when no probabilistic injection is armed.
+    inject_per_uop: bool,
+    /// Dynamic `aregion_begin` count (1-based), driving targeted injection.
+    region_entries: u64,
+    /// Online governor state per static region.
+    gov: HashMap<(MethodId, u32), GovState>,
     max_depth: usize,
     /// Retired register files, recycled across frame pushes so steady-state
     /// call linkage allocates nothing.
@@ -92,7 +122,8 @@ impl<'p> Machine<'p> {
     /// Creates a machine over compiled code.
     pub fn new(program: &'p Program, code: &'p CodeCache, cfg: HwConfig) -> Self {
         let cache = CacheSim::new(&cfg);
-        let seed = cfg.seed;
+        let seed = cfg.faults.seed;
+        let inject_per_uop = cfg.faults.any_per_uop();
         Machine {
             program,
             code,
@@ -107,7 +138,10 @@ impl<'p> Machine<'p> {
             cxw: 0,
             last_commit_cxw: 0,
             fuel: u64::MAX,
-            conflict_rng: seed | 1,
+            fault_rng: seed | 1,
+            inject_per_uop,
+            region_entries: 0,
+            gov: HashMap::new(),
             max_depth: 512,
             reg_pool: Vec::new(),
             spare_undo: Vec::with_capacity(64),
@@ -134,9 +168,13 @@ impl<'p> Machine<'p> {
     /// Runs the program's entry method.
     ///
     /// # Errors
-    /// Returns a [`VmError`] on a non-speculative trap, fuel exhaustion, or
-    /// stack overflow.
-    pub fn run(&mut self, args: &[Value]) -> Result<Option<Value>, VmError> {
+    /// Returns a [`MachineFault`]: a wrapped [`VmError`] on a
+    /// non-speculative trap, fuel exhaustion, or stack overflow; a
+    /// structured hardware-misuse fault (e.g. `aregion_abort` outside a
+    /// region) on malformed code; or an invariant violation when
+    /// [`HwConfig::validate`] is set and a commit/abort left corrupted
+    /// architectural state.
+    pub fn run(&mut self, args: &[Value]) -> Result<Option<Value>, MachineFault> {
         let entry = self.program.entry();
         self.push_frame(
             entry,
@@ -153,14 +191,11 @@ impl<'p> Machine<'p> {
         m: MethodId,
         args: &[i64],
         ret_dst: Option<MReg>,
-    ) -> Result<(), VmError> {
+    ) -> Result<(), MachineFault> {
         if self.frames.len() >= self.max_depth {
-            return Err(VmError::StackOverflow);
+            return Err(VmError::StackOverflow.into());
         }
-        let code = self
-            .code
-            .get(m)
-            .unwrap_or_else(|| panic!("method {} not compiled", m.0));
+        let code = self.code.get(m).ok_or(MachineFault::MethodNotCompiled(m))?;
         // Register-file size comes from lowering metadata, so a recycled
         // buffer reaches its steady-state capacity after one use.
         let mut regs = self.reg_pool.pop().unwrap_or_default();
@@ -198,9 +233,9 @@ impl<'p> Machine<'p> {
     }
 
     /// Data-memory access bookkeeping: cache simulation, timing, speculative
-    /// tracking, and overflow detection. Returns `false` if the region
+    /// tracking, and overflow detection. Returns `Ok(false)` if the region
     /// overflowed (and was aborted).
-    fn mem_access(&mut self, addr: u64, write: bool) -> bool {
+    fn mem_access(&mut self, addr: u64, write: bool) -> Result<bool, MachineFault> {
         let in_region = self.region.is_some();
         let (level, overflow) = self.cache.access(addr, write, in_region);
         self.stats.mem_accesses += 1;
@@ -214,14 +249,19 @@ impl<'p> Machine<'p> {
                 self.charge((self.cfg.mem_latency - self.cfg.l1_latency) / self.cfg.mlp);
             }
         }
+        let mut overflowed = false;
         if let Some(r) = &mut self.region {
             r.lines.insert(addr / self.cfg.line_bytes);
-            if overflow {
-                self.abort(AbortReason::Overflow);
-                return false;
-            }
+            // The injected line budget models a smaller speculative cache:
+            // it tightens the geometric overflow, never loosens it.
+            let budget = self.cfg.faults.line_budget;
+            overflowed = overflow || (budget > 0 && r.lines.len() as u64 > budget);
         }
-        true
+        if overflowed {
+            self.abort(AbortReason::Overflow)?;
+            return Ok(false);
+        }
+        Ok(true)
     }
 
     /// Logs the old value of `cell` before a speculative store.
@@ -231,8 +271,14 @@ impl<'p> Machine<'p> {
         }
     }
 
-    fn abort(&mut self, reason: AbortReason) {
-        let mut r = self.region.take().expect("abort outside region");
+    fn abort(&mut self, reason: AbortReason) -> Result<(), MachineFault> {
+        let Some(mut r) = self.region.take() else {
+            let f = self.frames.last().expect("frame");
+            return Err(MachineFault::AbortOutsideRegion {
+                method: f.method,
+                pc: f.pc,
+            });
+        };
         // Roll back memory (reverse order), allocations, environment,
         // registers; redirect to the alternate PC.
         for (cell, old) in r.undo.iter().rev() {
@@ -247,7 +293,8 @@ impl<'p> Machine<'p> {
         let frame = self.frames.last_mut().expect("frame");
         // The checkpoint register file replaces the speculative one; the
         // speculative buffer goes back to the pool.
-        let speculative = std::mem::replace(&mut frame.regs, r.regs);
+        let ckpt = std::mem::take(&mut r.regs);
+        let speculative = std::mem::replace(&mut frame.regs, ckpt);
         frame.pc = r.alt;
         self.reg_pool.push(speculative);
         self.cache.abort_region();
@@ -258,26 +305,159 @@ impl<'p> Machine<'p> {
             .entry((r.method, r.region))
             .or_default();
         counters.aborts += 1;
+        if self.cfg.validate {
+            self.validate_arch_state(&r, true)?;
+        }
+        if self.cfg.governor.enabled {
+            self.gov_on_abort(r.method, r.region);
+        }
         r.undo.clear();
         self.spare_undo = r.undo;
         self.spare_lines = r.lines.into_buffer();
         self.charge(self.cfg.abort_penalty);
+        Ok(())
     }
 
     /// A safety-check failure: an exception abort inside a region, a VM trap
     /// outside.
-    fn trap_or_abort(&mut self, trap: Trap) -> Result<(), VmError> {
+    fn trap_or_abort(&mut self, trap: Trap) -> Result<(), MachineFault> {
         if self.region.is_some() {
-            self.abort(AbortReason::Exception);
-            Ok(())
+            self.abort(AbortReason::Exception)
         } else {
             let f = self.frames.last().expect("frame");
             Err(VmError::Trap {
                 trap,
                 method: f.method,
                 pc: f.pc,
-            })
+            }
+            .into())
         }
+    }
+
+    /// Governor bookkeeping on an abort: grow the region's
+    /// consecutive-abort streak; at the retry budget, de-speculate it for
+    /// `cooldown` entries and double the next cooldown (bounded).
+    fn gov_on_abort(&mut self, method: MethodId, region: u32) {
+        let policy = &self.cfg.governor;
+        let g = self.gov.entry((method, region)).or_insert(GovState {
+            streak: 0,
+            calm: 0,
+            skips_remaining: 0,
+            cooldown: policy.cooldown_entries,
+        });
+        g.streak += 1;
+        g.calm = 0;
+        if g.streak >= policy.retry_budget {
+            g.skips_remaining = g.cooldown;
+            g.cooldown = (g.cooldown.saturating_mul(2)).min(policy.max_cooldown);
+            g.streak = 0;
+            self.stats.governor_disables += 1;
+        }
+    }
+
+    /// Governor bookkeeping on a commit: the abort streak resets, and a calm
+    /// streak of `cooldown_entries` consecutive commits halves the cooldown
+    /// back toward its base — so a region that genuinely recovered from a
+    /// transient fault burst regains full speculation, while one still
+    /// aborting a substantial fraction of its entries (which never stays
+    /// calm that long) keeps backing off exponentially.
+    fn gov_on_commit(&mut self, method: MethodId, region: u32) {
+        if let Some(g) = self.gov.get_mut(&(method, region)) {
+            g.streak = 0;
+            g.calm += 1;
+            if g.calm >= self.cfg.governor.cooldown_entries {
+                g.calm = 0;
+                g.cooldown = (g.cooldown / 2).max(self.cfg.governor.cooldown_entries);
+            }
+        }
+    }
+
+    /// The §3 atomicity contract, checked mechanically after a commit or an
+    /// abort: speculative cache state flash-cleared, the frame stack back at
+    /// checkpoint depth, region counters consistent — and after an abort,
+    /// the PC at the alternate path, the register file bit-identical to an
+    /// independently captured shadow checkpoint, the allocation frontier and
+    /// environment restored, and every undo-logged cell holding its
+    /// pre-region value.
+    fn validate_arch_state(&mut self, r: &RegionCtx, aborted: bool) -> Result<(), MachineFault> {
+        fn violated(what: &'static str, detail: String) -> Result<(), MachineFault> {
+            Err(MachineFault::InvariantViolation { what, detail })
+        }
+        let spec = self.cache.spec_lines();
+        if spec != 0 {
+            return violated("spec-bits", format!("{spec} lines still speculative"));
+        }
+        if self.frames.len() != r.frame_depth {
+            return violated(
+                "frame-depth",
+                format!(
+                    "depth {} != checkpoint {}",
+                    self.frames.len(),
+                    r.frame_depth
+                ),
+            );
+        }
+        let entries: u64 = self.stats.per_region.values().map(|c| c.entries).sum();
+        let resolved = self.stats.commits + self.stats.aborts.total();
+        if entries != resolved {
+            return violated(
+                "region-counters",
+                format!("{entries} entries != {} commits + aborts", resolved),
+            );
+        }
+        if aborted {
+            let frame = self.frames.last().expect("frame");
+            if frame.pc != r.alt {
+                return violated("alt-pc", format!("pc {} != alt {}", frame.pc, r.alt));
+            }
+            if frame.regs != r.shadow_regs {
+                return violated(
+                    "registers",
+                    format!(
+                        "register file differs from shadow checkpoint at index {:?}",
+                        frame
+                            .regs
+                            .iter()
+                            .zip(&r.shadow_regs)
+                            .position(|(a, b)| a != b)
+                    ),
+                );
+            }
+            if self.heap.alloc_mark() != r.heap {
+                return violated("alloc-frontier", "allocation mark not restored".into());
+            }
+            if self.env.snapshot() != r.env {
+                return violated("env", "environment snapshot not restored".into());
+            }
+            // Every undo-logged cell must hold its pre-region value. The log
+            // may contain the same cell several times; reverse-order
+            // application leaves the *first* logged (oldest) value, so only
+            // each cell's first occurrence is checked. Cells of objects
+            // allocated inside the region no longer exist after the frontier
+            // rollback and are skipped.
+            let live = self.heap.len();
+            let mut seen = std::collections::HashSet::new();
+            for (cell, old) in &r.undo {
+                if !seen.insert(*cell) {
+                    continue;
+                }
+                let obj = match *cell {
+                    HeapCell::Field(o, _) | HeapCell::Elem(o, _) | HeapCell::Lock(o) => o,
+                };
+                if obj.0 as usize >= live {
+                    continue;
+                }
+                let now = self.heap.read_cell(*cell);
+                if now != *old {
+                    return violated(
+                        "undo-log",
+                        format!("cell {cell:?} holds {now}, expected pre-region {old}"),
+                    );
+                }
+            }
+        }
+        self.stats.validations += 1;
+        Ok(())
     }
 
     fn obj(&mut self, bits: i64) -> Result<ObjId, VmError> {
@@ -305,10 +485,10 @@ impl<'p> Machine<'p> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn exec(&mut self) -> Result<Option<Value>, VmError> {
+    fn exec(&mut self) -> Result<Option<Value>, MachineFault> {
         loop {
             if self.fuel == 0 {
-                return Err(VmError::FuelExhausted);
+                return Err(VmError::FuelExhausted.into());
             }
             let (method, pc, code) = {
                 let f = self.frames.last().expect("frame");
@@ -341,22 +521,31 @@ impl<'p> Machine<'p> {
             self.cxw += 1;
             if self.region.is_some() {
                 self.stats.region_uops += 1;
-                // Interrupt injection (best-effort hardware).
-                if self.cfg.interrupt_interval > 0
-                    && self.stats.uops.is_multiple_of(self.cfg.interrupt_interval)
-                {
-                    self.abort(AbortReason::Interrupt);
-                    continue;
-                }
-                // Coherence conflict injection.
-                if self.cfg.conflict_per_miljon > 0 {
-                    self.conflict_rng = self
-                        .conflict_rng
-                        .wrapping_mul(6364136223846793005)
-                        .wrapping_add(1442695040888963407);
-                    if (self.conflict_rng >> 11) % 1_000_000 < self.cfg.conflict_per_miljon {
-                        self.abort(AbortReason::Conflict);
+                if self.inject_per_uop {
+                    // Interrupt injection (best-effort hardware).
+                    let interval = self.cfg.faults.interrupt_interval;
+                    if interval > 0 && self.stats.uops.is_multiple_of(interval) {
+                        self.abort(AbortReason::Interrupt)?;
                         continue;
+                    }
+                    let conflict = self.cfg.faults.conflict_per_miljon;
+                    let spurious = self.cfg.faults.spurious_per_miljon;
+                    if conflict > 0 || spurious > 0 {
+                        self.fault_rng = self
+                            .fault_rng
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        // Coherence conflict injection.
+                        if conflict > 0 && (self.fault_rng >> 11) % 1_000_000 < conflict {
+                            self.abort(AbortReason::Conflict)?;
+                            continue;
+                        }
+                        // Spurious hardware aborts (independent bits of the
+                        // same draw, so the streams don't correlate).
+                        if spurious > 0 && (self.fault_rng >> 29) % 1_000_000 < spurious {
+                            self.abort(AbortReason::Spurious)?;
+                            continue;
+                        }
                     }
                 }
             }
@@ -435,7 +624,7 @@ impl<'p> Machine<'p> {
                 Uop::LoadField { dst, obj, field } => {
                     let o = self.obj(rval!(obj))?;
                     let cell = HeapCell::Field(o, field);
-                    if !self.mem_access(self.heap.addr_of(cell), false) {
+                    if !self.mem_access(self.heap.addr_of(cell), false)? {
                         continue;
                     }
                     regs!()[dst.0 as usize] = self.heap.read_cell(cell);
@@ -443,7 +632,7 @@ impl<'p> Machine<'p> {
                 Uop::StoreField { obj, field, src } => {
                     let o = self.obj(rval!(obj))?;
                     let cell = HeapCell::Field(o, field);
-                    if !self.mem_access(self.heap.addr_of(cell), true) {
+                    if !self.mem_access(self.heap.addr_of(cell), true)? {
                         continue;
                     }
                     self.log_undo(cell);
@@ -454,7 +643,7 @@ impl<'p> Machine<'p> {
                     let o = self.obj(rval!(arr))?;
                     let i = regs!()[idx.0 as usize] as u32;
                     let cell = HeapCell::Elem(o, i);
-                    if !self.mem_access(self.heap.addr_of(cell), false) {
+                    if !self.mem_access(self.heap.addr_of(cell), false)? {
                         continue;
                     }
                     regs!()[dst.0 as usize] = self.heap.read_cell(cell);
@@ -463,7 +652,7 @@ impl<'p> Machine<'p> {
                     let o = self.obj(rval!(arr))?;
                     let i = regs!()[idx.0 as usize] as u32;
                     let cell = HeapCell::Elem(o, i);
-                    if !self.mem_access(self.heap.addr_of(cell), true) {
+                    if !self.mem_access(self.heap.addr_of(cell), true)? {
                         continue;
                     }
                     self.log_undo(cell);
@@ -472,7 +661,7 @@ impl<'p> Machine<'p> {
                 }
                 Uop::LoadLen { dst, arr } => {
                     let o = self.obj(rval!(arr))?;
-                    if !self.mem_access(self.heap.addr_of_len(o), false) {
+                    if !self.mem_access(self.heap.addr_of_len(o), false)? {
                         continue;
                     }
                     let n = self.heap.array_len(o).expect("array") as i64;
@@ -481,7 +670,7 @@ impl<'p> Machine<'p> {
                 Uop::LoadLock { dst, obj } => {
                     let o = self.obj(rval!(obj))?;
                     let cell = HeapCell::Lock(o);
-                    if !self.mem_access(self.heap.addr_of(cell), false) {
+                    if !self.mem_access(self.heap.addr_of(cell), false)? {
                         continue;
                     }
                     regs!()[dst.0 as usize] = self.heap.read_cell(cell);
@@ -489,7 +678,7 @@ impl<'p> Machine<'p> {
                 Uop::StoreLock { obj, src } => {
                     let o = self.obj(rval!(obj))?;
                     let cell = HeapCell::Lock(o);
-                    if !self.mem_access(self.heap.addr_of(cell), true) {
+                    if !self.mem_access(self.heap.addr_of(cell), true)? {
                         continue;
                     }
                     self.log_undo(cell);
@@ -498,7 +687,7 @@ impl<'p> Machine<'p> {
                 }
                 Uop::LoadClass { dst, obj } => {
                     let o = self.obj(rval!(obj))?;
-                    if !self.mem_access(self.heap.addr_of_header(o), false) {
+                    if !self.mem_access(self.heap.addr_of_header(o), false)? {
                         continue;
                     }
                     regs!()[dst.0 as usize] = i64::from(self.heap.class_of(o).0);
@@ -506,7 +695,7 @@ impl<'p> Machine<'p> {
                 Uop::AllocObj { dst, class } => {
                     let n = self.program.class(class).field_count();
                     let o = self.heap.alloc_object(class, n);
-                    if !self.mem_access(self.heap.addr_of_header(o), true) {
+                    if !self.mem_access(self.heap.addr_of_header(o), true)? {
                         continue;
                     }
                     regs!()[dst.0 as usize] = Value::from(o).encode();
@@ -518,7 +707,7 @@ impl<'p> Machine<'p> {
                         continue;
                     }
                     let o = self.heap.alloc_array(n as usize);
-                    if !self.mem_access(self.heap.addr_of_header(o), true) {
+                    if !self.mem_access(self.heap.addr_of_header(o), true)? {
                         continue;
                     }
                     regs!()[dst.0 as usize] = Value::from(o).encode();
@@ -631,7 +820,30 @@ impl<'p> Machine<'p> {
                     continue;
                 }
                 Uop::RegionBegin { region, alt } => {
-                    assert!(self.region.is_none(), "nested aregion_begin");
+                    if self.region.is_some() {
+                        return Err(MachineFault::NestedRegion { method, pc });
+                    }
+                    // Governor consult: a de-speculated region's begin is
+                    // patched to branch straight to its alternate PC — the
+                    // non-speculative version runs with zero region overhead.
+                    if self.cfg.governor.enabled {
+                        if let Some(g) = self.gov.get_mut(&(method, region)) {
+                            if g.skips_remaining > 0 {
+                                g.skips_remaining -= 1;
+                                if g.skips_remaining == 0 {
+                                    self.stats.governor_reenables += 1;
+                                }
+                                self.stats.governor_skips += 1;
+                                self.stats
+                                    .per_region
+                                    .entry((method, region))
+                                    .or_default()
+                                    .gov_skips += 1;
+                                self.frames.last_mut().expect("frame").pc = alt;
+                                continue;
+                            }
+                        }
+                    }
                     self.charge(self.cfg.begin_stall);
                     if self.cfg.single_inflight {
                         // Stall at decode until the previous region drains.
@@ -649,6 +861,14 @@ impl<'p> Machine<'p> {
                     ckpt.extend_from_slice(&f.regs);
                     let mut undo = std::mem::take(&mut self.spare_undo);
                     undo.clear();
+                    // The shadow checkpoint is validator-only state: an
+                    // independent register-file copy the rollback path never
+                    // touches, so restoration can be cross-checked.
+                    let shadow_regs = if self.cfg.validate {
+                        ckpt.clone()
+                    } else {
+                        Vec::new()
+                    };
                     self.region = Some(RegionCtx {
                         region,
                         method,
@@ -660,12 +880,22 @@ impl<'p> Machine<'p> {
                         undo,
                         lines: LineSet::from_buffer(std::mem::take(&mut self.spare_lines)),
                         start_uops: self.stats.uops,
+                        shadow_regs,
                     });
                     let counters = self.stats.per_region.entry((method, region)).or_default();
                     counters.entries += 1;
+                    // Targeted injection: abort exactly the Nth dynamic
+                    // entry, the moment the checkpoint is armed.
+                    self.region_entries += 1;
+                    if self.cfg.faults.abort_at_entry == Some(self.region_entries) {
+                        self.abort(AbortReason::Spurious)?;
+                        continue;
+                    }
                 }
                 Uop::RegionEnd { region } => {
-                    let mut r = self.region.take().expect("aregion_end outside region");
+                    let Some(mut r) = self.region.take() else {
+                        return Err(MachineFault::EndOutsideRegion { method, pc });
+                    };
                     debug_assert_eq!(r.region, region);
                     self.cache.commit_region();
                     self.stats.commits += 1;
@@ -674,6 +904,12 @@ impl<'p> Machine<'p> {
                         .record(self.stats.uops - r.start_uops);
                     self.stats.region_footprint.record(r.lines.len() as u64);
                     self.last_commit_cxw = self.cxw;
+                    if self.cfg.validate {
+                        self.validate_arch_state(&r, false)?;
+                    }
+                    if self.cfg.governor.enabled {
+                        self.gov_on_commit(r.method, r.region);
+                    }
                     // Recycle the region's buffers for the next one.
                     r.undo.clear();
                     self.spare_undo = r.undo;
@@ -686,12 +922,11 @@ impl<'p> Machine<'p> {
                     } else {
                         AbortReason::Explicit
                     };
-                    assert!(self.region.is_some(), "aregion_abort outside region");
-                    self.abort(reason);
+                    self.abort(reason)?;
                     continue;
                 }
                 Uop::Poll => {
-                    if !self.mem_access(YIELD_FLAG_ADDR, false) {
+                    if !self.mem_access(YIELD_FLAG_ADDR, false)? {
                         continue;
                     }
                 }
@@ -738,7 +973,7 @@ mod tests {
     /// Profiles a program with the interpreter, compiles every method under
     /// `cfg`, and returns (interpreter checksum, machine, profile run result)
     /// for comparison.
-    fn run_both(
+    pub(super) fn run_both(
         p: &Program,
         ccfg: &CompilerConfig,
         hw: HwConfig,
@@ -764,7 +999,7 @@ mod tests {
 
     /// The Figure 2 `addElement`-style workload: hot path with redundant
     /// checks, a cold overflow branch, a synchronized helper.
-    fn add_element_program(n: i64, chunk: i64) -> Program {
+    pub(super) fn add_element_program(n: i64, chunk: i64) -> Program {
         let mut pb = ProgramBuilder::new();
         let c = pb.add_class("Vec", None, &["cached", "i", "chunk_size", "total"]);
         let f_cached = pb.field(c, "cached");
@@ -904,8 +1139,8 @@ mod tests {
     fn conflicts_and_interrupts_are_transparent() {
         let p = add_element_program(2000, 1 << 20);
         let mut hw = HwConfig::baseline();
-        hw.conflict_per_miljon = 500; // aggressive conflict injection
-        hw.interrupt_interval = 10_000;
+        hw.faults.conflict_per_miljon = 500; // aggressive conflict injection
+        hw.faults.interrupt_interval = 10_000;
         let (icks, _, mcks, _, stats) = run_both(&p, &CompilerConfig::atomic(), hw);
         assert_eq!(icks, mcks, "conflict/interrupt aborts must be transparent");
         assert!(
@@ -1326,4 +1561,391 @@ mod unit_tests {
     }
 
     use hasp_vm::interp::Interp as Interp_;
+}
+
+#[cfg(test)]
+mod fault_tests {
+    //! The abort-path contract, checked per cause: every injected abort kind
+    //! must (a) stay architecturally transparent and (b) pass the invariant
+    //! validator, and hardware misuse must surface as a structured
+    //! [`MachineFault`] instead of a panic.
+    use super::tests::{add_element_program, run_both};
+    use super::*;
+    use crate::fault::{FaultPlan, GovernorConfig};
+    use hasp_opt::CompilerConfig;
+    use hasp_vm::builder::ProgramBuilder;
+    use hasp_vm::bytecode::{BinOp, CmpOp};
+
+    /// Installs a hand-written uop stream as the entry method.
+    fn install_uops(uops: Vec<Uop>, regs: u32) -> (Program, CodeCache) {
+        let mut pb = ProgramBuilder::new();
+        let mut m = pb.method("main", 0);
+        m.ret(None);
+        let entry = m.finish(&mut pb);
+        let p = pb.finish(entry);
+        let mut cc = CodeCache::new();
+        cc.install(
+            entry,
+            CompiledCode {
+                name: "main".into(),
+                uops,
+                regs,
+                assert_origins: Vec::new(),
+                region_count: 1,
+            },
+        );
+        (p, cc)
+    }
+
+    /// Runs `add_element` under `plan` with the validator on; asserts
+    /// transparency and that at least `min` aborts of `reason` validated.
+    fn assert_validated_aborts(plan: FaultPlan, reason: AbortReason, min: u64) -> RunStats {
+        let p = add_element_program(2000, 1 << 20);
+        let mut hw = HwConfig::baseline();
+        hw.faults = plan;
+        hw.validate = true;
+        let (icks, iret, mcks, mret, stats) = run_both(&p, &CompilerConfig::atomic(), hw);
+        assert_eq!(icks, mcks, "{reason:?} aborts must be transparent");
+        assert_eq!(iret, mret);
+        assert!(
+            stats.aborts.get(reason) >= min,
+            "expected ≥{min} {reason:?} aborts: {:?}",
+            stats.aborts
+        );
+        assert!(
+            stats.validations >= stats.commits + stats.total_aborts(),
+            "every commit and abort must validate: {} < {} + {}",
+            stats.validations,
+            stats.commits,
+            stats.total_aborts()
+        );
+        stats
+    }
+
+    #[test]
+    fn validator_passes_conflict_aborts() {
+        assert_validated_aborts(FaultPlan::conflicts(500), AbortReason::Conflict, 1);
+    }
+
+    #[test]
+    fn validator_passes_interrupt_aborts() {
+        assert_validated_aborts(FaultPlan::interrupts(10_000), AbortReason::Interrupt, 1);
+    }
+
+    #[test]
+    fn validator_passes_spurious_aborts() {
+        assert_validated_aborts(FaultPlan::spurious(500), AbortReason::Spurious, 1);
+    }
+
+    #[test]
+    fn validator_passes_overflow_aborts_from_line_budget() {
+        // A 2-line speculative budget is below any real region footprint
+        // here, so regions overflow immediately and fall back.
+        assert_validated_aborts(FaultPlan::overflow_budget(2), AbortReason::Overflow, 1);
+    }
+
+    #[test]
+    fn validator_passes_targeted_entry_abort() {
+        let stats = assert_validated_aborts(FaultPlan::abort_at(5), AbortReason::Spurious, 1);
+        assert_eq!(
+            stats.aborts.get(AbortReason::Spurious),
+            1,
+            "exactly the 5th entry aborts"
+        );
+    }
+
+    #[test]
+    fn validator_passes_explicit_aborts() {
+        // chunk < n: the wraparound assert fires (Explicit aborts) with the
+        // validator on.
+        let p = add_element_program(20_000, 500);
+        let mut hw = HwConfig::baseline();
+        hw.validate = true;
+        let (icks, _, mcks, _, stats) = run_both(&p, &CompilerConfig::atomic(), hw);
+        assert_eq!(icks, mcks);
+        assert!(
+            stats.aborts.get(AbortReason::Explicit) > 0,
+            "{:?}",
+            stats.aborts
+        );
+        assert!(stats.validations >= stats.commits + stats.total_aborts());
+    }
+
+    #[test]
+    fn validator_passes_sle_abort() {
+        // Raw stream: an SLE lock-word assert (`aregion_abort` with the
+        // reserved id) fires inside the region; alt path returns 7.
+        let (p, cc) = install_uops(
+            vec![
+                Uop::RegionBegin { region: 0, alt: 3 },
+                Uop::Abort {
+                    assert_id: u32::MAX,
+                },
+                Uop::RegionEnd { region: 0 },
+                Uop::Const {
+                    dst: MReg(0),
+                    imm: 7,
+                },
+                Uop::Ret { src: Some(MReg(0)) },
+            ],
+            1,
+        );
+        let mut hw = HwConfig::baseline();
+        hw.validate = true;
+        let mut mach = Machine::new(&p, &cc, hw);
+        let out = mach.run(&[]).expect("sle abort is recoverable");
+        assert_eq!(out, Some(Value::Int(7)));
+        assert_eq!(mach.stats().aborts.get(AbortReason::Sle), 1);
+        assert!(mach.stats().validations >= 1);
+    }
+
+    #[test]
+    fn validator_passes_exception_abort() {
+        // Raw stream: a failing CheckDiv inside the region is an exception
+        // abort (a trap outside); alt path returns 42.
+        let (p, cc) = install_uops(
+            vec![
+                Uop::Const {
+                    dst: MReg(0),
+                    imm: 0,
+                },
+                Uop::RegionBegin { region: 0, alt: 4 },
+                Uop::CheckDiv { v: MReg(0) },
+                Uop::RegionEnd { region: 0 },
+                Uop::Const {
+                    dst: MReg(0),
+                    imm: 42,
+                },
+                Uop::Ret { src: Some(MReg(0)) },
+            ],
+            1,
+        );
+        let mut hw = HwConfig::baseline();
+        hw.validate = true;
+        let mut mach = Machine::new(&p, &cc, hw);
+        let out = mach.run(&[]).expect("exception abort is recoverable");
+        assert_eq!(out, Some(Value::Int(42)));
+        assert_eq!(mach.stats().aborts.get(AbortReason::Exception), 1);
+        assert!(mach.stats().validations >= 1);
+    }
+
+    #[test]
+    fn hardware_misuse_is_a_structured_fault() {
+        type FaultCheck = fn(&MachineFault) -> bool;
+        let cases: Vec<(Vec<Uop>, FaultCheck)> = vec![
+            (
+                vec![Uop::Abort { assert_id: 0 }, Uop::Ret { src: None }],
+                |e| matches!(e, MachineFault::AbortOutsideRegion { pc: 0, .. }),
+            ),
+            (
+                vec![Uop::RegionEnd { region: 0 }, Uop::Ret { src: None }],
+                |e| matches!(e, MachineFault::EndOutsideRegion { pc: 0, .. }),
+            ),
+            (
+                vec![
+                    Uop::RegionBegin { region: 0, alt: 3 },
+                    Uop::RegionBegin { region: 1, alt: 3 },
+                    Uop::RegionEnd { region: 0 },
+                    Uop::Ret { src: None },
+                ],
+                |e| matches!(e, MachineFault::NestedRegion { pc: 1, .. }),
+            ),
+        ];
+        for (uops, check) in cases {
+            let (p, cc) = install_uops(uops, 1);
+            let mut mach = Machine::new(&p, &cc, HwConfig::baseline());
+            let err = mach.run(&[]).unwrap_err();
+            assert!(check(&err), "unexpected fault: {err}");
+        }
+    }
+
+    /// An always-aborting region in a counted loop: the governor must
+    /// de-speculate it and convert most entries into direct alt-path runs.
+    fn always_abort_loop(n: i64) -> (Program, CodeCache) {
+        install_uops(
+            vec![
+                Uop::Const {
+                    dst: MReg(0),
+                    imm: 0,
+                },
+                Uop::Const {
+                    dst: MReg(1),
+                    imm: n,
+                },
+                Uop::Const {
+                    dst: MReg(2),
+                    imm: 1,
+                },
+                Uop::Br {
+                    op: CmpOp::Ge,
+                    a: MReg(0),
+                    b: MReg(1),
+                    target: 8,
+                },
+                Uop::RegionBegin { region: 0, alt: 6 },
+                Uop::Abort { assert_id: 0 },
+                Uop::Alu {
+                    op: BinOp::Add,
+                    dst: MReg(0),
+                    a: MReg(0),
+                    b: MReg(2),
+                },
+                Uop::Jmp { target: 3 },
+                Uop::Ret { src: Some(MReg(0)) },
+            ],
+            3,
+        )
+    }
+
+    #[test]
+    fn governor_despeculates_sustained_abort_region() {
+        let (p, cc) = always_abort_loop(1000);
+        // Off: every entry aborts.
+        let mut mach = Machine::new(&p, &cc, HwConfig::baseline());
+        let out = mach.run(&[]).expect("run");
+        assert_eq!(out, Some(Value::Int(1000)));
+        assert_eq!(mach.stats().total_aborts(), 1000);
+
+        // On: streaks of `retry_budget` aborts, then exponentially growing
+        // skip windows; the alt path still runs every iteration.
+        let mut hw = HwConfig::baseline();
+        hw.validate = true;
+        hw.governor = GovernorConfig {
+            enabled: true,
+            retry_budget: 3,
+            cooldown_entries: 4,
+            max_cooldown: 64,
+        };
+        let mut mach = Machine::new(&p, &cc, hw);
+        let out = mach.run(&[]).expect("run");
+        assert_eq!(out, Some(Value::Int(1000)), "semantics preserved");
+        let s = mach.stats();
+        assert!(
+            s.governor_disables >= 2,
+            "sustained aborts must trip the budget repeatedly: {s:?}"
+        );
+        assert!(
+            s.governor_skips > 800,
+            "backoff must absorb most entries: {} skips",
+            s.governor_skips
+        );
+        assert!(
+            s.total_aborts() < 100,
+            "de-speculation must suppress aborts: {}",
+            s.total_aborts()
+        );
+        let region = s.per_region.values().next().expect("one region");
+        assert_eq!(region.gov_skips, s.governor_skips);
+    }
+
+    #[test]
+    fn governor_reenables_and_cooldown_decays_on_commit() {
+        // A region that aborts only while i < 32 and commits afterwards:
+        // the governor de-speculates during the abort phase, re-enables, and
+        // commits thereafter reset the streak (cooldown decays toward base).
+        let (p, cc) = install_uops(
+            vec![
+                Uop::Const {
+                    dst: MReg(0),
+                    imm: 0,
+                },
+                Uop::Const {
+                    dst: MReg(1),
+                    imm: 400,
+                },
+                Uop::Const {
+                    dst: MReg(2),
+                    imm: 1,
+                },
+                Uop::Const {
+                    dst: MReg(3),
+                    imm: 32,
+                },
+                // loop head
+                Uop::Br {
+                    op: CmpOp::Ge,
+                    a: MReg(0),
+                    b: MReg(1),
+                    target: 12,
+                },
+                Uop::RegionBegin { region: 0, alt: 10 },
+                // abort while i < 32
+                Uop::Br {
+                    op: CmpOp::Lt,
+                    a: MReg(0),
+                    b: MReg(3),
+                    target: 8,
+                },
+                Uop::Jmp { target: 9 },
+                Uop::Abort { assert_id: 0 },
+                Uop::RegionEnd { region: 0 },
+                // alt / join: i += 1
+                Uop::Alu {
+                    op: BinOp::Add,
+                    dst: MReg(0),
+                    a: MReg(0),
+                    b: MReg(2),
+                },
+                Uop::Jmp { target: 4 },
+                Uop::Ret { src: Some(MReg(0)) },
+            ],
+            4,
+        );
+        let mut hw = HwConfig::baseline();
+        hw.validate = true;
+        hw.governor = GovernorConfig {
+            enabled: true,
+            retry_budget: 2,
+            cooldown_entries: 4,
+            max_cooldown: 16,
+        };
+        let mut mach = Machine::new(&p, &cc, hw);
+        let out = mach.run(&[]).expect("run");
+        assert_eq!(out, Some(Value::Int(400)));
+        let s = mach.stats();
+        assert!(s.governor_disables >= 1, "{s:?}");
+        assert!(s.governor_reenables >= 1, "{s:?}");
+        assert!(
+            s.commits > 300,
+            "post-phase entries must speculate again: {} commits",
+            s.commits
+        );
+    }
+
+    #[test]
+    fn committed_region_end_falls_through_to_join() {
+        // Sanity for the two-phase program above: a committed region's end
+        // falls through to the shared join block.
+        let (p, cc) = install_uops(
+            vec![
+                Uop::RegionBegin { region: 0, alt: 2 },
+                Uop::RegionEnd { region: 0 },
+                Uop::Const {
+                    dst: MReg(0),
+                    imm: 9,
+                },
+                Uop::Ret { src: Some(MReg(0)) },
+            ],
+            1,
+        );
+        let mut hw = HwConfig::baseline();
+        hw.validate = true;
+        let mut mach = Machine::new(&p, &cc, hw);
+        let out = mach.run(&[]).expect("run");
+        assert_eq!(out, Some(Value::Int(9)));
+        assert_eq!(mach.stats().commits, 1);
+        assert!(mach.stats().validations >= 1);
+    }
+
+    #[test]
+    fn deterministic_injection_is_reproducible() {
+        let p = add_element_program(2000, 1 << 20);
+        let mut hw = HwConfig::baseline();
+        hw.faults = FaultPlan::conflicts(800);
+        let (_, _, cks_a, _, stats_a) = run_both(&p, &CompilerConfig::atomic(), hw.clone());
+        let (_, _, cks_b, _, stats_b) = run_both(&p, &CompilerConfig::atomic(), hw);
+        assert_eq!(cks_a, cks_b);
+        assert_eq!(stats_a.aborts.total(), stats_b.aborts.total());
+        assert_eq!(stats_a.cycles, stats_b.cycles);
+    }
 }

@@ -24,17 +24,36 @@ pub enum AbortReason {
     Interrupt,
     /// An SLE lock-word check found the lock held by another thread.
     Sle,
+    /// The substrate aborted for no architectural reason (spurious or
+    /// injected targeted abort — best-effort hardware is allowed to).
+    Spurious,
 }
 
 /// All abort reasons, for iteration.
-pub const ABORT_REASONS: [AbortReason; 6] = [
+pub const ABORT_REASONS: [AbortReason; 7] = [
     AbortReason::Explicit,
     AbortReason::Exception,
     AbortReason::Overflow,
     AbortReason::Conflict,
     AbortReason::Interrupt,
     AbortReason::Sle,
+    AbortReason::Spurious,
 ];
+
+impl AbortReason {
+    /// Report label.
+    pub fn name(self) -> &'static str {
+        match self {
+            AbortReason::Explicit => "explicit",
+            AbortReason::Exception => "exception",
+            AbortReason::Overflow => "overflow",
+            AbortReason::Conflict => "conflict",
+            AbortReason::Interrupt => "interrupt",
+            AbortReason::Sle => "sle",
+            AbortReason::Spurious => "spurious",
+        }
+    }
+}
 
 /// Dense per-reason abort counters.
 ///
@@ -183,6 +202,9 @@ pub struct RegionCounters {
     pub entries: u64,
     /// Aborts.
     pub aborts: u64,
+    /// Would-be entries the governor patched straight to the alternate PC
+    /// (de-speculated entries; not counted in `entries` — no region began).
+    pub gov_skips: u64,
 }
 
 /// One marker snapshot: the machine state when a marker uop retired.
@@ -238,6 +260,15 @@ pub struct RunStats {
     pub markers: Vec<MarkerSnap>,
     /// Mispredicted-branch sites: (method id, pc) → miss count (diagnosis).
     pub mispredict_sites: HashMap<(u32, usize), u64>,
+    /// Region entries the governor patched straight to the alternate PC.
+    pub governor_skips: u64,
+    /// Times the governor de-speculated a region (streak hit the budget).
+    pub governor_disables: u64,
+    /// Times a de-speculated region's cooldown expired and it re-enabled.
+    pub governor_reenables: u64,
+    /// Post-abort/post-commit invariant validations that ran (and passed —
+    /// a failing validation is a [`crate::fault::MachineFault`]).
+    pub validations: u64,
 }
 
 impl Default for RunStats {
@@ -261,6 +292,10 @@ impl Default for RunStats {
             per_region: HashMap::new(),
             markers: Vec::new(),
             mispredict_sites: HashMap::new(),
+            governor_skips: 0,
+            governor_disables: 0,
+            governor_reenables: 0,
+            validations: 0,
         }
     }
 }

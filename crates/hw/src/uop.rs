@@ -163,6 +163,22 @@ pub const UOP_CLASSES: [UopClass; 8] = [
     UopClass::Other,
 ];
 
+impl UopClass {
+    /// Report label (instruction-mix tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            UopClass::Alu => "alu",
+            UopClass::Branch => "branch",
+            UopClass::Memory => "memory",
+            UopClass::Alloc => "alloc",
+            UopClass::Check => "check",
+            UopClass::Call => "call",
+            UopClass::Region => "region",
+            UopClass::Other => "other",
+        }
+    }
+}
+
 impl Uop {
     /// The dense class index used for retirement tallies.
     pub fn class(&self) -> UopClass {

@@ -82,7 +82,7 @@ fn main() {
             // Contention scenario: other agents hammer the cache.
             let mut hw = HwConfig::baseline();
             hw.name = "chkpt+conflicts";
-            hw.conflict_per_miljon = 200;
+            hw.faults.conflict_per_miljon = 200;
             hw
         }),
     ] {

@@ -9,6 +9,9 @@ cargo build --release --workspace
 echo "== cargo test -q =="
 cargo test -q --workspace
 
+echo "== fault-campaign smoke (checksum equivalence under injected aborts) =="
+cargo run --release -p hasp-experiments --bin experiments -- faults --smoke
+
 echo "== cargo clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/governor-718dbbe2d627b699.d: crates/experiments/tests/governor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgovernor-718dbbe2d627b699.rmeta: crates/experiments/tests/governor.rs Cargo.toml
+
+crates/experiments/tests/governor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

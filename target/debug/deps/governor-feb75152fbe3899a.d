@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/governor-feb75152fbe3899a.d: crates/experiments/tests/governor.rs
+
+/root/repo/target/debug/deps/governor-feb75152fbe3899a: crates/experiments/tests/governor.rs
+
+crates/experiments/tests/governor.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/hasp_experiments-1340757a7c45d2af.d: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs Cargo.toml
+/root/repo/target/debug/deps/hasp_experiments-1340757a7c45d2af.d: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/faults.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs Cargo.toml
 
-/root/repo/target/debug/deps/libhasp_experiments-1340757a7c45d2af.rmeta: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs Cargo.toml
+/root/repo/target/debug/deps/libhasp_experiments-1340757a7c45d2af.rmeta: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/faults.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs Cargo.toml
 
 crates/experiments/src/lib.rs:
 crates/experiments/src/adaptive.rs:
+crates/experiments/src/faults.rs:
 crates/experiments/src/figures.rs:
 crates/experiments/src/report.rs:
 crates/experiments/src/runner.rs:

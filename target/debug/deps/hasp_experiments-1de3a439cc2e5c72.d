@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/hasp_experiments-1de3a439cc2e5c72.d: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs
+/root/repo/target/debug/deps/hasp_experiments-1de3a439cc2e5c72.d: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/faults.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs
 
-/root/repo/target/debug/deps/hasp_experiments-1de3a439cc2e5c72: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs
+/root/repo/target/debug/deps/hasp_experiments-1de3a439cc2e5c72: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/faults.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs
 
 crates/experiments/src/lib.rs:
 crates/experiments/src/adaptive.rs:
+crates/experiments/src/faults.rs:
 crates/experiments/src/figures.rs:
 crates/experiments/src/report.rs:
 crates/experiments/src/runner.rs:

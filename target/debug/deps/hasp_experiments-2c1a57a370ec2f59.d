@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/hasp_experiments-2c1a57a370ec2f59.d: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs
+/root/repo/target/debug/deps/hasp_experiments-2c1a57a370ec2f59.d: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/faults.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs
 
-/root/repo/target/debug/deps/libhasp_experiments-2c1a57a370ec2f59.rlib: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs
+/root/repo/target/debug/deps/libhasp_experiments-2c1a57a370ec2f59.rlib: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/faults.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs
 
-/root/repo/target/debug/deps/libhasp_experiments-2c1a57a370ec2f59.rmeta: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs
+/root/repo/target/debug/deps/libhasp_experiments-2c1a57a370ec2f59.rmeta: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/faults.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs
 
 crates/experiments/src/lib.rs:
 crates/experiments/src/adaptive.rs:
+crates/experiments/src/faults.rs:
 crates/experiments/src/figures.rs:
 crates/experiments/src/report.rs:
 crates/experiments/src/runner.rs:

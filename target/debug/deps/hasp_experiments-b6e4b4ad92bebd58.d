@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/hasp_experiments-b6e4b4ad92bebd58.d: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs Cargo.toml
+/root/repo/target/debug/deps/hasp_experiments-b6e4b4ad92bebd58.d: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/faults.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs Cargo.toml
 
-/root/repo/target/debug/deps/libhasp_experiments-b6e4b4ad92bebd58.rmeta: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs Cargo.toml
+/root/repo/target/debug/deps/libhasp_experiments-b6e4b4ad92bebd58.rmeta: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/faults.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs Cargo.toml
 
 crates/experiments/src/lib.rs:
 crates/experiments/src/adaptive.rs:
+crates/experiments/src/faults.rs:
 crates/experiments/src/figures.rs:
 crates/experiments/src/report.rs:
 crates/experiments/src/runner.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/hasp_hw-0d34870bb6e0f5fc.d: crates/hw/src/lib.rs crates/hw/src/bpred.rs crates/hw/src/cache.rs crates/hw/src/config.rs crates/hw/src/lineset.rs crates/hw/src/lower.rs crates/hw/src/machine.rs crates/hw/src/stats.rs crates/hw/src/uop.rs Cargo.toml
+/root/repo/target/debug/deps/hasp_hw-0d34870bb6e0f5fc.d: crates/hw/src/lib.rs crates/hw/src/bpred.rs crates/hw/src/cache.rs crates/hw/src/config.rs crates/hw/src/fault.rs crates/hw/src/lineset.rs crates/hw/src/lower.rs crates/hw/src/machine.rs crates/hw/src/stats.rs crates/hw/src/uop.rs Cargo.toml
 
-/root/repo/target/debug/deps/libhasp_hw-0d34870bb6e0f5fc.rmeta: crates/hw/src/lib.rs crates/hw/src/bpred.rs crates/hw/src/cache.rs crates/hw/src/config.rs crates/hw/src/lineset.rs crates/hw/src/lower.rs crates/hw/src/machine.rs crates/hw/src/stats.rs crates/hw/src/uop.rs Cargo.toml
+/root/repo/target/debug/deps/libhasp_hw-0d34870bb6e0f5fc.rmeta: crates/hw/src/lib.rs crates/hw/src/bpred.rs crates/hw/src/cache.rs crates/hw/src/config.rs crates/hw/src/fault.rs crates/hw/src/lineset.rs crates/hw/src/lower.rs crates/hw/src/machine.rs crates/hw/src/stats.rs crates/hw/src/uop.rs Cargo.toml
 
 crates/hw/src/lib.rs:
 crates/hw/src/bpred.rs:
 crates/hw/src/cache.rs:
 crates/hw/src/config.rs:
+crates/hw/src/fault.rs:
 crates/hw/src/lineset.rs:
 crates/hw/src/lower.rs:
 crates/hw/src/machine.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/hasp_hw-a8bc2cc825f597e5.d: crates/hw/src/lib.rs crates/hw/src/bpred.rs crates/hw/src/cache.rs crates/hw/src/config.rs crates/hw/src/lineset.rs crates/hw/src/lower.rs crates/hw/src/machine.rs crates/hw/src/stats.rs crates/hw/src/uop.rs
+/root/repo/target/debug/deps/hasp_hw-a8bc2cc825f597e5.d: crates/hw/src/lib.rs crates/hw/src/bpred.rs crates/hw/src/cache.rs crates/hw/src/config.rs crates/hw/src/fault.rs crates/hw/src/lineset.rs crates/hw/src/lower.rs crates/hw/src/machine.rs crates/hw/src/stats.rs crates/hw/src/uop.rs
 
-/root/repo/target/debug/deps/hasp_hw-a8bc2cc825f597e5: crates/hw/src/lib.rs crates/hw/src/bpred.rs crates/hw/src/cache.rs crates/hw/src/config.rs crates/hw/src/lineset.rs crates/hw/src/lower.rs crates/hw/src/machine.rs crates/hw/src/stats.rs crates/hw/src/uop.rs
+/root/repo/target/debug/deps/hasp_hw-a8bc2cc825f597e5: crates/hw/src/lib.rs crates/hw/src/bpred.rs crates/hw/src/cache.rs crates/hw/src/config.rs crates/hw/src/fault.rs crates/hw/src/lineset.rs crates/hw/src/lower.rs crates/hw/src/machine.rs crates/hw/src/stats.rs crates/hw/src/uop.rs
 
 crates/hw/src/lib.rs:
 crates/hw/src/bpred.rs:
 crates/hw/src/cache.rs:
 crates/hw/src/config.rs:
+crates/hw/src/fault.rs:
 crates/hw/src/lineset.rs:
 crates/hw/src/lower.rs:
 crates/hw/src/machine.rs:

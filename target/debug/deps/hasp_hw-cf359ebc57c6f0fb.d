@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/hasp_hw-cf359ebc57c6f0fb.d: crates/hw/src/lib.rs crates/hw/src/bpred.rs crates/hw/src/cache.rs crates/hw/src/config.rs crates/hw/src/lineset.rs crates/hw/src/lower.rs crates/hw/src/machine.rs crates/hw/src/stats.rs crates/hw/src/uop.rs
+/root/repo/target/debug/deps/hasp_hw-cf359ebc57c6f0fb.d: crates/hw/src/lib.rs crates/hw/src/bpred.rs crates/hw/src/cache.rs crates/hw/src/config.rs crates/hw/src/fault.rs crates/hw/src/lineset.rs crates/hw/src/lower.rs crates/hw/src/machine.rs crates/hw/src/stats.rs crates/hw/src/uop.rs
 
-/root/repo/target/debug/deps/libhasp_hw-cf359ebc57c6f0fb.rlib: crates/hw/src/lib.rs crates/hw/src/bpred.rs crates/hw/src/cache.rs crates/hw/src/config.rs crates/hw/src/lineset.rs crates/hw/src/lower.rs crates/hw/src/machine.rs crates/hw/src/stats.rs crates/hw/src/uop.rs
+/root/repo/target/debug/deps/libhasp_hw-cf359ebc57c6f0fb.rlib: crates/hw/src/lib.rs crates/hw/src/bpred.rs crates/hw/src/cache.rs crates/hw/src/config.rs crates/hw/src/fault.rs crates/hw/src/lineset.rs crates/hw/src/lower.rs crates/hw/src/machine.rs crates/hw/src/stats.rs crates/hw/src/uop.rs
 
-/root/repo/target/debug/deps/libhasp_hw-cf359ebc57c6f0fb.rmeta: crates/hw/src/lib.rs crates/hw/src/bpred.rs crates/hw/src/cache.rs crates/hw/src/config.rs crates/hw/src/lineset.rs crates/hw/src/lower.rs crates/hw/src/machine.rs crates/hw/src/stats.rs crates/hw/src/uop.rs
+/root/repo/target/debug/deps/libhasp_hw-cf359ebc57c6f0fb.rmeta: crates/hw/src/lib.rs crates/hw/src/bpred.rs crates/hw/src/cache.rs crates/hw/src/config.rs crates/hw/src/fault.rs crates/hw/src/lineset.rs crates/hw/src/lower.rs crates/hw/src/machine.rs crates/hw/src/stats.rs crates/hw/src/uop.rs
 
 crates/hw/src/lib.rs:
 crates/hw/src/bpred.rs:
 crates/hw/src/cache.rs:
 crates/hw/src/config.rs:
+crates/hw/src/fault.rs:
 crates/hw/src/lineset.rs:
 crates/hw/src/lower.rs:
 crates/hw/src/machine.rs:

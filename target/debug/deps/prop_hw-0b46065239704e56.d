@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_hw-0b46065239704e56.d: tests/prop_hw.rs
+
+/root/repo/target/debug/deps/prop_hw-0b46065239704e56: tests/prop_hw.rs
+
+tests/prop_hw.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_hw-e139d1e73d8e8194.d: tests/prop_hw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_hw-e139d1e73d8e8194.rmeta: tests/prop_hw.rs Cargo.toml
+
+tests/prop_hw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/governor-e278cdbffd4ec2b0.d: crates/experiments/tests/governor.rs
+
+/root/repo/target/release/deps/governor-e278cdbffd4ec2b0: crates/experiments/tests/governor.rs
+
+crates/experiments/tests/governor.rs:

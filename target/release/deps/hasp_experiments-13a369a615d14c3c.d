@@ -1,9 +1,10 @@
-/root/repo/target/release/deps/hasp_experiments-13a369a615d14c3c.d: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs
+/root/repo/target/release/deps/hasp_experiments-13a369a615d14c3c.d: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/faults.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs
 
-/root/repo/target/release/deps/hasp_experiments-13a369a615d14c3c: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs
+/root/repo/target/release/deps/hasp_experiments-13a369a615d14c3c: crates/experiments/src/lib.rs crates/experiments/src/adaptive.rs crates/experiments/src/faults.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/suite.rs
 
 crates/experiments/src/lib.rs:
 crates/experiments/src/adaptive.rs:
+crates/experiments/src/faults.rs:
 crates/experiments/src/figures.rs:
 crates/experiments/src/report.rs:
 crates/experiments/src/runner.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/release/deps/hasp_hw-dce372918cc729f8.d: crates/hw/src/lib.rs crates/hw/src/bpred.rs crates/hw/src/cache.rs crates/hw/src/config.rs crates/hw/src/lineset.rs crates/hw/src/lower.rs crates/hw/src/machine.rs crates/hw/src/stats.rs crates/hw/src/uop.rs
+/root/repo/target/release/deps/hasp_hw-dce372918cc729f8.d: crates/hw/src/lib.rs crates/hw/src/bpred.rs crates/hw/src/cache.rs crates/hw/src/config.rs crates/hw/src/fault.rs crates/hw/src/lineset.rs crates/hw/src/lower.rs crates/hw/src/machine.rs crates/hw/src/stats.rs crates/hw/src/uop.rs
 
-/root/repo/target/release/deps/libhasp_hw-dce372918cc729f8.rlib: crates/hw/src/lib.rs crates/hw/src/bpred.rs crates/hw/src/cache.rs crates/hw/src/config.rs crates/hw/src/lineset.rs crates/hw/src/lower.rs crates/hw/src/machine.rs crates/hw/src/stats.rs crates/hw/src/uop.rs
+/root/repo/target/release/deps/libhasp_hw-dce372918cc729f8.rlib: crates/hw/src/lib.rs crates/hw/src/bpred.rs crates/hw/src/cache.rs crates/hw/src/config.rs crates/hw/src/fault.rs crates/hw/src/lineset.rs crates/hw/src/lower.rs crates/hw/src/machine.rs crates/hw/src/stats.rs crates/hw/src/uop.rs
 
-/root/repo/target/release/deps/libhasp_hw-dce372918cc729f8.rmeta: crates/hw/src/lib.rs crates/hw/src/bpred.rs crates/hw/src/cache.rs crates/hw/src/config.rs crates/hw/src/lineset.rs crates/hw/src/lower.rs crates/hw/src/machine.rs crates/hw/src/stats.rs crates/hw/src/uop.rs
+/root/repo/target/release/deps/libhasp_hw-dce372918cc729f8.rmeta: crates/hw/src/lib.rs crates/hw/src/bpred.rs crates/hw/src/cache.rs crates/hw/src/config.rs crates/hw/src/fault.rs crates/hw/src/lineset.rs crates/hw/src/lower.rs crates/hw/src/machine.rs crates/hw/src/stats.rs crates/hw/src/uop.rs
 
 crates/hw/src/lib.rs:
 crates/hw/src/bpred.rs:
 crates/hw/src/cache.rs:
 crates/hw/src/config.rs:
+crates/hw/src/fault.rs:
 crates/hw/src/lineset.rs:
 crates/hw/src/lower.rs:
 crates/hw/src/machine.rs:

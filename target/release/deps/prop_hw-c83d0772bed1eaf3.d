@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_hw-c83d0772bed1eaf3.d: tests/prop_hw.rs
+
+/root/repo/target/release/deps/prop_hw-c83d0772bed1eaf3: tests/prop_hw.rs
+
+tests/prop_hw.rs:

@@ -79,8 +79,8 @@ fn conflicts_and_interrupts_stay_transparent_on_real_workload() {
     let profiled = profile_workload(w);
     let mut hw = HwConfig::baseline();
     hw.name = "chkpt+hostile";
-    hw.conflict_per_miljon = 300;
-    hw.interrupt_interval = 50_000;
+    hw.faults.conflict_per_miljon = 300;
+    hw.faults.interrupt_interval = 50_000;
     let run = run_workload(w, &profiled, &CompilerConfig::atomic(), &hw);
     assert!(
         run.stats.total_aborts() > 0,

@@ -2,7 +2,7 @@
 //! checked casts, monitor nesting) between the interpreter and the machine,
 //! plus trap behavior inside and outside atomic regions.
 
-use hasp_hw::{lower, CodeCache, HwConfig, Machine};
+use hasp_hw::{lower, CodeCache, HwConfig, Machine, MachineFault};
 use hasp_opt::{compile_program, CompilerConfig};
 use hasp_vm::builder::ProgramBuilder;
 use hasp_vm::bytecode::{BinOp, CmpOp};
@@ -108,10 +108,10 @@ fn downcast_failure_traps_identically() {
     let merr = mach.run(&[]).unwrap_err();
     assert!(matches!(
         merr,
-        VmError::Trap {
+        MachineFault::Vm(VmError::Trap {
             trap: Trap::ClassCast,
             ..
-        }
+        })
     ));
 }
 
