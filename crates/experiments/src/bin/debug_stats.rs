@@ -1,5 +1,5 @@
 //! Debug helper: per-config machine statistics for one workload.
-use hasp_experiments::{profile_workload, run_workload};
+use hasp_experiments::{compile_workload, profile_workload, run_workload};
 use hasp_hw::HwConfig;
 use hasp_opt::CompilerConfig;
 
@@ -14,19 +14,40 @@ fn main() {
         CompilerConfig::no_atomic_aggressive(),
         CompilerConfig::atomic_aggressive(),
     ] {
+        let t0 = std::time::Instant::now();
         let r = run_workload(w, &p, &cfg, &HwConfig::baseline());
+        let wall = t0.elapsed().as_secs_f64();
         let s = &r.stats;
         println!(
-            "{:22} uops {:9} cyc {:9} | br {:8} miss {:7} ind {:7}/{:6} | l1 {:8} l2 {:6} mem {:6} | commits {:7} aborts {:5} cov {:.2} size {:.0} static {:6}",
+            "{:22} uops {:9} cyc {:9} | br {:8} miss {:7} ind {:7}/{:6} | l1 {:8} l2 {:6} mem {:6} | commits {:7} aborts {:5} cov {:.2} size {:.0} static {:6} | {:6.2}M uops/s",
             cfg.name, s.uops, s.cycles, s.branches, s.mispredicts, s.indirects,
             s.indirect_misses, s.l1_hits, s.l2_hits,
             s.mem_accesses - s.l1_hits - s.l2_hits,
             s.commits, s.total_aborts(), s.coverage(), s.avg_region_size(), r.static_uops,
+            s.uops as f64 / wall / 1e6,
         );
+        let mix: Vec<String> = s
+            .uop_classes
+            .iter_nonzero()
+            .map(|(c, n)| format!("{} {}", c.name(), n))
+            .collect();
+        println!("      mix: {}", mix.join(" | "));
         let mut sites: Vec<_> = s.mispredict_sites.iter().collect();
         sites.sort_by_key(|(_, n)| std::cmp::Reverse(**n));
         for ((mth, pc), n) in sites.into_iter().take(4) {
             println!("      miss site m{mth}:{pc} = {n}");
+        }
+        let compiled = compile_workload(w, &p, &cfg);
+        let mut methods: Vec<_> = compiled.code.iter().collect();
+        methods.sort_by_key(|(m, _)| m.0);
+        for (m, c) in methods {
+            println!(
+                "      method m{} {:24} uops {:5} regs {:4}",
+                m.0,
+                c.name,
+                c.uops.len(),
+                c.regs
+            );
         }
     }
 }

@@ -1,0 +1,221 @@
+//! Microbenchmark for the machine's dispatch engines: every suite workload
+//! executed under per-uop dispatch and under superblock dispatch, reporting
+//! retired uops/second for both and the speedup ratio. This quantifies the
+//! tentpole claim that batched superblock accounting (one frame borrow, one
+//! fuel/stats update per block) beats the per-uop reference loop — while
+//! `tests/dispatch_equivalence.rs` proves the two are bit-identical.
+//!
+//! The artifact is `BENCH_dispatch.json`; the suite geomean speedup is the
+//! headline number.
+
+use std::time::Instant;
+
+use hasp_hw::{Dispatch, HwConfig};
+use hasp_opt::CompilerConfig;
+use hasp_workloads::all_workloads;
+
+use crate::report::{num, JsonArr, JsonObj, Table};
+use crate::runner::{compile_workload, execute_compiled, profile_workload};
+
+/// Timed executions per (workload × mode); the minimum wall time is kept so
+/// scheduler noise inflates neither leg.
+const REPS: usize = 5;
+
+/// One workload's measurement under both dispatch engines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchRow {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Retired uops per run (identical across modes by construction).
+    pub uops: u64,
+    /// Best-of-[`REPS`] wall seconds under per-uop dispatch.
+    pub per_uop_s: f64,
+    /// Best-of-[`REPS`] wall seconds under superblock dispatch.
+    pub superblock_s: f64,
+}
+
+impl DispatchRow {
+    /// Retired uops per wall second under per-uop dispatch.
+    pub fn per_uop_rate(&self) -> f64 {
+        self.uops as f64 / self.per_uop_s
+    }
+
+    /// Retired uops per wall second under superblock dispatch.
+    pub fn superblock_rate(&self) -> f64 {
+        self.uops as f64 / self.superblock_s
+    }
+
+    /// Superblock speedup over per-uop (ratio of uops/sec; >1 is faster).
+    pub fn speedup(&self) -> f64 {
+        self.per_uop_s / self.superblock_s
+    }
+}
+
+/// The dispatch benchmark result over the workload suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchBenchReport {
+    /// Per-workload measurements.
+    pub rows: Vec<DispatchRow>,
+}
+
+impl DispatchBenchReport {
+    /// Geometric-mean speedup across the suite (the headline number).
+    pub fn geomean_speedup(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = self.rows.iter().map(|r| r.speedup().ln()).sum();
+        (log_sum / self.rows.len() as f64).exp()
+    }
+
+    /// Renders the benchmark table.
+    pub fn table(&self) -> String {
+        let mut t = Table::new(
+            "Dispatch engines: per-uop vs superblock (retired uops/sec)",
+            &["workload", "uops", "per-uop/s", "superblock/s", "speedup"],
+        );
+        for r in &self.rows {
+            t.row(&[
+                r.workload.into(),
+                r.uops.to_string(),
+                format!("{:.2}M", r.per_uop_rate() / 1e6),
+                format!("{:.2}M", r.superblock_rate() / 1e6),
+                format!("{}x", num(r.speedup(), 2)),
+            ]);
+        }
+        t.row(&[
+            "geomean".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            format!("{}x", num(self.geomean_speedup(), 2)),
+        ]);
+        t.render()
+    }
+
+    /// Serializes the report as the `BENCH_dispatch.json` artifact.
+    pub fn json(&self, smoke: bool, wall_s: f64) -> String {
+        let mut rows = JsonArr::new();
+        for r in &self.rows {
+            rows = rows.obj(
+                JsonObj::new()
+                    .str("workload", r.workload)
+                    .int("uops", r.uops)
+                    .num("per_uop_s", r.per_uop_s)
+                    .num("superblock_s", r.superblock_s)
+                    .num("per_uop_uops_per_s", r.per_uop_rate())
+                    .num("superblock_uops_per_s", r.superblock_rate())
+                    .num("speedup", r.speedup()),
+            );
+        }
+        JsonObj::new()
+            .str("schema", "hasp-bench-dispatch-v1")
+            .bool("smoke", smoke)
+            .int("reps", REPS as u64)
+            .num("wall_s", wall_s)
+            .int("workloads", self.rows.len() as u64)
+            .num("geomean_speedup", self.geomean_speedup())
+            .arr("per_workload", rows)
+            .finish()
+    }
+}
+
+/// Runs the dispatch benchmark. Smoke mode restricts to two representative
+/// workloads (fop, pmd) — the CI-sized slice `scripts/check.sh` runs.
+///
+/// Profiling and compilation happen once per workload outside the timed
+/// region; both engines then execute the *same* compiled code, so the only
+/// measured difference is the dispatch loop itself.
+pub fn run_bench(smoke: bool) -> DispatchBenchReport {
+    let mut workloads = all_workloads();
+    if smoke {
+        workloads.retain(|w| w.name == "fop" || w.name == "pmd");
+    }
+    let ccfg = CompilerConfig::atomic_aggressive();
+    let sb_hw = HwConfig::baseline();
+    let pu_hw = HwConfig::per_uop();
+    debug_assert_eq!(sb_hw.dispatch, Dispatch::Superblock);
+    debug_assert_eq!(pu_hw.dispatch, Dispatch::PerUop);
+
+    let rows = workloads
+        .iter()
+        .map(|w| {
+            let profiled = profile_workload(w);
+            let compiled = compile_workload(w, &profiled, &ccfg);
+            let timed = |hw: &HwConfig| {
+                // One warm-up run (not timed) populates allocator and branch
+                // state, then best-of-REPS.
+                let warm = execute_compiled(w, &profiled, &compiled, hw);
+                let mut best = f64::INFINITY;
+                for _ in 0..REPS {
+                    let t0 = Instant::now();
+                    let run = execute_compiled(w, &profiled, &compiled, hw);
+                    best = best.min(t0.elapsed().as_secs_f64());
+                    assert_eq!(run.stats.uops, warm.stats.uops, "{}", w.name);
+                }
+                (best, warm.stats.uops)
+            };
+            let (per_uop_s, pu_uops) = timed(&pu_hw);
+            let (superblock_s, sb_uops) = timed(&sb_hw);
+            assert_eq!(
+                pu_uops, sb_uops,
+                "{}: engines retired different uop counts",
+                w.name
+            );
+            DispatchRow {
+                workload: w.name,
+                uops: sb_uops,
+                per_uop_s,
+                superblock_s,
+            }
+        })
+        .collect();
+
+    DispatchBenchReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_and_rates_are_consistent() {
+        let report = DispatchBenchReport {
+            rows: vec![
+                DispatchRow {
+                    workload: "a",
+                    uops: 1_000_000,
+                    per_uop_s: 0.2,
+                    superblock_s: 0.1,
+                },
+                DispatchRow {
+                    workload: "b",
+                    uops: 2_000_000,
+                    per_uop_s: 0.8,
+                    superblock_s: 0.1,
+                },
+            ],
+        };
+        assert!((report.rows[0].speedup() - 2.0).abs() < 1e-12);
+        assert!((report.rows[1].speedup() - 8.0).abs() < 1e-12);
+        // geomean(2, 8) = 4.
+        assert!((report.geomean_speedup() - 4.0).abs() < 1e-12);
+        assert!((report.rows[0].superblock_rate() - 1e7).abs() < 1e-3);
+        let json = report.json(false, 1.0);
+        assert!(json.contains("\"schema\": \"hasp-bench-dispatch-v1\""));
+        assert!(json.contains("\"geomean_speedup\": 4.000000"));
+        let table = report.table();
+        assert!(table.contains("geomean"));
+    }
+
+    #[test]
+    fn smoke_bench_measures_both_engines() {
+        let report = run_bench(true);
+        assert_eq!(report.rows.len(), 2);
+        for r in &report.rows {
+            assert!(r.uops > 0);
+            assert!(r.per_uop_s > 0.0 && r.superblock_s > 0.0);
+        }
+        assert!(report.geomean_speedup() > 0.0);
+    }
+}

@@ -16,13 +16,15 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod dispatch_bench;
 pub mod faults;
 pub mod figures;
 pub mod report;
 pub mod runner;
 pub mod suite;
 
-pub use faults::{run_campaign, CampaignReport, FaultCell};
+pub use dispatch_bench::{DispatchBenchReport, DispatchRow};
+pub use faults::{run_campaign, sweep_rates, CampaignReport, FaultCell};
 pub use runner::{
     compile_workload, execute_compiled, profile_workload, run_workload, try_execute_compiled,
     CellError, CompiledWorkload, ProfiledWorkload, SampleMeasure, WorkloadRun,

@@ -3,16 +3,22 @@
 //! experiment pipeline over the full evaluation matrix and writes
 //! `BENCH_suite.json`, or — with the `faults` subcommand — runs the
 //! fault-injection campaign and writes the `BENCH_faults.json` resilience
-//! report (`faults --smoke` for the CI-sized slice).
+//! report (`faults --smoke` for the CI-sized slice), or — with the
+//! `bench-dispatch` subcommand — races the per-uop and superblock dispatch
+//! engines over the suite and writes `BENCH_dispatch.json`.
 
 use hasp_experiments::figures;
 use hasp_experiments::report::JsonObj;
-use hasp_experiments::{faults, Suite};
+use hasp_experiments::{dispatch_bench, faults, Suite};
 
 fn main() {
     match std::env::args().nth(1).as_deref() {
         None => print_figures(),
         Some("bench-suite") => bench_suite(),
+        Some("bench-dispatch") => {
+            let smoke = std::env::args().any(|a| a == "--smoke");
+            bench_dispatch(smoke);
+        }
         Some("faults") => {
             let smoke = std::env::args().any(|a| a == "--smoke");
             fault_campaign(smoke);
@@ -20,11 +26,35 @@ fn main() {
         Some(other) => {
             eprintln!(
                 "unknown subcommand `{other}` (expected no argument, `bench-suite`, \
-                 or `faults [--smoke]`)"
+                 `bench-dispatch [--smoke]`, or `faults [--smoke]`)"
             );
             std::process::exit(2);
         }
     }
+}
+
+fn bench_dispatch(smoke: bool) {
+    eprintln!(
+        "bench-dispatch: {} sweep, per-uop vs superblock",
+        if smoke { "smoke" } else { "full" }
+    );
+    let t0 = std::time::Instant::now();
+    let report = dispatch_bench::run_bench(smoke);
+    let wall = t0.elapsed().as_secs_f64();
+    print!("{}", report.table());
+    let json = report.json(smoke, wall);
+    // The smoke slice goes to its own file so a CI run never clobbers the
+    // committed full-suite artifact.
+    let path = if smoke {
+        "BENCH_dispatch_smoke.json"
+    } else {
+        "BENCH_dispatch.json"
+    };
+    std::fs::write(path, &json).expect("write dispatch bench artifact");
+    eprintln!(
+        "wrote {path} (geomean speedup {:.2}x in {wall:.1}s)",
+        report.geomean_speedup()
+    );
 }
 
 fn fault_campaign(smoke: bool) {

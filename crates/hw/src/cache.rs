@@ -7,6 +7,13 @@
 //! to observe invalidations. Flash clear operations are used to commit
 //! and/or abort speculative state." Evicting a speculatively-accessed line
 //! overflows the region (best-effort hardware → abort).
+//!
+//! The flash clear itself is modeled the way real hardware builds it: the
+//! speculative R/W "bits" are epoch tags compared against a region epoch, so
+//! a commit clears every line's speculative state by bumping one counter —
+//! O(1), like the single wired clear line it models — instead of sweeping
+//! the array. Aborts still sweep, but only to invalidate speculatively
+//! written lines, and aborts are the rare case.
 
 use crate::config::HwConfig;
 
@@ -21,13 +28,37 @@ pub enum HitLevel {
     Memory,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+/// Epoch value meaning "bit never set" (no region epoch ever matches it).
+const NEVER: u64 = 0;
+
+#[derive(Debug, Clone, Copy)]
 struct Line {
     tag: u64,
     valid: bool,
     lru: u64,
-    spec_read: bool,
-    spec_write: bool,
+    /// Region epoch in which this line was last speculatively read; the
+    /// read bit is "set" iff this equals the cache's current epoch.
+    spec_read_epoch: u64,
+    /// Region epoch in which this line was last speculatively written.
+    spec_write_epoch: u64,
+}
+
+impl Default for Line {
+    fn default() -> Self {
+        Line {
+            tag: 0,
+            valid: false,
+            lru: 0,
+            spec_read_epoch: NEVER,
+            spec_write_epoch: NEVER,
+        }
+    }
+}
+
+impl Line {
+    fn spec(&self, epoch: u64) -> bool {
+        self.spec_read_epoch == epoch || self.spec_write_epoch == epoch
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -69,7 +100,7 @@ impl Level {
 
     /// Installs a line, returning the evicted line if it had speculative
     /// bits set (overflow signal); prefers evicting non-speculative lines.
-    fn install(&mut self, line_addr: u64) -> (usize, bool) {
+    fn install(&mut self, line_addr: u64, epoch: u64) -> (usize, bool) {
         self.tick += 1;
         let r = self.set_range(line_addr);
         // Choose victim: invalid > non-speculative LRU > speculative LRU.
@@ -79,7 +110,7 @@ impl Level {
             let l = &self.lines[i];
             let class = if !l.valid {
                 0
-            } else if !l.spec_read && !l.spec_write {
+            } else if !l.spec(epoch) {
                 1
             } else {
                 2
@@ -89,14 +120,13 @@ impl Level {
                 victim = i;
             }
         }
-        let overflow = self.lines[victim].valid
-            && (self.lines[victim].spec_read || self.lines[victim].spec_write);
+        let overflow = self.lines[victim].valid && self.lines[victim].spec(epoch);
         self.lines[victim] = Line {
             tag: line_addr,
             valid: true,
             lru: self.tick,
-            spec_read: false,
-            spec_write: false,
+            spec_read_epoch: NEVER,
+            spec_write_epoch: NEVER,
         };
         (victim, overflow)
     }
@@ -108,6 +138,9 @@ pub struct CacheSim {
     l1: Level,
     l2: Level,
     line_bytes: u64,
+    /// Current region epoch; starts above [`NEVER`] so default lines are
+    /// never speculative.
+    epoch: u64,
 }
 
 impl CacheSim {
@@ -117,6 +150,7 @@ impl CacheSim {
             l1: Level::new(cfg.l1_sets(), cfg.l1_ways),
             l2: Level::new(cfg.l2_sets(), cfg.l2_ways),
             line_bytes: cfg.line_bytes,
+            epoch: NEVER + 1,
         }
     }
 
@@ -137,29 +171,27 @@ impl CacheSim {
                 let level = if self.l2.lookup(line).is_some() {
                     HitLevel::L2
                 } else {
-                    self.l2.install(line);
+                    self.l2.install(line, NEVER);
                     HitLevel::Memory
                 };
-                let (i, ovf) = self.l1.install(line);
+                let (i, ovf) = self.l1.install(line, self.epoch);
                 (level, i, ovf)
             }
         };
         if speculative {
             if write {
-                self.l1.lines[idx].spec_write = true;
+                self.l1.lines[idx].spec_write_epoch = self.epoch;
             } else {
-                self.l1.lines[idx].spec_read = true;
+                self.l1.lines[idx].spec_read_epoch = self.epoch;
             }
         }
         (level, overflow)
     }
 
-    /// Commits the current region: flash-clears all speculative bits.
+    /// Commits the current region: flash-clears all speculative bits (a
+    /// single epoch bump — the O(1) wired clear the paper describes).
     pub fn commit_region(&mut self) {
-        for l in &mut self.l1.lines {
-            l.spec_read = false;
-            l.spec_write = false;
-        }
+        self.epoch += 1;
     }
 
     /// Aborts the current region: speculatively-written lines are
@@ -167,12 +199,11 @@ impl CacheSim {
     /// log); read bits are flash-cleared.
     pub fn abort_region(&mut self) {
         for l in &mut self.l1.lines {
-            if l.spec_write {
+            if l.spec_write_epoch == self.epoch {
                 l.valid = false;
             }
-            l.spec_read = false;
-            l.spec_write = false;
         }
+        self.epoch += 1;
     }
 
     /// Number of L1 lines currently holding speculative state.
@@ -180,7 +211,7 @@ impl CacheSim {
         self.l1
             .lines
             .iter()
-            .filter(|l| l.valid && (l.spec_read || l.spec_write))
+            .filter(|l| l.valid && l.spec(self.epoch))
             .count()
     }
 
@@ -193,10 +224,10 @@ impl CacheSim {
         for i in r {
             let l = &mut self.l1.lines[i];
             if l.valid && l.tag == line {
-                let conflict = l.spec_read || l.spec_write;
+                let conflict = l.spec(self.epoch);
                 l.valid = false;
-                l.spec_read = false;
-                l.spec_write = false;
+                l.spec_read_epoch = NEVER;
+                l.spec_write_epoch = NEVER;
                 return conflict;
             }
         }
@@ -292,5 +323,24 @@ mod tests {
         c.access(0x6000, false, false);
         c.commit_region();
         assert!(!c.invalidate(0x6000), "non-speculative line: no conflict");
+    }
+
+    #[test]
+    fn epoch_clear_does_not_leak_stale_bits_across_regions() {
+        let mut c = sim();
+        // Region 1 touches a line speculatively, commits.
+        c.access(0x7000, true, true);
+        c.commit_region();
+        assert_eq!(c.spec_lines(), 0);
+        // Region 2 re-touches the same line non-speculatively: still clean.
+        c.access(0x7000, false, false);
+        assert_eq!(c.spec_lines(), 0);
+        // A conflict probe on it must not see region 1's stale write bit.
+        assert!(!c.invalidate(0x7000));
+        // Region 3: the line is speculative again only once re-marked.
+        c.access(0x8000, false, true);
+        c.abort_region();
+        c.access(0x8000, false, true);
+        assert_eq!(c.spec_lines(), 1);
     }
 }

@@ -3,6 +3,27 @@
 
 use crate::fault::{FaultPlan, GovernorConfig};
 
+/// How [`Machine::exec`](crate::machine::Machine) walks the uop stream.
+///
+/// Both modes are observably identical — same checksums, same [`RunStats`]
+/// (uops, cycles, aborts, class mix), same marker snaps — which the
+/// dispatch-equivalence gate asserts on every suite workload. `PerUop` is
+/// the reference interpretation; `Superblock` is the production hot path.
+///
+/// [`RunStats`]: crate::stats::RunStats
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dispatch {
+    /// Reference interpretation: fetch, account, and execute one uop at a
+    /// time. Always used when per-uop fault injection or the invariant
+    /// validator is armed, so injected-fault results stay bit-identical.
+    PerUop,
+    /// Decoded superblock cache: dispatch maximal straight-line runs with
+    /// one batched fuel/stats update per block from metadata precomputed at
+    /// `CodeCache` install time.
+    #[default]
+    Superblock,
+}
+
 /// Parameters of the simulated machine.
 ///
 /// Defaults reproduce Table 1: a 4.0 GHz, 4-wide out-of-order core with a
@@ -58,6 +79,8 @@ pub struct HwConfig {
     pub validate: bool,
     /// The online abort-recovery governor policy.
     pub governor: GovernorConfig,
+    /// Uop-stream dispatch strategy (see [`Dispatch`]).
+    pub dispatch: Dispatch,
 }
 
 impl HwConfig {
@@ -84,6 +107,17 @@ impl HwConfig {
             faults: FaultPlan::none(),
             validate: false,
             governor: GovernorConfig::off(),
+            dispatch: Dispatch::Superblock,
+        }
+    }
+
+    /// The baseline machine forced onto the reference per-uop dispatch path
+    /// (the "before" side of the dispatch benchmark and equivalence gate).
+    pub fn per_uop() -> Self {
+        HwConfig {
+            name: "chkpt-4wide-peruop",
+            dispatch: Dispatch::PerUop,
+            ..HwConfig::baseline()
         }
     }
 
@@ -169,6 +203,18 @@ mod tests {
         assert_eq!(c.faults, FaultPlan::none());
         assert!(!c.validate);
         assert!(!c.governor.enabled);
+    }
+
+    #[test]
+    fn baseline_dispatches_superblocks_and_per_uop_variant_does_not() {
+        assert_eq!(HwConfig::baseline().dispatch, Dispatch::Superblock);
+        let r = HwConfig::per_uop();
+        assert_eq!(r.dispatch, Dispatch::PerUop);
+        // Identical timing model — only the dispatch strategy differs.
+        let mut b = HwConfig::baseline();
+        b.name = r.name;
+        b.dispatch = Dispatch::PerUop;
+        assert_eq!(b, r);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! * [`bpred`] — tournament + indirect branch predictors.
 //! * [`machine`] — the functional executor with checkpoint/rollback and the
 //!   interval timing model, including the Figure 9 sensitivity knobs.
+//! * [`superblock`] — the decoded superblock index behind the batched
+//!   dispatch hot path (built at code-cache install time).
 //! * [`config`] — Table 1 parameters and §6.3 variants.
 //! * [`stats`] — uops/cycles/coverage/abort statistics (Tables 3, Fig. 8/9).
 //! * [`fault`] — deterministic fault injection ([`FaultPlan`]), the online
@@ -28,14 +30,16 @@ pub mod bpred;
 pub mod cache;
 pub mod config;
 pub mod fault;
+pub mod fxhash;
 pub mod lineset;
 pub mod lower;
 pub mod machine;
 pub mod stats;
+pub mod superblock;
 pub mod uop;
 
 pub use cache::{CacheSim, HitLevel};
-pub use config::HwConfig;
+pub use config::{Dispatch, HwConfig};
 pub use fault::{FaultKind, FaultPlan, GovernorConfig, MachineFault, FAULT_KINDS};
 pub use lower::lower;
 pub use machine::Machine;

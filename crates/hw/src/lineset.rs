@@ -1,17 +1,39 @@
-//! A dense, sorted small-vector set of cache-line indices.
+//! A hybrid set of cache-line indices: dense sorted small-vector under a
+//! spill threshold, hash-set above it.
 //!
 //! Atomic-region footprints are tiny — §6.2 measures most regions under 10
 //! distinct lines and 50 lines covering 99% — so the per-uop cost of
 //! tracking the footprint is dominated by data-structure constants, not
 //! asymptotics. A sorted `Vec<u64>` with binary-search insertion beats a
-//! `HashSet<u64>` here: no hashing, no buckets, one contiguous allocation
+//! `HashSet<u64>` there: no hashing, no buckets, one contiguous allocation
 //! that the machine recycles across regions (see `Machine`'s scratch
 //! buffers), and cache-friendly membership probes.
+//!
+//! The tail matters too, though: overflow-style experiments (whole-loop
+//! encapsulation, large speculative budgets) can push a single region to
+//! thousands of distinct lines, where `Vec::insert`'s O(n) shifting turns
+//! quadratic. Past [`SPILL_LINES`] distinct lines the set spills into a
+//! `HashSet` — O(1) inserts — and stays there for the region's lifetime.
+//! Both representations answer insert/contains/len identically (a proptest
+//! in `tests/prop_hw.rs` drives them against each other across the
+//! threshold).
 
-/// A sorted set of cache-line indices backed by a small vector.
+use std::collections::HashSet;
+
+/// Distinct-line count beyond which the dense sorted vector spills to a
+/// hash set. Far above any committed region footprint in the paper's data,
+/// and small enough that pre-spill inserts stay cheap.
+pub const SPILL_LINES: usize = 256;
+
+/// A set of cache-line indices: sorted small-vector, spilling to a hash set
+/// past [`SPILL_LINES`] distinct entries.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LineSet {
+    /// Dense representation (sorted, deduplicated); emptied on spill but
+    /// kept allocated so [`LineSet::into_buffer`] recycling still works.
     lines: Vec<u64>,
+    /// Spilled representation; `Some` once the set outgrew the vector.
+    spill: Option<HashSet<u64>>,
 }
 
 impl LineSet {
@@ -23,15 +45,24 @@ impl LineSet {
     /// An empty set reusing `buf`'s allocation (cleared first).
     pub fn from_buffer(mut buf: Vec<u64>) -> Self {
         buf.clear();
-        LineSet { lines: buf }
+        LineSet {
+            lines: buf,
+            spill: None,
+        }
     }
 
     /// Inserts a line index; returns `true` if it was not already present.
     pub fn insert(&mut self, line: u64) -> bool {
+        if let Some(set) = &mut self.spill {
+            return set.insert(line);
+        }
         match self.lines.binary_search(&line) {
             Ok(_) => false,
             Err(pos) => {
                 self.lines.insert(pos, line);
+                if self.lines.len() > SPILL_LINES {
+                    self.spill = Some(self.lines.drain(..).collect());
+                }
                 true
             }
         }
@@ -39,25 +70,51 @@ impl LineSet {
 
     /// Membership test.
     pub fn contains(&self, line: u64) -> bool {
-        self.lines.binary_search(&line).is_ok()
+        match &self.spill {
+            Some(set) => set.contains(&line),
+            None => self.lines.binary_search(&line).is_ok(),
+        }
     }
 
     /// Number of distinct lines.
     pub fn len(&self) -> usize {
-        self.lines.len()
+        match &self.spill {
+            Some(set) => set.len(),
+            None => self.lines.len(),
+        }
     }
 
     /// True when no lines are tracked.
     pub fn is_empty(&self) -> bool {
-        self.lines.is_empty()
+        self.len() == 0
     }
 
-    /// The sorted line indices.
+    /// True once the set has spilled out of the dense representation.
+    pub fn is_spilled(&self) -> bool {
+        self.spill.is_some()
+    }
+
+    /// The line indices while dense (sorted); empty after a spill — use
+    /// [`LineSet::to_sorted_vec`] for a representation-independent view.
     pub fn as_slice(&self) -> &[u64] {
         &self.lines
     }
 
-    /// Consumes the set, returning the backing buffer for reuse.
+    /// All line indices, sorted, regardless of representation.
+    pub fn to_sorted_vec(&self) -> Vec<u64> {
+        match &self.spill {
+            Some(set) => {
+                let mut v: Vec<u64> = set.iter().copied().collect();
+                v.sort_unstable();
+                v
+            }
+            None => self.lines.clone(),
+        }
+    }
+
+    /// Consumes the set, returning the dense backing buffer for reuse (a
+    /// spilled set's hash storage is dropped; the buffer's allocation
+    /// survives either way).
     pub fn into_buffer(self) -> Vec<u64> {
         self.lines
     }
@@ -78,6 +135,7 @@ mod tests {
         assert_eq!(s.len(), 3);
         assert!(s.contains(9));
         assert!(!s.contains(2));
+        assert!(!s.is_spilled());
     }
 
     #[test]
@@ -94,8 +152,32 @@ mod tests {
     }
 
     #[test]
+    fn spills_past_threshold_and_keeps_answering() {
+        let mut s = LineSet::new();
+        for v in 0..=SPILL_LINES as u64 {
+            assert!(s.insert(v * 2));
+        }
+        assert!(s.is_spilled(), "must spill past {SPILL_LINES} lines");
+        assert_eq!(s.len(), SPILL_LINES + 1);
+        // Duplicates, membership, and new inserts behave identically.
+        assert!(!s.insert(0));
+        assert!(s.contains(2 * SPILL_LINES as u64));
+        assert!(!s.contains(1));
+        assert!(s.insert(1));
+        assert_eq!(s.len(), SPILL_LINES + 2);
+        // The sorted view spans both representations.
+        let sorted = s.to_sorted_vec();
+        assert_eq!(sorted.len(), s.len());
+        assert!(sorted.windows(2).all(|w| w[0] < w[1]));
+        // Buffer recycling still hands back the dense allocation.
+        let s2 = LineSet::from_buffer(s.into_buffer());
+        assert!(s2.is_empty() && !s2.is_spilled());
+    }
+
+    #[test]
     fn matches_hashset_semantics() {
-        // Differential check against the structure it replaced.
+        // Differential check against a plain hash set, with a line universe
+        // small enough to stay dense and large iteration counts.
         let mut dense = LineSet::new();
         let mut reference = std::collections::HashSet::new();
         let mut x: u64 = 0x1234_5678;

@@ -151,6 +151,9 @@ impl<'f> Lowering<'f> {
             regs: self.next_reg,
             assert_origins: self.f.asserts.iter().map(|a| a.origin.clone()).collect(),
             region_count: self.f.regions.len() as u32,
+            // Sealed (superblock index built) at `CodeCache::install`.
+            blocks: Vec::new(),
+            region_writes: Default::default(),
         }
     }
 

@@ -13,8 +13,6 @@
 //! cycles from a real cache simulation (MLP-discounted), plus the region
 //! overheads of the Figure 9 sensitivity configurations.
 
-use std::collections::HashMap;
-
 use hasp_vm::bytecode::{Intrinsic, MethodId};
 use hasp_vm::class::Program;
 use hasp_vm::env::{Env, EnvSnapshot};
@@ -24,14 +22,89 @@ use hasp_vm::value::{ObjId, Value};
 
 use crate::bpred::Predictor;
 use crate::cache::{CacheSim, HitLevel};
-use crate::config::HwConfig;
+use crate::config::{Dispatch, HwConfig};
 use crate::fault::MachineFault;
+use crate::fxhash::FxHashMap;
 use crate::lineset::LineSet;
 use crate::stats::{AbortReason, MarkerSnap, RunStats};
+use crate::superblock::SbInfo;
 use crate::uop::{CodeCache, CompiledCode, MReg, Uop};
 
 /// Simulated address of the thread-local yield flag polled by safepoints.
 const YIELD_FLAG_ADDR: u64 = 0x100;
+
+/// Branch-target side-cache size (power of two, direct-mapped).
+const BTB_ENTRIES: usize = 512;
+
+/// What executing one uop did to control flow.
+enum StepOut {
+    /// Fall through (or branch): the frame's pc becomes this value.
+    Next(usize),
+    /// The uop already redirected control itself (call linkage, return to a
+    /// caller frame, region abort, governor patch-out) — the frame stack's
+    /// top pc is authoritative.
+    Redirect,
+    /// The outermost frame returned: the program's result.
+    Return(Option<Value>),
+}
+
+/// How a superblock's interior run ended (see [`Machine::run_interior`]).
+enum Interior {
+    /// Every interior uop up to the terminator retired on the fast path.
+    Done,
+    /// The uop at this pc needs the shared [`Machine::step`] path — either
+    /// an unspecialized kind, or a specialized one about to trap. The fast
+    /// path bailed before any side effect, so replaying it is exact.
+    Slow(usize),
+    /// The memory access at this pc overflowed the region. The cache state
+    /// is already updated (not replayable): the caller must abort.
+    Overflow(usize),
+}
+
+/// A direct-mapped branch-target side-cache for `JmpInd` tables and
+/// `CallVirt` vtable walks, keyed by (site, dynamic selector). Both lookups
+/// it short-circuits are pure functions of that pair — a switch table is
+/// immutable and a class's vtable slot never changes — so hits are
+/// semantically transparent; monomorphic sites skip the table walk entirely.
+#[derive(Debug)]
+struct TargetCache {
+    entries: Vec<BtbEntry>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BtbEntry {
+    site: u64,
+    key: i64,
+    target: usize,
+}
+
+impl TargetCache {
+    fn new() -> Self {
+        TargetCache {
+            // `site: u64::MAX` never collides with a real pc hash (method
+            // ids are 32-bit), so it doubles as the empty sentinel.
+            entries: vec![
+                BtbEntry {
+                    site: u64::MAX,
+                    key: 0,
+                    target: 0,
+                };
+                BTB_ENTRIES
+            ],
+        }
+    }
+
+    #[inline]
+    fn lookup(&self, site: u64, key: i64) -> Option<usize> {
+        let e = &self.entries[(site as usize) & (BTB_ENTRIES - 1)];
+        (e.site == site && e.key == key).then_some(e.target)
+    }
+
+    #[inline]
+    fn insert(&mut self, site: u64, key: i64, target: usize) {
+        self.entries[(site as usize) & (BTB_ENTRIES - 1)] = BtbEntry { site, key, target };
+    }
+}
 
 #[derive(Debug)]
 struct Frame<'p> {
@@ -48,17 +121,25 @@ struct Frame<'p> {
 struct RegionCtx {
     region: u32,
     method: MethodId,
+    /// The `RegionBegin` pc, keying the method's precomputed register
+    /// write set (the sparse-checkpoint index list).
+    begin_pc: usize,
     alt: usize,
     frame_depth: usize,
+    /// Sparse register checkpoint: the values of exactly the registers in
+    /// the region's write set, in that set's (sorted) order. Frames here
+    /// can run to thousands of registers while a region writes a handful,
+    /// so checkpointing the full file would dominate region cost.
     regs: Vec<i64>,
     env: EnvSnapshot,
     heap: HeapMark,
     undo: Vec<(HeapCell, i64)>,
     lines: LineSet,
     start_uops: u64,
-    /// Independent copy of the checkpointed register file, captured only in
-    /// validation mode so the post-abort validator can verify restoration
-    /// without trusting the rollback path it is checking.
+    /// Independent copy of the *full* register file, captured only in
+    /// validation mode so the post-abort validator can verify the sparse
+    /// restoration without trusting the rollback path (or the write-set
+    /// analysis) it is checking.
     shadow_regs: Vec<i64>,
 }
 
@@ -104,7 +185,7 @@ pub struct Machine<'p> {
     /// Dynamic `aregion_begin` count (1-based), driving targeted injection.
     region_entries: u64,
     /// Online governor state per static region.
-    gov: HashMap<(MethodId, u32), GovState>,
+    gov: FxHashMap<(MethodId, u32), GovState>,
     max_depth: usize,
     /// Retired register files, recycled across frame pushes so steady-state
     /// call linkage allocates nothing.
@@ -116,6 +197,8 @@ pub struct Machine<'p> {
     spare_lines: Vec<u64>,
     /// Argument-marshalling buffer recycled across calls.
     arg_buf: Vec<i64>,
+    /// Branch-target side-cache for indirect dispatch (`JmpInd`/`CallVirt`).
+    btb: TargetCache,
 }
 
 impl<'p> Machine<'p> {
@@ -141,12 +224,13 @@ impl<'p> Machine<'p> {
             fault_rng: seed | 1,
             inject_per_uop,
             region_entries: 0,
-            gov: HashMap::new(),
+            gov: FxHashMap::default(),
             max_depth: 512,
             reg_pool: Vec::new(),
             spare_undo: Vec::with_capacity(64),
             spare_lines: Vec::with_capacity(64),
             arg_buf: Vec::new(),
+            btb: TargetCache::new(),
         }
     }
 
@@ -228,40 +312,67 @@ impl<'p> Machine<'p> {
         }
     }
 
-    fn pc_hash(&self, m: MethodId, pc: usize) -> u64 {
+    fn pc_hash(m: MethodId, pc: usize) -> u64 {
         (u64::from(m.0) << 24) ^ pc as u64
+    }
+
+    /// The borrow-split core of [`Machine::mem_access`]: cache simulation,
+    /// timing, speculative tracking, and overflow detection over the
+    /// machine's disjoint fields, so the superblock interior loop can run it
+    /// while holding the frame's register file borrowed. Returns `false` on
+    /// region overflow — the caller must abort.
+    #[inline]
+    fn mem_access_parts(
+        cache: &mut CacheSim,
+        stats: &mut RunStats,
+        cxw: &mut u64,
+        region: &mut Option<RegionCtx>,
+        cfg: &HwConfig,
+        addr: u64,
+        write: bool,
+    ) -> bool {
+        let in_region = region.is_some();
+        let (level, overflow) = cache.access(addr, write, in_region);
+        stats.mem_accesses += 1;
+        match level {
+            HitLevel::L1 => stats.l1_hits += 1,
+            HitLevel::L2 => {
+                stats.l2_hits += 1;
+                *cxw += (cfg.l2_latency - cfg.l1_latency) / cfg.mlp * cfg.width;
+            }
+            HitLevel::Memory => {
+                *cxw += (cfg.mem_latency - cfg.l1_latency) / cfg.mlp * cfg.width;
+            }
+        }
+        let mut overflowed = false;
+        if let Some(r) = region.as_mut() {
+            r.lines.insert(addr / cfg.line_bytes);
+            // The injected line budget models a smaller speculative cache:
+            // it tightens the geometric overflow, never loosens it.
+            let budget = cfg.faults.line_budget;
+            overflowed = overflow || (budget > 0 && r.lines.len() as u64 > budget);
+        }
+        !overflowed
     }
 
     /// Data-memory access bookkeeping: cache simulation, timing, speculative
     /// tracking, and overflow detection. Returns `Ok(false)` if the region
     /// overflowed (and was aborted).
     fn mem_access(&mut self, addr: u64, write: bool) -> Result<bool, MachineFault> {
-        let in_region = self.region.is_some();
-        let (level, overflow) = self.cache.access(addr, write, in_region);
-        self.stats.mem_accesses += 1;
-        match level {
-            HitLevel::L1 => self.stats.l1_hits += 1,
-            HitLevel::L2 => {
-                self.stats.l2_hits += 1;
-                self.charge((self.cfg.l2_latency - self.cfg.l1_latency) / self.cfg.mlp);
-            }
-            HitLevel::Memory => {
-                self.charge((self.cfg.mem_latency - self.cfg.l1_latency) / self.cfg.mlp);
-            }
-        }
-        let mut overflowed = false;
-        if let Some(r) = &mut self.region {
-            r.lines.insert(addr / self.cfg.line_bytes);
-            // The injected line budget models a smaller speculative cache:
-            // it tightens the geometric overflow, never loosens it.
-            let budget = self.cfg.faults.line_budget;
-            overflowed = overflow || (budget > 0 && r.lines.len() as u64 > budget);
-        }
-        if overflowed {
+        let Machine {
+            cache,
+            stats,
+            cxw,
+            region,
+            cfg,
+            ..
+        } = self;
+        if Self::mem_access_parts(cache, stats, cxw, region, cfg, addr, write) {
+            Ok(true)
+        } else {
             self.abort(AbortReason::Overflow)?;
-            return Ok(false);
+            Ok(false)
         }
-        Ok(true)
     }
 
     /// Logs the old value of `cell` before a speculative store.
@@ -291,12 +402,22 @@ impl<'p> Machine<'p> {
             self.reg_pool.push(f.regs);
         }
         let frame = self.frames.last_mut().expect("frame");
-        // The checkpoint register file replaces the speculative one; the
-        // speculative buffer goes back to the pool.
-        let ckpt = std::mem::take(&mut r.regs);
-        let speculative = std::mem::replace(&mut frame.regs, ckpt);
+        // Sparse rollback: only the region's writable registers (regions
+        // contain no calls, so nothing else touches the frame) can differ
+        // from the checkpoint — restoring exactly those is bit-identical
+        // to swapping in a full-file copy.
+        let code = frame.code;
+        let writes = code
+            .region_writes
+            .get(&r.begin_pc)
+            .expect("sealed region write set");
+        for (&idx, &v) in writes.iter().zip(r.regs.iter()) {
+            frame.regs[idx as usize] = v;
+        }
         frame.pc = r.alt;
-        self.reg_pool.push(speculative);
+        let mut ckpt = std::mem::take(&mut r.regs);
+        ckpt.clear();
+        self.reg_pool.push(ckpt);
         self.cache.abort_region();
         self.stats.aborts.record(reason);
         let counters = self
@@ -484,8 +605,434 @@ impl<'p> Machine<'p> {
         }
     }
 
-    #[allow(clippy::too_many_lines)]
+    /// Dispatch selector. The superblock hot path requires that nothing
+    /// observes state *between* the uops of a straight-line run:
+    /// probabilistic/interval fault injection draws once per retired
+    /// in-region uop, and the invariant validator audits the reference
+    /// interleaving — either forces the per-uop path, keeping
+    /// injected-fault campaigns bit-identical by construction.
     fn exec(&mut self) -> Result<Option<Value>, MachineFault> {
+        if self.cfg.dispatch == Dispatch::Superblock && !self.inject_per_uop && !self.cfg.validate {
+            self.exec_superblock()
+        } else {
+            self.exec_per_uop()
+        }
+    }
+
+    /// Rolls back the batched accounting of a block's unexecuted suffix
+    /// after a mid-block redirect (in-region abort, overflow, or trap at an
+    /// interior uop): totals return to exactly what the per-uop reference
+    /// would have recorded at the redirect point.
+    fn unapply_suffix(&mut self, suffix: &SbInfo, was_in_region: bool) {
+        let n = u64::from(suffix.len);
+        self.fuel += n;
+        self.stats.uops -= n;
+        self.cxw -= n;
+        self.stats.uop_classes.unapply_delta(&suffix.classes);
+        if was_in_region {
+            self.stats.region_uops -= n;
+        }
+    }
+
+    /// The superblock interior executor: retires the straight-line uops in
+    /// `i..term` under one set of field borrows — register file, heap,
+    /// cache, and region context all resolved once — inlining the hot
+    /// register, check, memory, and intrinsic kinds. Anything about to trap
+    /// bails out *before* its side effects with [`Interior::Slow`] so the
+    /// caller can replay it through the shared [`Machine::step`] semantics;
+    /// region overflow (whose cache access cannot be replayed) surfaces as
+    /// [`Interior::Overflow`].
+    #[allow(clippy::too_many_lines)]
+    #[inline]
+    fn run_interior(&mut self, code: &'p CompiledCode, mut i: usize, term: usize) -> Interior {
+        let program = self.program;
+        let Machine {
+            frames,
+            heap,
+            cache,
+            stats,
+            region,
+            cfg,
+            cxw,
+            env,
+            ..
+        } = self;
+        let frame = frames.last_mut().expect("frame");
+        let regs = &mut frame.regs;
+        while i < term {
+            match code.uops[i] {
+                Uop::Const { dst, imm } => regs[dst.0 as usize] = imm,
+                Uop::ConstNull { dst } => regs[dst.0 as usize] = Value::NULL.encode(),
+                Uop::Mov { dst, src } => regs[dst.0 as usize] = regs[src.0 as usize],
+                Uop::Alu { op, dst, a, b } => {
+                    // Trapping ops (div/rem) evaluate side-effect-free, so a
+                    // trap can still bail to the shared slow path exactly.
+                    match op.eval(regs[a.0 as usize], regs[b.0 as usize]) {
+                        Some(v) => regs[dst.0 as usize] = v,
+                        None => return Interior::Slow(i),
+                    }
+                }
+                Uop::CmpSet { op, dst, a, b } => {
+                    regs[dst.0 as usize] =
+                        i64::from(op.eval_int(regs[a.0 as usize], regs[b.0 as usize]));
+                }
+                Uop::CheckNull { v } => {
+                    if Value::decode(regs[v.0 as usize]) == Value::NULL {
+                        return Interior::Slow(i);
+                    }
+                }
+                Uop::CheckBounds { len, idx } => {
+                    let (l, x) = (regs[len.0 as usize], regs[idx.0 as usize]);
+                    if x < 0 || x >= l {
+                        return Interior::Slow(i);
+                    }
+                }
+                Uop::CheckDiv { v } => {
+                    if regs[v.0 as usize] == 0 {
+                        return Interior::Slow(i);
+                    }
+                }
+                Uop::CheckCast { obj, class } => {
+                    if let Value::Ref(Some(o)) = Value::decode(regs[obj.0 as usize]) {
+                        if !program.is_subclass(heap.class_of(o), class) {
+                            return Interior::Slow(i);
+                        }
+                    }
+                }
+                Uop::InstOf { dst, obj, class } => {
+                    let is = match Value::decode(regs[obj.0 as usize]) {
+                        Value::Ref(Some(o)) => program.is_subclass(heap.class_of(o), class),
+                        _ => false,
+                    };
+                    regs[dst.0 as usize] = i64::from(is);
+                }
+                Uop::LoadField { dst, obj, field } => {
+                    let Value::Ref(Some(o)) = Value::decode(regs[obj.0 as usize]) else {
+                        return Interior::Slow(i);
+                    };
+                    let (addr, slot) = heap.field_slot(o, field);
+                    if !Self::mem_access_parts(cache, stats, cxw, region, cfg, addr, false) {
+                        return Interior::Overflow(i);
+                    }
+                    regs[dst.0 as usize] = slot.encode();
+                }
+                Uop::StoreField { obj, field, src } => {
+                    let Value::Ref(Some(o)) = Value::decode(regs[obj.0 as usize]) else {
+                        return Interior::Slow(i);
+                    };
+                    let (addr, slot) = heap.field_slot(o, field);
+                    if !Self::mem_access_parts(cache, stats, cxw, region, cfg, addr, true) {
+                        return Interior::Overflow(i);
+                    }
+                    if let Some(r) = region.as_mut() {
+                        r.undo.push((HeapCell::Field(o, field), slot.encode()));
+                    }
+                    *slot = Value::decode(regs[src.0 as usize]);
+                }
+                Uop::LoadElem { dst, arr, idx } => {
+                    let Value::Ref(Some(o)) = Value::decode(regs[arr.0 as usize]) else {
+                        return Interior::Slow(i);
+                    };
+                    let (addr, slot) = heap.elem_slot(o, regs[idx.0 as usize] as u32);
+                    if !Self::mem_access_parts(cache, stats, cxw, region, cfg, addr, false) {
+                        return Interior::Overflow(i);
+                    }
+                    regs[dst.0 as usize] = slot.encode();
+                }
+                Uop::StoreElem { arr, idx, src } => {
+                    let Value::Ref(Some(o)) = Value::decode(regs[arr.0 as usize]) else {
+                        return Interior::Slow(i);
+                    };
+                    let j = regs[idx.0 as usize] as u32;
+                    let (addr, slot) = heap.elem_slot(o, j);
+                    if !Self::mem_access_parts(cache, stats, cxw, region, cfg, addr, true) {
+                        return Interior::Overflow(i);
+                    }
+                    if let Some(r) = region.as_mut() {
+                        r.undo.push((HeapCell::Elem(o, j), slot.encode()));
+                    }
+                    *slot = Value::decode(regs[src.0 as usize]);
+                }
+                Uop::LoadLen { dst, arr } => {
+                    let Value::Ref(Some(o)) = Value::decode(regs[arr.0 as usize]) else {
+                        return Interior::Slow(i);
+                    };
+                    let (addr, len) = heap.len_slot(o);
+                    if !Self::mem_access_parts(cache, stats, cxw, region, cfg, addr, false) {
+                        return Interior::Overflow(i);
+                    }
+                    regs[dst.0 as usize] = len as i64;
+                }
+                Uop::LoadClass { dst, obj } => {
+                    let Value::Ref(Some(o)) = Value::decode(regs[obj.0 as usize]) else {
+                        return Interior::Slow(i);
+                    };
+                    if !Self::mem_access_parts(
+                        cache,
+                        stats,
+                        cxw,
+                        region,
+                        cfg,
+                        heap.addr_of_header(o),
+                        false,
+                    ) {
+                        return Interior::Overflow(i);
+                    }
+                    regs[dst.0 as usize] = i64::from(heap.class_of(o).0);
+                }
+                Uop::LoadLock { dst, obj } => {
+                    let Value::Ref(Some(o)) = Value::decode(regs[obj.0 as usize]) else {
+                        return Interior::Slow(i);
+                    };
+                    let cell = HeapCell::Lock(o);
+                    if !Self::mem_access_parts(
+                        cache,
+                        stats,
+                        cxw,
+                        region,
+                        cfg,
+                        heap.addr_of(cell),
+                        false,
+                    ) {
+                        return Interior::Overflow(i);
+                    }
+                    regs[dst.0 as usize] = heap.read_cell(cell);
+                }
+                Uop::StoreLock { obj, src } => {
+                    let Value::Ref(Some(o)) = Value::decode(regs[obj.0 as usize]) else {
+                        return Interior::Slow(i);
+                    };
+                    let cell = HeapCell::Lock(o);
+                    if !Self::mem_access_parts(
+                        cache,
+                        stats,
+                        cxw,
+                        region,
+                        cfg,
+                        heap.addr_of(cell),
+                        true,
+                    ) {
+                        return Interior::Overflow(i);
+                    }
+                    if let Some(r) = region.as_mut() {
+                        r.undo.push((cell, heap.read_cell(cell)));
+                    }
+                    heap.write_cell(cell, regs[src.0 as usize]);
+                }
+                Uop::Poll => {
+                    if !Self::mem_access_parts(
+                        cache,
+                        stats,
+                        cxw,
+                        region,
+                        cfg,
+                        YIELD_FLAG_ADDR,
+                        false,
+                    ) {
+                        return Interior::Overflow(i);
+                    }
+                }
+                Uop::Intrin {
+                    kind,
+                    dst,
+                    ref args,
+                } => match kind {
+                    Intrinsic::Checksum => env.checksum_push(regs[args[0].0 as usize]),
+                    Intrinsic::NextRandom => {
+                        let v = env.next_random();
+                        if let Some(d) = dst {
+                            regs[d.0 as usize] = v;
+                        }
+                    }
+                    Intrinsic::YieldFlag => {
+                        if let Some(d) = dst {
+                            regs[d.0 as usize] = 0;
+                        }
+                    }
+                },
+                // Allocation, trapping ALU, and anything else: the shared
+                // step path handles it.
+                _ => return Interior::Slow(i),
+            }
+            i += 1;
+        }
+        Interior::Done
+    }
+
+    /// The batched-dispatch hot path: retire one decoded superblock at a
+    /// time — a single fuel/stats update from the block's precomputed
+    /// delta, one register-file borrow across its straight-line prefix —
+    /// with the shared [`Machine::step`] handling memory, check, alloc, and
+    /// terminator uops.
+    ///
+    /// The accounting invariant that makes the batch exact: the per-uop
+    /// reference charges each uop *before* executing its action, so
+    /// charging all `n` uops at block entry agrees with it at every point
+    /// where the counters are observable (terminators and markers), and a
+    /// redirect at interior uop `i` only needs `blocks[i + 1]` — precisely
+    /// the unexecuted suffix — subtracted again.
+    fn exec_superblock(&mut self) -> Result<Option<Value>, MachineFault> {
+        loop {
+            let (method, pc, code) = {
+                let f = self.frames.last().expect("frame");
+                (f.method, f.pc, f.code)
+            };
+            let sb = &code.blocks[pc];
+            let n = u64::from(sb.len);
+            if n == 0 {
+                // Markers live outside blocks: architecturally inert and
+                // free, they snapshot the retired-uop and cycle counters.
+                let Uop::Marker { id } = code.uops[pc] else {
+                    unreachable!("len-0 superblock on a non-marker uop")
+                };
+                self.env.hit_marker(id);
+                let ordinal = self.env.marker_count(id);
+                let snap = MarkerSnap {
+                    id,
+                    ordinal,
+                    uops: self.stats.uops,
+                    cycles: self.cycles(),
+                };
+                self.stats.markers.push(snap);
+                self.frames.last_mut().expect("frame").pc = pc + 1;
+                continue;
+            }
+            if self.fuel < n {
+                // Within one block of exhaustion: the reference path finds
+                // the exact uop the fuel runs out on.
+                return self.exec_per_uop();
+            }
+            // The whole block's accounting, batched.
+            self.fuel -= n;
+            self.stats.uops += n;
+            self.cxw += n;
+            self.stats.uop_classes.apply_delta(&sb.classes);
+            let in_region = self.region.is_some();
+            if in_region {
+                self.stats.region_uops += n;
+            }
+            let term = pc + sb.len as usize - 1;
+            let mut i = pc;
+            let mut redirected = false;
+            while i < term {
+                match self.run_interior(code, i, term) {
+                    Interior::Done => break,
+                    // A trap-bound or unspecialized interior uop: keep the
+                    // frame pc exact for trap provenance, then replay it
+                    // through the shared semantics (the fast path bailed
+                    // before any side effect, so replay is exact).
+                    Interior::Slow(j) => {
+                        self.frames.last_mut().expect("frame").pc = j;
+                        match self.step(&code.uops[j], method, j) {
+                            Ok(StepOut::Next(_)) => i = j + 1,
+                            Ok(StepOut::Redirect) => {
+                                self.unapply_suffix(&code.blocks[j + 1], in_region);
+                                redirected = true;
+                                break;
+                            }
+                            Ok(StepOut::Return(_)) => unreachable!("return is a block terminator"),
+                            Err(e) => {
+                                self.unapply_suffix(&code.blocks[j + 1], in_region);
+                                return Err(e);
+                            }
+                        }
+                    }
+                    // The cache already recorded the access when overflow
+                    // was detected, so this cannot be replayed — abort here,
+                    // exactly as the reference path's `mem_access` would.
+                    Interior::Overflow(j) => {
+                        if let Err(e) = self.abort(AbortReason::Overflow) {
+                            self.unapply_suffix(&code.blocks[j + 1], in_region);
+                            return Err(e);
+                        }
+                        self.unapply_suffix(&code.blocks[j + 1], in_region);
+                        redirected = true;
+                        break;
+                    }
+                }
+            }
+            if redirected {
+                continue;
+            }
+            // Pure control-flow terminators — no trap path, no region or
+            // heap interaction — retire inline under one frame borrow,
+            // mirroring [`Machine::step`]'s arms exactly. Everything else
+            // (calls, returns, region primitives) goes through `step`.
+            {
+                let Machine {
+                    frames,
+                    stats,
+                    pred,
+                    btb,
+                    cxw,
+                    cfg,
+                    ..
+                } = &mut *self;
+                let frame = frames.last_mut().expect("frame");
+                match code.uops[term] {
+                    Uop::Jmp { target } => {
+                        frame.pc = target;
+                        continue;
+                    }
+                    Uop::Br { op, a, b, target } => {
+                        let (x, y) = (frame.regs[a.0 as usize], frame.regs[b.0 as usize]);
+                        let taken = op.eval_int(x, y);
+                        stats.branches += 1;
+                        if !pred.branch(Self::pc_hash(method, term), taken) {
+                            stats.mispredicts += 1;
+                            *stats.mispredict_sites.entry((method.0, term)).or_insert(0) += 1;
+                            *cxw += cfg.mispredict_penalty * cfg.width;
+                        }
+                        frame.pc = if taken { target } else { term + 1 };
+                        continue;
+                    }
+                    Uop::JmpInd {
+                        sel,
+                        ref table,
+                        default,
+                    } => {
+                        let v = frame.regs[sel.0 as usize];
+                        let site = Self::pc_hash(method, term);
+                        let target = match btb.lookup(site, v) {
+                            Some(t) => t,
+                            None => {
+                                let t = if v >= 0 && (v as usize) < table.len() {
+                                    table[v as usize]
+                                } else {
+                                    default
+                                };
+                                btb.insert(site, v, t);
+                                t
+                            }
+                        };
+                        stats.indirects += 1;
+                        if !pred.indirect(site, target as u64) {
+                            stats.indirect_misses += 1;
+                            *cxw += cfg.mispredict_penalty * cfg.width;
+                        }
+                        frame.pc = target;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            self.frames.last_mut().expect("frame").pc = term;
+            match self.step(&code.uops[term], method, term)? {
+                StepOut::Next(np) => self.frames.last_mut().expect("frame").pc = np,
+                StepOut::Redirect => {}
+                StepOut::Return(v) => {
+                    self.stats.cycles = self.cycles();
+                    return Ok(v);
+                }
+            }
+        }
+    }
+
+    /// The reference interpretation: fetch, account, and execute one uop at
+    /// a time. This is the only path that can observe state between the
+    /// uops of a straight-line run, so per-uop fault injection and the
+    /// invariant validator always run here.
+    fn exec_per_uop(&mut self) -> Result<Option<Value>, MachineFault> {
         loop {
             if self.fuel == 0 {
                 return Err(VmError::FuelExhausted.into());
@@ -550,414 +1097,457 @@ impl<'p> Machine<'p> {
                 }
             }
 
-            let mut next_pc = pc + 1;
-            macro_rules! regs {
-                () => {
-                    self.frames.last_mut().expect("frame").regs
-                };
-            }
-            /// Read a register without a mutable borrow (usable as an
-            /// argument to `&mut self` methods).
-            macro_rules! rval {
-                ($r:expr) => {
-                    self.frames.last().expect("frame").regs[$r.0 as usize]
-                };
-            }
-            match *uop {
-                Uop::Const { dst, imm } => regs!()[dst.0 as usize] = imm,
-                Uop::ConstNull { dst } => regs!()[dst.0 as usize] = Value::NULL.encode(),
-                Uop::Mov { dst, src } => {
-                    let v = regs!()[src.0 as usize];
-                    regs!()[dst.0 as usize] = v;
-                }
-                Uop::Alu { op, dst, a, b } => {
-                    let (x, y) = (regs!()[a.0 as usize], regs!()[b.0 as usize]);
-                    match op.eval(x, y) {
-                        Some(v) => regs!()[dst.0 as usize] = v,
-                        None => {
-                            // Division by zero past its CheckDiv: impossible
-                            // for correct lowering; treat as a trap.
-                            self.trap_or_abort(Trap::DivByZero)?;
-                            continue;
-                        }
-                    }
-                }
-                Uop::CmpSet { op, dst, a, b } => {
-                    let (x, y) = (regs!()[a.0 as usize], regs!()[b.0 as usize]);
-                    regs!()[dst.0 as usize] = i64::from(op.eval_int(x, y));
-                }
-                Uop::Jmp { target } => next_pc = target,
-                Uop::Br { op, a, b, target } => {
-                    let (x, y) = (regs!()[a.0 as usize], regs!()[b.0 as usize]);
-                    let taken = op.eval_int(x, y);
-                    self.stats.branches += 1;
-                    if !self.pred.branch(self.pc_hash(method, pc), taken) {
-                        self.stats.mispredicts += 1;
-                        *self
-                            .stats
-                            .mispredict_sites
-                            .entry((method.0, pc))
-                            .or_insert(0) += 1;
-                        self.charge(self.cfg.mispredict_penalty);
-                    }
-                    if taken {
-                        next_pc = target;
-                    }
-                }
-                Uop::JmpInd {
-                    sel,
-                    ref table,
-                    default,
-                } => {
-                    let v = regs!()[sel.0 as usize];
-                    next_pc = if v >= 0 && (v as usize) < table.len() {
-                        table[v as usize]
-                    } else {
-                        default
-                    };
-                    self.stats.indirects += 1;
-                    if !self.pred.indirect(self.pc_hash(method, pc), next_pc as u64) {
-                        self.stats.indirect_misses += 1;
-                        self.charge(self.cfg.mispredict_penalty);
-                    }
-                }
-                Uop::LoadField { dst, obj, field } => {
-                    let o = self.obj(rval!(obj))?;
-                    let cell = HeapCell::Field(o, field);
-                    if !self.mem_access(self.heap.addr_of(cell), false)? {
-                        continue;
-                    }
-                    regs!()[dst.0 as usize] = self.heap.read_cell(cell);
-                }
-                Uop::StoreField { obj, field, src } => {
-                    let o = self.obj(rval!(obj))?;
-                    let cell = HeapCell::Field(o, field);
-                    if !self.mem_access(self.heap.addr_of(cell), true)? {
-                        continue;
-                    }
-                    self.log_undo(cell);
-                    let v = regs!()[src.0 as usize];
-                    self.heap.write_cell(cell, v);
-                }
-                Uop::LoadElem { dst, arr, idx } => {
-                    let o = self.obj(rval!(arr))?;
-                    let i = regs!()[idx.0 as usize] as u32;
-                    let cell = HeapCell::Elem(o, i);
-                    if !self.mem_access(self.heap.addr_of(cell), false)? {
-                        continue;
-                    }
-                    regs!()[dst.0 as usize] = self.heap.read_cell(cell);
-                }
-                Uop::StoreElem { arr, idx, src } => {
-                    let o = self.obj(rval!(arr))?;
-                    let i = regs!()[idx.0 as usize] as u32;
-                    let cell = HeapCell::Elem(o, i);
-                    if !self.mem_access(self.heap.addr_of(cell), true)? {
-                        continue;
-                    }
-                    self.log_undo(cell);
-                    let v = regs!()[src.0 as usize];
-                    self.heap.write_cell(cell, v);
-                }
-                Uop::LoadLen { dst, arr } => {
-                    let o = self.obj(rval!(arr))?;
-                    if !self.mem_access(self.heap.addr_of_len(o), false)? {
-                        continue;
-                    }
-                    let n = self.heap.array_len(o).expect("array") as i64;
-                    regs!()[dst.0 as usize] = n;
-                }
-                Uop::LoadLock { dst, obj } => {
-                    let o = self.obj(rval!(obj))?;
-                    let cell = HeapCell::Lock(o);
-                    if !self.mem_access(self.heap.addr_of(cell), false)? {
-                        continue;
-                    }
-                    regs!()[dst.0 as usize] = self.heap.read_cell(cell);
-                }
-                Uop::StoreLock { obj, src } => {
-                    let o = self.obj(rval!(obj))?;
-                    let cell = HeapCell::Lock(o);
-                    if !self.mem_access(self.heap.addr_of(cell), true)? {
-                        continue;
-                    }
-                    self.log_undo(cell);
-                    let v = regs!()[src.0 as usize];
-                    self.heap.write_cell(cell, v);
-                }
-                Uop::LoadClass { dst, obj } => {
-                    let o = self.obj(rval!(obj))?;
-                    if !self.mem_access(self.heap.addr_of_header(o), false)? {
-                        continue;
-                    }
-                    regs!()[dst.0 as usize] = i64::from(self.heap.class_of(o).0);
-                }
-                Uop::AllocObj { dst, class } => {
-                    let n = self.program.class(class).field_count();
-                    let o = self.heap.alloc_object(class, n);
-                    if !self.mem_access(self.heap.addr_of_header(o), true)? {
-                        continue;
-                    }
-                    regs!()[dst.0 as usize] = Value::from(o).encode();
-                }
-                Uop::AllocArr { dst, len } => {
-                    let n = regs!()[len.0 as usize];
-                    if n < 0 {
-                        self.trap_or_abort(Trap::OutOfBounds)?;
-                        continue;
-                    }
-                    let o = self.heap.alloc_array(n as usize);
-                    if !self.mem_access(self.heap.addr_of_header(o), true)? {
-                        continue;
-                    }
-                    regs!()[dst.0 as usize] = Value::from(o).encode();
-                }
-                Uop::CheckNull { v } => {
-                    if Value::decode(regs!()[v.0 as usize]) == Value::NULL {
-                        self.trap_or_abort(Trap::NullPointer)?;
-                        continue;
-                    }
-                }
-                Uop::CheckBounds { len, idx } => {
-                    let (l, i) = (regs!()[len.0 as usize], regs!()[idx.0 as usize]);
-                    if i < 0 || i >= l {
-                        self.trap_or_abort(Trap::OutOfBounds)?;
-                        continue;
-                    }
-                }
-                Uop::CheckDiv { v } => {
-                    if regs!()[v.0 as usize] == 0 {
-                        self.trap_or_abort(Trap::DivByZero)?;
-                        continue;
-                    }
-                }
-                Uop::CheckCast { obj, class } => {
-                    let bits = regs!()[obj.0 as usize];
-                    if let Value::Ref(Some(o)) = Value::decode(bits) {
-                        if !self.program.is_subclass(self.heap.class_of(o), class) {
-                            self.trap_or_abort(Trap::ClassCast)?;
-                            continue;
-                        }
-                    }
-                }
-                Uop::InstOf { dst, obj, class } => {
-                    let bits = regs!()[obj.0 as usize];
-                    let is = match Value::decode(bits) {
-                        Value::Ref(Some(o)) => {
-                            self.program.is_subclass(self.heap.class_of(o), class)
-                        }
-                        _ => false,
-                    };
-                    regs!()[dst.0 as usize] = i64::from(is);
-                }
-                Uop::Call {
-                    dst,
-                    target,
-                    ref args,
-                } => {
-                    debug_assert!(self.region.is_none(), "call inside atomic region");
-                    // Frame setup: argument marshalling + prologue uops.
-                    self.account_call_overhead(args.len() as u64 + 2);
-                    let mut argv = std::mem::take(&mut self.arg_buf);
-                    argv.clear();
-                    argv.extend(args.iter().map(|r| regs!()[r.0 as usize]));
-                    self.frames.last_mut().expect("frame").pc = next_pc;
-                    self.push_frame(target, &argv, dst)?;
-                    argv.clear();
-                    self.arg_buf = argv;
-                    continue;
-                }
-                Uop::CallVirt {
-                    dst,
-                    slot,
-                    recv,
-                    ref args,
-                } => {
-                    debug_assert!(self.region.is_none(), "call inside atomic region");
-                    let ro = self.obj(rval!(recv))?;
-                    let class = self.heap.class_of(ro);
-                    let target = self.program.resolve_virtual(class, slot);
-                    // Frame setup + vtable load.
-                    self.account_call_overhead(args.len() as u64 + 4);
-                    let mut argv = std::mem::take(&mut self.arg_buf);
-                    argv.clear();
-                    argv.push(regs!()[recv.0 as usize]);
-                    argv.extend(args.iter().map(|r| regs!()[r.0 as usize]));
-                    // Virtual dispatch is an indirect branch.
-                    self.stats.indirects += 1;
-                    if !self
-                        .pred
-                        .indirect(self.pc_hash(method, pc), u64::from(target.0))
-                    {
-                        self.stats.indirect_misses += 1;
-                        self.charge(self.cfg.mispredict_penalty);
-                    }
-                    self.frames.last_mut().expect("frame").pc = next_pc;
-                    self.push_frame(target, &argv, dst)?;
-                    argv.clear();
-                    self.arg_buf = argv;
-                    continue;
-                }
-                Uop::Ret { src } => {
-                    // Epilogue: frame teardown + return-address handling.
-                    self.account_call_overhead(2);
-                    let v = src.map(|r| regs!()[r.0 as usize]);
-                    debug_assert!(
-                        self.region.is_none()
-                            || self.region.as_ref().expect("region").frame_depth
-                                == self.frames.len(),
-                        "region must not span returns"
-                    );
-                    let frame = self.frames.pop().expect("frame");
-                    if self.frames.is_empty() {
-                        self.stats.cycles = self.cycles();
-                        return Ok(v.map(Value::decode));
-                    }
-                    if let Some(d) = frame.ret_dst {
-                        self.frames.last_mut().expect("frame").regs[d.0 as usize] = v.unwrap_or(0);
-                    }
-                    self.reg_pool.push(frame.regs);
-                    continue;
-                }
-                Uop::RegionBegin { region, alt } => {
-                    if self.region.is_some() {
-                        return Err(MachineFault::NestedRegion { method, pc });
-                    }
-                    // Governor consult: a de-speculated region's begin is
-                    // patched to branch straight to its alternate PC — the
-                    // non-speculative version runs with zero region overhead.
-                    if self.cfg.governor.enabled {
-                        if let Some(g) = self.gov.get_mut(&(method, region)) {
-                            if g.skips_remaining > 0 {
-                                g.skips_remaining -= 1;
-                                if g.skips_remaining == 0 {
-                                    self.stats.governor_reenables += 1;
-                                }
-                                self.stats.governor_skips += 1;
-                                self.stats
-                                    .per_region
-                                    .entry((method, region))
-                                    .or_default()
-                                    .gov_skips += 1;
-                                self.frames.last_mut().expect("frame").pc = alt;
-                                continue;
-                            }
-                        }
-                    }
-                    self.charge(self.cfg.begin_stall);
-                    if self.cfg.single_inflight {
-                        // Stall at decode until the previous region drains.
-                        let drain = self.cfg.window / self.cfg.width;
-                        let gap = (self.cxw - self.last_commit_cxw) / self.cfg.width;
-                        if gap < drain {
-                            self.charge(drain - gap);
-                        }
-                    }
-                    // Checkpoint registers into a pooled buffer and reuse the
-                    // previous region's undo-log / footprint allocations.
-                    let mut ckpt = self.reg_pool.pop().unwrap_or_default();
-                    ckpt.clear();
-                    let f = self.frames.last().expect("frame");
-                    ckpt.extend_from_slice(&f.regs);
-                    let mut undo = std::mem::take(&mut self.spare_undo);
-                    undo.clear();
-                    // The shadow checkpoint is validator-only state: an
-                    // independent register-file copy the rollback path never
-                    // touches, so restoration can be cross-checked.
-                    let shadow_regs = if self.cfg.validate {
-                        ckpt.clone()
-                    } else {
-                        Vec::new()
-                    };
-                    self.region = Some(RegionCtx {
-                        region,
-                        method,
-                        alt,
-                        frame_depth: self.frames.len(),
-                        regs: ckpt,
-                        env: self.env.snapshot(),
-                        heap: self.heap.alloc_mark(),
-                        undo,
-                        lines: LineSet::from_buffer(std::mem::take(&mut self.spare_lines)),
-                        start_uops: self.stats.uops,
-                        shadow_regs,
-                    });
-                    let counters = self.stats.per_region.entry((method, region)).or_default();
-                    counters.entries += 1;
-                    // Targeted injection: abort exactly the Nth dynamic
-                    // entry, the moment the checkpoint is armed.
-                    self.region_entries += 1;
-                    if self.cfg.faults.abort_at_entry == Some(self.region_entries) {
-                        self.abort(AbortReason::Spurious)?;
-                        continue;
-                    }
-                }
-                Uop::RegionEnd { region } => {
-                    let Some(mut r) = self.region.take() else {
-                        return Err(MachineFault::EndOutsideRegion { method, pc });
-                    };
-                    debug_assert_eq!(r.region, region);
-                    self.cache.commit_region();
-                    self.stats.commits += 1;
-                    self.stats
-                        .region_sizes
-                        .record(self.stats.uops - r.start_uops);
-                    self.stats.region_footprint.record(r.lines.len() as u64);
-                    self.last_commit_cxw = self.cxw;
-                    if self.cfg.validate {
-                        self.validate_arch_state(&r, false)?;
-                    }
-                    if self.cfg.governor.enabled {
-                        self.gov_on_commit(r.method, r.region);
-                    }
-                    // Recycle the region's buffers for the next one.
-                    r.undo.clear();
-                    self.spare_undo = r.undo;
-                    self.spare_lines = r.lines.into_buffer();
-                    self.reg_pool.push(r.regs);
-                }
-                Uop::Abort { assert_id } => {
-                    let reason = if assert_id == u32::MAX {
-                        AbortReason::Sle
-                    } else {
-                        AbortReason::Explicit
-                    };
-                    self.abort(reason)?;
-                    continue;
-                }
-                Uop::Poll => {
-                    if !self.mem_access(YIELD_FLAG_ADDR, false)? {
-                        continue;
-                    }
-                }
-                Uop::Intrin {
-                    kind,
-                    dst,
-                    ref args,
-                } => match kind {
-                    Intrinsic::Checksum => {
-                        let v = regs!()[args[0].0 as usize];
-                        self.env.checksum_push(v);
-                    }
-                    Intrinsic::NextRandom => {
-                        let v = self.env.next_random();
-                        if let Some(d) = dst {
-                            regs!()[d.0 as usize] = v;
-                        }
-                    }
-                    Intrinsic::YieldFlag => {
-                        if let Some(d) = dst {
-                            regs!()[d.0 as usize] = 0;
-                        }
-                    }
-                },
-                Uop::Marker { .. } => unreachable!("handled above"),
-                Uop::Unreachable { why } => {
-                    panic!("executed unreachable uop: {why} at {}:{pc}", method.0)
+            match self.step(uop, method, pc)? {
+                StepOut::Next(np) => self.frames.last_mut().expect("frame").pc = np,
+                StepOut::Redirect => {}
+                StepOut::Return(v) => {
+                    self.stats.cycles = self.cycles();
+                    return Ok(v);
                 }
             }
-            self.frames.last_mut().expect("frame").pc = next_pc;
         }
+    }
+
+    /// Executes one uop's architectural action — shared verbatim by both
+    /// dispatch paths, so their semantics cannot drift. Accounting (fuel,
+    /// stats, injection) is the caller's job; `pc` is the uop's own offset,
+    /// and the frame's pc field already equals it (trap provenance relies
+    /// on that).
+    #[allow(clippy::too_many_lines)]
+    #[inline]
+    fn step(&mut self, uop: &'p Uop, method: MethodId, pc: usize) -> Result<StepOut, MachineFault> {
+        let mut next_pc = pc + 1;
+        macro_rules! regs {
+            () => {
+                self.frames.last_mut().expect("frame").regs
+            };
+        }
+        /// Read a register without a mutable borrow (usable as an
+        /// argument to `&mut self` methods).
+        macro_rules! rval {
+            ($r:expr) => {
+                self.frames.last().expect("frame").regs[$r.0 as usize]
+            };
+        }
+        match *uop {
+            Uop::Const { dst, imm } => regs!()[dst.0 as usize] = imm,
+            Uop::ConstNull { dst } => regs!()[dst.0 as usize] = Value::NULL.encode(),
+            Uop::Mov { dst, src } => {
+                let v = regs!()[src.0 as usize];
+                regs!()[dst.0 as usize] = v;
+            }
+            Uop::Alu { op, dst, a, b } => {
+                let (x, y) = (regs!()[a.0 as usize], regs!()[b.0 as usize]);
+                match op.eval(x, y) {
+                    Some(v) => regs!()[dst.0 as usize] = v,
+                    None => {
+                        // Division by zero past its CheckDiv: impossible
+                        // for correct lowering; treat as a trap.
+                        self.trap_or_abort(Trap::DivByZero)?;
+                        return Ok(StepOut::Redirect);
+                    }
+                }
+            }
+            Uop::CmpSet { op, dst, a, b } => {
+                let (x, y) = (regs!()[a.0 as usize], regs!()[b.0 as usize]);
+                regs!()[dst.0 as usize] = i64::from(op.eval_int(x, y));
+            }
+            Uop::Jmp { target } => next_pc = target,
+            Uop::Br { op, a, b, target } => {
+                let (x, y) = (regs!()[a.0 as usize], regs!()[b.0 as usize]);
+                let taken = op.eval_int(x, y);
+                self.stats.branches += 1;
+                if !self.pred.branch(Self::pc_hash(method, pc), taken) {
+                    self.stats.mispredicts += 1;
+                    *self
+                        .stats
+                        .mispredict_sites
+                        .entry((method.0, pc))
+                        .or_insert(0) += 1;
+                    self.charge(self.cfg.mispredict_penalty);
+                }
+                if taken {
+                    next_pc = target;
+                }
+            }
+            Uop::JmpInd {
+                sel,
+                ref table,
+                default,
+            } => {
+                let v = regs!()[sel.0 as usize];
+                // Monomorphic dispatch sites hit the branch-target
+                // side-cache and skip the table walk; the table lookup
+                // is a pure function of (site, selector), so a hit is
+                // semantically transparent.
+                let site = Self::pc_hash(method, pc);
+                next_pc = match self.btb.lookup(site, v) {
+                    Some(t) => t,
+                    None => {
+                        let t = if v >= 0 && (v as usize) < table.len() {
+                            table[v as usize]
+                        } else {
+                            default
+                        };
+                        self.btb.insert(site, v, t);
+                        t
+                    }
+                };
+                self.stats.indirects += 1;
+                if !self.pred.indirect(site, next_pc as u64) {
+                    self.stats.indirect_misses += 1;
+                    self.charge(self.cfg.mispredict_penalty);
+                }
+            }
+            Uop::LoadField { dst, obj, field } => {
+                let o = self.obj(rval!(obj))?;
+                let cell = HeapCell::Field(o, field);
+                if !self.mem_access(self.heap.addr_of(cell), false)? {
+                    return Ok(StepOut::Redirect);
+                }
+                regs!()[dst.0 as usize] = self.heap.read_cell(cell);
+            }
+            Uop::StoreField { obj, field, src } => {
+                let o = self.obj(rval!(obj))?;
+                let cell = HeapCell::Field(o, field);
+                if !self.mem_access(self.heap.addr_of(cell), true)? {
+                    return Ok(StepOut::Redirect);
+                }
+                self.log_undo(cell);
+                let v = regs!()[src.0 as usize];
+                self.heap.write_cell(cell, v);
+            }
+            Uop::LoadElem { dst, arr, idx } => {
+                let o = self.obj(rval!(arr))?;
+                let i = regs!()[idx.0 as usize] as u32;
+                let cell = HeapCell::Elem(o, i);
+                if !self.mem_access(self.heap.addr_of(cell), false)? {
+                    return Ok(StepOut::Redirect);
+                }
+                regs!()[dst.0 as usize] = self.heap.read_cell(cell);
+            }
+            Uop::StoreElem { arr, idx, src } => {
+                let o = self.obj(rval!(arr))?;
+                let i = regs!()[idx.0 as usize] as u32;
+                let cell = HeapCell::Elem(o, i);
+                if !self.mem_access(self.heap.addr_of(cell), true)? {
+                    return Ok(StepOut::Redirect);
+                }
+                self.log_undo(cell);
+                let v = regs!()[src.0 as usize];
+                self.heap.write_cell(cell, v);
+            }
+            Uop::LoadLen { dst, arr } => {
+                let o = self.obj(rval!(arr))?;
+                if !self.mem_access(self.heap.addr_of_len(o), false)? {
+                    return Ok(StepOut::Redirect);
+                }
+                let n = self.heap.array_len(o).expect("array") as i64;
+                regs!()[dst.0 as usize] = n;
+            }
+            Uop::LoadLock { dst, obj } => {
+                let o = self.obj(rval!(obj))?;
+                let cell = HeapCell::Lock(o);
+                if !self.mem_access(self.heap.addr_of(cell), false)? {
+                    return Ok(StepOut::Redirect);
+                }
+                regs!()[dst.0 as usize] = self.heap.read_cell(cell);
+            }
+            Uop::StoreLock { obj, src } => {
+                let o = self.obj(rval!(obj))?;
+                let cell = HeapCell::Lock(o);
+                if !self.mem_access(self.heap.addr_of(cell), true)? {
+                    return Ok(StepOut::Redirect);
+                }
+                self.log_undo(cell);
+                let v = regs!()[src.0 as usize];
+                self.heap.write_cell(cell, v);
+            }
+            Uop::LoadClass { dst, obj } => {
+                let o = self.obj(rval!(obj))?;
+                if !self.mem_access(self.heap.addr_of_header(o), false)? {
+                    return Ok(StepOut::Redirect);
+                }
+                regs!()[dst.0 as usize] = i64::from(self.heap.class_of(o).0);
+            }
+            Uop::AllocObj { dst, class } => {
+                let n = self.program.class(class).field_count();
+                let o = self.heap.alloc_object(class, n);
+                if !self.mem_access(self.heap.addr_of_header(o), true)? {
+                    return Ok(StepOut::Redirect);
+                }
+                regs!()[dst.0 as usize] = Value::from(o).encode();
+            }
+            Uop::AllocArr { dst, len } => {
+                let n = regs!()[len.0 as usize];
+                if n < 0 {
+                    self.trap_or_abort(Trap::OutOfBounds)?;
+                    return Ok(StepOut::Redirect);
+                }
+                let o = self.heap.alloc_array(n as usize);
+                if !self.mem_access(self.heap.addr_of_header(o), true)? {
+                    return Ok(StepOut::Redirect);
+                }
+                regs!()[dst.0 as usize] = Value::from(o).encode();
+            }
+            Uop::CheckNull { v } => {
+                if Value::decode(regs!()[v.0 as usize]) == Value::NULL {
+                    self.trap_or_abort(Trap::NullPointer)?;
+                    return Ok(StepOut::Redirect);
+                }
+            }
+            Uop::CheckBounds { len, idx } => {
+                let (l, i) = (regs!()[len.0 as usize], regs!()[idx.0 as usize]);
+                if i < 0 || i >= l {
+                    self.trap_or_abort(Trap::OutOfBounds)?;
+                    return Ok(StepOut::Redirect);
+                }
+            }
+            Uop::CheckDiv { v } => {
+                if regs!()[v.0 as usize] == 0 {
+                    self.trap_or_abort(Trap::DivByZero)?;
+                    return Ok(StepOut::Redirect);
+                }
+            }
+            Uop::CheckCast { obj, class } => {
+                let bits = regs!()[obj.0 as usize];
+                if let Value::Ref(Some(o)) = Value::decode(bits) {
+                    if !self.program.is_subclass(self.heap.class_of(o), class) {
+                        self.trap_or_abort(Trap::ClassCast)?;
+                        return Ok(StepOut::Redirect);
+                    }
+                }
+            }
+            Uop::InstOf { dst, obj, class } => {
+                let bits = regs!()[obj.0 as usize];
+                let is = match Value::decode(bits) {
+                    Value::Ref(Some(o)) => self.program.is_subclass(self.heap.class_of(o), class),
+                    _ => false,
+                };
+                regs!()[dst.0 as usize] = i64::from(is);
+            }
+            Uop::Call {
+                dst,
+                target,
+                ref args,
+            } => {
+                debug_assert!(self.region.is_none(), "call inside atomic region");
+                // Frame setup: argument marshalling + prologue uops.
+                self.account_call_overhead(args.len() as u64 + 2);
+                let mut argv = std::mem::take(&mut self.arg_buf);
+                argv.clear();
+                argv.extend(args.iter().map(|r| regs!()[r.0 as usize]));
+                self.frames.last_mut().expect("frame").pc = next_pc;
+                self.push_frame(target, &argv, dst)?;
+                argv.clear();
+                self.arg_buf = argv;
+                return Ok(StepOut::Redirect);
+            }
+            Uop::CallVirt {
+                dst,
+                slot,
+                recv,
+                ref args,
+            } => {
+                debug_assert!(self.region.is_none(), "call inside atomic region");
+                let ro = self.obj(rval!(recv))?;
+                let class = self.heap.class_of(ro);
+                // Virtual-call sites are overwhelmingly monomorphic: the
+                // side-cache memoizes the vtable walk per (site, class).
+                // A vtable slot never changes, so a hit is transparent.
+                let site = Self::pc_hash(method, pc);
+                let target = match self.btb.lookup(site, i64::from(class.0)) {
+                    Some(t) => MethodId(t as u32),
+                    None => {
+                        let t = self.program.resolve_virtual(class, slot);
+                        self.btb.insert(site, i64::from(class.0), t.0 as usize);
+                        t
+                    }
+                };
+                // Frame setup + vtable load.
+                self.account_call_overhead(args.len() as u64 + 4);
+                let mut argv = std::mem::take(&mut self.arg_buf);
+                argv.clear();
+                argv.push(regs!()[recv.0 as usize]);
+                argv.extend(args.iter().map(|r| regs!()[r.0 as usize]));
+                // Virtual dispatch is an indirect branch.
+                self.stats.indirects += 1;
+                if !self.pred.indirect(site, u64::from(target.0)) {
+                    self.stats.indirect_misses += 1;
+                    self.charge(self.cfg.mispredict_penalty);
+                }
+                self.frames.last_mut().expect("frame").pc = next_pc;
+                self.push_frame(target, &argv, dst)?;
+                argv.clear();
+                self.arg_buf = argv;
+                return Ok(StepOut::Redirect);
+            }
+            Uop::Ret { src } => {
+                // Epilogue: frame teardown + return-address handling.
+                self.account_call_overhead(2);
+                let v = src.map(|r| regs!()[r.0 as usize]);
+                debug_assert!(
+                    self.region.is_none()
+                        || self.region.as_ref().expect("region").frame_depth == self.frames.len(),
+                    "region must not span returns"
+                );
+                let frame = self.frames.pop().expect("frame");
+                if self.frames.is_empty() {
+                    return Ok(StepOut::Return(v.map(Value::decode)));
+                }
+                if let Some(d) = frame.ret_dst {
+                    self.frames.last_mut().expect("frame").regs[d.0 as usize] = v.unwrap_or(0);
+                }
+                self.reg_pool.push(frame.regs);
+                return Ok(StepOut::Redirect);
+            }
+            Uop::RegionBegin { region, alt } => {
+                if self.region.is_some() {
+                    return Err(MachineFault::NestedRegion { method, pc });
+                }
+                // Governor consult: a de-speculated region's begin is
+                // patched to branch straight to its alternate PC — the
+                // non-speculative version runs with zero region overhead.
+                if self.cfg.governor.enabled {
+                    if let Some(g) = self.gov.get_mut(&(method, region)) {
+                        if g.skips_remaining > 0 {
+                            g.skips_remaining -= 1;
+                            if g.skips_remaining == 0 {
+                                self.stats.governor_reenables += 1;
+                            }
+                            self.stats.governor_skips += 1;
+                            self.stats
+                                .per_region
+                                .entry((method, region))
+                                .or_default()
+                                .gov_skips += 1;
+                            self.frames.last_mut().expect("frame").pc = alt;
+                            return Ok(StepOut::Redirect);
+                        }
+                    }
+                }
+                self.charge(self.cfg.begin_stall);
+                if self.cfg.single_inflight {
+                    // Stall at decode until the previous region drains.
+                    let drain = self.cfg.window / self.cfg.width;
+                    let gap = (self.cxw - self.last_commit_cxw) / self.cfg.width;
+                    if gap < drain {
+                        self.charge(drain - gap);
+                    }
+                }
+                // Sparse checkpoint into a pooled buffer: only the region's
+                // precomputed write set needs saving (see the `RegionCtx`
+                // field docs); the previous region's undo-log / footprint
+                // allocations are reused.
+                let mut ckpt = self.reg_pool.pop().unwrap_or_default();
+                ckpt.clear();
+                let f = self.frames.last().expect("frame");
+                let writes = f
+                    .code
+                    .region_writes
+                    .get(&pc)
+                    .expect("sealed region write set");
+                ckpt.extend(writes.iter().map(|&r| f.regs[r as usize]));
+                // The shadow checkpoint is validator-only state: an
+                // independent full register-file copy the rollback path
+                // never touches, so sparse restoration can be cross-checked
+                // against the complete pre-region file.
+                let shadow_regs = if self.cfg.validate {
+                    f.regs.clone()
+                } else {
+                    Vec::new()
+                };
+                let mut undo = std::mem::take(&mut self.spare_undo);
+                undo.clear();
+                self.region = Some(RegionCtx {
+                    region,
+                    method,
+                    begin_pc: pc,
+                    alt,
+                    frame_depth: self.frames.len(),
+                    regs: ckpt,
+                    env: self.env.snapshot(),
+                    heap: self.heap.alloc_mark(),
+                    undo,
+                    lines: LineSet::from_buffer(std::mem::take(&mut self.spare_lines)),
+                    start_uops: self.stats.uops,
+                    shadow_regs,
+                });
+                let counters = self.stats.per_region.entry((method, region)).or_default();
+                counters.entries += 1;
+                // Targeted injection: abort exactly the Nth dynamic
+                // entry, the moment the checkpoint is armed.
+                self.region_entries += 1;
+                if self.cfg.faults.abort_at_entry == Some(self.region_entries) {
+                    self.abort(AbortReason::Spurious)?;
+                    return Ok(StepOut::Redirect);
+                }
+            }
+            Uop::RegionEnd { region } => {
+                let Some(mut r) = self.region.take() else {
+                    return Err(MachineFault::EndOutsideRegion { method, pc });
+                };
+                debug_assert_eq!(r.region, region);
+                self.cache.commit_region();
+                self.stats.commits += 1;
+                self.stats
+                    .region_sizes
+                    .record(self.stats.uops - r.start_uops);
+                self.stats.region_footprint.record(r.lines.len() as u64);
+                self.last_commit_cxw = self.cxw;
+                if self.cfg.validate {
+                    self.validate_arch_state(&r, false)?;
+                }
+                if self.cfg.governor.enabled {
+                    self.gov_on_commit(r.method, r.region);
+                }
+                // Recycle the region's buffers for the next one.
+                r.undo.clear();
+                self.spare_undo = r.undo;
+                self.spare_lines = r.lines.into_buffer();
+                self.reg_pool.push(r.regs);
+            }
+            Uop::Abort { assert_id } => {
+                let reason = if assert_id == u32::MAX {
+                    AbortReason::Sle
+                } else {
+                    AbortReason::Explicit
+                };
+                self.abort(reason)?;
+                return Ok(StepOut::Redirect);
+            }
+            Uop::Poll => {
+                if !self.mem_access(YIELD_FLAG_ADDR, false)? {
+                    return Ok(StepOut::Redirect);
+                }
+            }
+            Uop::Intrin {
+                kind,
+                dst,
+                ref args,
+            } => match kind {
+                Intrinsic::Checksum => {
+                    let v = regs!()[args[0].0 as usize];
+                    self.env.checksum_push(v);
+                }
+                Intrinsic::NextRandom => {
+                    let v = self.env.next_random();
+                    if let Some(d) = dst {
+                        regs!()[d.0 as usize] = v;
+                    }
+                }
+                Intrinsic::YieldFlag => {
+                    if let Some(d) = dst {
+                        regs!()[d.0 as usize] = 0;
+                    }
+                }
+            },
+            Uop::Marker { .. } => unreachable!("handled above"),
+            Uop::Unreachable { why } => {
+                panic!("executed unreachable uop: {why} at {}:{pc}", method.0)
+            }
+        }
+        Ok(StepOut::Next(next_pc))
     }
 }
 
@@ -1592,6 +2182,8 @@ mod fault_tests {
                 regs,
                 assert_origins: Vec::new(),
                 region_count: 1,
+                blocks: Vec::new(),
+                region_writes: Default::default(),
             },
         );
         (p, cc)

@@ -2,10 +2,9 @@
 //! (Table 3), region size and footprint distributions (§6.2), and marker
 //! snapshots for the §5 sampling methodology.
 
-use std::collections::HashMap;
-
 use hasp_vm::bytecode::MethodId;
 
+use crate::fxhash::FxHashMap;
 use crate::uop::{UopClass, UOP_CLASSES};
 
 /// Why an atomic region aborted (reported to software through the abort
@@ -114,6 +113,25 @@ impl UopClassCounts {
     /// Total across all classes.
     pub fn total(&self) -> u64 {
         self.0.iter().sum()
+    }
+
+    /// Adds a dense per-class delta — the whole-block tally precomputed by
+    /// the superblock index, applied once at block entry.
+    #[inline]
+    pub fn apply_delta(&mut self, delta: &[u32; UOP_CLASSES.len()]) {
+        for (c, d) in self.0.iter_mut().zip(delta) {
+            *c += u64::from(*d);
+        }
+    }
+
+    /// Subtracts a dense per-class delta — the unexecuted suffix of a block
+    /// that redirected mid-flight, bringing the tallies back to exactly what
+    /// the per-uop reference would have recorded.
+    #[inline]
+    pub fn unapply_delta(&mut self, delta: &[u32; UOP_CLASSES.len()]) {
+        for (c, d) in self.0.iter_mut().zip(delta) {
+            *c -= u64::from(*d);
+        }
     }
 
     /// `(class, count)` pairs for every class with a nonzero count.
@@ -255,11 +273,11 @@ pub struct RunStats {
     /// Committed region footprints in distinct cache lines (§6.2).
     pub region_footprint: Histogram,
     /// Per-static-region entry/abort counters (adaptive recompilation input).
-    pub per_region: HashMap<(MethodId, u32), RegionCounters>,
+    pub per_region: FxHashMap<(MethodId, u32), RegionCounters>,
     /// Marker snapshots in hit order.
     pub markers: Vec<MarkerSnap>,
     /// Mispredicted-branch sites: (method id, pc) → miss count (diagnosis).
-    pub mispredict_sites: HashMap<(u32, usize), u64>,
+    pub mispredict_sites: FxHashMap<(u32, usize), u64>,
     /// Region entries the governor patched straight to the alternate PC.
     pub governor_skips: u64,
     /// Times the governor de-speculated a region (streak hit the budget).
@@ -289,9 +307,9 @@ impl Default for RunStats {
             mem_accesses: 0,
             region_sizes: Histogram::new(&[16, 32, 64, 128, 256, 512, 1024]),
             region_footprint: Histogram::new(&[1, 2, 4, 8, 10, 16, 32, 50, 100, 128]),
-            per_region: HashMap::new(),
+            per_region: FxHashMap::default(),
             markers: Vec::new(),
-            mispredict_sites: HashMap::new(),
+            mispredict_sites: FxHashMap::default(),
             governor_skips: 0,
             governor_disables: 0,
             governor_reenables: 0,

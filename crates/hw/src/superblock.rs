@@ -1,0 +1,359 @@
+//! Decoded superblock metadata for the batched-dispatch hot path.
+//!
+//! A superblock is the maximal straight-line run of uops starting at a given
+//! pc: it extends through interior uops (ALU, memory, checks, allocs,
+//! intrinsics) and ends at — and includes — the first *terminator*: any
+//! control transfer, call/return, or atomic-region primitive. Markers end a
+//! block without joining one (they are architecturally free and snapshot
+//! mid-stream counters, so they must never be folded into a batch).
+//!
+//! The index is a per-pc suffix table: `blocks[pc]` describes the block that
+//! *starts* at `pc`. Interior pcs chain to the same terminator, so when the
+//! machine redirects out of a block at interior uop `i` (an in-region abort,
+//! a trap, an overflow), `blocks[i + 1]` is exactly the unexecuted suffix —
+//! the engine subtracts it from the batched accounting and the result is
+//! bit-identical to the per-uop reference (see `DESIGN.md` §Dispatch).
+//!
+//! Formation is a single backward scan at `CodeCache` install time, O(uops),
+//! so cold methods pay nothing at run time and the table is shared across
+//! machines like the uop stream itself.
+
+use crate::fxhash::FxHashMap;
+use crate::uop::{MReg, Uop, UOP_CLASSES};
+
+/// Precomputed metadata for the superblock starting at one pc.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SbInfo {
+    /// Number of uops in the block, terminator included. `0` marks a
+    /// `Marker` uop, which is dispatched outside any block.
+    pub len: u32,
+    /// True when some uop in the block can fault, abort, or trap (memory
+    /// accesses, checks, allocs, region primitives, calls...). A block
+    /// without this bit retires unconditionally once entered.
+    pub can_fault: bool,
+    /// Per-class retired-uop tallies for the whole block, dense in
+    /// [`UOP_CLASSES`] order — the batch delta applied at block entry.
+    pub classes: [u32; UOP_CLASSES.len()],
+}
+
+impl SbInfo {
+    /// The fall-through pc for a block starting at `pc` (one past the
+    /// terminator; meaningful only when the terminator does not redirect).
+    pub fn fall_through(&self, pc: usize) -> usize {
+        pc + self.len as usize
+    }
+}
+
+/// True for uops that end a superblock: control transfers, call linkage,
+/// and region primitives (whose handlers consult or mutate machine-global
+/// state mid-stream), plus `Unreachable` (which must not be pre-retired).
+fn is_terminator(u: &Uop) -> bool {
+    matches!(
+        u,
+        Uop::Jmp { .. }
+            | Uop::Br { .. }
+            | Uop::JmpInd { .. }
+            | Uop::Call { .. }
+            | Uop::CallVirt { .. }
+            | Uop::Ret { .. }
+            | Uop::RegionBegin { .. }
+            | Uop::RegionEnd { .. }
+            | Uop::Abort { .. }
+            | Uop::Unreachable { .. }
+    )
+}
+
+/// True for interior uops that can redirect control mid-block (trap, abort
+/// the enclosing region, or overflow the speculative footprint).
+fn can_fault(u: &Uop) -> bool {
+    match u {
+        // Only guarded Div/Rem can trap among ALU ops.
+        Uop::Alu { op, .. } => op.can_trap(),
+        Uop::Const { .. }
+        | Uop::ConstNull { .. }
+        | Uop::Mov { .. }
+        | Uop::CmpSet { .. }
+        | Uop::InstOf { .. }
+        | Uop::Jmp { .. }
+        | Uop::Br { .. }
+        | Uop::JmpInd { .. }
+        | Uop::Intrin { .. }
+        | Uop::Marker { .. } => false,
+        _ => true,
+    }
+}
+
+/// Builds the per-pc superblock suffix table for a uop stream. One backward
+/// pass: a terminator (or end-of-stream, or a following marker) seeds a
+/// block of length 1; every interior pc extends its successor's block.
+pub fn build_blocks(uops: &[Uop]) -> Vec<SbInfo> {
+    let mut blocks: Vec<SbInfo> = Vec::with_capacity(uops.len());
+    for (rev, u) in uops.iter().rev().enumerate() {
+        let pc = uops.len() - 1 - rev;
+        let mut info = if let Uop::Marker { .. } = u {
+            // Dispatched outside any block; `len: 0` is the sentinel.
+            blocks.push(SbInfo {
+                len: 0,
+                can_fault: false,
+                classes: [0; UOP_CLASSES.len()],
+            });
+            continue;
+        } else if is_terminator(u)
+            || pc + 1 >= uops.len()
+            || blocks.last().expect("suffix").len == 0
+        {
+            // The block is this uop alone: it is a terminator, the stream
+            // ends here, or the next uop is a marker (which may not batch).
+            SbInfo {
+                len: 1,
+                can_fault: can_fault(u),
+                classes: [0; UOP_CLASSES.len()],
+            }
+        } else {
+            // Interior uop: prepend to the successor block.
+            let suffix = &blocks[blocks.len() - 1];
+            SbInfo {
+                len: suffix.len + 1,
+                can_fault: suffix.can_fault || can_fault(u),
+                classes: suffix.classes,
+            }
+        };
+        info.classes[u.class() as usize] += 1;
+        blocks.push(info);
+    }
+    blocks.reverse();
+    blocks
+}
+
+/// The destination register a uop writes in its own frame, if any. `Ret`
+/// writes the *caller's* frame, never its own, so it reports `None`.
+fn dst_reg(u: &Uop) -> Option<MReg> {
+    match *u {
+        Uop::Const { dst, .. }
+        | Uop::ConstNull { dst }
+        | Uop::Mov { dst, .. }
+        | Uop::Alu { dst, .. }
+        | Uop::CmpSet { dst, .. }
+        | Uop::InstOf { dst, .. }
+        | Uop::LoadField { dst, .. }
+        | Uop::LoadElem { dst, .. }
+        | Uop::LoadLen { dst, .. }
+        | Uop::LoadLock { dst, .. }
+        | Uop::LoadClass { dst, .. }
+        | Uop::AllocObj { dst, .. }
+        | Uop::AllocArr { dst, .. } => Some(dst),
+        Uop::Intrin { dst, .. } | Uop::Call { dst, .. } | Uop::CallVirt { dst, .. } => dst,
+        _ => None,
+    }
+}
+
+/// The sorted set of registers writable inside the atomic region entered at
+/// `begin` (a `RegionBegin` pc): every dst register of a uop reachable from
+/// the region body without crossing a region-resolving uop.
+///
+/// This is what makes the sparse register checkpoint sound: regions contain
+/// no calls, so only explicit dst writes can change the frame's registers
+/// between `aregion_begin` and the abort point — an abort that restores
+/// exactly this set restores a file bit-identical to a full-copy rollback.
+fn region_write_set(uops: &[Uop], begin: usize) -> Vec<u32> {
+    let mut visited = vec![false; uops.len()];
+    let mut stack = vec![begin + 1];
+    let mut writes: Vec<u32> = Vec::new();
+    while let Some(pc) = stack.pop() {
+        if pc >= uops.len() || visited[pc] {
+            continue;
+        }
+        visited[pc] = true;
+        let u = &uops[pc];
+        if let Some(d) = dst_reg(u) {
+            writes.push(d.0);
+        }
+        match *u {
+            // The region is resolved (or the code is malformed and the
+            // machine faults before any further frame writes): stop.
+            Uop::RegionEnd { .. }
+            | Uop::Abort { .. }
+            | Uop::Ret { .. }
+            | Uop::RegionBegin { .. }
+            | Uop::Unreachable { .. }
+            | Uop::Call { .. }
+            | Uop::CallVirt { .. } => {}
+            Uop::Jmp { target } => stack.push(target),
+            Uop::Br { target, .. } => {
+                stack.push(pc + 1);
+                stack.push(target);
+            }
+            Uop::JmpInd {
+                ref table, default, ..
+            } => {
+                stack.extend(table.iter().copied());
+                stack.push(default);
+            }
+            _ => stack.push(pc + 1),
+        }
+    }
+    writes.sort_unstable();
+    writes.dedup();
+    writes
+}
+
+/// Builds the per-`RegionBegin` write-set table for a uop stream: the
+/// registers the machine must checkpoint at each region entry. Built at
+/// `CodeCache` install time alongside the superblock index.
+pub fn build_region_writes(uops: &[Uop]) -> FxHashMap<usize, Box<[u32]>> {
+    let mut out = FxHashMap::default();
+    for (pc, u) in uops.iter().enumerate() {
+        if let Uop::RegionBegin { .. } = u {
+            out.insert(pc, region_write_set(uops, pc).into_boxed_slice());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hasp_vm::bytecode::{BinOp, CmpOp};
+
+    fn konst(r: u32) -> Uop {
+        Uop::Const {
+            dst: MReg(r),
+            imm: 1,
+        }
+    }
+
+    #[test]
+    fn straight_line_run_forms_one_block_per_suffix() {
+        let uops = vec![
+            konst(0),
+            konst(1),
+            Uop::Alu {
+                op: BinOp::Add,
+                dst: MReg(0),
+                a: MReg(0),
+                b: MReg(1),
+            },
+            Uop::Ret { src: Some(MReg(0)) },
+        ];
+        let b = build_blocks(&uops);
+        assert_eq!(b.iter().map(|s| s.len).collect::<Vec<_>>(), [4, 3, 2, 1]);
+        // Whole-stream block: 3 alu-class uops + 1 call-class ret.
+        assert_eq!(b[0].classes[crate::uop::UopClass::Alu as usize], 3);
+        assert_eq!(b[0].classes[crate::uop::UopClass::Call as usize], 1);
+        // Pure register block — nothing can fault before the ret, but the
+        // ret itself is linkage.
+        assert!(!b[2].can_fault || b[2].len == 2, "alu+ret suffix");
+        assert_eq!(b[0].fall_through(0), 4);
+    }
+
+    #[test]
+    fn terminators_and_markers_split_blocks() {
+        let uops = vec![
+            konst(0),
+            Uop::Br {
+                op: CmpOp::Ge,
+                a: MReg(0),
+                b: MReg(0),
+                target: 0,
+            },
+            konst(1),
+            Uop::Marker { id: 7 },
+            konst(2),
+            Uop::Ret { src: None },
+        ];
+        let b = build_blocks(&uops);
+        // const+br | br | const (marker stops it) | marker | const+ret | ret
+        assert_eq!(
+            b.iter().map(|s| s.len).collect::<Vec<_>>(),
+            [2, 1, 1, 0, 2, 1]
+        );
+    }
+
+    #[test]
+    fn fault_capability_is_tracked_through_suffixes() {
+        let uops = vec![
+            konst(0),
+            Uop::CheckNull { v: MReg(0) },
+            konst(1),
+            Uop::Jmp { target: 0 },
+        ];
+        let b = build_blocks(&uops);
+        assert!(b[0].can_fault, "contains a check");
+        assert!(b[1].can_fault);
+        assert!(!b[2].can_fault, "const+jmp cannot fault");
+        // Trapping ALU counts as faulting; plain ALU does not.
+        let div = build_blocks(&[
+            Uop::Alu {
+                op: BinOp::Div,
+                dst: MReg(0),
+                a: MReg(0),
+                b: MReg(1),
+            },
+            Uop::Ret { src: None },
+        ]);
+        assert!(div[0].can_fault);
+    }
+
+    #[test]
+    fn region_write_set_covers_reachable_dsts_only() {
+        // 0: const r9        (outside the region — must not be collected)
+        // 1: aregion_begin alt=8
+        // 2: const r0
+        // 3: br -> 6
+        // 4: const r1        (fallthrough arm)
+        // 5: jmp -> 7
+        // 6: const r2        (taken arm)
+        // 7: aregion_end
+        // 8: const r3        (after the region — unreachable from inside)
+        // 9: ret
+        let uops = vec![
+            konst(9),
+            Uop::RegionBegin { region: 0, alt: 8 },
+            konst(0),
+            Uop::Br {
+                op: CmpOp::Ge,
+                a: MReg(0),
+                b: MReg(0),
+                target: 6,
+            },
+            konst(1),
+            Uop::Jmp { target: 7 },
+            konst(2),
+            Uop::RegionEnd { region: 0 },
+            konst(3),
+            Uop::Ret { src: None },
+        ];
+        let writes = build_region_writes(&uops);
+        assert_eq!(writes.len(), 1, "one region");
+        // Both branch arms are in the set; pre-region and post-commit
+        // writes are not.
+        assert_eq!(writes[&1].as_ref(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn suffix_deltas_decompose_exactly() {
+        // blocks[pc].classes == uop(pc).class + blocks[pc+1].classes for
+        // interior pcs — the identity the mid-block unapply path relies on.
+        let uops = vec![
+            konst(0),
+            Uop::CheckNull { v: MReg(0) },
+            Uop::LoadField {
+                dst: MReg(1),
+                obj: MReg(0),
+                field: 0,
+            },
+            konst(2),
+            Uop::Ret { src: None },
+        ];
+        let b = build_blocks(&uops);
+        for pc in 0..uops.len() - 1 {
+            if b[pc].len <= 1 {
+                continue;
+            }
+            let mut rebuilt = b[pc + 1].classes;
+            rebuilt[uops[pc].class() as usize] += 1;
+            assert_eq!(b[pc].classes, rebuilt, "pc {pc}");
+            assert_eq!(b[pc].len, b[pc + 1].len + 1, "pc {pc}");
+        }
+    }
+}

@@ -245,12 +245,35 @@ pub struct CompiledCode {
     pub assert_origins: Vec<String>,
     /// Number of atomic regions in the code.
     pub region_count: u32,
+    /// Per-pc decoded superblock index (`blocks[pc]` describes the block
+    /// starting at `pc`). Built by [`CompiledCode::seal`] when the code is
+    /// installed; empty until then.
+    pub blocks: Vec<crate::superblock::SbInfo>,
+    /// Per-`RegionBegin` register write sets (begin pc → sorted dst
+    /// registers reachable inside the region) — the sparse checkpoint the
+    /// machine captures at region entry instead of the whole frame. Built
+    /// by [`CompiledCode::seal`]; empty until then.
+    pub region_writes: crate::fxhash::FxHashMap<usize, Box<[u32]>>,
 }
 
-/// The code cache: compiled code for every method.
+impl CompiledCode {
+    /// (Re)builds the decoded superblock index and the per-region register
+    /// write sets from the uop stream. Called by [`CodeCache::install`], so
+    /// every executable method carries consistent metadata — including
+    /// hand-assembled test streams.
+    pub fn seal(&mut self) {
+        self.blocks = crate::superblock::build_blocks(&self.uops);
+        self.region_writes = crate::superblock::build_region_writes(&self.uops);
+    }
+}
+
+/// The code cache: compiled code for every method. Method ids are small and
+/// dense (assigned sequentially by the front end), so the cache is a
+/// direct-indexed table — the fetch on every call's frame push is one bounds
+/// check and a load, not a hash.
 #[derive(Debug, Clone, Default)]
 pub struct CodeCache {
-    methods: std::collections::HashMap<MethodId, CompiledCode>,
+    methods: Vec<Option<CompiledCode>>,
 }
 
 impl CodeCache {
@@ -259,29 +282,42 @@ impl CodeCache {
         Self::default()
     }
 
-    /// Installs compiled code for a method.
-    pub fn install(&mut self, m: MethodId, code: CompiledCode) {
-        self.methods.insert(m, code);
+    /// Installs compiled code for a method, sealing its superblock index.
+    pub fn install(&mut self, m: MethodId, mut code: CompiledCode) {
+        code.seal();
+        let idx = m.0 as usize;
+        if idx >= self.methods.len() {
+            self.methods.resize_with(idx + 1, || None);
+        }
+        self.methods[idx] = Some(code);
     }
 
     /// Fetches a method's code.
     pub fn get(&self, m: MethodId) -> Option<&CompiledCode> {
-        self.methods.get(&m)
+        self.methods.get(m.0 as usize)?.as_ref()
     }
 
     /// Total static uop count across all methods.
     pub fn static_uops(&self) -> usize {
-        self.methods.values().map(|c| c.uops.len()).sum()
+        self.methods.iter().flatten().map(|c| c.uops.len()).sum()
+    }
+
+    /// Iterates over all installed methods and their code.
+    pub fn iter(&self) -> impl Iterator<Item = (MethodId, &CompiledCode)> {
+        self.methods
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.as_ref().map(|c| (MethodId(i as u32), c)))
     }
 
     /// Number of compiled methods.
     pub fn len(&self) -> usize {
-        self.methods.len()
+        self.methods.iter().flatten().count()
     }
 
     /// True if no methods are installed.
     pub fn is_empty(&self) -> bool {
-        self.methods.is_empty()
+        self.len() == 0
     }
 }
 
@@ -334,10 +370,15 @@ mod tests {
                 regs: 1,
                 assert_origins: vec![],
                 region_count: 0,
+                blocks: Vec::new(),
+                region_writes: Default::default(),
             },
         );
         assert_eq!(cc.len(), 1);
         assert_eq!(cc.static_uops(), 1);
+        let sealed = cc.get(MethodId(3)).unwrap();
+        assert_eq!(sealed.blocks.len(), 1, "install seals the block index");
+        assert_eq!(sealed.blocks[0].len, 1);
         assert!(cc.get(MethodId(3)).is_some());
         assert!(cc.get(MethodId(4)).is_none());
     }

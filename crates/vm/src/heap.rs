@@ -231,6 +231,37 @@ impl Heap {
         self.objects[id.0 as usize].base + HEADER
     }
 
+    /// Simulated address and mutable storage slot of `obj.fields[field]` in
+    /// one object lookup — the hot-path fusion of [`Self::addr_of`] with
+    /// [`Self::read_cell`]/[`Self::write_cell`] on a field cell.
+    pub fn field_slot(&mut self, id: ObjId, field: u16) -> (u64, &mut Value) {
+        let o = &mut self.objects[id.0 as usize];
+        (
+            o.base + HEADER + u64::from(field) * WORD,
+            &mut o.fields[field as usize],
+        )
+    }
+
+    /// Simulated address and mutable storage slot of `arr[idx]` in one
+    /// object lookup; the caller has already bounds-checked.
+    pub fn elem_slot(&mut self, id: ObjId, idx: u32) -> (u64, &mut Value) {
+        let o = &mut self.objects[id.0 as usize];
+        (
+            o.base + HEADER + WORD + u64::from(idx) * WORD,
+            &mut o.array.as_mut().expect("not an array")[idx as usize],
+        )
+    }
+
+    /// Simulated address of the array-length word plus the length itself,
+    /// in one object lookup.
+    ///
+    /// # Panics
+    /// Panics if the object is not an array.
+    pub fn len_slot(&self, id: ObjId) -> (u64, usize) {
+        let o = &self.objects[id.0 as usize];
+        (o.base + HEADER, o.array.as_ref().expect("array").len())
+    }
+
     /// Simulated byte address of the object header (for `New` traffic).
     pub fn addr_of_header(&self, id: ObjId) -> u64 {
         self.objects[id.0 as usize].base

@@ -12,8 +12,12 @@ cargo test -q --workspace
 echo "== fault-campaign smoke (checksum equivalence under injected aborts) =="
 cargo run --release -p hasp-experiments --bin experiments -- faults --smoke
 
+echo "== dispatch-bench smoke (superblock vs per-uop on the CI slice) =="
+cargo run --release -p hasp-experiments --bin experiments -- bench-dispatch --smoke
+
 echo "== cargo clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --release -q -- -D warnings
 
 echo "== cargo fmt --check =="
 cargo fmt --check

@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 
-use hasp_hw::lineset::LineSet;
+use hasp_hw::lineset::{LineSet, SPILL_LINES};
 use hasp_hw::{CacheSim, HwConfig};
 
 proptest! {
@@ -30,6 +30,32 @@ proptest! {
         for probe in 0..96 {
             prop_assert_eq!(dense.contains(probe), reference.contains(&probe));
         }
+    }
+
+    #[test]
+    fn lineset_agrees_across_the_spill_boundary(
+        lines in prop::collection::vec(0u64..1024, 0..700),
+        probes in prop::collection::vec(0u64..1024, 16..17),
+    ) {
+        // The hybrid set must answer insert/contains/len identically to a
+        // reference set whether it is still the dense sorted vector or has
+        // spilled to the hash representation — the universe and length here
+        // are sized so both sides of the SPILL_LINES threshold are hit.
+        let mut hybrid = LineSet::new();
+        let mut reference = std::collections::BTreeSet::new();
+        for &line in &lines {
+            prop_assert_eq!(hybrid.insert(line), reference.insert(line));
+            prop_assert_eq!(hybrid.len(), reference.len());
+            prop_assert_eq!(hybrid.is_spilled(), reference.len() > SPILL_LINES);
+        }
+        let expect: Vec<u64> = reference.iter().copied().collect();
+        prop_assert_eq!(hybrid.to_sorted_vec(), expect);
+        for &probe in &probes {
+            prop_assert_eq!(hybrid.contains(probe), reference.contains(&probe));
+        }
+        // Recycling the buffer resets to the dense representation.
+        let recycled = LineSet::from_buffer(hybrid.into_buffer());
+        prop_assert!(recycled.is_empty() && !recycled.is_spilled());
     }
 
     #[test]
