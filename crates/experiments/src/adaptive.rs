@@ -79,9 +79,9 @@ pub fn run_adaptive(
     // Diagnose: methods with any region whose abort rate exceeds the
     // threshold (the hardware reports which region aborted, §3.2).
     let mut offenders: HashSet<MethodId> = HashSet::new();
-    for ((method, _region), c) in &first.stats.per_region {
+    for ((method, _region), c) in first.stats.per_region.iter() {
         if c.entries > 0 && c.aborts as f64 / c.entries as f64 > ABORT_RATE_THRESHOLD {
-            offenders.insert(*method);
+            offenders.insert(method);
         }
     }
 

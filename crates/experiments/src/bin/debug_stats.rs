@@ -1,4 +1,9 @@
-//! Debug helper: per-config machine statistics for one workload.
+//! Debug helper: per-config machine statistics for one workload, executed
+//! on *both* dispatch engines with a field-by-field stats diff — the
+//! first tool to reach for when `tests/dispatch_equivalence.rs` fails or
+//! the dispatch benchmark regresses.
+//!
+//! Usage: `debug_stats [workload]` (default `hsqldb`).
 use hasp_experiments::{compile_workload, profile_workload, run_workload};
 use hasp_hw::HwConfig;
 use hasp_opt::CompilerConfig;
@@ -14,18 +19,36 @@ fn main() {
         CompilerConfig::no_atomic_aggressive(),
         CompilerConfig::atomic_aggressive(),
     ] {
-        let t0 = std::time::Instant::now();
-        let r = run_workload(w, &p, &cfg, &HwConfig::baseline());
-        let wall = t0.elapsed().as_secs_f64();
-        let s = &r.stats;
+        // Same compiled code, both engines: any stats difference below is a
+        // dispatch bug, not a compiler one.
+        let timed = |hw: &HwConfig| {
+            let t0 = std::time::Instant::now();
+            let r = run_workload(w, &p, &cfg, hw);
+            (r, t0.elapsed().as_secs_f64())
+        };
+        let (sb, sb_wall) = timed(&HwConfig::baseline());
+        let (pu, pu_wall) = timed(&HwConfig::per_uop());
+        let s = &sb.stats;
         println!(
-            "{:22} uops {:9} cyc {:9} | br {:8} miss {:7} ind {:7}/{:6} | l1 {:8} l2 {:6} mem {:6} | commits {:7} aborts {:5} cov {:.2} size {:.0} static {:6} | {:6.2}M uops/s",
+            "{:22} uops {:9} cyc {:9} | br {:8} miss {:7} ind {:7}/{:6} | l1 {:8} l2 {:6} mem {:6} | commits {:7} aborts {:5} cov {:.2} size {:.0} fp {:.0}/{:4} static {:6} | sb {:6.2}M uops/s, per-uop {:6.2}M ({:.2}x)",
             cfg.name, s.uops, s.cycles, s.branches, s.mispredicts, s.indirects,
             s.indirect_misses, s.l1_hits, s.l2_hits,
             s.mem_accesses - s.l1_hits - s.l2_hits,
-            s.commits, s.total_aborts(), s.coverage(), s.avg_region_size(), r.static_uops,
-            s.uops as f64 / wall / 1e6,
+            s.commits, s.total_aborts(), s.coverage(), s.avg_region_size(),
+            s.region_footprint.mean(), s.region_footprint.max, sb.static_uops,
+            s.uops as f64 / sb_wall / 1e6,
+            pu.stats.uops as f64 / pu_wall / 1e6,
+            pu_wall / sb_wall,
         );
+        let diff = s.diff(&pu.stats);
+        if diff.is_empty() {
+            println!("      engines: bit-identical stats");
+        } else {
+            println!("      ENGINES DIVERGE (superblock vs per-uop):");
+            for line in &diff {
+                println!("        {line}");
+            }
+        }
         let mix: Vec<String> = s
             .uop_classes
             .iter_nonzero()

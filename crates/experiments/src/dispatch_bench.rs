@@ -19,7 +19,7 @@ use crate::runner::{compile_workload, execute_compiled, profile_workload};
 
 /// Timed executions per (workload × mode); the minimum wall time is kept so
 /// scheduler noise inflates neither leg.
-const REPS: usize = 5;
+const REPS: usize = 9;
 
 /// One workload's measurement under both dispatch engines.
 #[derive(Debug, Clone, PartialEq)]

@@ -17,6 +17,66 @@
 
 use crate::config::HwConfig;
 
+/// Branch-target side-cache size (power of two, direct-mapped).
+const BTB_ENTRIES: usize = 512;
+
+/// A direct-mapped branch-target side-cache for `JmpInd` tables and
+/// `CallVirt` vtable walks, keyed by (site, dynamic selector). Both lookups
+/// it short-circuits are pure functions of that pair — a switch table is
+/// immutable and a class's vtable slot never changes — so hits are
+/// semantically transparent; monomorphic sites skip the table walk entirely.
+#[derive(Debug)]
+pub struct TargetCache {
+    entries: Vec<BtbEntry>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BtbEntry {
+    site: u64,
+    key: i64,
+    target: usize,
+}
+
+impl Default for TargetCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TargetCache {
+    /// Creates an empty side-cache.
+    pub fn new() -> Self {
+        TargetCache {
+            // `site: u64::MAX` never collides with a real pc hash (method
+            // ids are 32-bit), so it doubles as the empty sentinel.
+            entries: vec![
+                BtbEntry {
+                    site: u64::MAX,
+                    key: 0,
+                    target: 0,
+                };
+                BTB_ENTRIES
+            ],
+        }
+    }
+
+    /// The memoized target for `(site, key)`, if the entry is live. The
+    /// sentinel site is rejected explicitly, so even a probe with
+    /// `u64::MAX` (which no real pc hash produces) cannot match an empty
+    /// entry.
+    #[inline]
+    pub fn lookup(&self, site: u64, key: i64) -> Option<usize> {
+        let e = &self.entries[(site as usize) & (BTB_ENTRIES - 1)];
+        (e.site == site && e.key == key && site != u64::MAX).then_some(e.target)
+    }
+
+    /// Installs (or replaces) the direct-mapped entry for `(site, key)`.
+    #[inline]
+    pub fn insert(&mut self, site: u64, key: i64, target: usize) {
+        self.entries[(site as usize) & (BTB_ENTRIES - 1)] = BtbEntry { site, key, target };
+    }
+}
+
 /// Which level serviced an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HitLevel {
@@ -31,69 +91,83 @@ pub enum HitLevel {
 /// Epoch value meaning "bit never set" (no region epoch ever matches it).
 const NEVER: u64 = 0;
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    lru: u64,
-    /// Region epoch in which this line was last speculatively read; the
-    /// read bit is "set" iff this equals the cache's current epoch.
-    spec_read_epoch: u64,
-    /// Region epoch in which this line was last speculatively written.
-    spec_write_epoch: u64,
-}
+/// Tag value meaning "line invalid". Real tags are line indices
+/// (`addr >> log2(line_bytes)`), which cannot reach `u64::MAX`, so validity
+/// folds into the tag word and the hit-path scan is a single array sweep.
+const TAG_INVALID: u64 = u64::MAX;
 
-impl Default for Line {
-    fn default() -> Self {
-        Line {
-            tag: 0,
-            valid: false,
-            lru: 0,
-            spec_read_epoch: NEVER,
-            spec_write_epoch: NEVER,
-        }
-    }
-}
-
-impl Line {
-    fn spec(&self, epoch: u64) -> bool {
-        self.spec_read_epoch == epoch || self.spec_write_epoch == epoch
-    }
-}
-
+/// One cache level, struct-of-arrays: the per-access tag scan touches one
+/// contiguous `ways`-sized window of `tags` (a single hardware cache line
+/// for any sane associativity) instead of striding across fat line records;
+/// LRU ages and speculative epochs live in parallel arrays touched only on
+/// a hit index or an install.
 #[derive(Debug, Clone)]
 struct Level {
     sets: u64,
     ways: u64,
-    lines: Vec<Line>,
+    /// `sets - 1` when the set count is a power of two (every shipped
+    /// config), letting the per-access set index be a mask instead of a
+    /// hardware `div` — this runs on every simulated memory uop.
+    set_mask: Option<u64>,
+    tags: Vec<u64>,
+    lru: Vec<u64>,
+    /// Region epoch in which each line was last speculatively read; the
+    /// read bit is "set" iff this equals the cache's current epoch.
+    spec_read_epoch: Vec<u64>,
+    /// Region epoch in which each line was last speculatively written.
+    spec_write_epoch: Vec<u64>,
     tick: u64,
 }
 
 impl Level {
     fn new(sets: u64, ways: u64) -> Self {
+        let n = (sets * ways) as usize;
         Level {
             sets,
             ways,
-            lines: vec![Line::default(); (sets * ways) as usize],
+            set_mask: sets.is_power_of_two().then(|| sets - 1),
+            tags: vec![TAG_INVALID; n],
+            lru: vec![0; n],
+            spec_read_epoch: vec![NEVER; n],
+            spec_write_epoch: vec![NEVER; n],
             tick: 0,
         }
     }
 
+    fn spec(&self, i: usize, epoch: u64) -> bool {
+        self.spec_read_epoch[i] == epoch || self.spec_write_epoch[i] == epoch
+    }
+
+    #[inline]
     fn set_range(&self, line_addr: u64) -> std::ops::Range<usize> {
-        let set = (line_addr % self.sets) as usize;
+        let set = match self.set_mask {
+            Some(m) => (line_addr & m) as usize,
+            None => (line_addr % self.sets) as usize,
+        };
         let w = self.ways as usize;
         set * w..(set + 1) * w
     }
 
+    #[inline]
     fn lookup(&mut self, line_addr: u64) -> Option<usize> {
         self.tick += 1;
-        let tick = self.tick;
         let r = self.set_range(line_addr);
-        for i in r {
-            if self.lines[i].valid && self.lines[i].tag == line_addr {
-                self.lines[i].lru = tick;
-                return Some(i);
+        let base = r.start;
+        // Branchless scan: sweep the whole (tiny) set instead of exiting at
+        // the first match. An early-exit loop leaves at a data-dependent
+        // iteration, which costs the *host* a branch mispredict on nearly
+        // every simulated access; the fixed-trip select below compiles to
+        // straight-line compare/cmov code. A tag match implies validity: no
+        // real line is `TAG_INVALID`.
+        let mut hit = usize::MAX;
+        for (k, &t) in self.tags[r].iter().enumerate() {
+            if t == line_addr {
+                hit = base + k;
             }
+        }
+        if hit != usize::MAX {
+            self.lru[hit] = self.tick;
+            return Some(hit);
         }
         None
     }
@@ -107,27 +181,23 @@ impl Level {
         let mut victim = r.start;
         let mut best = (2u8, u64::MAX); // (class, lru)
         for i in r {
-            let l = &self.lines[i];
-            let class = if !l.valid {
+            let class = if self.tags[i] == TAG_INVALID {
                 0
-            } else if !l.spec(epoch) {
+            } else if !self.spec(i, epoch) {
                 1
             } else {
                 2
             };
-            if (class, l.lru) < best {
-                best = (class, l.lru);
+            if (class, self.lru[i]) < best {
+                best = (class, self.lru[i]);
                 victim = i;
             }
         }
-        let overflow = self.lines[victim].valid && self.lines[victim].spec(epoch);
-        self.lines[victim] = Line {
-            tag: line_addr,
-            valid: true,
-            lru: self.tick,
-            spec_read_epoch: NEVER,
-            spec_write_epoch: NEVER,
-        };
+        let overflow = self.tags[victim] != TAG_INVALID && self.spec(victim, epoch);
+        self.tags[victim] = line_addr;
+        self.lru[victim] = self.tick;
+        self.spec_read_epoch[victim] = NEVER;
+        self.spec_write_epoch[victim] = NEVER;
         (victim, overflow)
     }
 }
@@ -138,6 +208,9 @@ pub struct CacheSim {
     l1: Level,
     l2: Level,
     line_bytes: u64,
+    /// `log2(line_bytes)` when the line size is a power of two, so the
+    /// per-access line index is a shift instead of a hardware `div`.
+    line_shift: Option<u32>,
     /// Current region epoch; starts above [`NEVER`] so default lines are
     /// never speculative.
     epoch: u64,
@@ -150,19 +223,28 @@ impl CacheSim {
             l1: Level::new(cfg.l1_sets(), cfg.l1_ways),
             l2: Level::new(cfg.l2_sets(), cfg.l2_ways),
             line_bytes: cfg.line_bytes,
+            line_shift: cfg
+                .line_bytes
+                .is_power_of_two()
+                .then(|| cfg.line_bytes.trailing_zeros()),
             epoch: NEVER + 1,
         }
     }
 
     /// The cache line index of a byte address.
+    #[inline]
     pub fn line_of(&self, addr: u64) -> u64 {
-        addr / self.line_bytes
+        match self.line_shift {
+            Some(s) => addr >> s,
+            None => addr / self.line_bytes,
+        }
     }
 
     /// Performs an access. When `speculative` (inside an atomic region) the
     /// touched L1 line's read/write bit is set. Returns the servicing level
     /// and whether installing the line evicted speculative state (region
     /// overflow — the caller must abort).
+    #[inline]
     pub fn access(&mut self, addr: u64, write: bool, speculative: bool) -> (HitLevel, bool) {
         let line = self.line_of(addr);
         let (level, idx, overflow) = match self.l1.lookup(line) {
@@ -180,9 +262,9 @@ impl CacheSim {
         };
         if speculative {
             if write {
-                self.l1.lines[idx].spec_write_epoch = self.epoch;
+                self.l1.spec_write_epoch[idx] = self.epoch;
             } else {
-                self.l1.lines[idx].spec_read_epoch = self.epoch;
+                self.l1.spec_read_epoch[idx] = self.epoch;
             }
         }
         (level, overflow)
@@ -198,9 +280,9 @@ impl CacheSim {
     /// invalidated (their data is rolled back architecturally by the undo
     /// log); read bits are flash-cleared.
     pub fn abort_region(&mut self) {
-        for l in &mut self.l1.lines {
-            if l.spec_write_epoch == self.epoch {
-                l.valid = false;
+        for (i, e) in self.l1.spec_write_epoch.iter().enumerate() {
+            if *e == self.epoch {
+                self.l1.tags[i] = TAG_INVALID;
             }
         }
         self.epoch += 1;
@@ -208,10 +290,8 @@ impl CacheSim {
 
     /// Number of L1 lines currently holding speculative state.
     pub fn spec_lines(&self) -> usize {
-        self.l1
-            .lines
-            .iter()
-            .filter(|l| l.valid && l.spec(self.epoch))
+        (0..self.l1.tags.len())
+            .filter(|&i| self.l1.tags[i] != TAG_INVALID && self.l1.spec(i, self.epoch))
             .count()
     }
 
@@ -222,12 +302,11 @@ impl CacheSim {
         let line = self.line_of(addr);
         let r = self.l1.set_range(line);
         for i in r {
-            let l = &mut self.l1.lines[i];
-            if l.valid && l.tag == line {
-                let conflict = l.spec(self.epoch);
-                l.valid = false;
-                l.spec_read_epoch = NEVER;
-                l.spec_write_epoch = NEVER;
+            if self.l1.tags[i] == line {
+                let conflict = self.l1.spec(i, self.epoch);
+                self.l1.tags[i] = TAG_INVALID;
+                self.l1.spec_read_epoch[i] = NEVER;
+                self.l1.spec_write_epoch[i] = NEVER;
                 return conflict;
             }
         }
@@ -323,6 +402,33 @@ mod tests {
         c.access(0x6000, false, false);
         c.commit_region();
         assert!(!c.invalidate(0x6000), "non-speculative line: no conflict");
+    }
+
+    #[test]
+    fn target_cache_hit_miss_and_alias_eviction() {
+        let mut t = TargetCache::new();
+        // Cold: every probe misses.
+        assert_eq!(t.lookup(10, 3), None);
+        t.insert(10, 3, 77);
+        // Hit requires both the site and the dynamic key to match.
+        assert_eq!(t.lookup(10, 3), Some(77));
+        assert_eq!(t.lookup(10, 4), None, "same site, different selector");
+        assert_eq!(t.lookup(11, 3), None, "different site, same selector");
+        // A new selector at the same site replaces the entry (direct-mapped,
+        // one way per index): the old pair is gone.
+        t.insert(10, 4, 88);
+        assert_eq!(t.lookup(10, 4), Some(88));
+        assert_eq!(t.lookup(10, 3), None, "evicted by the same-site update");
+        // Aliasing: sites 512 apart map to the same entry and evict each
+        // other (index is site & (BTB_ENTRIES - 1)).
+        t.insert(5, 0, 1);
+        assert_eq!(t.lookup(5, 0), Some(1));
+        t.insert(5 + 512, 0, 2);
+        assert_eq!(t.lookup(5 + 512, 0), Some(2));
+        assert_eq!(t.lookup(5, 0), None, "aliased site evicted the entry");
+        // The empty sentinel never matches a real site hash even at the
+        // aliasing index of u64::MAX.
+        assert_eq!(t.lookup(u64::MAX, 0), None);
     }
 
     #[test]

@@ -17,9 +17,16 @@ pub enum Dispatch {
     /// time. Always used when per-uop fault injection or the invariant
     /// validator is armed, so injected-fault results stay bit-identical.
     PerUop,
-    /// Decoded superblock cache: dispatch maximal straight-line runs with
+    /// Chained superblock dispatch: maximal straight-line runs execute with
     /// one batched fuel/stats update per block from metadata precomputed at
-    /// `CodeCache` install time.
+    /// `CodeCache` install time, and control transfers stay *inside* the
+    /// block engine. Sealed terminators link blocks into traces (jumps,
+    /// branches), `aregion_begin`/`end`/`abort` are handled inline, and
+    /// call/return run on a pooled-frame fast path — the engine drops to
+    /// per-uop stepping only for traps, monitors, validation, and
+    /// injection. A mid-chain abort or trap unapplies the unexecuted block
+    /// suffix so every observation point matches [`Dispatch::PerUop`]
+    /// exactly.
     #[default]
     Superblock,
 }

@@ -8,11 +8,14 @@
 //! few ALU ops per word and fully deterministic, so identical runs produce
 //! identical map layouts.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// A `HashMap` using [`FxHasher`] (deterministic, cheap on integer keys).
 pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using [`FxHasher`] (deterministic, cheap on integer keys).
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
 
 /// The Firefox-lineage multiply-rotate hasher: each input word is folded in
 /// with a rotate, xor, and multiply by a single odd constant.

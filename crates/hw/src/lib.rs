@@ -38,7 +38,7 @@ pub mod stats;
 pub mod superblock;
 pub mod uop;
 
-pub use cache::{CacheSim, HitLevel};
+pub use cache::{CacheSim, HitLevel, TargetCache};
 pub use config::{Dispatch, HwConfig};
 pub use fault::{FaultKind, FaultPlan, GovernorConfig, MachineFault, FAULT_KINDS};
 pub use lower::lower;

@@ -1,39 +1,42 @@
-//! A hybrid set of cache-line indices: dense sorted small-vector under a
-//! spill threshold, hash-set above it.
+//! A hybrid set of cache-line indices: unsorted small-vector under a spill
+//! threshold, deterministic hash-set above it.
 //!
 //! Atomic-region footprints are tiny — §6.2 measures most regions under 10
 //! distinct lines and 50 lines covering 99% — so the per-uop cost of
 //! tracking the footprint is dominated by data-structure constants, not
-//! asymptotics. A sorted `Vec<u64>` with binary-search insertion beats a
-//! `HashSet<u64>` there: no hashing, no buckets, one contiguous allocation
-//! that the machine recycles across regions (see `Machine`'s scratch
-//! buffers), and cache-friendly membership probes.
+//! asymptotics. An append-only `Vec<u64>` with a linear membership scan
+//! beats both a `HashSet<u64>` and a sorted vector there: no hashing, no
+//! buckets, no `Vec::insert` memmove to keep order, one contiguous
+//! allocation that the machine recycles across regions (see `Machine`'s
+//! scratch buffers), and a probe that is a branch-predictable sweep of at
+//! most [`SPILL_LINES`] words — comfortably L1-resident.
 //!
 //! The tail matters too, though: overflow-style experiments (whole-loop
 //! encapsulation, large speculative budgets) can push a single region to
-//! thousands of distinct lines, where `Vec::insert`'s O(n) shifting turns
-//! quadratic. Past [`SPILL_LINES`] distinct lines the set spills into a
-//! `HashSet` — O(1) inserts — and stays there for the region's lifetime.
-//! Both representations answer insert/contains/len identically (a proptest
-//! in `tests/prop_hw.rs` drives them against each other across the
+//! thousands of distinct lines, where the linear scan turns quadratic. Past
+//! [`SPILL_LINES`] distinct lines the set spills into a deterministic
+//! [`FxHashSet`] — O(1) inserts — and stays there for the region's
+//! lifetime. Both representations answer insert/contains/len identically (a
+//! proptest in `tests/prop_hw.rs` drives them against each other across the
 //! threshold).
 
-use std::collections::HashSet;
+use crate::fxhash::FxHashSet;
 
-/// Distinct-line count beyond which the dense sorted vector spills to a
-/// hash set. Far above any committed region footprint in the paper's data,
-/// and small enough that pre-spill inserts stay cheap.
-pub const SPILL_LINES: usize = 256;
+/// Distinct-line count beyond which the dense vector spills to a hash set.
+/// Above any typical committed region footprint in the paper's data, and
+/// small enough that a full dense miss-scan stays a few hundred bytes.
+pub const SPILL_LINES: usize = 64;
 
-/// A set of cache-line indices: sorted small-vector, spilling to a hash set
-/// past [`SPILL_LINES`] distinct entries.
+/// A set of cache-line indices: unsorted small-vector, spilling to a hash
+/// set past [`SPILL_LINES`] distinct entries.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LineSet {
-    /// Dense representation (sorted, deduplicated); emptied on spill but
-    /// kept allocated so [`LineSet::into_buffer`] recycling still works.
+    /// Dense representation (insertion order, deduplicated); emptied on
+    /// spill but kept allocated so [`LineSet::into_buffer`] recycling still
+    /// works.
     lines: Vec<u64>,
     /// Spilled representation; `Some` once the set outgrew the vector.
-    spill: Option<HashSet<u64>>,
+    spill: Option<FxHashSet<u64>>,
 }
 
 impl LineSet {
@@ -52,27 +55,26 @@ impl LineSet {
     }
 
     /// Inserts a line index; returns `true` if it was not already present.
+    #[inline]
     pub fn insert(&mut self, line: u64) -> bool {
         if let Some(set) = &mut self.spill {
             return set.insert(line);
         }
-        match self.lines.binary_search(&line) {
-            Ok(_) => false,
-            Err(pos) => {
-                self.lines.insert(pos, line);
-                if self.lines.len() > SPILL_LINES {
-                    self.spill = Some(self.lines.drain(..).collect());
-                }
-                true
-            }
+        if self.lines.contains(&line) {
+            return false;
         }
+        self.lines.push(line);
+        if self.lines.len() > SPILL_LINES {
+            self.spill = Some(self.lines.drain(..).collect());
+        }
+        true
     }
 
     /// Membership test.
     pub fn contains(&self, line: u64) -> bool {
         match &self.spill {
             Some(set) => set.contains(&line),
-            None => self.lines.binary_search(&line).is_ok(),
+            None => self.lines.contains(&line),
         }
     }
 
@@ -94,22 +96,21 @@ impl LineSet {
         self.spill.is_some()
     }
 
-    /// The line indices while dense (sorted); empty after a spill — use
-    /// [`LineSet::to_sorted_vec`] for a representation-independent view.
+    /// The line indices while dense (insertion order); empty after a spill
+    /// — use [`LineSet::to_sorted_vec`] for a representation-independent
+    /// view.
     pub fn as_slice(&self) -> &[u64] {
         &self.lines
     }
 
     /// All line indices, sorted, regardless of representation.
     pub fn to_sorted_vec(&self) -> Vec<u64> {
-        match &self.spill {
-            Some(set) => {
-                let mut v: Vec<u64> = set.iter().copied().collect();
-                v.sort_unstable();
-                v
-            }
+        let mut v: Vec<u64> = match &self.spill {
+            Some(set) => set.iter().copied().collect(),
             None => self.lines.clone(),
-        }
+        };
+        v.sort_unstable();
+        v
     }
 
     /// Consumes the set, returning the dense backing buffer for reuse (a
@@ -125,13 +126,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn insert_dedupes_and_sorts() {
+    fn insert_dedupes() {
         let mut s = LineSet::new();
         assert!(s.insert(5));
         assert!(s.insert(1));
         assert!(s.insert(9));
         assert!(!s.insert(5), "duplicate rejected");
-        assert_eq!(s.as_slice(), &[1, 5, 9]);
+        assert_eq!(s.to_sorted_vec(), vec![1, 5, 9]);
         assert_eq!(s.len(), 3);
         assert!(s.contains(9));
         assert!(!s.contains(2));

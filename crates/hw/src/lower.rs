@@ -297,7 +297,7 @@ impl<'f> Lowering<'f> {
                 let at = self.uops.len();
                 self.emit(Uop::JmpInd {
                     sel: mreg(sel),
-                    table: vec![usize::MAX; labels.len()],
+                    table: vec![usize::MAX; labels.len()].into(),
                     default: usize::MAX,
                 });
                 for (slot, l) in labels.into_iter().enumerate() {

@@ -21,20 +21,17 @@ use hasp_vm::heap::{Heap, HeapCell, HeapMark};
 use hasp_vm::value::{ObjId, Value};
 
 use crate::bpred::Predictor;
-use crate::cache::{CacheSim, HitLevel};
+use crate::cache::{CacheSim, HitLevel, TargetCache};
 use crate::config::{Dispatch, HwConfig};
 use crate::fault::MachineFault;
 use crate::fxhash::FxHashMap;
 use crate::lineset::LineSet;
 use crate::stats::{AbortReason, MarkerSnap, RunStats};
-use crate::superblock::SbInfo;
+use crate::superblock::{SbInfo, SbTerm};
 use crate::uop::{CodeCache, CompiledCode, MReg, Uop};
 
 /// Simulated address of the thread-local yield flag polled by safepoints.
 const YIELD_FLAG_ADDR: u64 = 0x100;
-
-/// Branch-target side-cache size (power of two, direct-mapped).
-const BTB_ENTRIES: usize = 512;
 
 /// What executing one uop did to control flow.
 enum StepOut {
@@ -61,49 +58,14 @@ enum Interior {
     Overflow(usize),
 }
 
-/// A direct-mapped branch-target side-cache for `JmpInd` tables and
-/// `CallVirt` vtable walks, keyed by (site, dynamic selector). Both lookups
-/// it short-circuits are pure functions of that pair — a switch table is
-/// immutable and a class's vtable slot never changes — so hits are
-/// semantically transparent; monomorphic sites skip the table walk entirely.
-#[derive(Debug)]
-struct TargetCache {
-    entries: Vec<BtbEntry>,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct BtbEntry {
-    site: u64,
-    key: i64,
-    target: usize,
-}
-
-impl TargetCache {
-    fn new() -> Self {
-        TargetCache {
-            // `site: u64::MAX` never collides with a real pc hash (method
-            // ids are 32-bit), so it doubles as the empty sentinel.
-            entries: vec![
-                BtbEntry {
-                    site: u64::MAX,
-                    key: 0,
-                    target: 0,
-                };
-                BTB_ENTRIES
-            ],
-        }
-    }
-
-    #[inline]
-    fn lookup(&self, site: u64, key: i64) -> Option<usize> {
-        let e = &self.entries[(site as usize) & (BTB_ENTRIES - 1)];
-        (e.site == site && e.key == key).then_some(e.target)
-    }
-
-    #[inline]
-    fn insert(&mut self, site: u64, key: i64, target: usize) {
-        self.entries[(site as usize) & (BTB_ENTRIES - 1)] = BtbEntry { site, key, target };
-    }
+/// How an `aregion_begin` resolved (see [`Machine::region_begin`]).
+enum BeginOut {
+    /// The region was entered: execution falls through into the body.
+    Entered,
+    /// Control was redirected to this pc without entering (a governor
+    /// de-speculation patch-out, or a targeted injected abort that fired
+    /// the moment the checkpoint was armed).
+    Redirect(usize),
 }
 
 #[derive(Debug)]
@@ -121,9 +83,6 @@ struct Frame<'p> {
 struct RegionCtx {
     region: u32,
     method: MethodId,
-    /// The `RegionBegin` pc, keying the method's precomputed register
-    /// write set (the sparse-checkpoint index list).
-    begin_pc: usize,
     alt: usize,
     frame_depth: usize,
     /// Sparse register checkpoint: the values of exactly the registers in
@@ -135,6 +94,10 @@ struct RegionCtx {
     heap: HeapMark,
     undo: Vec<(HeapCell, i64)>,
     lines: LineSet,
+    /// The last cache line recorded into `lines` — an MRU filter so runs of
+    /// accesses to the same line (the common case: consecutive fields of
+    /// one object) skip the set probe entirely.
+    last_line: u64,
     start_uops: u64,
     /// Independent copy of the *full* register file, captured only in
     /// validation mode so the post-abort validator can verify the sparse
@@ -346,7 +309,11 @@ impl<'p> Machine<'p> {
         }
         let mut overflowed = false;
         if let Some(r) = region.as_mut() {
-            r.lines.insert(addr / cfg.line_bytes);
+            let line = cache.line_of(addr);
+            if line != r.last_line {
+                r.last_line = line;
+                r.lines.insert(line);
+            }
             // The injected line budget models a smaller speculative cache:
             // it tightens the geometric overflow, never loosens it.
             let budget = cfg.faults.line_budget;
@@ -407,10 +374,7 @@ impl<'p> Machine<'p> {
         // from the checkpoint — restoring exactly those is bit-identical
         // to swapping in a full-file copy.
         let code = frame.code;
-        let writes = code
-            .region_writes
-            .get(&r.begin_pc)
-            .expect("sealed region write set");
+        let writes = &code.region_writes[r.region as usize];
         for (&idx, &v) in writes.iter().zip(r.regs.iter()) {
             frame.regs[idx as usize] = v;
         }
@@ -420,12 +384,10 @@ impl<'p> Machine<'p> {
         self.reg_pool.push(ckpt);
         self.cache.abort_region();
         self.stats.aborts.record(reason);
-        let counters = self
-            .stats
+        self.stats
             .per_region
-            .entry((r.method, r.region))
-            .or_default();
-        counters.aborts += 1;
+            .counters_mut((r.method, r.region))
+            .aborts += 1;
         if self.cfg.validate {
             self.validate_arch_state(&r, true)?;
         }
@@ -491,6 +453,123 @@ impl<'p> Machine<'p> {
                 g.cooldown = (g.cooldown / 2).max(self.cfg.governor.cooldown_entries);
             }
         }
+    }
+
+    /// Executes an `aregion_begin` at `pc`: governor consult, entry stalls,
+    /// sparse write-set checkpoint, region-context arming, and targeted
+    /// injection — shared verbatim by the per-uop `step` arm and the block
+    /// engine's inline terminator, so region-entry semantics cannot drift.
+    fn region_begin(
+        &mut self,
+        method: MethodId,
+        pc: usize,
+        region: u32,
+        alt: usize,
+    ) -> Result<BeginOut, MachineFault> {
+        if self.region.is_some() {
+            return Err(MachineFault::NestedRegion { method, pc });
+        }
+        // Governor consult: a de-speculated region's begin is
+        // patched to branch straight to its alternate PC — the
+        // non-speculative version runs with zero region overhead.
+        if self.cfg.governor.enabled {
+            if let Some(g) = self.gov.get_mut(&(method, region)) {
+                if g.skips_remaining > 0 {
+                    g.skips_remaining -= 1;
+                    if g.skips_remaining == 0 {
+                        self.stats.governor_reenables += 1;
+                    }
+                    self.stats.governor_skips += 1;
+                    self.stats
+                        .per_region
+                        .counters_mut((method, region))
+                        .gov_skips += 1;
+                    return Ok(BeginOut::Redirect(alt));
+                }
+            }
+        }
+        self.charge(self.cfg.begin_stall);
+        if self.cfg.single_inflight {
+            // Stall at decode until the previous region drains.
+            let drain = self.cfg.window / self.cfg.width;
+            let gap = (self.cxw - self.last_commit_cxw) / self.cfg.width;
+            if gap < drain {
+                self.charge(drain - gap);
+            }
+        }
+        // Sparse checkpoint into a pooled buffer: only the region's
+        // precomputed write set needs saving (see the `RegionCtx`
+        // field docs); the previous region's undo-log / footprint
+        // allocations are reused.
+        let mut ckpt = self.reg_pool.pop().unwrap_or_default();
+        ckpt.clear();
+        let f = self.frames.last().expect("frame");
+        let writes = &f.code.region_writes[region as usize];
+        ckpt.extend(writes.iter().map(|&r| f.regs[r as usize]));
+        // The shadow checkpoint is validator-only state: an
+        // independent full register-file copy the rollback path
+        // never touches, so sparse restoration can be cross-checked
+        // against the complete pre-region file.
+        let shadow_regs = if self.cfg.validate {
+            f.regs.clone()
+        } else {
+            Vec::new()
+        };
+        let mut undo = std::mem::take(&mut self.spare_undo);
+        undo.clear();
+        self.region = Some(RegionCtx {
+            region,
+            method,
+            alt,
+            frame_depth: self.frames.len(),
+            regs: ckpt,
+            env: self.env.snapshot(),
+            heap: self.heap.alloc_mark(),
+            undo,
+            lines: LineSet::from_buffer(std::mem::take(&mut self.spare_lines)),
+            last_line: u64::MAX,
+            start_uops: self.stats.uops,
+            shadow_regs,
+        });
+        self.stats.per_region.counters_mut((method, region)).entries += 1;
+        // Targeted injection: abort exactly the Nth dynamic
+        // entry, the moment the checkpoint is armed.
+        self.region_entries += 1;
+        if self.cfg.faults.abort_at_entry == Some(self.region_entries) {
+            self.abort(AbortReason::Spurious)?;
+            return Ok(BeginOut::Redirect(alt));
+        }
+        Ok(BeginOut::Entered)
+    }
+
+    /// Executes an `aregion_end` at `pc`: flash-clear commit, statistics,
+    /// validation, governor bookkeeping, and buffer recycling — shared
+    /// verbatim by the per-uop `step` arm and the block engine's inline
+    /// terminator.
+    fn region_end(&mut self, method: MethodId, pc: usize, region: u32) -> Result<(), MachineFault> {
+        let Some(mut r) = self.region.take() else {
+            return Err(MachineFault::EndOutsideRegion { method, pc });
+        };
+        debug_assert_eq!(r.region, region);
+        self.cache.commit_region();
+        self.stats.commits += 1;
+        self.stats
+            .region_sizes
+            .record(self.stats.uops - r.start_uops);
+        self.stats.region_footprint.record(r.lines.len() as u64);
+        self.last_commit_cxw = self.cxw;
+        if self.cfg.validate {
+            self.validate_arch_state(&r, false)?;
+        }
+        if self.cfg.governor.enabled {
+            self.gov_on_commit(r.method, r.region);
+        }
+        // Recycle the region's buffers for the next one.
+        r.undo.clear();
+        self.spare_undo = r.undo;
+        self.spare_lines = r.lines.into_buffer();
+        self.reg_pool.push(r.regs);
+        Ok(())
     }
 
     /// The §3 atomicity contract, checked mechanically after a commit or an
@@ -859,24 +938,45 @@ impl<'p> Machine<'p> {
         Interior::Done
     }
 
-    /// The batched-dispatch hot path: retire one decoded superblock at a
-    /// time — a single fuel/stats update from the block's precomputed
-    /// delta, one register-file borrow across its straight-line prefix —
-    /// with the shared [`Machine::step`] handling memory, check, alloc, and
-    /// terminator uops.
+    /// The chained batched-dispatch hot path: retire decoded superblocks
+    /// block-to-block without leaving the engine. Each iteration charges the
+    /// block's precomputed fuel/stats delta once, runs the straight-line
+    /// prefix under one register-file borrow, then follows the *sealed*
+    /// terminator link ([`SbTerm`]): direct and conditional successors,
+    /// region entry/commit/abort, and call/return frame transitions all
+    /// resolve inline on locally cached `(method, pc, code)` state — the
+    /// frame stack is consulted only when a frame actually changes, and the
+    /// shared [`Machine::step`] path is reserved for trap replay,
+    /// indirect-table misses, and `Unreachable`.
     ///
     /// The accounting invariant that makes the batch exact: the per-uop
     /// reference charges each uop *before* executing its action, so
     /// charging all `n` uops at block entry agrees with it at every point
     /// where the counters are observable (terminators and markers), and a
     /// redirect at interior uop `i` only needs `blocks[i + 1]` — precisely
-    /// the unexecuted suffix — subtracted again.
+    /// the unexecuted suffix — subtracted again. A mid-chain abort (assert,
+    /// overflow, trap-turned-abort) therefore lands on exactly the totals
+    /// the reference would have recorded at the redirect point, after which
+    /// the chain resynchronizes from the frame stack and keeps going.
+    #[allow(clippy::too_many_lines)]
     fn exec_superblock(&mut self) -> Result<Option<Value>, MachineFault> {
-        loop {
-            let (method, pc, code) = {
+        // The chain's cached dispatch state: authoritative between frame
+        // transitions (`self.frames` pcs may lag until a slow path syncs).
+        let (mut method, mut pc, mut code) = {
+            let f = self.frames.last().expect("frame");
+            (f.method, f.pc, f.code)
+        };
+        /// Re-caches the chain state from the frame stack after a path that
+        /// redirected through it (abort, trap replay, governor patch-out).
+        macro_rules! resync {
+            () => {{
                 let f = self.frames.last().expect("frame");
-                (f.method, f.pc, f.code)
-            };
+                method = f.method;
+                pc = f.pc;
+                code = f.code;
+            }};
+        }
+        loop {
             let sb = &code.blocks[pc];
             let n = u64::from(sb.len);
             if n == 0 {
@@ -894,12 +994,13 @@ impl<'p> Machine<'p> {
                     cycles: self.cycles(),
                 };
                 self.stats.markers.push(snap);
-                self.frames.last_mut().expect("frame").pc = pc + 1;
+                pc += 1;
                 continue;
             }
             if self.fuel < n {
                 // Within one block of exhaustion: the reference path finds
                 // the exact uop the fuel runs out on.
+                self.frames.last_mut().expect("frame").pc = pc;
                 return self.exec_per_uop();
             }
             // The whole block's accounting, batched.
@@ -912,86 +1013,144 @@ impl<'p> Machine<'p> {
                 self.stats.region_uops += n;
             }
             let term = pc + sb.len as usize - 1;
-            let mut i = pc;
-            let mut redirected = false;
-            while i < term {
-                match self.run_interior(code, i, term) {
-                    Interior::Done => break,
-                    // A trap-bound or unspecialized interior uop: keep the
-                    // frame pc exact for trap provenance, then replay it
-                    // through the shared semantics (the fast path bailed
-                    // before any side effect, so replay is exact).
-                    Interior::Slow(j) => {
-                        self.frames.last_mut().expect("frame").pc = j;
-                        match self.step(&code.uops[j], method, j) {
-                            Ok(StepOut::Next(_)) => i = j + 1,
-                            Ok(StepOut::Redirect) => {
-                                self.unapply_suffix(&code.blocks[j + 1], in_region);
-                                redirected = true;
-                                break;
+            let sterm = sb.term;
+            if pc < term {
+                let mut i = pc;
+                let mut redirected = false;
+                while i < term {
+                    match self.run_interior(code, i, term) {
+                        Interior::Done => break,
+                        // A trap-bound or unspecialized interior uop: keep
+                        // the frame pc exact for trap provenance, then
+                        // replay it through the shared semantics (the fast
+                        // path bailed before any side effect, so replaying
+                        // is exact).
+                        Interior::Slow(j) => {
+                            self.frames.last_mut().expect("frame").pc = j;
+                            match self.step(&code.uops[j], method, j) {
+                                Ok(StepOut::Next(_)) => i = j + 1,
+                                Ok(StepOut::Redirect) => {
+                                    self.unapply_suffix(&code.blocks[j + 1], in_region);
+                                    redirected = true;
+                                    break;
+                                }
+                                Ok(StepOut::Return(_)) => {
+                                    unreachable!("return is a block terminator")
+                                }
+                                Err(e) => {
+                                    self.unapply_suffix(&code.blocks[j + 1], in_region);
+                                    return Err(e);
+                                }
                             }
-                            Ok(StepOut::Return(_)) => unreachable!("return is a block terminator"),
-                            Err(e) => {
+                        }
+                        // The cache already recorded the access when
+                        // overflow was detected, so this cannot be replayed
+                        // — abort here, exactly as the reference path's
+                        // `mem_access` would.
+                        Interior::Overflow(j) => {
+                            if let Err(e) = self.abort(AbortReason::Overflow) {
                                 self.unapply_suffix(&code.blocks[j + 1], in_region);
                                 return Err(e);
                             }
-                        }
-                    }
-                    // The cache already recorded the access when overflow
-                    // was detected, so this cannot be replayed — abort here,
-                    // exactly as the reference path's `mem_access` would.
-                    Interior::Overflow(j) => {
-                        if let Err(e) = self.abort(AbortReason::Overflow) {
                             self.unapply_suffix(&code.blocks[j + 1], in_region);
-                            return Err(e);
+                            redirected = true;
+                            break;
                         }
-                        self.unapply_suffix(&code.blocks[j + 1], in_region);
-                        redirected = true;
-                        break;
                     }
                 }
+                if redirected {
+                    resync!();
+                    continue;
+                }
             }
-            if redirected {
-                continue;
-            }
-            // Pure control-flow terminators — no trap path, no region or
-            // heap interaction — retire inline under one frame borrow,
-            // mirroring [`Machine::step`]'s arms exactly. Everything else
-            // (calls, returns, region primitives) goes through `step`.
-            {
-                let Machine {
-                    frames,
-                    stats,
-                    pred,
-                    btb,
-                    cxw,
-                    cfg,
-                    ..
-                } = &mut *self;
-                let frame = frames.last_mut().expect("frame");
-                match code.uops[term] {
-                    Uop::Jmp { target } => {
-                        frame.pc = target;
-                        continue;
+            // Follow the sealed terminator link. Every arm mirrors the
+            // corresponding [`Machine::step`] semantics exactly; the shared
+            // region helpers *are* the step arms.
+            match sterm {
+                SbTerm::Jmp { next } => pc = next as usize,
+                SbTerm::Br { op, a, b, taken } => {
+                    let Machine {
+                        frames,
+                        stats,
+                        pred,
+                        cxw,
+                        cfg,
+                        ..
+                    } = &mut *self;
+                    let regs = &frames.last().expect("frame").regs;
+                    let (x, y) = (regs[a.0 as usize], regs[b.0 as usize]);
+                    let t = op.eval_int(x, y);
+                    stats.branches += 1;
+                    if !pred.branch(Self::pc_hash(method, term), t) {
+                        stats.mispredicts += 1;
+                        *stats.mispredict_sites.entry((method.0, term)).or_insert(0) += 1;
+                        *cxw += cfg.mispredict_penalty * cfg.width;
                     }
-                    Uop::Br { op, a, b, target } => {
-                        let (x, y) = (frame.regs[a.0 as usize], frame.regs[b.0 as usize]);
-                        let taken = op.eval_int(x, y);
-                        stats.branches += 1;
-                        if !pred.branch(Self::pc_hash(method, term), taken) {
-                            stats.mispredicts += 1;
-                            *stats.mispredict_sites.entry((method.0, term)).or_insert(0) += 1;
-                            *cxw += cfg.mispredict_penalty * cfg.width;
-                        }
-                        frame.pc = if taken { target } else { term + 1 };
-                        continue;
+                    pc = if t { taken as usize } else { term + 1 };
+                }
+                SbTerm::Ret { src } => {
+                    // Epilogue: frame teardown + return-address handling,
+                    // with the register file recycled through the pool.
+                    self.account_call_overhead(2);
+                    debug_assert!(
+                        self.region.is_none()
+                            || self.region.as_ref().expect("region").frame_depth
+                                == self.frames.len(),
+                        "region must not span returns"
+                    );
+                    let frame = self.frames.pop().expect("frame");
+                    let v = src.map(|r| frame.regs[r.0 as usize]);
+                    if self.frames.is_empty() {
+                        self.stats.cycles = self.cycles();
+                        return Ok(v.map(Value::decode));
                     }
+                    let caller = self.frames.last_mut().expect("frame");
+                    if let Some(d) = frame.ret_dst {
+                        caller.regs[d.0 as usize] = v.unwrap_or(0);
+                    }
+                    method = caller.method;
+                    pc = caller.pc;
+                    code = caller.code;
+                    self.reg_pool.push(frame.regs);
+                }
+                SbTerm::RegionBegin { region, alt } => {
+                    match self.region_begin(method, term, region, alt as usize)? {
+                        BeginOut::Entered => pc = term + 1,
+                        BeginOut::Redirect(t) => pc = t,
+                    }
+                }
+                SbTerm::RegionEnd { region } => {
+                    self.region_end(method, term, region)?;
+                    pc = term + 1;
+                }
+                SbTerm::Abort { assert_id } => {
+                    // `abort` reads the frame pc only on the misuse
+                    // (no-region) error path; keep it exact for the report.
+                    self.frames.last_mut().expect("frame").pc = term;
+                    let reason = if assert_id == u32::MAX {
+                        AbortReason::Sle
+                    } else {
+                        AbortReason::Explicit
+                    };
+                    self.abort(reason)?;
+                    resync!();
+                }
+                SbTerm::Decode => match code.uops[term] {
                     Uop::JmpInd {
                         sel,
                         ref table,
                         default,
                     } => {
-                        let v = frame.regs[sel.0 as usize];
+                        let Machine {
+                            frames,
+                            stats,
+                            pred,
+                            btb,
+                            cxw,
+                            cfg,
+                            ..
+                        } = &mut *self;
+                        let v = frames.last().expect("frame").regs[sel.0 as usize];
                         let site = Self::pc_hash(method, term);
                         let target = match btb.lookup(site, v) {
                             Some(t) => t,
@@ -1010,20 +1169,124 @@ impl<'p> Machine<'p> {
                             stats.indirect_misses += 1;
                             *cxw += cfg.mispredict_penalty * cfg.width;
                         }
-                        frame.pc = target;
-                        continue;
+                        pc = target;
                     }
-                    _ => {}
-                }
-            }
-            self.frames.last_mut().expect("frame").pc = term;
-            match self.step(&code.uops[term], method, term)? {
-                StepOut::Next(np) => self.frames.last_mut().expect("frame").pc = np,
-                StepOut::Redirect => {}
-                StepOut::Return(v) => {
-                    self.stats.cycles = self.cycles();
-                    return Ok(v);
-                }
+                    Uop::Call {
+                        dst,
+                        target,
+                        ref args,
+                    } => {
+                        debug_assert!(self.region.is_none(), "call inside atomic region");
+                        // Frame setup: argument marshalling + prologue uops.
+                        self.account_call_overhead(args.len() as u64 + 2);
+                        if self.frames.len() >= self.max_depth {
+                            return Err(VmError::StackOverflow.into());
+                        }
+                        let callee = self
+                            .code
+                            .get(target)
+                            .ok_or(MachineFault::MethodNotCompiled(target))?;
+                        // Pooled push with the arguments copied caller →
+                        // callee directly — no marshalling buffer between.
+                        let mut regs = self.reg_pool.pop().unwrap_or_default();
+                        regs.clear();
+                        regs.resize(callee.regs as usize, 0);
+                        let caller = self.frames.last_mut().expect("frame");
+                        for (i, r) in args.iter().enumerate() {
+                            regs[i] = caller.regs[r.0 as usize];
+                        }
+                        caller.pc = term + 1;
+                        self.frames.push(Frame {
+                            method: target,
+                            code: callee,
+                            regs,
+                            pc: 0,
+                            ret_dst: dst,
+                        });
+                        method = target;
+                        code = callee;
+                        pc = 0;
+                    }
+                    Uop::CallVirt {
+                        dst,
+                        slot,
+                        recv,
+                        ref args,
+                    } if matches!(
+                        Value::decode(self.frames.last().expect("frame").regs[recv.0 as usize]),
+                        Value::Ref(Some(_))
+                    ) =>
+                    {
+                        debug_assert!(self.region.is_none(), "call inside atomic region");
+                        let rbits = self.frames.last().expect("frame").regs[recv.0 as usize];
+                        let Value::Ref(Some(ro)) = Value::decode(rbits) else {
+                            unreachable!("guard checked the receiver")
+                        };
+                        let class = self.heap.class_of(ro);
+                        // Virtual-call sites are overwhelmingly monomorphic:
+                        // the side-cache memoizes the vtable walk per
+                        // (site, class). A vtable slot never changes, so a
+                        // hit is transparent.
+                        let site = Self::pc_hash(method, term);
+                        let target = match self.btb.lookup(site, i64::from(class.0)) {
+                            Some(t) => MethodId(t as u32),
+                            None => {
+                                let t = self.program.resolve_virtual(class, slot);
+                                self.btb.insert(site, i64::from(class.0), t.0 as usize);
+                                t
+                            }
+                        };
+                        // Frame setup + vtable load.
+                        self.account_call_overhead(args.len() as u64 + 4);
+                        // Virtual dispatch is an indirect branch.
+                        self.stats.indirects += 1;
+                        if !self.pred.indirect(site, u64::from(target.0)) {
+                            self.stats.indirect_misses += 1;
+                            self.charge(self.cfg.mispredict_penalty);
+                        }
+                        if self.frames.len() >= self.max_depth {
+                            return Err(VmError::StackOverflow.into());
+                        }
+                        let callee = self
+                            .code
+                            .get(target)
+                            .ok_or(MachineFault::MethodNotCompiled(target))?;
+                        let mut regs = self.reg_pool.pop().unwrap_or_default();
+                        regs.clear();
+                        regs.resize(callee.regs as usize, 0);
+                        let caller = self.frames.last_mut().expect("frame");
+                        regs[0] = rbits;
+                        for (i, r) in args.iter().enumerate() {
+                            regs[i + 1] = caller.regs[r.0 as usize];
+                        }
+                        caller.pc = term + 1;
+                        self.frames.push(Frame {
+                            method: target,
+                            code: callee,
+                            regs,
+                            pc: 0,
+                            ret_dst: dst,
+                        });
+                        method = target;
+                        code = callee;
+                        pc = 0;
+                    }
+                    // Null/non-ref virtual receivers (exact trap provenance),
+                    // `Unreachable`, and blocks sealed early by markers or
+                    // end-of-stream: the shared step path handles them.
+                    ref u => {
+                        self.frames.last_mut().expect("frame").pc = term;
+                        match self.step(u, method, term)? {
+                            StepOut::Next(np) => self.frames.last_mut().expect("frame").pc = np,
+                            StepOut::Redirect => {}
+                            StepOut::Return(v) => {
+                                self.stats.cycles = self.cycles();
+                                return Ok(v);
+                            }
+                        }
+                        resync!();
+                    }
+                },
             }
         }
     }
@@ -1402,111 +1665,15 @@ impl<'p> Machine<'p> {
                 return Ok(StepOut::Redirect);
             }
             Uop::RegionBegin { region, alt } => {
-                if self.region.is_some() {
-                    return Err(MachineFault::NestedRegion { method, pc });
-                }
-                // Governor consult: a de-speculated region's begin is
-                // patched to branch straight to its alternate PC — the
-                // non-speculative version runs with zero region overhead.
-                if self.cfg.governor.enabled {
-                    if let Some(g) = self.gov.get_mut(&(method, region)) {
-                        if g.skips_remaining > 0 {
-                            g.skips_remaining -= 1;
-                            if g.skips_remaining == 0 {
-                                self.stats.governor_reenables += 1;
-                            }
-                            self.stats.governor_skips += 1;
-                            self.stats
-                                .per_region
-                                .entry((method, region))
-                                .or_default()
-                                .gov_skips += 1;
-                            self.frames.last_mut().expect("frame").pc = alt;
-                            return Ok(StepOut::Redirect);
-                        }
+                match self.region_begin(method, pc, region, alt)? {
+                    BeginOut::Entered => {}
+                    BeginOut::Redirect(t) => {
+                        self.frames.last_mut().expect("frame").pc = t;
+                        return Ok(StepOut::Redirect);
                     }
                 }
-                self.charge(self.cfg.begin_stall);
-                if self.cfg.single_inflight {
-                    // Stall at decode until the previous region drains.
-                    let drain = self.cfg.window / self.cfg.width;
-                    let gap = (self.cxw - self.last_commit_cxw) / self.cfg.width;
-                    if gap < drain {
-                        self.charge(drain - gap);
-                    }
-                }
-                // Sparse checkpoint into a pooled buffer: only the region's
-                // precomputed write set needs saving (see the `RegionCtx`
-                // field docs); the previous region's undo-log / footprint
-                // allocations are reused.
-                let mut ckpt = self.reg_pool.pop().unwrap_or_default();
-                ckpt.clear();
-                let f = self.frames.last().expect("frame");
-                let writes = f
-                    .code
-                    .region_writes
-                    .get(&pc)
-                    .expect("sealed region write set");
-                ckpt.extend(writes.iter().map(|&r| f.regs[r as usize]));
-                // The shadow checkpoint is validator-only state: an
-                // independent full register-file copy the rollback path
-                // never touches, so sparse restoration can be cross-checked
-                // against the complete pre-region file.
-                let shadow_regs = if self.cfg.validate {
-                    f.regs.clone()
-                } else {
-                    Vec::new()
-                };
-                let mut undo = std::mem::take(&mut self.spare_undo);
-                undo.clear();
-                self.region = Some(RegionCtx {
-                    region,
-                    method,
-                    begin_pc: pc,
-                    alt,
-                    frame_depth: self.frames.len(),
-                    regs: ckpt,
-                    env: self.env.snapshot(),
-                    heap: self.heap.alloc_mark(),
-                    undo,
-                    lines: LineSet::from_buffer(std::mem::take(&mut self.spare_lines)),
-                    start_uops: self.stats.uops,
-                    shadow_regs,
-                });
-                let counters = self.stats.per_region.entry((method, region)).or_default();
-                counters.entries += 1;
-                // Targeted injection: abort exactly the Nth dynamic
-                // entry, the moment the checkpoint is armed.
-                self.region_entries += 1;
-                if self.cfg.faults.abort_at_entry == Some(self.region_entries) {
-                    self.abort(AbortReason::Spurious)?;
-                    return Ok(StepOut::Redirect);
-                }
             }
-            Uop::RegionEnd { region } => {
-                let Some(mut r) = self.region.take() else {
-                    return Err(MachineFault::EndOutsideRegion { method, pc });
-                };
-                debug_assert_eq!(r.region, region);
-                self.cache.commit_region();
-                self.stats.commits += 1;
-                self.stats
-                    .region_sizes
-                    .record(self.stats.uops - r.start_uops);
-                self.stats.region_footprint.record(r.lines.len() as u64);
-                self.last_commit_cxw = self.cxw;
-                if self.cfg.validate {
-                    self.validate_arch_state(&r, false)?;
-                }
-                if self.cfg.governor.enabled {
-                    self.gov_on_commit(r.method, r.region);
-                }
-                // Recycle the region's buffers for the next one.
-                r.undo.clear();
-                self.spare_undo = r.undo;
-                self.spare_lines = r.lines.into_buffer();
-                self.reg_pool.push(r.regs);
-            }
+            Uop::RegionEnd { region } => self.region_end(method, pc, region)?,
             Uop::Abort { assert_id } => {
                 let reason = if assert_id == u32::MAX {
                     AbortReason::Sle

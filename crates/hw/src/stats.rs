@@ -225,6 +225,80 @@ pub struct RegionCounters {
     pub gov_skips: u64,
 }
 
+/// Per-static-region counter table: a hash index over stable rows, with a
+/// most-recently-used slot in front.
+///
+/// Dynamic region entries cluster heavily — a loop re-enters the same
+/// static region thousands of times in a row — so the hot
+/// [`RegionTable::counters_mut`] path almost always resolves through the
+/// MRU key compare and never touches the hash map. Rows are append-only,
+/// so their indices stay stable for the lifetime of the run.
+#[derive(Debug, Clone, Default)]
+pub struct RegionTable {
+    index: FxHashMap<(MethodId, u32), u32>,
+    rows: Vec<((MethodId, u32), RegionCounters)>,
+    /// MRU accelerator; derived state, excluded from equality.
+    last: Option<((MethodId, u32), u32)>,
+}
+
+impl RegionTable {
+    /// The counters for `key`, creating a zeroed row on first sight.
+    #[inline]
+    pub fn counters_mut(&mut self, key: (MethodId, u32)) -> &mut RegionCounters {
+        if let Some((k, i)) = self.last {
+            if k == key {
+                return &mut self.rows[i as usize].1;
+            }
+        }
+        let i = match self.index.get(&key) {
+            Some(&i) => i,
+            None => {
+                let i = self.rows.len() as u32;
+                self.index.insert(key, i);
+                self.rows.push((key, RegionCounters::default()));
+                i
+            }
+        };
+        self.last = Some((key, i));
+        &mut self.rows[i as usize].1
+    }
+
+    /// The counters for `key`, if the region ever executed.
+    pub fn get(&self, key: &(MethodId, u32)) -> Option<&RegionCounters> {
+        self.index.get(key).map(|&i| &self.rows[i as usize].1)
+    }
+
+    /// Number of distinct static regions seen.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no region ever executed.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All `(key, counters)` pairs in first-execution order.
+    pub fn iter(&self) -> impl Iterator<Item = ((MethodId, u32), &RegionCounters)> {
+        self.rows.iter().map(|(k, c)| (*k, c))
+    }
+
+    /// All counters in first-execution order.
+    pub fn values(&self) -> impl Iterator<Item = &RegionCounters> {
+        self.rows.iter().map(|(_, c)| c)
+    }
+}
+
+impl PartialEq for RegionTable {
+    fn eq(&self, other: &Self) -> bool {
+        // Row order is first-execution order, which bit-identical runs
+        // reproduce exactly; `index`/`last` are derived accelerators.
+        self.rows == other.rows
+    }
+}
+
+impl Eq for RegionTable {}
+
 /// One marker snapshot: the machine state when a marker uop retired.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MarkerSnap {
@@ -273,7 +347,7 @@ pub struct RunStats {
     /// Committed region footprints in distinct cache lines (§6.2).
     pub region_footprint: Histogram,
     /// Per-static-region entry/abort counters (adaptive recompilation input).
-    pub per_region: FxHashMap<(MethodId, u32), RegionCounters>,
+    pub per_region: RegionTable,
     /// Marker snapshots in hit order.
     pub markers: Vec<MarkerSnap>,
     /// Mispredicted-branch sites: (method id, pc) → miss count (diagnosis).
@@ -307,7 +381,7 @@ impl Default for RunStats {
             mem_accesses: 0,
             region_sizes: Histogram::new(&[16, 32, 64, 128, 256, 512, 1024]),
             region_footprint: Histogram::new(&[1, 2, 4, 8, 10, 16, 32, 50, 100, 128]),
-            per_region: FxHashMap::default(),
+            per_region: RegionTable::default(),
             markers: Vec::new(),
             mispredict_sites: FxHashMap::default(),
             governor_skips: 0,
@@ -360,6 +434,112 @@ impl RunStats {
     /// Average committed region size in uops (Table 3 "size").
     pub fn avg_region_size(&self) -> f64 {
         self.region_sizes.mean()
+    }
+
+    /// Field-by-field comparison against another run, for diagnosing
+    /// dispatch-engine divergence: one human-readable line per differing
+    /// field (`name: self vs other`), empty when the runs are bit-identical.
+    /// Collections (histograms, per-region map, markers, mispredict sites)
+    /// are summarized rather than dumped.
+    pub fn diff(&self, other: &RunStats) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut scalar = |name: &str, a: u64, b: u64| {
+            if a != b {
+                out.push(format!("{name}: {a} vs {b}"));
+            }
+        };
+        scalar("uops", self.uops, other.uops);
+        scalar("cycles", self.cycles, other.cycles);
+        scalar("region_uops", self.region_uops, other.region_uops);
+        scalar("commits", self.commits, other.commits);
+        scalar("branches", self.branches, other.branches);
+        scalar("mispredicts", self.mispredicts, other.mispredicts);
+        scalar("indirects", self.indirects, other.indirects);
+        scalar(
+            "indirect_misses",
+            self.indirect_misses,
+            other.indirect_misses,
+        );
+        scalar("l1_hits", self.l1_hits, other.l1_hits);
+        scalar("l2_hits", self.l2_hits, other.l2_hits);
+        scalar("mem_accesses", self.mem_accesses, other.mem_accesses);
+        scalar("governor_skips", self.governor_skips, other.governor_skips);
+        scalar(
+            "governor_disables",
+            self.governor_disables,
+            other.governor_disables,
+        );
+        scalar(
+            "governor_reenables",
+            self.governor_reenables,
+            other.governor_reenables,
+        );
+        scalar("validations", self.validations, other.validations);
+        for c in UOP_CLASSES {
+            if self.uop_classes.get(c) != other.uop_classes.get(c) {
+                out.push(format!(
+                    "uop_classes[{}]: {} vs {}",
+                    c.name(),
+                    self.uop_classes.get(c),
+                    other.uop_classes.get(c)
+                ));
+            }
+        }
+        for r in ABORT_REASONS {
+            if self.aborts.get(r) != other.aborts.get(r) {
+                out.push(format!(
+                    "aborts[{}]: {} vs {}",
+                    r.name(),
+                    self.aborts.get(r),
+                    other.aborts.get(r)
+                ));
+            }
+        }
+        if self.region_sizes != other.region_sizes {
+            out.push(format!(
+                "region_sizes: mean {:.1} max {} vs mean {:.1} max {}",
+                self.region_sizes.mean(),
+                self.region_sizes.max,
+                other.region_sizes.mean(),
+                other.region_sizes.max
+            ));
+        }
+        if self.region_footprint != other.region_footprint {
+            out.push(format!(
+                "region_footprint: mean {:.1} max {} vs mean {:.1} max {}",
+                self.region_footprint.mean(),
+                self.region_footprint.max,
+                other.region_footprint.mean(),
+                other.region_footprint.max
+            ));
+        }
+        if self.per_region != other.per_region {
+            out.push(format!(
+                "per_region: {} static regions vs {}",
+                self.per_region.len(),
+                other.per_region.len()
+            ));
+        }
+        if self.markers != other.markers {
+            let first = self
+                .markers
+                .iter()
+                .zip(&other.markers)
+                .position(|(a, b)| a != b)
+                .map_or_else(
+                    || format!("lengths {} vs {}", self.markers.len(), other.markers.len()),
+                    |i| format!("first divergence at hit {i}"),
+                );
+            out.push(format!("markers: {first}"));
+        }
+        if self.mispredict_sites != other.mispredict_sites {
+            out.push(format!(
+                "mispredict_sites: {} sites vs {}",
+                self.mispredict_sites.len(),
+                other.mispredict_sites.len()
+            ));
+        }
+        out
     }
 }
 

@@ -18,8 +18,67 @@
 //! so cold methods pay nothing at run time and the table is shared across
 //! machines like the uop stream itself.
 
-use crate::fxhash::FxHashMap;
+use hasp_vm::bytecode::CmpOp;
+
 use crate::uop::{MReg, Uop, UOP_CLASSES};
+
+/// A block terminator decoded at seal time: the `next_block` link the
+/// chained dispatch loop follows without re-reading (or re-matching) the
+/// full [`Uop`] stream. Terminators whose payload lives on the heap (call
+/// argument lists, `jmp_ind` tables) or that must go through the shared
+/// `step` semantics keep a [`SbTerm::Decode`] sentinel and are fetched from
+/// the uop stream on dispatch.
+///
+/// Every variant stores only `Copy` data, so the whole terminator rides in
+/// the [`SbInfo`] the engine has already fetched — chaining block-to-block
+/// costs one enum match on seal-time metadata, not a fetch/decode of the
+/// terminator uop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SbTerm {
+    /// Fetch the terminator uop and dispatch it in the engine (calls,
+    /// indirect jumps, `Unreachable`, and blocks sealed early by a marker
+    /// or end-of-stream whose last uop is not a control transfer).
+    #[default]
+    Decode,
+    /// `jmp`: the sealed direct-successor link.
+    Jmp {
+        /// Target pc (the successor block's head).
+        next: u32,
+    },
+    /// `br`: both successors sealed (fall-through is `pc + len`).
+    Br {
+        /// Branch condition.
+        op: CmpOp,
+        /// Left operand register.
+        a: MReg,
+        /// Right operand register.
+        b: MReg,
+        /// Taken-path target pc.
+        taken: u32,
+    },
+    /// `ret`: pooled frame pop, return value from `src`.
+    Ret {
+        /// Return-value register, if any.
+        src: Option<MReg>,
+    },
+    /// `aregion_begin`: inline region entry (checkpoint + governor).
+    RegionBegin {
+        /// Static region id.
+        region: u32,
+        /// Abort/alternate pc.
+        alt: u32,
+    },
+    /// `aregion_end`: inline region commit.
+    RegionEnd {
+        /// Static region id.
+        region: u32,
+    },
+    /// `aregion_abort`: inline rollback to the region's alternate pc.
+    Abort {
+        /// Assert id (`u32::MAX` flags an SLE lock-check abort).
+        assert_id: u32,
+    },
+}
 
 /// Precomputed metadata for the superblock starting at one pc.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +90,9 @@ pub struct SbInfo {
     /// accesses, checks, allocs, region primitives, calls...). A block
     /// without this bit retires unconditionally once entered.
     pub can_fault: bool,
+    /// The block's terminator, decoded at seal time (shared by every
+    /// interior pc chaining to it).
+    pub term: SbTerm,
     /// Per-class retired-uop tallies for the whole block, dense in
     /// [`UOP_CLASSES`] order — the batch delta applied at block entry.
     pub classes: [u32; UOP_CLASSES.len()],
@@ -83,6 +145,31 @@ fn can_fault(u: &Uop) -> bool {
     }
 }
 
+/// Decodes a block's last uop into its sealed [`SbTerm`]. Uops with heap
+/// payload (calls, `jmp_ind`) and non-terminators sealed early by a marker
+/// or end-of-stream stay [`SbTerm::Decode`].
+fn decode_term(u: &Uop) -> SbTerm {
+    match *u {
+        Uop::Jmp { target } => SbTerm::Jmp {
+            next: target as u32,
+        },
+        Uop::Br { op, a, b, target } => SbTerm::Br {
+            op,
+            a,
+            b,
+            taken: target as u32,
+        },
+        Uop::Ret { src } => SbTerm::Ret { src },
+        Uop::RegionBegin { region, alt } => SbTerm::RegionBegin {
+            region,
+            alt: alt as u32,
+        },
+        Uop::RegionEnd { region } => SbTerm::RegionEnd { region },
+        Uop::Abort { assert_id } => SbTerm::Abort { assert_id },
+        _ => SbTerm::Decode,
+    }
+}
+
 /// Builds the per-pc superblock suffix table for a uop stream. One backward
 /// pass: a terminator (or end-of-stream, or a following marker) seeds a
 /// block of length 1; every interior pc extends its successor's block.
@@ -95,6 +182,7 @@ pub fn build_blocks(uops: &[Uop]) -> Vec<SbInfo> {
             blocks.push(SbInfo {
                 len: 0,
                 can_fault: false,
+                term: SbTerm::Decode,
                 classes: [0; UOP_CLASSES.len()],
             });
             continue;
@@ -107,14 +195,17 @@ pub fn build_blocks(uops: &[Uop]) -> Vec<SbInfo> {
             SbInfo {
                 len: 1,
                 can_fault: can_fault(u),
+                term: decode_term(u),
                 classes: [0; UOP_CLASSES.len()],
             }
         } else {
-            // Interior uop: prepend to the successor block.
+            // Interior uop: prepend to the successor block (the sealed
+            // terminator link is shared by every pc chaining to it).
             let suffix = &blocks[blocks.len() - 1];
             SbInfo {
                 len: suffix.len + 1,
                 can_fault: suffix.can_fault || can_fault(u),
+                term: suffix.term,
                 classes: suffix.classes,
             }
         };
@@ -197,14 +288,19 @@ fn region_write_set(uops: &[Uop], begin: usize) -> Vec<u32> {
     writes
 }
 
-/// Builds the per-`RegionBegin` write-set table for a uop stream: the
-/// registers the machine must checkpoint at each region entry. Built at
-/// `CodeCache` install time alongside the superblock index.
-pub fn build_region_writes(uops: &[Uop]) -> FxHashMap<usize, Box<[u32]>> {
-    let mut out = FxHashMap::default();
+/// Builds the per-region write-set table for a uop stream, indexed by the
+/// dense region id: the registers the machine must checkpoint at each
+/// region entry. Built at `CodeCache` install time alongside the
+/// superblock index.
+pub fn build_region_writes(uops: &[Uop]) -> Vec<Box<[u32]>> {
+    let mut out: Vec<Box<[u32]>> = Vec::new();
     for (pc, u) in uops.iter().enumerate() {
-        if let Uop::RegionBegin { .. } = u {
-            out.insert(pc, region_write_set(uops, pc).into_boxed_slice());
+        if let Uop::RegionBegin { region, .. } = *u {
+            let r = region as usize;
+            if out.len() <= r {
+                out.resize_with(r + 1, Box::default);
+            }
+            out[r] = region_write_set(uops, pc).into_boxed_slice();
         }
     }
     out
@@ -327,7 +423,124 @@ mod tests {
         assert_eq!(writes.len(), 1, "one region");
         // Both branch arms are in the set; pre-region and post-commit
         // writes are not.
-        assert_eq!(writes[&1].as_ref(), &[0, 1, 2]);
+        assert_eq!(writes[0].as_ref(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn terminators_are_sealed_into_links() {
+        let uops = vec![
+            konst(0),
+            Uop::Br {
+                op: CmpOp::Ge,
+                a: MReg(0),
+                b: MReg(1),
+                target: 5,
+            },
+            Uop::Jmp { target: 0 },
+            Uop::RegionBegin { region: 3, alt: 9 },
+            Uop::RegionEnd { region: 3 },
+            Uop::Abort { assert_id: 7 },
+            konst(1),
+            Uop::Marker { id: 1 },
+            Uop::Call {
+                dst: None,
+                target: hasp_vm::bytecode::MethodId(0),
+                args: Box::default(),
+            },
+            Uop::Ret { src: Some(MReg(2)) },
+        ];
+        let b = build_blocks(&uops);
+        // Interior pcs share the sealed terminator with the block head.
+        assert_eq!(
+            b[0].term,
+            SbTerm::Br {
+                op: CmpOp::Ge,
+                a: MReg(0),
+                b: MReg(1),
+                taken: 5
+            }
+        );
+        assert_eq!(b[1].term, b[0].term);
+        assert_eq!(b[2].term, SbTerm::Jmp { next: 0 });
+        assert_eq!(b[3].term, SbTerm::RegionBegin { region: 3, alt: 9 });
+        assert_eq!(b[4].term, SbTerm::RegionEnd { region: 3 });
+        assert_eq!(b[5].term, SbTerm::Abort { assert_id: 7 });
+        // Sealed early by the marker: a non-terminator tail stays Decode.
+        assert_eq!(b[6].term, SbTerm::Decode);
+        assert_eq!(b[6].len, 1);
+        // Calls keep their heap payload in the uop stream.
+        assert_eq!(b[8].term, SbTerm::Decode);
+        assert_eq!(b[9].term, SbTerm::Ret { src: Some(MReg(2)) });
+    }
+
+    #[test]
+    fn empty_region_write_set_is_empty() {
+        // aregion_begin immediately followed by aregion_end: nothing is
+        // writable inside, so the checkpoint must be empty (not missing).
+        let uops = vec![
+            Uop::RegionBegin { region: 0, alt: 3 },
+            Uop::RegionEnd { region: 0 },
+            Uop::Ret { src: None },
+            konst(0),
+            Uop::Ret { src: None },
+        ];
+        let writes = build_region_writes(&uops);
+        assert_eq!(writes.len(), 1);
+        assert_eq!(writes[0].as_ref(), &[] as &[u32]);
+    }
+
+    #[test]
+    fn alt_path_superset_is_not_collected() {
+        // The alternate (non-speculative) path writes a superset of the
+        // region body's registers; only the in-region writes belong to the
+        // checkpoint — the alt path runs with no checkpoint armed.
+        // 0: aregion_begin alt=3
+        // 1: const r0
+        // 2: aregion_end ; 5: ret
+        // 3: const r0, 4: const r1  (alt path: superset {r0, r1})
+        let uops = vec![
+            Uop::RegionBegin { region: 0, alt: 3 },
+            konst(0),
+            Uop::RegionEnd { region: 0 },
+            konst(0),
+            konst(1),
+            Uop::Ret { src: None },
+        ];
+        let writes = build_region_writes(&uops);
+        assert_eq!(
+            writes[0].as_ref(),
+            &[0],
+            "alt-path writes must not inflate the sparse checkpoint"
+        );
+    }
+
+    #[test]
+    fn back_to_back_regions_get_independent_write_sets() {
+        // Two regions where the second begin is the uop right after the
+        // first's end — each write set covers exactly its own body, and a
+        // shared begin pc (the DFS stop at RegionBegin) does not leak the
+        // successor region's writes into the predecessor's set.
+        // 0: aregion_begin alt=6
+        // 1: const r0
+        // 2: aregion_end
+        // 3: aregion_begin alt=7
+        // 4: const r1
+        // 5: aregion_end ; 8: ret
+        let uops = vec![
+            Uop::RegionBegin { region: 0, alt: 6 },
+            konst(0),
+            Uop::RegionEnd { region: 0 },
+            Uop::RegionBegin { region: 1, alt: 7 },
+            konst(1),
+            Uop::RegionEnd { region: 1 },
+            konst(2),
+            konst(3),
+            Uop::Ret { src: None },
+        ];
+        let writes = build_region_writes(&uops);
+        assert_eq!(writes.len(), 2, "both begins get a set");
+        assert_eq!(writes[0].as_ref(), &[0], "first region: only r0");
+        assert_eq!(writes[1].as_ref(), &[1], "second region: only r1");
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub enum Uop {
     /// Indirect table dispatch (Java `tableswitch`).
     JmpInd {
         sel: MReg,
-        table: Vec<CodePos>,
+        table: Box<[CodePos]>,
         default: CodePos,
     },
     /// Field load (null-checked separately).
@@ -93,14 +93,14 @@ pub enum Uop {
     Call {
         dst: Option<MReg>,
         target: MethodId,
-        args: Vec<MReg>,
+        args: Box<[MReg]>,
     },
     /// Virtual call through the receiver's vtable.
     CallVirt {
         dst: Option<MReg>,
         slot: SlotId,
         recv: MReg,
-        args: Vec<MReg>,
+        args: Box<[MReg]>,
     },
     /// Return from the frame.
     Ret { src: Option<MReg> },
@@ -117,7 +117,7 @@ pub enum Uop {
     Intrin {
         kind: Intrinsic,
         dst: Option<MReg>,
-        args: Vec<MReg>,
+        args: Box<[MReg]>,
     },
     /// Simulation marker (§5 methodology); architecturally inert.
     Marker { id: u32 },
@@ -249,11 +249,13 @@ pub struct CompiledCode {
     /// starting at `pc`). Built by [`CompiledCode::seal`] when the code is
     /// installed; empty until then.
     pub blocks: Vec<crate::superblock::SbInfo>,
-    /// Per-`RegionBegin` register write sets (begin pc → sorted dst
-    /// registers reachable inside the region) — the sparse checkpoint the
-    /// machine captures at region entry instead of the whole frame. Built
-    /// by [`CompiledCode::seal`]; empty until then.
-    pub region_writes: crate::fxhash::FxHashMap<usize, Box<[u32]>>,
+    /// Per-region register write sets, indexed by the dense per-method
+    /// region id (sorted dst registers reachable inside the region) — the
+    /// sparse checkpoint the machine captures at region entry instead of
+    /// the whole frame. A plain vector so the hot region-entry path is an
+    /// index, not a hash lookup. Built by [`CompiledCode::seal`]; empty
+    /// until then.
+    pub region_writes: Vec<Box<[u32]>>,
 }
 
 impl CompiledCode {
@@ -336,7 +338,7 @@ mod tests {
         .is_branch());
         assert!(Uop::JmpInd {
             sel: MReg(0),
-            table: vec![],
+            table: Box::default(),
             default: 0
         }
         .is_branch());

@@ -8,12 +8,29 @@
 /// side effects through an `Env`, so a workload's result can be compared
 /// bit-for-bit across execution engines and compiler configurations — the
 /// backbone of the functional-equivalence test suite.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Env {
     checksum: i64,
     rng: u64,
     marker_hits: Vec<(u32, u64)>,
+    /// Per-id running tallies. Marker ids are static program points, so this
+    /// stays a handful of entries; keeping it alongside the hit log makes
+    /// `marker_count` O(#ids) instead of a scan over every recorded hit
+    /// (which turns quadratic on marker-heavy workloads). Derived state:
+    /// always reconstructible from `marker_hits`, hence excluded from
+    /// equality.
+    counts: Vec<(u32, u64)>,
 }
+
+impl PartialEq for Env {
+    fn eq(&self, other: &Self) -> bool {
+        self.checksum == other.checksum
+            && self.rng == other.rng
+            && self.marker_hits == other.marker_hits
+    }
+}
+
+impl Eq for Env {}
 
 impl Env {
     /// Creates an environment with the given random seed.
@@ -26,6 +43,7 @@ impl Env {
             checksum: 0,
             rng: z ^ (z >> 31),
             marker_hits: Vec::new(),
+            counts: Vec::new(),
         }
     }
 
@@ -49,14 +67,28 @@ impl Env {
     }
 
     /// Records a dynamic hit of marker `id`, tagged with the hit ordinal.
+    #[inline]
     pub fn hit_marker(&mut self, id: u32) {
-        let n = self.marker_count(id);
-        self.marker_hits.push((id, n + 1));
+        let n = match self.counts.iter_mut().find(|(m, _)| *m == id) {
+            Some(entry) => {
+                entry.1 += 1;
+                entry.1
+            }
+            None => {
+                self.counts.push((id, 1));
+                1
+            }
+        };
+        self.marker_hits.push((id, n));
     }
 
     /// Number of times marker `id` has fired so far.
+    #[inline]
     pub fn marker_count(&self, id: u32) -> u64 {
-        self.marker_hits.iter().filter(|(m, _)| *m == id).count() as u64
+        self.counts
+            .iter()
+            .find(|(m, _)| *m == id)
+            .map_or(0, |&(_, c)| c)
     }
 
     /// All marker hits in order.
@@ -79,7 +111,13 @@ impl Env {
     pub fn restore(&mut self, s: &EnvSnapshot) {
         self.checksum = s.checksum;
         self.rng = s.rng;
-        self.marker_hits.truncate(s.markers);
+        // Un-count each rolled-back hit so the tallies keep mirroring the log.
+        while self.marker_hits.len() > s.markers {
+            let (id, _) = self.marker_hits.pop().expect("len > markers");
+            if let Some(entry) = self.counts.iter_mut().find(|(m, _)| *m == id) {
+                entry.1 -= 1;
+            }
+        }
     }
 }
 
@@ -133,5 +171,27 @@ mod tests {
         assert_eq!(e.marker_count(7), 2);
         assert_eq!(e.marker_count(3), 1);
         assert_eq!(e.marker_hits().len(), 3);
+    }
+
+    #[test]
+    fn restore_rolls_back_marker_tallies() {
+        let mut e = Env::new(1);
+        e.hit_marker(7);
+        let snap = e.snapshot();
+        e.hit_marker(7);
+        e.hit_marker(3);
+        assert_eq!(e.marker_count(7), 2);
+        e.restore(&snap);
+        assert_eq!(e.marker_count(7), 1);
+        assert_eq!(e.marker_count(3), 0);
+        // Ordinals resume from the rolled-back tally, exactly as if the
+        // aborted hits never happened.
+        e.hit_marker(7);
+        assert_eq!(e.marker_hits(), &[(7, 1), (7, 2)]);
+        // A fully rolled-back id compares equal to one never hit.
+        let mut fresh = Env::new(1);
+        fresh.hit_marker(7);
+        fresh.hit_marker(7);
+        assert_eq!(e, fresh);
     }
 }

@@ -12,8 +12,20 @@ cargo test -q --workspace
 echo "== fault-campaign smoke (checksum equivalence under injected aborts) =="
 cargo run --release -p hasp-experiments --bin experiments -- faults --smoke
 
+echo "== dispatch equivalence (release: chained dispatch vs per-uop oracle) =="
+cargo test --release -q --test dispatch_equivalence
+
 echo "== dispatch-bench smoke (superblock vs per-uop on the CI slice) =="
 cargo run --release -p hasp-experiments --bin experiments -- bench-dispatch --smoke
+# The chained block engine must never dispatch slower than the per-uop
+# reference it replaces — a geomean below 1.0 on the smoke slice means the
+# fast path has rotted.
+python3 - <<'PY'
+import json
+g = json.load(open("BENCH_dispatch_smoke.json"))["geomean_speedup"]
+assert g >= 1.0, f"superblock dispatch slower than per-uop reference: geomean {g:.2f}x"
+print(f"smoke geomean {g:.2f}x >= 1.0 ok")
+PY
 
 echo "== cargo clippy =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -96,6 +96,40 @@ fn hardware_variants_identical_across_dispatch_modes() {
     }
 }
 
+/// The mid-chain abort path must be exercised non-vacuously: a targeted
+/// injection fires `aregion_abort` while the chained engine is deep in a
+/// linked trace, so the suffix-unapply accounting and the post-abort
+/// resync are what's under test — not just clean commits. The abort count
+/// is asserted positive first, so this can never silently degenerate into
+/// a commits-only run.
+#[test]
+fn mid_chain_abort_is_exercised_and_identical() {
+    let ws = all_workloads();
+    let w = ws.iter().find(|w| w.name == "jython").expect("jython");
+    let profiled = profile_workload(w);
+    let compiled = compile_workload(w, &profiled, &CompilerConfig::atomic_aggressive());
+    for entry in [1, 7, 1000] {
+        let mut hw_sb = HwConfig::baseline();
+        hw_sb.faults = FaultPlan::abort_at(entry);
+        let mut hw_pu = per_uop_baseline();
+        hw_pu.faults = FaultPlan::abort_at(entry);
+        let sb = try_execute_compiled(w, &profiled, &compiled, &hw_sb)
+            .expect("superblock run with targeted abort");
+        assert!(
+            sb.stats.aborts.total() > 0,
+            "targeted abort at entry {entry} never fired — the mid-chain \
+             abort path went unexercised"
+        );
+        let pu = try_execute_compiled(w, &profiled, &compiled, &hw_pu)
+            .expect("per-uop run with targeted abort");
+        assert_eq!(
+            sb.stats, pu.stats,
+            "mid-chain abort (entry {entry}): superblock stats diverged"
+        );
+        assert_eq!(sb.samples, pu.samples, "entry {entry}: samples diverged");
+    }
+}
+
 /// The fault smoke matrix (fop, pmd × every fault kind at its middle rate)
 /// cell-by-cell under both dispatch modes. Validation stays OFF here so the
 /// superblock engine is genuinely used for the kinds that allow it; the

@@ -24,9 +24,10 @@ proptest! {
             prop_assert_eq!(dense.insert(line), reference.insert(line));
             prop_assert_eq!(dense.len(), reference.len());
         }
-        // Same members, in sorted order, no duplicates.
+        // Same members, no duplicates (sorted view is representation-
+        // independent: the dense vector keeps insertion order).
         let expect: Vec<u64> = reference.iter().copied().collect();
-        prop_assert_eq!(dense.as_slice(), &expect[..]);
+        prop_assert_eq!(dense.to_sorted_vec(), expect);
         for probe in 0..96 {
             prop_assert_eq!(dense.contains(probe), reference.contains(&probe));
         }
