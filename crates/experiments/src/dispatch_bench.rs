@@ -6,7 +6,10 @@
 //! `tests/dispatch_equivalence.rs` proves the two are bit-identical.
 //!
 //! The artifact is `BENCH_dispatch.json`; the suite geomean speedup is the
-//! headline number.
+//! headline number. A third leg runs superblock dispatch with the cache
+//! model ablated (`HwConfig::no_cache_model`) so the remaining model cost —
+//! the gap between the shipped geomean and the cache-off ceiling — is
+//! tracked per PR instead of only quoted in ROADMAP prose.
 
 use std::time::Instant;
 
@@ -32,6 +35,19 @@ pub struct DispatchRow {
     pub per_uop_s: f64,
     /// Best-of-[`REPS`] wall seconds under superblock dispatch.
     pub superblock_s: f64,
+    /// Best-of-[`REPS`] wall seconds under superblock dispatch with the
+    /// cache model ablated (`HwConfig::no_cache_model`) — the ceiling the
+    /// memory fast path chases. NOT semantics-preserving (geometric
+    /// overflow aborts disappear), so its uop count is tracked separately
+    /// and never asserted against the real engines.
+    pub cache_off_s: f64,
+    /// Retired uops of the cache-off ablation run.
+    pub cache_off_uops: u64,
+    /// Static data-memory uop share of the compiled code (seal-time access
+    /// pre-classification, [`hasp_hw::CodeCache::static_mem_uops`]): the
+    /// density that separates a workload's shipped throughput from its
+    /// cache-off ceiling.
+    pub static_mem_share: f64,
 }
 
 impl DispatchRow {
@@ -45,9 +61,21 @@ impl DispatchRow {
         self.uops as f64 / self.superblock_s
     }
 
+    /// Retired uops per wall second with the cache model ablated.
+    pub fn cache_off_rate(&self) -> f64 {
+        self.cache_off_uops as f64 / self.cache_off_s
+    }
+
     /// Superblock speedup over per-uop (ratio of uops/sec; >1 is faster).
     pub fn speedup(&self) -> f64 {
         self.per_uop_s / self.superblock_s
+    }
+
+    /// The cache-off ceiling: speedup over per-uop if the memory model
+    /// were free. The gap between this and [`DispatchRow::speedup`] is the
+    /// cache model's remaining cost.
+    pub fn cache_off_speedup(&self) -> f64 {
+        self.per_uop_s / self.cache_off_s
     }
 }
 
@@ -68,11 +96,29 @@ impl DispatchBenchReport {
         (log_sum / self.rows.len() as f64).exp()
     }
 
+    /// Geometric-mean cache-off ceiling across the suite: what the geomean
+    /// would be if the memory model cost nothing.
+    pub fn geomean_cache_off(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = self.rows.iter().map(|r| r.cache_off_speedup().ln()).sum();
+        (log_sum / self.rows.len() as f64).exp()
+    }
+
     /// Renders the benchmark table.
     pub fn table(&self) -> String {
         let mut t = Table::new(
             "Dispatch engines: per-uop vs superblock (retired uops/sec)",
-            &["workload", "uops", "per-uop/s", "superblock/s", "speedup"],
+            &[
+                "workload",
+                "uops",
+                "per-uop/s",
+                "superblock/s",
+                "speedup",
+                "ceiling",
+                "mem%",
+            ],
         );
         for r in &self.rows {
             t.row(&[
@@ -81,6 +127,8 @@ impl DispatchBenchReport {
                 format!("{:.2}M", r.per_uop_rate() / 1e6),
                 format!("{:.2}M", r.superblock_rate() / 1e6),
                 format!("{}x", num(r.speedup(), 2)),
+                format!("{}x", num(r.cache_off_speedup(), 2)),
+                format!("{:.1}", r.static_mem_share * 100.0),
             ]);
         }
         t.row(&[
@@ -89,6 +137,8 @@ impl DispatchBenchReport {
             "-".into(),
             "-".into(),
             format!("{}x", num(self.geomean_speedup(), 2)),
+            format!("{}x", num(self.geomean_cache_off(), 2)),
+            "-".into(),
         ]);
         t.render()
     }
@@ -103,18 +153,24 @@ impl DispatchBenchReport {
                     .int("uops", r.uops)
                     .num("per_uop_s", r.per_uop_s)
                     .num("superblock_s", r.superblock_s)
+                    .num("cache_off_s", r.cache_off_s)
+                    .int("cache_off_uops", r.cache_off_uops)
                     .num("per_uop_uops_per_s", r.per_uop_rate())
                     .num("superblock_uops_per_s", r.superblock_rate())
-                    .num("speedup", r.speedup()),
+                    .num("cache_off_uops_per_s", r.cache_off_rate())
+                    .num("speedup", r.speedup())
+                    .num("cache_off_speedup", r.cache_off_speedup())
+                    .num("static_mem_share", r.static_mem_share),
             );
         }
         JsonObj::new()
-            .str("schema", "hasp-bench-dispatch-v1")
+            .str("schema", "hasp-bench-dispatch-v2")
             .bool("smoke", smoke)
             .int("reps", REPS as u64)
             .num("wall_s", wall_s)
             .int("workloads", self.rows.len() as u64)
             .num("geomean_speedup", self.geomean_speedup())
+            .num("geomean_cache_off", self.geomean_cache_off())
             .arr("per_workload", rows)
             .finish()
     }
@@ -134,14 +190,18 @@ pub fn run_bench(smoke: bool) -> DispatchBenchReport {
     let ccfg = CompilerConfig::atomic_aggressive();
     let sb_hw = HwConfig::baseline();
     let pu_hw = HwConfig::per_uop();
+    let ablate_hw = HwConfig::no_cache_model();
     debug_assert_eq!(sb_hw.dispatch, Dispatch::Superblock);
     debug_assert_eq!(pu_hw.dispatch, Dispatch::PerUop);
+    debug_assert!(ablate_hw.cache_off);
 
     let rows = workloads
         .iter()
         .map(|w| {
             let profiled = profile_workload(w);
             let compiled = compile_workload(w, &profiled, &ccfg);
+            let (mem_uops, static_uops) = compiled.code.static_mem_uops();
+            let static_mem_share = mem_uops as f64 / static_uops.max(1) as f64;
             let timed = |hw: &HwConfig| {
                 // One warm-up run (not timed) populates allocator and branch
                 // state, then best-of-REPS.
@@ -162,11 +222,20 @@ pub fn run_bench(smoke: bool) -> DispatchBenchReport {
                 "{}: engines retired different uop counts",
                 w.name
             );
+            // The ablation is self-consistent across its own reps (the
+            // `timed` closure asserts that) but intentionally NOT compared
+            // to the real engines: without the cache model, geometric
+            // overflow aborts disappear, so its retired-uop count may
+            // legitimately differ.
+            let (cache_off_s, cache_off_uops) = timed(&ablate_hw);
             DispatchRow {
                 workload: w.name,
                 uops: sb_uops,
                 per_uop_s,
                 superblock_s,
+                cache_off_s,
+                cache_off_uops,
+                static_mem_share,
             }
         })
         .collect();
@@ -187,12 +256,18 @@ mod tests {
                     uops: 1_000_000,
                     per_uop_s: 0.2,
                     superblock_s: 0.1,
+                    cache_off_s: 0.05,
+                    cache_off_uops: 1_000_000,
+                    static_mem_share: 0.25,
                 },
                 DispatchRow {
                     workload: "b",
                     uops: 2_000_000,
                     per_uop_s: 0.8,
                     superblock_s: 0.1,
+                    cache_off_s: 0.05,
+                    cache_off_uops: 2_000_000,
+                    static_mem_share: 0.40,
                 },
             ],
         };
@@ -201,11 +276,18 @@ mod tests {
         // geomean(2, 8) = 4.
         assert!((report.geomean_speedup() - 4.0).abs() < 1e-12);
         assert!((report.rows[0].superblock_rate() - 1e7).abs() < 1e-3);
+        // Ceilings: 0.2/0.05 = 4 and 0.8/0.05 = 16, geomean 8.
+        assert!((report.rows[0].cache_off_speedup() - 4.0).abs() < 1e-12);
+        assert!((report.geomean_cache_off() - 8.0).abs() < 1e-12);
         let json = report.json(false, 1.0);
-        assert!(json.contains("\"schema\": \"hasp-bench-dispatch-v1\""));
+        assert!(json.contains("\"schema\": \"hasp-bench-dispatch-v2\""));
         assert!(json.contains("\"geomean_speedup\": 4.000000"));
+        assert!(json.contains("\"geomean_cache_off\": 8.000000"));
         let table = report.table();
         assert!(table.contains("geomean"));
+        assert!(table.contains("ceiling"));
+        assert!(table.contains("mem%"));
+        assert!(json.contains("\"static_mem_share\": 0.250000"));
     }
 
     #[test]
@@ -213,9 +295,11 @@ mod tests {
         let report = run_bench(true);
         assert_eq!(report.rows.len(), 2);
         for r in &report.rows {
-            assert!(r.uops > 0);
-            assert!(r.per_uop_s > 0.0 && r.superblock_s > 0.0);
+            assert!(r.uops > 0 && r.cache_off_uops > 0);
+            assert!(r.static_mem_share > 0.0 && r.static_mem_share < 1.0);
+            assert!(r.per_uop_s > 0.0 && r.superblock_s > 0.0 && r.cache_off_s > 0.0);
         }
         assert!(report.geomean_speedup() > 0.0);
+        assert!(report.geomean_cache_off() > 0.0);
     }
 }

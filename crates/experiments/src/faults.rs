@@ -17,7 +17,8 @@ use hasp_workloads::{all_workloads, Workload};
 
 use crate::report::{num, JsonArr, JsonObj, Table};
 use crate::runner::{
-    compile_workload, profile_workload, try_execute_compiled, CellError, WorkloadRun,
+    compile_workload, profile_workload, try_execute_compiled, CellError, CompiledWorkload,
+    ProfiledWorkload, WorkloadRun,
 };
 use crate::suite::parallel_map;
 
@@ -271,6 +272,280 @@ pub fn run_campaign_on(workloads: &[Workload], smoke: bool, threads: usize) -> C
     }
 }
 
+/// Slowdown threshold of the knee search: a probe is *tolerated* when its
+/// validated, governor-online run stays under this ratio of the clean run.
+pub const KNEE_THRESHOLD: f64 = 1.05;
+
+/// Bracket cap of the knee search, in conflicts per million in-region uops
+/// (the cap means every in-region uop conflicts).
+pub const KNEE_RATE_CAP: u64 = 1_000_000;
+
+/// One probe of the knee search: a conflict-injection run at `rate`.
+#[derive(Debug, Clone)]
+pub struct KneeProbe {
+    /// Injected conflicts per million in-region uops.
+    pub rate: u64,
+    /// Cycles relative to the clean run.
+    pub slowdown: f64,
+    /// `slowdown < KNEE_THRESHOLD`.
+    pub tolerated: bool,
+    /// Regions aborted (all reasons) during the probe.
+    pub aborts: u64,
+}
+
+/// The knee-search result for one workload: the highest injected conflict
+/// rate it tolerates under the online governor at under-5% slowdown.
+#[derive(Debug, Clone)]
+pub struct KneeRow {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Clean-run cycles (the slowdown denominator).
+    pub clean_cycles: u64,
+    /// Highest tolerated rate found (0 = even the mildest probe exceeded
+    /// the threshold).
+    pub knee_rate: u64,
+    /// Slowdown measured at the knee (1.0 when `knee_rate` is 0).
+    pub knee_slowdown: f64,
+    /// The workload tolerated [`KNEE_RATE_CAP`] itself — the governor holds
+    /// the slowdown under the threshold at any injection rate.
+    pub saturated: bool,
+    /// Every probe taken, in search order.
+    pub probes: Vec<KneeProbe>,
+    /// A probe run failed checksum equivalence, faulted, or tripped the
+    /// invariant validator (the row's knee is then meaningless).
+    pub error: Option<CellError>,
+}
+
+/// The knee report over a workload set.
+#[derive(Debug, Clone)]
+pub struct KneeReport {
+    /// One row per workload.
+    pub rows: Vec<KneeRow>,
+}
+
+impl KneeReport {
+    /// True when every probe of every row reproduced the interpreter
+    /// checksum under injection.
+    pub fn all_passed(&self) -> bool {
+        self.rows.iter().all(|r| r.error.is_none())
+    }
+
+    /// Renders the knee table.
+    pub fn table(&self) -> String {
+        let mut t = Table::new(
+            "Conflict-rate knee (highest rate/M tolerated at <5% slowdown, governor online)",
+            &[
+                "workload",
+                "knee",
+                "slowdown",
+                "probes",
+                "aborts",
+                "saturated",
+                "status",
+            ],
+        );
+        for r in &self.rows {
+            match &r.error {
+                None => t.row(&[
+                    r.workload.into(),
+                    r.knee_rate.to_string(),
+                    format!("{}x", num(r.knee_slowdown, 3)),
+                    r.probes.len().to_string(),
+                    r.probes.iter().map(|p| p.aborts).sum::<u64>().to_string(),
+                    if r.saturated { "yes" } else { "no" }.into(),
+                    "ok".into(),
+                ]),
+                Some(e) => t.row(&[
+                    r.workload.into(),
+                    "-".into(),
+                    "-".into(),
+                    r.probes.len().to_string(),
+                    "-".into(),
+                    "-".into(),
+                    format!("FAIL: {e}"),
+                ]),
+            }
+        }
+        t.render()
+    }
+
+    /// Serializes the report as the `BENCH_knee.json` artifact.
+    pub fn json(&self, smoke: bool, threads: usize, wall_s: f64) -> String {
+        let mut rows = JsonArr::new();
+        for r in &self.rows {
+            let mut probes = JsonArr::new();
+            for p in &r.probes {
+                probes = probes.obj(
+                    JsonObj::new()
+                        .int("rate", p.rate)
+                        .num("slowdown", p.slowdown)
+                        .bool("tolerated", p.tolerated)
+                        .int("aborts", p.aborts),
+                );
+            }
+            let mut o = JsonObj::new()
+                .str("workload", r.workload)
+                .bool("ok", r.error.is_none())
+                .int("clean_cycles", r.clean_cycles)
+                .int("knee_rate", r.knee_rate)
+                .num("knee_slowdown", r.knee_slowdown)
+                .bool("saturated", r.saturated)
+                .arr("probes", probes);
+            if let Some(e) = &r.error {
+                o = o.str("error", &e.to_string());
+            }
+            rows = rows.obj(o);
+        }
+        JsonObj::new()
+            .str("schema", "hasp-knee-v1")
+            .bool("smoke", smoke)
+            .int("threads", threads as u64)
+            .num("wall_s", wall_s)
+            .num("threshold", KNEE_THRESHOLD)
+            .int("rate_cap", KNEE_RATE_CAP)
+            .int("rows", self.rows.len() as u64)
+            .bool("all_passed", self.all_passed())
+            .arr("workloads", rows)
+            .finish()
+    }
+}
+
+/// One conflict-injection probe under the campaign configuration
+/// (validation on, governor online — checksum equivalence is asserted
+/// inside [`try_execute_compiled`]).
+fn knee_probe(
+    w: &Workload,
+    profiled: &ProfiledWorkload,
+    compiled: &CompiledWorkload,
+    clean_cycles: u64,
+    rate: u64,
+) -> Result<KneeProbe, CellError> {
+    let run = try_execute_compiled(
+        w,
+        profiled,
+        compiled,
+        &campaign_hw(FaultPlan::conflicts(rate)),
+    )?;
+    let slowdown = run.stats.cycles as f64 / clean_cycles.max(1) as f64;
+    Ok(KneeProbe {
+        rate,
+        slowdown,
+        tolerated: slowdown < KNEE_THRESHOLD,
+        aborts: run.stats.total_aborts(),
+    })
+}
+
+/// Brackets then bisects the highest tolerated conflict rate for one
+/// workload: grow ×8 from 256/M until a probe exceeds the threshold (or
+/// [`KNEE_RATE_CAP`] is itself tolerated — `saturated`), then bisect the
+/// bracket down to ~12% relative precision (`hi - lo <= lo/8`). The
+/// governor makes the slowdown curve effectively monotone in the rate; if a
+/// plateau ever wobbles, the search still terminates on a genuinely
+/// tolerated rate with a tight bracket.
+fn knee_search(
+    w: &Workload,
+    profiled: &ProfiledWorkload,
+    compiled: &CompiledWorkload,
+    clean_cycles: u64,
+) -> KneeRow {
+    let mut row = KneeRow {
+        workload: w.name,
+        clean_cycles,
+        knee_rate: 0,
+        knee_slowdown: 1.0,
+        saturated: false,
+        probes: Vec::new(),
+        error: None,
+    };
+    let (mut lo, mut lo_slow) = (0u64, 1.0f64);
+    let mut hi = None;
+    let mut rate = 256u64;
+    loop {
+        match knee_probe(w, profiled, compiled, clean_cycles, rate) {
+            Err(e) => {
+                row.error = Some(e);
+                return row;
+            }
+            Ok(p) => {
+                let (tolerated, slowdown) = (p.tolerated, p.slowdown);
+                row.probes.push(p);
+                if !tolerated {
+                    hi = Some(rate);
+                    break;
+                }
+                (lo, lo_slow) = (rate, slowdown);
+                if rate >= KNEE_RATE_CAP {
+                    row.saturated = true;
+                    break;
+                }
+                rate = (rate * 8).min(KNEE_RATE_CAP);
+            }
+        }
+    }
+    if let Some(mut hi) = hi {
+        while hi - lo > (lo / 8).max(1) {
+            let mid = lo + (hi - lo) / 2;
+            match knee_probe(w, profiled, compiled, clean_cycles, mid) {
+                Err(e) => {
+                    row.error = Some(e);
+                    return row;
+                }
+                Ok(p) => {
+                    let (tolerated, slowdown) = (p.tolerated, p.slowdown);
+                    row.probes.push(p);
+                    if tolerated {
+                        (lo, lo_slow) = (mid, slowdown);
+                    } else {
+                        hi = mid;
+                    }
+                }
+            }
+        }
+    }
+    row.knee_rate = lo;
+    row.knee_slowdown = lo_slow;
+    row
+}
+
+/// Runs the knee search over the Table 2 suite (smoke: fop + pmd only),
+/// workloads in parallel, probes within a workload sequential (each one
+/// steers the next).
+pub fn run_knee(smoke: bool, threads: usize) -> KneeReport {
+    let mut workloads = all_workloads();
+    if smoke {
+        workloads.retain(|w| w.name == "fop" || w.name == "pmd");
+    }
+    run_knee_on(&workloads, threads)
+}
+
+/// Runs the knee search over an explicit workload set (test entry point).
+pub fn run_knee_on(workloads: &[Workload], threads: usize) -> KneeReport {
+    let ccfg = CompilerConfig::atomic_aggressive();
+    let idx: Vec<usize> = (0..workloads.len()).collect();
+    let profiles = parallel_map(workloads, threads, profile_workload);
+    let compiled = parallel_map(&idx, threads, |&i| {
+        compile_workload(&workloads[i], &profiles[i], &ccfg)
+    });
+    let clean: Vec<WorkloadRun> = parallel_map(&idx, threads, |&i| {
+        try_execute_compiled(
+            &workloads[i],
+            &profiles[i],
+            &compiled[i],
+            &campaign_hw(FaultPlan::none()),
+        )
+        .unwrap_or_else(|e| panic!("clean knee run of {} failed: {e}", workloads[i].name))
+    });
+    let rows = parallel_map(&idx, threads, |&i| {
+        knee_search(
+            &workloads[i],
+            &profiles[i],
+            &compiled[i],
+            clean[i].stats.cycles,
+        )
+    });
+    KneeReport { rows }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,6 +576,36 @@ mod tests {
         assert!(report.table().contains("ok"));
         let json = report.json(true, 2, 0.5);
         assert!(json.contains("\"all_passed\": true"));
+    }
+
+    #[test]
+    fn knee_search_converges_with_checksum_equivalence() {
+        let w = synthetic::add_element(2_000);
+        let report = run_knee_on(&[w], 2);
+        assert_eq!(report.rows.len(), 1);
+        let r = &report.rows[0];
+        assert!(r.error.is_none(), "probe failed: {:?}", r.error);
+        assert!(!r.probes.is_empty());
+        assert!(
+            r.knee_slowdown < KNEE_THRESHOLD,
+            "the knee itself must be tolerated"
+        );
+        if r.saturated {
+            assert_eq!(r.knee_rate, KNEE_RATE_CAP);
+        } else {
+            // The search was bounded by a probe over the threshold.
+            assert!(r.probes.iter().any(|p| !p.tolerated));
+            assert!(r.knee_rate < KNEE_RATE_CAP);
+        }
+        // Every tolerated probe is genuinely under the threshold and the
+        // report round-trips.
+        for p in &r.probes {
+            assert_eq!(p.tolerated, p.slowdown < KNEE_THRESHOLD);
+        }
+        assert!(report.all_passed());
+        let json = report.json(true, 2, 0.1);
+        assert!(json.contains("\"schema\": \"hasp-knee-v1\""));
+        assert!(report.table().contains("ok"));
     }
 
     #[test]

@@ -24,7 +24,10 @@ pub mod runner;
 pub mod suite;
 
 pub use dispatch_bench::{DispatchBenchReport, DispatchRow};
-pub use faults::{run_campaign, sweep_rates, CampaignReport, FaultCell};
+pub use faults::{
+    run_campaign, run_knee, sweep_rates, CampaignReport, FaultCell, KneeReport, KneeRow,
+    KNEE_RATE_CAP, KNEE_THRESHOLD,
+};
 pub use runner::{
     compile_workload, execute_compiled, profile_workload, run_workload, try_execute_compiled,
     CellError, CompiledWorkload, ProfiledWorkload, SampleMeasure, WorkloadRun,

@@ -3,9 +3,11 @@
 //! experiment pipeline over the full evaluation matrix and writes
 //! `BENCH_suite.json`, or — with the `faults` subcommand — runs the
 //! fault-injection campaign and writes the `BENCH_faults.json` resilience
-//! report (`faults --smoke` for the CI-sized slice), or — with the
-//! `bench-dispatch` subcommand — races the per-uop and superblock dispatch
-//! engines over the suite and writes `BENCH_dispatch.json`.
+//! report (`faults --smoke` for the CI-sized slice; `faults --knee` instead
+//! binary-searches each workload's highest tolerated conflict rate and
+//! writes `BENCH_knee.json`), or — with the `bench-dispatch` subcommand —
+//! races the per-uop and superblock dispatch engines over the suite and
+//! writes `BENCH_dispatch.json`.
 
 use hasp_experiments::figures;
 use hasp_experiments::report::JsonObj;
@@ -21,12 +23,16 @@ fn main() {
         }
         Some("faults") => {
             let smoke = std::env::args().any(|a| a == "--smoke");
-            fault_campaign(smoke);
+            if std::env::args().any(|a| a == "--knee") {
+                knee_sweep(smoke);
+            } else {
+                fault_campaign(smoke);
+            }
         }
         Some(other) => {
             eprintln!(
                 "unknown subcommand `{other}` (expected no argument, `bench-suite`, \
-                 `bench-dispatch [--smoke]`, or `faults [--smoke]`)"
+                 `bench-dispatch [--smoke]`, or `faults [--knee] [--smoke]`)"
             );
             std::process::exit(2);
         }
@@ -52,8 +58,9 @@ fn bench_dispatch(smoke: bool) {
     };
     std::fs::write(path, &json).expect("write dispatch bench artifact");
     eprintln!(
-        "wrote {path} (geomean speedup {:.2}x in {wall:.1}s)",
-        report.geomean_speedup()
+        "wrote {path} (geomean speedup {:.2}x, cache-off ceiling {:.2}x, in {wall:.1}s)",
+        report.geomean_speedup(),
+        report.geomean_cache_off()
     );
 }
 
@@ -82,6 +89,40 @@ fn fault_campaign(smoke: bool) {
                 c.rate,
                 c.result.as_ref().unwrap_err()
             );
+        }
+        std::process::exit(1);
+    }
+}
+
+fn knee_sweep(smoke: bool) {
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    eprintln!(
+        "knee sweep: {} workload set on {threads} threads (threshold {}x)",
+        if smoke { "smoke" } else { "full" },
+        faults::KNEE_THRESHOLD
+    );
+    let t0 = std::time::Instant::now();
+    let report = faults::run_knee(smoke, threads);
+    let wall = t0.elapsed().as_secs_f64();
+    print!("{}", report.table());
+    let json = report.json(smoke, threads, wall);
+    // The smoke slice goes to its own (gitignored) file so a CI run never
+    // clobbers the committed full-suite artifact.
+    let path = if smoke {
+        "BENCH_knee_smoke.json"
+    } else {
+        "BENCH_knee.json"
+    };
+    std::fs::write(path, &json).expect("write knee artifact");
+    eprintln!(
+        "wrote {path} ({} workloads in {wall:.1}s)",
+        report.rows.len()
+    );
+    if !report.all_passed() {
+        for r in &report.rows {
+            if let Some(e) = &r.error {
+                eprintln!("FAILED row: {}: {e}", r.workload);
+            }
         }
         std::process::exit(1);
     }

@@ -202,7 +202,26 @@ impl Level {
     }
 }
 
-/// The simulated cache hierarchy.
+/// The simulated cache hierarchy, fronted by a one-entry MRU line filter.
+///
+/// The filter (`DESIGN.md` §12) memoizes the last L1-resident line touched:
+/// a repeat access to it skips the set scan, the LRU bump, and the install
+/// path entirely — the dominant pattern in field/array-heavy workloads is
+/// runs of accesses to one object's line. Two invariants make it invisible:
+///
+/// * **Validity.** The entry `(mru_line, mru_idx)` is live only while
+///   `mru_epoch == epoch`. Commit and abort bump the epoch (the same flash
+///   clear that wipes the speculative bits), and `invalidate` disarms it
+///   explicitly, so the filter can never claim residency for a line the
+///   hierarchy no longer holds: between two full-path accesses nothing else
+///   can evict an L1 line.
+/// * **Deferred LRU.** Filter hits do not bump the line's recency; the
+///   collapsed run is recorded in `mru_dirty` and one final bump is flushed
+///   before the next full-path access (or tag mutation). Victim selection
+///   compares only *relative* `(class, lru)` order within a set, and a run
+///   of same-line hits has no intervening access, so collapsing its bumps
+///   to one preserves every victim choice — hence residency, hit levels,
+///   and overflow signals — bit-exactly.
 #[derive(Debug, Clone)]
 pub struct CacheSim {
     l1: Level,
@@ -214,6 +233,23 @@ pub struct CacheSim {
     /// Current region epoch; starts above [`NEVER`] so default lines are
     /// never speculative.
     epoch: u64,
+    /// MRU-filter line index ([`TAG_INVALID`] disarms; never armed when the
+    /// filter is configured off).
+    mru_line: u64,
+    /// The armed line's way slot in L1 (valid only while the entry is live).
+    mru_idx: usize,
+    /// Epoch at arming: the entry is live iff this equals `epoch`, so every
+    /// commit/abort flash-clears the filter for free.
+    mru_epoch: u64,
+    /// A collapsed run of filter hits is pending its final LRU bump.
+    mru_dirty: bool,
+    /// `HwConfig::mem_filter` — `false` forces the unfiltered reference
+    /// path for the equivalence gates.
+    filter: bool,
+    /// O(1)-maintained count of L1 lines holding current-epoch speculative
+    /// state (replaces the O(sets×ways) scan the validator used to pay on
+    /// every commit/abort).
+    spec_count: u32,
 }
 
 impl CacheSim {
@@ -228,6 +264,12 @@ impl CacheSim {
                 .is_power_of_two()
                 .then(|| cfg.line_bytes.trailing_zeros()),
             epoch: NEVER + 1,
+            mru_line: TAG_INVALID,
+            mru_idx: 0,
+            mru_epoch: NEVER,
+            mru_dirty: false,
+            filter: cfg.mem_filter,
+            spec_count: 0,
         }
     }
 
@@ -240,6 +282,54 @@ impl CacheSim {
         }
     }
 
+    /// Marks the current epoch's speculative bit on L1 way `idx`,
+    /// maintaining the O(1) speculative-line counter (a line is counted
+    /// once however many bits it accumulates).
+    #[inline]
+    fn mark_spec(&mut self, idx: usize, write: bool) {
+        if !self.l1.spec(idx, self.epoch) {
+            self.spec_count += 1;
+        }
+        if write {
+            self.l1.spec_write_epoch[idx] = self.epoch;
+        } else {
+            self.l1.spec_read_epoch[idx] = self.epoch;
+        }
+    }
+
+    /// Applies the deferred LRU bump of a collapsed filter-hit run: the MRU
+    /// line receives the run's *final* tick, exactly as if only the last of
+    /// the same-line accesses had gone through [`Level::lookup`]. Called
+    /// before any full-path access or tag mutation, while the armed entry
+    /// is still valid (nothing can evict an L1 line in between).
+    #[inline]
+    fn flush_mru(&mut self) {
+        if self.mru_dirty {
+            self.l1.tick += 1;
+            self.l1.lru[self.mru_idx] = self.l1.tick;
+            self.mru_dirty = false;
+        }
+    }
+
+    /// The zero-cost tier of [`CacheSim::access`], for callers that batch
+    /// their own statistics: `true` iff `addr` is a repeat of the armed MRU
+    /// line whose effects are fully absorbed — an L1 hit on a resident line
+    /// with (when `speculative`) a speculative bit already covering this
+    /// access kind, so *no* residency, LRU-order, speculative, footprint,
+    /// or overflow state can change. A write is absorbed only if the write
+    /// bit is already set; a read also when only the write bit is set (the
+    /// skipped read bit is unobservable: every consumer tests read-or-write,
+    /// and the write bit can only be cleared by the same flash clears).
+    #[inline(always)]
+    pub fn absorbed(&self, addr: u64, write: bool, speculative: bool) -> bool {
+        let line = self.line_of(addr);
+        line == self.mru_line
+            && self.mru_epoch == self.epoch
+            && (!speculative
+                || self.l1.spec_write_epoch[self.mru_idx] == self.epoch
+                || (!write && self.l1.spec_read_epoch[self.mru_idx] == self.epoch))
+    }
+
     /// Performs an access. When `speculative` (inside an atomic region) the
     /// touched L1 line's read/write bit is set. Returns the servicing level
     /// and whether installing the line evicted speculative state (region
@@ -247,6 +337,17 @@ impl CacheSim {
     #[inline]
     pub fn access(&mut self, addr: u64, write: bool, speculative: bool) -> (HitLevel, bool) {
         let line = self.line_of(addr);
+        // MRU filter hit: the line is L1-resident at `mru_idx` (nothing can
+        // have evicted it since arming), so the set scan, LRU bump, and
+        // install path are all skipped; the recency bump is deferred.
+        if line == self.mru_line && self.mru_epoch == self.epoch {
+            self.mru_dirty = true;
+            if speculative {
+                self.mark_spec(self.mru_idx, write);
+            }
+            return (HitLevel::L1, false);
+        }
+        self.flush_mru();
         let (level, idx, overflow) = match self.l1.lookup(line) {
             Some(i) => (HitLevel::L1, i, false),
             None => {
@@ -260,50 +361,93 @@ impl CacheSim {
                 (level, i, ovf)
             }
         };
+        if overflow {
+            // The evicted victim carried current-epoch speculative bits;
+            // its state left the cache with it.
+            debug_assert!(self.spec_count > 0);
+            self.spec_count -= 1;
+        }
         if speculative {
-            if write {
-                self.l1.spec_write_epoch[idx] = self.epoch;
-            } else {
-                self.l1.spec_read_epoch[idx] = self.epoch;
-            }
+            self.mark_spec(idx, write);
+        }
+        if self.filter {
+            self.mru_line = line;
+            self.mru_idx = idx;
+            self.mru_epoch = self.epoch;
+            self.mru_dirty = false;
         }
         (level, overflow)
     }
 
     /// Commits the current region: flash-clears all speculative bits (a
-    /// single epoch bump — the O(1) wired clear the paper describes).
+    /// single epoch bump — the O(1) wired clear the paper describes). The
+    /// epoch bump also flash-clears the MRU filter entry.
     pub fn commit_region(&mut self) {
+        self.flush_mru();
         self.epoch += 1;
+        self.spec_count = 0;
     }
 
     /// Aborts the current region: speculatively-written lines are
     /// invalidated (their data is rolled back architecturally by the undo
-    /// log); read bits are flash-cleared.
+    /// log); read bits — and the MRU filter entry — are flash-cleared.
     pub fn abort_region(&mut self) {
+        self.flush_mru();
         for (i, e) in self.l1.spec_write_epoch.iter().enumerate() {
             if *e == self.epoch {
                 self.l1.tags[i] = TAG_INVALID;
             }
         }
         self.epoch += 1;
+        self.spec_count = 0;
     }
 
-    /// Number of L1 lines currently holding speculative state.
+    /// Number of L1 lines currently holding speculative state — O(1) from
+    /// the maintained counter (the invariant validator calls this on every
+    /// commit and abort in validation mode).
     pub fn spec_lines(&self) -> usize {
+        debug_assert_eq!(
+            self.spec_count as usize,
+            self.spec_lines_scan(),
+            "maintained speculative-line counter out of sync with the array scan"
+        );
+        self.spec_count as usize
+    }
+
+    /// The reference O(sets×ways) scan the counter replaces; retained as
+    /// the debug-mode oracle for [`CacheSim::spec_lines`].
+    fn spec_lines_scan(&self) -> usize {
         (0..self.l1.tags.len())
             .filter(|&i| self.l1.tags[i] != TAG_INVALID && self.l1.spec(i, self.epoch))
             .count()
     }
 
-    /// An external coherence invalidation for `addr`. Returns `true` if it
-    /// hit a line in the current region's read or write set (conflict —
-    /// the caller must abort the region).
+    /// An external coherence invalidation for `addr`: the line is removed
+    /// from *both* levels (the model is coherence-inclusive: an external
+    /// writer owns the line exclusively, so no level may keep a stale
+    /// copy). Returns `true` if it hit a line in the current region's read
+    /// or write set (conflict — the caller must abort the region).
     pub fn invalidate(&mut self, addr: u64) -> bool {
+        self.flush_mru();
+        self.mru_line = TAG_INVALID;
+        self.mru_epoch = NEVER;
         let line = self.line_of(addr);
+        for i in self.l2.set_range(line) {
+            if self.l2.tags[i] == line {
+                self.l2.tags[i] = TAG_INVALID;
+                self.l2.spec_read_epoch[i] = NEVER;
+                self.l2.spec_write_epoch[i] = NEVER;
+                break;
+            }
+        }
         let r = self.l1.set_range(line);
         for i in r {
             if self.l1.tags[i] == line {
                 let conflict = self.l1.spec(i, self.epoch);
+                if conflict {
+                    debug_assert!(self.spec_count > 0);
+                    self.spec_count -= 1;
+                }
                 self.l1.tags[i] = TAG_INVALID;
                 self.l1.spec_read_epoch[i] = NEVER;
                 self.l1.spec_write_epoch[i] = NEVER;
@@ -402,6 +546,95 @@ mod tests {
         c.access(0x6000, false, false);
         c.commit_region();
         assert!(!c.invalidate(0x6000), "non-speculative line: no conflict");
+    }
+
+    #[test]
+    fn mru_filter_absorbs_only_covered_accesses() {
+        let mut c = sim();
+        assert!(!c.absorbed(0x1000, false, false), "cold cache: disarmed");
+        c.access(0x1000, false, false);
+        assert!(c.absorbed(0x1008, false, false), "same line is armed");
+        assert!(!c.absorbed(0x1040, false, false), "different line");
+        // Speculative coverage: a read bit absorbs reads but not writes;
+        // the write bit covers both (the skipped read bit is unobservable).
+        c.access(0x1000, false, true);
+        assert!(c.absorbed(0x1008, false, true));
+        assert!(!c.absorbed(0x1008, true, true), "write needs the write bit");
+        c.access(0x1000, true, true);
+        assert!(c.absorbed(0x1008, true, true));
+        assert!(c.absorbed(0x1008, false, true), "write bit covers reads");
+        c.commit_region();
+        assert!(
+            !c.absorbed(0x1000, false, false),
+            "the commit epoch bump flash-clears the filter"
+        );
+        c.access(0x1000, false, false);
+        c.invalidate(0x1000);
+        assert!(!c.absorbed(0x1000, false, false), "invalidate disarms");
+    }
+
+    #[test]
+    fn unfiltered_config_never_arms_the_filter() {
+        let mut c = CacheSim::new(&HwConfig::unfiltered());
+        c.access(0x1000, false, false);
+        c.access(0x1000, false, false);
+        assert!(!c.absorbed(0x1008, false, false));
+    }
+
+    #[test]
+    fn invalidate_removes_the_line_from_both_levels() {
+        let mut c = sim();
+        c.access(0x1000, false, false); // resident in L1 and L2
+        c.invalidate(0x1000);
+        assert_eq!(
+            c.access(0x1000, false, false).0,
+            HitLevel::Memory,
+            "coherence-inclusive: the L2 copy is gone too"
+        );
+    }
+
+    #[test]
+    fn deferred_lru_preserves_victim_choice_against_reference() {
+        let mut f = sim();
+        let mut r = CacheSim::new(&HwConfig::unfiltered());
+        // A same-line run (collapsed by the filter in `f`), then an eviction
+        // storm through the same L1 set (8 KB stride), then re-probes: every
+        // hit level, overflow signal, and the victim sequence behind them
+        // must match the unfiltered reference access for access.
+        let mut seq: Vec<(u64, bool, bool)> = vec![
+            (0x1000, false, false),
+            (0x1008, false, false),
+            (0x1010, true, false),
+            (0x1018, false, false),
+        ];
+        for k in 1..=4u64 {
+            seq.push((0x1000 + k * 8192, false, false));
+        }
+        seq.push((0x1000, false, false));
+        seq.push((0x1000 + 8192, true, true));
+        seq.push((0x1000 + 8192, false, true));
+        for &(a, w, s) in &seq {
+            assert_eq!(f.access(a, w, s), r.access(a, w, s), "at {a:#x}");
+            assert_eq!(f.spec_lines(), r.spec_lines());
+        }
+    }
+
+    #[test]
+    fn spec_counter_tracks_overflow_and_conflict_evictions() {
+        let mut c = sim();
+        for k in 0..4u64 {
+            c.access(0x1000 + k * 8192, true, true);
+        }
+        assert_eq!(c.spec_lines(), 4);
+        let (_, ovf) = c.access(0x1000 + 4 * 8192, true, true);
+        assert!(ovf);
+        assert_eq!(c.spec_lines(), 4, "victim left with its bits, +1 new line");
+        assert!(c.invalidate(0x1000 + 4 * 8192));
+        assert_eq!(
+            c.spec_lines(),
+            3,
+            "conflicting line left the read/write set"
+        );
     }
 
     #[test]

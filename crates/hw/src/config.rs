@@ -88,6 +88,19 @@ pub struct HwConfig {
     pub governor: GovernorConfig,
     /// Uop-stream dispatch strategy (see [`Dispatch`]).
     pub dispatch: Dispatch,
+    /// Arm the cache model's MRU line filter + deferred-LRU fast path
+    /// (`DESIGN.md` §12). Semantics-preserving — hit levels, overflow
+    /// signals, and conflict verdicts are bit-identical either way, which
+    /// `tests/prop_hw.rs` and `tests/filter_equivalence.rs` gate — so this
+    /// is on by default; `false` forces the unfiltered reference model for
+    /// those equivalence gates.
+    pub mem_filter: bool,
+    /// Ablation: skip the L1/L2 timing model entirely (every access counts
+    /// as an L1 hit; region footprints and injected line budgets still
+    /// work). NOT semantics-preserving — geometric overflow aborts
+    /// disappear — so it exists only to measure what the cache model costs
+    /// (the `bench-dispatch` ceiling column), never for paper figures.
+    pub cache_off: bool,
 }
 
 impl HwConfig {
@@ -115,6 +128,8 @@ impl HwConfig {
             validate: false,
             governor: GovernorConfig::off(),
             dispatch: Dispatch::Superblock,
+            mem_filter: true,
+            cache_off: false,
         }
     }
 
@@ -124,6 +139,28 @@ impl HwConfig {
         HwConfig {
             name: "chkpt-4wide-peruop",
             dispatch: Dispatch::PerUop,
+            ..HwConfig::baseline()
+        }
+    }
+
+    /// The baseline with the memory fast path disabled: the cache model
+    /// answers every access through the full set-scan reference path. The
+    /// "before" side of the filter-equivalence gate.
+    pub fn unfiltered() -> Self {
+        HwConfig {
+            name: "chkpt-4wide-unfiltered",
+            mem_filter: false,
+            ..HwConfig::baseline()
+        }
+    }
+
+    /// The cache-model-off ablation: superblock dispatch with every memory
+    /// access treated as an L1 hit. Quantifies the model's share of
+    /// simulator runtime (the `bench-dispatch` ceiling).
+    pub fn no_cache_model() -> Self {
+        HwConfig {
+            name: "chkpt-4wide-nocache",
+            cache_off: true,
             ..HwConfig::baseline()
         }
     }
@@ -222,6 +259,22 @@ mod tests {
         b.name = r.name;
         b.dispatch = Dispatch::PerUop;
         assert_eq!(b, r);
+    }
+
+    #[test]
+    fn fast_path_knobs_default_on_and_ablations_differ_only_in_their_knob() {
+        let b = HwConfig::baseline();
+        assert!(b.mem_filter, "filter is the production default");
+        assert!(!b.cache_off, "the timing model is on by default");
+        let u = HwConfig::unfiltered();
+        assert!(!u.mem_filter);
+        let mut b2 = HwConfig::baseline();
+        b2.name = u.name;
+        b2.mem_filter = false;
+        assert_eq!(b2, u, "unfiltered differs from baseline only by the knob");
+        let n = HwConfig::no_cache_model();
+        assert!(n.cache_off);
+        assert_eq!(n.dispatch, Dispatch::Superblock);
     }
 
     #[test]

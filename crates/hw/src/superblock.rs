@@ -96,6 +96,20 @@ pub struct SbInfo {
     /// Per-class retired-uop tallies for the whole block, dense in
     /// [`UOP_CLASSES`] order — the batch delta applied at block entry.
     pub classes: [u32; UOP_CLASSES.len()],
+    /// Access pre-classification (seal time): how many uops in the block
+    /// touch data memory (loads, stores, lock ops, len/class reads, polls).
+    /// Feeds the per-method static memory density the dispatch benchmark
+    /// reports against each workload's cache-off ceiling (DESIGN §12). A
+    /// monomorphized interior loop keyed on `mem_ops == 0` was built and
+    /// measured here first: duplicating the interior loop cost ~10% in
+    /// I-cache/branch footprint — more than the stripped memory arms saved
+    /// — so the classification stays seal-time metadata.
+    pub mem_ops: u16,
+    /// How many of [`mem_ops`](Self::mem_ops) are stores.
+    pub mem_writes: u16,
+    /// How many of [`mem_ops`](Self::mem_ops) are `Poll` uops (fixed-address
+    /// yield-flag reads).
+    pub poll_ops: u16,
 }
 
 impl SbInfo {
@@ -103,6 +117,30 @@ impl SbInfo {
     /// terminator; meaningful only when the terminator does not redirect).
     pub fn fall_through(&self, pc: usize) -> usize {
         pc + self.len as usize
+    }
+
+    /// True when the block's memory accesses are statically confined to at
+    /// most one distinct cache line: one access at most, or every access a
+    /// `Poll` of the fixed yield-flag address. (Field accesses off one base
+    /// register do *not* qualify — consecutive fields can straddle a line
+    /// boundary, and the base register may be rewritten mid-block.)
+    pub fn one_line(&self) -> bool {
+        self.mem_ops <= 1 || self.poll_ops == self.mem_ops
+    }
+}
+
+/// `Some(is_store)` for uops that access data memory; `None` otherwise.
+/// Mirrors exactly the set of interior arms that call the cache model.
+fn mem_kind(u: &Uop) -> Option<bool> {
+    match u {
+        Uop::StoreField { .. } | Uop::StoreElem { .. } | Uop::StoreLock { .. } => Some(true),
+        Uop::LoadField { .. }
+        | Uop::LoadElem { .. }
+        | Uop::LoadLen { .. }
+        | Uop::LoadLock { .. }
+        | Uop::LoadClass { .. }
+        | Uop::Poll => Some(false),
+        _ => None,
     }
 }
 
@@ -184,6 +222,9 @@ pub fn build_blocks(uops: &[Uop]) -> Vec<SbInfo> {
                 can_fault: false,
                 term: SbTerm::Decode,
                 classes: [0; UOP_CLASSES.len()],
+                mem_ops: 0,
+                mem_writes: 0,
+                poll_ops: 0,
             });
             continue;
         } else if is_terminator(u)
@@ -197,6 +238,9 @@ pub fn build_blocks(uops: &[Uop]) -> Vec<SbInfo> {
                 can_fault: can_fault(u),
                 term: decode_term(u),
                 classes: [0; UOP_CLASSES.len()],
+                mem_ops: 0,
+                mem_writes: 0,
+                poll_ops: 0,
             }
         } else {
             // Interior uop: prepend to the successor block (the sealed
@@ -207,9 +251,21 @@ pub fn build_blocks(uops: &[Uop]) -> Vec<SbInfo> {
                 can_fault: suffix.can_fault || can_fault(u),
                 term: suffix.term,
                 classes: suffix.classes,
+                mem_ops: suffix.mem_ops,
+                mem_writes: suffix.mem_writes,
+                poll_ops: suffix.poll_ops,
             }
         };
         info.classes[u.class() as usize] += 1;
+        if let Some(write) = mem_kind(u) {
+            info.mem_ops += 1;
+            if write {
+                info.mem_writes += 1;
+            }
+            if matches!(u, Uop::Poll) {
+                info.poll_ops += 1;
+            }
+        }
         blocks.push(info);
     }
     blocks.reverse();
@@ -363,6 +419,39 @@ mod tests {
             b.iter().map(|s| s.len).collect::<Vec<_>>(),
             [2, 1, 1, 0, 2, 1]
         );
+    }
+
+    #[test]
+    fn access_preclassification_counts_through_suffixes() {
+        let uops = vec![
+            konst(0),
+            Uop::LoadField {
+                dst: MReg(1),
+                obj: MReg(0),
+                field: 0,
+            },
+            Uop::Poll,
+            Uop::StoreField {
+                obj: MReg(0),
+                field: 1,
+                src: MReg(1),
+            },
+            Uop::Ret { src: None },
+        ];
+        let b = build_blocks(&uops);
+        assert_eq!((b[0].mem_ops, b[0].mem_writes, b[0].poll_ops), (3, 1, 1));
+        assert!(!b[0].one_line(), "load + store can straddle lines");
+        // Suffix from the store on: a single access is one-line by definition.
+        assert_eq!(b[3].mem_ops, 1);
+        assert!(b[3].one_line());
+        // Pure register blocks carry no memory metadata.
+        let alu = build_blocks(&[konst(0), Uop::Ret { src: None }]);
+        assert_eq!(alu[0].mem_ops, 0);
+        assert!(alu[0].one_line());
+        // An all-poll block touches only the yield-flag line.
+        let polls = build_blocks(&[Uop::Poll, Uop::Poll, Uop::Ret { src: None }]);
+        assert_eq!((polls[0].mem_ops, polls[0].poll_ops), (2, 2));
+        assert!(polls[0].one_line());
     }
 
     #[test]

@@ -12,8 +12,17 @@ cargo test -q --workspace
 echo "== fault-campaign smoke (checksum equivalence under injected aborts) =="
 cargo run --release -p hasp-experiments --bin experiments -- faults --smoke
 
+echo "== knee-sweep smoke (conflict-rate probes, checksums, governor online) =="
+cargo run --release -p hasp-experiments --bin experiments -- faults --knee --smoke
+
 echo "== dispatch equivalence (release: chained dispatch vs per-uop oracle) =="
 cargo test --release -q --test dispatch_equivalence
+
+echo "== filter equivalence (release: MRU fast path vs unfiltered cache model) =="
+cargo test --release -q --test filter_equivalence
+
+echo "== cache property tests (release: filtered vs reference lockstep) =="
+cargo test --release -q --test prop_hw
 
 echo "== dispatch-bench smoke (superblock vs per-uop on the CI slice) =="
 cargo run --release -p hasp-experiments --bin experiments -- bench-dispatch --smoke

@@ -1,0 +1,95 @@
+//! Suite-level gate for the memory-model fast path (DESIGN §12): for every
+//! Table 2 workload, a run with the MRU line filter + deferred LRU armed
+//! (the production default) must be *bit-identical* to a run with the
+//! unfiltered reference cache model — same checksum, same full `RunStats`
+//! (uops, cycles, hit mix, abort counts, marker snaps), sample for sample.
+//! The filter is only a valid optimisation if no observation point can
+//! tell the two models apart.
+//!
+//! A second leg repeats the comparison under fault pressure (targeted
+//! mid-chain aborts and the overflow-prone line-budget kind), because the
+//! filter's epoch flash-clear and the deferred-LRU victim choices are
+//! exactly the machinery that aborts and overflows stress.
+
+use hasp_experiments::{
+    compile_workload, profile_workload, try_execute_compiled, CompiledWorkload, ProfiledWorkload,
+};
+use hasp_hw::{FaultPlan, HwConfig};
+use hasp_opt::CompilerConfig;
+use hasp_workloads::{all_workloads, Workload};
+
+fn unfiltered_baseline() -> HwConfig {
+    let mut hw = HwConfig::unfiltered();
+    // Same timing name so WorkloadRun equality only differs by stats if the
+    // models genuinely diverge.
+    hw.name = HwConfig::baseline().name;
+    hw
+}
+
+fn run_both(
+    w: &Workload,
+    profiled: &ProfiledWorkload,
+    compiled: &CompiledWorkload,
+    filtered: HwConfig,
+    unfiltered: HwConfig,
+) {
+    assert!(filtered.mem_filter && !unfiltered.mem_filter);
+    let f = try_execute_compiled(w, profiled, compiled, &filtered);
+    let u = try_execute_compiled(w, profiled, compiled, &unfiltered);
+    match (f, u) {
+        (Ok(f), Ok(u)) => {
+            assert_eq!(
+                f.stats, u.stats,
+                "{}: filtered stats diverged from the unfiltered reference",
+                w.name
+            );
+            assert_eq!(f.samples, u.samples, "{}: samples diverged", w.name);
+        }
+        (f, u) => panic!(
+            "{}: cache models disagree on outcome:\n  filtered:   {f:?}\n  unfiltered: {u:?}",
+            w.name
+        ),
+    }
+}
+
+/// Every suite workload under the aggressive paper configuration: the
+/// filtered model must reproduce the unfiltered model's stats exactly
+/// (checksum equality is asserted inside `try_execute_compiled` against the
+/// interpreter for both runs).
+#[test]
+fn all_workloads_identical_across_cache_models() {
+    for w in all_workloads() {
+        let profiled = profile_workload(&w);
+        let compiled = compile_workload(&w, &profiled, &CompilerConfig::atomic_aggressive());
+        run_both(
+            &w,
+            &profiled,
+            &compiled,
+            HwConfig::baseline(),
+            unfiltered_baseline(),
+        );
+    }
+}
+
+/// Aborts bump the filter's epoch (the flash clear) and overflow exercises
+/// the deferred-LRU victim choice under speculative pressure — the two
+/// mechanisms the equivalence argument leans on — so drive both under
+/// injected faults and require identity cell by cell.
+#[test]
+fn fault_pressure_identical_across_cache_models() {
+    let ws = all_workloads();
+    let w = ws.iter().find(|w| w.name == "jython").expect("jython");
+    let profiled = profile_workload(w);
+    let compiled = compile_workload(w, &profiled, &CompilerConfig::atomic_aggressive());
+    for plan in [
+        FaultPlan::abort_at(7),
+        FaultPlan::overflow_budget(24),
+        FaultPlan::conflicts(1_000),
+    ] {
+        let mut filtered = HwConfig::baseline();
+        filtered.faults = plan.clone();
+        let mut unfiltered = unfiltered_baseline();
+        unfiltered.faults = plan;
+        run_both(w, &profiled, &compiled, filtered, unfiltered);
+    }
+}
