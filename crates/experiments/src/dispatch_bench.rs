@@ -48,6 +48,12 @@ pub struct DispatchRow {
     /// density that separates a workload's shipped throughput from its
     /// cache-off ceiling.
     pub static_mem_share: f64,
+    /// Fraction of memory uops whose line the seal-time static access plan
+    /// resolves ([`hasp_hw::CodeCache::static_resolved_uops`]): the share
+    /// bulk per-superblock accounting (DESIGN §13) can collapse into sealed
+    /// run probes. The complement is the dynamic-access residue the cache
+    /// model still pays for per access.
+    pub static_resolved_share: f64,
 }
 
 impl DispatchRow {
@@ -118,6 +124,7 @@ impl DispatchBenchReport {
                 "speedup",
                 "ceiling",
                 "mem%",
+                "static%",
             ],
         );
         for r in &self.rows {
@@ -129,6 +136,7 @@ impl DispatchBenchReport {
                 format!("{}x", num(r.speedup(), 2)),
                 format!("{}x", num(r.cache_off_speedup(), 2)),
                 format!("{:.1}", r.static_mem_share * 100.0),
+                format!("{:.1}", r.static_resolved_share * 100.0),
             ]);
         }
         t.row(&[
@@ -138,6 +146,7 @@ impl DispatchBenchReport {
             "-".into(),
             format!("{}x", num(self.geomean_speedup(), 2)),
             format!("{}x", num(self.geomean_cache_off(), 2)),
+            "-".into(),
             "-".into(),
         ]);
         t.render()
@@ -160,11 +169,12 @@ impl DispatchBenchReport {
                     .num("cache_off_uops_per_s", r.cache_off_rate())
                     .num("speedup", r.speedup())
                     .num("cache_off_speedup", r.cache_off_speedup())
-                    .num("static_mem_share", r.static_mem_share),
+                    .num("static_mem_share", r.static_mem_share)
+                    .num("static_resolved_share", r.static_resolved_share),
             );
         }
         JsonObj::new()
-            .str("schema", "hasp-bench-dispatch-v2")
+            .str("schema", "hasp-bench-dispatch-v3")
             .bool("smoke", smoke)
             .int("reps", REPS as u64)
             .num("wall_s", wall_s)
@@ -202,6 +212,9 @@ pub fn run_bench(smoke: bool) -> DispatchBenchReport {
             let compiled = compile_workload(w, &profiled, &ccfg);
             let (mem_uops, static_uops) = compiled.code.static_mem_uops();
             let static_mem_share = mem_uops as f64 / static_uops.max(1) as f64;
+            let (resolved_uops, plan_mem_uops) = compiled.code.static_resolved_uops();
+            debug_assert_eq!(mem_uops, plan_mem_uops);
+            let static_resolved_share = resolved_uops as f64 / plan_mem_uops.max(1) as f64;
             let timed = |hw: &HwConfig| {
                 // One warm-up run (not timed) populates allocator and branch
                 // state, then best-of-REPS.
@@ -236,6 +249,7 @@ pub fn run_bench(smoke: bool) -> DispatchBenchReport {
                 cache_off_s,
                 cache_off_uops,
                 static_mem_share,
+                static_resolved_share,
             }
         })
         .collect();
@@ -259,6 +273,7 @@ mod tests {
                     cache_off_s: 0.05,
                     cache_off_uops: 1_000_000,
                     static_mem_share: 0.25,
+                    static_resolved_share: 0.10,
                 },
                 DispatchRow {
                     workload: "b",
@@ -268,6 +283,7 @@ mod tests {
                     cache_off_s: 0.05,
                     cache_off_uops: 2_000_000,
                     static_mem_share: 0.40,
+                    static_resolved_share: 0.05,
                 },
             ],
         };
@@ -280,14 +296,16 @@ mod tests {
         assert!((report.rows[0].cache_off_speedup() - 4.0).abs() < 1e-12);
         assert!((report.geomean_cache_off() - 8.0).abs() < 1e-12);
         let json = report.json(false, 1.0);
-        assert!(json.contains("\"schema\": \"hasp-bench-dispatch-v2\""));
+        assert!(json.contains("\"schema\": \"hasp-bench-dispatch-v3\""));
         assert!(json.contains("\"geomean_speedup\": 4.000000"));
         assert!(json.contains("\"geomean_cache_off\": 8.000000"));
         let table = report.table();
         assert!(table.contains("geomean"));
         assert!(table.contains("ceiling"));
         assert!(table.contains("mem%"));
+        assert!(table.contains("static%"));
         assert!(json.contains("\"static_mem_share\": 0.250000"));
+        assert!(json.contains("\"static_resolved_share\": 0.100000"));
     }
 
     #[test]
@@ -297,6 +315,10 @@ mod tests {
         for r in &report.rows {
             assert!(r.uops > 0 && r.cache_off_uops > 0);
             assert!(r.static_mem_share > 0.0 && r.static_mem_share < 1.0);
+            assert!(
+                r.static_resolved_share > 0.0 && r.static_resolved_share < 1.0,
+                "polls resolve statically, heap accesses do not"
+            );
             assert!(r.per_uop_s > 0.0 && r.superblock_s > 0.0 && r.cache_off_s > 0.0);
         }
         assert!(report.geomean_speedup() > 0.0);

@@ -348,7 +348,15 @@ impl KneeReport {
             match &r.error {
                 None => t.row(&[
                     r.workload.into(),
-                    r.knee_rate.to_string(),
+                    // A saturated cell's knee is a lower bound — the search
+                    // never found a rate the governor could not absorb, so
+                    // rendering the cap as if it were a measured knee would
+                    // overstate precision.
+                    if r.saturated {
+                        format!(">={}", r.knee_rate)
+                    } else {
+                        r.knee_rate.to_string()
+                    },
                     format!("{}x", num(r.knee_slowdown, 3)),
                     r.probes.len().to_string(),
                     r.probes.iter().map(|p| p.aborts).sum::<u64>().to_string(),
@@ -606,6 +614,39 @@ mod tests {
         let json = report.json(true, 2, 0.1);
         assert!(json.contains("\"schema\": \"hasp-knee-v1\""));
         assert!(report.table().contains("ok"));
+    }
+
+    #[test]
+    fn saturated_knee_cells_render_as_a_lower_bound() {
+        // A saturated row reports the cap only as ">=cap" — the search never
+        // bounded the knee, so the table must not present a measured value —
+        // while an unsaturated row keeps the plain number.
+        let row = |workload, knee_rate, saturated| KneeRow {
+            workload,
+            clean_cycles: 1_000,
+            knee_rate,
+            knee_slowdown: 1.01,
+            saturated,
+            probes: Vec::new(),
+            error: None,
+        };
+        let report = KneeReport {
+            rows: vec![
+                row("capped", KNEE_RATE_CAP, true),
+                row("bounded", 4_096, false),
+            ],
+        };
+        let table = report.table();
+        assert!(table.contains(&format!(">={KNEE_RATE_CAP}")));
+        assert!(table.contains("yes"));
+        assert!(table.contains(" 4096 ") || table.contains("4096"));
+        assert!(
+            !table.contains(">=4096"),
+            "unsaturated knees are measured values, not bounds"
+        );
+        let json = report.json(true, 1, 0.1);
+        assert!(json.contains("\"saturated\": true"));
+        assert!(json.contains("\"saturated\": false"));
     }
 
     #[test]

@@ -250,6 +250,15 @@ pub struct CacheSim {
     /// state (replaces the O(sets×ways) scan the validator used to pay on
     /// every commit/abort).
     spec_count: u32,
+    /// Construction-time-precomputed extra contention cycles charged per L2
+    /// hit — `(l2_latency - l1_latency) / mlp * width`, the exact integer
+    /// the per-access path computes (with two hardware divides) on every
+    /// miss. The batched accounting path multiplies this by the block's L2
+    /// tally once per superblock instead.
+    pub(crate) l2_extra_cxw: u64,
+    /// As [`Self::l2_extra_cxw`] for misses to memory:
+    /// `(mem_latency - l1_latency) / mlp * width`.
+    pub(crate) mem_extra_cxw: u64,
 }
 
 impl CacheSim {
@@ -270,6 +279,8 @@ impl CacheSim {
             mru_dirty: false,
             filter: cfg.mem_filter,
             spec_count: 0,
+            l2_extra_cxw: (cfg.l2_latency - cfg.l1_latency) / cfg.mlp * cfg.width,
+            mem_extra_cxw: (cfg.mem_latency - cfg.l1_latency) / cfg.mlp * cfg.width,
         }
     }
 

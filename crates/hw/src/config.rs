@@ -95,6 +95,17 @@ pub struct HwConfig {
     /// is on by default; `false` forces the unfiltered reference model for
     /// those equivalence gates.
     pub mem_filter: bool,
+    /// Bulk per-superblock cache accounting (DESIGN §13): the superblock
+    /// interior charges hit/latency statistics through a per-block
+    /// accumulator flushed once at block exit, collapses statically
+    /// resolved poll runs from the sealed access plan into one probe plus a
+    /// bulk charge, and uses seal-time-precomputed miss-latency increments.
+    /// Semantics-preserving — `tests/batch_equivalence.rs` and the lockstep
+    /// proptest gate bit-exactness against the per-access reference — so it
+    /// is on by default; `false` forces the immediate per-access accounting
+    /// path. Only meaningful under [`Dispatch::Superblock`]; the per-uop
+    /// engine always accounts per access.
+    pub batched_mem: bool,
     /// Ablation: skip the L1/L2 timing model entirely (every access counts
     /// as an L1 hit; region footprints and injected line budgets still
     /// work). NOT semantics-preserving — geometric overflow aborts
@@ -129,6 +140,7 @@ impl HwConfig {
             governor: GovernorConfig::off(),
             dispatch: Dispatch::Superblock,
             mem_filter: true,
+            batched_mem: true,
             cache_off: false,
         }
     }
@@ -150,6 +162,18 @@ impl HwConfig {
         HwConfig {
             name: "chkpt-4wide-unfiltered",
             mem_filter: false,
+            ..HwConfig::baseline()
+        }
+    }
+
+    /// The baseline with bulk per-superblock cache accounting disabled:
+    /// every interior memory access charges statistics and latency
+    /// immediately, and sealed poll runs replay access by access. The
+    /// "before" side of the batch-equivalence gate.
+    pub fn unbatched() -> Self {
+        HwConfig {
+            name: "chkpt-4wide-unbatched",
+            batched_mem: false,
             ..HwConfig::baseline()
         }
     }
@@ -275,6 +299,13 @@ mod tests {
         let n = HwConfig::no_cache_model();
         assert!(n.cache_off);
         assert_eq!(n.dispatch, Dispatch::Superblock);
+        assert!(b.batched_mem, "bulk accounting is the production default");
+        let ub = HwConfig::unbatched();
+        assert!(!ub.batched_mem);
+        let mut b3 = HwConfig::baseline();
+        b3.name = ub.name;
+        b3.batched_mem = false;
+        assert_eq!(b3, ub, "unbatched differs from baseline only by the knob");
     }
 
     #[test]

@@ -27,11 +27,8 @@ use crate::fault::MachineFault;
 use crate::fxhash::FxHashMap;
 use crate::lineset::LineSet;
 use crate::stats::{AbortReason, MarkerSnap, RunStats};
-use crate::superblock::{SbInfo, SbTerm};
+use crate::superblock::{SbInfo, SbTerm, YIELD_FLAG_ADDR};
 use crate::uop::{CodeCache, CompiledCode, MReg, Uop};
-
-/// Simulated address of the thread-local yield flag polled by safepoints.
-const YIELD_FLAG_ADDR: u64 = 0x100;
 
 /// What executing one uop did to control flow.
 enum StepOut {
@@ -56,6 +53,43 @@ enum Interior {
     /// The memory access at this pc overflowed the region. The cache state
     /// is already updated (not replayable): the caller must abort.
     Overflow(usize),
+}
+
+/// Per-superblock deferred cache-accounting accumulator (DESIGN §13): the
+/// batched interior path counts serviced accesses per level here and flushes
+/// them into `RunStats`/`cxw` once per interior run — one fused update per
+/// block instead of per-access counter read-modify-writes and per-miss
+/// latency divisions. Exact because nothing observes the running counters
+/// between a block's interior uops: markers and terminators live outside
+/// `i..term`, and every bail path flushes before control leaves the loop.
+#[derive(Default)]
+struct MemTally {
+    /// Accesses serviced by L1, including absorbed filter hits and the
+    /// bulk-charged followers of sealed static runs.
+    l1: u64,
+    /// Accesses serviced by L2.
+    l2: u64,
+    /// Misses serviced by memory.
+    mem: u64,
+}
+
+impl MemTally {
+    /// The fused flush: total accesses, per-level hits, and the aggregate
+    /// miss latency in two multiply-adds. `l2x`/`memx` are the cache's
+    /// construction-time-precomputed per-miss cxw increments, so the sum
+    /// equals the per-access reference arithmetic exactly (`k` identical
+    /// integer increments collapse to one multiplication).
+    #[inline]
+    fn flush(&self, stats: &mut RunStats, cxw: &mut u64, l2x: u64, memx: u64) {
+        let total = self.l1 + self.l2 + self.mem;
+        if total == 0 {
+            return;
+        }
+        stats.mem_accesses += total;
+        stats.l1_hits += self.l1;
+        stats.l2_hits += self.l2;
+        *cxw += self.l2 * l2x + self.mem * memx;
+    }
 }
 
 /// How an `aregion_begin` resolved (see [`Machine::region_begin`]).
@@ -350,6 +384,60 @@ impl<'p> Machine<'p> {
             }
             // The injected line budget models a smaller speculative cache:
             // it tightens the geometric overflow, never loosens it.
+            let budget = cfg.faults.line_budget;
+            overflowed = overflow || (budget > 0 && r.lines.len() as u64 > budget);
+        }
+        !overflowed
+    }
+
+    /// The bulk-accounting twin of [`Machine::mem_access_parts`]: identical
+    /// cache-model traffic (absorbed tier, full path, region footprint,
+    /// line-budget verdict — in the same order), but hit and latency
+    /// statistics accumulate in the caller's per-block [`MemTally`] instead
+    /// of being charged immediately. The superblock interior flushes the
+    /// tally once per run (`HwConfig::batched_mem`); the per-access path
+    /// stays the reference the batch-equivalence gates compare against.
+    #[inline]
+    fn mem_probe(
+        cache: &mut CacheSim,
+        tally: &mut MemTally,
+        region: &mut Option<RegionCtx>,
+        cfg: &HwConfig,
+        addr: u64,
+        write: bool,
+    ) -> bool {
+        if cfg.cache_off {
+            tally.l1 += 1;
+            let mut overflowed = false;
+            if let Some(r) = region.as_mut() {
+                let line = cache.line_of(addr);
+                if line != r.last_line {
+                    r.last_line = line;
+                    r.lines.insert(line);
+                }
+                let budget = cfg.faults.line_budget;
+                overflowed = budget > 0 && r.lines.len() as u64 > budget;
+            }
+            return !overflowed;
+        }
+        let in_region = region.is_some();
+        if cache.absorbed(addr, write, in_region) {
+            tally.l1 += 1;
+            return true;
+        }
+        let (level, overflow) = cache.access(addr, write, in_region);
+        match level {
+            HitLevel::L1 => tally.l1 += 1,
+            HitLevel::L2 => tally.l2 += 1,
+            HitLevel::Memory => tally.mem += 1,
+        }
+        let mut overflowed = false;
+        if let Some(r) = region.as_mut() {
+            let line = cache.line_of(addr);
+            if line != r.last_line {
+                r.last_line = line;
+                r.lines.insert(line);
+            }
             let budget = cfg.faults.line_budget;
             overflowed = overflow || (budget > 0 && r.lines.len() as u64 > budget);
         }
@@ -747,6 +835,20 @@ impl<'p> Machine<'p> {
         }
     }
 
+    /// Refunds the bulk charge for the `n` static-run followers the
+    /// interior loop never reached: a redirect (trap, abort, overflow)
+    /// between a sealed poll run's head and its last poll leaves accesses
+    /// charged that the per-access reference would not yet have performed.
+    /// The refund is statistics-only by construction — a follower's
+    /// cache-state effect is empty (the head's probe armed the filter and
+    /// speculative bits that absorb it), so subtracting the L1-hit charge
+    /// restores exact agreement with the reference at the redirect point.
+    fn unapply_precharge(&mut self, n: u32) {
+        let n = u64::from(n);
+        self.stats.mem_accesses -= n;
+        self.stats.l1_hits -= n;
+    }
+
     /// The superblock interior executor: retires the straight-line uops in
     /// `i..term` under one set of field borrows — register file, heap,
     /// cache, and region context all resolved once — inlining the hot
@@ -755,9 +857,26 @@ impl<'p> Machine<'p> {
     /// caller can replay it through the shared [`Machine::step`] semantics;
     /// region overflow (whose cache access cannot be replayed) surfaces as
     /// [`Interior::Overflow`].
+    ///
+    /// Under `HwConfig::batched_mem` (`BATCHED` — a const generic, so each
+    /// accounting discipline compiles to a lean loop with no dead twin
+    /// inlined into its memory arms; only the configured instantiation is
+    /// ever fetched) the memory arms account through a per-run [`MemTally`]
+    /// flushed once on every exit path, and `Poll` uops execute the sealed
+    /// static access plan: the head of a statically resolved run probes the
+    /// cache model once and bulk-charges the followers, which `precharged`
+    /// then skips. `precharged` lives in the caller so the count survives
+    /// slow-path replay re-entries within one block and can be refunded
+    /// exactly on a mid-block redirect.
     #[allow(clippy::too_many_lines)]
     #[inline]
-    fn run_interior(&mut self, code: &'p CompiledCode, mut i: usize, term: usize) -> Interior {
+    fn run_interior<const BATCHED: bool>(
+        &mut self,
+        code: &'p CompiledCode,
+        mut i: usize,
+        term: usize,
+        precharged: &mut u32,
+    ) -> Interior {
         let program = self.program;
         let Machine {
             frames,
@@ -770,9 +889,29 @@ impl<'p> Machine<'p> {
             env,
             ..
         } = self;
+        debug_assert_eq!(cfg.batched_mem, BATCHED);
         let frame = frames.last_mut().expect("frame");
         let regs = &mut frame.regs;
-        while i < term {
+        let batched = BATCHED;
+        let (l2x, memx) = (cache.l2_extra_cxw, cache.mem_extra_cxw);
+        let mut tally = MemTally::default();
+        // Routes one access through the discipline the instantiation
+        // selects: the deferred-tally fast path, or the immediate
+        // per-access reference accounting. `BATCHED` is const, so the
+        // untaken branch is compiled out of every arm.
+        macro_rules! probe {
+            ($addr:expr, $write:expr) => {
+                if BATCHED {
+                    Self::mem_probe(cache, &mut tally, region, cfg, $addr, $write)
+                } else {
+                    Self::mem_access_parts(cache, stats, cxw, region, cfg, $addr, $write)
+                }
+            };
+        }
+        let out = loop {
+            if i >= term {
+                break Interior::Done;
+            }
             match code.uops[i] {
                 Uop::Const { dst, imm } => regs[dst.0 as usize] = imm,
                 Uop::ConstNull { dst } => regs[dst.0 as usize] = Value::NULL.encode(),
@@ -782,7 +921,7 @@ impl<'p> Machine<'p> {
                     // trap can still bail to the shared slow path exactly.
                     match op.eval(regs[a.0 as usize], regs[b.0 as usize]) {
                         Some(v) => regs[dst.0 as usize] = v,
-                        None => return Interior::Slow(i),
+                        None => break Interior::Slow(i),
                     }
                 }
                 Uop::CmpSet { op, dst, a, b } => {
@@ -791,24 +930,24 @@ impl<'p> Machine<'p> {
                 }
                 Uop::CheckNull { v } => {
                     if Value::decode(regs[v.0 as usize]) == Value::NULL {
-                        return Interior::Slow(i);
+                        break Interior::Slow(i);
                     }
                 }
                 Uop::CheckBounds { len, idx } => {
                     let (l, x) = (regs[len.0 as usize], regs[idx.0 as usize]);
                     if x < 0 || x >= l {
-                        return Interior::Slow(i);
+                        break Interior::Slow(i);
                     }
                 }
                 Uop::CheckDiv { v } => {
                     if regs[v.0 as usize] == 0 {
-                        return Interior::Slow(i);
+                        break Interior::Slow(i);
                     }
                 }
                 Uop::CheckCast { obj, class } => {
                     if let Value::Ref(Some(o)) = Value::decode(regs[obj.0 as usize]) {
                         if !program.is_subclass(heap.class_of(o), class) {
-                            return Interior::Slow(i);
+                            break Interior::Slow(i);
                         }
                     }
                 }
@@ -821,21 +960,21 @@ impl<'p> Machine<'p> {
                 }
                 Uop::LoadField { dst, obj, field } => {
                     let Value::Ref(Some(o)) = Value::decode(regs[obj.0 as usize]) else {
-                        return Interior::Slow(i);
+                        break Interior::Slow(i);
                     };
                     let (addr, slot) = heap.field_slot(o, field);
-                    if !Self::mem_access_parts(cache, stats, cxw, region, cfg, addr, false) {
-                        return Interior::Overflow(i);
+                    if !probe!(addr, false) {
+                        break Interior::Overflow(i);
                     }
                     regs[dst.0 as usize] = slot.encode();
                 }
                 Uop::StoreField { obj, field, src } => {
                     let Value::Ref(Some(o)) = Value::decode(regs[obj.0 as usize]) else {
-                        return Interior::Slow(i);
+                        break Interior::Slow(i);
                     };
                     let (addr, slot) = heap.field_slot(o, field);
-                    if !Self::mem_access_parts(cache, stats, cxw, region, cfg, addr, true) {
-                        return Interior::Overflow(i);
+                    if !probe!(addr, true) {
+                        break Interior::Overflow(i);
                     }
                     if let Some(r) = region.as_mut() {
                         r.undo.push((HeapCell::Field(o, field), slot.encode()));
@@ -844,22 +983,22 @@ impl<'p> Machine<'p> {
                 }
                 Uop::LoadElem { dst, arr, idx } => {
                     let Value::Ref(Some(o)) = Value::decode(regs[arr.0 as usize]) else {
-                        return Interior::Slow(i);
+                        break Interior::Slow(i);
                     };
                     let (addr, slot) = heap.elem_slot(o, regs[idx.0 as usize] as u32);
-                    if !Self::mem_access_parts(cache, stats, cxw, region, cfg, addr, false) {
-                        return Interior::Overflow(i);
+                    if !probe!(addr, false) {
+                        break Interior::Overflow(i);
                     }
                     regs[dst.0 as usize] = slot.encode();
                 }
                 Uop::StoreElem { arr, idx, src } => {
                     let Value::Ref(Some(o)) = Value::decode(regs[arr.0 as usize]) else {
-                        return Interior::Slow(i);
+                        break Interior::Slow(i);
                     };
                     let j = regs[idx.0 as usize] as u32;
                     let (addr, slot) = heap.elem_slot(o, j);
-                    if !Self::mem_access_parts(cache, stats, cxw, region, cfg, addr, true) {
-                        return Interior::Overflow(i);
+                    if !probe!(addr, true) {
+                        break Interior::Overflow(i);
                     }
                     if let Some(r) = region.as_mut() {
                         r.undo.push((HeapCell::Elem(o, j), slot.encode()));
@@ -868,43 +1007,43 @@ impl<'p> Machine<'p> {
                 }
                 Uop::LoadLen { dst, arr } => {
                     let Value::Ref(Some(o)) = Value::decode(regs[arr.0 as usize]) else {
-                        return Interior::Slow(i);
+                        break Interior::Slow(i);
                     };
                     let (addr, len) = heap.len_slot(o);
-                    if !Self::mem_access_parts(cache, stats, cxw, region, cfg, addr, false) {
-                        return Interior::Overflow(i);
+                    if !probe!(addr, false) {
+                        break Interior::Overflow(i);
                     }
                     regs[dst.0 as usize] = len as i64;
                 }
                 Uop::LoadClass { dst, obj } => {
                     let Value::Ref(Some(o)) = Value::decode(regs[obj.0 as usize]) else {
-                        return Interior::Slow(i);
+                        break Interior::Slow(i);
                     };
                     let addr = heap.addr_of_header(o);
-                    if !Self::mem_access_parts(cache, stats, cxw, region, cfg, addr, false) {
-                        return Interior::Overflow(i);
+                    if !probe!(addr, false) {
+                        break Interior::Overflow(i);
                     }
                     regs[dst.0 as usize] = i64::from(heap.class_of(o).0);
                 }
                 Uop::LoadLock { dst, obj } => {
                     let Value::Ref(Some(o)) = Value::decode(regs[obj.0 as usize]) else {
-                        return Interior::Slow(i);
+                        break Interior::Slow(i);
                     };
                     let cell = HeapCell::Lock(o);
                     let addr = heap.addr_of(cell);
-                    if !Self::mem_access_parts(cache, stats, cxw, region, cfg, addr, false) {
-                        return Interior::Overflow(i);
+                    if !probe!(addr, false) {
+                        break Interior::Overflow(i);
                     }
                     regs[dst.0 as usize] = heap.read_cell(cell);
                 }
                 Uop::StoreLock { obj, src } => {
                     let Value::Ref(Some(o)) = Value::decode(regs[obj.0 as usize]) else {
-                        return Interior::Slow(i);
+                        break Interior::Slow(i);
                     };
                     let cell = HeapCell::Lock(o);
                     let addr = heap.addr_of(cell);
-                    if !Self::mem_access_parts(cache, stats, cxw, region, cfg, addr, true) {
-                        return Interior::Overflow(i);
+                    if !probe!(addr, true) {
+                        break Interior::Overflow(i);
                     }
                     if let Some(r) = region.as_mut() {
                         r.undo.push((cell, heap.read_cell(cell)));
@@ -912,9 +1051,29 @@ impl<'p> Machine<'p> {
                     heap.write_cell(cell, regs[src.0 as usize]);
                 }
                 Uop::Poll => {
-                    let addr = YIELD_FLAG_ADDR;
-                    if !Self::mem_access_parts(cache, stats, cxw, region, cfg, addr, false) {
-                        return Interior::Overflow(i);
+                    if batched && *precharged > 0 {
+                        // A follower of an already-charged static run: its
+                        // L1 hit was bulk-charged at the run's head, and its
+                        // cache-state effect is empty (the head's probe
+                        // armed the filter/speculative bits that absorb it).
+                        *precharged -= 1;
+                    } else {
+                        if !probe!(YIELD_FLAG_ADDR, false) {
+                            break Interior::Overflow(i);
+                        }
+                        if batched {
+                            // Execute the sealed static plan: the head's
+                            // probe just resolved residency and the budget
+                            // verdict for the run's one line, so the
+                            // remaining `run - 1` polls are L1 hits by
+                            // construction — charge them now, skip them
+                            // as they retire.
+                            let run = u32::from(code.blocks[i].poll_run);
+                            if run > 1 {
+                                tally.l1 += u64::from(run) - 1;
+                                *precharged = run - 1;
+                            }
+                        }
                     }
                 }
                 Uop::Intrin {
@@ -937,11 +1096,12 @@ impl<'p> Machine<'p> {
                 },
                 // Allocation, trapping ALU, and anything else: the shared
                 // step path handles it.
-                _ => return Interior::Slow(i),
+                _ => break Interior::Slow(i),
             }
             i += 1;
-        }
-        Interior::Done
+        };
+        tally.flush(stats, cxw, l2x, memx);
+        out
     }
 
     /// The chained batched-dispatch hot path: retire decoded superblocks
@@ -1023,8 +1183,16 @@ impl<'p> Machine<'p> {
             if pc < term {
                 let mut i = pc;
                 let mut redirected = false;
+                // Static-run followers bulk-charged but not yet retired;
+                // survives slow-path replay re-entries, and is refunded on
+                // any redirect out of the block (see `unapply_precharge`).
+                let mut precharged: u32 = 0;
                 while i < term {
-                    let interior = self.run_interior(code, i, term);
+                    let interior = if self.cfg.batched_mem {
+                        self.run_interior::<true>(code, i, term, &mut precharged)
+                    } else {
+                        self.run_interior::<false>(code, i, term, &mut precharged)
+                    };
                     match interior {
                         Interior::Done => break,
                         // A trap-bound or unspecialized interior uop: keep
@@ -1035,9 +1203,16 @@ impl<'p> Machine<'p> {
                         Interior::Slow(j) => {
                             self.frames.last_mut().expect("frame").pc = j;
                             match self.step(&code.uops[j], method, j) {
-                                Ok(StepOut::Next(_)) => i = j + 1,
+                                Ok(StepOut::Next(_)) => {
+                                    // Only allocation falls through here,
+                                    // and allocations break static runs at
+                                    // seal time — no run can span the bail.
+                                    debug_assert_eq!(precharged, 0);
+                                    i = j + 1;
+                                }
                                 Ok(StepOut::Redirect) => {
                                     self.unapply_suffix(&code.blocks[j + 1], in_region);
+                                    self.unapply_precharge(precharged);
                                     redirected = true;
                                     break;
                                 }
@@ -1046,6 +1221,7 @@ impl<'p> Machine<'p> {
                                 }
                                 Err(e) => {
                                     self.unapply_suffix(&code.blocks[j + 1], in_region);
+                                    self.unapply_precharge(precharged);
                                     return Err(e);
                                 }
                             }
@@ -1053,8 +1229,11 @@ impl<'p> Machine<'p> {
                         // The cache already recorded the access when
                         // overflow was detected, so this cannot be replayed
                         // — abort here, exactly as the reference path's
-                        // `mem_access` would.
+                        // `mem_access` would. Overflow can only surface at a
+                        // run's head (followers never probe), so there is
+                        // never a precharge to refund.
                         Interior::Overflow(j) => {
+                            debug_assert_eq!(precharged, 0);
                             if let Err(e) = self.abort(AbortReason::Overflow) {
                                 self.unapply_suffix(&code.blocks[j + 1], in_region);
                                 return Err(e);
@@ -1069,6 +1248,9 @@ impl<'p> Machine<'p> {
                     resync!();
                     continue;
                 }
+                // A clean exit retires every uop of the run, including every
+                // follower of every charged static run.
+                debug_assert_eq!(precharged, 0);
             }
             // Follow the sealed terminator link. Every arm mirrors the
             // corresponding [`Machine::step`] semantics exactly; the shared
@@ -2493,6 +2675,68 @@ mod fault_tests {
         assert_eq!(out, Some(Value::Int(42)));
         assert_eq!(mach.stats().aborts.get(AbortReason::Exception), 1);
         assert!(mach.stats().validations >= 1);
+    }
+
+    /// A hand-sealed static run `[Poll, CheckNull, Poll]` whose head
+    /// bulk-charges both polls before the check traps between them: the
+    /// in-region trap becomes an exception abort to the alt path, and the
+    /// batched engine must refund the never-retired follower's charge so
+    /// every counter lands exactly where the per-access reference does.
+    fn mid_run_trap_stream() -> (Program, CodeCache) {
+        install_uops(
+            vec![
+                Uop::RegionBegin { region: 0, alt: 8 },
+                Uop::ConstNull { dst: MReg(0) },
+                Uop::Poll,
+                Uop::CheckNull { v: MReg(0) },
+                Uop::Poll,
+                Uop::RegionEnd { region: 0 },
+                Uop::Const {
+                    dst: MReg(1),
+                    imm: 1,
+                },
+                Uop::Ret { src: Some(MReg(1)) },
+                Uop::Const {
+                    dst: MReg(1),
+                    imm: 7,
+                },
+                Uop::Ret { src: Some(MReg(1)) },
+            ],
+            2,
+        )
+    }
+
+    #[test]
+    fn precharged_poll_run_is_refunded_exactly_on_a_mid_run_trap() {
+        // Seal-time plan: the run head at pc 2 covers both polls (the
+        // CheckNull between them is not a memory uop, so it rides inside
+        // the run), which is precisely what forces the batched engine to
+        // precharge the pc-4 poll it will never retire.
+        let (_p, cc) = mid_run_trap_stream();
+        let code = cc.get(hasp_vm::bytecode::MethodId(0)).expect("entry");
+        assert_eq!(code.blocks[2].poll_run, 2, "run head covers both polls");
+        assert_eq!(code.blocks[4].poll_run, 1);
+
+        let mut runs = Vec::new();
+        for hw in [
+            HwConfig::baseline(),
+            HwConfig::unbatched(),
+            HwConfig::per_uop(),
+        ] {
+            let (p, cc) = mid_run_trap_stream();
+            let mut mach = Machine::new(&p, &cc, hw);
+            let out = mach.run(&[]).expect("exception abort is recoverable");
+            assert_eq!(out, Some(Value::Int(7)), "trap redirects to alt path");
+            assert_eq!(mach.stats().aborts.get(AbortReason::Exception), 1);
+            // Only the run's head poll retired before the trap (a cold
+            // miss); the follower's bulk L1-hit charge must have been
+            // refunded.
+            assert_eq!(mach.stats().mem_accesses, 1);
+            assert_eq!(mach.stats().l1_hits, 0);
+            runs.push((mach.stats().clone(), mach.cycles()));
+        }
+        assert_eq!(runs[0], runs[1], "batched == per-access reference");
+        assert_eq!(runs[0].0, runs[2].0, "superblock == per-uop reference");
     }
 
     #[test]

@@ -21,19 +21,28 @@ cargo test --release -q --test dispatch_equivalence
 echo "== filter equivalence (release: MRU fast path vs unfiltered cache model) =="
 cargo test --release -q --test filter_equivalence
 
+echo "== batch equivalence (release: bulk accounting vs per-access reference) =="
+cargo test --release -q --test batch_equivalence
+
 echo "== cache property tests (release: filtered vs reference lockstep) =="
 cargo test --release -q --test prop_hw
 
 echo "== dispatch-bench smoke (superblock vs per-uop on the CI slice) =="
 cargo run --release -p hasp-experiments --bin experiments -- bench-dispatch --smoke
-# The chained block engine must never dispatch slower than the per-uop
-# reference it replaces — a geomean below 1.0 on the smoke slice means the
-# fast path has rotted.
+# Two regression gates on the CI slice (fop + pmd). The shipped-geomean
+# floor is calibrated from the measured smoke geomean (1.45-1.55x on CI
+# hardware; the suite-wide full-run geomean is ~1.55x) with headroom for
+# scheduler noise — a drop below 1.40x means the block engine genuinely
+# rotted, not that the machine was busy. The cache-off ceiling gate
+# catches regressions in the ablation leg itself, which the full run
+# would otherwise only surface post-merge.
 python3 - <<'PY'
 import json
-g = json.load(open("BENCH_dispatch_smoke.json"))["geomean_speedup"]
-assert g >= 1.0, f"superblock dispatch slower than per-uop reference: geomean {g:.2f}x"
-print(f"smoke geomean {g:.2f}x >= 1.0 ok")
+r = json.load(open("BENCH_dispatch_smoke.json"))
+g, c = r["geomean_speedup"], r["geomean_cache_off"]
+assert g >= 1.40, f"superblock dispatch regressed: smoke geomean {g:.2f}x < 1.40x floor"
+assert c >= g, f"cache-off ablation slower than the shipped engine: {c:.2f}x < {g:.2f}x"
+print(f"smoke geomean {g:.2f}x >= 1.40 ok; cache-off ceiling {c:.2f}x >= shipped ok")
 PY
 
 echo "== cargo clippy =="

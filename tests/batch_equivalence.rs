@@ -1,0 +1,122 @@
+//! Suite-level gate for bulk per-superblock cache accounting (DESIGN §13):
+//! for every Table 2 workload, a run with batched accounting armed (the
+//! production default — deferred per-run tallies, sealed poll-run collapse,
+//! precomputed miss-latency increments) must be *bit-identical* to a run
+//! with immediate per-access accounting — same checksum, same full
+//! `RunStats` (uops, cycles, hit mix, abort counts, marker snaps), sample
+//! for sample. Bulk charging is only a valid optimisation if no observation
+//! point can tell the two accounting disciplines apart.
+//!
+//! A second leg repeats the comparison under fault pressure (targeted
+//! mid-chain aborts, the overflow-prone line-budget kind, and injected
+//! conflicts), because the mid-block unapply path — refunding a sealed
+//! run's bulk charge when a trap or abort redirects between its head and
+//! its last poll — is exactly the machinery faults stress. A third leg
+//! sweeps the §6.3 hardware variants so the equivalence is not an artifact
+//! of the Table 1 geometry.
+
+use hasp_experiments::{
+    compile_workload, profile_workload, try_execute_compiled, CompiledWorkload, ProfiledWorkload,
+};
+use hasp_hw::{FaultPlan, HwConfig};
+use hasp_opt::CompilerConfig;
+use hasp_workloads::{all_workloads, Workload};
+
+fn unbatched_with_name(name: &'static str) -> HwConfig {
+    let mut hw = HwConfig::unbatched();
+    // Same timing name so WorkloadRun equality only differs by stats if the
+    // accounting disciplines genuinely diverge.
+    hw.name = name;
+    hw
+}
+
+fn run_both(
+    w: &Workload,
+    profiled: &ProfiledWorkload,
+    compiled: &CompiledWorkload,
+    batched: HwConfig,
+    unbatched: HwConfig,
+) {
+    assert!(batched.batched_mem && !unbatched.batched_mem);
+    let b = try_execute_compiled(w, profiled, compiled, &batched);
+    let u = try_execute_compiled(w, profiled, compiled, &unbatched);
+    match (b, u) {
+        (Ok(b), Ok(u)) => {
+            assert_eq!(
+                b.stats, u.stats,
+                "{}: batched stats diverged from the per-access reference",
+                w.name
+            );
+            assert_eq!(b.samples, u.samples, "{}: samples diverged", w.name);
+        }
+        (b, u) => panic!(
+            "{}: accounting disciplines disagree on outcome:\n  batched:   {b:?}\n  unbatched: {u:?}",
+            w.name
+        ),
+    }
+}
+
+/// Every suite workload under the aggressive paper configuration: bulk
+/// accounting must reproduce the per-access reference's stats exactly
+/// (checksum equality is asserted inside `try_execute_compiled` against the
+/// interpreter for both runs).
+#[test]
+fn all_workloads_identical_across_accounting_disciplines() {
+    for w in all_workloads() {
+        let profiled = profile_workload(&w);
+        let compiled = compile_workload(&w, &profiled, &CompilerConfig::atomic_aggressive());
+        run_both(
+            &w,
+            &profiled,
+            &compiled,
+            HwConfig::baseline(),
+            unbatched_with_name(HwConfig::baseline().name),
+        );
+    }
+}
+
+/// Mid-chain aborts redirect out of blocks whose sealed poll runs may be
+/// mid-flight — the precharge-refund path — and the line-budget kind makes
+/// overflow surface at run heads; conflicts interleave epoch flash-clears
+/// with deferred tallies. Drive all three and require identity cell by
+/// cell.
+#[test]
+fn fault_pressure_identical_across_accounting_disciplines() {
+    let ws = all_workloads();
+    let w = ws.iter().find(|w| w.name == "jython").expect("jython");
+    let profiled = profile_workload(w);
+    let compiled = compile_workload(w, &profiled, &CompilerConfig::atomic_aggressive());
+    for plan in [
+        FaultPlan::abort_at(7),
+        FaultPlan::overflow_budget(24),
+        FaultPlan::conflicts(1_000),
+    ] {
+        let mut batched = HwConfig::baseline();
+        batched.faults = plan.clone();
+        let mut unbatched = unbatched_with_name(batched.name);
+        unbatched.faults = plan;
+        run_both(w, &profiled, &compiled, batched, unbatched);
+    }
+}
+
+/// The §6.3 hardware variants change cache geometry, width, and MLP — the
+/// inputs to the precomputed miss-latency increments — so the equivalence
+/// must hold under each, not just Table 1.
+#[test]
+fn hardware_variants_identical_across_accounting_disciplines() {
+    let ws = all_workloads();
+    let w = ws.iter().find(|w| w.name == "fop").expect("fop");
+    let profiled = profile_workload(w);
+    let compiled = compile_workload(w, &profiled, &CompilerConfig::atomic_aggressive());
+    for variant in [
+        HwConfig::with_begin_overhead(),
+        HwConfig::single_inflight(),
+        HwConfig::two_wide(),
+        HwConfig::two_wide_half(),
+    ] {
+        let batched = variant.clone();
+        let mut unbatched = variant;
+        unbatched.batched_mem = false;
+        run_both(w, &profiled, &compiled, batched, unbatched);
+    }
+}

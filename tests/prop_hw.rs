@@ -9,7 +9,7 @@
 use proptest::prelude::*;
 
 use hasp_hw::lineset::{LineSet, SPILL_LINES};
-use hasp_hw::{CacheSim, HwConfig};
+use hasp_hw::{CacheSim, HitLevel, HwConfig};
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
@@ -124,6 +124,84 @@ proptest! {
                 ),
             }
             prop_assert_eq!(fast.spec_lines(), reference.spec_lines());
+        }
+    }
+
+    #[test]
+    fn batched_run_collapse_is_bit_identical_to_per_access_replay(
+        ops in prop::collection::vec(
+            (any::<u8>(), 0u64..12, 0u64..8, 1u32..5, any::<bool>(), any::<bool>()),
+            1..200,
+        ),
+        unfiltered in any::<bool>(),
+    ) {
+        // The DESIGN §13 run-collapse contract at the cache-model level: a
+        // sealed static run is `k` identical accesses (same line, same
+        // kind, same speculative state — exactly what a poll run is), the
+        // batched engine performs only the head's probe and bulk-counts the
+        // `k-1` followers, and the per-access reference replays all `k`
+        // through the absorbed-else-access discipline the machine's
+        // `mem_access_parts` uses. Exactness requires: identical head
+        // results, followers that are pure `(L1, no-overflow)` hits, and
+        // identical speculative-line counts at every step — under both the
+        // filtered production model and the unfiltered reference model
+        // (where skipped follower LRU ticks shift timestamps uniformly but
+        // never reorder victims).
+        let cfg = if unfiltered { HwConfig::unfiltered() } else { HwConfig::baseline() };
+        let mut batched = CacheSim::new(&cfg);
+        let mut reference = CacheSim::new(&cfg);
+        let probe = |c: &mut CacheSim, addr, write, speculative| {
+            if c.absorbed(addr, write, speculative) {
+                (HitLevel::L1, false)
+            } else {
+                c.access(addr, write, speculative)
+            }
+        };
+        for &(sel, choice, offset, run, write, speculative) in &ops {
+            // Same crammed two-set universe as the filter lockstep test:
+            // high same-line repeat probability plus eviction pressure.
+            let addr = (choice / 2) * 8192 + (choice % 2) * 64 + offset * 8;
+            match sel % 8 {
+                // Weighted toward run-shaped accesses.
+                0..=4 => {
+                    let b = probe(&mut batched, addr, write, speculative);
+                    let r = probe(&mut reference, addr, write, speculative);
+                    prop_assert_eq!(
+                        b, r,
+                        "run head {:#x} (write={}, spec={}) diverged",
+                        addr, write, speculative
+                    );
+                    // An overflow at the head aborts the region before any
+                    // follower retires (the machine breaks out of the
+                    // interior loop), so the run only continues on success.
+                    if !b.1 {
+                        for _ in 1..run {
+                            let f = probe(&mut reference, addr, write, speculative);
+                            prop_assert_eq!(
+                                f,
+                                (HitLevel::L1, false),
+                                "follower of {:#x} must be an absorbed L1 hit",
+                                addr
+                            );
+                        }
+                    }
+                }
+                5 => {
+                    batched.commit_region();
+                    reference.commit_region();
+                }
+                6 => {
+                    batched.abort_region();
+                    reference.abort_region();
+                }
+                _ => prop_assert_eq!(
+                    batched.invalidate(addr),
+                    reference.invalidate(addr),
+                    "invalidate {:#x} conflict verdict diverged",
+                    addr
+                ),
+            }
+            prop_assert_eq!(batched.spec_lines(), reference.spec_lines());
         }
     }
 
