@@ -70,9 +70,10 @@ pub fn select_boundaries(
             let path_len = weight as f64 / entries as f64;
             let trip_count = f.block(header).freq as f64 / entries as f64;
             let has_warm_call = has_call_on_warm_path(f, cfg, header, &l.blocks);
-            if path_len >= cfg.loop_path_threshold
+            if (path_len >= cfg.loop_path_threshold
                 || has_warm_call
-                || trip_count > cfg.max_encapsulated_trip_count
+                || trip_count > cfg.max_encapsulated_trip_count)
+                && !cfg.is_excluded(header)
             {
                 selected.insert(header);
             }
@@ -208,7 +209,7 @@ pub fn select_boundaries(
                 // would only fragment it.
                 let covered =
                     crate::cold::dominant_pred(f, &preds, b).is_some_and(|p| selected.contains(&p));
-                if !covered && usable_boundary(f, b) {
+                if !covered && usable_boundary(f, b) && !cfg.is_excluded(b) {
                     selected.insert(b);
                     trace_bounds.insert(b);
                 }
@@ -318,6 +319,21 @@ mod tests {
         }));
         let sel = select_boundaries(&mut f, &[], &RegionConfig::default());
         assert!(sel.boundaries.contains(&BlockId(2)), "{:?}", sel.boundaries);
+    }
+
+    #[test]
+    fn excluded_boundary_is_never_selected() {
+        // The same hot loop that `long_iteration_loop_gets_per_iteration_
+        // boundary` proves selects BlockId(2) — excluding that block must
+        // suppress it in both the loop phase and the acyclic phase.
+        let mut f = loopy(300, 10, 5);
+        let cfg = RegionConfig::default().with_excluded([2]);
+        let sel = select_boundaries(&mut f, &[], &cfg);
+        assert!(
+            !sel.boundaries.contains(&BlockId(2)),
+            "excluded boundary reappeared: {:?}",
+            sel.boundaries
+        );
     }
 
     #[test]

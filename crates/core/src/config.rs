@@ -1,5 +1,9 @@
 //! Region-formation parameters (paper §4).
 
+use std::collections::BTreeSet;
+
+use hasp_ir::BlockId;
+
 /// Tunables for atomic-region formation. Defaults are the paper's: cold
 /// paths are those with branch bias below 1%, and both the loop-path
 /// threshold and the target region size `R` are 200 high-level IR operations.
@@ -31,6 +35,14 @@ pub struct RegionConfig {
     /// exactly this failure mode for "a large number of small atomic
     /// regions").
     pub min_region_ops: u64,
+    /// Boundary blocks (original, pre-replication ids) that must *not* seed
+    /// a region in this formation run — the adaptive re-formation exclusion
+    /// set. A region that keeps aborting on its footprint or a failed
+    /// assert names its boundary in a `ReformRequest`; re-running formation
+    /// with that boundary excluded either merges the blocks into a
+    /// neighboring (differently shaped) region or leaves them
+    /// non-speculative, instead of demoting the region forever.
+    pub excluded_boundaries: BTreeSet<u32>,
 }
 
 impl Default for RegionConfig {
@@ -43,6 +55,7 @@ impl Default for RegionConfig {
             max_region_ops: 1200,
             max_encapsulated_trip_count: 64.0,
             min_region_ops: 10,
+            excluded_boundaries: BTreeSet::new(),
         }
     }
 }
@@ -60,6 +73,17 @@ impl RegionConfig {
     pub fn with_cold_threshold(mut self, t: f64) -> Self {
         self.cold_threshold = t;
         self
+    }
+
+    /// Adds boundary blocks to the re-formation exclusion set.
+    pub fn with_excluded(mut self, boundaries: impl IntoIterator<Item = u32>) -> Self {
+        self.excluded_boundaries.extend(boundaries);
+        self
+    }
+
+    /// True when `b` must not seed a region in this formation run.
+    pub fn is_excluded(&self, b: BlockId) -> bool {
+        self.excluded_boundaries.contains(&b.0)
     }
 }
 
@@ -83,5 +107,15 @@ mod tests {
         assert_eq!(c.target_region_size, 50);
         assert_eq!(c.loop_path_threshold, 50.0);
         assert_eq!(c.cold_threshold, 0.05);
+    }
+
+    #[test]
+    fn exclusion_set() {
+        let c = RegionConfig::default();
+        assert!(!c.is_excluded(BlockId(3)), "default excludes nothing");
+        let c = c.with_excluded([3, 7]).with_excluded([9]);
+        assert!(c.is_excluded(BlockId(3)));
+        assert!(c.is_excluded(BlockId(9)));
+        assert!(!c.is_excluded(BlockId(4)));
     }
 }

@@ -13,14 +13,20 @@
 
 use hasp_hw::{FaultKind, FaultPlan, GovernorConfig, HwConfig, FAULT_KINDS};
 use hasp_opt::CompilerConfig;
-use hasp_workloads::{all_workloads, Workload};
+use hasp_workloads::{all_workloads, synthetic, Workload};
 
+use crate::reform::{run_reform_quanta, ReformOutcome};
 use crate::report::{num, JsonArr, JsonObj, Table};
 use crate::runner::{
     compile_workload, profile_workload, try_execute_compiled, CellError, CompiledWorkload,
     ProfiledWorkload, WorkloadRun,
 };
 use crate::suite::parallel_map;
+
+/// The overflow line budget the campaign's re-formation rows run under:
+/// the middle sweep rate, harsh enough that a genuinely fat region keeps
+/// overflowing, mild enough that ordinary regions stay speculative.
+pub const REFORM_OVERFLOW_BUDGET: u64 = 8;
 
 /// The swept rates for each fault kind, mild → harsh. The rate's meaning is
 /// kind-specific: per-1M-in-region-uop probability (conflict, spurious),
@@ -66,6 +72,28 @@ pub struct CellOutcome {
     pub governor_skips: u64,
     /// Times the governor patched a region out (streak hit the budget).
     pub governor_disables: u64,
+    /// Cooldown expiries that re-enabled a de-speculated region.
+    pub governor_reenables: u64,
+    /// Calm-streak one-tier de-escalations.
+    pub governor_recoveries: u64,
+    /// Governor-ladder transitions into each tier (0–3).
+    pub tier_enters: [u64; 4],
+    /// Region-entry consults spent at each tier (time-in-tier).
+    pub tier_time: [u64; 4],
+    /// Tier-2 fallback-lock read-set subscriptions.
+    pub lock_subscriptions: u64,
+    /// Software-path executions taken under the fallback lock.
+    pub lock_holds: u64,
+    /// Re-formation requests the governor emitted.
+    pub reform_requests: u64,
+    /// `tier_enters == tier_exits + tier_live` held per tier at run end
+    /// (the ladder's accounting invariant; the CI smoke leg gates on it).
+    pub tier_consistent: bool,
+    /// Mean de-speculated entries per re-enable — a proxy for how long a
+    /// region sat on the software path before speculation resumed
+    /// (`governor_skips / governor_reenables`; equals plain skips when
+    /// nothing ever re-enabled).
+    pub recovery_latency: f64,
 }
 
 /// One (workload × fault kind × rate) campaign cell.
@@ -88,13 +116,35 @@ pub struct CampaignReport {
     pub clean_cycles: Vec<(&'static str, u64)>,
     /// Every campaign cell, in (workload, kind, rate) order.
     pub cells: Vec<FaultCell>,
+    /// Adaptive re-formation rows: each campaign workload plus the
+    /// `footprint-split` ladder adversary driven through the
+    /// compile → run → drain → re-form loop under overflow injection at
+    /// [`REFORM_OVERFLOW_BUDGET`] lines.
+    pub reforms: Vec<ReformOutcome>,
 }
 
 impl CampaignReport {
     /// True when every cell reproduced the interpreter checksum under
-    /// injection (no faults, divergences, or invariant violations).
+    /// injection (no faults, divergences, or invariant violations) and
+    /// every re-formation quantum did too.
     pub fn all_passed(&self) -> bool {
         self.cells.iter().all(|c| c.result.is_ok())
+            && self.reforms.iter().all(|r| r.error.is_none())
+    }
+
+    /// True when every passing cell's governor-ladder tier counters
+    /// balanced (`enters == exits + live` per tier).
+    pub fn tiers_consistent(&self) -> bool {
+        self.cells
+            .iter()
+            .filter_map(|c| c.result.as_ref().ok())
+            .all(|o| o.tier_consistent)
+    }
+
+    /// True when at least one re-formation row both re-formed a region and
+    /// kept committing afterwards — the ladder's recovery signal.
+    pub fn any_recovered(&self) -> bool {
+        self.reforms.iter().any(|r| r.recovered)
     }
 
     /// The failed cells, if any.
@@ -116,6 +166,8 @@ impl CampaignReport {
                 "injected",
                 "validated",
                 "gov-skips",
+                "tiers",
+                "reforms",
                 "status",
             ],
         );
@@ -131,7 +183,17 @@ impl CampaignReport {
                     o.injected.to_string(),
                     o.validations.to_string(),
                     o.governor_skips.to_string(),
-                    "ok".into(),
+                    // Tier-entry distribution, tracked→3 left to right.
+                    format!(
+                        "{}/{}/{}/{}",
+                        o.tier_enters[0], o.tier_enters[1], o.tier_enters[2], o.tier_enters[3]
+                    ),
+                    o.reform_requests.to_string(),
+                    if o.tier_consistent {
+                        "ok".into()
+                    } else {
+                        "TIER-IMBALANCE".to_string()
+                    },
                 ]),
                 Err(e) => t.row(&[
                     c.workload.into(),
@@ -143,11 +205,42 @@ impl CampaignReport {
                     "-".into(),
                     "-".into(),
                     "-".into(),
+                    "-".into(),
+                    "-".into(),
                     format!("FAIL: {e}"),
                 ]),
             }
         }
-        t.render()
+        let mut s = t.render();
+        let mut rt = Table::new(
+            "Adaptive re-formation (overflow budget 8, governor ladder online)",
+            &[
+                "workload",
+                "quanta",
+                "reforms",
+                "post-commits",
+                "recovered",
+                "converged",
+                "status",
+            ],
+        );
+        for r in &self.reforms {
+            rt.row(&[
+                r.workload.into(),
+                r.quanta.len().to_string(),
+                r.excluded.len().to_string(),
+                r.post_reform_commits.to_string(),
+                if r.recovered { "yes" } else { "no" }.into(),
+                if r.converged { "yes" } else { "no" }.into(),
+                match &r.error {
+                    None => "ok".into(),
+                    Some(e) => format!("FAIL: {e}"),
+                },
+            ]);
+        }
+        s.push('\n');
+        s.push_str(&rt.render());
+        s
     }
 
     /// Serializes the report as the `BENCH_faults.json` artifact.
@@ -161,6 +254,13 @@ impl CampaignReport {
                 .bool("ok", c.result.is_ok());
             match &c.result {
                 Ok(out) => {
+                    let tiers = |v: &[u64; 4]| {
+                        JsonObj::new()
+                            .int("t0", v[0])
+                            .int("t1", v[1])
+                            .int("t2", v[2])
+                            .int("t3", v[3])
+                    };
                     o = o
                         .int("cycles", out.cycles)
                         .num("slowdown", out.slowdown)
@@ -169,7 +269,16 @@ impl CampaignReport {
                         .int("injected", out.injected)
                         .int("validations", out.validations)
                         .int("governor_skips", out.governor_skips)
-                        .int("governor_disables", out.governor_disables);
+                        .int("governor_disables", out.governor_disables)
+                        .int("governor_reenables", out.governor_reenables)
+                        .int("governor_recoveries", out.governor_recoveries)
+                        .obj("tier_enters", tiers(&out.tier_enters))
+                        .obj("tier_time", tiers(&out.tier_time))
+                        .int("lock_subscriptions", out.lock_subscriptions)
+                        .int("lock_holds", out.lock_holds)
+                        .int("reform_requests", out.reform_requests)
+                        .bool("tier_consistent", out.tier_consistent)
+                        .num("recovery_latency", out.recovery_latency);
                 }
                 Err(e) => {
                     o = o.str("error", &e.to_string());
@@ -177,15 +286,49 @@ impl CampaignReport {
             }
             cells = cells.obj(o);
         }
+        let mut reforms = JsonArr::new();
+        for r in &self.reforms {
+            let mut o = JsonObj::new()
+                .str("workload", r.workload)
+                .bool("ok", r.error.is_none())
+                .int("quanta", r.quanta.len() as u64)
+                .int("reforms", r.excluded.len() as u64)
+                .int(
+                    "reform_requests",
+                    r.quanta.iter().map(|q| q.requests.len() as u64).sum(),
+                )
+                .int("post_reform_commits", r.post_reform_commits)
+                .bool("recovered", r.recovered)
+                .bool("converged", r.converged);
+            if let Some(e) = &r.error {
+                o = o.str("error", &e.to_string());
+            }
+            reforms = reforms.obj(o);
+        }
+        let policy = GovernorConfig::online();
+        let meta = JsonObj::new()
+            .int("rng_seed", FaultPlan::none().seed)
+            .str("governor", "online")
+            .int("retry_budget", u64::from(policy.retry_budget))
+            .int("cooldown_entries", policy.cooldown_entries)
+            .int("max_cooldown", policy.max_cooldown)
+            .int("tier2_disables", u64::from(policy.tier2_disables))
+            .int("tier3_disables", u64::from(policy.tier3_disables))
+            .int("reform_budget", u64::from(policy.reform_budget))
+            .int("reform_overflow_budget", REFORM_OVERFLOW_BUDGET);
         JsonObj::new()
-            .str("schema", "hasp-faults-v1")
+            .str("schema", "hasp-faults-v2")
             .bool("smoke", smoke)
             .int("threads", threads as u64)
             .num("wall_s", wall_s)
+            .obj("meta", meta)
             .int("cells", self.cells.len() as u64)
             .int("failed", self.failures().len() as u64)
             .bool("all_passed", self.all_passed())
+            .bool("tier_counters_consistent", self.tiers_consistent())
+            .bool("any_recovered", self.any_recovered())
             .arr("matrix", cells)
+            .arr("reforms", reforms)
             .finish()
     }
 }
@@ -259,9 +402,36 @@ pub fn run_campaign_on(workloads: &[Workload], smoke: bool, threads: usize) -> C
                 validations: run.stats.validations,
                 governor_skips: run.stats.governor_skips,
                 governor_disables: run.stats.governor_disables,
+                governor_reenables: run.stats.governor_reenables,
+                governor_recoveries: run.stats.governor_recoveries,
+                tier_enters: run.stats.tier_enters,
+                tier_time: run.stats.tier_time,
+                lock_subscriptions: run.stats.lock_subscriptions,
+                lock_holds: run.stats.lock_holds,
+                reform_requests: run.stats.reform_requests,
+                tier_consistent: run.stats.tier_counters_consistent(),
+                recovery_latency: run.stats.governor_skips as f64
+                    / run.stats.governor_reenables.max(1) as f64,
             }),
         })
         .collect();
+
+    // Re-formation rows: every campaign workload plus the footprint-split
+    // ladder adversary (which guarantees the recover signal is exercised),
+    // each driven through the quantized re-formation loop under overflow
+    // injection.
+    let adversary = synthetic::footprint_split(2_000);
+    let adversary_profile = profile_workload(&adversary);
+    let reform_hw = campaign_hw(FaultKind::Overflow.plan(REFORM_OVERFLOW_BUDGET));
+    let reform_idx: Vec<usize> = (0..=workloads.len()).collect();
+    let reforms = parallel_map(&reform_idx, threads, |&i| {
+        let (w, p) = if i < workloads.len() {
+            (&workloads[i], &profiles[i])
+        } else {
+            (&adversary, &adversary_profile)
+        };
+        run_reform_quanta(w, p, &ccfg, &reform_hw)
+    });
 
     CampaignReport {
         clean_cycles: idx
@@ -269,6 +439,7 @@ pub fn run_campaign_on(workloads: &[Workload], smoke: bool, threads: usize) -> C
             .map(|&i| (workloads[i].name, clean[i].stats.cycles))
             .collect(),
         cells,
+        reforms,
     }
 }
 
@@ -580,10 +751,23 @@ mod tests {
             .map(|c| c.result.as_ref().unwrap().injected)
             .sum();
         assert!(injected > 0, "smoke rates must inject something");
+        // Ladder accounting balanced in every cell.
+        assert!(report.tiers_consistent());
+        // The re-formation rows include the adversary, which must both
+        // re-form and keep committing.
+        assert!(report
+            .reforms
+            .iter()
+            .any(|r| r.workload == "footprint-split"));
+        assert!(report.any_recovered(), "adversary must reform and recover");
         // The report renders and serializes.
         assert!(report.table().contains("ok"));
         let json = report.json(true, 2, 0.5);
         assert!(json.contains("\"all_passed\": true"));
+        assert!(json.contains("\"schema\": \"hasp-faults-v2\""));
+        assert!(json.contains("\"rng_seed\""));
+        assert!(json.contains("\"tier_counters_consistent\": true"));
+        assert!(json.contains("\"any_recovered\": true"));
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod adaptive;
 pub mod dispatch_bench;
 pub mod faults;
 pub mod figures;
+pub mod reform;
 pub mod report;
 pub mod runner;
 pub mod suite;
@@ -28,6 +29,7 @@ pub use faults::{
     run_campaign, run_knee, sweep_rates, CampaignReport, FaultCell, KneeReport, KneeRow,
     KNEE_RATE_CAP, KNEE_THRESHOLD,
 };
+pub use reform::{run_reform_quanta, ReformOutcome, ReformQuantum, MAX_QUANTA};
 pub use runner::{
     compile_workload, execute_compiled, profile_workload, run_workload, try_execute_compiled,
     CellError, CompiledWorkload, ProfiledWorkload, SampleMeasure, WorkloadRun,

@@ -80,7 +80,7 @@ fn fault_campaign(smoke: bool) {
         "wrote BENCH_faults.json ({} cells in {wall:.1}s)",
         report.cells.len()
     );
-    if !report.all_passed() {
+    if !report.all_passed() || !report.tiers_consistent() {
         for c in report.failures() {
             eprintln!(
                 "FAILED cell: {} / {} @ {}: {}",
@@ -89,6 +89,14 @@ fn fault_campaign(smoke: bool) {
                 c.rate,
                 c.result.as_ref().unwrap_err()
             );
+        }
+        for r in &report.reforms {
+            if let Some(e) = &r.error {
+                eprintln!("FAILED reform row: {}: {e}", r.workload);
+            }
+        }
+        if !report.tiers_consistent() {
+            eprintln!("FAILED: governor tier counters imbalanced (enters != exits + live)");
         }
         std::process::exit(1);
     }

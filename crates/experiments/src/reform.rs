@@ -1,0 +1,215 @@
+//! Adaptive region re-formation: the software half of the governor ladder.
+//!
+//! When a region keeps aborting on its own footprint (`Overflow`) or a
+//! failed assertion (`Explicit`), backing off harder does not help — the
+//! region is *shaped wrong*. The hardware governor reports this as a
+//! [`ReformRequest`] naming the region's formation boundary; this module
+//! drains those requests between run quanta, re-runs region formation with
+//! the offending boundaries excluded (`RegionConfig::excluded_boundaries`
+//! via `CompilerConfig::exclude`), recompiles through the normal
+//! `hasp_opt` pipeline, and re-runs the workload on the new code. The
+//! region either re-forms with a different (viable) shape or dissolves
+//! into non-speculative code, and the method's remaining regions resume at
+//! tier 0 — instead of one pathological region pinning the whole method on
+//! the software path forever.
+//!
+//! The machine borrows its code cache immutably for a whole run, so
+//! re-formation is quantized: each quantum is one complete run (fresh
+//! machine, fresh governor state), and the loop stops when a quantum emits
+//! no boundary it has not already excluded (or at [`MAX_QUANTA`]).
+
+use std::collections::BTreeSet;
+
+use hasp_hw::{HwConfig, Machine, ReformRequest};
+use hasp_opt::CompilerConfig;
+use hasp_workloads::Workload;
+
+use crate::runner::{compile_workload, CellError, ProfiledWorkload};
+
+/// Quantum cap of the re-formation loop. Each quantum excludes at least
+/// one new boundary or ends the loop, so this only bounds pathological
+/// programs where formation keeps finding fresh doomed shapes.
+pub const MAX_QUANTA: usize = 6;
+
+/// One complete run of the re-formation loop (compile → run → drain).
+#[derive(Debug, Clone)]
+pub struct ReformQuantum {
+    /// 0-based quantum ordinal.
+    pub quantum: usize,
+    /// Regions committed during this quantum.
+    pub commits: u64,
+    /// Regions aborted (all reasons) during this quantum.
+    pub aborts: u64,
+    /// Re-formation requests the governor emitted during this quantum.
+    pub requests: Vec<ReformRequest>,
+    /// Total boundaries excluded after draining this quantum's requests.
+    pub excluded_after: usize,
+}
+
+/// The re-formation loop's outcome for one workload.
+#[derive(Debug, Clone)]
+pub struct ReformOutcome {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Every quantum, in order. At least one (the initial run).
+    pub quanta: Vec<ReformQuantum>,
+    /// `(method, boundary)` pairs excluded across all quanta — the
+    /// re-formations actually performed.
+    pub excluded: Vec<(u32, u32)>,
+    /// Region commits inside re-formed methods during the *final* quantum:
+    /// the evidence that re-formation recovered speculation instead of
+    /// just turning it off.
+    pub post_reform_commits: u64,
+    /// At least one re-formation happened and the re-formed methods still
+    /// committed regions afterwards.
+    pub recovered: bool,
+    /// The final quantum emitted no re-formation requests (the loop ended
+    /// by convergence, not the quantum cap).
+    pub converged: bool,
+    /// A quantum failed (machine fault or checksum divergence); the fields
+    /// above describe the quanta that did complete.
+    pub error: Option<CellError>,
+}
+
+/// Runs one quantum: executes already-compiled code under `hw` on a fresh
+/// machine, checks checksum equivalence, and drains the governor's
+/// re-formation requests.
+fn run_quantum(
+    w: &Workload,
+    profiled: &ProfiledWorkload,
+    code: &hasp_hw::CodeCache,
+    hw: &HwConfig,
+) -> Result<(hasp_hw::RunStats, Vec<ReformRequest>), CellError> {
+    let mut mach = Machine::new(&w.program, code, hw.clone());
+    mach.set_fuel(w.fuel.saturating_mul(4));
+    mach.run(&[])?;
+    if mach.env.checksum() != profiled.reference_checksum {
+        return Err(CellError::ChecksumDivergence {
+            expected: profiled.reference_checksum,
+            got: mach.env.checksum(),
+        });
+    }
+    let requests = mach.take_reform_requests();
+    Ok((mach.stats().clone(), requests))
+}
+
+/// Drives the compile → run → drain → re-form loop for one workload.
+///
+/// `ccfg` is the starting compiler configuration (its exclusion map is the
+/// loop's starting point, normally empty); `hw` should have the governor
+/// ladder online and a `reform_budget` > 0, or no requests will ever be
+/// emitted and the loop degenerates to a single quantum.
+pub fn run_reform_quanta(
+    w: &Workload,
+    profiled: &ProfiledWorkload,
+    ccfg: &CompilerConfig,
+    hw: &HwConfig,
+) -> ReformOutcome {
+    let mut ccfg = ccfg.clone();
+    let mut excluded: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut out = ReformOutcome {
+        workload: w.name,
+        quanta: Vec::new(),
+        excluded: Vec::new(),
+        post_reform_commits: 0,
+        recovered: false,
+        converged: false,
+        error: None,
+    };
+    for quantum in 0..MAX_QUANTA {
+        let compiled = compile_workload(w, profiled, &ccfg);
+        let (stats, requests) = match run_quantum(w, profiled, &compiled.code, hw) {
+            Ok(r) => r,
+            Err(e) => {
+                out.error = Some(e);
+                return out;
+            }
+        };
+        // Post-reform evidence: commits in regions of methods that were
+        // re-formed in an *earlier* quantum (entries each end in exactly
+        // one commit or abort).
+        if !excluded.is_empty() {
+            out.post_reform_commits = stats
+                .per_region
+                .iter()
+                .filter(|((m, _), _)| excluded.iter().any(|&(em, _)| em == m.0))
+                .map(|(_, c)| c.entries - c.aborts)
+                .sum();
+        }
+        // Drain: every request naming a boundary we have not excluded yet
+        // becomes a new exclusion. Requests without a boundary map
+        // (`u32::MAX`) cannot be acted on.
+        let mut fresh = false;
+        for r in &requests {
+            if r.boundary != u32::MAX && excluded.insert((r.method.0, r.boundary)) {
+                ccfg.exclude(r.method, [r.boundary]);
+                fresh = true;
+            }
+        }
+        out.quanta.push(ReformQuantum {
+            quantum,
+            commits: stats.commits,
+            aborts: stats.total_aborts(),
+            requests,
+            excluded_after: excluded.len(),
+        });
+        if !fresh {
+            out.converged = out.quanta.last().is_some_and(|q| q.requests.is_empty());
+            break;
+        }
+    }
+    out.excluded = excluded.into_iter().collect();
+    out.recovered = !out.excluded.is_empty() && out.post_reform_commits > 0;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::campaign_hw;
+    use crate::runner::profile_workload;
+    use hasp_hw::{FaultKind, FaultPlan};
+    use hasp_workloads::synthetic;
+
+    /// The full reform-and-recover path: the fat-footprint adversary keeps
+    /// overflowing a small line budget, the governor requests re-formation,
+    /// the harness excludes the boundary and recompiles, and the lean
+    /// region still commits afterwards.
+    #[test]
+    fn adversary_reforms_and_recovers() {
+        let w = synthetic::footprint_split(2_000);
+        let profiled = profile_workload(&w);
+        let hw = campaign_hw(FaultKind::Overflow.plan(8));
+        let out = run_reform_quanta(&w, &profiled, &CompilerConfig::atomic(), &hw);
+        assert!(out.error.is_none(), "quantum failed: {:?}", out.error);
+        assert!(out.quanta.len() >= 2, "must re-form at least once");
+        assert!(
+            !out.excluded.is_empty(),
+            "the overflowing region must be excluded"
+        );
+        assert!(
+            out.post_reform_commits > 0,
+            "re-formed method must still commit regions"
+        );
+        assert!(out.recovered);
+        // The first quantum actually exercised the ladder, not just the
+        // reform path.
+        let q0 = &out.quanta[0];
+        assert!(q0.aborts > 0 && !q0.requests.is_empty());
+    }
+
+    /// A clean run converges immediately: one quantum, no requests, no
+    /// exclusions — re-formation is inert on healthy code.
+    #[test]
+    fn healthy_workload_converges_in_one_quantum() {
+        let w = synthetic::add_element(1_000);
+        let profiled = profile_workload(&w);
+        let hw = campaign_hw(FaultPlan::none());
+        let out = run_reform_quanta(&w, &profiled, &CompilerConfig::atomic(), &hw);
+        assert!(out.error.is_none());
+        assert_eq!(out.quanta.len(), 1);
+        assert!(out.converged);
+        assert!(out.excluded.is_empty());
+        assert!(!out.recovered);
+    }
+}

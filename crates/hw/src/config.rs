@@ -1,7 +1,11 @@
 //! Hardware configurations (Table 1 of the paper, plus the §6.3 sensitivity
-//! variants).
+//! variants) and the abort-recovery policy ([`GovernorConfig`] — recovery
+//! policy lives here, not with fault *injection*).
 
-use crate::fault::{FaultPlan, GovernorConfig};
+use hasp_vm::bytecode::MethodId;
+
+use crate::fault::FaultPlan;
+use crate::stats::AbortReason;
 
 /// How [`Machine::exec`](crate::machine::Machine) walks the uop stream.
 ///
@@ -29,6 +33,150 @@ pub enum Dispatch {
     /// exactly.
     #[default]
     Superblock,
+}
+
+/// The online abort-recovery governor policy: a per-region **tier ladder**
+/// (§7 made single-run, extended to the best-effort-HTM policy ladder).
+///
+/// The hardware reports which region aborted (§3.2); the governor tracks
+/// per-region *consecutive-abort streaks* online and walks each region up a
+/// four-tier ladder as streaks keep exhausting the retry budget:
+///
+/// * **Tier 0** — speculate freely (healthy region, no governor state).
+/// * **Tier 1** — retry with exponential backoff: a region whose streak
+///   reaches [`retry_budget`](Self::retry_budget) has its `aregion_begin`
+///   patched to branch straight to the alternate PC for
+///   [`cooldown_entries`](Self::cooldown_entries) would-be entries
+///   (de-speculation), after which it is re-enabled. Each successive
+///   de-speculation doubles the cooldown up to
+///   [`max_cooldown`](Self::max_cooldown).
+/// * **Tier 2** — fallback-lock subscription: after
+///   [`tier2_disables`](Self::tier2_disables) de-speculations the region
+///   still speculates, but every `aregion_begin` reads the global fallback
+///   lock word into the region's read-set, so a software-path lock holder
+///   conflicts the region out; while the region is de-speculated the
+///   software path *takes* the lock, giving mutual isolation between
+///   hardware and software executions of the same region.
+/// * **Tier 3** — permanent software path: after
+///   [`tier3_disables`](Self::tier3_disables) further de-speculations every
+///   entry branches to the alternate PC under the fallback lock, for good.
+///
+/// Escalation is **abort-class-aware**: `Interrupt`/`Spurious` aborts are
+/// environmental noise and grow no streak; `Conflict`/`Sle` climb the
+/// ladder via backoff; a run of [`reform_budget`](Self::reform_budget)
+/// consecutive `Overflow`/`Explicit` aborts additionally emits a
+/// [`ReformRequest`] asking the harness to re-form the region's boundaries
+/// with the offending site excluded (adaptive re-formation) instead of
+/// demoting it forever. A calm streak of
+/// [`cooldown_entries`](Self::cooldown_entries) consecutive commits halves
+/// the cooldown and de-escalates one tier, so transient fault bursts
+/// recover while sustained post-profile behavior changes converge to the
+/// non-speculative code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GovernorConfig {
+    /// Master switch (off = the seed's offline two-pass behavior).
+    pub enabled: bool,
+    /// Consecutive aborts of one region before it is de-speculated.
+    pub retry_budget: u32,
+    /// Entries a de-speculated region skips before re-enable (base value of
+    /// the exponential backoff).
+    pub cooldown_entries: u64,
+    /// Backoff ceiling in skipped entries.
+    pub max_cooldown: u64,
+    /// Consecutive de-speculations before a region escalates to tier 2
+    /// (fallback-lock subscription). 0 = never escalate past tier 1.
+    pub tier2_disables: u32,
+    /// Further de-speculations past tier 2 before the region goes to tier 3
+    /// (permanent software path). 0 = never escalate past tier 2.
+    pub tier3_disables: u32,
+    /// Consecutive `Overflow`/`Explicit` aborts of one region before a
+    /// [`ReformRequest`] is emitted (at most one per region per run).
+    /// 0 = never request re-formation.
+    pub reform_budget: u32,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig::off()
+    }
+}
+
+impl GovernorConfig {
+    /// Governor disabled.
+    pub fn off() -> Self {
+        GovernorConfig {
+            enabled: false,
+            retry_budget: 3,
+            cooldown_entries: 64,
+            max_cooldown: 65_536,
+            tier2_disables: 2,
+            tier3_disables: 2,
+            reform_budget: 4,
+        }
+    }
+
+    /// The default online policy — the full ladder: 3-abort streaks
+    /// de-speculate, 64-entry base cooldown, backoff ceiling of 64K
+    /// entries, tier 2 after 2 de-speculations, tier 3 after 2 more,
+    /// re-formation requested after 4 consecutive footprint/assert aborts.
+    pub fn online() -> Self {
+        GovernorConfig {
+            enabled: true,
+            ..GovernorConfig::off()
+        }
+    }
+
+    /// The PR 2 policy: retry + exponential backoff only, no fallback-lock
+    /// tier, no permanent software path, no re-formation. The ablation
+    /// baseline for the ladder.
+    pub fn backoff_only() -> Self {
+        GovernorConfig {
+            enabled: true,
+            tier2_disables: 0,
+            tier3_disables: 0,
+            reform_budget: 0,
+            ..GovernorConfig::off()
+        }
+    }
+
+    /// The ladder capped at tier 2: fallback-lock subscription engages but
+    /// regions are never permanently demoted to the software path.
+    pub fn to_tier2() -> Self {
+        GovernorConfig {
+            tier3_disables: 0,
+            ..GovernorConfig::online()
+        }
+    }
+}
+
+/// A governor request to *re-form* one region instead of demoting it: the
+/// region kept aborting on its speculative footprint or a failed assert
+/// (`Overflow`/`Explicit`), which recompilation can actually fix — rerun
+/// region formation with the offending boundary excluded and the region
+/// re-enters at tier 0.
+///
+/// The machine only *emits* these ([`Machine::take_reform_requests`]); the
+/// experiments harness drains them between run quanta, recompiles via
+/// `hasp_opt::compile_program` with the exclusion set grown, and reinstalls
+/// the `CodeCache`.
+///
+/// [`Machine::take_reform_requests`]: crate::machine::Machine::take_reform_requests
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReformRequest {
+    /// Method owning the offending region.
+    pub method: MethodId,
+    /// Per-method region id (index into the method's region table).
+    pub region: u32,
+    /// The region's formation boundary: the original (pre-replication)
+    /// block id that seeded it — stable across recompiles, so it names the
+    /// site to exclude. `u32::MAX` when the compiled code carries no
+    /// boundary map (hand-built uops).
+    pub boundary: u32,
+    /// The abort class that triggered the request.
+    pub reason: AbortReason,
+    /// Distinct cache lines the region had touched when it last aborted —
+    /// the footprint evidence backing an `Overflow` request.
+    pub footprint_lines: u64,
 }
 
 /// Parameters of the simulated machine.
@@ -306,6 +454,24 @@ mod tests {
         b3.name = ub.name;
         b3.batched_mem = false;
         assert_eq!(b3, ub, "unbatched differs from baseline only by the knob");
+    }
+
+    #[test]
+    fn governor_ladder_policies() {
+        let on = GovernorConfig::online();
+        assert!(on.enabled);
+        assert!(on.tier2_disables > 0 && on.tier3_disables > 0);
+        assert!(on.reform_budget > 0);
+        let b = GovernorConfig::backoff_only();
+        assert!(b.enabled);
+        assert_eq!(
+            (b.tier2_disables, b.tier3_disables, b.reform_budget),
+            (0, 0, 0),
+            "backoff-only never leaves tier 1 and never reforms"
+        );
+        let t2 = GovernorConfig::to_tier2();
+        assert!(t2.tier2_disables > 0 && t2.tier3_disables == 0);
+        assert_eq!(GovernorConfig::default(), GovernorConfig::off());
     }
 
     #[test]

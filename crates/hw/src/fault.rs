@@ -9,13 +9,13 @@
 //! * [`FaultPlan`] — a seeded, deterministic injection plan that can produce
 //!   every abort cause at a swept rate or at a precise trigger point
 //!   (abort-at-the-Nth-region-entry).
-//! * [`GovernorConfig`] — the online abort-recovery policy: past a retry
-//!   budget of consecutive aborts, a region's `aregion_begin` is patched to
-//!   branch straight to its alternate PC (online de-speculation), with an
-//!   exponential-backoff cooldown before the region is re-enabled.
 //! * [`MachineFault`] — structured machine errors, so hardware misuse
 //!   (e.g. `aregion_abort` outside a region) and invariant-validator
 //!   failures surface as values instead of panics.
+//!
+//! The abort-*recovery* policy ([`GovernorConfig`](crate::config::GovernorConfig))
+//! used to live here too; it is recovery policy, not fault injection, and
+//! moved to [`crate::config`] (a deprecated re-export remains).
 
 use hasp_vm::bytecode::MethodId;
 use hasp_vm::error::VmError;
@@ -175,59 +175,14 @@ impl FaultKind {
     }
 }
 
-/// The online abort-recovery governor policy (§7 made single-run).
-///
-/// The hardware reports which region aborted (§3.2); the governor tracks
-/// per-region *consecutive-abort streaks* online. A region whose streak
-/// reaches [`retry_budget`](Self::retry_budget) has its `aregion_begin`
-/// patched to branch straight to the alternate PC for
-/// [`cooldown_entries`](Self::cooldown_entries) would-be entries
-/// (de-speculation), after which it is re-enabled. Each successive
-/// de-speculation doubles the cooldown up to
-/// [`max_cooldown`](Self::max_cooldown); a calm streak of
-/// [`cooldown_entries`](Self::cooldown_entries) consecutive commits halves
-/// it back toward the base, so transient fault bursts recover while
-/// sustained post-profile behavior changes (which never stay calm that
-/// long) converge to the non-speculative code.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct GovernorConfig {
-    /// Master switch (off = the seed's offline two-pass behavior).
-    pub enabled: bool,
-    /// Consecutive aborts of one region before it is de-speculated.
-    pub retry_budget: u32,
-    /// Entries a de-speculated region skips before re-enable (base value of
-    /// the exponential backoff).
-    pub cooldown_entries: u64,
-    /// Backoff ceiling in skipped entries.
-    pub max_cooldown: u64,
-}
-
-impl Default for GovernorConfig {
-    fn default() -> Self {
-        GovernorConfig::off()
-    }
-}
-
-impl GovernorConfig {
-    /// Governor disabled.
-    pub fn off() -> Self {
-        GovernorConfig {
-            enabled: false,
-            retry_budget: 3,
-            cooldown_entries: 64,
-            max_cooldown: 65_536,
-        }
-    }
-
-    /// The default online policy: 3-abort streaks de-speculate, 64-entry
-    /// base cooldown, backoff ceiling of 64K entries.
-    pub fn online() -> Self {
-        GovernorConfig {
-            enabled: true,
-            ..GovernorConfig::off()
-        }
-    }
-}
+/// Moved to [`crate::config::GovernorConfig`] — recovery policy, not fault
+/// injection. This re-export keeps downstream `hasp_hw::fault::GovernorConfig`
+/// paths compiling.
+#[deprecated(
+    since = "0.1.0",
+    note = "GovernorConfig moved to `hasp_hw::config`; import it from there (or the crate root)"
+)]
+pub use crate::config::GovernorConfig;
 
 /// A structured machine failure.
 ///

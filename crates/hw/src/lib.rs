@@ -18,11 +18,12 @@
 //!   interval timing model, including the Figure 9 sensitivity knobs.
 //! * [`superblock`] — the decoded superblock index behind the batched
 //!   dispatch hot path (built at code-cache install time).
-//! * [`config`] — Table 1 parameters and §6.3 variants.
+//! * [`config`] — Table 1 parameters, §6.3 variants, and the online
+//!   abort-recovery governor ladder policy ([`GovernorConfig`],
+//!   [`ReformRequest`]).
 //! * [`stats`] — uops/cycles/coverage/abort statistics (Tables 3, Fig. 8/9).
-//! * [`fault`] — deterministic fault injection ([`FaultPlan`]), the online
-//!   abort-recovery governor policy ([`GovernorConfig`]), and structured
-//!   machine errors ([`MachineFault`]).
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`]) and
+//!   structured machine errors ([`MachineFault`]).
 
 #![warn(missing_docs)]
 
@@ -39,9 +40,9 @@ pub mod superblock;
 pub mod uop;
 
 pub use cache::{CacheSim, HitLevel, TargetCache};
-pub use config::{Dispatch, HwConfig};
-pub use fault::{FaultKind, FaultPlan, GovernorConfig, MachineFault, FAULT_KINDS};
+pub use config::{Dispatch, GovernorConfig, HwConfig, ReformRequest};
+pub use fault::{FaultKind, FaultPlan, MachineFault, FAULT_KINDS};
 pub use lower::lower;
-pub use machine::Machine;
+pub use machine::{Machine, FALLBACK_LOCK_ADDR};
 pub use stats::{AbortReason, Histogram, MarkerSnap, RegionCounters, RunStats, ABORT_REASONS};
 pub use uop::{CodeCache, CompiledCode, MReg, Uop, UopClass, UOP_CLASSES};

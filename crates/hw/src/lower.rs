@@ -151,6 +151,10 @@ impl<'f> Lowering<'f> {
             regs: self.next_reg,
             assert_origins: self.f.asserts.iter().map(|a| a.origin.clone()).collect(),
             region_count: self.f.regions.len() as u32,
+            // The abort target is the original (pre-replication) boundary
+            // block — the region's stable identity across recompiles,
+            // which re-formation requests name.
+            region_boundaries: self.f.regions.iter().map(|r| r.abort_target.0).collect(),
             // Sealed (superblock index built) at `CodeCache::install`.
             blocks: Vec::new(),
             region_writes: Default::default(),

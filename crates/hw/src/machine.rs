@@ -22,13 +22,24 @@ use hasp_vm::value::{ObjId, Value};
 
 use crate::bpred::Predictor;
 use crate::cache::{CacheSim, HitLevel, TargetCache};
-use crate::config::{Dispatch, HwConfig};
+use crate::config::{Dispatch, GovernorConfig, HwConfig, ReformRequest};
 use crate::fault::MachineFault;
 use crate::fxhash::FxHashMap;
 use crate::lineset::LineSet;
 use crate::stats::{AbortReason, MarkerSnap, RunStats};
 use crate::superblock::{SbInfo, SbTerm, YIELD_FLAG_ADDR};
 use crate::uop::{CodeCache, CompiledCode, MReg, Uop};
+
+/// Data address of the global fallback lock word (the hybrid-TM mutual-
+/// isolation channel, SNIPPETS §9.2.2 made concrete): tier-2+ speculative
+/// entries *read* this word into their region read-set at `aregion_begin`
+/// (subscription), and de-speculated software-path executions *write* it
+/// (acquire/release collapsed to one non-speculative store in this
+/// single-threaded machine), so a software-path writer conflicts every
+/// subscribed hardware execution out. Lives on its own 64-byte line,
+/// distinct from [`YIELD_FLAG_ADDR`]'s line, so lock traffic never aliases
+/// the safepoint poll word.
+pub const FALLBACK_LOCK_ADDR: u64 = 0x140;
 
 /// What executing one uop did to control flow.
 enum StepOut {
@@ -140,20 +151,33 @@ struct RegionCtx {
     shadow_regs: Vec<i64>,
 }
 
-/// Per-static-region governor state (consecutive-abort streaks and the
-/// exponential-backoff cooldown).
+/// Per-static-region governor state: consecutive-abort streaks, the
+/// exponential-backoff cooldown, and the region's position on the tier
+/// ladder (see [`GovernorConfig`]).
 #[derive(Debug, Clone, Copy)]
 struct GovState {
     /// Consecutive aborts since the last commit or de-speculation.
     streak: u32,
+    /// Consecutive `Overflow`/`Explicit` aborts — the evidence stream for
+    /// adaptive re-formation (any other abort class resets it).
+    reform_streak: u32,
     /// Consecutive commits since the last abort (the calm streak gating
-    /// cooldown decay).
+    /// cooldown decay and tier de-escalation).
     calm: u64,
     /// Entries still to be patched straight to the alternate PC.
     skips_remaining: u64,
     /// Next de-speculation's cooldown length (doubles per de-speculation,
     /// halves per calm streak, bounded by the policy).
     cooldown: u64,
+    /// Current ladder tier (0–3; 3 is permanent).
+    tier: u8,
+    /// Consecutive de-speculations — the tier-escalation evidence
+    /// (decremented on calm de-escalation so a recovered region re-earns
+    /// its way back up instead of snapping to the old tier).
+    disables: u32,
+    /// A [`ReformRequest`] has already been emitted for this region this
+    /// run (at most one, so the harness sees a stable exclusion set).
+    reform_sent: bool,
 }
 
 /// The machine.
@@ -183,6 +207,15 @@ pub struct Machine<'p> {
     region_entries: u64,
     /// Online governor state per static region.
     gov: FxHashMap<(MethodId, u32), GovState>,
+    /// The global fallback lock word's current state. In this
+    /// single-threaded machine a software-path execution acquires and
+    /// releases within one `aregion_begin` consult, so the lock is only
+    /// ever *observed* held when an external holder set it via
+    /// [`Machine::set_fallback_lock`] (the multi-core / test hook).
+    fallback_lock: bool,
+    /// Re-formation requests the governor has emitted and the harness has
+    /// not yet drained ([`Machine::take_reform_requests`]).
+    reform_requests: Vec<ReformRequest>,
     max_depth: usize,
     /// Retired register files, recycled across frame pushes so steady-state
     /// call linkage allocates nothing.
@@ -222,6 +255,8 @@ impl<'p> Machine<'p> {
             inject_per_uop,
             region_entries: 0,
             gov: FxHashMap::default(),
+            fallback_lock: false,
+            reform_requests: Vec::new(),
             max_depth: 512,
             reg_pool: Vec::new(),
             spare_undo: Vec::with_capacity(64),
@@ -244,6 +279,27 @@ impl<'p> Machine<'p> {
     /// Current cycle count.
     pub fn cycles(&self) -> u64 {
         self.cxw / self.cfg.width
+    }
+
+    /// Sets the global fallback lock word's externally visible state — the
+    /// hook for a (future multi-core, today test-harness) software-path
+    /// holder outside this machine. While held, every tier-2+ speculative
+    /// entry aborts at its subscription read with [`AbortReason::Sle`].
+    pub fn set_fallback_lock(&mut self, held: bool) {
+        self.fallback_lock = held;
+    }
+
+    /// Whether the global fallback lock word is currently held.
+    pub fn fallback_lock_held(&self) -> bool {
+        self.fallback_lock
+    }
+
+    /// Drains the governor's pending re-formation requests. The harness
+    /// calls this between run quanta, re-runs region formation with each
+    /// request's boundary excluded, recompiles, and reinstalls — after
+    /// which the re-formed region starts a fresh run at tier 0.
+    pub fn take_reform_requests(&mut self) -> Vec<ReformRequest> {
+        std::mem::take(&mut self.reform_requests)
     }
 
     /// Runs the program's entry method.
@@ -510,11 +566,20 @@ impl<'p> Machine<'p> {
             .per_region
             .counters_mut((r.method, r.region))
             .aborts += 1;
+        if self.cfg.governor.enabled {
+            // Evidence for abort-class-aware escalation: the region's
+            // formation boundary (the stable cross-recompile identity the
+            // harness excludes on re-formation) and the footprint it had
+            // accumulated when it died.
+            let boundary = code
+                .region_boundaries
+                .get(r.region as usize)
+                .copied()
+                .unwrap_or(u32::MAX);
+            self.gov_on_abort(r.method, r.region, reason, boundary, r.lines.len() as u64);
+        }
         if self.cfg.validate {
             self.validate_arch_state(&r, true)?;
-        }
-        if self.cfg.governor.enabled {
-            self.gov_on_abort(r.method, r.region);
         }
         r.undo.clear();
         self.spare_undo = r.undo;
@@ -539,40 +604,138 @@ impl<'p> Machine<'p> {
         }
     }
 
-    /// Governor bookkeeping on an abort: grow the region's
-    /// consecutive-abort streak; at the retry budget, de-speculate it for
-    /// `cooldown` entries and double the next cooldown (bounded).
-    fn gov_on_abort(&mut self, method: MethodId, region: u32) {
+    /// The tier a region with `disables` consecutive de-speculations sits
+    /// at: the first de-speculation puts it at tier 1 (backoff),
+    /// `tier2_disables` of them escalate to tier 2 (fallback-lock
+    /// subscription), `tier3_disables` more to tier 3 (permanent software
+    /// path). A zero threshold disables that rung of the ladder.
+    fn ladder_tier(policy: &GovernorConfig, disables: u32) -> u8 {
+        let mut tier = 1;
+        if policy.tier2_disables > 0 && disables >= policy.tier2_disables {
+            tier = 2;
+            if policy.tier3_disables > 0
+                && disables >= policy.tier2_disables + policy.tier3_disables
+            {
+                tier = 3;
+            }
+        }
+        tier
+    }
+
+    /// Governor bookkeeping on an abort — abort-class-aware ladder
+    /// escalation:
+    ///
+    /// * `Interrupt`/`Spurious` are environmental noise: no streak growth,
+    ///   no calm reset — a noisy-interrupt workload can no longer demote a
+    ///   healthy region.
+    /// * `Overflow`/`Explicit` additionally grow the re-formation streak;
+    ///   at `reform_budget` consecutive ones a [`ReformRequest`] is emitted
+    ///   (once per region) so the harness can recompile with the offending
+    ///   boundary excluded instead of demoting the region forever.
+    /// * Every streak-growing class counts toward de-speculation: at the
+    ///   retry budget the region is patched out for `cooldown` entries, the
+    ///   next cooldown doubles (bounded), and the consecutive-disable count
+    ///   walks the region up the tier ladder.
+    fn gov_on_abort(
+        &mut self,
+        method: MethodId,
+        region: u32,
+        reason: AbortReason,
+        boundary: u32,
+        footprint_lines: u64,
+    ) {
+        if matches!(reason, AbortReason::Interrupt | AbortReason::Spurious) {
+            return;
+        }
         let policy = &self.cfg.governor;
-        let g = self.gov.entry((method, region)).or_insert(GovState {
+        let key = (method, region);
+        if !self.gov.contains_key(&key) {
+            // First tracked abort: the region enters the ladder at tier 0.
+            self.stats.tier_enters[0] += 1;
+            self.stats.tier_live[0] += 1;
+        }
+        let g = self.gov.entry(key).or_insert(GovState {
             streak: 0,
+            reform_streak: 0,
             calm: 0,
             skips_remaining: 0,
             cooldown: policy.cooldown_entries,
+            tier: 0,
+            disables: 0,
+            reform_sent: false,
         });
         g.streak += 1;
         g.calm = 0;
+        let reformable = matches!(reason, AbortReason::Overflow | AbortReason::Explicit);
+        if reformable {
+            g.reform_streak += 1;
+        } else {
+            g.reform_streak = 0;
+        }
+        let emit_reform = reformable
+            && policy.reform_budget > 0
+            && !g.reform_sent
+            && g.reform_streak >= policy.reform_budget;
+        if emit_reform {
+            g.reform_sent = true;
+        }
         if g.streak >= policy.retry_budget {
             g.skips_remaining = g.cooldown;
             g.cooldown = (g.cooldown.saturating_mul(2)).min(policy.max_cooldown);
             g.streak = 0;
+            g.disables += 1;
             self.stats.governor_disables += 1;
+            let target = Self::ladder_tier(policy, g.disables).max(g.tier);
+            if target != g.tier {
+                self.stats.tier_exits[g.tier as usize] += 1;
+                self.stats.tier_live[g.tier as usize] -= 1;
+                self.stats.tier_enters[target as usize] += 1;
+                self.stats.tier_live[target as usize] += 1;
+                g.tier = target;
+                self.stats.per_region.counters_mut(key).tier = target;
+            }
+        }
+        if emit_reform {
+            self.stats.reform_requests += 1;
+            self.reform_requests.push(ReformRequest {
+                method,
+                region,
+                boundary,
+                reason,
+                footprint_lines,
+            });
         }
     }
 
-    /// Governor bookkeeping on a commit: the abort streak resets, and a calm
-    /// streak of `cooldown_entries` consecutive commits halves the cooldown
-    /// back toward its base — so a region that genuinely recovered from a
-    /// transient fault burst regains full speculation, while one still
-    /// aborting a substantial fraction of its entries (which never stays
-    /// calm that long) keeps backing off exponentially.
+    /// Governor bookkeeping on a commit: the abort and re-formation streaks
+    /// reset, and a calm streak of `cooldown_entries` consecutive commits
+    /// halves the cooldown back toward its base *and de-escalates the
+    /// region one tier* (tier 3 is permanent) — so a region that genuinely
+    /// recovered from a transient fault burst climbs back down the ladder,
+    /// while one still aborting a substantial fraction of its entries
+    /// (which never stays calm that long) keeps backing off exponentially.
     fn gov_on_commit(&mut self, method: MethodId, region: u32) {
         if let Some(g) = self.gov.get_mut(&(method, region)) {
             g.streak = 0;
+            g.reform_streak = 0;
             g.calm += 1;
             if g.calm >= self.cfg.governor.cooldown_entries {
                 g.calm = 0;
                 g.cooldown = (g.cooldown / 2).max(self.cfg.governor.cooldown_entries);
+                if g.tier > 0 && g.tier < 3 {
+                    let target = g.tier - 1;
+                    self.stats.tier_exits[g.tier as usize] += 1;
+                    self.stats.tier_live[g.tier as usize] -= 1;
+                    self.stats.tier_enters[target as usize] += 1;
+                    self.stats.tier_live[target as usize] += 1;
+                    g.tier = target;
+                    // Re-earn escalations: the disable count steps back with
+                    // the tier instead of snapping the region straight back
+                    // up on its next de-speculation.
+                    g.disables = g.disables.saturating_sub(1);
+                    self.stats.governor_recoveries += 1;
+                    self.stats.per_region.counters_mut((method, region)).tier = target;
+                }
             }
         }
     }
@@ -591,21 +754,42 @@ impl<'p> Machine<'p> {
         if self.region.is_some() {
             return Err(MachineFault::NestedRegion { method, pc });
         }
-        // Governor consult: a de-speculated region's begin is
-        // patched to branch straight to its alternate PC — the
-        // non-speculative version runs with zero region overhead.
+        // Governor consult: a de-speculated region's begin is patched to
+        // branch straight to its alternate PC — the non-speculative version
+        // runs with zero region overhead. A tier-3 region is patched out
+        // permanently; a tier-2 region's software path additionally runs
+        // under the global fallback lock (the write conflicts out any
+        // subscribed speculative execution — in this single-threaded
+        // machine the acquire/release pair collapses to one store).
+        // Healthy regions have no governor state, so the fast path stays a
+        // single failing map probe. `tier` survives the consult to arm the
+        // tier-2 subscription after the checkpoint below.
+        let mut tier: u8 = 0;
         if self.cfg.governor.enabled {
             if let Some(g) = self.gov.get_mut(&(method, region)) {
-                if g.skips_remaining > 0 {
+                tier = g.tier;
+                self.stats.tier_time[tier as usize] += 1;
+                let software_path = if tier >= 3 {
+                    true
+                } else if g.skips_remaining > 0 {
                     g.skips_remaining -= 1;
                     if g.skips_remaining == 0 {
                         self.stats.governor_reenables += 1;
                     }
+                    true
+                } else {
+                    false
+                };
+                if software_path {
                     self.stats.governor_skips += 1;
                     self.stats
                         .per_region
                         .counters_mut((method, region))
                         .gov_skips += 1;
+                    if tier >= 2 {
+                        self.stats.lock_holds += 1;
+                        self.mem_access(FALLBACK_LOCK_ADDR, true)?;
+                    }
                     return Ok(BeginOut::Redirect(alt));
                 }
             }
@@ -654,6 +838,25 @@ impl<'p> Machine<'p> {
             shadow_regs,
         });
         self.stats.per_region.counters_mut((method, region)).entries += 1;
+        // Tier-2 fallback-lock subscription: read the lock word into the
+        // region's read-set, so a software-path writer's coherence
+        // invalidation conflicts this execution out. The read is a real
+        // region access — it occupies a footprint line and can itself
+        // overflow a tight injected budget. If the lock is already held by
+        // an external software-path execution, entering would race the
+        // holder, so the entry aborts straight to the alternate path (Sle:
+        // a lock-word check found the lock taken).
+        if tier >= 2 {
+            self.stats.lock_subscriptions += 1;
+            if !self.mem_access(FALLBACK_LOCK_ADDR, false)? {
+                return Ok(BeginOut::Redirect(alt));
+            }
+            if self.fallback_lock {
+                self.stats.lock_held_aborts += 1;
+                self.abort(AbortReason::Sle)?;
+                return Ok(BeginOut::Redirect(alt));
+            }
+        }
         // Targeted injection: abort exactly the Nth dynamic
         // entry, the moment the checkpoint is armed.
         self.region_entries += 1;
@@ -726,6 +929,29 @@ impl<'p> Machine<'p> {
                 "region-counters",
                 format!("{entries} entries != {} commits + aborts", resolved),
             );
+        }
+        // Ladder accounting: per tier, every transition in is balanced by a
+        // transition out or a still-live region, and the live counters must
+        // match an exact recount of the governor table.
+        let mut census = [0u64; 4];
+        for g in self.gov.values() {
+            census[g.tier as usize] += 1;
+        }
+        for (t, &tier_census) in census.iter().enumerate() {
+            let (en, ex, live) = (
+                self.stats.tier_enters[t],
+                self.stats.tier_exits[t],
+                self.stats.tier_live[t],
+            );
+            if en != ex + live || live != tier_census {
+                return violated(
+                    "tier-counters",
+                    format!(
+                        "tier {t}: {en} enters != {ex} exits + {live} live \
+                         (governor table holds {tier_census})"
+                    ),
+                );
+            }
         }
         if aborted {
             let frame = self.frames.last().expect("frame");
@@ -2517,7 +2743,7 @@ mod fault_tests {
     //! [`MachineFault`] instead of a panic.
     use super::tests::{add_element_program, run_both};
     use super::*;
-    use crate::fault::{FaultPlan, GovernorConfig};
+    use crate::fault::FaultPlan;
     use hasp_opt::CompilerConfig;
     use hasp_vm::builder::ProgramBuilder;
     use hasp_vm::bytecode::{BinOp, CmpOp};
@@ -2538,6 +2764,7 @@ mod fault_tests {
                 regs,
                 assert_origins: Vec::new(),
                 region_count: 1,
+                region_boundaries: Vec::new(),
                 blocks: Vec::new(),
                 region_writes: Default::default(),
             },
@@ -2821,10 +3048,10 @@ mod fault_tests {
         let mut hw = HwConfig::baseline();
         hw.validate = true;
         hw.governor = GovernorConfig {
-            enabled: true,
             retry_budget: 3,
             cooldown_entries: 4,
             max_cooldown: 64,
+            ..GovernorConfig::online()
         };
         let mut mach = Machine::new(&p, &cc, hw);
         let out = mach.run(&[]).expect("run");
@@ -2903,11 +3130,14 @@ mod fault_tests {
         );
         let mut hw = HwConfig::baseline();
         hw.validate = true;
+        // Pin the tier-1 (backoff-only) policy: this test is specifically
+        // about reenable + cooldown decay, which the ladder's tier-3
+        // permanence would otherwise mask.
         hw.governor = GovernorConfig {
-            enabled: true,
             retry_budget: 2,
             cooldown_entries: 4,
             max_cooldown: 16,
+            ..GovernorConfig::backoff_only()
         };
         let mut mach = Machine::new(&p, &cc, hw);
         let out = mach.run(&[]).expect("run");
@@ -2920,6 +3150,108 @@ mod fault_tests {
             "post-phase entries must speculate again: {} commits",
             s.commits
         );
+    }
+
+    /// One always-aborting region driven through the complete tier ladder:
+    /// tracked (0) → backoff (1) → fallback-lock subscription (2) →
+    /// permanent software path (3), with a re-formation request emitted on
+    /// the sustained `Explicit` streak — all while the alt path preserves
+    /// semantics and the tier accounting stays balanced under the
+    /// validator.
+    #[test]
+    fn ladder_escalates_through_every_tier() {
+        let (p, cc) = always_abort_loop(1500);
+        let mut hw = HwConfig::baseline();
+        hw.validate = true;
+        hw.governor = GovernorConfig {
+            retry_budget: 2,
+            cooldown_entries: 2,
+            max_cooldown: 8,
+            ..GovernorConfig::online()
+        };
+        let mut mach = Machine::new(&p, &cc, hw);
+        let out = mach.run(&[]).expect("run");
+        assert_eq!(out, Some(Value::Int(1500)), "semantics preserved");
+        let reqs = mach.take_reform_requests();
+        let s = mach.stats();
+        // Every tier was entered, non-vacuously.
+        for t in 0..4 {
+            assert!(s.tier_enters[t] > 0, "tier {t} never entered: {s:?}");
+            assert!(s.tier_time[t] > 0, "no time spent at tier {t}: {s:?}");
+        }
+        // The region ends pinned at tier 3 (permanent), and is the only
+        // live tracked region.
+        assert_eq!(s.tier_live, [0, 0, 0, 1], "{s:?}");
+        assert!(s.tier_counters_consistent(), "{s:?}");
+        let region = s.per_region.values().next().expect("one region");
+        assert_eq!(region.tier, 3);
+        // Tier 2 actually engaged the hybrid-TM protocol: speculative
+        // entries subscribed the fallback lock, software-path entries
+        // took it.
+        assert!(s.lock_subscriptions > 0, "{s:?}");
+        assert!(s.lock_holds > 0, "{s:?}");
+        // The sustained Explicit streak produced exactly one re-formation
+        // request; the hand-built stream has no boundary map.
+        assert_eq!(s.reform_requests, 1);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].reason, AbortReason::Explicit);
+        assert_eq!(reqs[0].boundary, u32::MAX);
+        // Tier 3 converts the tail of the run into software-path entries.
+        assert!(s.governor_skips > 1000, "{s:?}");
+    }
+
+    /// With an external software-path writer holding the fallback lock, a
+    /// tier-2 region's subscription read sees the lock held and aborts
+    /// (`Sle`) instead of speculating against the lock holder.
+    #[test]
+    fn tier2_subscription_aborts_while_fallback_lock_held() {
+        let (p, cc) = always_abort_loop(600);
+        let mut hw = HwConfig::baseline();
+        hw.validate = true;
+        // Stop the ladder at tier 2 so speculative retries keep happening
+        // (tier 3 would stop attempting speculation altogether).
+        hw.governor = GovernorConfig {
+            retry_budget: 2,
+            cooldown_entries: 2,
+            max_cooldown: 8,
+            ..GovernorConfig::to_tier2()
+        };
+        let mut mach = Machine::new(&p, &cc, hw);
+        mach.set_fallback_lock(true);
+        let out = mach.run(&[]).expect("run");
+        assert_eq!(out, Some(Value::Int(600)), "semantics preserved");
+        let s = mach.stats();
+        assert!(
+            s.lock_held_aborts > 0,
+            "tier-2 entries must abort on the held lock: {s:?}"
+        );
+        assert!(s.aborts.get(AbortReason::Sle) >= s.lock_held_aborts);
+        assert!(s.tier_counters_consistent(), "{s:?}");
+        assert!(mach.fallback_lock_held());
+    }
+
+    /// The ladder behaves identically under both dispatch engines: a
+    /// governed always-aborting region produces bit-identical statistics
+    /// whether dispatched per-uop or through sealed superblocks.
+    #[test]
+    fn ladder_matches_across_dispatch_engines() {
+        let policy = GovernorConfig {
+            retry_budget: 2,
+            cooldown_entries: 2,
+            max_cooldown: 8,
+            ..GovernorConfig::online()
+        };
+        let mut runs = Vec::new();
+        for mut hw in [HwConfig::baseline(), HwConfig::per_uop()] {
+            hw.governor = policy.clone();
+            let (p, cc) = always_abort_loop(800);
+            let mut mach = Machine::new(&p, &cc, hw);
+            let out = mach.run(&[]).expect("run");
+            assert_eq!(out, Some(Value::Int(800)));
+            runs.push(mach.stats().clone());
+        }
+        let diff = runs[0].diff(&runs[1]);
+        assert!(diff.is_empty(), "engines diverged: {diff:?}");
     }
 
     #[test]

@@ -223,6 +223,9 @@ pub struct RegionCounters {
     /// Would-be entries the governor patched straight to the alternate PC
     /// (de-speculated entries; not counted in `entries` — no region began).
     pub gov_skips: u64,
+    /// The region's current governor-ladder tier (0–3; 0 also for regions
+    /// the governor never had to track).
+    pub tier: u8,
 }
 
 /// Per-static-region counter table: a hash index over stable rows, with a
@@ -358,6 +361,37 @@ pub struct RunStats {
     pub governor_disables: u64,
     /// Times a de-speculated region's cooldown expired and it re-enabled.
     pub governor_reenables: u64,
+    /// Governor-ladder transitions *into* each tier, indexed by tier (0–3).
+    /// `tier_enters[0]` counts regions the governor started tracking (first
+    /// non-environmental abort); healthy never-aborting regions are never
+    /// tracked and appear in no tier counter.
+    pub tier_enters: [u64; 4],
+    /// Governor-ladder transitions *out of* each tier. Per tier,
+    /// `tier_enters[t] == tier_exits[t] + tier_live[t]` always holds (the
+    /// validator checks it after every commit and abort).
+    pub tier_exits: [u64; 4],
+    /// Tracked regions currently at each tier (live census; matches a
+    /// recount of the governor table exactly).
+    pub tier_live: [u64; 4],
+    /// Time-in-tier in units of `aregion_begin` consults: how many region
+    /// entries (speculative or patched-out) were attempted while the region
+    /// sat at each tier. Only governor-tracked regions are counted.
+    pub tier_time: [u64; 4],
+    /// Tier-2 entries that subscribed the global fallback-lock word into
+    /// their read-set.
+    pub lock_subscriptions: u64,
+    /// De-speculated (software-path) executions taken under the global
+    /// fallback lock (tier 2's patched-out entries and every tier-3 entry).
+    pub lock_holds: u64,
+    /// Speculative entries aborted at the subscription read because the
+    /// fallback lock was held by an (external) software-path execution.
+    pub lock_held_aborts: u64,
+    /// Re-formation requests the governor emitted (sustained
+    /// `Overflow`/`Explicit` aborts; at most one per static region per run).
+    pub reform_requests: u64,
+    /// Calm-streak de-escalations: a tracked region stepped one tier back
+    /// down after `cooldown_entries` consecutive commits.
+    pub governor_recoveries: u64,
     /// Post-abort/post-commit invariant validations that ran (and passed —
     /// a failing validation is a [`crate::fault::MachineFault`]).
     pub validations: u64,
@@ -387,6 +421,15 @@ impl Default for RunStats {
             governor_skips: 0,
             governor_disables: 0,
             governor_reenables: 0,
+            tier_enters: [0; 4],
+            tier_exits: [0; 4],
+            tier_live: [0; 4],
+            tier_time: [0; 4],
+            lock_subscriptions: 0,
+            lock_holds: 0,
+            lock_held_aborts: 0,
+            reform_requests: 0,
+            governor_recoveries: 0,
             validations: 0,
         }
     }
@@ -429,6 +472,13 @@ impl RunStats {
     /// Number of unique static regions that executed (Table 3 "unique").
     pub fn unique_regions(&self) -> usize {
         self.per_region.len()
+    }
+
+    /// The governor-ladder accounting invariant: per tier, every transition
+    /// in is balanced by a transition out or a still-live region
+    /// (`enters == exits + live`). The CI smoke leg gates on this.
+    pub fn tier_counters_consistent(&self) -> bool {
+        (0..4).all(|t| self.tier_enters[t] == self.tier_exits[t] + self.tier_live[t])
     }
 
     /// Average committed region size in uops (Table 3 "size").
@@ -474,6 +524,49 @@ impl RunStats {
             self.governor_reenables,
             other.governor_reenables,
         );
+        scalar(
+            "lock_subscriptions",
+            self.lock_subscriptions,
+            other.lock_subscriptions,
+        );
+        scalar("lock_holds", self.lock_holds, other.lock_holds);
+        scalar(
+            "lock_held_aborts",
+            self.lock_held_aborts,
+            other.lock_held_aborts,
+        );
+        scalar(
+            "reform_requests",
+            self.reform_requests,
+            other.reform_requests,
+        );
+        scalar(
+            "governor_recoveries",
+            self.governor_recoveries,
+            other.governor_recoveries,
+        );
+        for t in 0..4 {
+            scalar(
+                &format!("tier_enters[{t}]"),
+                self.tier_enters[t],
+                other.tier_enters[t],
+            );
+            scalar(
+                &format!("tier_exits[{t}]"),
+                self.tier_exits[t],
+                other.tier_exits[t],
+            );
+            scalar(
+                &format!("tier_live[{t}]"),
+                self.tier_live[t],
+                other.tier_live[t],
+            );
+            scalar(
+                &format!("tier_time[{t}]"),
+                self.tier_time[t],
+                other.tier_time[t],
+            );
+        }
         scalar("validations", self.validations, other.validations);
         for c in UOP_CLASSES {
             if self.uop_classes.get(c) != other.uop_classes.get(c) {
@@ -592,6 +685,21 @@ mod tests {
             vec![(AbortReason::Overflow, 1), (AbortReason::Conflict, 2)]
         );
         assert!(format!("{a:?}").contains("Conflict"));
+    }
+
+    #[test]
+    fn tier_counter_invariant() {
+        let mut s = RunStats::default();
+        assert!(s.tier_counters_consistent(), "all-zero is balanced");
+        // One region tracked at tier 0, escalated to tier 1 and still there.
+        s.tier_enters[0] = 1;
+        s.tier_exits[0] = 1;
+        s.tier_enters[1] = 1;
+        s.tier_live[1] = 1;
+        assert!(s.tier_counters_consistent());
+        // A lost exit breaks the balance.
+        s.tier_exits[1] = 1;
+        assert!(!s.tier_counters_consistent());
     }
 
     #[test]

@@ -245,6 +245,15 @@ pub struct CompiledCode {
     pub assert_origins: Vec<String>,
     /// Number of atomic regions in the code.
     pub region_count: u32,
+    /// Per-region formation boundary, indexed by the dense per-method
+    /// region id: the original (pre-replication) block id that seeded the
+    /// region, which doubles as its abort target. Region formation is
+    /// deterministic given the same program and profile, so this id is the
+    /// region's stable identity across recompiles — it is what a
+    /// [`ReformRequest`](crate::config::ReformRequest) names and what the
+    /// harness excludes on re-formation. Empty for hand-assembled streams
+    /// with no formation metadata (the machine then reports `u32::MAX`).
+    pub region_boundaries: Vec<u32>,
     /// Per-pc decoded superblock index (`blocks[pc]` describes the block
     /// starting at `pc`). Built by [`CompiledCode::seal`] when the code is
     /// installed; empty until then.
@@ -415,6 +424,7 @@ mod tests {
                 regs: 1,
                 assert_origins: vec![],
                 region_count: 0,
+                region_boundaries: Vec::new(),
                 blocks: Vec::new(),
                 region_writes: Default::default(),
             },

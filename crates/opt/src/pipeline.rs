@@ -10,7 +10,7 @@
 //!   threshold (scope enlargement without atomicity).
 //! * `atomic + aggressive inlining` — both.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use hasp_core::{form_atomic_regions, FormationResult, InlineSite, RegionConfig};
 use hasp_ir::{translate, verify, Func};
@@ -42,6 +42,12 @@ pub struct CompilerConfig {
     pub partial_unroll: bool,
     /// Optimization rounds after inlining/formation.
     pub opt_rounds: usize,
+    /// Per-method re-formation exclusion sets: boundary blocks (original,
+    /// pre-replication ids) that must not seed a region when the named
+    /// method is recompiled. Populated by the adaptive re-formation loop
+    /// from `ReformRequest`s the hardware governor emits; empty in every
+    /// stock configuration.
+    pub exclusions: HashMap<MethodId, BTreeSet<u32>>,
 }
 
 impl CompilerConfig {
@@ -57,6 +63,7 @@ impl CompilerConfig {
             postdom_checkelim: false,
             partial_unroll: false,
             opt_rounds: 3,
+            exclusions: HashMap::new(),
         }
     }
 
@@ -100,6 +107,25 @@ impl CompilerConfig {
         c.name = "atomic+forced-mono";
         c.inline.force_dominant_receiver = true;
         c
+    }
+
+    /// Merges boundary exclusions for `method` into this configuration
+    /// (adaptive re-formation: the hardware governor saw the region at
+    /// `boundaries` keep aborting and asked for it to be dissolved).
+    pub fn exclude(&mut self, method: MethodId, boundaries: impl IntoIterator<Item = u32>) {
+        self.exclusions
+            .entry(method)
+            .or_default()
+            .extend(boundaries);
+    }
+
+    /// The effective region configuration for `method`: the shared
+    /// `region` parameters plus that method's exclusion set, if any.
+    pub fn region_for(&self, method: MethodId) -> RegionConfig {
+        match self.exclusions.get(&method) {
+            Some(ex) if !ex.is_empty() => self.region.clone().with_excluded(ex.iter().copied()),
+            _ => self.region.clone(),
+        }
     }
 
     /// All four paper configurations, baseline first.
@@ -162,7 +188,8 @@ pub fn compile_method(
     // formation's un-inlining (Steps 2 and 5) needs them intact.
 
     let formation = if cfg.atomic && !m.opaque {
-        let res = form_atomic_regions(&mut f, &sites, &cfg.region);
+        let region_cfg = cfg.region_for(method);
+        let res = form_atomic_regions(&mut f, &sites, &region_cfg);
         debug_assert!(
             verify(&f).is_ok(),
             "formation: {:?}\n{}",
@@ -176,7 +203,7 @@ pub fn compile_method(
             safepoint::run(&mut f);
         }
         if cfg.partial_unroll {
-            unroll::run(&mut f, &cfg.region);
+            unroll::run(&mut f, &region_cfg);
         }
         Some(res)
     } else {
@@ -240,6 +267,24 @@ mod tests {
                 "atomic+aggr-inline"
             ]
         );
+    }
+
+    #[test]
+    fn per_method_exclusions() {
+        let mut c = CompilerConfig::atomic();
+        let m0 = MethodId(0);
+        let m1 = MethodId(1);
+        assert!(c.region_for(m0).excluded_boundaries.is_empty());
+        c.exclude(m0, [4, 9]);
+        c.exclude(m0, [4, 11]);
+        let r0 = c.region_for(m0);
+        assert_eq!(
+            r0.excluded_boundaries.iter().copied().collect::<Vec<_>>(),
+            vec![4, 9, 11]
+        );
+        // Exclusions are per-method: other methods see the stock config.
+        assert!(c.region_for(m1).excluded_boundaries.is_empty());
+        assert_eq!(c.region_for(m1), c.region);
     }
 }
 

@@ -185,6 +185,91 @@ pub fn postdom_checks(iters: i64) -> Workload {
     }
 }
 
+/// The governor-ladder adversary: two hot loops in one method. Loop A's
+/// per-iteration region scatters stores across ~16 distinct cache lines
+/// (an inner stride-8 loop over a 128-element array), so any speculative
+/// line budget under its footprint aborts it with `Overflow` on *every*
+/// entry — the sustained-overflow shape that drives the governor up the
+/// tier ladder and into a `ReformRequest`. Loop B's region touches one
+/// line and always commits, so after adaptive re-formation dissolves A's
+/// region the method still has healthy committing regions (the
+/// reform-and-recover signal the fault campaign gates on).
+pub fn footprint_split(iters: i64) -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let mut m = pb.method("main", 0);
+    let cap = m.imm(128);
+    let fat = m.reg();
+    m.new_array(fat, cap);
+    let cap2 = m.imm(8);
+    let lean = m.reg();
+    m.new_array(lean, cap2);
+    m.marker(1);
+    let one = m.imm(1);
+    let i = m.imm(0);
+    let n = m.imm(iters);
+    let head = m.new_label();
+    let exit = m.new_label();
+    // Loop A: 16 stores per iteration, 8 elements (one line) apart.
+    m.bind(head);
+    m.branch(CmpOp::Ge, i, n, exit);
+    {
+        let j = m.imm(0);
+        let k16 = m.imm(16);
+        let eight = m.imm(8);
+        let ihead = m.new_label();
+        let iexit = m.new_label();
+        m.bind(ihead);
+        m.branch(CmpOp::Ge, j, k16, iexit);
+        let slot = m.reg();
+        m.bin(BinOp::Mul, slot, j, eight);
+        let v = m.reg();
+        m.bin(BinOp::Add, v, i, j);
+        m.astore(fat, slot, v);
+        m.bin(BinOp::Add, j, j, one);
+        m.jump(ihead);
+        m.bind(iexit);
+    }
+    m.bin(BinOp::Add, i, i, one);
+    m.safepoint();
+    m.jump(head);
+    m.bind(exit);
+    // Loop B: one line, always commits.
+    let k = m.imm(0);
+    let mask = m.imm(7);
+    let bhead = m.new_label();
+    let bexit = m.new_label();
+    m.bind(bhead);
+    m.branch(CmpOp::Ge, k, n, bexit);
+    let slot = m.reg();
+    m.bin(BinOp::And, slot, k, mask);
+    m.astore(lean, slot, k);
+    m.bin(BinOp::Add, k, k, one);
+    m.safepoint();
+    m.jump(bhead);
+    m.bind(bexit);
+    m.marker(1);
+    let probe = m.imm(120);
+    let v = m.reg();
+    m.aload(v, fat, probe);
+    m.checksum(v);
+    let probe2 = m.imm(5);
+    let v2 = m.reg();
+    m.aload(v2, lean, probe2);
+    m.checksum(v2);
+    m.ret(None);
+    let entry = m.finish(&mut pb);
+    Workload {
+        name: "footprint-split",
+        description: "ladder adversary: a fat-footprint region next to a lean one",
+        program: pb.finish(entry),
+        samples: vec![Sample {
+            marker: 1,
+            weight: 1.0,
+        }],
+        fuel: 200_000_000,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +281,7 @@ mod tests {
             add_element(2000),
             phase_flip(5000, 4000, 40),
             postdom_checks(2000),
+            footprint_split(2000),
         ] {
             let mut interp = Interp::new(&w.program);
             interp.set_fuel(w.fuel);

@@ -11,6 +11,26 @@ cargo test -q --workspace
 
 echo "== fault-campaign smoke (checksum equivalence under injected aborts) =="
 cargo run --release -p hasp-experiments --bin experiments -- faults --smoke
+# Governor-ladder gates on the smoke artifact: every cell checksum-clean,
+# per-tier accounting balanced (enters == exits + live), and the adaptive
+# re-formation loop demonstrably recovers (>=1 row re-forms a region AND
+# keeps committing afterwards — the footprint-split adversary guarantees
+# the shape exists; this gate catches the ladder or the reform loop rotting).
+python3 - <<'PY'
+import json
+r = json.load(open("BENCH_faults.json"))
+assert r["schema"] == "hasp-faults-v2", f"unexpected schema {r['schema']}"
+bad = [c for c in r["matrix"] if not c["ok"]]
+assert not bad, f"checksum/validator failures: {[(c['workload'], c['fault']) for c in bad]}"
+imbal = [c for c in r["matrix"] if not c.get("tier_consistent", False)]
+assert not imbal, f"tier-counter imbalance: {[(c['workload'], c['fault']) for c in imbal]}"
+assert r["tier_counters_consistent"], "aggregate tier-counter gate failed"
+rec = [x for x in r["reforms"] if x["recovered"]]
+assert rec, "no reform row recovered (reforms > 0 and post-reform commits > 0)"
+assert all(x["ok"] for x in r["reforms"]), "a reform quantum failed"
+print(f"ladder gates ok: {len(r['matrix'])} cells tier-balanced, "
+      f"{len(rec)} reform row(s) recovered")
+PY
 
 echo "== knee-sweep smoke (conflict-rate probes, checksums, governor online) =="
 cargo run --release -p hasp-experiments --bin experiments -- faults --knee --smoke

@@ -245,3 +245,92 @@ proptest! {
         prop_assert_eq!(c.spec_lines(), 0);
     }
 }
+
+mod ladder_liveness {
+    //! Governor-ladder liveness: under an *arbitrary* fault plan and an
+    //! arbitrary (small-budget) ladder policy, the machine must always
+    //! terminate with the interpreter's checksum — no tier livelock, no
+    //! retry loop that starves the alt path — and the per-tier accounting
+    //! must balance at run end. The compiled workload is built once; each
+    //! case is one governed, validated machine run.
+
+    use super::*;
+    use std::sync::OnceLock;
+
+    use hasp_experiments::{
+        compile_workload, profile_workload, CompiledWorkload, ProfiledWorkload,
+    };
+    use hasp_hw::{FaultPlan, GovernorConfig, Machine};
+    use hasp_opt::CompilerConfig;
+    use hasp_workloads::{synthetic, Workload};
+
+    fn fixture() -> &'static (Workload, ProfiledWorkload, CompiledWorkload) {
+        static FIXTURE: OnceLock<(Workload, ProfiledWorkload, CompiledWorkload)> = OnceLock::new();
+        FIXTURE.get_or_init(|| {
+            let w = synthetic::add_element(400);
+            let profiled = profile_workload(&w);
+            let compiled = compile_workload(&w, &profiled, &CompilerConfig::atomic());
+            (w, profiled, compiled)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn machine_terminates_with_reference_checksum_under_any_plan(
+            seed in any::<u64>(),
+            conflict in prop_oneof![Just(0u64), 200u64..50_000],
+            interrupt in prop_oneof![Just(0u64), 500u64..50_000],
+            spurious in prop_oneof![Just(0u64), 200u64..50_000],
+            line_budget in prop_oneof![Just(0u64), 2u64..24],
+            abort_at in prop_oneof![Just(None), (1u64..200).prop_map(Some)],
+            retry_budget in 1u32..5,
+            cooldown in 1u64..16,
+            tier2 in 0u32..4,
+            tier3 in 0u32..4,
+            reform in 0u32..5,
+            lock_held in any::<bool>(),
+        ) {
+            let (w, profiled, compiled) = fixture();
+            let mut hw = hasp_hw::HwConfig::baseline();
+            hw.validate = true;
+            hw.faults = FaultPlan {
+                seed,
+                conflict_per_miljon: conflict,
+                interrupt_interval: interrupt,
+                spurious_per_miljon: spurious,
+                line_budget,
+                abort_at_entry: abort_at,
+            };
+            hw.governor = GovernorConfig {
+                enabled: true,
+                retry_budget,
+                cooldown_entries: cooldown,
+                max_cooldown: cooldown * 16,
+                tier2_disables: tier2,
+                tier3_disables: tier3,
+                reform_budget: reform,
+            };
+            let mut mach = Machine::new(&w.program, &compiled.code, hw);
+            mach.set_fuel(w.fuel.saturating_mul(4));
+            if lock_held {
+                mach.set_fallback_lock(true);
+            }
+            let out = mach.run(&[]);
+            prop_assert!(out.is_ok(), "machine must terminate cleanly: {:?}", out.err());
+            prop_assert_eq!(
+                mach.env.checksum(),
+                profiled.reference_checksum,
+                "ladder must preserve semantics under injection"
+            );
+            prop_assert!(
+                mach.stats().tier_counters_consistent(),
+                "tier accounting must balance: enters {:?} exits {:?} live {:?}",
+                mach.stats().tier_enters,
+                mach.stats().tier_exits,
+                mach.stats().tier_live
+            );
+        }
+    }
+}
