@@ -22,6 +22,7 @@ pub mod figures;
 pub mod reform;
 pub mod report;
 pub mod runner;
+pub mod service;
 pub mod suite;
 
 pub use dispatch_bench::{DispatchBenchReport, DispatchRow};
@@ -33,5 +34,9 @@ pub use reform::{run_reform_quanta, ReformOutcome, ReformQuantum, MAX_QUANTA};
 pub use runner::{
     compile_workload, execute_compiled, profile_workload, run_workload, try_execute_compiled,
     CellError, CompiledWorkload, ProfiledWorkload, SampleMeasure, WorkloadRun,
+};
+pub use service::{
+    build_schedule, build_service_cache, build_tenants, run_leg, run_service, LegOutcome,
+    LegSummary, ServiceCache, ServiceReport, Tenant, TenantClass, TenantShard, WorkerShard,
 };
 pub use suite::{hw_sweep, MatrixCell, Suite};

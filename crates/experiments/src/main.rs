@@ -7,11 +7,13 @@
 //! binary-searches each workload's highest tolerated conflict rate and
 //! writes `BENCH_knee.json`), or — with the `bench-dispatch` subcommand —
 //! races the per-uop and superblock dispatch engines over the suite and
-//! writes `BENCH_dispatch.json`.
+//! writes `BENCH_dispatch.json`, or — with the `serve` subcommand — runs
+//! the multi-tenant service harness (pooled machines, one lock-free
+//! published code cache) and writes `BENCH_service.json`.
 
 use hasp_experiments::figures;
 use hasp_experiments::report::JsonObj;
-use hasp_experiments::{dispatch_bench, faults, Suite};
+use hasp_experiments::{dispatch_bench, faults, service, Suite};
 
 fn main() {
     match std::env::args().nth(1).as_deref() {
@@ -20,6 +22,10 @@ fn main() {
         Some("bench-dispatch") => {
             let smoke = std::env::args().any(|a| a == "--smoke");
             bench_dispatch(smoke);
+        }
+        Some("serve") => {
+            let smoke = std::env::args().any(|a| a == "--smoke");
+            serve(smoke);
         }
         Some("faults") => {
             let smoke = std::env::args().any(|a| a == "--smoke");
@@ -32,10 +38,53 @@ fn main() {
         Some(other) => {
             eprintln!(
                 "unknown subcommand `{other}` (expected no argument, `bench-suite`, \
-                 `bench-dispatch [--smoke]`, or `faults [--knee] [--smoke]`)"
+                 `bench-dispatch [--smoke]`, `serve [--smoke]`, or \
+                 `faults [--knee] [--smoke]`)"
             );
             std::process::exit(2);
         }
+    }
+}
+
+fn serve(smoke: bool) {
+    eprintln!(
+        "serve: {} tenant mix, worker-pool scaling sweep",
+        if smoke { "smoke" } else { "full" }
+    );
+    let t0 = std::time::Instant::now();
+    let report = service::run_service(smoke);
+    let wall = t0.elapsed().as_secs_f64();
+    print!("{}", report.table());
+    let json = report.json(wall);
+    // The smoke slice goes to its own (gitignored) file so a CI run never
+    // clobbers the committed full artifact.
+    let path = if smoke {
+        "BENCH_service_smoke.json"
+    } else {
+        "BENCH_service.json"
+    };
+    std::fs::write(path, &json).expect("write service bench artifact");
+    eprintln!(
+        "wrote {path} (top speedup {:.2}x, deterministic: {}, in {wall:.1}s)",
+        report.top_speedup(),
+        report.deterministic
+    );
+    if !report.all_passed() || !report.scaling_ok() || !report.deterministic {
+        for l in &report.legs {
+            if l.failures > 0 || !l.conservation || l.retired_after > 0 {
+                eprintln!(
+                    "FAILED leg: {} workers ({} failures, conservation {}, {} unreclaimed)",
+                    l.workers, l.failures, l.conservation, l.retired_after
+                );
+            }
+        }
+        if !report.scaling_ok() {
+            eprintln!("FAILED: worker scaling regressed below the 1-worker floor");
+        }
+        if !report.deterministic {
+            eprintln!("FAILED: request timings varied across worker counts");
+        }
+        std::process::exit(1);
     }
 }
 

@@ -1,0 +1,1237 @@
+//! Multi-tenant service mode: a fixed pool of pooled-frame [`Machine`]
+//! workers drains a bounded MPMC queue of workload requests, all sharing one
+//! published code cache.
+//!
+//! The serving shape the paper's §7 deployment sketch implies but never
+//! benchmarks: many independent requests, one compiled-code publisher.
+//! Three properties are load-bearing and each has its own enforcement:
+//!
+//! * **Lock-free hot dispatch.** Workers never take a lock to *find* code:
+//!   the shared [`ServiceCache`] lives behind an epoch/RCU-style
+//!   [`Publisher`] — installs build a new sealed cache off the worker
+//!   threads and publish it with one atomic pointer swap; a worker pins the
+//!   current epoch once per request batch (two atomic loads and a slot
+//!   swap) and dispatches superblocks out of the pinned snapshot for the
+//!   whole batch. The only mutex in the request path guards the work queue
+//!   itself, never code lookup. `tests/service.rs` republishes mid-stream
+//!   under real threads and asserts no torn reads: every request on either
+//!   code version reproduces the interpreter checksum.
+//! * **Cross-request isolation.** A worker reuses one machine across
+//!   consecutive same-tenant requests via [`Machine::reset_for_request`]
+//!   and recycles allocations across tenants via [`MachinePools`]; both
+//!   paths are bit-identical to a fresh machine (debug-asserted in the
+//!   machine, proven by `machine.rs` tests), which is what makes request
+//!   timing independent of worker count and service order.
+//! * **Sharded statistics with conservation.** Per-tenant stats accumulate
+//!   into per-worker shards ([`TenantShard`]) with no cross-worker
+//!   synchronization; a separate per-request atomic tally is kept
+//!   independently, and at report time the shard merge must reproduce the
+//!   atomic totals exactly ([`LegOutcome::conservation_ok`] — gated by CI
+//!   and a proptest).
+//!
+//! Throughput and latency are reported in **simulated cycles**, not wall
+//! time: each request's service time is its run's modeled `stats.cycles`
+//! (deterministic and order-independent thanks to the isolation property),
+//! and a discrete-event simulation places those services on N servers. That
+//! makes the worker-scaling curve a property of the *model* — reproducible
+//! on any host, including single-core CI — while the real OS threads
+//! underneath genuinely exercise the lock-free publication protocol. The
+//! artifact is `BENCH_service.json` (schema `hasp-service-v1`).
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use hasp_hw::stats::AbortCounts;
+use hasp_hw::{
+    CodeCache, FaultPlan, GovernorConfig, Histogram, HwConfig, Machine, MachinePools, Publisher,
+};
+use hasp_opt::CompilerConfig;
+use hasp_workloads::{all_workloads, Workload};
+
+use crate::report::{num, JsonArr, JsonObj, Table};
+use crate::runner::{compile_workload, profile_workload, ProfiledWorkload};
+
+/// Nominal clock used to express simulated cycles as time (Table 1 runs the
+/// core at 4 GHz; the service tier is modeled at a derated 2 GHz part).
+pub const CLOCK_GHZ: f64 = 2.0;
+
+/// Bounded work-queue capacity: the producer blocks past this depth, so the
+/// enqueue side can never outrun the pool unboundedly.
+const QUEUE_CAP: usize = 8;
+
+/// Requests a worker claims per queue lock. One epoch pin covers the whole
+/// batch, amortizing the (already lock-free) pin over several requests.
+const BATCH: usize = 4;
+
+/// Speculative-footprint line budget injected for contended-class tenants:
+/// large regions overflow every entry, abort streaks build, and the
+/// governor ladder escalates — the "noisy neighbor" the tier-distribution
+/// column watches.
+const CONTENDED_LINE_BUDGET: u64 = 4;
+
+/// Open-loop arrival utilization (percent of pool capacity) for the latency
+/// simulation: high enough that queueing is visible, low enough to be
+/// stable.
+const OPEN_LOOP_UTIL_PCT: u64 = 95;
+
+/// The tenant's service class: how its requests stress the substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantClass {
+    /// Architectural aborts only.
+    Clean,
+    /// A shrunken speculative line budget ([`CONTENDED_LINE_BUDGET`])
+    /// forces overflow aborts and governor-ladder activity.
+    Contended,
+}
+
+impl TenantClass {
+    /// Report label.
+    pub fn name(self) -> &'static str {
+        match self {
+            TenantClass::Clean => "clean",
+            TenantClass::Contended => "contended",
+        }
+    }
+}
+
+/// One tenant: a workload, its profiling products, and the hardware
+/// configuration its requests execute under.
+#[derive(Debug)]
+pub struct Tenant {
+    /// Tenant name (the workload name).
+    pub name: &'static str,
+    /// Service class.
+    pub class: TenantClass,
+    /// The workload program and fuel budget.
+    pub workload: Workload,
+    /// Interpreter profile + the reference checksum every request must
+    /// reproduce.
+    pub profiled: ProfiledWorkload,
+    /// Hardware configuration (governor online; contended tenants add the
+    /// injected line budget).
+    pub hw: HwConfig,
+}
+
+impl Tenant {
+    /// Profiles `workload` and fixes its service-mode hardware config.
+    pub fn new(workload: Workload, class: TenantClass) -> Self {
+        let profiled = profile_workload(&workload);
+        let hw = match class {
+            TenantClass::Clean => HwConfig {
+                name: "svc-clean",
+                governor: GovernorConfig::online(),
+                ..HwConfig::baseline()
+            },
+            TenantClass::Contended => HwConfig {
+                name: "svc-contended",
+                governor: GovernorConfig::online(),
+                faults: FaultPlan::overflow_budget(CONTENDED_LINE_BUDGET),
+                ..HwConfig::baseline()
+            },
+        };
+        Tenant {
+            name: workload.name,
+            class,
+            workload,
+            profiled,
+            hw,
+        }
+    }
+}
+
+/// The published value: one sealed [`CodeCache`] per tenant, swapped as a
+/// unit so every worker always sees a mutually consistent set.
+#[derive(Debug)]
+pub struct ServiceCache {
+    /// Sealed code, indexed by tenant id.
+    pub tenants: Vec<CodeCache>,
+}
+
+/// Compiles every tenant under `ccfg` into a fresh sealed [`ServiceCache`].
+/// This is the install path: it runs on the producer thread, off the
+/// workers' hot path, and the result is handed to [`Publisher::publish`].
+pub fn build_service_cache(tenants: &[Tenant], ccfg: &CompilerConfig) -> ServiceCache {
+    ServiceCache {
+        tenants: tenants
+            .iter()
+            .map(|t| compile_workload(&t.workload, &t.profiled, ccfg).code)
+            .collect(),
+    }
+}
+
+/// One queued request: schedule position + tenant id.
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    seq: u32,
+    tenant: u32,
+}
+
+/// One served request's timing sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestTiming {
+    /// Position in the request schedule.
+    pub seq: u32,
+    /// Tenant id.
+    pub tenant: u32,
+    /// Modeled service time in simulated cycles.
+    pub cycles: u64,
+}
+
+/// The bounded MPMC work queue: one mutex + two condvars. This is request
+/// *admission*, not dispatch — workers touch it once per [`BATCH`].
+struct WorkQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+struct QueueState {
+    q: VecDeque<Request>,
+    closed: bool,
+}
+
+impl WorkQueue {
+    fn new() -> Self {
+        WorkQueue {
+            state: Mutex::new(QueueState {
+                q: VecDeque::with_capacity(QUEUE_CAP),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Blocks while the queue is at capacity (producer backpressure).
+    fn push(&self, r: Request) {
+        let mut s = self.state.lock().unwrap();
+        while s.q.len() >= QUEUE_CAP {
+            s = self.not_full.wait(s).unwrap();
+        }
+        s.q.push_back(r);
+        drop(s);
+        self.not_empty.notify_one();
+    }
+
+    /// Pops up to `max` requests; blocks while empty and open. An empty
+    /// return means the queue is closed and drained.
+    fn pop_batch(&self, max: usize) -> Vec<Request> {
+        let mut s = self.state.lock().unwrap();
+        while s.q.is_empty() && !s.closed {
+            s = self.not_empty.wait(s).unwrap();
+        }
+        let take = s.q.len().min(max);
+        let batch: Vec<Request> = s.q.drain(..take).collect();
+        drop(s);
+        if !batch.is_empty() {
+            self.not_full.notify_all();
+            // More work may remain for the other workers.
+            self.not_empty.notify_one();
+        }
+        batch
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+/// Per-(worker × tenant) statistics shard. Accumulated with no cross-worker
+/// synchronization; merged only at report time.
+#[derive(Debug, Clone, Default)]
+pub struct TenantShard {
+    /// Requests served.
+    pub requests: u64,
+    /// Requests that faulted or diverged from the reference checksum.
+    pub failures: u64,
+    /// Retired uops.
+    pub uops: u64,
+    /// Modeled cycles.
+    pub cycles: u64,
+    /// Region commits.
+    pub commits: u64,
+    /// Aborts by reason.
+    pub aborts: AbortCounts,
+    /// Per-static-region counters (merged across requests).
+    pub regions: hasp_hw::stats::RegionTable,
+    /// Time-in-tier (entry consults per governor tier).
+    pub tier_time: [u64; 4],
+}
+
+impl TenantShard {
+    /// Adds another shard's counters into this one. Every field is a sum
+    /// (or, for region tiers, a max), so the merge is order-independent.
+    pub fn merge(&mut self, other: &TenantShard) {
+        self.requests += other.requests;
+        self.failures += other.failures;
+        self.uops += other.uops;
+        self.cycles += other.cycles;
+        self.commits += other.commits;
+        self.aborts.merge(&other.aborts);
+        self.regions.merge(&other.regions);
+        for (t, o) in self.tier_time.iter_mut().zip(&other.tier_time) {
+            *t += o;
+        }
+    }
+}
+
+/// One worker's full shard: per-tenant counters, request timings, and the
+/// publisher versions it pinned.
+#[derive(Debug, Clone)]
+pub struct WorkerShard {
+    /// Per-tenant counters, indexed by tenant id.
+    pub per_tenant: Vec<TenantShard>,
+    /// Per-request timings this worker served.
+    pub timings: Vec<RequestTiming>,
+    /// Distinct publisher versions pinned by this worker.
+    pub versions: BTreeSet<u64>,
+}
+
+impl WorkerShard {
+    fn new(tenants: usize) -> Self {
+        WorkerShard {
+            per_tenant: vec![TenantShard::default(); tenants],
+            timings: Vec::new(),
+            versions: BTreeSet::new(),
+        }
+    }
+}
+
+/// The independent per-request tally the shard merge must reproduce.
+#[derive(Default)]
+struct Globals {
+    requests: AtomicU64,
+    uops: AtomicU64,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+}
+
+/// Everything one pool run produced, before any aggregation.
+#[derive(Debug)]
+pub struct LegOutcome {
+    /// Worker-pool size.
+    pub workers: usize,
+    /// One shard per worker.
+    pub shards: Vec<WorkerShard>,
+    /// Mid-stream cache publications performed.
+    pub installs: u64,
+    /// Retired cache versions reclaimed by the publisher.
+    pub reclaims: u64,
+    /// Retired versions still unreclaimed after the final sweep (must be 0
+    /// once every worker has unpinned).
+    pub retired_after: usize,
+    /// The publisher's final version counter.
+    pub final_version: u64,
+    /// Independent atomic totals: requests, uops, commits, aborts.
+    pub global: [u64; 4],
+    /// Wall-clock seconds for the pool run (host-dependent; informational).
+    pub wall_s: f64,
+}
+
+impl LegOutcome {
+    /// Per-tenant shards merged across workers.
+    pub fn merged_tenants(&self) -> Vec<TenantShard> {
+        let n = self.shards.first().map_or(0, |s| s.per_tenant.len());
+        let mut merged = vec![TenantShard::default(); n];
+        for shard in &self.shards {
+            for (m, t) in merged.iter_mut().zip(&shard.per_tenant) {
+                m.merge(t);
+            }
+        }
+        merged
+    }
+
+    /// The conservation check: the report-time shard merge must reproduce
+    /// the independently-kept atomic totals exactly. A lost or double-counted
+    /// request anywhere in the sharding shows up here.
+    pub fn conservation_ok(&self) -> bool {
+        let merged = self.merged_tenants();
+        let sums = [
+            merged.iter().map(|t| t.requests).sum::<u64>(),
+            merged.iter().map(|t| t.uops).sum::<u64>(),
+            merged.iter().map(|t| t.commits).sum::<u64>(),
+            merged.iter().map(|t| t.aborts.total()).sum::<u64>(),
+        ];
+        sums == self.global
+    }
+
+    /// Requests across all shards that faulted or diverged.
+    pub fn failures(&self) -> u64 {
+        self.shards
+            .iter()
+            .flat_map(|s| &s.per_tenant)
+            .map(|t| t.failures)
+            .sum()
+    }
+
+    /// All request timings in schedule order. Panics if a schedule position
+    /// was served zero or multiple times (a queue bug).
+    pub fn request_timings(&self) -> Vec<RequestTiming> {
+        let mut all: Vec<RequestTiming> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.timings.iter().copied())
+            .collect();
+        all.sort_by_key(|t| t.seq);
+        for (i, t) in all.iter().enumerate() {
+            assert_eq!(t.seq as usize, i, "request served zero or multiple times");
+        }
+        all
+    }
+
+    /// Distinct publisher versions pinned across all workers.
+    pub fn versions_seen(&self) -> BTreeSet<u64> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.versions.iter().copied())
+            .collect()
+    }
+}
+
+/// Serves one request on `mach` (already positioned on the tenant's code)
+/// and records it into the worker's shard and the global tally.
+fn serve_one(
+    mach: &mut Machine<'_>,
+    t: &Tenant,
+    req: Request,
+    shard: &mut WorkerShard,
+    globals: &Globals,
+) {
+    mach.set_fuel(t.workload.fuel.saturating_mul(4));
+    let ran = mach.run(&[]);
+    let ok = ran.is_ok() && mach.env.checksum() == t.profiled.reference_checksum;
+    let stats = mach.stats();
+    let ts = &mut shard.per_tenant[req.tenant as usize];
+    ts.requests += 1;
+    if !ok {
+        ts.failures += 1;
+    }
+    ts.uops += stats.uops;
+    ts.cycles += stats.cycles;
+    ts.commits += stats.commits;
+    ts.aborts.merge(&stats.aborts);
+    ts.regions.merge(&stats.per_region);
+    for (acc, t) in ts.tier_time.iter_mut().zip(&stats.tier_time) {
+        *acc += t;
+    }
+    shard.timings.push(RequestTiming {
+        seq: req.seq,
+        tenant: req.tenant,
+        cycles: stats.cycles,
+    });
+    globals.requests.fetch_add(1, Ordering::Relaxed);
+    globals.uops.fetch_add(stats.uops, Ordering::Relaxed);
+    globals.commits.fetch_add(stats.commits, Ordering::Relaxed);
+    globals
+        .aborts
+        .fetch_add(stats.aborts.total(), Ordering::Relaxed);
+}
+
+/// One worker: pop a batch, pin the current cache epoch once, serve the
+/// batch out of the pinned snapshot — reusing one machine across
+/// consecutive same-tenant requests via the reset fast path and recycling
+/// allocations across tenants via the pools.
+fn worker_loop(
+    worker_id: usize,
+    tenants: &[Tenant],
+    publisher: &Publisher<ServiceCache>,
+    queue: &WorkQueue,
+    globals: &Globals,
+) -> WorkerShard {
+    let mut shard = WorkerShard::new(tenants.len());
+    let mut pools = MachinePools::new();
+    loop {
+        let batch = queue.pop_batch(BATCH);
+        if batch.is_empty() {
+            return shard;
+        }
+        let guard = publisher.pin(worker_id);
+        shard.versions.insert(guard.version());
+        let mut i = 0;
+        while i < batch.len() {
+            let tid = batch[i].tenant as usize;
+            let t = &tenants[tid];
+            let mut mach = Machine::with_pools(
+                &t.workload.program,
+                &guard.tenants[tid],
+                t.hw.clone(),
+                std::mem::take(&mut pools),
+            );
+            loop {
+                serve_one(&mut mach, t, batch[i], &mut shard, globals);
+                i += 1;
+                if i >= batch.len() || batch[i].tenant as usize != tid {
+                    break;
+                }
+                mach.reset_for_request();
+            }
+            pools = mach.into_pools();
+        }
+    }
+}
+
+/// Runs one worker-pool leg: `workers` threads drain `schedule` (tenant id
+/// per request) out of the bounded queue, all dispatching from one
+/// published cache. After `install_points[k]` requests have been *pushed*,
+/// the producer builds a fresh cache under `install_ccfg` and publishes it
+/// mid-stream — workers keep executing throughout.
+///
+/// `install_points` must be ascending and within `1..=schedule.len()`.
+pub fn run_leg(
+    tenants: &[Tenant],
+    schedule: &[u32],
+    workers: usize,
+    ccfg: &CompilerConfig,
+    install_points: &[usize],
+    install_ccfg: &CompilerConfig,
+) -> LegOutcome {
+    assert!(workers >= 1, "need at least one worker");
+    assert!(
+        install_points.windows(2).all(|w| w[0] < w[1])
+            && install_points
+                .iter()
+                .all(|&p| p >= 1 && p <= schedule.len()),
+        "install points must be ascending within 1..=len"
+    );
+    let t0 = Instant::now();
+    let publisher = Publisher::new(build_service_cache(tenants, ccfg), workers);
+    let queue = WorkQueue::new();
+    let globals = Globals::default();
+
+    let shards = std::thread::scope(|s| {
+        let publisher = &publisher;
+        let queue = &queue;
+        let globals = &globals;
+        let handles: Vec<_> = (0..workers)
+            .map(|id| s.spawn(move || worker_loop(id, tenants, publisher, queue, globals)))
+            .collect();
+
+        let mut points = install_points.iter().peekable();
+        for (seq, &tenant) in schedule.iter().enumerate() {
+            queue.push(Request {
+                seq: seq as u32,
+                tenant,
+            });
+            if points.peek() == Some(&&(seq + 1)) {
+                points.next();
+                // Built here, on the producer thread — the workers keep
+                // serving out of their pinned snapshots while this compiles,
+                // then the swap below retires the old cache without ever
+                // stalling a reader.
+                publisher.publish(build_service_cache(tenants, install_ccfg));
+            }
+        }
+        queue.close();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("service worker panicked"))
+            .collect::<Vec<_>>()
+    });
+
+    // Every guard is dropped; the final sweep must be able to free every
+    // retired version.
+    publisher.try_reclaim();
+    LegOutcome {
+        workers,
+        shards,
+        installs: publisher.installs(),
+        reclaims: publisher.reclaims(),
+        retired_after: publisher.retired_len(),
+        final_version: publisher.version(),
+        global: [
+            globals.requests.load(Ordering::Relaxed),
+            globals.uops.load(Ordering::Relaxed),
+            globals.commits.load(Ordering::Relaxed),
+            globals.aborts.load(Ordering::Relaxed),
+        ],
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Discrete-event simulation over modeled cycles.
+// ---------------------------------------------------------------------------
+
+/// Greedy FIFO makespan: all requests available at t=0, each assigned to
+/// the earliest-free of `workers` servers. Returns the completion time of
+/// the last request in simulated cycles.
+pub fn saturation_makespan(cycles: &[u64], workers: usize) -> u64 {
+    let mut servers: BinaryHeap<Reverse<u64>> = (0..workers).map(|_| Reverse(0u64)).collect();
+    let mut makespan = 0;
+    for &c in cycles {
+        let Reverse(free) = servers.pop().expect("workers >= 1");
+        let done = free + c;
+        makespan = makespan.max(done);
+        servers.push(Reverse(done));
+    }
+    makespan
+}
+
+/// Open-loop arrival simulation at `util_pct`% of pool capacity: requests
+/// arrive at a fixed interval, queue FIFO for the earliest-free server.
+/// Returns per-request latencies (in schedule order) and the
+/// queue-depth-at-arrival histogram.
+pub fn open_loop(
+    reqs: &[RequestTiming],
+    workers: usize,
+    util_pct: u64,
+) -> (Vec<RequestTiming>, Histogram) {
+    let mut depth_hist = Histogram::new(&[0, 1, 2, 4, 8, 16, 32, 64]);
+    if reqs.is_empty() {
+        return (Vec::new(), depth_hist);
+    }
+    let total: u64 = reqs.iter().map(|r| r.cycles).sum();
+    let delta = (total as f64 / (reqs.len() as f64 * workers as f64)) * (100.0 / util_pct as f64);
+    let mut servers: BinaryHeap<Reverse<u64>> = (0..workers).map(|_| Reverse(0u64)).collect();
+    let mut starts: Vec<u64> = Vec::with_capacity(reqs.len());
+    let mut latencies = Vec::with_capacity(reqs.len());
+    for (i, r) in reqs.iter().enumerate() {
+        let arrival = (i as f64 * delta).round() as u64;
+        // Queue depth at this arrival: already-arrived requests that have
+        // not yet started service.
+        let depth = starts.iter().filter(|&&s| s > arrival).count() as u64;
+        depth_hist.record(depth);
+        let Reverse(free) = servers.pop().expect("workers >= 1");
+        let start = free.max(arrival);
+        starts.push(start);
+        servers.push(Reverse(start + r.cycles));
+        latencies.push(RequestTiming {
+            seq: r.seq,
+            tenant: r.tenant,
+            cycles: start + r.cycles - arrival,
+        });
+    }
+    (latencies, depth_hist)
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0 when empty).
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Simulated cycles expressed in microseconds at [`CLOCK_GHZ`].
+pub fn cycles_to_us(cycles: u64) -> f64 {
+    cycles as f64 / (CLOCK_GHZ * 1e3)
+}
+
+// ---------------------------------------------------------------------------
+// Reporting.
+// ---------------------------------------------------------------------------
+
+/// One tenant's row in a leg summary.
+#[derive(Debug, Clone)]
+pub struct TenantRow {
+    /// Tenant name.
+    pub name: &'static str,
+    /// Service class.
+    pub class: TenantClass,
+    /// Requests served.
+    pub requests: u64,
+    /// Failed requests.
+    pub failures: u64,
+    /// Retired uops.
+    pub uops: u64,
+    /// Modeled cycles.
+    pub cycles: u64,
+    /// Region commits.
+    pub commits: u64,
+    /// Total aborts.
+    pub aborts: u64,
+    /// Distinct static regions.
+    pub unique_regions: usize,
+    /// Worst governor tier any request observed.
+    pub top_tier: u8,
+    /// Open-loop p50 latency, microseconds.
+    pub p50_us: f64,
+    /// Open-loop p99 latency, microseconds.
+    pub p99_us: f64,
+}
+
+/// One worker-pool leg, aggregated for the report.
+#[derive(Debug, Clone)]
+pub struct LegSummary {
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Requests served.
+    pub requests: u64,
+    /// Failed requests.
+    pub failures: u64,
+    /// Saturation makespan in simulated cycles.
+    pub makespan_cycles: u64,
+    /// Sustained throughput at saturation, requests/second at [`CLOCK_GHZ`].
+    pub throughput_rps: f64,
+    /// Clean-class open-loop p50 latency, microseconds.
+    pub clean_p50_us: f64,
+    /// Clean-class open-loop p99 latency, microseconds.
+    pub clean_p99_us: f64,
+    /// Contended-class open-loop p50 latency, microseconds.
+    pub contended_p50_us: f64,
+    /// Contended-class open-loop p99 latency, microseconds.
+    pub contended_p99_us: f64,
+    /// Queue-depth-at-arrival histogram from the open-loop simulation.
+    pub queue_depth: Histogram,
+    /// Time-in-tier totals across all requests (governor tier distribution
+    /// under load).
+    pub tier_time: [u64; 4],
+    /// The shard-merge conservation check.
+    pub conservation: bool,
+    /// Mid-stream cache publications.
+    pub installs: u64,
+    /// Retired versions reclaimed.
+    pub reclaims: u64,
+    /// Retired versions left after the final sweep (0 expected).
+    pub retired_after: usize,
+    /// Distinct publisher versions pinned by workers.
+    pub versions_seen: usize,
+    /// Host wall seconds for the pool run (informational).
+    pub wall_s: f64,
+    /// Per-tenant rows.
+    pub per_tenant: Vec<TenantRow>,
+}
+
+/// Aggregates one leg's raw outcome into report form.
+pub fn summarize_leg(tenants: &[Tenant], out: &LegOutcome) -> LegSummary {
+    let reqs = out.request_timings();
+    let cycles: Vec<u64> = reqs.iter().map(|r| r.cycles).collect();
+    let makespan = saturation_makespan(&cycles, out.workers);
+    let throughput_rps = if makespan == 0 {
+        0.0
+    } else {
+        reqs.len() as f64 / (makespan as f64 / (CLOCK_GHZ * 1e9))
+    };
+    let (latencies, queue_depth) = open_loop(&reqs, out.workers, OPEN_LOOP_UTIL_PCT);
+
+    let class_pcts = |class: TenantClass| {
+        let mut v: Vec<u64> = latencies
+            .iter()
+            .filter(|l| tenants[l.tenant as usize].class == class)
+            .map(|l| l.cycles)
+            .collect();
+        v.sort_unstable();
+        (
+            cycles_to_us(percentile(&v, 50.0)),
+            cycles_to_us(percentile(&v, 99.0)),
+        )
+    };
+    let (clean_p50_us, clean_p99_us) = class_pcts(TenantClass::Clean);
+    let (contended_p50_us, contended_p99_us) = class_pcts(TenantClass::Contended);
+
+    let merged = out.merged_tenants();
+    let mut tier_time = [0u64; 4];
+    for t in &merged {
+        for (acc, v) in tier_time.iter_mut().zip(&t.tier_time) {
+            *acc += v;
+        }
+    }
+    let per_tenant = merged
+        .iter()
+        .enumerate()
+        .map(|(tid, m)| {
+            let mut v: Vec<u64> = latencies
+                .iter()
+                .filter(|l| l.tenant as usize == tid)
+                .map(|l| l.cycles)
+                .collect();
+            v.sort_unstable();
+            TenantRow {
+                name: tenants[tid].name,
+                class: tenants[tid].class,
+                requests: m.requests,
+                failures: m.failures,
+                uops: m.uops,
+                cycles: m.cycles,
+                commits: m.commits,
+                aborts: m.aborts.total(),
+                unique_regions: m.regions.len(),
+                top_tier: m.regions.values().map(|c| c.tier).max().unwrap_or(0),
+                p50_us: cycles_to_us(percentile(&v, 50.0)),
+                p99_us: cycles_to_us(percentile(&v, 99.0)),
+            }
+        })
+        .collect();
+
+    LegSummary {
+        workers: out.workers,
+        requests: reqs.len() as u64,
+        failures: out.failures(),
+        makespan_cycles: makespan,
+        throughput_rps,
+        clean_p50_us,
+        clean_p99_us,
+        contended_p50_us,
+        contended_p99_us,
+        queue_depth,
+        tier_time,
+        conservation: out.conservation_ok(),
+        installs: out.installs,
+        reclaims: out.reclaims,
+        retired_after: out.retired_after,
+        versions_seen: out.versions_seen().len(),
+        wall_s: out.wall_s,
+        per_tenant,
+    }
+}
+
+/// The full service-mode benchmark report.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// CI-sized slice?
+    pub smoke: bool,
+    /// `(name, class)` per tenant, in tenant-id order.
+    pub tenants: Vec<(&'static str, TenantClass)>,
+    /// One summary per worker-pool size, ascending.
+    pub legs: Vec<LegSummary>,
+    /// Per-request modeled cycles identical across every leg (the
+    /// cross-request-isolation property made observable).
+    pub deterministic: bool,
+}
+
+impl ServiceReport {
+    /// Throughput of the largest pool over the 1-worker pool.
+    pub fn top_speedup(&self) -> f64 {
+        match (self.legs.first(), self.legs.last()) {
+            (Some(a), Some(b)) if a.throughput_rps > 0.0 => b.throughput_rps / a.throughput_rps,
+            _ => 0.0,
+        }
+    }
+
+    /// Every leg's throughput at least the 1-worker leg's (the scaling
+    /// floor CI gates on).
+    pub fn scaling_ok(&self) -> bool {
+        match self.legs.first() {
+            Some(first) => self
+                .legs
+                .iter()
+                .all(|l| l.throughput_rps >= first.throughput_rps),
+            None => false,
+        }
+    }
+
+    /// No request anywhere faulted or diverged, every leg's shard merge
+    /// conserved, and every retired cache version was reclaimed.
+    pub fn all_passed(&self) -> bool {
+        self.legs
+            .iter()
+            .all(|l| l.failures == 0 && l.conservation && l.retired_after == 0)
+    }
+
+    /// Renders the worker-scaling table plus the largest pool's per-tenant
+    /// breakdown.
+    pub fn table(&self) -> String {
+        let mut t = Table::new(
+            "Service mode: pooled workers, shared published code cache",
+            &[
+                "workers",
+                "requests",
+                "req/s",
+                "speedup",
+                "clean p50/p99 us",
+                "cont p50/p99 us",
+                "q-mean",
+                "conserved",
+                "installs",
+            ],
+        );
+        let base = self.legs.first().map_or(0.0, |l| l.throughput_rps);
+        for l in &self.legs {
+            t.row(&[
+                l.workers.to_string(),
+                l.requests.to_string(),
+                num(l.throughput_rps, 0),
+                format!(
+                    "{}x",
+                    num(
+                        if base > 0.0 {
+                            l.throughput_rps / base
+                        } else {
+                            0.0
+                        },
+                        2
+                    )
+                ),
+                format!("{}/{}", num(l.clean_p50_us, 0), num(l.clean_p99_us, 0)),
+                format!(
+                    "{}/{}",
+                    num(l.contended_p50_us, 0),
+                    num(l.contended_p99_us, 0)
+                ),
+                num(l.queue_depth.mean(), 2),
+                if l.conservation { "yes" } else { "NO" }.into(),
+                l.installs.to_string(),
+            ]);
+        }
+        let mut s = t.render();
+        if let Some(last) = self.legs.last() {
+            let mut pt = Table::new(
+                &format!("Per-tenant breakdown ({} workers)", last.workers),
+                &[
+                    "tenant", "class", "requests", "fail", "commits", "aborts", "top tier",
+                    "p50 us", "p99 us",
+                ],
+            );
+            for r in &last.per_tenant {
+                pt.row(&[
+                    r.name.into(),
+                    r.class.name().into(),
+                    r.requests.to_string(),
+                    r.failures.to_string(),
+                    r.commits.to_string(),
+                    r.aborts.to_string(),
+                    r.top_tier.to_string(),
+                    num(r.p50_us, 0),
+                    num(r.p99_us, 0),
+                ]);
+            }
+            s.push('\n');
+            s.push_str(&pt.render());
+        }
+        s
+    }
+
+    /// Serializes the report as the `BENCH_service.json` artifact.
+    pub fn json(&self, wall_s: f64) -> String {
+        let mut tenants = JsonArr::new();
+        for &(name, class) in &self.tenants {
+            tenants = tenants.obj(JsonObj::new().str("name", name).str("class", class.name()));
+        }
+        let base = self.legs.first().map_or(0.0, |l| l.throughput_rps);
+        let mut legs = JsonArr::new();
+        for l in &self.legs {
+            let mut depth = JsonArr::new();
+            for (i, &c) in l.queue_depth.counts.iter().enumerate() {
+                let le = l
+                    .queue_depth
+                    .bounds
+                    .get(i)
+                    .map_or("inf".to_string(), |b| b.to_string());
+                depth = depth.obj(JsonObj::new().str("le", &le).int("count", c));
+            }
+            let mut per_tenant = JsonArr::new();
+            for r in &l.per_tenant {
+                per_tenant = per_tenant.obj(
+                    JsonObj::new()
+                        .str("tenant", r.name)
+                        .str("class", r.class.name())
+                        .int("requests", r.requests)
+                        .int("failures", r.failures)
+                        .int("uops", r.uops)
+                        .int("cycles", r.cycles)
+                        .int("commits", r.commits)
+                        .int("aborts", r.aborts)
+                        .int("unique_regions", r.unique_regions as u64)
+                        .int("top_tier", u64::from(r.top_tier))
+                        .num("p50_us", r.p50_us)
+                        .num("p99_us", r.p99_us),
+                );
+            }
+            legs = legs.obj(
+                JsonObj::new()
+                    .int("workers", l.workers as u64)
+                    .int("requests", l.requests)
+                    .int("failures", l.failures)
+                    .int("makespan_cycles", l.makespan_cycles)
+                    .num("throughput_rps", l.throughput_rps)
+                    .num(
+                        "speedup_vs_1",
+                        if base > 0.0 {
+                            l.throughput_rps / base
+                        } else {
+                            0.0
+                        },
+                    )
+                    .num("clean_p50_us", l.clean_p50_us)
+                    .num("clean_p99_us", l.clean_p99_us)
+                    .num("contended_p50_us", l.contended_p50_us)
+                    .num("contended_p99_us", l.contended_p99_us)
+                    .num("queue_depth_mean", l.queue_depth.mean())
+                    .int("queue_depth_max", l.queue_depth.max)
+                    .arr("queue_depth_hist", depth)
+                    .obj(
+                        "tier_time",
+                        JsonObj::new()
+                            .int("t0", l.tier_time[0])
+                            .int("t1", l.tier_time[1])
+                            .int("t2", l.tier_time[2])
+                            .int("t3", l.tier_time[3]),
+                    )
+                    .bool("conservation", l.conservation)
+                    .int("installs", l.installs)
+                    .int("reclaims", l.reclaims)
+                    .int("retired_after", l.retired_after as u64)
+                    .int("versions_seen", l.versions_seen as u64)
+                    .num("wall_s", l.wall_s)
+                    .arr("per_tenant", per_tenant),
+            );
+        }
+        JsonObj::new()
+            .str("schema", "hasp-service-v1")
+            .bool("smoke", self.smoke)
+            .num("wall_s", wall_s)
+            .num("clock_ghz", CLOCK_GHZ)
+            .arr("tenants", tenants)
+            .arr("legs", legs)
+            .num("top_speedup", self.top_speedup())
+            .bool("scaling_ok", self.scaling_ok())
+            .bool("deterministic", self.deterministic)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The benchmark driver.
+// ---------------------------------------------------------------------------
+
+/// xorshift64 step, the repo's stock deterministic RNG.
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+/// Builds a seeded request schedule: `rounds` rounds, each containing every
+/// tenant exactly once in a per-round shuffled order — a mixed arrival
+/// stream with a fair per-tenant request count.
+pub fn build_schedule(tenants: usize, rounds: usize, seed: u64) -> Vec<u32> {
+    let mut rng = seed | 1;
+    let mut schedule = Vec::with_capacity(tenants * rounds);
+    for _ in 0..rounds {
+        let mut round: Vec<u32> = (0..tenants as u32).collect();
+        // Fisher–Yates with the seeded stream.
+        for i in (1..round.len()).rev() {
+            let j = (xorshift(&mut rng) % (i as u64 + 1)) as usize;
+            round.swap(i, j);
+        }
+        schedule.extend(round);
+    }
+    schedule
+}
+
+/// The tenant mix: all seven suite workloads, three of them contended.
+/// Smoke mode keeps one of each class (fop clean, pmd contended) — the
+/// CI-sized slice `scripts/check.sh` runs.
+pub fn build_tenants(smoke: bool) -> Vec<Tenant> {
+    let contended = ["hsqldb", "pmd", "xalan"];
+    let mut workloads = all_workloads();
+    if smoke {
+        workloads.retain(|w| w.name == "fop" || w.name == "pmd");
+    }
+    workloads
+        .into_iter()
+        .map(|w| {
+            let class = if contended.contains(&w.name) {
+                TenantClass::Contended
+            } else {
+                TenantClass::Clean
+            };
+            Tenant::new(w, class)
+        })
+        .collect()
+}
+
+/// Runs the service benchmark: the tenant mix served by worker pools of
+/// increasing size over the same seeded schedule, with two mid-stream cache
+/// publications per leg. Smoke mode shrinks the tenant set, round count,
+/// and pool-size sweep.
+pub fn run_service(smoke: bool) -> ServiceReport {
+    let tenants = build_tenants(smoke);
+    let rounds = if smoke { 12 } else { 24 };
+    let schedule = build_schedule(tenants.len(), rounds, 0x5eed_cafe);
+    let worker_legs: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    // Installs republish the same compiler configuration: a fresh, sealed,
+    // bit-identical product. The publication machinery is fully exercised
+    // while request timings stay comparable across the install boundary
+    // (the concurrent-publication test covers *different* products).
+    let ccfg = CompilerConfig::atomic_aggressive();
+    let installs = [schedule.len() / 2, (3 * schedule.len()) / 4];
+
+    let mut legs = Vec::new();
+    let mut timings: Vec<Vec<RequestTiming>> = Vec::new();
+    for &w in worker_legs {
+        let out = run_leg(&tenants, &schedule, w, &ccfg, &installs, &ccfg);
+        timings.push(out.request_timings());
+        legs.push(summarize_leg(&tenants, &out));
+    }
+    let deterministic = timings.windows(2).all(|w| w[0] == w[1]);
+    ServiceReport {
+        smoke,
+        tenants: tenants.iter().map(|t| (t.name, t.class)).collect(),
+        legs,
+        deterministic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_makespan_packs_greedily() {
+        // 2 servers, FIFO: [30] -> s1, [10,10,10] -> s2.
+        assert_eq!(saturation_makespan(&[30, 10, 10, 10], 2), 30);
+        assert_eq!(saturation_makespan(&[10, 10, 10, 10], 2), 20);
+        assert_eq!(saturation_makespan(&[10, 10, 10, 10], 1), 40);
+        assert_eq!(saturation_makespan(&[], 3), 0);
+        // 4 workers on 4 equal requests: perfect 4x over 1 worker.
+        assert_eq!(saturation_makespan(&[100; 8], 4), 200);
+        assert_eq!(saturation_makespan(&[100; 8], 1), 800);
+    }
+
+    #[test]
+    fn open_loop_uniform_service_never_queues() {
+        // Uniform 1000-cycle requests on one server at 95% utilization:
+        // arrivals are slower than service, so latency == service time and
+        // the queue is always empty at arrival.
+        let reqs: Vec<RequestTiming> = (0..20)
+            .map(|i| RequestTiming {
+                seq: i,
+                tenant: 0,
+                cycles: 1000,
+            })
+            .collect();
+        let (lat, depth) = open_loop(&reqs, 1, 95);
+        assert!(lat.iter().all(|l| l.cycles == 1000));
+        assert_eq!(depth.n, 20);
+        assert_eq!(depth.max, 0);
+        // A huge head-of-line request backs up everything behind it.
+        let mut reqs = reqs;
+        reqs[0].cycles = 50_000;
+        let (lat, depth) = open_loop(&reqs, 1, 95);
+        assert!(lat[1].cycles > 1000, "request behind the elephant queues");
+        assert!(depth.max > 0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 51);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&v, 100.0), 100);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn schedule_is_fair_and_seeded() {
+        let a = build_schedule(7, 24, 0x5eed_cafe);
+        let b = build_schedule(7, 24, 0x5eed_cafe);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.len(), 7 * 24);
+        for round in a.chunks(7) {
+            let mut seen: Vec<u32> = round.to_vec();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..7).collect::<Vec<_>>(), "each round is fair");
+        }
+        let c = build_schedule(7, 24, 0x1234);
+        assert_ne!(a, c, "different seed, different order");
+        // The mix is actually mixed: not every round in the same order.
+        assert!(a.chunks(7).any(|r| r != &a[..7]));
+    }
+
+    #[test]
+    fn cycles_convert_at_the_nominal_clock() {
+        // 2 GHz: 2000 cycles per microsecond.
+        assert!((cycles_to_us(2000) - 1.0).abs() < 1e-12);
+        assert!((cycles_to_us(1_000_000) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_json_carries_the_contract_fields() {
+        let leg = LegSummary {
+            workers: 2,
+            requests: 10,
+            failures: 0,
+            makespan_cycles: 1_000_000,
+            throughput_rps: 20_000.0,
+            clean_p50_us: 50.0,
+            clean_p99_us: 90.0,
+            contended_p50_us: 60.0,
+            contended_p99_us: 120.0,
+            queue_depth: Histogram::new(&[0, 1, 2]),
+            tier_time: [5, 3, 1, 0],
+            conservation: true,
+            installs: 2,
+            reclaims: 2,
+            retired_after: 0,
+            versions_seen: 3,
+            wall_s: 0.1,
+            per_tenant: vec![TenantRow {
+                name: "fop",
+                class: TenantClass::Clean,
+                requests: 10,
+                failures: 0,
+                uops: 100,
+                cycles: 200,
+                commits: 5,
+                aborts: 1,
+                unique_regions: 3,
+                top_tier: 1,
+                p50_us: 50.0,
+                p99_us: 90.0,
+            }],
+        };
+        let report = ServiceReport {
+            smoke: true,
+            tenants: vec![("fop", TenantClass::Clean), ("pmd", TenantClass::Contended)],
+            legs: vec![
+                LegSummary {
+                    workers: 1,
+                    throughput_rps: 11_000.0,
+                    ..leg.clone()
+                },
+                leg,
+            ],
+            deterministic: true,
+        };
+        assert!(report.scaling_ok());
+        assert!(report.all_passed());
+        assert!((report.top_speedup() - 20.0 / 11.0).abs() < 1e-9);
+        let json = report.json(1.5);
+        assert!(json.contains("\"schema\": \"hasp-service-v1\""));
+        assert!(json.contains("\"throughput_rps\": 20000.000000"));
+        assert!(json.contains("\"clean_p99_us\": 90.000000"));
+        assert!(json.contains("\"contended_p50_us\": 60.000000"));
+        assert!(json.contains("\"queue_depth_hist\""));
+        assert!(json.contains("\"t2\": 1"));
+        assert!(json.contains("\"conservation\": true"));
+        assert!(json.contains("\"deterministic\": true"));
+        assert!(json.contains("\"speedup_vs_1\""));
+        let table = report.table();
+        assert!(table.contains("workers"));
+        assert!(table.contains("Per-tenant breakdown"));
+    }
+
+    #[test]
+    fn conservation_fails_on_a_lost_request() {
+        let mut shard = WorkerShard::new(1);
+        shard.per_tenant[0].requests = 3;
+        shard.per_tenant[0].uops = 300;
+        let out = LegOutcome {
+            workers: 1,
+            shards: vec![shard],
+            installs: 0,
+            reclaims: 0,
+            retired_after: 0,
+            final_version: 1,
+            global: [3, 300, 0, 0],
+            wall_s: 0.0,
+        };
+        assert!(out.conservation_ok());
+        let mut broken = LegOutcome {
+            global: [4, 300, 0, 0],
+            ..out
+        };
+        assert!(!broken.conservation_ok(), "a lost request must be caught");
+        broken.global = [3, 299, 0, 0];
+        assert!(!broken.conservation_ok(), "lost uops must be caught");
+    }
+}

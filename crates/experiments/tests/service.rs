@@ -1,0 +1,126 @@
+//! Service-harness gates: the lock-free publication protocol under real
+//! threads, and conservation of the sharded statistics.
+//!
+//! * `publication_mid_stream_*` — a worker pool serves requests while the
+//!   producer compiles a *different* code product and publishes it with one
+//!   atomic swap, mid-stream. Workers never stop; every request on either
+//!   version must reproduce the interpreter's reference checksum (a torn or
+//!   stale-mixed read would diverge), both versions must actually be
+//!   observed, and every retired version must be reclaimed once the pool
+//!   drains.
+//! * `sharded_stats_conserve_*` — a proptest: for any request schedule, the
+//!   merged per-worker shards of a 3-worker pool equal the single-worker
+//!   totals exactly (and both equal the independent atomic tally). Request
+//!   results are order- and worker-independent, so sharding can never lose
+//!   or double-count.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use hasp_experiments::service::{run_leg, Tenant, TenantClass};
+use hasp_opt::CompilerConfig;
+use hasp_workloads::synthetic;
+
+/// The synthetic tenant pair, profiled once: one clean, one whose big-
+/// footprint regions abort under the contended line budget so aborts,
+/// region tables, and governor tiers all carry nonzero freight through the
+/// shard merge.
+fn tenants() -> &'static Vec<Tenant> {
+    static TENANTS: OnceLock<Vec<Tenant>> = OnceLock::new();
+    TENANTS.get_or_init(|| {
+        vec![
+            Tenant::new(synthetic::add_element(2_000), TenantClass::Clean),
+            Tenant::new(synthetic::footprint_split(600), TenantClass::Contended),
+        ]
+    })
+}
+
+#[test]
+fn publication_mid_stream_is_torn_read_free() {
+    let tenants = tenants();
+    // 64 requests, alternating tenants; publish a *different* compiler
+    // configuration's product after request 32 is pushed — while the pool
+    // is busy serving.
+    let schedule: Vec<u32> = (0..64u32).map(|i| i % 2).collect();
+    let out = run_leg(
+        tenants,
+        &schedule,
+        2,
+        &CompilerConfig::atomic(),
+        &[32],
+        &CompilerConfig::atomic_aggressive(),
+    );
+
+    // No torn or mixed reads: every request, on whichever code version its
+    // batch pinned, reproduced the interpreter checksum.
+    assert_eq!(out.failures(), 0, "a checksum diverged across the swap");
+    assert!(out.conservation_ok(), "shard merge lost a request");
+    assert_eq!(out.installs, 1);
+    assert_eq!(out.final_version, 2);
+
+    // Both versions were genuinely exercised. The queue bound (smaller than
+    // the pre-install half of the schedule) forces early batches to pin
+    // version 1 before the publish can happen; requests pushed after the
+    // publish can only pin version 2.
+    let versions = out.versions_seen();
+    assert!(versions.contains(&1), "pre-install version never pinned");
+    assert!(versions.contains(&2), "published version never pinned");
+
+    // With every guard dropped, the horizon passes every retired version:
+    // the old cache was freed, not leaked.
+    assert_eq!(out.retired_after, 0, "retired cache version leaked");
+    assert!(
+        out.reclaims >= 1,
+        "the swapped-out version was never reclaimed"
+    );
+
+    // Both tenants actually aborted/committed through the swap (the merge
+    // carried real freight, not zeros).
+    let merged = out.merged_tenants();
+    assert_eq!(merged.iter().map(|t| t.requests).sum::<u64>(), 64);
+    assert!(
+        merged[1].aborts.total() > 0,
+        "contended tenant never aborted"
+    );
+    assert!(merged[0].commits > 0 && merged[1].commits > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sharded_stats_conserve_across_worker_counts(
+        schedule in prop::collection::vec(0u32..2, 4..24),
+    ) {
+        let tenants = tenants();
+        let ccfg = CompilerConfig::atomic_aggressive();
+        let pooled = run_leg(tenants, &schedule, 3, &ccfg, &[], &ccfg);
+        let serial = run_leg(tenants, &schedule, 1, &ccfg, &[], &ccfg);
+
+        prop_assert!(pooled.conservation_ok());
+        prop_assert!(serial.conservation_ok());
+        prop_assert_eq!(pooled.global, serial.global);
+
+        // Per-request timings are identical: results don't depend on which
+        // worker served a request or in what order.
+        prop_assert_eq!(pooled.request_timings(), serial.request_timings());
+
+        // The merged shards agree field by field, including the per-region
+        // tables (compared through their canonical sorted view — merge
+        // order only permutes row order).
+        let p = pooled.merged_tenants();
+        let s = serial.merged_tenants();
+        prop_assert_eq!(p.len(), s.len());
+        for (a, b) in p.iter().zip(&s) {
+            prop_assert_eq!(a.requests, b.requests);
+            prop_assert_eq!(a.failures, b.failures);
+            prop_assert_eq!(a.uops, b.uops);
+            prop_assert_eq!(a.cycles, b.cycles);
+            prop_assert_eq!(a.commits, b.commits);
+            prop_assert_eq!(a.aborts, b.aborts);
+            prop_assert_eq!(a.tier_time, b.tier_time);
+            prop_assert_eq!(a.regions.sorted_rows(), b.regions.sorted_rows());
+        }
+    }
+}

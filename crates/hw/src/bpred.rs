@@ -38,6 +38,17 @@ impl Predictor {
         }
     }
 
+    /// Restores the weakly-taken construction state in place, reusing the
+    /// table allocations (the cross-request reset path: recycled machines
+    /// must predict exactly like fresh ones).
+    pub fn reset(&mut self) {
+        self.gshare.fill(2);
+        self.bimod.fill(2);
+        self.chooser.fill(2);
+        self.history = 0;
+        self.itargets.fill(u64::MAX);
+    }
+
     fn gidx(&self, pc: u64) -> usize {
         ((pc ^ self.history) & ((1 << GSHARE_BITS) - 1)) as usize
     }

@@ -75,6 +75,16 @@ impl TargetCache {
     pub fn insert(&mut self, site: u64, key: i64, target: usize) {
         self.entries[(site as usize) & (BTB_ENTRIES - 1)] = BtbEntry { site, key, target };
     }
+
+    /// Flash-invalidates every entry, restoring construction state in place
+    /// (allocation reused — the cross-request reset path).
+    pub fn reset(&mut self) {
+        self.entries.fill(BtbEntry {
+            site: u64::MAX,
+            key: 0,
+            target: 0,
+        });
+    }
 }
 
 /// Which level serviced an access.
@@ -136,6 +146,15 @@ impl Level {
 
     fn spec(&self, i: usize, epoch: u64) -> bool {
         self.spec_read_epoch[i] == epoch || self.spec_write_epoch[i] == epoch
+    }
+
+    /// Restores construction state in place, reusing the allocations.
+    fn reset(&mut self) {
+        self.tags.fill(TAG_INVALID);
+        self.lru.fill(0);
+        self.spec_read_epoch.fill(NEVER);
+        self.spec_write_epoch.fill(NEVER);
+        self.tick = 0;
     }
 
     #[inline]
@@ -282,6 +301,41 @@ impl CacheSim {
             l2_extra_cxw: (cfg.l2_latency - cfg.l1_latency) / cfg.mlp * cfg.width,
             mem_extra_cxw: (cfg.mem_latency - cfg.l1_latency) / cfg.mlp * cfg.width,
         }
+    }
+
+    /// Restores the hierarchy to the state [`CacheSim::new`] would build
+    /// for `cfg`. When the geometry matches the current one, every array is
+    /// cleared in place (the allocations — megabytes for an L2 — are the
+    /// whole point of recycling a simulator across service requests);
+    /// otherwise the hierarchy is rebuilt. Either way the result is
+    /// bit-identical to a freshly constructed simulator.
+    pub fn reset(&mut self, cfg: &HwConfig) {
+        let same_geometry = self.l1.sets == cfg.l1_sets()
+            && self.l1.ways == cfg.l1_ways
+            && self.l2.sets == cfg.l2_sets()
+            && self.l2.ways == cfg.l2_ways
+            && self.line_bytes == cfg.line_bytes;
+        if !same_geometry {
+            *self = CacheSim::new(cfg);
+            return;
+        }
+        self.l1.reset();
+        self.l2.reset();
+        self.epoch = NEVER + 1;
+        self.mru_line = TAG_INVALID;
+        self.mru_idx = 0;
+        self.mru_epoch = NEVER;
+        self.mru_dirty = false;
+        self.filter = cfg.mem_filter;
+        self.spec_count = 0;
+        self.l2_extra_cxw = (cfg.l2_latency - cfg.l1_latency) / cfg.mlp * cfg.width;
+        self.mem_extra_cxw = (cfg.mem_latency - cfg.l1_latency) / cfg.mlp * cfg.width;
+    }
+
+    /// Whether the MRU line filter currently holds a live entry — must be
+    /// `false` between requests (the cross-request isolation check).
+    pub fn mru_armed(&self) -> bool {
+        self.mru_line != TAG_INVALID && self.mru_epoch == self.epoch
     }
 
     /// The cache line index of a byte address.

@@ -15,7 +15,7 @@
 //!
 //! The abort-*recovery* policy ([`GovernorConfig`](crate::config::GovernorConfig))
 //! used to live here too; it is recovery policy, not fault injection, and
-//! moved to [`crate::config`] (a deprecated re-export remains).
+//! lives in [`crate::config`] (import it from there or the crate root).
 
 use hasp_vm::bytecode::MethodId;
 use hasp_vm::error::VmError;
@@ -174,15 +174,6 @@ impl FaultKind {
         }
     }
 }
-
-/// Moved to [`crate::config::GovernorConfig`] — recovery policy, not fault
-/// injection. This re-export keeps downstream `hasp_hw::fault::GovernorConfig`
-/// paths compiling.
-#[deprecated(
-    since = "0.1.0",
-    note = "GovernorConfig moved to `hasp_hw::config`; import it from there (or the crate root)"
-)]
-pub use crate::config::GovernorConfig;
 
 /// A structured machine failure.
 ///

@@ -24,6 +24,8 @@
 //! * [`stats`] — uops/cycles/coverage/abort statistics (Tables 3, Fig. 8/9).
 //! * [`fault`] — deterministic fault injection ([`FaultPlan`]) and
 //!   structured machine errors ([`MachineFault`]).
+//! * [`publish`] — epoch/RCU-style lock-free publication ([`Publisher`]),
+//!   the code-cache installation channel for the serving harness.
 
 #![warn(missing_docs)]
 
@@ -35,6 +37,7 @@ pub mod fxhash;
 pub mod lineset;
 pub mod lower;
 pub mod machine;
+pub mod publish;
 pub mod stats;
 pub mod superblock;
 pub mod uop;
@@ -43,6 +46,7 @@ pub use cache::{CacheSim, HitLevel, TargetCache};
 pub use config::{Dispatch, GovernorConfig, HwConfig, ReformRequest};
 pub use fault::{FaultKind, FaultPlan, MachineFault, FAULT_KINDS};
 pub use lower::lower;
-pub use machine::{Machine, FALLBACK_LOCK_ADDR};
+pub use machine::{Machine, MachinePools, FALLBACK_LOCK_ADDR};
+pub use publish::{PinGuard, Publisher};
 pub use stats::{AbortReason, Histogram, MarkerSnap, RegionCounters, RunStats, ABORT_REASONS};
 pub use uop::{CodeCache, CompiledCode, MReg, Uop, UopClass, UOP_CLASSES};

@@ -231,10 +231,77 @@ pub struct Machine<'p> {
     btb: TargetCache,
 }
 
+/// The lifetime-free pooled state of a retired [`Machine`]: every
+/// steady-state allocation a machine accumulates (register files, region
+/// scratch buffers, the cache arrays, predictor tables, the BTB), detached
+/// from the program/code borrows so a service worker can carry it across
+/// published code-cache versions. [`Machine::with_pools`] deterministically
+/// resets everything it recycles — a pooled machine is bit-identical to a
+/// fresh one.
+#[derive(Debug, Default)]
+pub struct MachinePools {
+    reg_pool: Vec<Vec<i64>>,
+    spare_undo: Vec<(HeapCell, i64)>,
+    spare_lines: Vec<u64>,
+    arg_buf: Vec<i64>,
+    cache: Option<CacheSim>,
+    pred: Option<Predictor>,
+    btb: Option<TargetCache>,
+}
+
+impl MachinePools {
+    /// Empty pools (the first request on a worker allocates cold).
+    pub fn new() -> Self {
+        MachinePools::default()
+    }
+}
+
 impl<'p> Machine<'p> {
     /// Creates a machine over compiled code.
     pub fn new(program: &'p Program, code: &'p CodeCache, cfg: HwConfig) -> Self {
-        let cache = CacheSim::new(&cfg);
+        Machine::with_pools(program, code, cfg, MachinePools::new())
+    }
+
+    /// Creates a machine over compiled code, recycling a retired machine's
+    /// pooled allocations. Every recycled structure is reset to its
+    /// construction state first, so execution is bit-identical to a machine
+    /// built by [`Machine::new`] — the pools only save the allocations.
+    pub fn with_pools(
+        program: &'p Program,
+        code: &'p CodeCache,
+        cfg: HwConfig,
+        mut pools: MachinePools,
+    ) -> Self {
+        let cache = match pools.cache.take() {
+            Some(mut c) => {
+                c.reset(&cfg);
+                c
+            }
+            None => CacheSim::new(&cfg),
+        };
+        let pred = match pools.pred.take() {
+            Some(mut p) => {
+                p.reset();
+                p
+            }
+            None => Predictor::new(),
+        };
+        let btb = match pools.btb.take() {
+            Some(mut b) => {
+                b.reset();
+                b
+            }
+            None => TargetCache::new(),
+        };
+        pools.spare_undo.clear();
+        pools.spare_lines.clear();
+        pools.arg_buf.clear();
+        if pools.spare_undo.capacity() == 0 {
+            pools.spare_undo.reserve(64);
+        }
+        if pools.spare_lines.capacity() == 0 {
+            pools.spare_lines.reserve(64);
+        }
         let seed = cfg.faults.seed;
         let inject_per_uop = cfg.faults.any_per_uop();
         Machine {
@@ -246,7 +313,7 @@ impl<'p> Machine<'p> {
             frames: Vec::new(),
             region: None,
             cache,
-            pred: Predictor::new(),
+            pred,
             stats: RunStats::default(),
             cxw: 0,
             last_commit_cxw: 0,
@@ -258,12 +325,125 @@ impl<'p> Machine<'p> {
             fallback_lock: false,
             reform_requests: Vec::new(),
             max_depth: 512,
-            reg_pool: Vec::new(),
-            spare_undo: Vec::with_capacity(64),
-            spare_lines: Vec::with_capacity(64),
-            arg_buf: Vec::new(),
-            btb: TargetCache::new(),
+            reg_pool: pools.reg_pool,
+            spare_undo: pools.spare_undo,
+            spare_lines: pools.spare_lines,
+            arg_buf: pools.arg_buf,
+            btb,
         }
+    }
+
+    /// Retires the machine, returning its pooled allocations for the next
+    /// [`Machine::with_pools`]. Live frames and an in-flight region (a run
+    /// cut short by fuel exhaustion or a fault) fold their buffers back
+    /// into the pools.
+    pub fn into_pools(mut self) -> MachinePools {
+        self.recycle_transient_state();
+        MachinePools {
+            reg_pool: self.reg_pool,
+            spare_undo: self.spare_undo,
+            spare_lines: self.spare_lines,
+            arg_buf: self.arg_buf,
+            cache: Some(self.cache),
+            pred: Some(self.pred),
+            btb: Some(self.btb),
+        }
+    }
+
+    /// Resets the machine in place for the next request of a serving
+    /// worker: all architectural state (heap, environment, frames), all
+    /// speculative state (region context, cache speculative bits, MRU
+    /// filter arm), all microarchitectural history (cache contents,
+    /// predictors, BTB), and all per-request accounting (stats, cycle
+    /// accumulators, fault RNG, governor ladder) return to construction
+    /// state, while every steady-state allocation is kept. The subsequent
+    /// run is bit-identical to one on a freshly constructed machine —
+    /// which is also what makes per-request results independent of which
+    /// worker served them, the property the service harness's shard
+    /// conservation check rests on.
+    pub fn reset_for_request(&mut self) {
+        self.recycle_transient_state();
+        self.heap = Heap::new();
+        self.env = Env::default();
+        self.cache.reset(&self.cfg);
+        self.pred.reset();
+        self.btb.reset();
+        self.stats = RunStats::default();
+        self.cxw = 0;
+        self.last_commit_cxw = 0;
+        self.fuel = u64::MAX;
+        self.fault_rng = self.cfg.faults.seed | 1;
+        self.region_entries = 0;
+        self.gov.clear();
+        self.fallback_lock = false;
+        self.reform_requests.clear();
+        self.arg_buf.clear();
+        debug_assert_eq!(
+            self.cross_request_state(),
+            None,
+            "reset_for_request left cross-request state behind"
+        );
+    }
+
+    /// Drains live frames and an in-flight region context back into the
+    /// recycling pools (shared by [`Machine::reset_for_request`] and
+    /// [`Machine::into_pools`]).
+    fn recycle_transient_state(&mut self) {
+        while let Some(f) = self.frames.pop() {
+            self.reg_pool.push(f.regs);
+        }
+        if let Some(r) = self.region.take() {
+            let mut undo = r.undo;
+            undo.clear();
+            self.spare_undo = undo;
+            self.spare_lines = r.lines.into_buffer();
+        }
+    }
+
+    /// The first piece of cross-request state still live on this machine,
+    /// or `None` when a new request would observe a pristine machine. The
+    /// isolation oracle behind [`Machine::reset_for_request`]'s debug
+    /// assertion and the service harness's tests: speculative cache lines,
+    /// an armed MRU filter, governor ladder state, or any architectural
+    /// residue here would leak one tenant's request into the next.
+    pub fn cross_request_state(&self) -> Option<&'static str> {
+        if self.region.is_some() {
+            return Some("region context still in flight");
+        }
+        if !self.frames.is_empty() {
+            return Some("frames not drained");
+        }
+        if self.cache.spec_lines() != 0 {
+            return Some("speculative cache lines still marked");
+        }
+        if self.cache.mru_armed() {
+            return Some("MRU line filter still armed");
+        }
+        if !self.gov.is_empty() {
+            return Some("governor ladder map populated");
+        }
+        if self.region_entries != 0 {
+            return Some("dynamic region-entry counter nonzero");
+        }
+        if !self.reform_requests.is_empty() {
+            return Some("undrained re-formation requests");
+        }
+        if self.fallback_lock {
+            return Some("fallback lock held");
+        }
+        if self.cxw != 0 || self.last_commit_cxw != 0 {
+            return Some("cycle accumulator nonzero");
+        }
+        if self.stats != RunStats::default() {
+            return Some("statistics not zeroed");
+        }
+        if self.env.checksum() != Env::default().checksum() {
+            return Some("environment side effects present");
+        }
+        if self.fault_rng != (self.cfg.faults.seed | 1) {
+            return Some("fault RNG advanced");
+        }
+        None
     }
 
     /// Limits the number of uops executed (tests).
@@ -3289,5 +3469,101 @@ mod fault_tests {
         assert_eq!(cks_a, cks_b);
         assert_eq!(stats_a.aborts.total(), stats_b.aborts.total());
         assert_eq!(stats_a.cycles, stats_b.cycles);
+    }
+
+    /// Compiles `add_element_program` under the atomic config and installs
+    /// it — the shared fixture for the pooled-machine/reset tests.
+    fn compiled_add_element(n: i64, chunk: i64) -> (Program, CodeCache) {
+        use hasp_opt::compile_program;
+        use hasp_vm::interp::Interp;
+        let p = add_element_program(n, chunk);
+        let mut interp = Interp::new(&p).with_profiling();
+        interp.run(&[]).expect("interp");
+        let compiled = compile_program(&p, &interp.profile, &CompilerConfig::atomic());
+        let mut cc = CodeCache::new();
+        for (m, c) in &compiled {
+            cc.install(*m, crate::lower::lower(&c.func));
+        }
+        (p, cc)
+    }
+
+    #[test]
+    fn reset_for_request_is_bit_identical_to_a_fresh_machine() {
+        let (p, cc) = compiled_add_element(3000, 500);
+        let hw = HwConfig::baseline();
+        // Reference: a fresh machine per run.
+        let mut fresh = Machine::new(&p, &cc, hw.clone());
+        fresh.run(&[]).expect("fresh run");
+        let fresh_cks = fresh.env.checksum();
+        let fresh_stats = fresh.stats().clone();
+        assert!(fresh_stats.total_aborts() > 0, "fixture must abort");
+
+        // A recycled machine: dirty from a full prior request (committed
+        // regions, aborts, warmed caches and predictors), then reset.
+        let mut mach = Machine::new(&p, &cc, hw);
+        mach.run(&[]).expect("first request");
+        mach.reset_for_request();
+        assert_eq!(mach.cross_request_state(), None);
+        mach.run(&[]).expect("second request");
+        assert_eq!(mach.env.checksum(), fresh_cks);
+        assert_eq!(
+            mach.stats(),
+            &fresh_stats,
+            "a reset machine must be indistinguishable from a fresh one: {:?}",
+            fresh_stats.diff(mach.stats())
+        );
+    }
+
+    #[test]
+    fn reset_for_request_clears_a_mid_region_interrupted_run() {
+        let (p, cc) = compiled_add_element(3000, 1 << 20);
+        let hw = HwConfig::baseline();
+        let mut fresh = Machine::new(&p, &cc, hw.clone());
+        fresh.run(&[]).expect("fresh run");
+        let fresh_cks = fresh.env.checksum();
+        let fresh_stats = fresh.stats().clone();
+
+        // Cut a run down mid-flight by exhausting fuel: frames are live and
+        // (with the hot loop fully encapsulated) a region is typically in
+        // flight — the dirtiest state a worker can hand back.
+        let mut mach = Machine::new(&p, &cc, hw);
+        mach.set_fuel(fresh_stats.uops / 2);
+        let out = mach.run(&[]);
+        assert!(out.is_err(), "truncated run must fault on fuel");
+        assert_ne!(mach.cross_request_state(), None, "dirty state expected");
+        mach.reset_for_request();
+        assert_eq!(mach.cross_request_state(), None);
+        mach.run(&[]).expect("post-reset request");
+        assert_eq!(mach.env.checksum(), fresh_cks);
+        assert_eq!(
+            mach.stats(),
+            &fresh_stats,
+            "{:?}",
+            fresh_stats.diff(mach.stats())
+        );
+    }
+
+    #[test]
+    fn pooled_machine_matches_fresh_machine_bit_for_bit() {
+        let (p, cc) = compiled_add_element(3000, 500);
+        let hw = HwConfig::baseline();
+        let mut fresh = Machine::new(&p, &cc, hw.clone());
+        fresh.run(&[]).expect("fresh run");
+        // Retire a dirty machine into pools (mid-flight, to exercise the
+        // transient-state recycling), then build a pooled successor.
+        let mut donor = Machine::new(&p, &cc, hw.clone());
+        donor.set_fuel(fresh.stats().uops / 3);
+        let _ = donor.run(&[]);
+        let pools = donor.into_pools();
+        let mut pooled = Machine::with_pools(&p, &cc, hw, pools);
+        assert_eq!(pooled.cross_request_state(), None);
+        pooled.run(&[]).expect("pooled run");
+        assert_eq!(pooled.env.checksum(), fresh.env.checksum());
+        assert_eq!(
+            pooled.stats(),
+            fresh.stats(),
+            "{:?}",
+            fresh.stats().diff(pooled.stats())
+        );
     }
 }

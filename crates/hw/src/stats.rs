@@ -86,6 +86,16 @@ impl AbortCounts {
             .map(move |&r| (r, self.get(r)))
             .filter(|&(_, n)| n > 0)
     }
+
+    /// Adds another shard's counts into this one (per-reason sums — the
+    /// service harness's report-time shard merge). Commutative and
+    /// associative, so the merged totals are independent of which worker
+    /// served which request and in what order.
+    pub fn merge(&mut self, other: &AbortCounts) {
+        for (c, o) in self.0.iter_mut().zip(&other.0) {
+            *c += o;
+        }
+    }
 }
 
 impl std::fmt::Debug for AbortCounts {
@@ -289,6 +299,31 @@ impl RegionTable {
     /// All counters in first-execution order.
     pub fn values(&self) -> impl Iterator<Item = &RegionCounters> {
         self.rows.iter().map(|(_, c)| c)
+    }
+
+    /// Merges another table's rows into this one: `entries`, `aborts`, and
+    /// `gov_skips` add per static region; `tier` takes the maximum (the
+    /// worst ladder tier any contributing run observed). Sums and max are
+    /// commutative, so merged counters are independent of shard order —
+    /// only the derived *row order* depends on it (compare merged tables
+    /// via [`RegionTable::sorted_rows`]).
+    pub fn merge(&mut self, other: &RegionTable) {
+        for (key, c) in other.iter() {
+            let row = self.counters_mut(key);
+            row.entries += c.entries;
+            row.aborts += c.aborts;
+            row.gov_skips += c.gov_skips;
+            row.tier = row.tier.max(c.tier);
+        }
+    }
+
+    /// All `(key, counters)` pairs in key order — the canonical,
+    /// first-execution-order-independent view for comparing tables merged
+    /// from differently-interleaved shards.
+    pub fn sorted_rows(&self) -> Vec<((MethodId, u32), RegionCounters)> {
+        let mut rows: Vec<_> = self.rows.clone();
+        rows.sort_by_key(|((m, r), _)| (m.0, *r));
+        rows
     }
 }
 
@@ -685,6 +720,55 @@ mod tests {
             vec![(AbortReason::Overflow, 1), (AbortReason::Conflict, 2)]
         );
         assert!(format!("{a:?}").contains("Conflict"));
+    }
+
+    #[test]
+    fn abort_counts_merge_adds_per_reason() {
+        let mut a = AbortCounts::default();
+        a.record(AbortReason::Conflict);
+        let mut b = AbortCounts::default();
+        b.record(AbortReason::Conflict);
+        b.record(AbortReason::Overflow);
+        a.merge(&b);
+        assert_eq!(a.get(AbortReason::Conflict), 2);
+        assert_eq!(a.get(AbortReason::Overflow), 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn region_table_merge_is_shard_order_independent() {
+        let k1 = (MethodId(1), 0u32);
+        let k2 = (MethodId(2), 3u32);
+        let mut shard_a = RegionTable::default();
+        let row = shard_a.counters_mut(k1);
+        row.entries = 10;
+        row.aborts = 2;
+        row.tier = 1;
+        let mut shard_b = RegionTable::default();
+        let row = shard_b.counters_mut(k2);
+        row.entries = 5;
+        row.gov_skips = 4;
+        row.tier = 3;
+        let row = shard_b.counters_mut(k1);
+        row.entries = 7;
+        row.aborts = 1;
+        row.tier = 2;
+
+        // Merge in both orders: first-execution row order differs, but the
+        // canonical sorted view must be identical.
+        let mut ab = RegionTable::default();
+        ab.merge(&shard_a);
+        ab.merge(&shard_b);
+        let mut ba = RegionTable::default();
+        ba.merge(&shard_b);
+        ba.merge(&shard_a);
+        assert_ne!(ab.iter().next(), ba.iter().next(), "row order differs");
+        assert_eq!(ab.sorted_rows(), ba.sorted_rows());
+        let merged = ab.get(&k1).expect("k1 merged");
+        assert_eq!(merged.entries, 17);
+        assert_eq!(merged.aborts, 3);
+        assert_eq!(merged.tier, 2, "tier takes the worst observed");
+        assert_eq!(ab.get(&k2).expect("k2").gov_skips, 4);
     }
 
     #[test]

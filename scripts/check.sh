@@ -65,6 +65,36 @@ assert c >= g, f"cache-off ablation slower than the shipped engine: {c:.2f}x < {
 print(f"smoke geomean {g:.2f}x >= 1.40 ok; cache-off ceiling {c:.2f}x >= shipped ok")
 PY
 
+echo "== service publication test (release: mid-stream cache swap under threads) =="
+cargo test --release -q -p hasp-experiments --test service
+
+echo "== service-mode smoke (pooled workers, lock-free published cache) =="
+cargo run --release -p hasp-experiments --bin experiments -- serve --smoke
+# Service gates on the smoke artifact: schema pinned, the shard-merge
+# conservation flag true in every leg, and N-worker throughput at least the
+# 1-worker floor (the scaling curve is computed over deterministic modeled
+# cycles, so this is host-independent — a violation means the harness or
+# the isolation property rotted, not that CI was slow).
+python3 - <<'PY'
+import json
+r = json.load(open("BENCH_service_smoke.json"))
+assert r["schema"] == "hasp-service-v1", f"unexpected schema {r['schema']}"
+legs = r["legs"]
+assert legs, "no service legs"
+bad = [l["workers"] for l in legs if not l["conservation"]]
+assert not bad, f"shard-merge conservation failed at worker counts {bad}"
+fail = [l["workers"] for l in legs if l["failures"]]
+assert not fail, f"request failures at worker counts {fail}"
+leak = [l["workers"] for l in legs if l["retired_after"]]
+assert not leak, f"unreclaimed cache versions at worker counts {leak}"
+base = legs[0]["throughput_rps"]
+low = [l["workers"] for l in legs if l["throughput_rps"] < base]
+assert not low, f"worker scaling below the 1-worker floor at {low}"
+assert r["deterministic"], "request timings varied across worker counts"
+print(f"service gates ok: {len(legs)} legs conserved, top speedup "
+      f"{r['top_speedup']:.2f}x, deterministic")
+PY
+
 echo "== cargo clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy --release -q -- -D warnings
