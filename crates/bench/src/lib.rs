@@ -1,7 +1,15 @@
 //! # hasp-bench — the Criterion benchmark harness
 //!
-//! `cargo bench` regenerates every table and figure of the paper's
-//! evaluation (see `benches/paper.rs`) and runs the ablation studies for
-//! the design choices DESIGN.md calls out (`benches/ablations.rs`).
+//! Three benches, all `cargo bench`-able individually with `--bench`:
+//!
+//! * `benches/paper.rs` — regenerates every table and figure of the
+//!   paper's evaluation.
+//! * `benches/ablations.rs` — the ablation studies for the design choices
+//!   DESIGN.md calls out (region size target, cold threshold, SLE, partial
+//!   inlining, §7 check elimination and adaptive recompilation).
+//! * `benches/memmodel.rs` — micro-benchmarks isolating the four
+//!   dynamic-access tiers of the cache model's memory fast-path ladder
+//!   (absorbed filter hit, way-predictor hit, full scan hit, install —
+//!   DESIGN §12/§16).
 
 #![warn(missing_docs)]

@@ -109,6 +109,7 @@ pub fn run_adaptive(
     );
 
     let stats = mach.stats().clone();
+    let pred = mach.way_pred_stats();
     let samples =
         extract_samples(w, &stats).unwrap_or_else(|e| panic!("adaptive rerun of {}: {e}", w.name));
     let second = WorkloadRun {
@@ -118,6 +119,7 @@ pub fn run_adaptive(
         stats,
         samples,
         static_uops: code.static_uops(),
+        pred,
     };
     let mut recompiled: Vec<MethodId> = offenders.into_iter().collect();
     recompiled.sort();

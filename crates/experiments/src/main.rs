@@ -107,9 +107,11 @@ fn bench_dispatch(smoke: bool) {
     };
     std::fs::write(path, &json).expect("write dispatch bench artifact");
     eprintln!(
-        "wrote {path} (geomean speedup {:.2}x, cache-off ceiling {:.2}x, in {wall:.1}s)",
+        "wrote {path} (geomean speedup {:.2}x, cache-off ceiling {:.2}x, \
+         predictor uplift {:.2}x, in {wall:.1}s)",
         report.geomean_speedup(),
-        report.geomean_cache_off()
+        report.geomean_cache_off(),
+        report.geomean_pred_speedup()
     );
 }
 

@@ -118,6 +118,12 @@ pub struct WorkloadRun {
     pub samples: Vec<SampleMeasure>,
     /// Static uops in the code cache (code-size signal).
     pub static_uops: usize,
+    /// Seal-site way-predictor counters (DESIGN §16). Deliberately outside
+    /// [`RunStats`]: the predictor is architecturally transparent, so the
+    /// equivalence gates compare `stats` field-for-field between predicted
+    /// and unpredicted configurations — these counters are where the two
+    /// runs are allowed to differ.
+    pub pred: hasp_hw::PredStats,
 }
 
 impl WorkloadRun {
@@ -246,6 +252,7 @@ pub fn try_execute_compiled(
         });
     }
     let stats = mach.stats().clone();
+    let pred = mach.way_pred_stats();
     let samples = extract_samples(w, &stats)?;
     Ok(WorkloadRun {
         workload: w.name,
@@ -254,6 +261,7 @@ pub fn try_execute_compiled(
         stats,
         samples,
         static_uops: compiled.static_uops,
+        pred,
     })
 }
 

@@ -16,6 +16,13 @@
 //! written lines, and aborts are the rare case.
 
 use crate::config::HwConfig;
+use crate::stats::PredStats;
+
+/// The "no predictor slot" site id: passed for accesses that have no sealed
+/// memory-uop identity (alloc header writes, fallback-lock probes, per-uop
+/// interpreter paths without sealed code) and stored in
+/// `SbInfo::mem_site` for non-memory pcs. The way predictor skips these.
+pub const NO_SITE: u32 = u32::MAX;
 
 /// Branch-target side-cache size (power of two, direct-mapped).
 const BTB_ENTRIES: usize = 512;
@@ -111,7 +118,7 @@ const TAG_INVALID: u64 = u64::MAX;
 /// for any sane associativity) instead of striding across fat line records;
 /// LRU ages and speculative epochs live in parallel arrays touched only on
 /// a hit index or an install.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct Level {
     sets: u64,
     ways: u64,
@@ -167,6 +174,22 @@ impl Level {
         set * w..(set + 1) * w
     }
 
+    /// Fixed-arity tag-compare window: with the way count a const generic
+    /// the sweep unrolls into straight-line compare/select code over a
+    /// `[u64; W]`, which the host can turn into one or two vector compares
+    /// for the shipped associativities. Returns the in-set way index of the
+    /// matching tag, or `usize::MAX`.
+    #[inline(always)]
+    fn scan_fixed<const W: usize>(win: &[u64; W], line_addr: u64) -> usize {
+        let mut hit = usize::MAX;
+        for (k, &t) in win.iter().enumerate() {
+            if t == line_addr {
+                hit = k;
+            }
+        }
+        hit
+    }
+
     #[inline]
     fn lookup(&mut self, line_addr: u64) -> Option<usize> {
         self.tick += 1;
@@ -175,18 +198,38 @@ impl Level {
         // Branchless scan: sweep the whole (tiny) set instead of exiting at
         // the first match. An early-exit loop leaves at a data-dependent
         // iteration, which costs the *host* a branch mispredict on nearly
-        // every simulated access; the fixed-trip select below compiles to
+        // every simulated access; the fixed-trip select compiles to
         // straight-line compare/cmov code. A tag match implies validity: no
-        // real line is `TAG_INVALID`.
-        let mut hit = usize::MAX;
-        for (k, &t) in self.tags[r].iter().enumerate() {
-            if t == line_addr {
-                hit = base + k;
+        // real line is `TAG_INVALID`. The shipped associativities (2/4/8)
+        // dispatch to monomorphized fixed-arity windows; anything else takes
+        // the generic runtime-trip sweep.
+        let hit = match self.ways {
+            2 => Self::scan_fixed::<2>(
+                self.tags[base..base + 2].try_into().expect("2-way window"),
+                line_addr,
+            ),
+            4 => Self::scan_fixed::<4>(
+                self.tags[base..base + 4].try_into().expect("4-way window"),
+                line_addr,
+            ),
+            8 => Self::scan_fixed::<8>(
+                self.tags[base..base + 8].try_into().expect("8-way window"),
+                line_addr,
+            ),
+            _ => {
+                let mut h = usize::MAX;
+                for (k, &t) in self.tags[r].iter().enumerate() {
+                    if t == line_addr {
+                        h = k;
+                    }
+                }
+                h
             }
-        }
+        };
         if hit != usize::MAX {
-            self.lru[hit] = self.tick;
-            return Some(hit);
+            let i = base + hit;
+            self.lru[i] = self.tick;
+            return Some(i);
         }
         None
     }
@@ -221,27 +264,69 @@ impl Level {
     }
 }
 
-/// The simulated cache hierarchy, fronted by a one-entry MRU line filter.
+/// One seal-site way-predictor entry: the last `(line, L1 way slot)` the
+/// owning memory-uop site resolved through the full path. `line ==
+/// TAG_INVALID` means never trained. Entries are *hints*, never trusted:
+/// every consult validates the cached slot against the live L1 tag array,
+/// so stale entries (evicted, invalidated, aborted-away lines) degrade to
+/// mispredicts, not wrong answers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PredEntry {
+    line: u64,
+    idx: u32,
+}
+
+const PRED_EMPTY: PredEntry = PredEntry {
+    line: TAG_INVALID,
+    idx: 0,
+};
+
+/// Outcome of the sited fast path ([`CacheSim::fast_hit`]): both variants
+/// are validated L1 hits that skipped the set scan and install path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastHit {
+    /// Fully absorbed: the line is resident *and* its current-epoch
+    /// speculative bits already cover this access kind, so the region
+    /// footprint recorded the line earlier — no footprint or budget work
+    /// remains for the caller.
+    Absorbed,
+    /// Validated residency, but this access may be the line's first touch
+    /// in the current region: an in-region caller must still record the
+    /// line in the region footprint and re-check the injected line budget.
+    Resident,
+}
+
+/// The simulated cache hierarchy, fronted by a one-entry MRU line filter
+/// and a per-seal-site way predictor.
 ///
 /// The filter (`DESIGN.md` §12) memoizes the last L1-resident line touched:
 /// a repeat access to it skips the set scan, the LRU bump, and the install
 /// path entirely — the dominant pattern in field/array-heavy workloads is
-/// runs of accesses to one object's line. Two invariants make it invisible:
+/// runs of accesses to one object's line. The way predictor (`DESIGN.md`
+/// §16) generalizes the same idea from one global entry to one entry per
+/// sealed memory-uop site, catching the loop pattern the filter cannot:
+/// alternating accesses where each *site* is line-stable but consecutive
+/// accesses are not. Two invariants make both invisible:
 ///
-/// * **Validity.** The entry `(mru_line, mru_idx)` is live only while
-///   `mru_epoch == epoch`. Commit and abort bump the epoch (the same flash
-///   clear that wipes the speculative bits), and `invalidate` disarms it
-///   explicitly, so the filter can never claim residency for a line the
+/// * **Validity.** The filter entry `(mru_line, mru_idx)` is live only
+///   while `mru_epoch == epoch`. Commit and abort bump the epoch (the same
+///   flash clear that wipes the speculative bits), and `invalidate` disarms
+///   it explicitly, so the filter can never claim residency for a line the
 ///   hierarchy no longer holds: between two full-path accesses nothing else
-///   can evict an L1 line.
-/// * **Deferred LRU.** Filter hits do not bump the line's recency; the
-///   collapsed run is recorded in `mru_dirty` and one final bump is flushed
-///   before the next full-path access (or tag mutation). Victim selection
-///   compares only *relative* `(class, lru)` order within a set, and a run
-///   of same-line hits has no intervening access, so collapsing its bumps
-///   to one preserves every victim choice — hence residency, hit levels,
-///   and overflow signals — bit-exactly.
-#[derive(Debug, Clone)]
+///   can evict an L1 line. Predictor entries carry no epoch at all —
+///   instead every consult re-validates `tags[idx] == line` against the
+///   live array, which is exact: tags store full line indices, so a match
+///   proves the line is resident at that slot *right now*, whatever
+///   evictions, aborts, or invalidations happened since training.
+/// * **Deferred LRU.** Fast-path hits do not bump the line's recency
+///   immediately; one bump per collapsed same-way run is flushed in access
+///   order (`pend_idx`/`pend`, flushed before any full-path access, tag
+///   mutation, or a fast hit on a *different* way). Victim selection
+///   compares only *relative* `(class, lru)` order within a set, so
+///   collapsing a same-way run's bumps to its final tick preserves every
+///   victim choice — hence residency, hit levels, and overflow signals —
+///   bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CacheSim {
     l1: Level,
     l2: Level,
@@ -260,11 +345,23 @@ pub struct CacheSim {
     /// Epoch at arming: the entry is live iff this equals `epoch`, so every
     /// commit/abort flash-clears the filter for free.
     mru_epoch: u64,
-    /// A collapsed run of filter hits is pending its final LRU bump.
-    mru_dirty: bool,
+    /// The L1 way slot owed a deferred LRU bump when `pend` is set (one
+    /// collapsed run of fast-path hits; see the struct docs).
+    pend_idx: usize,
+    /// Whether a deferred bump is pending for `pend_idx`.
+    pend: bool,
     /// `HwConfig::mem_filter` — `false` forces the unfiltered reference
     /// path for the equivalence gates.
     filter: bool,
+    /// `HwConfig::way_predict` — `false` disables the per-site predictor
+    /// (the `unpredicted()` reference leg).
+    way_predict: bool,
+    /// Per-site predictor entries, indexed by global seal-site id and grown
+    /// on demand at training time.
+    pred: Vec<PredEntry>,
+    /// Predictor consult/hit/mispredict counters (kept out of `RunStats` —
+    /// see [`PredStats`]).
+    pred_stats: PredStats,
     /// O(1)-maintained count of L1 lines holding current-epoch speculative
     /// state (replaces the O(sets×ways) scan the validator used to pay on
     /// every commit/abort).
@@ -283,24 +380,50 @@ pub struct CacheSim {
 impl CacheSim {
     /// Builds the hierarchy described by `cfg`.
     pub fn new(cfg: &HwConfig) -> Self {
-        CacheSim {
+        let mut sim = CacheSim {
             l1: Level::new(cfg.l1_sets(), cfg.l1_ways),
             l2: Level::new(cfg.l2_sets(), cfg.l2_ways),
-            line_bytes: cfg.line_bytes,
-            line_shift: cfg
-                .line_bytes
-                .is_power_of_two()
-                .then(|| cfg.line_bytes.trailing_zeros()),
-            epoch: NEVER + 1,
-            mru_line: TAG_INVALID,
+            line_bytes: 0,
+            line_shift: None,
+            epoch: 0,
+            mru_line: 0,
             mru_idx: 0,
-            mru_epoch: NEVER,
-            mru_dirty: false,
-            filter: cfg.mem_filter,
+            mru_epoch: 0,
+            pend_idx: 0,
+            pend: false,
+            filter: false,
+            way_predict: false,
+            pred: Vec::new(),
+            pred_stats: PredStats::default(),
             spec_count: 0,
-            l2_extra_cxw: (cfg.l2_latency - cfg.l1_latency) / cfg.mlp * cfg.width,
-            mem_extra_cxw: (cfg.mem_latency - cfg.l1_latency) / cfg.mlp * cfg.width,
-        }
+            l2_extra_cxw: 0,
+            mem_extra_cxw: 0,
+        };
+        sim.init_scalars(cfg);
+        sim
+    }
+
+    /// Initializes every non-array field to its construction value for
+    /// `cfg` — the single source shared by [`CacheSim::new`] and
+    /// [`CacheSim::reset`], so the two can never drift field-by-field.
+    fn init_scalars(&mut self, cfg: &HwConfig) {
+        self.line_bytes = cfg.line_bytes;
+        self.line_shift = cfg
+            .line_bytes
+            .is_power_of_two()
+            .then(|| cfg.line_bytes.trailing_zeros());
+        self.epoch = NEVER + 1;
+        self.mru_line = TAG_INVALID;
+        self.mru_idx = 0;
+        self.mru_epoch = NEVER;
+        self.pend_idx = 0;
+        self.pend = false;
+        self.filter = cfg.mem_filter;
+        self.way_predict = cfg.way_predict;
+        self.pred_stats = PredStats::default();
+        self.spec_count = 0;
+        self.l2_extra_cxw = (cfg.l2_latency - cfg.l1_latency) / cfg.mlp * cfg.width;
+        self.mem_extra_cxw = (cfg.mem_latency - cfg.l1_latency) / cfg.mlp * cfg.width;
     }
 
     /// Restores the hierarchy to the state [`CacheSim::new`] would build
@@ -308,34 +431,45 @@ impl CacheSim {
     /// cleared in place (the allocations — megabytes for an L2 — are the
     /// whole point of recycling a simulator across service requests);
     /// otherwise the hierarchy is rebuilt. Either way the result is
-    /// bit-identical to a freshly constructed simulator.
+    /// bit-identical to a freshly constructed simulator (debug-asserted).
     pub fn reset(&mut self, cfg: &HwConfig) {
         let same_geometry = self.l1.sets == cfg.l1_sets()
             && self.l1.ways == cfg.l1_ways
             && self.l2.sets == cfg.l2_sets()
             && self.l2.ways == cfg.l2_ways
             && self.line_bytes == cfg.line_bytes;
-        if !same_geometry {
+        if same_geometry {
+            self.l1.reset();
+            self.l2.reset();
+            self.pred.clear();
+            self.init_scalars(cfg);
+        } else {
             *self = CacheSim::new(cfg);
-            return;
         }
-        self.l1.reset();
-        self.l2.reset();
-        self.epoch = NEVER + 1;
-        self.mru_line = TAG_INVALID;
-        self.mru_idx = 0;
-        self.mru_epoch = NEVER;
-        self.mru_dirty = false;
-        self.filter = cfg.mem_filter;
-        self.spec_count = 0;
-        self.l2_extra_cxw = (cfg.l2_latency - cfg.l1_latency) / cfg.mlp * cfg.width;
-        self.mem_extra_cxw = (cfg.mem_latency - cfg.l1_latency) / cfg.mlp * cfg.width;
+        debug_assert_eq!(
+            *self,
+            CacheSim::new(cfg),
+            "in-place reset diverged from a fresh simulator"
+        );
     }
 
     /// Whether the MRU line filter currently holds a live entry — must be
     /// `false` between requests (the cross-request isolation check).
     pub fn mru_armed(&self) -> bool {
         self.mru_line != TAG_INVALID && self.mru_epoch == self.epoch
+    }
+
+    /// Whether any seal-site predictor entry is trained — must be `false`
+    /// between requests (the cross-request isolation check; a stale entry
+    /// is harmless for correctness but would leak timing-irrelevant state
+    /// across tenants).
+    pub fn pred_trained(&self) -> bool {
+        self.pred.iter().any(|e| e.line != TAG_INVALID)
+    }
+
+    /// The way predictor's consult/hit/mispredict counters.
+    pub fn pred_stats(&self) -> PredStats {
+        self.pred_stats
     }
 
     /// The cache line index of a byte address.
@@ -362,17 +496,33 @@ impl CacheSim {
         }
     }
 
-    /// Applies the deferred LRU bump of a collapsed filter-hit run: the MRU
-    /// line receives the run's *final* tick, exactly as if only the last of
-    /// the same-line accesses had gone through [`Level::lookup`]. Called
-    /// before any full-path access or tag mutation, while the armed entry
-    /// is still valid (nothing can evict an L1 line in between).
+    /// Defers the LRU bump of a fast-path hit on L1 way `idx`. At most one
+    /// bump is ever pending: deferring a *different* way first flushes the
+    /// pending one, so applied bumps keep access order with each same-way
+    /// run collapsed to its final tick — exactly the relative recency a
+    /// bump-every-time reference produces (victim selection compares only
+    /// relative `(class, lru)` order, never tick magnitudes).
     #[inline]
-    fn flush_mru(&mut self) {
-        if self.mru_dirty {
+    fn defer_bump(&mut self, idx: usize) {
+        if self.pend && self.pend_idx != idx {
             self.l1.tick += 1;
-            self.l1.lru[self.mru_idx] = self.l1.tick;
-            self.mru_dirty = false;
+            self.l1.lru[self.pend_idx] = self.l1.tick;
+        }
+        self.pend_idx = idx;
+        self.pend = true;
+    }
+
+    /// Applies the pending deferred bump, if any: the collapsed run's way
+    /// receives the run's *final* tick, exactly as if only the last of its
+    /// accesses had gone through [`Level::lookup`]. Called before any
+    /// full-path access or tag mutation, while the pending way still holds
+    /// the line the run touched (nothing can evict an L1 line in between).
+    #[inline]
+    fn flush_pending(&mut self) {
+        if self.pend {
+            self.l1.tick += 1;
+            self.l1.lru[self.pend_idx] = self.l1.tick;
+            self.pend = false;
         }
     }
 
@@ -395,24 +545,124 @@ impl CacheSim {
                 || (!write && self.l1.spec_read_epoch[self.mru_idx] == self.epoch))
     }
 
+    /// The sited fast path, consulted *before* [`CacheSim::access_sited`]:
+    /// `Some` iff the access is a validated L1 hit that skipped the set
+    /// scan, install path, and immediate LRU bump (the bump is deferred).
+    /// Two tiers:
+    ///
+    /// 1. **MRU filter** — repeat of the armed line whose current-epoch
+    ///    speculative bits already cover this access kind: nothing at all
+    ///    can change, so the hit is [`FastHit::Absorbed`].
+    /// 2. **Way predictor** — `site`'s cached `(line, way)` entry names
+    ///    this line and validation against the live L1 tag array confirms
+    ///    residency at that slot. Speculative bits are marked as usual; the
+    ///    hit is `Absorbed` only when the pre-existing bits already covered
+    ///    the access (otherwise [`FastHit::Resident`], and an in-region
+    ///    caller still owes the footprint/budget bookkeeping).
+    ///
+    /// `None` (cold site, different line, failed validation, predictor off)
+    /// means the caller must take the full path, which retrains the site.
+    #[inline]
+    pub fn fast_hit(
+        &mut self,
+        site: u32,
+        addr: u64,
+        write: bool,
+        speculative: bool,
+    ) -> Option<FastHit> {
+        let line = self.line_of(addr);
+        if line == self.mru_line
+            && self.mru_epoch == self.epoch
+            && (!speculative
+                || self.l1.spec_write_epoch[self.mru_idx] == self.epoch
+                || (!write && self.l1.spec_read_epoch[self.mru_idx] == self.epoch))
+        {
+            self.defer_bump(self.mru_idx);
+            return Some(FastHit::Absorbed);
+        }
+        if !self.way_predict || site == NO_SITE {
+            return None;
+        }
+        let e = *self.pred.get(site as usize).unwrap_or(&PRED_EMPTY);
+        self.pred_stats.probes += 1;
+        if e.line != line {
+            // Never trained, or trained for another line: a plain miss.
+            return None;
+        }
+        let idx = e.idx as usize;
+        if self.l1.tags[idx] != line {
+            // The line left that slot since training (eviction, abort
+            // invalidation, coherence): deoptimize to the full path.
+            self.pred_stats.mispredicts += 1;
+            return None;
+        }
+        self.pred_stats.hits += 1;
+        // Coverage is decided on the bits as they were *before* this access
+        // marks them — the same condition `absorbed` tests.
+        let covered = !speculative
+            || self.l1.spec_write_epoch[idx] == self.epoch
+            || (!write && self.l1.spec_read_epoch[idx] == self.epoch);
+        if speculative {
+            self.mark_spec(idx, write);
+        }
+        self.defer_bump(idx);
+        Some(if covered {
+            FastHit::Absorbed
+        } else {
+            FastHit::Resident
+        })
+    }
+
+    /// Records `site`'s full-path resolution `(line, way)` in its predictor
+    /// entry, growing the table on first sight of a site.
+    #[inline]
+    fn train(&mut self, site: u32, line: u64, idx: usize) {
+        if !self.way_predict || site == NO_SITE {
+            return;
+        }
+        let s = site as usize;
+        if s >= self.pred.len() {
+            self.pred.resize(s + 1, PRED_EMPTY);
+        }
+        self.pred[s] = PredEntry {
+            line,
+            idx: idx as u32,
+        };
+    }
+
     /// Performs an access. When `speculative` (inside an atomic region) the
     /// touched L1 line's read/write bit is set. Returns the servicing level
     /// and whether installing the line evicted speculative state (region
     /// overflow — the caller must abort).
     #[inline]
     pub fn access(&mut self, addr: u64, write: bool, speculative: bool) -> (HitLevel, bool) {
+        self.access_sited(NO_SITE, addr, write, speculative)
+    }
+
+    /// [`CacheSim::access`] with a seal-site identity: the full path, which
+    /// additionally retrains `site`'s predictor entry with the L1 slot the
+    /// access resolved to. `NO_SITE` trains nothing.
+    #[inline]
+    pub fn access_sited(
+        &mut self,
+        site: u32,
+        addr: u64,
+        write: bool,
+        speculative: bool,
+    ) -> (HitLevel, bool) {
         let line = self.line_of(addr);
         // MRU filter hit: the line is L1-resident at `mru_idx` (nothing can
         // have evicted it since arming), so the set scan, LRU bump, and
         // install path are all skipped; the recency bump is deferred.
         if line == self.mru_line && self.mru_epoch == self.epoch {
-            self.mru_dirty = true;
+            self.defer_bump(self.mru_idx);
             if speculative {
                 self.mark_spec(self.mru_idx, write);
             }
+            self.train(site, line, self.mru_idx);
             return (HitLevel::L1, false);
         }
-        self.flush_mru();
+        self.flush_pending();
         let (level, idx, overflow) = match self.l1.lookup(line) {
             Some(i) => (HitLevel::L1, i, false),
             None => {
@@ -439,8 +689,8 @@ impl CacheSim {
             self.mru_line = line;
             self.mru_idx = idx;
             self.mru_epoch = self.epoch;
-            self.mru_dirty = false;
         }
+        self.train(site, line, idx);
         (level, overflow)
     }
 
@@ -448,7 +698,7 @@ impl CacheSim {
     /// single epoch bump — the O(1) wired clear the paper describes). The
     /// epoch bump also flash-clears the MRU filter entry.
     pub fn commit_region(&mut self) {
-        self.flush_mru();
+        self.flush_pending();
         self.epoch += 1;
         self.spec_count = 0;
     }
@@ -457,7 +707,7 @@ impl CacheSim {
     /// invalidated (their data is rolled back architecturally by the undo
     /// log); read bits — and the MRU filter entry — are flash-cleared.
     pub fn abort_region(&mut self) {
-        self.flush_mru();
+        self.flush_pending();
         for (i, e) in self.l1.spec_write_epoch.iter().enumerate() {
             if *e == self.epoch {
                 self.l1.tags[i] = TAG_INVALID;
@@ -493,7 +743,7 @@ impl CacheSim {
     /// copy). Returns `true` if it hit a line in the current region's read
     /// or write set (conflict — the caller must abort the region).
     pub fn invalidate(&mut self, addr: u64) -> bool {
-        self.flush_mru();
+        self.flush_pending();
         self.mru_line = TAG_INVALID;
         self.mru_epoch = NEVER;
         let line = self.line_of(addr);
@@ -727,6 +977,141 @@ mod tests {
         // The empty sentinel never matches a real site hash even at the
         // aliasing index of u64::MAX.
         assert_eq!(t.lookup(u64::MAX, 0), None);
+    }
+
+    /// Drives one access through the production sited discipline: fast path
+    /// first, full (training) path on a fast miss — what the machine's
+    /// `mem_access_parts` does, minus the footprint bookkeeping.
+    fn sited(c: &mut CacheSim, site: u32, addr: u64, write: bool, spec: bool) -> (HitLevel, bool) {
+        match c.fast_hit(site, addr, write, spec) {
+            Some(_) => (HitLevel::L1, false),
+            None => c.access_sited(site, addr, write, spec),
+        }
+    }
+
+    #[test]
+    fn way_predictor_trains_validates_and_deoptimizes() {
+        let mut c = sim();
+        // Cold site: the consult is a plain miss, the full path trains it.
+        assert_eq!(c.fast_hit(3, 0x1000, false, false), None);
+        c.access_sited(3, 0x1000, false, false);
+        let after_train = c.pred_stats();
+        assert_eq!(after_train.probes, 1);
+        assert_eq!(after_train.hits, 0);
+        // Same site, same line, but the MRU filter absorbs it first — the
+        // predictor is never consulted.
+        assert_eq!(c.fast_hit(3, 0x1008, false, false), Some(FastHit::Absorbed));
+        assert_eq!(c.pred_stats().probes, 1);
+        // Disarm the filter by touching another line through a different
+        // site; now site 3's entry must validate and hit.
+        sited(&mut c, 4, 0x2000, false, false);
+        assert_eq!(c.fast_hit(3, 0x1000, false, false), Some(FastHit::Absorbed));
+        assert_eq!(c.pred_stats().hits, 1);
+        assert_eq!(c.pred_stats().mispredicts, 0);
+        // Evict 0x1000 from L1 (fill its 4-way set with an 8 KB stride):
+        // the stale entry must fail validation, not claim a hit.
+        for k in 1..=4u64 {
+            sited(&mut c, 10 + k as u32, 0x1000 + k * 8192, false, false);
+        }
+        assert_eq!(c.fast_hit(3, 0x1000, false, false), None);
+        assert_eq!(c.pred_stats().mispredicts, 1);
+        // The full path retrains; the site predicts again.
+        assert_eq!(c.access_sited(3, 0x1000, false, false).0, HitLevel::L2);
+        sited(&mut c, 4, 0x2000, false, false);
+        assert_eq!(c.fast_hit(3, 0x1000, false, false), Some(FastHit::Absorbed));
+    }
+
+    #[test]
+    fn predictor_hit_reports_footprint_obligation() {
+        let mut c = sim();
+        // Train site 7 outside a region, touch another line to disarm the
+        // MRU filter, then re-access speculatively: residency is validated
+        // but the line's first in-region touch still owes the footprint.
+        c.access_sited(7, 0x3000, false, false);
+        sited(&mut c, 8, 0x4000, false, false);
+        assert_eq!(c.fast_hit(7, 0x3000, false, true), Some(FastHit::Resident));
+        assert_eq!(c.spec_lines(), 1, "the validated hit marked the read bit");
+        // Covered repeat (after disarming the filter again): absorbed.
+        sited(&mut c, 8, 0x4000, false, false);
+        assert_eq!(c.fast_hit(7, 0x3000, false, true), Some(FastHit::Absorbed));
+        // A write through the read-covered line is residency-only again.
+        sited(&mut c, 8, 0x4000, false, false);
+        assert_eq!(c.fast_hit(7, 0x3000, true, true), Some(FastHit::Resident));
+        sited(&mut c, 8, 0x4000, false, false);
+        assert_eq!(
+            c.fast_hit(7, 0x3000, false, true),
+            Some(FastHit::Absorbed),
+            "the write bit covers reads"
+        );
+    }
+
+    #[test]
+    fn predictor_never_stale_hits_across_an_abort() {
+        let mut c = sim();
+        // Speculatively write a line through site 5, then abort: the line
+        // is invalidated, and the site must deoptimize (mispredict), never
+        // report residency for the dead line.
+        sited(&mut c, 5, 0x6000, true, true);
+        c.abort_region();
+        assert_eq!(c.fast_hit(5, 0x6000, false, true), None);
+        assert_eq!(c.pred_stats().mispredicts, 1);
+        assert_ne!(
+            c.access_sited(5, 0x6000, false, true).0,
+            HitLevel::L1,
+            "the aborted write's line is gone"
+        );
+    }
+
+    #[test]
+    fn sited_discipline_is_bit_identical_to_unpredicted_reference() {
+        let mut p = sim();
+        let mut r = CacheSim::new(&HwConfig::unpredicted());
+        // Two sites alternating lines in the same L1 set (the pattern the
+        // MRU filter cannot catch but per-site entries can), an eviction
+        // storm, speculative marks, a commit, an abort, an invalidate: hit
+        // levels, overflow signals, and spec-line counts must match the
+        // predictor-off reference access for access.
+        let mut seq: Vec<(u32, u64, bool, bool)> = Vec::new();
+        for _ in 0..4 {
+            seq.push((0, 0x1000, false, false));
+            seq.push((1, 0x3000, true, false));
+        }
+        for k in 1..=4u64 {
+            seq.push((10 + k as u32, 0x1000 + k * 8192, false, false));
+        }
+        for _ in 0..3 {
+            seq.push((0, 0x1000, false, true));
+            seq.push((1, 0x3000, true, true));
+        }
+        for (i, &(site, a, w, s)) in seq.iter().enumerate() {
+            assert_eq!(sited(&mut p, site, a, w, s), r.access(a, w, s), "op {i}");
+            assert_eq!(p.spec_lines(), r.spec_lines(), "op {i}");
+        }
+        p.commit_region();
+        r.commit_region();
+        for &(site, a, w, _) in &seq[..6] {
+            assert_eq!(sited(&mut p, site, a, w, true), r.access(a, w, true));
+        }
+        p.abort_region();
+        r.abort_region();
+        assert_eq!(p.invalidate(0x3000), r.invalidate(0x3000));
+        for (i, &(site, a, w, s)) in seq.iter().enumerate() {
+            assert_eq!(sited(&mut p, site, a, w, s), r.access(a, w, s), "re {i}");
+            assert_eq!(p.spec_lines(), r.spec_lines(), "re {i}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_the_predictor_bit_exactly() {
+        let cfg = HwConfig::baseline();
+        let mut c = CacheSim::new(&cfg);
+        sited(&mut c, 2, 0x1000, false, false);
+        sited(&mut c, 9, 0x2000, true, true);
+        assert!(c.pred_trained());
+        c.reset(&cfg);
+        assert!(!c.pred_trained(), "reset must drop trained entries");
+        assert_eq!(c.pred_stats(), PredStats::default());
+        assert_eq!(c, CacheSim::new(&cfg), "reset is bit-identical to fresh");
     }
 
     #[test]

@@ -243,6 +243,14 @@ pub struct HwConfig {
     /// is on by default; `false` forces the unfiltered reference model for
     /// those equivalence gates.
     pub mem_filter: bool,
+    /// Arm the seal-site way predictor in front of the dynamic-access set
+    /// scan (`DESIGN.md` §16): each sealed memory-uop site caches the last
+    /// `(line, L1 way)` it resolved, and a consult validated against the
+    /// live tag array skips the scan and install path. Semantics-preserving
+    /// — `tests/predictor_equivalence.rs` and the lockstep proptest gate
+    /// bit-exactness against the predictor-off reference — so it is on by
+    /// default; `false` forces the unpredicted reference model.
+    pub way_predict: bool,
     /// Bulk per-superblock cache accounting (DESIGN §13): the superblock
     /// interior charges hit/latency statistics through a per-block
     /// accumulator flushed once at block exit, collapses statically
@@ -288,6 +296,7 @@ impl HwConfig {
             governor: GovernorConfig::off(),
             dispatch: Dispatch::Superblock,
             mem_filter: true,
+            way_predict: true,
             batched_mem: true,
             cache_off: false,
         }
@@ -310,6 +319,18 @@ impl HwConfig {
         HwConfig {
             name: "chkpt-4wide-unfiltered",
             mem_filter: false,
+            ..HwConfig::baseline()
+        }
+    }
+
+    /// The baseline with the seal-site way predictor disabled: every
+    /// dynamic access resolves through the set-scan reference path (the MRU
+    /// filter stays armed — it predates the predictor and has its own
+    /// gate). The "before" side of the predictor-equivalence gate.
+    pub fn unpredicted() -> Self {
+        HwConfig {
+            name: "chkpt-4wide-unpredicted",
+            way_predict: false,
             ..HwConfig::baseline()
         }
     }
@@ -454,6 +475,13 @@ mod tests {
         b3.name = ub.name;
         b3.batched_mem = false;
         assert_eq!(b3, ub, "unbatched differs from baseline only by the knob");
+        assert!(b.way_predict, "way prediction is the production default");
+        let up = HwConfig::unpredicted();
+        assert!(!up.way_predict);
+        let mut b4 = HwConfig::baseline();
+        b4.name = up.name;
+        b4.way_predict = false;
+        assert_eq!(b4, up, "unpredicted differs from baseline only by the knob");
     }
 
     #[test]

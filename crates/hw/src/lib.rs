@@ -42,11 +42,13 @@ pub mod stats;
 pub mod superblock;
 pub mod uop;
 
-pub use cache::{CacheSim, HitLevel, TargetCache};
+pub use cache::{CacheSim, FastHit, HitLevel, TargetCache, NO_SITE};
 pub use config::{Dispatch, GovernorConfig, HwConfig, ReformRequest};
 pub use fault::{FaultKind, FaultPlan, MachineFault, FAULT_KINDS};
 pub use lower::lower;
 pub use machine::{Machine, MachinePools, FALLBACK_LOCK_ADDR};
 pub use publish::{PinGuard, Publisher};
-pub use stats::{AbortReason, Histogram, MarkerSnap, RegionCounters, RunStats, ABORT_REASONS};
+pub use stats::{
+    AbortReason, Histogram, MarkerSnap, PredStats, RegionCounters, RunStats, ABORT_REASONS,
+};
 pub use uop::{CodeCache, CompiledCode, MReg, Uop, UopClass, UOP_CLASSES};

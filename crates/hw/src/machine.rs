@@ -21,7 +21,7 @@ use hasp_vm::heap::{Heap, HeapCell, HeapMark};
 use hasp_vm::value::{ObjId, Value};
 
 use crate::bpred::Predictor;
-use crate::cache::{CacheSim, HitLevel, TargetCache};
+use crate::cache::{CacheSim, FastHit, HitLevel, TargetCache, NO_SITE};
 use crate::config::{Dispatch, GovernorConfig, HwConfig, ReformRequest};
 use crate::fault::MachineFault;
 use crate::fxhash::FxHashMap;
@@ -419,6 +419,9 @@ impl<'p> Machine<'p> {
         if self.cache.mru_armed() {
             return Some("MRU line filter still armed");
         }
+        if self.cache.pred_trained() {
+            return Some("way predictor still trained");
+        }
         if !self.gov.is_empty() {
             return Some("governor ladder map populated");
         }
@@ -454,6 +457,15 @@ impl<'p> Machine<'p> {
     /// Execution statistics so far.
     pub fn stats(&self) -> &RunStats {
         &self.stats
+    }
+
+    /// Seal-site way-predictor counters (DESIGN §16). Kept apart from
+    /// [`Machine::stats`] on purpose: the predictor is a transparent
+    /// micro-optimisation, and the equivalence gates assert [`RunStats`]
+    /// equality between predicted and unpredicted configurations — these
+    /// counters are the one place the two runs legitimately differ.
+    pub fn way_pred_stats(&self) -> crate::stats::PredStats {
+        self.cache.pred_stats()
     }
 
     /// Current cycle count.
@@ -555,12 +567,14 @@ impl<'p> Machine<'p> {
     /// while holding the frame's register file borrowed. Returns `false` on
     /// region overflow — the caller must abort.
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     fn mem_access_parts(
         cache: &mut CacheSim,
         stats: &mut RunStats,
         cxw: &mut u64,
         region: &mut Option<RegionCtx>,
         cfg: &HwConfig,
+        site: u32,
         addr: u64,
         write: bool,
     ) -> bool {
@@ -583,23 +597,44 @@ impl<'p> Machine<'p> {
             return !overflowed;
         }
         let in_region = region.is_some();
-        // The zero-cost tier (DESIGN §12): an access fully absorbed by the
-        // armed MRU filter is an L1 hit on the filtered line whose
-        // current-epoch speculative bits already cover this access kind, so
-        // the set scan, footprint update, and budget re-check are all
-        // skipped. Skipping the footprint is sound because a current-epoch
-        // speculative bit can only have been set by an earlier in-region
-        // call on the same line (each region runs in its own epoch), which
-        // already recorded the line and settled the line-budget verdict;
-        // the verdict only changes when the footprint grows. With
-        // `cache_off` the filter is never armed, so the ablation path above
-        // stays authoritative.
-        if cache.absorbed(addr, write, in_region) {
-            stats.mem_accesses += 1;
-            stats.l1_hits += 1;
-            return true;
+        // The zero-cost tiers (DESIGN §12 MRU filter, §16 seal-site way
+        // predictor): `Absorbed` is an L1 hit whose current-epoch
+        // speculative bits already cover this access kind, so the set scan,
+        // footprint update, and budget re-check are all skipped. Skipping
+        // the footprint is sound because a current-epoch speculative bit can
+        // only have been set by an earlier in-region call on the same line
+        // (each region runs in its own epoch), which already recorded the
+        // line and settled the line-budget verdict; the verdict only changes
+        // when the footprint grows. `Resident` is a tag-validated predictor
+        // hit whose speculative bits did *not* cover the access — the line
+        // was just marked for the first time this region, so the footprint
+        // insert and budget verdict below are still owed. With `cache_off`
+        // neither tier engages, so the ablation path above stays
+        // authoritative.
+        match cache.fast_hit(site, addr, write, in_region) {
+            Some(FastHit::Absorbed) => {
+                stats.mem_accesses += 1;
+                stats.l1_hits += 1;
+                return true;
+            }
+            Some(FastHit::Resident) => {
+                stats.mem_accesses += 1;
+                stats.l1_hits += 1;
+                let mut overflowed = false;
+                if let Some(r) = region.as_mut() {
+                    let line = cache.line_of(addr);
+                    if line != r.last_line {
+                        r.last_line = line;
+                        r.lines.insert(line);
+                    }
+                    let budget = cfg.faults.line_budget;
+                    overflowed = budget > 0 && r.lines.len() as u64 > budget;
+                }
+                return !overflowed;
+            }
+            None => {}
         }
-        let (level, overflow) = cache.access(addr, write, in_region);
+        let (level, overflow) = cache.access_sited(site, addr, write, in_region);
         stats.mem_accesses += 1;
         match level {
             HitLevel::L1 => stats.l1_hits += 1,
@@ -639,6 +674,7 @@ impl<'p> Machine<'p> {
         tally: &mut MemTally,
         region: &mut Option<RegionCtx>,
         cfg: &HwConfig,
+        site: u32,
         addr: u64,
         write: bool,
     ) -> bool {
@@ -657,11 +693,28 @@ impl<'p> Machine<'p> {
             return !overflowed;
         }
         let in_region = region.is_some();
-        if cache.absorbed(addr, write, in_region) {
-            tally.l1 += 1;
-            return true;
+        match cache.fast_hit(site, addr, write, in_region) {
+            Some(FastHit::Absorbed) => {
+                tally.l1 += 1;
+                return true;
+            }
+            Some(FastHit::Resident) => {
+                tally.l1 += 1;
+                let mut overflowed = false;
+                if let Some(r) = region.as_mut() {
+                    let line = cache.line_of(addr);
+                    if line != r.last_line {
+                        r.last_line = line;
+                        r.lines.insert(line);
+                    }
+                    let budget = cfg.faults.line_budget;
+                    overflowed = budget > 0 && r.lines.len() as u64 > budget;
+                }
+                return !overflowed;
+            }
+            None => {}
         }
-        let (level, overflow) = cache.access(addr, write, in_region);
+        let (level, overflow) = cache.access_sited(site, addr, write, in_region);
         match level {
             HitLevel::L1 => tally.l1 += 1,
             HitLevel::L2 => tally.l2 += 1,
@@ -683,7 +736,7 @@ impl<'p> Machine<'p> {
     /// Data-memory access bookkeeping: cache simulation, timing, speculative
     /// tracking, and overflow detection. Returns `Ok(false)` if the region
     /// overflowed (and was aborted).
-    fn mem_access(&mut self, addr: u64, write: bool) -> Result<bool, MachineFault> {
+    fn mem_access(&mut self, site: u32, addr: u64, write: bool) -> Result<bool, MachineFault> {
         let Machine {
             cache,
             stats,
@@ -692,7 +745,7 @@ impl<'p> Machine<'p> {
             cfg,
             ..
         } = self;
-        if Self::mem_access_parts(cache, stats, cxw, region, cfg, addr, write) {
+        if Self::mem_access_parts(cache, stats, cxw, region, cfg, site, addr, write) {
             Ok(true)
         } else {
             self.abort(AbortReason::Overflow)?;
@@ -968,7 +1021,7 @@ impl<'p> Machine<'p> {
                         .gov_skips += 1;
                     if tier >= 2 {
                         self.stats.lock_holds += 1;
-                        self.mem_access(FALLBACK_LOCK_ADDR, true)?;
+                        self.mem_access(NO_SITE, FALLBACK_LOCK_ADDR, true)?;
                     }
                     return Ok(BeginOut::Redirect(alt));
                 }
@@ -1028,7 +1081,7 @@ impl<'p> Machine<'p> {
         // a lock-word check found the lock taken).
         if tier >= 2 {
             self.stats.lock_subscriptions += 1;
-            if !self.mem_access(FALLBACK_LOCK_ADDR, false)? {
+            if !self.mem_access(NO_SITE, FALLBACK_LOCK_ADDR, false)? {
                 return Ok(BeginOut::Redirect(alt));
             }
             if self.fallback_lock {
@@ -1306,13 +1359,17 @@ impl<'p> Machine<'p> {
         // per-access reference accounting. `BATCHED` is const, so the
         // untaken branch is compiled out of every arm.
         macro_rules! probe {
-            ($addr:expr, $write:expr) => {
+            ($addr:expr, $write:expr) => {{
+                // The uop's sealed seal site (way-predictor slot, DESIGN
+                // §16) rides in the superblock index the plan was built
+                // from; non-memory uops never reach this macro.
+                let site = code.blocks[i].mem_site;
                 if BATCHED {
-                    Self::mem_probe(cache, &mut tally, region, cfg, $addr, $write)
+                    Self::mem_probe(cache, &mut tally, region, cfg, site, $addr, $write)
                 } else {
-                    Self::mem_access_parts(cache, stats, cxw, region, cfg, $addr, $write)
+                    Self::mem_access_parts(cache, stats, cxw, region, cfg, site, $addr, $write)
                 }
-            };
+            }};
         }
         let out = loop {
             if i >= term {
@@ -1987,6 +2044,15 @@ impl<'p> Machine<'p> {
                 self.frames.last().expect("frame").regs[$r.0 as usize]
             };
         }
+        /// The executing uop's seal site (way-predictor slot, DESIGN §16),
+        /// from the sealed superblock index. Non-memory uops that still
+        /// touch the cache model (allocation header writes) carry
+        /// `NO_SITE` there, so one macro serves every arm.
+        macro_rules! msite {
+            () => {
+                self.frames.last().expect("frame").code.blocks[pc].mem_site
+            };
+        }
         match *uop {
             Uop::Const { dst, imm } => regs!()[dst.0 as usize] = imm,
             Uop::ConstNull { dst } => regs!()[dst.0 as usize] = Value::NULL.encode(),
@@ -2060,7 +2126,7 @@ impl<'p> Machine<'p> {
             Uop::LoadField { dst, obj, field } => {
                 let o = self.obj(rval!(obj))?;
                 let cell = HeapCell::Field(o, field);
-                if !self.mem_access(self.heap.addr_of(cell), false)? {
+                if !self.mem_access(msite!(), self.heap.addr_of(cell), false)? {
                     return Ok(StepOut::Redirect);
                 }
                 regs!()[dst.0 as usize] = self.heap.read_cell(cell);
@@ -2068,7 +2134,7 @@ impl<'p> Machine<'p> {
             Uop::StoreField { obj, field, src } => {
                 let o = self.obj(rval!(obj))?;
                 let cell = HeapCell::Field(o, field);
-                if !self.mem_access(self.heap.addr_of(cell), true)? {
+                if !self.mem_access(msite!(), self.heap.addr_of(cell), true)? {
                     return Ok(StepOut::Redirect);
                 }
                 self.log_undo(cell);
@@ -2079,7 +2145,7 @@ impl<'p> Machine<'p> {
                 let o = self.obj(rval!(arr))?;
                 let i = regs!()[idx.0 as usize] as u32;
                 let cell = HeapCell::Elem(o, i);
-                if !self.mem_access(self.heap.addr_of(cell), false)? {
+                if !self.mem_access(msite!(), self.heap.addr_of(cell), false)? {
                     return Ok(StepOut::Redirect);
                 }
                 regs!()[dst.0 as usize] = self.heap.read_cell(cell);
@@ -2088,7 +2154,7 @@ impl<'p> Machine<'p> {
                 let o = self.obj(rval!(arr))?;
                 let i = regs!()[idx.0 as usize] as u32;
                 let cell = HeapCell::Elem(o, i);
-                if !self.mem_access(self.heap.addr_of(cell), true)? {
+                if !self.mem_access(msite!(), self.heap.addr_of(cell), true)? {
                     return Ok(StepOut::Redirect);
                 }
                 self.log_undo(cell);
@@ -2097,7 +2163,7 @@ impl<'p> Machine<'p> {
             }
             Uop::LoadLen { dst, arr } => {
                 let o = self.obj(rval!(arr))?;
-                if !self.mem_access(self.heap.addr_of_len(o), false)? {
+                if !self.mem_access(msite!(), self.heap.addr_of_len(o), false)? {
                     return Ok(StepOut::Redirect);
                 }
                 let n = self.heap.array_len(o).expect("array") as i64;
@@ -2106,7 +2172,7 @@ impl<'p> Machine<'p> {
             Uop::LoadLock { dst, obj } => {
                 let o = self.obj(rval!(obj))?;
                 let cell = HeapCell::Lock(o);
-                if !self.mem_access(self.heap.addr_of(cell), false)? {
+                if !self.mem_access(msite!(), self.heap.addr_of(cell), false)? {
                     return Ok(StepOut::Redirect);
                 }
                 regs!()[dst.0 as usize] = self.heap.read_cell(cell);
@@ -2114,7 +2180,7 @@ impl<'p> Machine<'p> {
             Uop::StoreLock { obj, src } => {
                 let o = self.obj(rval!(obj))?;
                 let cell = HeapCell::Lock(o);
-                if !self.mem_access(self.heap.addr_of(cell), true)? {
+                if !self.mem_access(msite!(), self.heap.addr_of(cell), true)? {
                     return Ok(StepOut::Redirect);
                 }
                 self.log_undo(cell);
@@ -2123,7 +2189,7 @@ impl<'p> Machine<'p> {
             }
             Uop::LoadClass { dst, obj } => {
                 let o = self.obj(rval!(obj))?;
-                if !self.mem_access(self.heap.addr_of_header(o), false)? {
+                if !self.mem_access(msite!(), self.heap.addr_of_header(o), false)? {
                     return Ok(StepOut::Redirect);
                 }
                 regs!()[dst.0 as usize] = i64::from(self.heap.class_of(o).0);
@@ -2131,7 +2197,7 @@ impl<'p> Machine<'p> {
             Uop::AllocObj { dst, class } => {
                 let n = self.program.class(class).field_count();
                 let o = self.heap.alloc_object(class, n);
-                if !self.mem_access(self.heap.addr_of_header(o), true)? {
+                if !self.mem_access(msite!(), self.heap.addr_of_header(o), true)? {
                     return Ok(StepOut::Redirect);
                 }
                 regs!()[dst.0 as usize] = Value::from(o).encode();
@@ -2143,7 +2209,7 @@ impl<'p> Machine<'p> {
                     return Ok(StepOut::Redirect);
                 }
                 let o = self.heap.alloc_array(n as usize);
-                if !self.mem_access(self.heap.addr_of_header(o), true)? {
+                if !self.mem_access(msite!(), self.heap.addr_of_header(o), true)? {
                     return Ok(StepOut::Redirect);
                 }
                 regs!()[dst.0 as usize] = Value::from(o).encode();
@@ -2279,7 +2345,7 @@ impl<'p> Machine<'p> {
                 return Ok(StepOut::Redirect);
             }
             Uop::Poll => {
-                if !self.mem_access(YIELD_FLAG_ADDR, false)? {
+                if !self.mem_access(msite!(), YIELD_FLAG_ADDR, false)? {
                     return Ok(StepOut::Redirect);
                 }
             }

@@ -159,6 +159,39 @@ impl std::fmt::Debug for UopClassCounts {
     }
 }
 
+/// Seal-site way-predictor counters (DESIGN §16).
+///
+/// Deliberately *not* part of [`RunStats`]: the predictor is a
+/// performance-transparent accelerator, and every equivalence gate asserts
+/// full `RunStats` equality across predictor-on/off configs and across
+/// dispatch engines — whose consult counts legitimately differ (batched
+/// poll precharging skips follower probes entirely). Counters live in the
+/// cache model and are read out separately via `Machine::pred_stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredStats {
+    /// Predictor consults: dynamic accesses that reached the per-site table
+    /// (sited access, predictor enabled, not absorbed by the MRU filter).
+    pub probes: u64,
+    /// Consults whose cached `(line, way)` entry named this access's line
+    /// *and* survived validation against the live L1 tag array.
+    pub hits: u64,
+    /// Consults whose entry named this line but failed tag validation (the
+    /// line moved or left the cache since training) — the deoptimize-to-
+    /// reference case; cold and different-line consults are plain misses.
+    pub mispredicts: u64,
+}
+
+impl PredStats {
+    /// Validated hits per consult (0 when the predictor never consulted).
+    pub fn hit_rate(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.probes as f64
+        }
+    }
+}
+
 /// A histogram over power-of-two-ish buckets.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Histogram {

@@ -20,6 +20,7 @@
 
 use hasp_vm::bytecode::CmpOp;
 
+use crate::cache::NO_SITE;
 use crate::uop::{MReg, Uop, UOP_CLASSES};
 
 /// Simulated address of the thread-local yield flag polled by safepoints —
@@ -126,6 +127,15 @@ pub struct SbInfo {
     /// charges the whole run at its head poll (one real probe + `run - 1`
     /// bulk L1 hits) and skips the followers.
     pub poll_run: u16,
+    /// The seal-site identity of the uop *at this pc* for the way predictor
+    /// (DESIGN §16): a dense per-method index over the pcs that access data
+    /// memory (loads, stores, lock/len/class reads, polls — exactly the
+    /// `mem_kind` set; allocations are excluded), assigned in pc order by a
+    /// forward post-pass; [`crate::cache::NO_SITE`] for every other pc.
+    /// `CodeCache::install` rebases these by a cache-global site counter so
+    /// each installed method's sites own disjoint predictor slots. Unlike
+    /// the rest of `SbInfo` this describes one uop, not the block's suffix.
+    pub mem_site: u32,
 }
 
 /// One entry of a block's sealed static access plan: a data address whose
@@ -298,6 +308,7 @@ pub fn build_blocks(uops: &[Uop]) -> Vec<SbInfo> {
                 mem_writes: 0,
                 poll_ops: 0,
                 poll_run: 0,
+                mem_site: NO_SITE,
             });
             continue;
         } else if is_terminator(u)
@@ -318,6 +329,7 @@ pub fn build_blocks(uops: &[Uop]) -> Vec<SbInfo> {
                 mem_writes: 0,
                 poll_ops: 0,
                 poll_run: 0,
+                mem_site: NO_SITE,
             }
         } else {
             // Interior uop: prepend to the successor block (the sealed
@@ -333,6 +345,7 @@ pub fn build_blocks(uops: &[Uop]) -> Vec<SbInfo> {
                 poll_ops: suffix.poll_ops,
                 // Extended below once this uop's own kind is known.
                 poll_run: suffix.poll_run,
+                mem_site: NO_SITE,
             }
         };
         info.classes[u.class() as usize] += 1;
@@ -358,7 +371,25 @@ pub fn build_blocks(uops: &[Uop]) -> Vec<SbInfo> {
         blocks.push(info);
     }
     blocks.reverse();
+    // Seal-site assignment (a forward pass — the suffix scan above runs
+    // backward, but sites must be dense in pc order so `install`'s rebase
+    // keeps them stable under suffix reuse): every memory-accessing pc gets
+    // the next per-method predictor slot.
+    let mut site = 0u32;
+    for (b, u) in blocks.iter_mut().zip(uops) {
+        if mem_kind(u).is_some() {
+            b.mem_site = site;
+            site += 1;
+        }
+    }
     blocks
+}
+
+/// Number of seal sites [`build_blocks`] assigned: the count of
+/// memory-accessing pcs (every `mem_site` is in `0..mem_sites(blocks)` or
+/// [`NO_SITE`]).
+pub fn mem_sites(blocks: &[SbInfo]) -> u32 {
+    blocks.iter().filter(|b| b.mem_site != NO_SITE).count() as u32
 }
 
 /// The destination register a uop writes in its own frame, if any. `Ret`
@@ -612,6 +643,46 @@ mod tests {
         // Blocks with no polls have no plan.
         let none = build_blocks(&[konst(0), Uop::Ret { src: None }]);
         assert!(none[0].static_plan().is_none());
+    }
+
+    #[test]
+    fn seal_sites_are_dense_in_pc_order_over_memory_uops() {
+        let uops = vec![
+            konst(0),
+            Uop::LoadField {
+                dst: MReg(1),
+                obj: MReg(0),
+                field: 0,
+            },
+            Uop::Poll,
+            Uop::AllocObj {
+                dst: MReg(2),
+                class: hasp_vm::bytecode::ClassId(0),
+            },
+            Uop::StoreField {
+                obj: MReg(0),
+                field: 1,
+                src: MReg(1),
+            },
+            Uop::Marker { id: 1 },
+            Uop::LoadLen {
+                dst: MReg(3),
+                arr: MReg(2),
+            },
+            Uop::Ret { src: None },
+        ];
+        let b = build_blocks(&uops);
+        // Memory pcs (load, poll, store, len) get sites 0..4 in pc order;
+        // ALU, alloc (header write carries no sealed identity), marker, and
+        // ret pcs carry the NO_SITE sentinel.
+        assert_eq!(
+            b.iter().map(|s| s.mem_site).collect::<Vec<_>>(),
+            [NO_SITE, 0, 1, NO_SITE, 2, NO_SITE, 3, NO_SITE]
+        );
+        assert_eq!(mem_sites(&b), 4);
+        // Site identity is per-pc, not per-suffix: interior and head views
+        // of the same pc agree by construction (one table entry per pc).
+        assert_eq!(mem_sites(&build_blocks(&[konst(0)])), 0);
     }
 
     #[test]

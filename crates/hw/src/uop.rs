@@ -285,6 +285,13 @@ impl CompiledCode {
 #[derive(Debug, Clone, Default)]
 pub struct CodeCache {
     methods: Vec<Option<CompiledCode>>,
+    /// Next free way-predictor seal site (DESIGN §16). Monotonic across
+    /// installs — reinstalling a method hands its sites *fresh* slots
+    /// instead of recycling the old base, so a machine built against an
+    /// earlier install generation can never alias a re-formed method's
+    /// accesses onto stale predictor entries (harmless for correctness —
+    /// validation catches stale entries — but it would pollute hit rates).
+    next_site: u32,
 }
 
 impl CodeCache {
@@ -293,14 +300,33 @@ impl CodeCache {
         Self::default()
     }
 
-    /// Installs compiled code for a method, sealing its superblock index.
+    /// Installs compiled code for a method, sealing its superblock index
+    /// and rebasing its per-method seal sites into the cache-global
+    /// predictor slot space.
     pub fn install(&mut self, m: MethodId, mut code: CompiledCode) {
         code.seal();
+        let base = self.next_site;
+        let mut sites = 0u32;
+        for b in &mut code.blocks {
+            if b.mem_site != crate::cache::NO_SITE {
+                b.mem_site += base;
+                sites += 1;
+            }
+        }
+        self.next_site = base
+            .checked_add(sites)
+            .expect("seal-site space exhausted (u32)");
         let idx = m.0 as usize;
         if idx >= self.methods.len() {
             self.methods.resize_with(idx + 1, || None);
         }
         self.methods[idx] = Some(code);
+    }
+
+    /// Total seal sites handed out across every install (the upper bound of
+    /// the global predictor slot space; sizing hint for predictor tables).
+    pub fn seal_sites(&self) -> u32 {
+        self.next_site
     }
 
     /// Fetches a method's code.
@@ -436,5 +462,49 @@ mod tests {
         assert_eq!(sealed.blocks[0].len, 1);
         assert!(cc.get(MethodId(3)).is_some());
         assert!(cc.get(MethodId(4)).is_none());
+    }
+
+    #[test]
+    fn install_rebases_seal_sites_across_methods() {
+        let mem_method = |name: &str| CompiledCode {
+            name: name.into(),
+            uops: vec![
+                Uop::LoadField {
+                    dst: MReg(0),
+                    obj: MReg(0),
+                    field: 0,
+                },
+                Uop::LoadField {
+                    dst: MReg(0),
+                    obj: MReg(0),
+                    field: 1,
+                },
+                Uop::Ret { src: Some(MReg(0)) },
+            ],
+            regs: 1,
+            assert_origins: vec![],
+            region_count: 0,
+            region_boundaries: Vec::new(),
+            blocks: Vec::new(),
+            region_writes: Default::default(),
+        };
+        let mut cc = CodeCache::new();
+        cc.install(MethodId(0), mem_method("a"));
+        cc.install(MethodId(1), mem_method("b"));
+        let a = cc.get(MethodId(0)).unwrap();
+        let b = cc.get(MethodId(1)).unwrap();
+        let sites = |c: &CompiledCode| c.blocks.iter().map(|blk| blk.mem_site).collect::<Vec<_>>();
+        use crate::cache::NO_SITE;
+        assert_eq!(sites(a), vec![0, 1, NO_SITE]);
+        assert_eq!(
+            sites(b),
+            vec![2, 3, NO_SITE],
+            "second install must land in fresh global predictor slots"
+        );
+        assert_eq!(cc.seal_sites(), 4);
+        // Reinstalling never recycles slots.
+        cc.install(MethodId(0), mem_method("a2"));
+        assert_eq!(sites(cc.get(MethodId(0)).unwrap()), vec![4, 5, NO_SITE]);
+        assert_eq!(cc.seal_sites(), 6);
     }
 }

@@ -41,6 +41,12 @@ cargo test --release -q --test dispatch_equivalence
 echo "== filter equivalence (release: MRU fast path vs unfiltered cache model) =="
 cargo test --release -q --test filter_equivalence
 
+echo "== predictor equivalence (debug: way-predicted path vs unpredicted model) =="
+cargo test -q --test predictor_equivalence
+
+echo "== predictor equivalence (release: way-predicted path vs unpredicted model) =="
+cargo test --release -q --test predictor_equivalence
+
 echo "== batch equivalence (release: bulk accounting vs per-access reference) =="
 cargo test --release -q --test batch_equivalence
 
@@ -59,10 +65,20 @@ cargo run --release -p hasp-experiments --bin experiments -- bench-dispatch --sm
 python3 - <<'PY'
 import json
 r = json.load(open("BENCH_dispatch_smoke.json"))
+assert r["schema"] == "hasp-bench-dispatch-v4", f"unexpected schema {r['schema']}"
 g, c = r["geomean_speedup"], r["geomean_cache_off"]
 assert g >= 1.40, f"superblock dispatch regressed: smoke geomean {g:.2f}x < 1.40x floor"
 assert c >= g, f"cache-off ablation slower than the shipped engine: {c:.2f}x < {g:.2f}x"
-print(f"smoke geomean {g:.2f}x >= 1.40 ok; cache-off ceiling {c:.2f}x >= shipped ok")
+# Way-predictor sanity (DESIGN §16): under the shipped config every
+# workload's dynamic heap accesses must both consult and sometimes hit the
+# seal-site predictor — a zero here means the seal-site plumbing or the
+# training path rotted, which the bit-exact equivalence gates cannot see.
+cold = [w["workload"] for w in r["per_workload"]
+        if w["pred_probes"] == 0 or w["pred_hits"] == 0]
+assert not cold, f"way predictor dead on {cold}"
+rates = {w["workload"]: w["pred_rate"] for w in r["per_workload"]}
+print(f"smoke geomean {g:.2f}x >= 1.40 ok; cache-off ceiling {c:.2f}x >= shipped ok; "
+      f"pred hit-rates {rates}")
 PY
 
 echo "== service publication test (release: mid-stream cache swap under threads) =="

@@ -2,9 +2,10 @@
 //! `LineSet` must behave exactly like a sorted set under random insert
 //! sequences (duplicates, overflow boundaries), the cache's speculative
 //! read/write bits must flash-clear on both commit and abort whatever the
-//! access sequence was, and the MRU-filter fast path must be bit-identical
-//! to the unfiltered reference model under random interleavings of
-//! accesses, commits, aborts, and coherence invalidations.
+//! access sequence was, and the MRU-filter and seal-site way-predictor
+//! fast paths must each be bit-identical to their reference models under
+//! random interleavings of accesses, commits, aborts, and coherence
+//! invalidations.
 
 use proptest::prelude::*;
 
@@ -125,6 +126,67 @@ proptest! {
             }
             prop_assert_eq!(fast.spec_lines(), reference.spec_lines());
         }
+    }
+
+    #[test]
+    fn predicted_cache_is_bit_identical_to_unpredicted_reference(
+        ops in prop::collection::vec(
+            (any::<u8>(), 0u64..12, 0u64..8, 0u32..6, any::<bool>(), any::<bool>()),
+            1..300,
+        ),
+    ) {
+        // The seal-site way predictor (DESIGN §16) against the unpredicted
+        // reference model in lockstep, through the exact discipline the
+        // machine uses: consult `fast_hit` first (both `Absorbed` and
+        // `Resident` are validated L1 hits that cannot geometrically
+        // overflow), fall through to the full sited path otherwise. Hit
+        // levels, overflow signals, conflict verdicts, and speculative-line
+        // counts must agree at every step of a random access / commit /
+        // abort / invalidate interleaving — commits and aborts bump the
+        // epoch, so trained entries keep being consulted across flash
+        // clears, and the eviction pressure below makes any stale-index use
+        // or LRU victim-order drift surface as a divergent hit level.
+        let mut fast = CacheSim::new(&HwConfig::baseline());
+        let mut reference = CacheSim::new(&HwConfig::unpredicted());
+        let sited = |c: &mut CacheSim, site: u32, addr: u64, write: bool, spec: bool| {
+            match c.fast_hit(site, addr, write, spec) {
+                Some(_) => (HitLevel::L1, false),
+                None => c.access_sited(site, addr, write, spec),
+            }
+        };
+        for &(sel, choice, offset, slot, write, speculative) in &ops {
+            // Same crammed two-set universe as the filter lockstep test,
+            // with twelve hot lines shared by only five predictor sites so
+            // entries are constantly retrained onto conflicting lines —
+            // plus an occasional site-less access (slot 5 → NO_SITE), the
+            // fallback-lock / alloc-header shape.
+            let addr = (choice / 2) * 8192 + (choice % 2) * 64 + offset * 8;
+            let site = if slot == 5 { hasp_hw::NO_SITE } else { slot };
+            match sel % 8 {
+                // Weighted toward accesses.
+                0..=4 => prop_assert_eq!(
+                    sited(&mut fast, site, addr, write, speculative),
+                    sited(&mut reference, site, addr, write, speculative),
+                    "access {addr:#x} site {site} (write={write}, spec={speculative}) diverged"
+                ),
+                5 => {
+                    fast.commit_region();
+                    reference.commit_region();
+                }
+                6 => {
+                    fast.abort_region();
+                    reference.abort_region();
+                }
+                _ => prop_assert_eq!(
+                    fast.invalidate(addr),
+                    reference.invalidate(addr),
+                    "invalidate {addr:#x} conflict verdict diverged"
+                ),
+            }
+            prop_assert_eq!(fast.spec_lines(), reference.spec_lines());
+        }
+        // The reference side must never have consulted a predictor.
+        prop_assert_eq!(reference.pred_stats().probes, 0);
     }
 
     #[test]
