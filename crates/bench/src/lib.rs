@@ -11,5 +11,13 @@
 //!   dynamic-access tiers of the cache model's memory fast-path ladder
 //!   (absorbed filter hit, way-predictor hit, full scan hit, install —
 //!   DESIGN §12/§16).
+//!
+//! The library itself exports [`scaffold`]: the warm-then-interleaved
+//! best-of-reps timing discipline shared by the `bench-dispatch` and `mt`
+//! wall-clock artifacts.
 
 #![warn(missing_docs)]
+
+pub mod scaffold;
+
+pub use scaffold::{best_of_interleaved, Interleaved};

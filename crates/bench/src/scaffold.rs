@@ -1,0 +1,72 @@
+//! The shared wall-clock measurement scaffold: one warm run per leg, then
+//! best-of-`reps` with the reps interleaved round-robin across the legs.
+//!
+//! Host-speed drift over a benchmark's wall time (frequency scaling,
+//! virtualized-CPU contention) then degrades every leg's slow reps alike
+//! instead of landing wholesale on whichever leg ran last, so between-leg
+//! ratios — the numbers these artifacts exist for — stay honest even when
+//! absolute rates wobble. Extracted from the dispatch bench so the
+//! multi-core (`mt`) harness and any future bench share one timing
+//! discipline instead of growing drift-prone copies.
+
+use std::time::Instant;
+
+/// The scaffold's product: the untimed warm result per leg (legs' reference
+/// outputs, e.g. for uop-count or checksum verification) and the best
+/// timed wall seconds per leg.
+#[derive(Debug)]
+pub struct Interleaved<R> {
+    /// One warm (untimed) result per leg, in leg order.
+    pub warm: Vec<R>,
+    /// Best-of-reps wall seconds per leg, in leg order.
+    pub best_s: Vec<f64>,
+}
+
+/// Runs `n_legs` legs — `run(k)` executes leg `k` once — warm-first, then
+/// `reps` timed rounds interleaved round-robin across the legs, keeping
+/// each leg's minimum wall time. After every timed rep, `verify(k, &rep,
+/// &warm)` lets the caller assert the rep reproduced the warm run (equal
+/// retired uops, matching checksum, …) so a leg can never get faster by
+/// doing different work.
+pub fn best_of_interleaved<R>(
+    reps: usize,
+    n_legs: usize,
+    mut run: impl FnMut(usize) -> R,
+    mut verify: impl FnMut(usize, &R, &R),
+) -> Interleaved<R> {
+    let warm: Vec<R> = (0..n_legs).map(&mut run).collect();
+    let mut best_s = vec![f64::INFINITY; n_legs];
+    for _ in 0..reps {
+        for (k, best) in best_s.iter_mut().enumerate() {
+            let t0 = Instant::now();
+            let rep = run(k);
+            *best = best.min(t0.elapsed().as_secs_f64());
+            verify(k, &rep, &warm[k]);
+        }
+    }
+    Interleaved { warm, best_s }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaves_round_robin_and_keeps_minima() {
+        let mut order = Vec::new();
+        let out = best_of_interleaved(
+            2,
+            3,
+            |k| {
+                order.push(k);
+                k * 10
+            },
+            |k, rep, warm| assert_eq!(rep, warm, "leg {k}"),
+        );
+        // Warm pass first, then two interleaved rounds.
+        assert_eq!(order, vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
+        assert_eq!(out.warm, vec![0, 10, 20]);
+        assert_eq!(out.best_s.len(), 3);
+        assert!(out.best_s.iter().all(|s| s.is_finite()));
+    }
+}

@@ -15,8 +15,7 @@
 //! workload hit rates alongside so a dead predictor cannot hide behind a
 //! noisy uplift.
 
-use std::time::Instant;
-
+use hasp_bench::best_of_interleaved;
 use hasp_hw::{Dispatch, HwConfig};
 use hasp_opt::CompilerConfig;
 use hasp_workloads::all_workloads;
@@ -271,29 +270,21 @@ pub fn run_bench(smoke: bool) -> DispatchBenchReport {
             let (resolved_uops, plan_mem_uops) = compiled.code.static_resolved_uops();
             debug_assert_eq!(mem_uops, plan_mem_uops);
             let static_resolved_share = resolved_uops as f64 / plan_mem_uops.max(1) as f64;
-            // One warm-up run per leg (not timed) populates allocator and
-            // branch state, then best-of-REPS with the reps interleaved
-            // round-robin across the legs: host-speed drift over the
-            // benchmark's wall time (frequency scaling, virtualized-CPU
-            // contention) then degrades every leg's slow reps alike instead
-            // of landing wholesale on whichever leg ran last, so the
-            // between-leg ratios — the numbers this artifact exists for —
-            // stay honest even when absolute rates wobble.
+            // The shared scaffold (`hasp_bench::scaffold`): one untimed
+            // warm run per leg, then best-of-REPS interleaved round-robin
+            // across the legs so host-speed drift degrades every leg
+            // alike. Each timed rep must retire the warm run's exact uop
+            // count — a leg can never get faster by doing different work.
             let legs = [&pu_hw, &sb_hw, &up_hw, &ablate_hw];
-            let warm: Vec<_> = legs
-                .iter()
-                .map(|hw| execute_compiled(w, &profiled, &compiled, hw))
-                .collect();
-            let mut best = [f64::INFINITY; 4];
-            for _ in 0..REPS {
-                for (k, hw) in legs.iter().enumerate() {
-                    let t0 = Instant::now();
-                    let run = execute_compiled(w, &profiled, &compiled, hw);
-                    best[k] = best[k].min(t0.elapsed().as_secs_f64());
-                    assert_eq!(run.stats.uops, warm[k].stats.uops, "{}", w.name);
-                }
-            }
-            let [per_uop_s, superblock_s, unpredicted_s, cache_off_s] = best;
+            let out = best_of_interleaved(
+                REPS,
+                legs.len(),
+                |k| execute_compiled(w, &profiled, &compiled, legs[k]),
+                |_, rep, warm| assert_eq!(rep.stats.uops, warm.stats.uops, "{}", w.name),
+            );
+            let (warm, best) = (out.warm, out.best_s);
+            let [per_uop_s, superblock_s, unpredicted_s, cache_off_s] =
+                best.try_into().expect("four legs");
             let (pu_warm, sb_warm, up_warm, ablate_warm) = (&warm[0], &warm[1], &warm[2], &warm[3]);
             let (pu_uops, sb_uops) = (pu_warm.stats.uops, sb_warm.stats.uops);
             assert_eq!(

@@ -318,6 +318,11 @@ impl CampaignReport {
             .int("reform_overflow_budget", REFORM_OVERFLOW_BUDGET);
         JsonObj::new()
             .str("schema", "hasp-faults-v2")
+            // This campaign is the *injected* ablation: conflicts come from
+            // the deterministic FaultPlan, not from other cores. The organic
+            // counterpart (real threads over the coherence directory) is the
+            // `mt` harness's BENCH_mt.json.
+            .str("mode", "injected")
             .bool("smoke", smoke)
             .int("threads", threads as u64)
             .num("wall_s", wall_s)

@@ -19,6 +19,7 @@ pub mod adaptive;
 pub mod dispatch_bench;
 pub mod faults;
 pub mod figures;
+pub mod mt;
 pub mod reform;
 pub mod report;
 pub mod runner;
@@ -30,10 +31,12 @@ pub use faults::{
     run_campaign, run_knee, sweep_rates, CampaignReport, FaultCell, KneeReport, KneeRow,
     KNEE_RATE_CAP, KNEE_THRESHOLD,
 };
+pub use mt::{run_mt, MtContention, MtLeg, MtReport};
 pub use reform::{run_reform_quanta, ReformOutcome, ReformQuantum, MAX_QUANTA};
 pub use runner::{
     compile_workload, execute_compiled, profile_workload, run_workload, try_execute_compiled,
-    CellError, CompiledWorkload, ProfiledWorkload, SampleMeasure, WorkloadRun,
+    try_execute_compiled_with, CellError, CompiledWorkload, ProfiledWorkload, SampleMeasure,
+    WorkloadRun,
 };
 pub use service::{
     build_schedule, build_service_cache, build_tenants, run_leg, run_service, LegOutcome,

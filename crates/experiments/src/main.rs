@@ -27,19 +27,27 @@ fn main() {
             let smoke = std::env::args().any(|a| a == "--smoke");
             serve(smoke);
         }
+        Some("mt") => {
+            let smoke = std::env::args().any(|a| a == "--smoke");
+            mt_bench(smoke);
+        }
         Some("faults") => {
             let smoke = std::env::args().any(|a| a == "--smoke");
+            // `--injected` is accepted as the explicit name for what this
+            // campaign always is: the deterministic fault-injection ablation
+            // (organic conflicts live in the `mt` harness).
+            let injected = std::env::args().any(|a| a == "--injected");
             if std::env::args().any(|a| a == "--knee") {
                 knee_sweep(smoke);
             } else {
-                fault_campaign(smoke);
+                fault_campaign(smoke, injected);
             }
         }
         Some(other) => {
             eprintln!(
                 "unknown subcommand `{other}` (expected no argument, `bench-suite`, \
-                 `bench-dispatch [--smoke]`, `serve [--smoke]`, or \
-                 `faults [--knee] [--smoke]`)"
+                 `bench-dispatch [--smoke]`, `serve [--smoke]`, `mt [--smoke]`, or \
+                 `faults [--knee] [--injected] [--smoke]`)"
             );
             std::process::exit(2);
         }
@@ -88,6 +96,44 @@ fn serve(smoke: bool) {
     }
 }
 
+fn mt_bench(smoke: bool) {
+    eprintln!(
+        "mt: {} run, real threads over the shared coherence directory",
+        if smoke { "smoke" } else { "full" }
+    );
+    let t0 = std::time::Instant::now();
+    let report = hasp_experiments::run_mt(smoke);
+    let wall = t0.elapsed().as_secs_f64();
+    print!("{}", report.table());
+    let json = report.json(wall);
+    // The smoke slice goes to its own (gitignored) file so a CI run never
+    // clobbers the committed full artifact.
+    let path = if smoke {
+        "BENCH_mt_smoke.json"
+    } else {
+        "BENCH_mt.json"
+    };
+    std::fs::write(path, &json).expect("write mt bench artifact");
+    eprintln!(
+        "wrote {path} ({} emergent aborts, max tier {}, host cores {}, in {wall:.1}s)",
+        report.emergent_total(),
+        report.max_tier(),
+        report.host_cores
+    );
+    let mut failed = false;
+    if !report.all_conserved() {
+        eprintln!("FAILED: directory conservation identity violated");
+        failed = true;
+    }
+    if report.contention.emergent == 0 {
+        eprintln!("FAILED: contention phase produced no emergent conflicts (vacuous run)");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn bench_dispatch(smoke: bool) {
     eprintln!(
         "bench-dispatch: {} sweep, per-uop vs superblock",
@@ -115,10 +161,15 @@ fn bench_dispatch(smoke: bool) {
     );
 }
 
-fn fault_campaign(smoke: bool) {
+fn fault_campaign(smoke: bool, injected: bool) {
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     eprintln!(
-        "fault campaign: {} sweep on {threads} threads",
+        "fault campaign ({}): {} sweep on {threads} threads",
+        if injected {
+            "injected ablation, explicit"
+        } else {
+            "injected ablation"
+        },
         if smoke { "smoke" } else { "full" }
     );
     let t0 = std::time::Instant::now();

@@ -242,8 +242,24 @@ pub fn try_execute_compiled(
     compiled: &CompiledWorkload,
     hw: &HwConfig,
 ) -> Result<WorkloadRun, CellError> {
+    try_execute_compiled_with(w, profiled, compiled, hw, |_| {}).map(|(run, _)| run)
+}
+
+/// [`try_execute_compiled`] with a pre-run machine hook — the entry point
+/// for coherence-attached runs: `setup` typically calls
+/// [`Machine::attach_core`], and the returned machine's detached state
+/// (core link, stats) comes back alongside the run via the second tuple
+/// element, the [`Machine`] itself having been consumed.
+pub fn try_execute_compiled_with(
+    w: &Workload,
+    profiled: &ProfiledWorkload,
+    compiled: &CompiledWorkload,
+    hw: &HwConfig,
+    setup: impl FnOnce(&mut Machine),
+) -> Result<(WorkloadRun, Option<hasp_hw::CoreLink>), CellError> {
     let mut mach = Machine::new(&w.program, &compiled.code, hw.clone());
     mach.set_fuel(w.fuel.saturating_mul(4));
+    setup(&mut mach);
     mach.run(&[])?;
     if mach.env.checksum() != profiled.reference_checksum {
         return Err(CellError::ChecksumDivergence {
@@ -253,16 +269,20 @@ pub fn try_execute_compiled(
     }
     let stats = mach.stats().clone();
     let pred = mach.way_pred_stats();
+    let link = mach.detach_core();
     let samples = extract_samples(w, &stats)?;
-    Ok(WorkloadRun {
-        workload: w.name,
-        compiler: compiled.compiler,
-        hardware: hw.name,
-        stats,
-        samples,
-        static_uops: compiled.static_uops,
-        pred,
-    })
+    Ok((
+        WorkloadRun {
+            workload: w.name,
+            compiler: compiled.compiler,
+            hardware: hw.name,
+            stats,
+            samples,
+            static_uops: compiled.static_uops,
+            pred,
+        },
+        link,
+    ))
 }
 
 /// Executes an already-compiled workload on `hw`.

@@ -743,10 +743,17 @@ impl CacheSim {
     /// copy). Returns `true` if it hit a line in the current region's read
     /// or write set (conflict — the caller must abort the region).
     pub fn invalidate(&mut self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        self.invalidate_line(line)
+    }
+
+    /// [`CacheSim::invalidate`] keyed by line index — the form the
+    /// coherence directory's drain path uses (its messages carry lines,
+    /// not addresses).
+    pub fn invalidate_line(&mut self, line: u64) -> bool {
         self.flush_pending();
         self.mru_line = TAG_INVALID;
         self.mru_epoch = NEVER;
-        let line = self.line_of(addr);
         for i in self.l2.set_range(line) {
             if self.l2.tags[i] == line {
                 self.l2.tags[i] = TAG_INVALID;
@@ -767,6 +774,27 @@ impl CacheSim {
                 self.l1.spec_read_epoch[i] = NEVER;
                 self.l1.spec_write_epoch[i] = NEVER;
                 return conflict;
+            }
+        }
+        false
+    }
+
+    /// An external coherence *downgrade* for `line` (a remote reader took
+    /// a shared copy). A shared copy may stay resident, so on the
+    /// non-conflict path this is a no-op — unless the line carries a
+    /// current-epoch speculative *write* bit: the remote read observed
+    /// data this region has not committed, which is a conflict, and the
+    /// line (whose data the undo log rolls back architecturally) is fully
+    /// invalidated exactly as [`CacheSim::invalidate_line`] would.
+    /// Returns `true` on conflict — the caller must abort the region.
+    pub fn downgrade_line(&mut self, line: u64) -> bool {
+        self.flush_pending();
+        for i in self.l1.set_range(line) {
+            if self.l1.tags[i] == line {
+                if self.l1.spec_write_epoch[i] == self.epoch {
+                    return self.invalidate_line(line);
+                }
+                return false;
             }
         }
         false

@@ -1,0 +1,673 @@
+//! # Sharded coherence directory — organic conflicts from real threads
+//!
+//! The multi-core substrate (DESIGN §17): N [`Machine`](crate::Machine)s on
+//! real OS threads share one [`Directory`], a MESI-ish per-line owner/sharer
+//! map layered *over* each core's private per-line speculative R/W bits.
+//! Every data access a core performs publishes its read/write intent; a
+//! remote write to a line a core has speculatively read (or a remote read
+//! of a line it has speculatively written) delivers an asynchronous
+//! conflict message to that core's mailbox, which the core drains at its
+//! next memory access and converts into a `Conflict` (or, for the fallback
+//! lock line, `Sle`) abort through the exact same mid-block unapply path an
+//! overflow takes. Injected conflicts (`FaultPlan`) remain available as an
+//! ablation; this module makes the organic ones.
+//!
+//! ## Sharding
+//!
+//! Line states live in cache-line-padded stripes selected by a
+//! multiplicative hash of the line index, so directory traffic from
+//! different lines takes different locks and scales with core count
+//! instead of serializing on one mutex. Critical sections are a single
+//! hash-map operation plus at most `MAX_CORES` mailbox pushes. The only
+//! lock order is stripe → mailbox; no path takes a stripe lock while
+//! holding a mailbox lock, so the directory cannot deadlock.
+//!
+//! ## Address spaces
+//!
+//! Keys are `(asid, line)` packed into one word: cores attached with
+//! different address-space ids (different tenants in the `mt` harness)
+//! never interact — their heaps are logically distinct even though the
+//! simulated addresses collide numerically. Cores sharing an asid model
+//! workers serving the same tenant over shared state: that is where
+//! contention, SLE lock collisions, and governor-ladder climbs emerge.
+//!
+//! ## Conservation
+//!
+//! Every *signaled* message (one whose victim held a directory-registered
+//! speculative claim on the line when the remote op was published) is
+//! eventually classified by the victim at drain time as either a conflict
+//! abort (`sig_aborts` — the local current-epoch spec bit was still live)
+//! or a benign race with a completed region (`sig_raced` — the victim
+//! committed or aborted between the signal and the drain, so the local bit
+//! was already flash-cleared; the remote op serialized after that commit).
+//! After all mailboxes drain, `Directory::signaled()` equals the sum of
+//! both buckets across cores — the stress tests and the `mt` harness gate
+//! on this identity.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::cache::CacheSim;
+use crate::fxhash::FxHashMap;
+use crate::machine::FALLBACK_LOCK_ADDR;
+use crate::stats::AbortReason;
+
+/// A core's identity within one [`Directory`] (index into mailboxes and
+/// the per-line sharer bitmasks).
+pub type CoreId = u8;
+
+/// Maximum cores per directory — sharer sets are one `u64` bitmask.
+pub const MAX_CORES: usize = 64;
+
+/// Bits of the packed key that hold the line index; the asid sits above.
+const LINE_BITS: u32 = 48;
+const LINE_MASK: u64 = (1 << LINE_BITS) - 1;
+
+/// Directory-visible state of one (asid, line): at most one exclusive
+/// owner XOR any number of sharers, plus which cores currently hold a
+/// *speculative* (in-region) claim registered with the directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LineState {
+    /// Exclusive writer, if any (always also set in `sharers`).
+    pub owner: Option<CoreId>,
+    /// Bitmask of cores holding the line (shared or exclusive).
+    pub sharers: u64,
+    /// Bitmask of cores with a live speculative-read registration.
+    pub spec_readers: u64,
+    /// Core with a live speculative-write registration, if any.
+    pub spec_writer: Option<CoreId>,
+}
+
+impl LineState {
+    fn is_empty(&self) -> bool {
+        self.owner.is_none()
+            && self.sharers == 0
+            && self.spec_readers == 0
+            && self.spec_writer.is_none()
+    }
+}
+
+/// One coherence message queued to a core's mailbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CohMsg {
+    /// Packed (asid, line) key the remote op touched.
+    pub key: u64,
+    /// `true` = remote write (invalidate), `false` = remote read (downgrade).
+    pub write: bool,
+    /// The victim held a directory-registered speculative claim that the
+    /// remote op collides with, sampled atomically under the stripe lock.
+    /// Every signaled message must be accounted as an abort or a commit
+    /// race (see the module docs on conservation).
+    pub signal: bool,
+}
+
+impl CohMsg {
+    /// The line index (asid stripped) — what the victim's cache keys on.
+    pub fn line(&self) -> u64 {
+        self.key & LINE_MASK
+    }
+}
+
+/// One padded directory shard: a map slice guarded by its own mutex.
+/// The alignment keeps hot stripes on distinct cache lines so uncontended
+/// cores do not false-share lock words.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct Stripe {
+    map: Mutex<FxHashMap<u64, LineState>>,
+}
+
+/// One core's incoming message queue. `pending` is the lock-free fast
+/// path: a core's access hook reads one relaxed atomic and only takes the
+/// queue lock when a message is actually waiting.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct Mailbox {
+    pending: AtomicU64,
+    msgs: Mutex<VecDeque<CohMsg>>,
+}
+
+/// The sharded line directory shared (via `Arc`) by every core.
+#[derive(Debug)]
+pub struct Directory {
+    stripes: Box<[Stripe]>,
+    /// `stripes.len() - 1` (stripe count is a power of two).
+    mask: u64,
+    mailboxes: Box<[Mailbox]>,
+    /// Messages sent with `signal = true` (conservation numerator).
+    signaled: AtomicU64,
+    /// Invalidation messages sent (remote writes).
+    invalidations: AtomicU64,
+    /// Downgrade messages sent (remote reads of an owned line).
+    downgrades: AtomicU64,
+    /// Directory transactions taken (post-dedup publishes).
+    publishes: AtomicU64,
+}
+
+/// Default stripe count: enough that 8 hot cores rarely collide on a
+/// stripe lock even with skewed line popularity.
+const DEFAULT_STRIPES: usize = 64;
+
+impl Directory {
+    /// A directory for up to `cores` cores with the default stripe count.
+    pub fn new(cores: usize) -> Arc<Directory> {
+        Directory::with_stripes(cores, DEFAULT_STRIPES)
+    }
+
+    /// A directory with an explicit stripe count (rounded up to a power of
+    /// two; the proptests use 1 stripe to force every line onto one lock).
+    pub fn with_stripes(cores: usize, stripes: usize) -> Arc<Directory> {
+        assert!((1..=MAX_CORES).contains(&cores), "1..={MAX_CORES} cores");
+        let n = stripes.max(1).next_power_of_two();
+        Arc::new(Directory {
+            stripes: (0..n).map(|_| Stripe::default()).collect(),
+            mask: n as u64 - 1,
+            mailboxes: (0..cores).map(|_| Mailbox::default()).collect(),
+            signaled: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            downgrades: AtomicU64::new(0),
+            publishes: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of cores (mailboxes) this directory serves.
+    pub fn cores(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    fn stripe(&self, key: u64) -> &Stripe {
+        // Multiplicative mix (same constant family as the fxhash module):
+        // adjacent lines land on different stripes, and the asid in the
+        // high bits perturbs the whole sequence per tenant.
+        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        &self.stripes[(h >> 40 & self.mask) as usize]
+    }
+
+    fn post(&self, to: CoreId, msg: CohMsg) {
+        if msg.signal {
+            self.signaled.fetch_add(1, Ordering::Relaxed);
+        }
+        if msg.write {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.downgrades.fetch_add(1, Ordering::Relaxed);
+        }
+        let mb = &self.mailboxes[to as usize];
+        mb.msgs.lock().expect("mailbox").push_back(msg);
+        // Release-publish after the push so a victim that observes
+        // `pending > 0` always finds the message under the queue lock.
+        mb.pending.fetch_add(1, Ordering::Release);
+    }
+
+    /// Publishes core `me`'s write intent for `key`: every other holder is
+    /// invalidated (signaled iff it held a colliding speculative claim),
+    /// `me` becomes exclusive owner, and — when `spec` — `me`'s
+    /// speculative-write registration is recorded.
+    pub fn publish_write(&self, me: CoreId, key: u64, spec: bool) {
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        let my_bit = 1u64 << me;
+        let mut map = self.stripe(key).map.lock().expect("stripe");
+        let st = map.entry(key).or_default();
+        let victims = st.sharers & !my_bit;
+        let signaled_spec = st.spec_readers & !my_bit;
+        let spec_writer = st.spec_writer.filter(|&w| w != me);
+        st.owner = Some(me);
+        st.sharers = my_bit;
+        st.spec_readers &= my_bit;
+        if st.spec_writer != Some(me) {
+            st.spec_writer = None;
+        }
+        if spec {
+            st.spec_writer = Some(me);
+        }
+        // Post while still holding the stripe lock (stripe → mailbox is the
+        // one sanctioned lock order). This makes signal delivery atomic with
+        // the spec-bit sampling above: a victim's `release_spec` — its exit
+        // visa — takes this same stripe lock, so every signaled message is
+        // enqueued strictly before the release that would let the victim
+        // drain and detach. Posting after dropping the lock opens a window
+        // where the victim quiesces and exits with the signal still in
+        // flight, breaking the `signaled == sig_aborts + sig_raced`
+        // conservation identity.
+        for v in 0..self.mailboxes.len() as u8 {
+            let bit = 1u64 << v;
+            if victims & bit != 0 {
+                let signal = signaled_spec & bit != 0 || spec_writer == Some(v);
+                self.post(
+                    v,
+                    CohMsg {
+                        key,
+                        write: true,
+                        signal,
+                    },
+                );
+            }
+        }
+        drop(map);
+    }
+
+    /// Publishes core `me`'s read intent for `key`: a remote exclusive
+    /// owner is downgraded to sharer (signaled iff it held a speculative
+    /// *write* registration — speculative readers coexist), `me` joins the
+    /// sharers, and — when `spec` — `me`'s speculative-read registration
+    /// is recorded.
+    pub fn publish_read(&self, me: CoreId, key: u64, spec: bool) {
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        let my_bit = 1u64 << me;
+        let mut map = self.stripe(key).map.lock().expect("stripe");
+        let st = map.entry(key).or_default();
+        let victim = st.owner.filter(|&o| o != me);
+        let signal = victim.is_some() && st.spec_writer == victim;
+        if victim.is_some() {
+            // The old owner keeps a shared copy; its spec-write claim (if
+            // any) is consumed by the signal.
+            st.owner = None;
+            if signal {
+                st.spec_writer = None;
+            }
+        }
+        st.sharers |= my_bit;
+        if spec {
+            st.spec_readers |= my_bit;
+        }
+        // Under the stripe lock for the same conservation reason as
+        // `publish_write`: the downgrade signal must be enqueued before the
+        // victim's `release_spec` can observe its bits cleared and let the
+        // victim quiesce.
+        if let Some(v) = victim {
+            self.post(
+                v,
+                CohMsg {
+                    key,
+                    write: false,
+                    signal,
+                },
+            );
+        }
+        drop(map);
+    }
+
+    /// Withdraws core `me`'s speculative registrations on `key` — called
+    /// for every line in a core's spec set when its region commits or
+    /// aborts, strictly *after* the local cache's epoch bump (so a remote
+    /// signal sampled before the release always finds a raced-with-commit
+    /// victim, never a live one it fails to abort).
+    pub fn release_spec(&self, me: CoreId, key: u64) {
+        let my_bit = 1u64 << me;
+        let mut map = self.stripe(key).map.lock().expect("stripe");
+        if let Some(st) = map.get_mut(&key) {
+            st.spec_readers &= !my_bit;
+            if st.spec_writer == Some(me) {
+                st.spec_writer = None;
+            }
+            if st.is_empty() {
+                map.remove(&key);
+            }
+        }
+    }
+
+    /// `true` if core `me` has undelivered messages (one relaxed load —
+    /// the per-access fast path).
+    pub fn pending(&self, me: CoreId) -> bool {
+        self.mailboxes[me as usize].pending.load(Ordering::Acquire) != 0
+    }
+
+    /// Pops the oldest undelivered message for core `me`, if any.
+    pub fn pop_msg(&self, me: CoreId) -> Option<CohMsg> {
+        let mb = &self.mailboxes[me as usize];
+        let msg = mb.msgs.lock().expect("mailbox").pop_front();
+        if msg.is_some() {
+            mb.pending.fetch_sub(1, Ordering::Release);
+        }
+        msg
+    }
+
+    /// Snapshot of one line's directory state (tests / inspection).
+    pub fn line_state(&self, key: u64) -> LineState {
+        self.stripe(key)
+            .map
+            .lock()
+            .expect("stripe")
+            .get(&key)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Total messages sent with a live speculative collision (conservation
+    /// numerator; see the module docs).
+    pub fn signaled(&self) -> u64 {
+        self.signaled.load(Ordering::Relaxed)
+    }
+
+    /// Total invalidation messages sent (remote writes).
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Total downgrade messages sent (remote reads of owned lines).
+    pub fn downgrades(&self) -> u64 {
+        self.downgrades.load(Ordering::Relaxed)
+    }
+
+    /// Total directory transactions (post-dedup publishes).
+    pub fn publishes(&self) -> u64 {
+        self.publishes.load(Ordering::Relaxed)
+    }
+
+    /// Any key on which a core *other than* `me` currently holds a
+    /// speculative registration, and whether that claim is a write. The
+    /// antagonist in the 2-core stress test uses this to aim conflicting
+    /// traffic at whatever the victim is speculating on right now.
+    pub fn any_remote_spec_key(&self, me: CoreId) -> Option<(u64, bool)> {
+        let my_bit = 1u64 << me;
+        for s in self.stripes.iter() {
+            let map = s.map.lock().expect("stripe");
+            for (&key, st) in map.iter() {
+                if st.spec_readers & !my_bit != 0 {
+                    return Some((key, false));
+                }
+                if st.spec_writer.is_some() && st.spec_writer != Some(me) {
+                    return Some((key, true));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// What a core currently believes it holds (local dedup of published
+/// intent; kept coherent by applying incoming messages to it at drain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Held {
+    Shared,
+    Owned,
+}
+
+/// Per-core coherence-traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Directory transactions this core published (post-dedup).
+    pub published: u64,
+    /// Messages this core drained from its mailbox.
+    pub drained: u64,
+    /// Signaled messages that found a live local speculative bit and
+    /// aborted the region (conservation bucket 1).
+    pub sig_aborts: u64,
+    /// Signaled messages whose local speculative bit was already
+    /// flash-cleared by a commit or abort (conservation bucket 2).
+    pub sig_raced: u64,
+    /// Unsignaled messages (plain capacity/sharing traffic).
+    pub benign: u64,
+}
+
+/// One core's attachment to a shared [`Directory`]: identity, address
+/// space, local dedup state, and the speculative registration set that
+/// must be withdrawn at region commit/abort.
+#[derive(Debug)]
+pub struct CoreLink {
+    dir: Arc<Directory>,
+    core: CoreId,
+    /// Asid tag pre-shifted into the key's high bits.
+    tag: u64,
+    /// Lines this core believes it holds (see [`Held`]); publishing is
+    /// skipped when the directory already knows everything this access
+    /// would tell it, which makes repeat accesses to resident lines a
+    /// single local map probe.
+    held: FxHashMap<u64, Held>,
+    /// Speculative registrations live in the directory: key → bitmask of
+    /// `SPEC_R | SPEC_W`.
+    spec: FxHashMap<u64, u8>,
+    /// Insertion-ordered spec keys for release.
+    spec_keys: Vec<u64>,
+    /// The abort reason a conflicting drain produced, parked until the
+    /// machine's overflow-style bail path consumes it (the access hook
+    /// reports failure as a `bool`, exactly like a region overflow, and
+    /// the abort site asks here which reason to record).
+    pending_abort: Option<AbortReason>,
+    /// Traffic counters.
+    pub stats: LinkStats,
+}
+
+const SPEC_R: u8 = 1;
+const SPEC_W: u8 = 2;
+
+impl CoreLink {
+    /// Attaches core `core` (address space `asid`) to `dir`.
+    pub fn new(dir: Arc<Directory>, core: CoreId, asid: u16) -> CoreLink {
+        assert!((core as usize) < dir.cores(), "core id out of range");
+        CoreLink {
+            dir,
+            core,
+            tag: u64::from(asid) << LINE_BITS,
+            held: FxHashMap::default(),
+            spec: FxHashMap::default(),
+            spec_keys: Vec::new(),
+            pending_abort: None,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Takes the abort reason a conflicting [`CoreLink::drain`] parked
+    /// (`None` when the last bail was a plain overflow).
+    pub fn take_abort(&mut self) -> Option<AbortReason> {
+        self.pending_abort.take()
+    }
+
+    /// This core's id.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// The shared directory.
+    pub fn directory(&self) -> &Arc<Directory> {
+        &self.dir
+    }
+
+    /// One relaxed atomic load: does this core have undelivered messages?
+    #[inline]
+    pub fn pending(&self) -> bool {
+        self.dir.pending(self.core)
+    }
+
+    /// Publishes intent for a local access to `line` (`write`, and whether
+    /// the access is speculative, i.e. inside a region). Deduped: the
+    /// directory is only consulted when this access adds information —
+    /// first touch, shared→owned upgrade, or a new speculative claim.
+    #[inline]
+    pub fn publish(&mut self, line: u64, write: bool, spec: bool) {
+        let key = self.tag | line;
+        let spec_bit = if write { SPEC_W } else { SPEC_R };
+        let spec_new = spec && self.spec.get(&key).is_none_or(|b| b & spec_bit == 0);
+        let held = self.held.get(&key).copied();
+        let upgrade = write && held != Some(Held::Owned);
+        if held.is_some() && !upgrade && !spec_new {
+            return;
+        }
+        self.stats.published += 1;
+        if write {
+            self.dir.publish_write(self.core, key, spec);
+            self.held.insert(key, Held::Owned);
+        } else {
+            self.dir.publish_read(self.core, key, spec);
+            self.held.entry(key).or_insert(Held::Shared);
+        }
+        if spec {
+            let bits = self.spec.entry(key).or_insert_with(|| {
+                self.spec_keys.push(key);
+                0
+            });
+            *bits |= spec_bit;
+        }
+    }
+
+    /// Drains the mailbox into `cache`, applying each remote op to the
+    /// local cache model. Stops at the first message that collides with a
+    /// live current-epoch speculative bit and returns the abort reason the
+    /// caller must raise (`Sle` for the fallback-lock line, `Conflict`
+    /// otherwise); remaining messages stay queued for the next drain.
+    pub fn drain(&mut self, cache: &mut CacheSim) -> Option<AbortReason> {
+        let lock_line = cache.line_of(FALLBACK_LOCK_ADDR);
+        while let Some(msg) = self.dir.pop_msg(self.core) {
+            self.stats.drained += 1;
+            let line = msg.line();
+            // Keep the local dedup view coherent with what the directory
+            // just did on the remote core's behalf.
+            if msg.write {
+                self.held.remove(&msg.key);
+            } else if self.held.get(&msg.key) == Some(&Held::Owned) {
+                self.held.insert(msg.key, Held::Shared);
+            }
+            let conflict = if msg.write {
+                cache.invalidate_line(line)
+            } else {
+                cache.downgrade_line(line)
+            };
+            // A conflict without a directory signal would mean the remote
+            // published against stale registration state — impossible,
+            // because spec registration precedes the local spec-bit mark
+            // and release follows the local flash-clear.
+            debug_assert!(
+                msg.signal || !conflict,
+                "unsignaled conflict: core {} key {:#x} write {} held-after {:?}",
+                self.core,
+                msg.key,
+                msg.write,
+                self.held.get(&msg.key),
+            );
+            if conflict {
+                self.stats.sig_aborts += 1;
+                let reason = if line == lock_line {
+                    AbortReason::Sle
+                } else {
+                    AbortReason::Conflict
+                };
+                self.pending_abort = Some(reason);
+                return Some(reason);
+            }
+            if msg.signal {
+                self.stats.sig_raced += 1;
+            } else {
+                self.stats.benign += 1;
+            }
+        }
+        None
+    }
+
+    /// Drains everything left in the mailbox (teardown / between
+    /// requests). Outside a region no live speculative bit exists, so no
+    /// message can conflict; each is applied and classified normally.
+    pub fn drain_quiesced(&mut self, cache: &mut CacheSim) {
+        while let Some(reason) = self.drain(cache) {
+            debug_assert!(false, "conflict {reason:?} while quiesced");
+        }
+        self.pending_abort = None;
+    }
+
+    /// Withdraws every directory speculative registration this core holds
+    /// — called at region commit and abort, strictly after the cache's
+    /// epoch bump (see [`Directory::release_spec`] for why the order
+    /// matters).
+    pub fn release_spec(&mut self) {
+        for key in self.spec_keys.drain(..) {
+            self.dir.release_spec(self.core, key);
+        }
+        self.spec.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HwConfig;
+
+    #[test]
+    fn write_invalidates_sharers_and_signals_spec_readers() {
+        let dir = Directory::new(2);
+        dir.publish_read(0, 0x40, true);
+        assert_eq!(dir.line_state(0x40).spec_readers, 1);
+        dir.publish_write(1, 0x40, false);
+        let st = dir.line_state(0x40);
+        assert_eq!(st.owner, Some(1));
+        assert_eq!(st.sharers, 1 << 1);
+        assert_eq!(st.spec_readers, 0);
+        let msg = dir.pop_msg(0).expect("invalidation queued");
+        assert!(msg.write && msg.signal);
+        assert_eq!(dir.signaled(), 1);
+        assert!(dir.pop_msg(0).is_none());
+        assert!(dir.pop_msg(1).is_none());
+    }
+
+    #[test]
+    fn read_downgrades_owner_and_signals_spec_writer() {
+        let dir = Directory::new(2);
+        dir.publish_write(0, 0x80, true);
+        dir.publish_read(1, 0x80, false);
+        let st = dir.line_state(0x80);
+        assert_eq!(st.owner, None);
+        assert_eq!(st.sharers, 0b11);
+        assert_eq!(st.spec_writer, None, "claim consumed by the signal");
+        let msg = dir.pop_msg(0).expect("downgrade queued");
+        assert!(!msg.write && msg.signal);
+    }
+
+    #[test]
+    fn readers_coexist_without_signals() {
+        let dir = Directory::new(3);
+        dir.publish_read(0, 0xc0, true);
+        dir.publish_read(1, 0xc0, true);
+        dir.publish_read(2, 0xc0, false);
+        assert_eq!(dir.signaled(), 0);
+        for c in 0..3 {
+            assert!(!dir.pending(c));
+        }
+        assert_eq!(dir.line_state(0xc0).spec_readers, 0b11);
+    }
+
+    #[test]
+    fn release_after_commit_turns_signal_into_race() {
+        let dir = Directory::new(2);
+        let hw = HwConfig::baseline();
+        let mut cache_a = CacheSim::new(&hw);
+
+        let mut link_a = CoreLink::new(Arc::clone(&dir), 0, 0);
+        link_a.publish(0x40, false, true);
+        // Core A commits: local flash-clear (epoch bump) then release.
+        cache_a.commit_region();
+        link_a.release_spec();
+        // Core B's write raced: the signal (if sampled before release)
+        // or plain invalidation (after) must classify as non-abort.
+        dir.publish_write(1, 0x40, false);
+        assert!(link_a.drain(&mut cache_a).is_none());
+        assert_eq!(link_a.stats.sig_aborts, 0);
+        assert_eq!(
+            dir.signaled(),
+            link_a.stats.sig_raced,
+            "post-release signal count must match the raced bucket"
+        );
+    }
+
+    #[test]
+    fn distinct_asids_never_interact() {
+        let dir = Directory::new(2);
+        let mut a = CoreLink::new(Arc::clone(&dir), 0, 1);
+        let mut b = CoreLink::new(Arc::clone(&dir), 1, 2);
+        a.publish(0x40, false, true);
+        b.publish(0x40, true, true);
+        assert!(!a.pending() && !b.pending());
+        assert_eq!(dir.signaled(), 0);
+    }
+
+    #[test]
+    fn dedup_skips_redundant_publishes() {
+        let dir = Directory::new(2);
+        let mut a = CoreLink::new(Arc::clone(&dir), 0, 0);
+        a.publish(0x40, false, false);
+        a.publish(0x40, false, false); // held shared, no new info
+        assert_eq!(a.stats.published, 1);
+        a.publish(0x40, false, true); // new spec-read claim
+        a.publish(0x40, true, true); // shared→owned upgrade + spec write
+        a.publish(0x40, true, true); // fully covered
+        assert_eq!(a.stats.published, 3);
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`lower()`](crate::lower::lower) — IR → uop lowering (phi elimination, assert/abort shapes,
 //!   reservation-lock and SLE expansions).
 //! * [`cache`] — two-level cache with speculative bits (overflow → abort).
+//! * [`coherence`] — the sharded line directory behind real multi-core
+//!   runs: N machines on OS threads publish per-line intent and receive
+//!   asynchronous organic `Conflict`/`Sle` aborts.
 //! * [`bpred`] — tournament + indirect branch predictors.
 //! * [`machine`] — the functional executor with checkpoint/rollback and the
 //!   interval timing model, including the Figure 9 sensitivity knobs.
@@ -31,6 +34,7 @@
 
 pub mod bpred;
 pub mod cache;
+pub mod coherence;
 pub mod config;
 pub mod fault;
 pub mod fxhash;
@@ -43,6 +47,7 @@ pub mod superblock;
 pub mod uop;
 
 pub use cache::{CacheSim, FastHit, HitLevel, TargetCache, NO_SITE};
+pub use coherence::{CohMsg, CoreId, CoreLink, Directory, LineState, LinkStats, MAX_CORES};
 pub use config::{Dispatch, GovernorConfig, HwConfig, ReformRequest};
 pub use fault::{FaultKind, FaultPlan, MachineFault, FAULT_KINDS};
 pub use lower::lower;

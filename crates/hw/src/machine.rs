@@ -22,6 +22,7 @@ use hasp_vm::value::{ObjId, Value};
 
 use crate::bpred::Predictor;
 use crate::cache::{CacheSim, FastHit, HitLevel, TargetCache, NO_SITE};
+use crate::coherence::CoreLink;
 use crate::config::{Dispatch, GovernorConfig, HwConfig, ReformRequest};
 use crate::fault::MachineFault;
 use crate::fxhash::FxHashMap;
@@ -229,6 +230,11 @@ pub struct Machine<'p> {
     arg_buf: Vec<i64>,
     /// Branch-target side-cache for indirect dispatch (`JmpInd`/`CallVirt`).
     btb: TargetCache,
+    /// This core's attachment to a shared coherence directory, when the
+    /// machine runs as one core of a multi-core fleet (DESIGN §17). `None`
+    /// — the default — keeps every memory path bit-identical to the
+    /// single-core machine.
+    coh: Option<CoreLink>,
 }
 
 /// The lifetime-free pooled state of a retired [`Machine`]: every
@@ -330,6 +336,7 @@ impl<'p> Machine<'p> {
             spare_lines: pools.spare_lines,
             arg_buf: pools.arg_buf,
             btb,
+            coh: None,
         }
     }
 
@@ -454,6 +461,28 @@ impl<'p> Machine<'p> {
         self.fuel = fuel;
     }
 
+    /// Attaches this machine to a shared coherence directory as one core
+    /// of a multi-core fleet (DESIGN §17): every data access will drain
+    /// the core's mailbox and publish its intent, and remote collisions
+    /// with this core's speculative lines abort its region organically.
+    pub fn attach_core(&mut self, link: CoreLink) {
+        self.coh = Some(link);
+    }
+
+    /// Detaches the core link, first draining any undelivered remote
+    /// messages into the cache (quiesced — outside a region nothing can
+    /// conflict). Returns `None` if no link was attached.
+    pub fn detach_core(&mut self) -> Option<CoreLink> {
+        let mut link = self.coh.take()?;
+        link.drain_quiesced(&mut self.cache);
+        Some(link)
+    }
+
+    /// The attached core link, if any (stats inspection).
+    pub fn coherence(&self) -> Option<&CoreLink> {
+        self.coh.as_ref()
+    }
+
     /// Execution statistics so far.
     pub fn stats(&self) -> &RunStats {
         &self.stats
@@ -573,6 +602,7 @@ impl<'p> Machine<'p> {
         stats: &mut RunStats,
         cxw: &mut u64,
         region: &mut Option<RegionCtx>,
+        coh: &mut Option<CoreLink>,
         cfg: &HwConfig,
         site: u32,
         addr: u64,
@@ -595,6 +625,28 @@ impl<'p> Machine<'p> {
                 overflowed = budget > 0 && r.lines.len() as u64 > budget;
             }
             return !overflowed;
+        }
+        // The coherence hook (DESIGN §17), strictly ordered drain → publish
+        // → drain → access: undelivered remote ops are applied to the local
+        // cache first (a colliding one bails out before this access touches
+        // anything — the caller aborts through the overflow path with the
+        // parked reason), then this access's intent is published so remote
+        // cores see it before our own speculative bits can depend on it.
+        // The re-drain after publish is what makes every conflicting
+        // message a *signaled* one: publishing takes the line's stripe
+        // lock, and every directory post rides some poster's stripe
+        // critical section, so once publish returns, any message sampled
+        // against our pre-registration state is already pending-visible —
+        // and is applied here, before this access can mark the local bit
+        // such a stale message would collide with.
+        if let Some(link) = coh.as_mut() {
+            if link.pending() && link.drain(cache).is_some() {
+                return false;
+            }
+            link.publish(cache.line_of(addr), write, region.is_some());
+            if link.pending() && link.drain(cache).is_some() {
+                return false;
+            }
         }
         let in_region = region.is_some();
         // The zero-cost tiers (DESIGN §12 MRU filter, §16 seal-site way
@@ -669,10 +721,12 @@ impl<'p> Machine<'p> {
     /// tally once per run (`HwConfig::batched_mem`); the per-access path
     /// stays the reference the batch-equivalence gates compare against.
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     fn mem_probe(
         cache: &mut CacheSim,
         tally: &mut MemTally,
         region: &mut Option<RegionCtx>,
+        coh: &mut Option<CoreLink>,
         cfg: &HwConfig,
         site: u32,
         addr: u64,
@@ -691,6 +745,17 @@ impl<'p> Machine<'p> {
                 overflowed = budget > 0 && r.lines.len() as u64 > budget;
             }
             return !overflowed;
+        }
+        // Same coherence hook as [`Machine::mem_access_parts`] (drain →
+        // publish → drain → access); see there for the ordering argument.
+        if let Some(link) = coh.as_mut() {
+            if link.pending() && link.drain(cache).is_some() {
+                return false;
+            }
+            link.publish(cache.line_of(addr), write, region.is_some());
+            if link.pending() && link.drain(cache).is_some() {
+                return false;
+            }
         }
         let in_region = region.is_some();
         match cache.fast_hit(site, addr, write, in_region) {
@@ -742,15 +807,27 @@ impl<'p> Machine<'p> {
             stats,
             cxw,
             region,
+            coh,
             cfg,
             ..
         } = self;
-        if Self::mem_access_parts(cache, stats, cxw, region, cfg, site, addr, write) {
+        if Self::mem_access_parts(cache, stats, cxw, region, coh, cfg, site, addr, write) {
             Ok(true)
         } else {
-            self.abort(AbortReason::Overflow)?;
+            let why = self.take_mem_abort_reason();
+            self.abort(why)?;
             Ok(false)
         }
+    }
+
+    /// Why the last failed memory access bailed: a coherence conflict the
+    /// core's link parked (`Conflict`, or `Sle` for the fallback-lock
+    /// line), else a plain region overflow.
+    fn take_mem_abort_reason(&mut self) -> AbortReason {
+        self.coh
+            .as_mut()
+            .and_then(CoreLink::take_abort)
+            .unwrap_or(AbortReason::Overflow)
     }
 
     /// Logs the old value of `cell` before a speculative store.
@@ -794,6 +871,14 @@ impl<'p> Machine<'p> {
         ckpt.clear();
         self.reg_pool.push(ckpt);
         self.cache.abort_region();
+        // Withdraw directory speculative registrations only *after* the
+        // flash-clear: a remote write that samples the registration before
+        // this release finds a victim whose local bits are already gone —
+        // classified as raced-with-abort, never a live claim it fails to
+        // signal.
+        if let Some(link) = self.coh.as_mut() {
+            link.release_spec();
+        }
         self.stats.aborts.record(reason);
         self.stats
             .per_region
@@ -1110,6 +1195,11 @@ impl<'p> Machine<'p> {
         };
         debug_assert_eq!(r.region, region);
         self.cache.commit_region();
+        // Directory release strictly after the epoch bump — see the abort
+        // path for the conservation argument.
+        if let Some(link) = self.coh.as_mut() {
+            link.release_spec();
+        }
         self.stats.commits += 1;
         self.stats
             .region_sizes
@@ -1343,6 +1433,7 @@ impl<'p> Machine<'p> {
             cache,
             stats,
             region,
+            coh,
             cfg,
             cxw,
             env,
@@ -1365,9 +1456,9 @@ impl<'p> Machine<'p> {
                 // from; non-memory uops never reach this macro.
                 let site = code.blocks[i].mem_site;
                 if BATCHED {
-                    Self::mem_probe(cache, &mut tally, region, cfg, site, $addr, $write)
+                    Self::mem_probe(cache, &mut tally, region, coh, cfg, site, $addr, $write)
                 } else {
-                    Self::mem_access_parts(cache, stats, cxw, region, cfg, site, $addr, $write)
+                    Self::mem_access_parts(cache, stats, cxw, region, coh, cfg, site, $addr, $write)
                 }
             }};
         }
@@ -1690,14 +1781,18 @@ impl<'p> Machine<'p> {
                             }
                         }
                         // The cache already recorded the access when
-                        // overflow was detected, so this cannot be replayed
-                        // — abort here, exactly as the reference path's
-                        // `mem_access` would. Overflow can only surface at a
-                        // run's head (followers never probe), so there is
-                        // never a precharge to refund.
+                        // overflow was detected (and for a coherence
+                        // conflict the line is already gone), so this
+                        // cannot be replayed — abort here, exactly as the
+                        // reference path's `mem_access` would, with the
+                        // parked conflict reason when a drain bailed the
+                        // probe. Overflow can only surface at a run's head
+                        // (followers never probe), so there is never a
+                        // precharge to refund.
                         Interior::Overflow(j) => {
                             debug_assert_eq!(precharged, 0);
-                            if let Err(e) = self.abort(AbortReason::Overflow) {
+                            let why = self.take_mem_abort_reason();
+                            if let Err(e) = self.abort(why) {
                                 self.unapply_suffix(&code.blocks[j + 1], in_region);
                                 return Err(e);
                             }

@@ -396,3 +396,191 @@ mod ladder_liveness {
         }
     }
 }
+
+/// The sharded [`Directory`](hasp_hw::Directory) must implement exactly the
+/// protocol of a naive sequential reference directory (one flat map, plain
+/// per-core queues, no striping, no atomics): same message streams per
+/// core, same signal verdicts, same global counters, same final line
+/// states. Random cross-core publish/release interleavings — applied from
+/// one thread, so any divergence is a striping/hashing/mailbox bug, not a
+/// data race.
+mod directory_model {
+    use super::*;
+
+    use hasp_hw::{CohMsg, CoreId, Directory, LineState};
+
+    const CORES: usize = 4;
+    const LINE_BITS: u32 = 48;
+
+    /// The sequential reference: the DESIGN §17 protocol in its plainest
+    /// possible form.
+    struct RefDir {
+        lines: std::collections::BTreeMap<u64, LineState>,
+        mail: Vec<Vec<CohMsg>>,
+        signaled: u64,
+        invalidations: u64,
+        downgrades: u64,
+        publishes: u64,
+    }
+
+    impl RefDir {
+        fn new() -> RefDir {
+            RefDir {
+                lines: std::collections::BTreeMap::new(),
+                mail: vec![Vec::new(); CORES],
+                signaled: 0,
+                invalidations: 0,
+                downgrades: 0,
+                publishes: 0,
+            }
+        }
+
+        fn post(&mut self, to: CoreId, msg: CohMsg) {
+            if msg.signal {
+                self.signaled += 1;
+            }
+            if msg.write {
+                self.invalidations += 1;
+            } else {
+                self.downgrades += 1;
+            }
+            self.mail[to as usize].push(msg);
+        }
+
+        fn write(&mut self, me: CoreId, key: u64, spec: bool) {
+            self.publishes += 1;
+            let my_bit = 1u64 << me;
+            let st = self.lines.entry(key).or_default();
+            let victims = st.sharers & !my_bit;
+            let signaled_spec = st.spec_readers & !my_bit;
+            let spec_writer = st.spec_writer.filter(|&w| w != me);
+            st.owner = Some(me);
+            st.sharers = my_bit;
+            st.spec_readers &= my_bit;
+            if st.spec_writer != Some(me) {
+                st.spec_writer = None;
+            }
+            if spec {
+                st.spec_writer = Some(me);
+            }
+            for v in 0..CORES as u8 {
+                let bit = 1u64 << v;
+                if victims & bit != 0 {
+                    let signal = signaled_spec & bit != 0 || spec_writer == Some(v);
+                    self.post(
+                        v,
+                        CohMsg {
+                            key,
+                            write: true,
+                            signal,
+                        },
+                    );
+                }
+            }
+        }
+
+        fn read(&mut self, me: CoreId, key: u64, spec: bool) {
+            self.publishes += 1;
+            let my_bit = 1u64 << me;
+            let st = self.lines.entry(key).or_default();
+            let victim = st.owner.filter(|&o| o != me);
+            let signal = victim.is_some() && st.spec_writer == victim;
+            if victim.is_some() {
+                st.owner = None;
+                if signal {
+                    st.spec_writer = None;
+                }
+            }
+            st.sharers |= my_bit;
+            if spec {
+                st.spec_readers |= my_bit;
+            }
+            if let Some(v) = victim {
+                self.post(
+                    v,
+                    CohMsg {
+                        key,
+                        write: false,
+                        signal,
+                    },
+                );
+            }
+        }
+
+        fn release(&mut self, me: CoreId, key: u64) {
+            let my_bit = 1u64 << me;
+            if let Some(st) = self.lines.get_mut(&key) {
+                st.spec_readers &= !my_bit;
+                if st.spec_writer == Some(me) {
+                    st.spec_writer = None;
+                }
+                let empty = st.owner.is_none()
+                    && st.sharers == 0
+                    && st.spec_readers == 0
+                    && st.spec_writer.is_none();
+                if empty {
+                    self.lines.remove(&key);
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+        #[test]
+        fn directory_matches_sequential_reference(
+            ops in prop::collection::vec(
+                (0u8..CORES as u8, 0u64..6, 0u64..2, 0u8..3, any::<bool>()),
+                0..300,
+            ),
+        ) {
+            // A tiny line universe across two asids forces heavy collisions
+            // (and checks asid isolation falls out of key packing alone).
+            let dir = Directory::with_stripes(CORES, 8);
+            let mut reference = RefDir::new();
+            for &(core, line, asid, kind, spec) in &ops {
+                let key = (asid << LINE_BITS) | line;
+                match kind {
+                    0 => {
+                        dir.publish_write(core, key, spec);
+                        reference.write(core, key, spec);
+                    }
+                    1 => {
+                        dir.publish_read(core, key, spec);
+                        reference.read(core, key, spec);
+                    }
+                    _ => {
+                        dir.release_spec(core, key);
+                        reference.release(core, key);
+                    }
+                }
+            }
+            // Same global counters...
+            prop_assert_eq!(dir.signaled(), reference.signaled);
+            prop_assert_eq!(dir.invalidations(), reference.invalidations);
+            prop_assert_eq!(dir.downgrades(), reference.downgrades);
+            prop_assert_eq!(dir.publishes(), reference.publishes);
+            // ...same per-core message streams, in order...
+            for core in 0..CORES as u8 {
+                let mut got = Vec::new();
+                while let Some(msg) = dir.pop_msg(core) {
+                    got.push(msg);
+                }
+                prop_assert_eq!(
+                    &got,
+                    &reference.mail[core as usize],
+                    "core {} mailbox diverged",
+                    core
+                );
+                prop_assert!(!dir.pending(core), "drained mailbox still pending");
+            }
+            // ...same final line states over the whole touched universe.
+            for &(_, line, asid, _, _) in &ops {
+                let key = (asid << LINE_BITS) | line;
+                let expect = reference.lines.get(&key).copied().unwrap_or_default();
+                prop_assert_eq!(dir.line_state(key), expect, "key {:#x}", key);
+            }
+        }
+    }
+}
